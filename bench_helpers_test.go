@@ -1,0 +1,14 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+// Thin indirections so bench_test.go reads cleanly.
+
+func writeTTL(w io.Writer, g *store.Graph) error { return turtle.Write(w, g) }
+
+func parseTTL(doc string) (*store.Graph, error) { return turtle.Parse(doc) }

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/feo"
+)
+
+// cmdServe starts the HTTP API:
+//
+//	GET/POST /sparql?query=...   SPARQL endpoint (JSON results)
+//	POST     /explain            {"type","primary","secondary","user"} -> explanation
+//	GET      /recommend?user=IRI&limit=N
+//	GET      /stats              graph statistics
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	data := dataFlag(fs)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := newSession(*data)
+	if err != nil {
+		return err
+	}
+	srv := &apiServer{sess: s}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sparql", srv.handleSPARQL)
+	mux.HandleFunc("/explain", srv.handleExplain)
+	mux.HandleFunc("/recommend", srv.handleRecommend)
+	mux.HandleFunc("/stats", srv.handleStats)
+	log.Printf("feo: serving on %s (dataset %s)", *addr, *data)
+	return http.ListenAndServe(*addr, mux)
+}
+
+type apiServer struct {
+	sess *feo.Session
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("feo: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleSPARQL evaluates a query from ?query= or the POST body and encodes
+// bindings in a simplified SPARQL-results-JSON shape.
+func (s *apiServer) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	query := r.URL.Query().Get("query")
+	if query == "" && r.Method == http.MethodPost {
+		var body struct {
+			Query string `json:"query"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err == nil {
+			query = body.Query
+		}
+	}
+	if strings.TrimSpace(query) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query"))
+		return
+	}
+	res, err := s.sess.Query(query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Content negotiation: explicit ?format= wins, then the Accept header;
+	// the default is the W3C SPARQL results JSON format.
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		accept := r.Header.Get("Accept")
+		switch {
+		case strings.Contains(accept, "text/csv"):
+			format = "csv"
+		case strings.Contains(accept, "tab-separated"):
+			format = "tsv"
+		case strings.Contains(accept, "sparql-results+xml"), strings.Contains(accept, "application/xml"):
+			format = "xml"
+		default:
+			format = "json"
+		}
+	}
+	switch format {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		err = res.WriteCSV(w)
+	case "tsv":
+		w.Header().Set("Content-Type", "text/tab-separated-values")
+		err = res.WriteTSV(w)
+	case "xml":
+		w.Header().Set("Content-Type", "application/sparql-results+xml")
+		err = res.WriteXML(w)
+	case "json":
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		err = res.WriteJSON(w)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q", format))
+		return
+	}
+	if err != nil {
+		log.Printf("feo: write response: %v", err)
+	}
+}
+
+func (s *apiServer) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var body struct {
+		Type      string `json:"type"`
+		Primary   string `json:"primary"`
+		Secondary string `json:"secondary"`
+		User      string `json:"user"`
+		Text      string `json:"text"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	et, err := feo.ParseExplanationType(body.Type)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	primary, err := resolveTerm(body.Primary)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	secondary, err := resolveTerm(body.Secondary)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	user, err := resolveTerm(body.User)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ex, err := s.sess.Explain(feo.Question{
+		Type: et, Primary: primary, Secondary: secondary, User: user, Text: body.Text,
+	})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	evidence := make([]string, 0, len(ex.Evidence))
+	for _, ev := range ex.Evidence {
+		evidence = append(evidence, ev.Phrase)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"type":     ex.Type.String(),
+		"summary":  ex.Summary,
+		"evidence": evidence,
+	})
+}
+
+func (s *apiServer) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	userStr := r.URL.Query().Get("user")
+	user, err := resolveTerm(userStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !user.IsValid() {
+		users := s.sess.Users()
+		if len(users) == 0 {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no users in dataset"))
+			return
+		}
+		user = users[0]
+	}
+	limit := 5
+	fmt.Sscanf(r.URL.Query().Get("limit"), "%d", &limit)
+	recs := s.sess.Recommend(user, limit)
+	type rec struct {
+		Recipe   string  `json:"recipe"`
+		Label    string  `json:"label"`
+		Score    float64 `json:"score"`
+		Excluded bool    `json:"excluded,omitempty"`
+		Reason   string  `json:"reason,omitempty"`
+	}
+	out := make([]rec, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, rec{
+			Recipe: r.Recipe.Value, Label: r.Label, Score: r.Score,
+			Excluded: r.Excluded, Reason: r.Reason,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *apiServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"stats": s.sess.Stats()})
+}

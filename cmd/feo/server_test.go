@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/feo"
+)
+
+func testServer(t *testing.T) *apiServer {
+	t.Helper()
+	return &apiServer{sess: feo.NewSession(feo.Options{})}
+}
+
+func TestSPARQLEndpointGET(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodGet,
+		"/sparql?query="+strings.ReplaceAll("SELECT ?q WHERE { ?q a feo:FoodQuestion }", " ", "%20"), nil)
+	rr := httptest.NewRecorder()
+	srv.handleSPARQL(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/sparql-results+json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var out struct {
+		Head struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Results struct {
+			Bindings []map[string]map[string]any `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results.Bindings) != 3 {
+		t.Errorf("bindings = %d, want 3 questions", len(out.Results.Bindings))
+	}
+}
+
+func TestSPARQLEndpointFormats(t *testing.T) {
+	srv := testServer(t)
+	query := "/sparql?query=" + strings.ReplaceAll("SELECT ?q WHERE { ?q a feo:FoodQuestion }", " ", "%20")
+	for format, wantCT := range map[string]string{
+		"csv": "text/csv",
+		"tsv": "text/tab-separated-values",
+		"xml": "application/sparql-results+xml",
+	} {
+		rr := httptest.NewRecorder()
+		srv.handleSPARQL(rr, httptest.NewRequest(http.MethodGet, query+"&format="+format, nil))
+		if rr.Code != http.StatusOK {
+			t.Errorf("%s: status %d", format, rr.Code)
+		}
+		if ct := rr.Header().Get("Content-Type"); ct != wantCT {
+			t.Errorf("%s: content type %q, want %q", format, ct, wantCT)
+		}
+	}
+	// Accept-header negotiation.
+	req := httptest.NewRequest(http.MethodGet, query, nil)
+	req.Header.Set("Accept", "text/csv")
+	rr := httptest.NewRecorder()
+	srv.handleSPARQL(rr, req)
+	if ct := rr.Header().Get("Content-Type"); ct != "text/csv" {
+		t.Errorf("accept negotiation: %q", ct)
+	}
+	// Unknown format rejected.
+	rr = httptest.NewRecorder()
+	srv.handleSPARQL(rr, httptest.NewRequest(http.MethodGet, query+"&format=bogus", nil))
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("bogus format status = %d", rr.Code)
+	}
+}
+
+func TestSPARQLEndpointPOSTAndAsk(t *testing.T) {
+	srv := testServer(t)
+	body := strings.NewReader(`{"query":"ASK { feo:Sushi feo:hasIngredient feo:RawFish }"}`)
+	req := httptest.NewRequest(http.MethodPost, "/sparql", body)
+	rr := httptest.NewRecorder()
+	srv.handleSPARQL(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", rr.Code, rr.Body.String())
+	}
+	var out struct {
+		Boolean *bool `json:"boolean"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Boolean == nil || !*out.Boolean {
+		t.Errorf("ASK should be true: %s", rr.Body.String())
+	}
+}
+
+func TestSPARQLEndpointErrors(t *testing.T) {
+	srv := testServer(t)
+	// Missing query.
+	rr := httptest.NewRecorder()
+	srv.handleSPARQL(rr, httptest.NewRequest(http.MethodGet, "/sparql", nil))
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("missing query status = %d", rr.Code)
+	}
+	// Malformed query.
+	rr = httptest.NewRecorder()
+	srv.handleSPARQL(rr, httptest.NewRequest(http.MethodGet, "/sparql?query=SELECT", nil))
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("bad query status = %d", rr.Code)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv := testServer(t)
+	body := strings.NewReader(`{
+		"type": "contextual",
+		"primary": "feo:CauliflowerPotatoCurry"
+	}`)
+	req := httptest.NewRequest(http.MethodPost, "/explain", body)
+	rr := httptest.NewRecorder()
+	srv.handleExplain(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", rr.Code, rr.Body.String())
+	}
+	var out struct {
+		Summary  string   `json:"summary"`
+		Evidence []string `json:"evidence"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Summary, "Autumn") {
+		t.Errorf("summary = %q", out.Summary)
+	}
+	if len(out.Evidence) == 0 {
+		t.Error("no evidence in response")
+	}
+}
+
+func TestExplainEndpointValidation(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"bad type", `{"type":"bogus","primary":"feo:Sushi"}`, http.StatusBadRequest},
+		{"bad term", `{"type":"contextual","primary":"nope:X"}`, http.StatusBadRequest},
+		{"missing primary", `{"type":"contextual"}`, http.StatusUnprocessableEntity},
+		{"bad json", `{`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(http.MethodPost, "/explain", strings.NewReader(tc.body))
+			rr := httptest.NewRecorder()
+			srv.handleExplain(rr, req)
+			if rr.Code != tc.wantStatus {
+				t.Errorf("status = %d, want %d (%s)", rr.Code, tc.wantStatus, rr.Body.String())
+			}
+		})
+	}
+	// GET not allowed.
+	rr := httptest.NewRecorder()
+	srv.handleExplain(rr, httptest.NewRequest(http.MethodGet, "/explain", nil))
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /explain status = %d", rr.Code)
+	}
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/recommend?user=feo:User2&limit=3", nil)
+	rr := httptest.NewRecorder()
+	srv.handleRecommend(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", rr.Code, rr.Body.String())
+	}
+	var out []struct {
+		Label string  `json:"label"`
+		Score float64 `json:"score"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Error("no recommendations")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	rr := httptest.NewRecorder()
+	srv.handleStats(rr, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "triples=") {
+		t.Errorf("stats response: %d %s", rr.Code, rr.Body.String())
+	}
+}
+
+func TestResolveTerm(t *testing.T) {
+	if tm, err := resolveTerm("feo:Sushi"); err != nil || !strings.HasSuffix(tm.Value, "Sushi") {
+		t.Errorf("resolveTerm qname: %v %v", tm, err)
+	}
+	if tm, err := resolveTerm("https://x/y"); err != nil || tm.Value != "https://x/y" {
+		t.Errorf("resolveTerm iri: %v %v", tm, err)
+	}
+	if tm, err := resolveTerm(""); err != nil || tm.IsValid() {
+		t.Errorf("resolveTerm empty: %v %v", tm, err)
+	}
+	if _, err := resolveTerm("nope:x"); err == nil {
+		t.Error("unbound prefix should error")
+	}
+}
+
+func TestNewSessionDatasets(t *testing.T) {
+	for _, data := range []string{"cq1", "cq2", "cq3", "all", "none", "synthetic"} {
+		s, err := newSession(data)
+		if err != nil {
+			t.Errorf("newSession(%s): %v", data, err)
+			continue
+		}
+		if s.Graph().Len() == 0 {
+			t.Errorf("newSession(%s): empty graph", data)
+		}
+	}
+	if _, err := newSession("bogus"); err == nil {
+		t.Error("bogus dataset should error")
+	}
+}

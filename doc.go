@@ -1,0 +1,6 @@
+// Package repro is the root of the FEO reproduction module. The library
+// lives in the feo package (public API) and internal/* (substrates); this
+// root package carries the repository-level benchmark suite that
+// regenerates and times every artifact of the paper's evaluation — see
+// bench_test.go, DESIGN.md, and EXPERIMENTS.md.
+package repro

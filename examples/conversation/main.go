@@ -1,0 +1,93 @@
+// Conversation: the paper's stated target is "more interactive or
+// conversational food recommendations, for example, in a personalized
+// health recommendation app". This example plays a scripted dialog: the
+// Health Coach recommends, the user asks follow-up questions of different
+// Table I types, and each answer comes from the explanation engine over
+// the same inferred graph. It also shows that generated explanations are
+// themselves semantic objects that later turns can query.
+//
+//	go run ./examples/conversation
+package main
+
+import (
+	"fmt"
+
+	"repro/feo"
+)
+
+func main() {
+	sess := feo.NewSession(feo.Options{})
+	user := feo.FEO("User2")
+
+	say := func(who, text string) { fmt.Printf("%-6s %s\n", who+":", text) }
+
+	say("coach", "Here are today's picks for you:")
+	recs := sess.Recommend(user, 3)
+	for i, r := range recs {
+		if !r.Excluded {
+			fmt.Printf("        %d. %s (score %.1f)\n", i+1, r.Label, r.Score)
+		}
+	}
+	top := recs[0]
+	fmt.Println()
+
+	// Turn 1: why?
+	say("user", "Why should I eat "+top.Label+"?")
+	ex, err := sess.Explain(feo.Question{Type: feo.Contextual, Primary: top.Recipe, User: user})
+	must(err)
+	say("coach", ex.Summary)
+	fmt.Println()
+
+	// Turn 2: why not my favorite?
+	say("user", "Why that over Broccoli Cheddar Soup? I love it.")
+	ex, err = sess.Explain(feo.Question{
+		Type: feo.Contrastive, Primary: top.Recipe,
+		Secondary: feo.FEO("BroccoliCheddarSoup"), User: user,
+	})
+	must(err)
+	say("coach", ex.Summary)
+	fmt.Println()
+
+	// Turn 3: how did you decide?
+	say("user", "What steps led to that recommendation?")
+	ex, err = sess.Explain(feo.Question{Type: feo.TraceBased, Primary: top.Recipe, User: user})
+	must(err)
+	say("coach", ex.Summary)
+	fmt.Println()
+
+	// Turn 4: a what-if.
+	say("user", "What if I was pregnant?")
+	ex, err = sess.Explain(feo.Question{Type: feo.Counterfactual, Primary: feo.FEO("Pregnancy"), User: user})
+	must(err)
+	say("coach", ex.Summary)
+	fmt.Println()
+
+	// Turn 5: the dialog history itself is in the knowledge graph.
+	say("user", "What have you explained to me so far?")
+	res, err := sess.Query(`
+SELECT ?type ?summary WHERE {
+  ?ex a eo:Explanation ; a ?type ; rdfs:comment ?summary .
+  FILTER(?type != eo:Explanation)
+}`)
+	must(err)
+	say("coach", fmt.Sprintf("We covered %d explanations this session:", res.Len()))
+	for i := 0; i < res.Len(); i++ {
+		fmt.Printf("        - [%s] %s\n",
+			shortType(res.Get(i, "type").Value), res.Get(i, "summary").Value)
+	}
+}
+
+func shortType(iri string) string {
+	for i := len(iri) - 1; i >= 0; i-- {
+		if iri[i] == '#' || iri[i] == '/' {
+			return iri[i+1:]
+		}
+	}
+	return iri
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Group dining: the paper's introduction scenario — "the seafood allergy
+// of one family member may preclude recipes including shrimp to be
+// recommended to the whole group". A family of three shares a dinner
+// recommendation; one member's allergy excludes recipes for everyone, and
+// the contrastive explanation says why the winner beat the family
+// favorite.
+//
+//	go run ./examples/groupdining
+package main
+
+import (
+	"fmt"
+
+	"repro/feo"
+)
+
+const family = `
+@prefix eo:   <https://purl.org/heals/eo#> .
+@prefix feo:  <https://purl.org/heals/feo#> .
+@prefix food: <http://purl.org/heals/food/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix kg:   <https://purl.org/heals/foodkg/> .
+
+kg:winter a food:Season ; rdfs:label "Winter" .
+kg:family-system a eo:System ; feo:hasSeason kg:winter .
+
+kg:shrimp a food:Ingredient ; rdfs:label "Shrimp" .
+kg:noodles a food:Ingredient ; rdfs:label "Noodles" .
+kg:tofu a food:Ingredient ; rdfs:label "Tofu" ; feo:availableIn kg:winter .
+kg:mushroom a food:Ingredient ; rdfs:label "Mushroom" ; feo:availableIn kg:winter .
+kg:chicken a food:Ingredient ; rdfs:label "Chicken" .
+
+kg:shrimpPadThai a food:Recipe ; rdfs:label "Shrimp Pad Thai" ;
+    feo:hasIngredient kg:shrimp , kg:noodles ; food:costLevel 2 ; food:calories 620 .
+kg:tofuHotPot a food:Recipe ; rdfs:label "Tofu Hot Pot" ;
+    feo:hasIngredient kg:tofu , kg:mushroom ; food:costLevel 1 ; food:calories 480 .
+kg:chickenNoodles a food:Recipe ; rdfs:label "Chicken Noodles" ;
+    feo:hasIngredient kg:chicken , kg:noodles ; food:costLevel 1 ; food:calories 560 .
+
+kg:mom a food:User ; feo:like kg:shrimpPadThai .
+kg:dad a food:User ; feo:like kg:chickenNoodles .
+kg:kid a food:User ; feo:allergicTo kg:shrimp .
+`
+
+func main() {
+	sess := feo.NewSession(feo.Options{Data: feo.DataNone})
+	must(sess.LoadTurtle(family))
+
+	kg := func(local string) feo.Term {
+		return feo.IRI("https://purl.org/heals/foodkg/" + local)
+	}
+	group := []feo.Term{kg("mom"), kg("dad"), kg("kid")}
+
+	fmt.Println("== Family dinner recommendation ==")
+	fmt.Println()
+	recs := sess.RecommendGroup(group, 0)
+	for i, r := range recs {
+		if r.Excluded {
+			fmt.Printf("  %d. %-18s EXCLUDED: %s\n", i+1, r.Label, r.Reason)
+			continue
+		}
+		fmt.Printf("  %d. %-18s score %.1f\n", i+1, r.Label, r.Score)
+	}
+	fmt.Println()
+
+	// Mom asks: why the hot pot over her favorite pad thai?
+	ex, err := sess.Explain(feo.Question{
+		Type:      feo.Contrastive,
+		Primary:   recs[0].Recipe,
+		Secondary: kg("shrimpPadThai"),
+		User:      kg("mom"),
+		Text:      "Why was Tofu Hot Pot recommended over Shrimp Pad Thai?",
+	})
+	must(err)
+	fmt.Println("Q:", ex.Question.Text)
+	fmt.Println("A:", ex.Summary)
+	fmt.Println()
+
+	// And the contextual view of the winner.
+	ex, err = sess.Explain(feo.Question{
+		Type:    feo.Contextual,
+		Primary: recs[0].Recipe,
+	})
+	must(err)
+	fmt.Println("Q: Why should the family eat", recs[0].Label+"?")
+	fmt.Println("A:", ex.Summary)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,94 @@
+// Pregnancy counterfactual at scale: the paper's CQ3 scenario ("What if I
+// was pregnant?") run against a generated FoodKG instead of the tiny CQ
+// dataset. Pregnancy knowledge (forbids raw-ish ingredients, recommends
+// folate-rich ones) propagates through the forbids∘isIngredientOf property
+// chain to every affected recipe, and the counterfactual explanation
+// summarizes the diet change.
+//
+//	go run ./examples/pregnancy
+package main
+
+import (
+	"fmt"
+
+	"repro/feo"
+)
+
+func main() {
+	sess := feo.NewSession(feo.Options{
+		Data: feo.DataSynthetic,
+		KG: feo.KGConfig{
+			Seed: 11, Recipes: 150, Ingredients: 60, Users: 10,
+			MinIngredients: 3, MaxIngredients: 6,
+			SeasonalShare: 0.4, LikesPerUser: 3, DislikesPerUser: 1,
+		},
+	})
+
+	// Attach pregnancy domain knowledge to a handful of generated
+	// ingredients: the first salmon/shrimp-style ingredients are forbidden,
+	// spinach-style ones recommended.
+	must(sess.LoadTurtle(`
+@prefix feo: <https://purl.org/heals/feo#> .
+@base <https://purl.org/heals/foodkg/> .
+
+<condition/Pregnancy> feo:forbids <ingredient/Salmon0> , <ingredient/Shrimp0> ;
+    feo:recommends <ingredient/Spinach0> .
+`))
+
+	pregnancy := feo.IRI("https://purl.org/heals/foodkg/condition/Pregnancy")
+
+	// How many recipes become forbidden? (The property chain has already
+	// closed forbids over ingredients.)
+	res, err := sess.Query(`
+SELECT (COUNT(DISTINCT ?recipe) AS ?n) WHERE {
+  <https://purl.org/heals/foodkg/condition/Pregnancy> feo:forbids ?recipe .
+  ?recipe a food:Recipe .
+}`)
+	must(err)
+	nForbidden, _ := res.Get(0, "n").Int()
+
+	total := len(sess.Recipes())
+	fmt.Printf("== Pregnancy counterfactual over %d generated recipes ==\n\n", total)
+	fmt.Printf("Recipes that would become forbidden: %d of %d\n\n", nForbidden, total)
+
+	ex, err := sess.Explain(feo.Question{
+		Type:    feo.Counterfactual,
+		Primary: pregnancy,
+		Text:    "What if I was pregnant?",
+	})
+	must(err)
+	fmt.Println("Q:", ex.Question.Text)
+	fmt.Println("A:", ex.Summary)
+	fmt.Println()
+	fmt.Println("Evidence:")
+	for i, ev := range ex.Evidence {
+		if i >= 10 {
+			fmt.Printf("  ... and %d more\n", len(ex.Evidence)-10)
+			break
+		}
+		fmt.Println("  -", ev.Phrase)
+	}
+
+	// Scientific backing for the recommendation.
+	must(sess.LoadTurtle(`
+@prefix eo: <https://purl.org/heals/eo#> .
+@base <https://purl.org/heals/foodkg/> .
+<study/folate> a eo:ScientificKnowledge ;
+    eo:evidenceFor <ingredient/Spinach0> ;
+    eo:citesSource "CDC folic acid guidance for pregnancy (2020)" .
+`))
+	ex, err = sess.Explain(feo.Question{
+		Type:    feo.Scientific,
+		Primary: feo.IRI("https://purl.org/heals/foodkg/ingredient/Spinach0"),
+	})
+	must(err)
+	fmt.Println()
+	fmt.Println("Q: What literature recommends spinach?")
+	fmt.Println("A:", ex.Summary)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

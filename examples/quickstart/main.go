@@ -1,0 +1,66 @@
+// Quickstart: load the paper's competency-question data, ask the three
+// evaluation questions (Listings 1-3), and print the generated
+// explanations.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/feo"
+)
+
+func main() {
+	sess := feo.NewSession(feo.Options{})
+
+	fmt.Println("== FEO quickstart: the paper's three competency questions ==")
+	fmt.Println()
+
+	// CQ1 — contextual: "Why should I eat Cauliflower Potato Curry?"
+	ex, err := sess.Explain(feo.Question{
+		Type:    feo.Contextual,
+		Primary: feo.FEO("CauliflowerPotatoCurry"),
+		Text:    "Why should I eat Cauliflower Potato Curry?",
+	})
+	must(err)
+	fmt.Println("Q1:", ex.Question.Text)
+	fmt.Println("A1:", ex.Summary)
+	fmt.Println()
+
+	// CQ2 — contrastive: "Why Butternut Squash Soup over Broccoli Cheddar?"
+	ex, err = sess.Explain(feo.Question{
+		Type:      feo.Contrastive,
+		Primary:   feo.FEO("ButternutSquashSoup"),
+		Secondary: feo.FEO("BroccoliCheddarSoup"),
+		Text:      "Why should I eat Butternut Squash Soup over a Broccoli Cheddar Soup?",
+	})
+	must(err)
+	fmt.Println("Q2:", ex.Question.Text)
+	fmt.Println("A2:", ex.Summary)
+	fmt.Println()
+
+	// CQ3 — counterfactual: "What if I was pregnant?"
+	ex, err = sess.Explain(feo.Question{
+		Type:    feo.Counterfactual,
+		Primary: feo.FEO("Pregnancy"),
+		Text:    "What if I was pregnant?",
+	})
+	must(err)
+	fmt.Println("Q3:", ex.Question.Text)
+	fmt.Println("A3:", ex.Summary)
+	fmt.Println()
+
+	// Raw SPARQL access to the same inferred graph.
+	res, err := sess.Query(`
+SELECT ?fact WHERE { ?fact a eo:Fact }`)
+	must(err)
+	fmt.Println("Classified facts in the inferred graph:")
+	fmt.Print(res.Table())
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package feo is the public entry point of the FEO reproduction: semantic
+// modeling for food recommendation explanations (Padhiar et al., ICDE 2021).
+//
+// A Session bundles everything a downstream application needs:
+//
+//	sess := feo.NewSession(feo.Options{})            // FEO + CQ data
+//	rec  := sess.Recommend(user, 1)[0]               // Health Coach pick
+//	ex, _ := sess.Explain(feo.Question{              // post-hoc explanation
+//	    Type:    feo.Contextual,
+//	    Primary: rec.Recipe,
+//	})
+//	fmt.Println(ex.Summary)
+//
+// Under the hood a Session owns an in-memory triple store, the OWL 2 RL
+// materializer that substitutes for the paper's Pellet run, a SPARQL 1.1
+// engine, the FEO/EO/food ontologies, and a simulated Health Coach
+// recommender. All of it is stdlib-only Go.
+package feo
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/foodkg"
+	"repro/internal/healthcoach"
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/rdfxml"
+	"repro/internal/reasoner"
+	"repro/internal/sparql"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+// Re-exported explanation types (Table I).
+const (
+	CaseBased       = core.CaseBased
+	Contextual      = core.Contextual
+	Contrastive     = core.Contrastive
+	Counterfactual  = core.Counterfactual
+	Everyday        = core.Everyday
+	Scientific      = core.Scientific
+	SimulationBased = core.SimulationBased
+	Statistical     = core.Statistical
+	TraceBased      = core.TraceBased
+)
+
+// Type aliases so callers only import this package.
+type (
+	// Question is a user question about a recommendation.
+	Question = core.Question
+	// Explanation is a generated explanation with evidence.
+	Explanation = core.Explanation
+	// ExplanationType selects one of the nine Table I types.
+	ExplanationType = core.ExplanationType
+	// Recommendation is one Health Coach result.
+	Recommendation = healthcoach.Recommendation
+	// Term is an RDF term.
+	Term = rdf.Term
+	// Graph is an indexed triple store.
+	Graph = store.Graph
+	// QueryResult holds SPARQL results.
+	QueryResult = sparql.Result
+	// KGConfig configures the synthetic FoodKG generator.
+	KGConfig = foodkg.Config
+)
+
+// ParseExplanationType maps a name like "contextual" to its type.
+func ParseExplanationType(s string) (ExplanationType, error) {
+	return core.ParseExplanationType(s)
+}
+
+// AllExplanationTypes lists the nine types in Table I order.
+func AllExplanationTypes() []ExplanationType { return core.AllExplanationTypes() }
+
+// IRI builds an IRI term.
+func IRI(s string) Term { return rdf.NewIRI(s) }
+
+// FEO expands a local name in the FEO namespace (feo.FEO("Autumn")).
+func FEO(local string) Term { return rdf.NewIRI(rdf.FEONS + local) }
+
+// Options configures a Session.
+type Options struct {
+	// Data selects the initial instance data. DataCQ (default) loads the
+	// paper's competency-question ABoxes; DataSynthetic generates a FoodKG
+	// per KG; DataNone loads only the ontologies.
+	Data DataSource
+	// KG configures the synthetic FoodKG when Data == DataSynthetic.
+	// Zero value means foodkg.DefaultConfig().
+	KG KGConfig
+	// NaiveReasoner selects the slow ablation evaluation strategy.
+	NaiveReasoner bool
+}
+
+// DataSource selects a Session's initial instance data.
+type DataSource int
+
+// Data sources for NewSession.
+const (
+	DataCQ DataSource = iota
+	DataSynthetic
+	DataNone
+)
+
+// Session is a loaded, materialized knowledge graph with attached engines.
+type Session struct {
+	graph    *store.Graph
+	reasoner *reasoner.Reasoner
+	engine   *core.Engine
+	coach    *healthcoach.Coach
+	kg       *foodkg.KG
+}
+
+// NewSession loads the ontologies and data, materializes the OWL RL
+// closure, and wires the explanation engine and Health Coach.
+func NewSession(opts Options) *Session {
+	g := ontology.TBox()
+	var kg *foodkg.KG
+	switch opts.Data {
+	case DataSynthetic:
+		cfg := opts.KG
+		if cfg.Recipes == 0 {
+			cfg = foodkg.DefaultConfig()
+		}
+		kg = foodkg.Generate(cfg)
+		g.Merge(kg.Graph)
+	case DataNone:
+		// ontologies only
+	default:
+		g.Merge(ontology.ABox(ontology.CQAll))
+	}
+	r := reasoner.New(reasoner.Options{
+		TraceDerivations: true,
+		Naive:            opts.NaiveReasoner,
+	})
+	r.Materialize(g)
+	coach := healthcoach.New(g, healthcoach.DefaultWeights())
+	engine := core.NewEngine(g, r)
+	engine.SetCoach(coach)
+	return &Session{graph: g, reasoner: r, engine: engine, coach: coach, kg: kg}
+}
+
+// Graph returns the session's materialized graph.
+func (s *Session) Graph() *store.Graph { return s.graph }
+
+// KG returns the generated FoodKG handles (nil unless DataSynthetic).
+func (s *Session) KG() *foodkg.KG { return s.kg }
+
+// Users returns the user individuals known to the session.
+func (s *Session) Users() []Term { return s.graph.InstancesOf(ontology.FoodUser) }
+
+// Recipes returns the recipe individuals known to the session.
+func (s *Session) Recipes() []Term { return s.graph.InstancesOf(ontology.FoodRecipe) }
+
+// LoadTurtle adds Turtle data to the session and re-materializes.
+func (s *Session) LoadTurtle(doc string) error {
+	if err := turtle.ParseInto(s.graph, doc); err != nil {
+		return err
+	}
+	s.reasoner.Materialize(s.graph)
+	return nil
+}
+
+// LoadRDFXML adds RDF/XML data (Protégé's export format) to the session
+// and re-materializes.
+func (s *Session) LoadRDFXML(r io.Reader) error {
+	if err := rdfxml.ParseInto(s.graph, r); err != nil {
+		return err
+	}
+	s.reasoner.Materialize(s.graph)
+	return nil
+}
+
+// WriteRDFXML serializes the session graph as RDF/XML.
+func (s *Session) WriteRDFXML(w io.Writer) error { return rdfxml.Write(w, s.graph) }
+
+// Query runs a SPARQL query against the materialized graph.
+func (s *Session) Query(q string) (*QueryResult, error) {
+	return sparql.Run(s.graph, q)
+}
+
+// Explain generates an explanation for the question.
+func (s *Session) Explain(q Question) (*Explanation, error) {
+	return s.engine.Explain(q)
+}
+
+// Recommend ranks recipes for the user (Health Coach simulation).
+func (s *Session) Recommend(user Term, limit int) []Recommendation {
+	return s.coach.Recommend(user, limit)
+}
+
+// RecommendGroup ranks recipes for a group; any member's hard constraint
+// excludes a recipe.
+func (s *Session) RecommendGroup(users []Term, limit int) []Recommendation {
+	return s.coach.RecommendGroup(users, limit)
+}
+
+// Update applies a SPARQL 1.1 Update request (INSERT DATA, DELETE DATA,
+// DELETE WHERE, DELETE/INSERT WHERE, CLEAR) and re-materializes when
+// triples were added.
+//
+// Deletions remove only the named triples: consequences previously
+// inferred from them are NOT retracted (forward-chaining materialization
+// is monotonic, the same behavior as re-exporting from Pellet without
+// reclassifying). To fully retract, rebuild the session from the edited
+// source data.
+func (s *Session) Update(req string) (sparql.UpdateResult, error) {
+	res, err := sparql.RunUpdate(s.graph, req)
+	if err != nil {
+		return res, err
+	}
+	if res.Inserted > 0 {
+		s.reasoner.Materialize(s.graph)
+	}
+	return res, nil
+}
+
+// Validate runs the OWL consistency checks (disjoint classes, sameAs vs
+// differentFrom, owl:Nothing, asymmetric/irreflexive violations, negative
+// property assertions) over the materialized graph.
+func (s *Session) Validate() []reasoner.Inconsistency {
+	return reasoner.Validate(s.graph)
+}
+
+// ExplainTriple returns the reasoner's derivation proof for a triple:
+// which OWL RL rules produced it from which premises. Empty for asserted
+// or unknown triples.
+func (s *Session) ExplainTriple(subject, predicate, object Term) []reasoner.ProofStep {
+	return s.reasoner.Proof(rdf.Triple{S: subject, P: predicate, O: object})
+}
+
+// WriteTurtle serializes the session graph as Turtle.
+func (s *Session) WriteTurtle(w io.Writer) error { return turtle.Write(w, s.graph) }
+
+// Stats summarizes the session graph.
+func (s *Session) Stats() string {
+	st := s.graph.Statistics()
+	return fmt.Sprintf("triples=%d subjects=%d predicates=%d classes=%d instances=%d",
+		st.Triples, st.Subjects, st.Predicates, st.Classes, st.Instances)
+}

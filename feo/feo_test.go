@@ -1,0 +1,211 @@
+package feo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSessionCQData(t *testing.T) {
+	s := NewSession(Options{})
+	if s.Graph().Len() == 0 {
+		t.Fatal("empty session graph")
+	}
+	ex, err := s.Explain(Question{Type: Contextual, Primary: FEO("CauliflowerPotatoCurry")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.Summary, "Autumn") {
+		t.Errorf("summary = %q", ex.Summary)
+	}
+}
+
+func TestSessionSynthetic(t *testing.T) {
+	s := NewSession(Options{Data: DataSynthetic, KG: KGConfig{
+		Seed: 7, Recipes: 30, Ingredients: 25, Users: 5,
+		MinIngredients: 2, MaxIngredients: 5,
+		SeasonalShare: 0.5, LikesPerUser: 3, DislikesPerUser: 1,
+	}})
+	if s.KG() == nil {
+		t.Fatal("synthetic session should expose KG")
+	}
+	users := s.Users()
+	if len(users) != 5 {
+		t.Fatalf("users = %d", len(users))
+	}
+	recs := s.Recommend(users[0], 3)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	ex, err := s.Explain(Question{Type: Contextual, Primary: recs[0].Recipe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Summary == "" {
+		t.Error("empty explanation for synthetic recommendation")
+	}
+}
+
+func TestSessionQuery(t *testing.T) {
+	s := NewSession(Options{})
+	res, err := s.Query(`SELECT ?q WHERE { ?q a feo:FoodQuestion }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Errorf("question count = %d, want 3 (CQ1-CQ3)", res.Len())
+	}
+}
+
+func TestSessionLoadTurtle(t *testing.T) {
+	s := NewSession(Options{Data: DataNone})
+	err := s.LoadTurtle(`
+@prefix feo:  <https://purl.org/heals/feo#> .
+@prefix food: <http://purl.org/heals/food/> .
+feo:Mango a food:Ingredient .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-materialization classifies the new instance (isInternal via
+	// food:Ingredient's hasValue restriction).
+	res, err := s.Query(`ASK { feo:Mango feo:isInternal true }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Boolean {
+		t.Error("loaded instance not classified after LoadTurtle")
+	}
+	if err := s.LoadTurtle("@@@ bad turtle"); err == nil {
+		t.Error("bad turtle should error")
+	}
+}
+
+func TestSessionGroupRecommend(t *testing.T) {
+	s := NewSession(Options{Data: DataSynthetic, KG: KGConfig{
+		Seed: 9, Recipes: 20, Ingredients: 15, Users: 4,
+		MinIngredients: 2, MaxIngredients: 4,
+		LikesPerUser: 2, DislikesPerUser: 1, AllergyRate: 1.0,
+	}})
+	users := s.Users()
+	recs := s.RecommendGroup(users[:2], 5)
+	if len(recs) == 0 {
+		t.Fatal("no group recommendations")
+	}
+}
+
+func TestSessionWriteTurtle(t *testing.T) {
+	s := NewSession(Options{Data: DataNone})
+	var sb strings.Builder
+	if err := s.WriteTurtle(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "feo:Characteristic") {
+		t.Error("serialized TBox missing FEO classes")
+	}
+	if !strings.Contains(s.Stats(), "triples=") {
+		t.Error("Stats should render")
+	}
+}
+
+func TestNaiveReasonerOption(t *testing.T) {
+	s := NewSession(Options{NaiveReasoner: true})
+	ex, err := s.Explain(Question{Type: Contextual, Primary: FEO("CauliflowerPotatoCurry")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.Summary, "Autumn") {
+		t.Error("naive reasoner must reach the same closure")
+	}
+}
+
+func TestSessionUpdate(t *testing.T) {
+	s := NewSession(Options{Data: DataNone})
+	res, err := s.Update(`
+INSERT DATA {
+  feo:Mango a <http://purl.org/heals/food/Ingredient> .
+  feo:MangoSalad a <http://purl.org/heals/food/Recipe> ;
+      feo:hasIngredient feo:Mango .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 3 {
+		t.Errorf("inserted = %d, want 3", res.Inserted)
+	}
+	// Re-materialization must have closed the inverse.
+	ask, err := s.Query(`ASK { feo:Mango feo:isIngredientOf feo:MangoSalad }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ask.Boolean {
+		t.Error("update did not trigger re-materialization")
+	}
+	if _, err := s.Update("NONSENSE"); err == nil {
+		t.Error("bad update should error")
+	}
+}
+
+func TestSessionValidate(t *testing.T) {
+	s := NewSession(Options{})
+	if incs := s.Validate(); len(incs) != 0 {
+		t.Fatalf("CQ datasets must be consistent, got %v", incs)
+	}
+	// Inject a violation: a season that is also a food.
+	_, err := s.Update(`INSERT DATA { feo:Autumn a <http://purl.org/heals/food/Food> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incs := s.Validate()
+	if len(incs) == 0 {
+		t.Error("disjointness violation not detected")
+	}
+}
+
+func TestSessionExplainTriple(t *testing.T) {
+	s := NewSession(Options{})
+	// The closure triple from CQ1 must have a derivation proof.
+	steps := s.ExplainTriple(
+		FEO("CauliflowerPotatoCurry"), FEO("hasCharacteristic"), FEO("Autumn"))
+	if len(steps) == 0 {
+		t.Fatal("no proof for inferred closure triple")
+	}
+	last := steps[len(steps)-1]
+	if last.Rule == "asserted" {
+		t.Error("closure triple should be inferred, not asserted")
+	}
+	sawAsserted := false
+	for _, st := range steps {
+		if st.Rule == "asserted" {
+			sawAsserted = true
+		}
+	}
+	if !sawAsserted {
+		t.Error("proof should ground out in asserted triples")
+	}
+}
+
+func TestSessionRDFXMLRoundTrip(t *testing.T) {
+	s := NewSession(Options{Data: DataNone})
+	var sb strings.Builder
+	if err := s.WriteRDFXML(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Characteristic") {
+		t.Error("RDF/XML export missing FEO classes")
+	}
+	s2 := NewSession(Options{Data: DataNone})
+	before := s2.Graph().Len()
+	if err := s2.LoadRDFXML(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	// Loading the same TBox back should add nothing new except blank-node
+	// renamed restriction structures; the graph must at least not shrink
+	// and queries must still work.
+	if s2.Graph().Len() < before {
+		t.Error("round-trip lost triples")
+	}
+	res, err := s2.Query(`ASK { feo:SeasonCharacteristic rdfs:subClassOf feo:SystemCharacteristic }`)
+	if err != nil || !res.Boolean {
+		t.Error("hierarchy lost through RDF/XML round trip")
+	}
+}

@@ -1,0 +1,354 @@
+// Package core is the explanation engine — the paper's primary
+// contribution operationalized. Given a question about a food
+// recommendation, it asserts the question into the knowledge graph, runs
+// the OWL RL reasoner to classify the ecosystem (exactly as the paper runs
+// Pellet before querying), evaluates an explanation-type-specific SPARQL
+// query, and renders the bindings as a natural-language explanation with
+// full provenance.
+//
+// All nine literature-derived explanation types of the paper's Table I are
+// implemented: the three the paper evaluates (contextual, contrastive,
+// counterfactual — Listings 1-3) and the six it defers to future work
+// (case-based, everyday, scientific, simulation-based, statistical,
+// trace-based), built from the sketches in the paper's §VI.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/healthcoach"
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/reasoner"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// ExplanationType enumerates the nine Table I explanation types.
+type ExplanationType int
+
+// The explanation types, in Table I order.
+const (
+	CaseBased ExplanationType = iota
+	Contextual
+	Contrastive
+	Counterfactual
+	Everyday
+	Scientific
+	SimulationBased
+	Statistical
+	TraceBased
+)
+
+var typeNames = [...]string{
+	"case-based", "contextual", "contrastive", "counterfactual",
+	"everyday", "scientific", "simulation-based", "statistical",
+	"trace-based",
+}
+
+// String returns the lowercase type name used by the CLI.
+func (t ExplanationType) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("ExplanationType(%d)", int(t))
+}
+
+// ParseExplanationType maps a CLI name to a type.
+func ParseExplanationType(s string) (ExplanationType, error) {
+	for i, n := range typeNames {
+		if n == s {
+			return ExplanationType(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown explanation type %q", s)
+}
+
+// AllExplanationTypes lists every type in Table I order.
+func AllExplanationTypes() []ExplanationType {
+	out := make([]ExplanationType, len(typeNames))
+	for i := range out {
+		out[i] = ExplanationType(i)
+	}
+	return out
+}
+
+// ClassIRI returns the EO class for the explanation type.
+func (t ExplanationType) ClassIRI() rdf.Term {
+	switch t {
+	case CaseBased:
+		return ontology.EOCaseBasedExplanation
+	case Contextual:
+		return ontology.EOContextualExplanation
+	case Contrastive:
+		return ontology.EOContrastiveExplanation
+	case Counterfactual:
+		return ontology.EOCounterfactualExplanation
+	case Everyday:
+		return ontology.EOEverydayExplanation
+	case Scientific:
+		return ontology.EOScientificExplanation
+	case SimulationBased:
+		return ontology.EOSimulationBasedExplanation
+	case Statistical:
+		return ontology.EOStatisticalExplanation
+	default:
+		return ontology.EOTraceBasedExplanation
+	}
+}
+
+// ExampleQuestion returns Table I's example user question for the type.
+func (t ExplanationType) ExampleQuestion() string {
+	switch t {
+	case CaseBased:
+		return "What results from other users recommend food A?"
+	case Contextual:
+		return "Why should I eat Food A?"
+	case Contrastive:
+		return "Why was Food A recommended over Food B?"
+	case Counterfactual:
+		return "What if we changed ingredient C?"
+	case Everyday:
+		return "What foods go together?"
+	case Scientific:
+		return "What literature recommends Food A?"
+	case SimulationBased:
+		return "What if I ate food A everyday?"
+	case Statistical:
+		return "What evidence from data suggests I follow diet D?"
+	default:
+		return "What steps led to recommendation E?"
+	}
+}
+
+// Question is a user question about a recommendation.
+type Question struct {
+	// IRI optionally names a pre-asserted question individual (the CQ
+	// datasets provide these); when zero the engine mints one.
+	IRI rdf.Term
+	// Type selects the explanation type to generate.
+	Type ExplanationType
+	// Primary is the main parameter (the recommended food, the changed
+	// ingredient, the hypothetical condition, or the diet, depending on
+	// type).
+	Primary rdf.Term
+	// Secondary is the contrast parameter for contrastive questions.
+	Secondary rdf.Term
+	// User is the asking user, when user context matters.
+	User rdf.Term
+	// Text is the free-form question text (kept for provenance).
+	Text string
+}
+
+// Evidence is one unit of support for an explanation: the SPARQL bindings
+// that produced it and the graph triples behind them.
+type Evidence struct {
+	Bindings sparql.Solution
+	Triples  []rdf.Triple
+	// Phrase is the rendered NL fragment for this evidence item.
+	Phrase string
+}
+
+// Explanation is the engine's output.
+type Explanation struct {
+	Type     ExplanationType
+	Question Question
+	// IRI names the eo:Explanation individual asserted into the graph for
+	// this explanation.
+	IRI rdf.Term
+	// Summary is the rendered natural-language explanation.
+	Summary string
+	// Evidence lists the supporting bindings in deterministic order.
+	Evidence []Evidence
+	// Query is the SPARQL text evaluated (empty for trace-based, which
+	// reads the recommender trace instead).
+	Query string
+}
+
+// Engine generates explanations over a materialized knowledge graph.
+type Engine struct {
+	g *store.Graph
+	r *reasoner.Reasoner
+	// coach is optional; it powers trace-based explanations.
+	coach *healthcoach.Coach
+	seq   int
+	// questionCache reuses minted question individuals for repeated asks,
+	// keeping Explain idempotent on the graph.
+	questionCache map[questionKey]rdf.Term
+}
+
+type questionKey struct {
+	typ                ExplanationType
+	primary, secondary rdf.Term
+}
+
+// NewEngine wraps a graph and its reasoner. The graph should contain the
+// FEO TBox and instance data; the engine re-materializes after asserting
+// new questions.
+func NewEngine(g *store.Graph, r *reasoner.Reasoner) *Engine {
+	if r == nil {
+		r = reasoner.New(reasoner.Options{TraceDerivations: true})
+		r.Materialize(g)
+	}
+	return &Engine{g: g, r: r, questionCache: make(map[questionKey]rdf.Term)}
+}
+
+// SetCoach attaches a Health Coach recommender whose traces power
+// trace-based explanations.
+func (e *Engine) SetCoach(c *healthcoach.Coach) { e.coach = c }
+
+// Graph exposes the underlying graph (read-mostly).
+func (e *Engine) Graph() *store.Graph { return e.g }
+
+// Reasoner exposes the attached reasoner (for proof inspection).
+func (e *Engine) Reasoner() *reasoner.Reasoner { return e.r }
+
+// Explain dispatches to the generator for q.Type, then asserts the
+// generated explanation back into the graph as an eo:Explanation
+// individual — FEO's core premise is that explanations are first-class,
+// queryable semantic objects.
+func (e *Engine) Explain(q Question) (*Explanation, error) {
+	ex, err := e.generate(q)
+	if err != nil {
+		return nil, err
+	}
+	ex.IRI = e.assertExplanation(ex)
+	return ex, nil
+}
+
+func (e *Engine) generate(q Question) (*Explanation, error) {
+	if !q.Primary.IsValid() && q.Type != Everyday {
+		return nil, fmt.Errorf("core: question needs a primary parameter")
+	}
+	e.ensureQuestion(&q)
+	switch q.Type {
+	case Contextual:
+		return e.contextual(q)
+	case Contrastive:
+		return e.contrastive(q)
+	case Counterfactual:
+		return e.counterfactual(q)
+	case CaseBased:
+		return e.caseBased(q)
+	case Everyday:
+		return e.everyday(q)
+	case Scientific:
+		return e.scientific(q)
+	case SimulationBased:
+		return e.simulationBased(q)
+	case Statistical:
+		return e.statistical(q)
+	case TraceBased:
+		return e.traceBased(q)
+	default:
+		return nil, fmt.Errorf("core: unsupported explanation type %v", q.Type)
+	}
+}
+
+// ensureQuestion asserts the question individual and parameters into the
+// graph and re-materializes so parameter classification (feo:Parameter,
+// eo:Fact/eo:Foil) reflects the question being asked.
+func (e *Engine) ensureQuestion(q *Question) {
+	if !q.IRI.IsValid() {
+		key := questionKey{typ: q.Type, primary: q.Primary, secondary: q.Secondary}
+		if cached, ok := e.questionCache[key]; ok {
+			q.IRI = cached
+		} else {
+			e.seq++
+			q.IRI = rdf.NewIRI(rdf.KGNS + fmt.Sprintf("question/q%04d", e.seq))
+			e.questionCache[key] = q.IRI
+		}
+	}
+	added := false
+	add := func(s, p, o rdf.Term) {
+		if e.g.Add(s, p, o) {
+			added = true
+		}
+	}
+	add(q.IRI, rdf.TypeIRI, ontology.FEOFoodQuestion)
+	add(q.IRI, rdf.TypeIRI, q.Type.ClassIRI())
+	if q.Text != "" {
+		add(q.IRI, rdf.CommentIRI, rdf.NewLiteral(q.Text))
+	}
+	if q.Primary.IsValid() {
+		if q.Secondary.IsValid() {
+			add(q.IRI, ontology.FEOHasPrimaryParameter, q.Primary)
+			add(q.IRI, ontology.FEOHasSecondaryParameter, q.Secondary)
+		} else {
+			add(q.IRI, ontology.FEOHasParameter, q.Primary)
+		}
+	}
+	if added {
+		e.r.Materialize(e.g)
+	}
+}
+
+// assertExplanation writes the explanation into the graph as an
+// eo:Explanation individual: its type class, the question it addresses,
+// the knowledge (evidence terms) it uses, and the rendered summary. Reuses
+// one individual per (question, type) pair so repeated asks stay
+// idempotent.
+func (e *Engine) assertExplanation(ex *Explanation) rdf.Term {
+	node := rdf.NewIRI(rdf.KGNS + "explanation/" +
+		localOf(shrinkOr(e.g, ex.Question.IRI)) + "-" + ex.Type.String())
+	e.g.Add(node, rdf.TypeIRI, rdf.NewIRI(rdf.EONS+"Explanation"))
+	e.g.Add(node, rdf.TypeIRI, ex.Type.ClassIRI())
+	e.g.Add(node, ontology.EOAddresses, ex.Question.IRI)
+	e.g.Add(node, rdf.CommentIRI, rdf.NewLiteral(ex.Summary))
+	for _, ev := range ex.Evidence {
+		for _, t := range ev.Triples {
+			if t.S.IsValid() && (t.S.IsIRI() || t.S.IsBlank()) {
+				e.g.Add(node, ontology.EOUsesKnowledge, t.S)
+			}
+		}
+	}
+	// Link to the recommendation being explained when the primary
+	// parameter was recommended by a system.
+	for _, sys := range e.g.InstancesOf(ontology.EOSystem) {
+		if e.g.Has(sys, ontology.EORecommends, ex.Question.Primary) {
+			e.g.Add(node, ontology.EOExplains, ex.Question.Primary)
+			e.g.Add(node, ontology.EOGeneratedBy, sys)
+		}
+	}
+	return node
+}
+
+func shrinkOr(g *store.Graph, t rdf.Term) string {
+	if q, ok := g.Namespaces().Shrink(t.Value); ok {
+		return q
+	}
+	return t.Value
+}
+
+// label renders a term for humans: rdfs:label, else QName local part.
+func (e *Engine) label(t rdf.Term) string {
+	if l := e.g.FirstObject(t, rdf.LabelIRI); l.IsValid() {
+		return l.Value
+	}
+	if q, ok := e.g.Namespaces().Shrink(t.Value); ok {
+		return spaceCamel(localOf(q))
+	}
+	return t.Value
+}
+
+func localOf(qname string) string {
+	for i := len(qname) - 1; i >= 0; i-- {
+		if qname[i] == ':' {
+			return qname[i+1:]
+		}
+	}
+	return qname
+}
+
+// spaceCamel turns "CauliflowerPotatoCurry" into "Cauliflower Potato Curry".
+func spaceCamel(s string) string {
+	out := make([]rune, 0, len(s)+4)
+	runes := []rune(s)
+	for i, r := range runes {
+		if i > 0 && r >= 'A' && r <= 'Z' && runes[i-1] >= 'a' && runes[i-1] <= 'z' {
+			out = append(out, ' ')
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

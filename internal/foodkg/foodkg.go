@@ -1,0 +1,241 @@
+// Package foodkg generates a synthetic food knowledge graph in the shape of
+// FoodKG (Haussmann et al., ISWC 2019), the substrate the paper builds on.
+//
+// The real FoodKG aggregates Recipe1M, USDA nutrition data, and FoodOn into
+// ~67M triples; it is external data this reproduction cannot ship. The
+// generator substitutes a seeded, deterministic KG with the same structure
+// FEO consumes: recipes with ingredients, seasonal and regional
+// availability, diets, nutrients, costs, and users with likes, dislikes,
+// allergies, goals, and conditions. Scale is a parameter, which is what the
+// scaling benchmarks sweep (experiment A3 in DESIGN.md).
+package foodkg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Config controls generator scale and shape. The zero value is not valid;
+// use DefaultConfig.
+type Config struct {
+	Seed            int64
+	Recipes         int
+	Ingredients     int // size of the ingredient pool
+	Users           int
+	MinIngredients  int // per recipe
+	MaxIngredients  int
+	SeasonalShare   float64 // fraction of ingredients with a season
+	RegionalShare   float64 // fraction of ingredients tied to a region
+	LikesPerUser    int
+	DislikesPerUser int
+	AllergyRate     float64 // probability a user has ≥1 allergy
+	ConditionRate   float64 // probability a user has a health condition
+}
+
+// DefaultConfig returns a laptop-scale configuration (about 10k triples
+// after reasoning).
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		Recipes:         200,
+		Ingredients:     120,
+		Users:           25,
+		MinIngredients:  3,
+		MaxIngredients:  8,
+		SeasonalShare:   0.4,
+		RegionalShare:   0.3,
+		LikesPerUser:    4,
+		DislikesPerUser: 2,
+		AllergyRate:     0.35,
+		ConditionRate:   0.2,
+	}
+}
+
+// KG is a generated knowledge graph plus handles to its entities.
+type KG struct {
+	Graph       *store.Graph
+	Recipes     []rdf.Term
+	Ingredients []rdf.Term
+	Users       []rdf.Term
+	Seasons     []rdf.Term
+	Regions     []rdf.Term
+	Diets       []rdf.Term
+	Conditions  []rdf.Term
+	System      rdf.Term
+	// CurrentSeason is the system's season (one of Seasons).
+	CurrentSeason rdf.Term
+	// Region is the system's location.
+	Region rdf.Term
+}
+
+// Seasons, regions, diets, conditions, nutrients, and name fragments used
+// to synthesize plausible entities.
+var (
+	seasonNames    = []string{"Spring", "Summer", "Autumn", "Winter"}
+	regionNames    = []string{"Northeast", "Southeast", "Midwest", "Southwest", "PacificNorthwest"}
+	dietNames      = []string{"Vegan", "Vegetarian", "Pescatarian", "GlutenFree", "Keto", "LowSodium"}
+	conditionNames = []string{"Pregnancy", "Diabetes", "Hypertension", "CeliacDisease"}
+	nutrientNames  = []string{"Protein", "Fiber", "Iron", "FolicAcid", "VitaminC", "Calcium", "Omega3"}
+	ingredientBase = []string{
+		"Cauliflower", "Potato", "Broccoli", "Squash", "Spinach", "Kale", "Carrot",
+		"Onion", "Garlic", "Tomato", "Pepper", "Mushroom", "Lentil", "Chickpea",
+		"Rice", "Quinoa", "Pasta", "Tofu", "Chicken", "Salmon", "Shrimp", "Beef",
+		"Egg", "Cheddar", "Mozzarella", "Yogurt", "Almond", "Walnut", "Apple",
+		"Pear", "Lemon", "Ginger", "Basil", "Cilantro", "Cumin", "Turmeric",
+	}
+	dishForms = []string{"Curry", "Soup", "Salad", "Stew", "Bowl", "Frittata",
+		"Bake", "StirFry", "Tacos", "Risotto", "Pilaf", "Gratin"}
+)
+
+// Generate builds a knowledge graph per cfg. The same seed always yields
+// the same graph (triple-for-triple), which the benchmarks and golden tests
+// rely on.
+func Generate(cfg Config) *KG {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	kg := &KG{Graph: store.New()}
+	g := kg.Graph
+	ns := rdf.KGNS
+
+	term := func(name string) rdf.Term { return rdf.NewIRI(ns + name) }
+
+	for _, s := range seasonNames {
+		t := term("season/" + s)
+		g.Add(t, rdf.TypeIRI, ontology.FoodSeason)
+		g.Add(t, rdf.LabelIRI, rdf.NewLiteral(s))
+		kg.Seasons = append(kg.Seasons, t)
+	}
+	for _, r := range regionNames {
+		t := term("region/" + r)
+		g.Add(t, rdf.TypeIRI, ontology.FoodRegion)
+		g.Add(t, rdf.LabelIRI, rdf.NewLiteral(r))
+		kg.Regions = append(kg.Regions, t)
+	}
+	for _, d := range dietNames {
+		t := term("diet/" + d)
+		g.Add(t, rdf.TypeIRI, ontology.FoodDiet)
+		g.Add(t, rdf.LabelIRI, rdf.NewLiteral(d))
+		kg.Diets = append(kg.Diets, t)
+	}
+	for _, c := range conditionNames {
+		t := term("condition/" + c)
+		g.Add(t, rdf.TypeIRI, ontology.FEOCondition)
+		g.Add(t, rdf.LabelIRI, rdf.NewLiteral(c))
+		kg.Conditions = append(kg.Conditions, t)
+	}
+	var nutrients []rdf.Term
+	for _, n := range nutrientNames {
+		t := term("nutrient/" + n)
+		g.Add(t, rdf.TypeIRI, ontology.FoodNutrient)
+		g.Add(t, rdf.LabelIRI, rdf.NewLiteral(n))
+		nutrients = append(nutrients, t)
+	}
+
+	// Ingredient pool with optional season/region availability and nutrients.
+	for i := 0; i < cfg.Ingredients; i++ {
+		name := fmt.Sprintf("%s%d", ingredientBase[i%len(ingredientBase)], i/len(ingredientBase))
+		t := term("ingredient/" + name)
+		g.Add(t, rdf.TypeIRI, ontology.FoodIngredient)
+		g.Add(t, rdf.LabelIRI, rdf.NewLiteral(name))
+		if rng.Float64() < cfg.SeasonalShare {
+			g.Add(t, ontology.FEOAvailableIn, kg.Seasons[rng.Intn(len(kg.Seasons))])
+		}
+		if rng.Float64() < cfg.RegionalShare {
+			g.Add(t, ontology.FEOAvailableInRegion, kg.Regions[rng.Intn(len(kg.Regions))])
+		}
+		for _, n := range pick(rng, nutrients, 1+rng.Intn(3)) {
+			g.Add(t, ontology.FEOHasNutrient, n)
+		}
+		kg.Ingredients = append(kg.Ingredients, t)
+	}
+
+	// Recipes composed from the pool.
+	for i := 0; i < cfg.Recipes; i++ {
+		span := cfg.MaxIngredients - cfg.MinIngredients + 1
+		n := cfg.MinIngredients + rng.Intn(span)
+		ings := pick(rng, kg.Ingredients, n)
+		main := ings[0]
+		name := fmt.Sprintf("%s%s%d", labelOf(g, main), dishForms[rng.Intn(len(dishForms))], i)
+		t := term("recipe/" + name)
+		g.Add(t, rdf.TypeIRI, ontology.FoodRecipe)
+		g.Add(t, rdf.LabelIRI, rdf.NewLiteral(name))
+		for _, ing := range ings {
+			g.Add(t, ontology.FEOHasIngredient, ing)
+		}
+		if rng.Float64() < 0.5 {
+			g.Add(t, ontology.FEOCompatibleWithDiet, kg.Diets[rng.Intn(len(kg.Diets))])
+		}
+		g.Add(t, ontology.FoodCalories, rdf.NewInt(int64(150+rng.Intn(700))))
+		g.Add(t, ontology.FoodProtein, rdf.NewInt(int64(2+rng.Intn(40))))
+		g.Add(t, ontology.FoodCostLevel, rdf.NewInt(int64(1+rng.Intn(3))))
+		kg.Recipes = append(kg.Recipes, t)
+	}
+
+	// Users with preferences.
+	for i := 0; i < cfg.Users; i++ {
+		t := term(fmt.Sprintf("user/u%03d", i))
+		g.Add(t, rdf.TypeIRI, ontology.FoodUser)
+		for _, r := range pick(rng, kg.Recipes, min(cfg.LikesPerUser, len(kg.Recipes))) {
+			g.Add(t, ontology.FEOLike, r)
+		}
+		for _, r := range pick(rng, kg.Recipes, min(cfg.DislikesPerUser, len(kg.Recipes))) {
+			g.Add(t, ontology.FEODislike, r)
+		}
+		if rng.Float64() < cfg.AllergyRate {
+			for _, ing := range pick(rng, kg.Ingredients, 1+rng.Intn(2)) {
+				g.Add(t, ontology.FEOAllergicTo, ing)
+			}
+		}
+		if rng.Float64() < cfg.ConditionRate {
+			g.Add(t, ontology.FEOHasCondition, kg.Conditions[rng.Intn(len(kg.Conditions))])
+		}
+		if rng.Float64() < 0.4 {
+			g.Add(t, ontology.FEOHasDiet, kg.Diets[rng.Intn(len(kg.Diets))])
+		}
+		kg.Users = append(kg.Users, t)
+	}
+
+	// The system context: one Health-Coach-like system with a current
+	// season and region.
+	kg.System = term("system/healthcoach")
+	kg.CurrentSeason = kg.Seasons[rng.Intn(len(kg.Seasons))]
+	kg.Region = kg.Regions[rng.Intn(len(kg.Regions))]
+	g.Add(kg.System, rdf.TypeIRI, ontology.EOSystem)
+	g.Add(kg.System, ontology.FEOHasSeason, kg.CurrentSeason)
+	g.Add(kg.System, ontology.FEOLocatedIn, kg.Region)
+
+	return kg
+}
+
+// labelOf returns the rdfs:label of t or its local name.
+func labelOf(g *store.Graph, t rdf.Term) string {
+	if l := g.FirstObject(t, rdf.LabelIRI); l.IsValid() {
+		return l.Value
+	}
+	return t.Value
+}
+
+// pick selects n distinct elements (deterministically for a given rng).
+func pick(rng *rand.Rand, pool []rdf.Term, n int) []rdf.Term {
+	if n >= len(pool) {
+		out := make([]rdf.Term, len(pool))
+		copy(out, pool)
+		return out
+	}
+	idx := rng.Perm(len(pool))[:n]
+	out := make([]rdf.Term, n)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

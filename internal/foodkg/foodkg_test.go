@@ -1,0 +1,143 @@
+package foodkg
+
+import (
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/reasoner"
+	"repro/internal/store"
+)
+
+func TestGenerateCounts(t *testing.T) {
+	cfg := DefaultConfig()
+	kg := Generate(cfg)
+	if len(kg.Recipes) != cfg.Recipes {
+		t.Errorf("recipes = %d, want %d", len(kg.Recipes), cfg.Recipes)
+	}
+	if len(kg.Ingredients) != cfg.Ingredients {
+		t.Errorf("ingredients = %d, want %d", len(kg.Ingredients), cfg.Ingredients)
+	}
+	if len(kg.Users) != cfg.Users {
+		t.Errorf("users = %d, want %d", len(kg.Users), cfg.Users)
+	}
+	if kg.Graph.Len() == 0 {
+		t.Fatal("empty graph")
+	}
+	if !kg.CurrentSeason.IsValid() || !kg.System.IsValid() {
+		t.Error("system context missing")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig())
+	b := Generate(DefaultConfig())
+	if !a.Graph.Equal(b.Graph) {
+		t.Error("same seed must generate identical graphs")
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 2
+	c := Generate(cfg)
+	if a.Graph.Equal(c.Graph) {
+		t.Error("different seeds should generate different graphs")
+	}
+}
+
+func TestRecipeShape(t *testing.T) {
+	cfg := DefaultConfig()
+	kg := Generate(cfg)
+	for _, r := range kg.Recipes[:20] {
+		n := kg.Graph.Count(r, ontology.FEOHasIngredient, store.Wildcard)
+		if n < cfg.MinIngredients || n > cfg.MaxIngredients {
+			t.Errorf("recipe %v has %d ingredients, want %d..%d", r, n, cfg.MinIngredients, cfg.MaxIngredients)
+		}
+		if !kg.Graph.IsA(r, ontology.FoodRecipe) {
+			t.Errorf("recipe %v missing type", r)
+		}
+		if kg.Graph.Count(r, ontology.FoodCalories, store.Wildcard) != 1 {
+			t.Errorf("recipe %v missing calories", r)
+		}
+	}
+}
+
+func TestUsersHavePreferences(t *testing.T) {
+	kg := Generate(DefaultConfig())
+	anyAllergy := false
+	for _, u := range kg.Users {
+		if kg.Graph.Count(u, ontology.FEOLike, store.Wildcard) == 0 {
+			t.Errorf("user %v has no likes", u)
+		}
+		if kg.Graph.Exists(u, ontology.FEOAllergicTo, store.Wildcard) {
+			anyAllergy = true
+		}
+	}
+	if !anyAllergy {
+		t.Error("with AllergyRate=0.35 and 25 users, some user should have an allergy")
+	}
+}
+
+func TestKGReasonsWithFEO(t *testing.T) {
+	// Generated data must classify under the FEO TBox exactly like the CQ
+	// datasets do: current season becomes a SeasonCharacteristic, liked
+	// recipes become LikedFoodCharacteristic, allergies become foils'
+	// AllergicFoodCharacteristic.
+	cfg := DefaultConfig()
+	cfg.Recipes, cfg.Ingredients, cfg.Users = 40, 30, 8
+	kg := Generate(cfg)
+	g := ontology.TBox()
+	g.Merge(kg.Graph)
+	reasoner.New(reasoner.Options{}).Materialize(g)
+
+	if !g.IsA(kg.CurrentSeason, ontology.FEOSeason) {
+		t.Error("current season should classify as SeasonCharacteristic")
+	}
+	if !g.IsA(kg.CurrentSeason, ontology.FEOEcosystem) {
+		t.Error("current season should be an EcosystemCharacteristic")
+	}
+	likedFound := false
+	for _, u := range kg.Users {
+		for _, liked := range g.Objects(u, ontology.FEOLike) {
+			if g.IsA(liked, ontology.FEOLikedFood) {
+				likedFound = true
+			}
+		}
+	}
+	if !likedFound {
+		t.Error("liked recipes should classify as LikedFoodCharacteristic")
+	}
+	for _, u := range kg.Users {
+		for _, a := range g.Objects(u, ontology.FEOAllergicTo) {
+			if !g.IsA(a, ontology.FEOAllergicFood) {
+				t.Errorf("allergen %v should be AllergicFoodCharacteristic", a)
+			}
+			if !g.IsA(a, ontology.FEOOpposing) {
+				t.Errorf("allergen %v should be Opposing", a)
+			}
+		}
+	}
+}
+
+func TestScaleKnobs(t *testing.T) {
+	small := Config{Seed: 3, Recipes: 5, Ingredients: 10, Users: 2,
+		MinIngredients: 2, MaxIngredients: 3, LikesPerUser: 1, DislikesPerUser: 1}
+	kg := Generate(small)
+	if len(kg.Recipes) != 5 || len(kg.Users) != 2 {
+		t.Error("small config not honored")
+	}
+	// Likes capped by available recipes.
+	tiny := small
+	tiny.LikesPerUser = 100
+	kg2 := Generate(tiny)
+	u := kg2.Users[0]
+	if kg2.Graph.Count(u, ontology.FEOLike, store.Wildcard) > 5 {
+		t.Error("likes must be capped at recipe count")
+	}
+}
+
+func TestLabelOfFallsBack(t *testing.T) {
+	g := store.New()
+	anon := rdf.NewIRI("http://e/unlabeled")
+	if got := labelOf(g, anon); got != "http://e/unlabeled" {
+		t.Errorf("labelOf fallback = %q", got)
+	}
+}

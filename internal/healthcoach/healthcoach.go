@@ -1,0 +1,315 @@
+// Package healthcoach simulates the "Health Coach" food recommendation
+// service (Rastogi et al., ISWC 2020 demo) that the paper evaluates FEO
+// against. The real Health Coach is an ML-based application; the paper
+// treats it as a black box that emits recommendations which FEO then
+// explains post hoc. This simulation produces the same artifact — a ranked
+// recommendation with a decision trace — from a transparent content-based
+// scorer over the food knowledge graph, so every recommendation FEO
+// explains here is reproducible and the trace-based explanation type has
+// real steps to surface.
+//
+// Scoring model (all weights in Weights):
+//
+//	hard constraints  allergen in recipe, condition-forbidden food,
+//	                  explicitly disliked recipe           → excluded
+//	soft signals      liked recipe overlap, in-season ingredients,
+//	                  regional ingredients, diet match, protein vs goal,
+//	                  cost vs budget                        → weighted sum
+//
+// The group mode (the paper's seafood-allergy example) applies every
+// member's hard constraints and averages the soft scores.
+package healthcoach
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Weights tunes the soft scoring signals.
+type Weights struct {
+	LikedOverlap float64 // per shared ingredient with a liked recipe
+	InSeason     float64 // per ingredient available in the current season
+	InRegion     float64 // per ingredient available in the system's region
+	DietMatch    float64 // recipe compatible with the user's diet
+	Recommended  float64 // per condition-recommended ingredient
+	CostPenalty  float64 // per cost level above 1
+}
+
+// DefaultWeights mirrors a plausible content-based configuration.
+func DefaultWeights() Weights {
+	return Weights{
+		LikedOverlap: 2.0,
+		InSeason:     1.5,
+		InRegion:     0.5,
+		DietMatch:    2.5,
+		Recommended:  3.0,
+		CostPenalty:  0.75,
+	}
+}
+
+// TraceStep records one scoring decision; trace-based explanations render
+// these verbatim.
+type TraceStep struct {
+	Rule   string  // short machine name, e.g. "in-season"
+	Detail string  // human sentence fragment
+	Delta  float64 // score contribution (0 for hard exclusions)
+}
+
+// Recommendation is a scored recipe with its decision trace.
+type Recommendation struct {
+	Recipe   rdf.Term
+	Label    string
+	Score    float64
+	Excluded bool   // hard-constraint hit
+	Reason   string // exclusion reason when Excluded
+	Trace    []TraceStep
+}
+
+// Coach scores recipes in a knowledge graph for users. Entities (system,
+// season, recipes) are resolved from the graph on every call, so data
+// loaded after construction is picked up automatically.
+type Coach struct {
+	g      *store.Graph
+	w      Weights
+	season rdf.Term
+	region rdf.Term
+}
+
+// New builds a Coach over a (materialized) graph.
+func New(g *store.Graph, w Weights) *Coach {
+	return &Coach{g: g, w: w}
+}
+
+// System returns the system individual the coach recommends on behalf of.
+func (c *Coach) System() rdf.Term {
+	systems := c.g.InstancesOf(ontology.EOSystem)
+	if len(systems) == 0 {
+		return rdf.Term{}
+	}
+	return systems[0]
+}
+
+// Season returns the system's current season.
+func (c *Coach) Season() rdf.Term {
+	return c.g.FirstObject(c.System(), ontology.FEOHasSeason)
+}
+
+// refresh re-reads the system context before a recommendation pass.
+func (c *Coach) refresh() []rdf.Term {
+	sys := c.System()
+	c.season = c.g.FirstObject(sys, ontology.FEOHasSeason)
+	c.region = c.g.FirstObject(sys, ontology.FEOLocatedIn)
+	return c.g.InstancesOf(ontology.FoodRecipe)
+}
+
+// Recommend ranks every non-excluded recipe for the user, best first.
+// Excluded recipes are returned after the ranked ones with Excluded=true,
+// so explanation code can also answer "why NOT X".
+func (c *Coach) Recommend(user rdf.Term, limit int) []Recommendation {
+	recipes := c.refresh()
+	recs := make([]Recommendation, 0, len(recipes))
+	for _, r := range recipes {
+		recs = append(recs, c.scoreOne(user, r))
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].Excluded != recs[j].Excluded {
+			return !recs[i].Excluded
+		}
+		if recs[i].Score != recs[j].Score {
+			return recs[i].Score > recs[j].Score
+		}
+		return recs[i].Label < recs[j].Label
+	})
+	if limit > 0 && limit < len(recs) {
+		recs = recs[:limit]
+	}
+	return recs
+}
+
+// RecommendGroup ranks recipes for a group: any member's hard constraint
+// excludes the recipe (the paper's seafood-allergy family example), soft
+// scores are averaged across members.
+func (c *Coach) RecommendGroup(users []rdf.Term, limit int) []Recommendation {
+	if len(users) == 0 {
+		return nil
+	}
+	recipes := c.refresh()
+	recs := make([]Recommendation, 0, len(recipes))
+	for _, r := range recipes {
+		var sum float64
+		var merged Recommendation
+		merged.Recipe = r
+		merged.Label = c.label(r)
+		for _, u := range users {
+			one := c.scoreOne(u, r)
+			if one.Excluded {
+				merged.Excluded = true
+				merged.Reason = fmt.Sprintf("%s (member %s)", one.Reason, c.label(u))
+				merged.Trace = append(merged.Trace, TraceStep{
+					Rule:   "group-exclusion",
+					Detail: merged.Reason,
+				})
+				break
+			}
+			sum += one.Score
+			merged.Trace = append(merged.Trace, one.Trace...)
+		}
+		if !merged.Excluded {
+			merged.Score = sum / float64(len(users))
+		}
+		recs = append(recs, merged)
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].Excluded != recs[j].Excluded {
+			return !recs[i].Excluded
+		}
+		if recs[i].Score != recs[j].Score {
+			return recs[i].Score > recs[j].Score
+		}
+		return recs[i].Label < recs[j].Label
+	})
+	if limit > 0 && limit < len(recs) {
+		recs = recs[:limit]
+	}
+	return recs
+}
+
+func (c *Coach) scoreOne(user, recipe rdf.Term) Recommendation {
+	rec := Recommendation{Recipe: recipe, Label: c.label(recipe)}
+	ingredients := c.g.Objects(recipe, ontology.FEOHasIngredient)
+
+	// Hard constraint: explicit dislike of the recipe.
+	if c.g.Has(user, ontology.FEODislike, recipe) {
+		rec.Excluded = true
+		rec.Reason = "explicitly disliked"
+		return rec
+	}
+	// Hard constraint: allergens.
+	for _, allergen := range c.g.Objects(user, ontology.FEOAllergicTo) {
+		if allergen == recipe {
+			rec.Excluded = true
+			rec.Reason = fmt.Sprintf("allergic to %s", c.label(allergen))
+			return rec
+		}
+		for _, ing := range ingredients {
+			if ing == allergen {
+				rec.Excluded = true
+				rec.Reason = fmt.Sprintf("contains allergen %s", c.label(allergen))
+				return rec
+			}
+		}
+	}
+	// Hard constraint: condition-forbidden foods. feo:forbids has been
+	// closed over ingredients by the reasoner, so a direct lookup suffices.
+	for _, cond := range c.g.Objects(user, ontology.FEOHasCondition) {
+		if c.g.Has(cond, ontology.FEOForbids, recipe) {
+			rec.Excluded = true
+			rec.Reason = fmt.Sprintf("forbidden by condition %s", c.label(cond))
+			return rec
+		}
+		for _, ing := range ingredients {
+			if c.g.Has(cond, ontology.FEOForbids, ing) {
+				rec.Excluded = true
+				rec.Reason = fmt.Sprintf("condition %s forbids ingredient %s", c.label(cond), c.label(ing))
+				return rec
+			}
+		}
+	}
+
+	add := func(rule, detail string, delta float64) {
+		rec.Score += delta
+		rec.Trace = append(rec.Trace, TraceStep{Rule: rule, Detail: detail, Delta: delta})
+	}
+
+	// Liked-recipe ingredient overlap.
+	likedIngredients := make(map[rdf.Term]bool)
+	for _, liked := range c.g.Objects(user, ontology.FEOLike) {
+		if liked == recipe {
+			add("liked", "the user likes this exact recipe", 2*c.w.LikedOverlap)
+			continue
+		}
+		for _, ing := range c.g.Objects(liked, ontology.FEOHasIngredient) {
+			likedIngredients[ing] = true
+		}
+	}
+	for _, ing := range ingredients {
+		if likedIngredients[ing] {
+			add("liked-overlap", fmt.Sprintf("shares %s with a liked recipe", c.label(ing)), c.w.LikedOverlap)
+		}
+	}
+	// Seasonal and regional availability.
+	for _, ing := range ingredients {
+		if c.season.IsValid() && c.g.Has(ing, ontology.FEOAvailableIn, c.season) {
+			add("in-season", fmt.Sprintf("%s is available in the current season", c.label(ing)), c.w.InSeason)
+		}
+		if c.region.IsValid() && c.g.Has(ing, ontology.FEOAvailableInRegion, c.region) {
+			add("in-region", fmt.Sprintf("%s is local to the system's region", c.label(ing)), c.w.InRegion)
+		}
+	}
+	// Diet compatibility.
+	for _, diet := range c.g.Objects(user, ontology.FEOHasDiet) {
+		if c.g.Has(recipe, ontology.FEOCompatibleWithDiet, diet) {
+			add("diet-match", fmt.Sprintf("compatible with the user's %s diet", c.label(diet)), c.w.DietMatch)
+		}
+	}
+	// Condition-recommended ingredients (e.g. folate for pregnancy).
+	for _, cond := range c.g.Objects(user, ontology.FEOHasCondition) {
+		for _, ing := range ingredients {
+			if c.g.Has(cond, ontology.FEORecommends, ing) {
+				add("condition-recommended",
+					fmt.Sprintf("%s is recommended for %s", c.label(ing), c.label(cond)), c.w.Recommended)
+			}
+		}
+	}
+	// Cost penalty.
+	if lvl, ok := c.g.FirstObject(recipe, ontology.FoodCostLevel).Int(); ok && lvl > 1 {
+		add("cost", fmt.Sprintf("cost level %d", lvl), -c.w.CostPenalty*float64(lvl-1))
+	}
+	return rec
+}
+
+func (c *Coach) label(t rdf.Term) string {
+	if l := c.g.FirstObject(t, rdf.LabelIRI); l.IsValid() {
+		return l.Value
+	}
+	if q, ok := c.g.Namespaces().Shrink(t.Value); ok {
+		if i := strings.IndexByte(q, ':'); i >= 0 {
+			return spaceCamel(q[i+1:])
+		}
+		return q
+	}
+	return t.Value
+}
+
+// spaceCamel turns "ButternutSquashSoup" into "Butternut Squash Soup" for
+// label fallbacks on unlabeled individuals.
+func spaceCamel(s string) string {
+	out := make([]rune, 0, len(s)+4)
+	runes := []rune(s)
+	for i, r := range runes {
+		if i > 0 && r >= 'A' && r <= 'Z' && runes[i-1] >= 'a' && runes[i-1] <= 'z' {
+			out = append(out, ' ')
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// Assert writes the recommendation into the graph in FEO terms: the system
+// eo:recommends the recipe and a feo:FoodRecommendation individual links
+// the pieces, so SPARQL-based explanation generators can see it.
+func (c *Coach) Assert(rec Recommendation, seq int) rdf.Term {
+	node := rdf.NewIRI(rdf.KGNS + fmt.Sprintf("recommendation/r%04d", seq))
+	c.g.Add(node, rdf.TypeIRI, ontology.FEOFoodRecommendation)
+	c.g.Add(node, ontology.EORecommends, rec.Recipe)
+	if sys := c.System(); sys.IsValid() {
+		c.g.Add(node, ontology.EOGeneratedBy, sys)
+		c.g.Add(sys, ontology.EORecommends, rec.Recipe)
+	}
+	return node
+}

@@ -1,0 +1,235 @@
+package healthcoach
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/foodkg"
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/reasoner"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+// smallWorld builds a tiny hand-written world where the right answers are
+// obvious.
+func smallWorld(t *testing.T) *store.Graph {
+	t.Helper()
+	g := ontology.TBox()
+	err := turtle.ParseInto(g, `
+@prefix eo:   <https://purl.org/heals/eo#> .
+@prefix feo:  <https://purl.org/heals/feo#> .
+@prefix food: <http://purl.org/heals/food/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix kg:   <https://purl.org/heals/foodkg/> .
+
+kg:autumn a food:Season ; rdfs:label "Autumn" .
+kg:sys a eo:System ; feo:hasSeason kg:autumn .
+
+kg:squash a food:Ingredient ; rdfs:label "Squash" ; feo:availableIn kg:autumn .
+kg:broccoli a food:Ingredient ; rdfs:label "Broccoli" .
+kg:cheddar a food:Ingredient ; rdfs:label "Cheddar" .
+kg:rawfish a food:Ingredient ; rdfs:label "RawFish" .
+kg:rice a food:Ingredient ; rdfs:label "Rice" .
+
+kg:squashSoup a food:Recipe ; rdfs:label "SquashSoup" ;
+    feo:hasIngredient kg:squash ; food:costLevel 1 .
+kg:broccoliSoup a food:Recipe ; rdfs:label "BroccoliSoup" ;
+    feo:hasIngredient kg:broccoli , kg:cheddar ; food:costLevel 1 .
+kg:sushi a food:Recipe ; rdfs:label "Sushi" ;
+    feo:hasIngredient kg:rawfish , kg:rice ; food:costLevel 3 .
+
+kg:pregnancy a feo:ConditionCharacteristic ; rdfs:label "Pregnancy" ;
+    feo:forbids kg:rawfish .
+
+kg:alice a food:User ; feo:like kg:broccoliSoup ; feo:allergicTo kg:broccoli .
+kg:bob a food:User ; feo:like kg:sushi .
+kg:carol a food:User ; feo:hasCondition kg:pregnancy .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reasoner.New(reasoner.Options{}).Materialize(g)
+	return g
+}
+
+func kgIRI(s string) rdf.Term { return rdf.NewIRI(rdf.KGNS + s) }
+
+func TestAllergenExcluded(t *testing.T) {
+	g := smallWorld(t)
+	coach := New(g, DefaultWeights())
+	recs := coach.Recommend(kgIRI("alice"), 0)
+	for _, r := range recs {
+		if r.Recipe == kgIRI("broccoliSoup") {
+			if !r.Excluded {
+				t.Error("broccoli soup must be excluded for the allergic user")
+			}
+			if !strings.Contains(r.Reason, "allergen") {
+				t.Errorf("reason = %q, want allergen mention", r.Reason)
+			}
+		}
+	}
+	// The top pick must be the in-season squash soup.
+	if recs[0].Recipe != kgIRI("squashSoup") {
+		t.Errorf("top pick = %v, want squashSoup", recs[0].Label)
+	}
+}
+
+func TestConditionForbiddenExcluded(t *testing.T) {
+	g := smallWorld(t)
+	coach := New(g, DefaultWeights())
+	recs := coach.Recommend(kgIRI("carol"), 0)
+	for _, r := range recs {
+		if r.Recipe == kgIRI("sushi") {
+			if !r.Excluded {
+				t.Fatal("sushi must be excluded for the pregnant user (forbidden raw fish)")
+			}
+			if !strings.Contains(r.Reason, "Pregnancy") {
+				t.Errorf("reason = %q, want condition mention", r.Reason)
+			}
+		}
+	}
+}
+
+func TestLikedBoost(t *testing.T) {
+	g := smallWorld(t)
+	coach := New(g, DefaultWeights())
+	recs := coach.Recommend(kgIRI("bob"), 1)
+	if recs[0].Recipe != kgIRI("sushi") {
+		t.Errorf("bob's top pick = %v, want liked sushi", recs[0].Label)
+	}
+	foundLikeStep := false
+	for _, s := range recs[0].Trace {
+		if s.Rule == "liked" {
+			foundLikeStep = true
+		}
+	}
+	if !foundLikeStep {
+		t.Error("trace should record the liked-recipe step")
+	}
+}
+
+func TestSeasonalBoostTraced(t *testing.T) {
+	g := smallWorld(t)
+	coach := New(g, DefaultWeights())
+	recs := coach.Recommend(kgIRI("carol"), 0)
+	var squash *Recommendation
+	for i := range recs {
+		if recs[i].Recipe == kgIRI("squashSoup") {
+			squash = &recs[i]
+		}
+	}
+	if squash == nil {
+		t.Fatal("squash soup missing from results")
+	}
+	seasonal := false
+	for _, s := range squash.Trace {
+		if s.Rule == "in-season" && s.Delta > 0 {
+			seasonal = true
+		}
+	}
+	if !seasonal {
+		t.Errorf("squash soup should carry an in-season trace step: %+v", squash.Trace)
+	}
+}
+
+func TestGroupExclusionPropagates(t *testing.T) {
+	// The paper's intro scenario: one member's allergy precludes the recipe
+	// for the whole group.
+	g := smallWorld(t)
+	coach := New(g, DefaultWeights())
+	group := []rdf.Term{kgIRI("alice"), kgIRI("bob")}
+	recs := coach.RecommendGroup(group, 0)
+	for _, r := range recs {
+		if r.Recipe == kgIRI("broccoliSoup") && !r.Excluded {
+			t.Error("group recommendation must exclude the allergen recipe")
+		}
+	}
+	if recs[0].Excluded {
+		t.Error("best group pick should not be excluded")
+	}
+	if coach.RecommendGroup(nil, 0) != nil {
+		t.Error("empty group should return nil")
+	}
+}
+
+func TestDislikeExcluded(t *testing.T) {
+	g := smallWorld(t)
+	g.Add(kgIRI("bob"), ontology.FEODislike, kgIRI("broccoliSoup"))
+	coach := New(g, DefaultWeights())
+	for _, r := range coach.Recommend(kgIRI("bob"), 0) {
+		if r.Recipe == kgIRI("broccoliSoup") && !r.Excluded {
+			t.Error("disliked recipe must be excluded")
+		}
+	}
+}
+
+func TestCostPenaltyApplied(t *testing.T) {
+	g := smallWorld(t)
+	coach := New(g, DefaultWeights())
+	recs := coach.Recommend(kgIRI("carol"), 0)
+	for _, r := range recs {
+		if r.Recipe == kgIRI("sushi") {
+			continue // excluded
+		}
+		for _, s := range r.Trace {
+			if s.Rule == "cost" && s.Delta >= 0 {
+				t.Error("cost trace step should be negative")
+			}
+		}
+	}
+}
+
+func TestAssertWritesRecommendation(t *testing.T) {
+	g := smallWorld(t)
+	coach := New(g, DefaultWeights())
+	recs := coach.Recommend(kgIRI("bob"), 1)
+	node := coach.Assert(recs[0], 1)
+	if !g.IsA(node, ontology.FEOFoodRecommendation) {
+		t.Error("recommendation node missing type")
+	}
+	if !g.Has(node, ontology.EORecommends, recs[0].Recipe) {
+		t.Error("recommendation missing eo:recommends")
+	}
+	if !g.Has(coach.System(), ontology.EORecommends, recs[0].Recipe) {
+		t.Error("system-level eo:recommends missing")
+	}
+}
+
+func TestRecommendOnGeneratedKG(t *testing.T) {
+	cfg := foodkg.DefaultConfig()
+	cfg.Recipes, cfg.Ingredients, cfg.Users = 50, 40, 10
+	kg := foodkg.Generate(cfg)
+	g := ontology.TBox()
+	g.Merge(kg.Graph)
+	reasoner.New(reasoner.Options{}).Materialize(g)
+	coach := New(g, DefaultWeights())
+	for _, u := range kg.Users {
+		recs := coach.Recommend(u, 5)
+		if len(recs) == 0 {
+			t.Fatalf("no recommendations for %v", u)
+		}
+		// Ranked output is sorted and the top result has a trace.
+		for i := 1; i < len(recs); i++ {
+			if !recs[i-1].Excluded && !recs[i].Excluded && recs[i-1].Score < recs[i].Score {
+				t.Fatal("recommendations not sorted by score")
+			}
+		}
+	}
+}
+
+func TestDeterministicRanking(t *testing.T) {
+	g := smallWorld(t)
+	coach := New(g, DefaultWeights())
+	a := coach.Recommend(kgIRI("carol"), 0)
+	b := coach.Recommend(kgIRI("carol"), 0)
+	if len(a) != len(b) {
+		t.Fatal("rank length varies")
+	}
+	for i := range a {
+		if a[i].Recipe != b[i].Recipe {
+			t.Fatal("ranking not deterministic")
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package ontology
+
+import "repro/internal/rdf"
+
+// Instance IRIs used by the competency-question datasets and the
+// explanation engine. The paper places question and food instances in the
+// feo namespace (Listings 1-3 and their result tables).
+var (
+	// CQ1 — contextual: "Why should I eat Cauliflower Potato Curry?"
+	QWhyEatCauliflowerPotatoCurry = rdf.NewIRI(rdf.FEONS + "WhyEatCauliflowerPotatoCurry")
+	CauliflowerPotatoCurry        = rdf.NewIRI(rdf.FEONS + "CauliflowerPotatoCurry")
+	Cauliflower                   = rdf.NewIRI(rdf.FEONS + "Cauliflower")
+	Potato                        = rdf.NewIRI(rdf.FEONS + "Potato")
+	Autumn                        = rdf.NewIRI(rdf.FEONS + "Autumn")
+	Northeast                     = rdf.NewIRI(rdf.FEONS + "Northeast")
+	HealthCoach                   = rdf.NewIRI(rdf.FEONS + "HealthCoach")
+
+	// CQ2 — contrastive: "Why Butternut Squash Soup over Broccoli Cheddar?"
+	QWhyEatButternutOverBroccoli = rdf.NewIRI(rdf.FEONS + "WhyEatButternutSquashSoupOverBroccoliCheddarSoup")
+	ButternutSquashSoup          = rdf.NewIRI(rdf.FEONS + "ButternutSquashSoup")
+	BroccoliCheddarSoup          = rdf.NewIRI(rdf.FEONS + "BroccoliCheddarSoup")
+	ButternutSquash              = rdf.NewIRI(rdf.FEONS + "ButternutSquash")
+	Broccoli                     = rdf.NewIRI(rdf.FEONS + "Broccoli")
+	Cheddar                      = rdf.NewIRI(rdf.FEONS + "Cheddar")
+
+	// CQ3 — counterfactual: "What if I was pregnant?"
+	QWhatIfIWasPregnant = rdf.NewIRI(rdf.FEONS + "WhatIfIWasPregnant")
+	Pregnancy           = rdf.NewIRI(rdf.FEONS + "Pregnancy")
+	Sushi               = rdf.NewIRI(rdf.FEONS + "Sushi")
+	RawFish             = rdf.NewIRI(rdf.FEONS + "RawFish")
+	Rice                = rdf.NewIRI(rdf.FEONS + "Rice")
+	Spinach             = rdf.NewIRI(rdf.FEONS + "Spinach")
+	SpinachFrittata     = rdf.NewIRI(rdf.FEONS + "SpinachFrittata")
+	Egg                 = rdf.NewIRI(rdf.FEONS + "Egg")
+	FolicAcid           = rdf.NewIRI(rdf.FEONS + "FolicAcid")
+
+	// Users.
+	User1 = rdf.NewIRI(rdf.FEONS + "User1")
+	User2 = rdf.NewIRI(rdf.FEONS + "User2")
+	User3 = rdf.NewIRI(rdf.FEONS + "User3")
+)
+
+// cq1TTL is the ABox for competency question 1 (Listing 1). The Health
+// Coach recommended Cauliflower Potato Curry; the contextual explanation
+// should surface the season: cauliflower is available in autumn, and autumn
+// is the system's current season.
+const cq1TTL = `
+@prefix eo:   <https://purl.org/heals/eo#> .
+@prefix feo:  <https://purl.org/heals/feo#> .
+@prefix food: <http://purl.org/heals/food/> .
+
+feo:WhyEatCauliflowerPotatoCurry a feo:FoodQuestion , eo:ContextualExplanation ;
+    feo:hasParameter feo:CauliflowerPotatoCurry .
+
+feo:CauliflowerPotatoCurry a food:Recipe ;
+    feo:hasIngredient feo:Cauliflower , feo:Potato .
+feo:Cauliflower a food:Ingredient ; feo:availableIn feo:Autumn .
+feo:Potato a food:Ingredient .
+feo:Autumn a food:Season .
+feo:Northeast a food:Region .
+
+feo:HealthCoach a eo:System ;
+    feo:hasSeason feo:Autumn ;
+    feo:locatedIn feo:Northeast ;
+    eo:recommends feo:CauliflowerPotatoCurry .
+
+feo:User1 a food:User ; feo:like feo:DalCurry .
+feo:DalCurry a food:Recipe .
+`
+
+// cq2TTL is the ABox for competency question 2 (Listing 2). The user likes
+// Broccoli Cheddar Soup but is allergic to broccoli; the system recommends
+// Butternut Squash Soup, whose squash is in season.
+const cq2TTL = `
+@prefix eo:   <https://purl.org/heals/eo#> .
+@prefix feo:  <https://purl.org/heals/feo#> .
+@prefix food: <http://purl.org/heals/food/> .
+
+feo:WhyEatButternutSquashSoupOverBroccoliCheddarSoup
+    a feo:FoodQuestion , eo:ContrastiveExplanation ;
+    feo:hasPrimaryParameter feo:ButternutSquashSoup ;
+    feo:hasSecondaryParameter feo:BroccoliCheddarSoup .
+
+feo:ButternutSquashSoup a food:Recipe ; feo:hasIngredient feo:ButternutSquash .
+feo:BroccoliCheddarSoup a food:Recipe ; feo:hasIngredient feo:Broccoli , feo:Cheddar .
+feo:ButternutSquash a food:Ingredient ; feo:availableIn feo:Autumn .
+feo:Broccoli a food:Ingredient .
+feo:Cheddar a food:Ingredient .
+feo:Autumn a food:Season .
+
+feo:HealthCoach a eo:System ;
+    feo:hasSeason feo:Autumn ;
+    eo:recommends feo:ButternutSquashSoup .
+
+feo:User2 a food:User ;
+    feo:like feo:BroccoliCheddarSoup ;
+    feo:allergicTo feo:Broccoli .
+`
+
+// cq3TTL is the ABox for competency question 3 (Listing 3). The system
+// recommended sushi; the counterfactual asks what changes if the user were
+// pregnant. Domain knowledge: pregnancy forbids raw fish (and therefore,
+// via the forbids∘isIngredientOf property chain, sushi) and recommends
+// folate-rich spinach; the frittata surfaces through isIngredientOf.
+const cq3TTL = `
+@prefix eo:   <https://purl.org/heals/eo#> .
+@prefix feo:  <https://purl.org/heals/feo#> .
+@prefix food: <http://purl.org/heals/food/> .
+
+feo:WhatIfIWasPregnant a feo:FoodQuestion , eo:CounterfactualExplanation ;
+    feo:hasParameter feo:Pregnancy .
+
+feo:Pregnancy a feo:ConditionCharacteristic ;
+    feo:forbids feo:RawFish ;
+    feo:recommends feo:Spinach .
+
+feo:Sushi a food:Recipe ; feo:hasIngredient feo:RawFish , feo:Rice .
+feo:RawFish a food:Ingredient .
+feo:Rice a food:Ingredient .
+
+feo:Spinach a food:Ingredient , food:Food ; feo:hasNutrient feo:FolicAcid .
+feo:FolicAcid a food:Nutrient .
+feo:SpinachFrittata a food:Recipe ; feo:hasIngredient feo:Spinach , feo:Egg .
+feo:Egg a food:Ingredient .
+
+feo:HealthCoach a eo:System ; eo:recommends feo:Sushi .
+feo:User3 a food:User .
+
+# Scientific evidence backing the pregnancy knowledge (paper §V-C: "the
+# system has additional knowledge that foods high in folic acid are
+# recommended for pregnancy").
+feo:FolateStudy a eo:ScientificKnowledge ;
+    eo:evidenceFor feo:FolicAcid , feo:Spinach ;
+    eo:citesSource "CDC folic acid guidance for pregnancy (2020)" .
+feo:RawFishAdvisory a eo:ScientificKnowledge ;
+    eo:evidenceFor feo:RawFish ;
+    eo:citesSource "FDA advice on fish consumption during pregnancy (2019)" .
+`

@@ -1,0 +1,294 @@
+package ontology
+
+// eoTTL is the Explanation Ontology subset FEO extends (Chari et al., ISWC
+// 2020). It contributes the explanation-type taxonomy of Table I, the
+// question/recommendation scaffolding, and the eo:knowledge bookkeeping
+// class whose subclasses the paper's queries exclude from user-facing
+// results. eo:Fact and eo:Foil are declared here; their equivalent-class
+// definitions live in the FEO document (Figure 3).
+const eoTTL = `
+@prefix rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl:  <http://www.w3.org/2002/07/owl#> .
+@prefix eo:   <https://purl.org/heals/eo#> .
+
+eo: a owl:Ontology ; rdfs:label "Explanation Ontology (subset)" .
+
+eo:Explanation a owl:Class ; rdfs:label "Explanation" .
+eo:Question a owl:Class ; rdfs:label "Question" .
+eo:Recommendation a owl:Class ; rdfs:label "Recommendation" .
+eo:SystemRecommendation a owl:Class ; rdfs:subClassOf eo:Recommendation .
+eo:System a owl:Class ; rdfs:label "AI System" .
+eo:User a owl:Class ; rdfs:label "End User" .
+
+# Bookkeeping root: classes used to assemble explanations but not shown to
+# users. The paper's listings filter subclasses of eo:knowledge out of
+# results.
+eo:knowledge a owl:Class ; rdfs:label "knowledge" .
+eo:Fact a owl:Class ; rdfs:subClassOf eo:knowledge ; rdfs:label "Fact" .
+eo:Foil a owl:Class ; rdfs:subClassOf eo:knowledge ; rdfs:label "Foil" .
+eo:ObjectRecord a owl:Class ; rdfs:subClassOf eo:knowledge .
+eo:KnowledgeRecord a owl:Class ; rdfs:subClassOf eo:knowledge .
+
+# The nine literature-derived explanation types of Table I.
+eo:CaseBasedExplanation a owl:Class ; rdfs:subClassOf eo:Explanation ;
+    rdfs:comment "What results from other users recommend food A?" .
+eo:ContextualExplanation a owl:Class ; rdfs:subClassOf eo:Explanation ;
+    rdfs:comment "Why should I eat Food A?" .
+eo:ContrastiveExplanation a owl:Class ; rdfs:subClassOf eo:Explanation ;
+    rdfs:comment "Why was Food A recommended over Food B?" .
+eo:CounterfactualExplanation a owl:Class ; rdfs:subClassOf eo:Explanation ;
+    rdfs:comment "What if we changed ingredient C?" .
+eo:EverydayExplanation a owl:Class ; rdfs:subClassOf eo:Explanation ;
+    rdfs:comment "What foods go together?" .
+eo:ScientificExplanation a owl:Class ; rdfs:subClassOf eo:Explanation ;
+    rdfs:comment "What literature recommends Food A?" .
+eo:SimulationBasedExplanation a owl:Class ; rdfs:subClassOf eo:Explanation ;
+    rdfs:comment "What if I ate food A everyday?" .
+eo:StatisticalExplanation a owl:Class ; rdfs:subClassOf eo:Explanation ;
+    rdfs:comment "What evidence from data suggests I follow diet D?" .
+eo:TraceBasedExplanation a owl:Class ; rdfs:subClassOf eo:Explanation ;
+    rdfs:comment "What steps led to recommendation E?" .
+
+# Evidence scaffolding for scientific/statistical explanations (paper §VI:
+# "we plan to use scientific knowledge from papers and studies as evidence").
+eo:ScientificKnowledge a owl:Class ; rdfs:subClassOf eo:KnowledgeRecord .
+eo:evidenceFor a owl:ObjectProperty ; rdfs:domain eo:ScientificKnowledge .
+eo:citesSource a owl:DatatypeProperty ; rdfs:domain eo:ScientificKnowledge .
+
+eo:addresses a owl:ObjectProperty ; rdfs:domain eo:Explanation ; rdfs:range eo:Question .
+eo:explains a owl:ObjectProperty ; rdfs:domain eo:Explanation ; rdfs:range eo:Recommendation .
+eo:usesKnowledge a owl:ObjectProperty ; rdfs:domain eo:Explanation .
+eo:hasExplanation a owl:ObjectProperty ; rdfs:range eo:Explanation .
+eo:recommends a owl:ObjectProperty ; rdfs:domain eo:System .
+eo:generatedBy a owl:ObjectProperty ; rdfs:range eo:System .
+eo:basedOnEvidence a owl:ObjectProperty ; rdfs:domain eo:Explanation .
+`
+
+// feoTTL is the Food Explanation Ontology — the paper's contribution.
+//
+// Figure 1: feo:Characteristic with subclasses feo:Parameter,
+// feo:UserCharacteristic (liked/disliked/allergic foods, diet, condition,
+// goal, budget) and feo:SystemCharacteristic (season, location, time).
+//
+// Figure 2: the property lattice. feo:hasCharacteristic is transitive with
+// inverse feo:isCharacteristicOf; feo:forbids demonstrates the paper's
+// multiple inheritance, being a sub-property of BOTH feo:isOpposedBy and
+// feo:isCharacteristicOf; feo:dislike/feo:dislikedBy demonstrate
+// owl:inverseOf-driven inference.
+//
+// Figure 3: eo:Fact ≡ parameter-characteristic ⊓ ecosystem-characteristic ⊓
+// supportive; eo:Foil ≡ parameter-characteristic ⊓ ecosystem-characteristic
+// ⊓ opposing. (The figure's second foil branch — supportive but absent from
+// the ecosystem — requires negation-as-failure and is computed by the
+// explanation engine with FILTER NOT EXISTS, see DESIGN.md.)
+//
+// feo:isInternal flags characteristics as food-domain (internal) versus
+// external; contextual explanations only surface external characteristics.
+const feoTTL = `
+@prefix rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl:  <http://www.w3.org/2002/07/owl#> .
+@prefix xsd:  <http://www.w3.org/2001/XMLSchema#> .
+@prefix eo:   <https://purl.org/heals/eo#> .
+@prefix feo:  <https://purl.org/heals/feo#> .
+@prefix food: <http://purl.org/heals/food/> .
+
+feo: a owl:Ontology ; rdfs:label "Food Explanation Ontology" .
+
+###########################################################################
+# Figure 1 — the characteristic hierarchy
+###########################################################################
+
+feo:Characteristic a owl:Class ; rdfs:label "Characteristic" .
+
+feo:Parameter a owl:Class ;
+    rdfs:subClassOf feo:Characteristic ;
+    rdfs:comment "An entity of interest in a user question." .
+
+feo:UserCharacteristic a owl:Class ;
+    rdfs:subClassOf feo:Characteristic .
+feo:SystemCharacteristic a owl:Class ;
+    rdfs:subClassOf feo:Characteristic .
+
+feo:LikedFoodCharacteristic a owl:Class ;
+    rdfs:subClassOf feo:UserCharacteristic , feo:SupportiveCharacteristic ;
+    owl:equivalentClass [ a owl:Restriction ;
+        owl:onProperty feo:likedBy ; owl:someValuesFrom food:User ] .
+feo:DislikedFoodCharacteristic a owl:Class ;
+    rdfs:subClassOf feo:UserCharacteristic , feo:OpposingCharacteristic ;
+    owl:equivalentClass [ a owl:Restriction ;
+        owl:onProperty feo:dislikedBy ; owl:someValuesFrom food:User ] .
+feo:AllergicFoodCharacteristic a owl:Class ;
+    rdfs:subClassOf feo:UserCharacteristic , feo:OpposingCharacteristic .
+feo:DietCharacteristic a owl:Class ; rdfs:subClassOf feo:UserCharacteristic ,
+    [ a owl:Restriction ; owl:onProperty feo:isInternal ; owl:hasValue true ] .
+feo:ConditionCharacteristic a owl:Class ; rdfs:subClassOf feo:UserCharacteristic ,
+    [ a owl:Restriction ; owl:onProperty feo:isInternal ; owl:hasValue false ] .
+feo:GoalCharacteristic a owl:Class ; rdfs:subClassOf feo:UserCharacteristic ,
+    feo:SupportiveCharacteristic ,
+    [ a owl:Restriction ; owl:onProperty feo:isInternal ; owl:hasValue false ] .
+feo:BudgetCharacteristic a owl:Class ; rdfs:subClassOf feo:UserCharacteristic ,
+    [ a owl:Restriction ; owl:onProperty feo:isInternal ; owl:hasValue false ] .
+
+feo:SeasonCharacteristic a owl:Class ;
+    rdfs:subClassOf feo:SystemCharacteristic , feo:SupportiveCharacteristic ,
+    [ a owl:Restriction ; owl:onProperty feo:isInternal ; owl:hasValue false ] ;
+    rdfs:comment "The current season for the region the system is in." .
+feo:LocationCharacteristic a owl:Class ;
+    rdfs:subClassOf feo:SystemCharacteristic ,
+    [ a owl:Restriction ; owl:onProperty feo:isInternal ; owl:hasValue false ] .
+feo:TimeCharacteristic a owl:Class ;
+    rdfs:subClassOf feo:SystemCharacteristic ,
+    [ a owl:Restriction ; owl:onProperty feo:isInternal ; owl:hasValue false ] .
+
+feo:NutrientCharacteristic a owl:Class ;
+    rdfs:subClassOf feo:Characteristic ,
+    [ a owl:Restriction ; owl:onProperty feo:isInternal ; owl:hasValue true ] .
+
+###########################################################################
+# Figure 3 — classification classes (bookkeeping, under eo:knowledge)
+###########################################################################
+
+feo:EcosystemCharacteristic a owl:Class ;
+    rdfs:subClassOf eo:knowledge ;
+    owl:unionOf ( feo:UserCharacteristic feo:SystemCharacteristic ) ;
+    rdfs:comment "Characteristics present in the user or system realm." .
+
+feo:ParameterCharacteristic a owl:Class ;
+    rdfs:subClassOf eo:knowledge ;
+    owl:equivalentClass [ a owl:Restriction ;
+        owl:onProperty feo:isCharacteristicOf ; owl:someValuesFrom feo:Parameter ] ;
+    rdfs:comment "Characteristics of some question parameter." .
+
+# Supportive/Opposing are orientation classes for fact/foil assembly. They
+# must NOT sit under eo:knowledge: concrete characteristic classes
+# (SeasonCharacteristic, LikedFoodCharacteristic, ...) subclass them, and
+# the knowledge filter in the paper's queries is transitive.
+feo:SupportiveCharacteristic a owl:Class .
+[ a owl:Restriction ; owl:onProperty feo:isSupportiveOf ;
+  owl:someValuesFrom owl:Thing ] rdfs:subClassOf feo:SupportiveCharacteristic .
+
+feo:OpposingCharacteristic a owl:Class .
+[ a owl:Restriction ; owl:onProperty feo:isOpposedBy ;
+  owl:someValuesFrom owl:Thing ] rdfs:subClassOf feo:OpposingCharacteristic .
+
+# Facts support a parameter and match the ecosystem; foils oppose a
+# parameter and match the ecosystem (Figure 3's green and red cells).
+eo:Fact owl:intersectionOf ( feo:ParameterCharacteristic
+                             feo:EcosystemCharacteristic
+                             feo:SupportiveCharacteristic ) .
+eo:Foil owl:intersectionOf ( feo:ParameterCharacteristic
+                             feo:EcosystemCharacteristic
+                             feo:OpposingCharacteristic ) .
+
+###########################################################################
+# Figure 2 — the property lattice
+###########################################################################
+
+feo:hasCharacteristic a owl:ObjectProperty , owl:TransitiveProperty ;
+    owl:inverseOf feo:isCharacteristicOf ;
+    rdfs:comment "Transitive: characteristics are queryable at all depths." .
+feo:isCharacteristicOf a owl:ObjectProperty .
+
+feo:hasSupportiveCharacteristic a owl:ObjectProperty ;
+    rdfs:subPropertyOf feo:hasCharacteristic ;
+    owl:inverseOf feo:isSupportiveOf .
+feo:isSupportiveOf a owl:ObjectProperty .
+
+feo:hasOpposingCharacteristic a owl:ObjectProperty ;
+    rdfs:subPropertyOf feo:hasCharacteristic ;
+    owl:inverseOf feo:isOpposedBy .
+feo:isOpposedBy a owl:ObjectProperty .
+
+# The paper's flagship multiple-inheritance example: forbids is a
+# sub-property of BOTH isOpposedBy and isCharacteristicOf.
+feo:forbids a owl:ObjectProperty ;
+    rdfs:subPropertyOf feo:isOpposedBy , feo:isCharacteristicOf ;
+    owl:propertyChainAxiom ( feo:forbids feo:isIngredientOf ) ;
+    rdfs:comment "Forbidding propagates through ingredients: what forbids an ingredient forbids every dish containing it." .
+feo:recommends a owl:ObjectProperty ;
+    rdfs:subPropertyOf feo:isSupportiveOf , feo:isCharacteristicOf .
+
+feo:hasParameter a owl:ObjectProperty ;
+    rdfs:domain eo:Question ; rdfs:range feo:Parameter .
+feo:hasPrimaryParameter a owl:ObjectProperty ; rdfs:subPropertyOf feo:hasParameter .
+feo:hasSecondaryParameter a owl:ObjectProperty ; rdfs:subPropertyOf feo:hasParameter .
+
+feo:hasIngredient a owl:ObjectProperty ;
+    rdfs:subPropertyOf feo:hasCharacteristic ;
+    owl:inverseOf feo:isIngredientOf .
+feo:isIngredientOf a owl:ObjectProperty .
+
+feo:availableIn a owl:ObjectProperty ;
+    rdfs:subPropertyOf feo:hasSupportiveCharacteristic ;
+    rdfs:range food:Season .
+feo:availableInRegion a owl:ObjectProperty ;
+    rdfs:subPropertyOf feo:hasSupportiveCharacteristic ;
+    rdfs:range food:Region .
+feo:hasNutrient a owl:ObjectProperty ;
+    rdfs:subPropertyOf feo:hasCharacteristic ;
+    rdfs:range food:Nutrient .
+feo:compatibleWithDiet a owl:ObjectProperty ;
+    rdfs:subPropertyOf feo:hasSupportiveCharacteristic ;
+    rdfs:range food:Diet .
+
+# User-realm properties. like/dislike use owl:inverseOf so the reasoner can
+# infer liked/disliked classifications from either direction (the paper's
+# feo:dislike / feo:dislikedBy example).
+feo:like a owl:ObjectProperty ; owl:inverseOf feo:likedBy .
+feo:likedBy a owl:ObjectProperty .
+feo:dislike a owl:ObjectProperty ; owl:inverseOf feo:dislikedBy .
+feo:dislikedBy a owl:ObjectProperty .
+feo:allergicTo a owl:ObjectProperty ;
+    rdfs:domain food:User ; rdfs:range feo:AllergicFoodCharacteristic .
+feo:hasDiet a owl:ObjectProperty ; rdfs:range feo:DietCharacteristic .
+feo:hasCondition a owl:ObjectProperty ; rdfs:range feo:ConditionCharacteristic .
+feo:hasGoal a owl:ObjectProperty ; rdfs:range feo:GoalCharacteristic .
+feo:hasBudget a owl:ObjectProperty ; rdfs:range feo:BudgetCharacteristic .
+
+# System-realm properties.
+feo:hasSeason a owl:ObjectProperty ;
+    rdfs:domain eo:System ; rdfs:range feo:SeasonCharacteristic .
+feo:locatedIn a owl:ObjectProperty ;
+    rdfs:domain eo:System ; rdfs:range feo:LocationCharacteristic .
+
+# Internal/external flag (a boolean data property on instances, inferred
+# from class membership via owl:hasValue restrictions above).
+feo:isInternal a owl:DatatypeProperty ; rdfs:range xsd:boolean .
+
+# Question and recommendation specializations.
+feo:FoodQuestion a owl:Class ; rdfs:subClassOf eo:Question .
+feo:FoodRecommendation a owl:Class ; rdfs:subClassOf eo:SystemRecommendation .
+`
+
+// foodTTL is the "What To Make"-style food ontology FEO builds on: the
+// concise food-domain classes the paper chose over full FoodOn. Food-domain
+// classes carry isInternal=true via hasValue restrictions, which is what
+// contextual explanations filter away.
+const foodTTL = `
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl:  <http://www.w3.org/2002/07/owl#> .
+@prefix xsd:  <http://www.w3.org/2001/XMLSchema#> .
+@prefix feo:  <https://purl.org/heals/feo#> .
+@prefix food: <http://purl.org/heals/food/> .
+
+food: a owl:Ontology ; rdfs:label "What To Make food ontology (subset)" .
+
+food:Food a owl:Class ; rdfs:subClassOf
+    [ a owl:Restriction ; owl:onProperty feo:isInternal ; owl:hasValue true ] .
+food:Recipe a owl:Class ; rdfs:subClassOf food:Food .
+food:Ingredient a owl:Class ; rdfs:subClassOf
+    [ a owl:Restriction ; owl:onProperty feo:isInternal ; owl:hasValue true ] .
+# Disjointness axioms let the consistency checker (the Pellet-style
+# Validate pass) flag modeling errors such as a season asserted as a food.
+food:Season a owl:Class ; owl:disjointWith food:Food , food:User .
+food:Region a owl:Class ; owl:disjointWith food:Food .
+food:Nutrient a owl:Class ; owl:disjointWith food:Food .
+food:Diet a owl:Class ; owl:disjointWith food:Food .
+food:User a owl:Class ; owl:disjointWith food:Food .
+
+food:calories a owl:DatatypeProperty ; rdfs:domain food:Food ; rdfs:range xsd:decimal .
+food:proteinGrams a owl:DatatypeProperty ; rdfs:domain food:Food ; rdfs:range xsd:decimal .
+food:costLevel a owl:DatatypeProperty ; rdfs:domain food:Food ; rdfs:range xsd:integer .
+`

@@ -1,0 +1,190 @@
+// Package ontology encodes the three ontologies the paper composes and the
+// competency-question datasets it evaluates with:
+//
+//   - an Explanation Ontology (EO) subset: explanation types, questions,
+//     recommendations, eo:Fact / eo:Foil, and the eo:knowledge bookkeeping
+//     class the paper's queries filter on;
+//   - the Food Explanation Ontology (FEO) — the paper's contribution: the
+//     feo:Characteristic hierarchy (Figure 1), the property lattice with
+//     multiple inheritance and inverses (Figure 2), the fact/foil
+//     classification (Figure 3), and the isInternal flag for contextual
+//     explanations;
+//   - a "What To Make"-style food ontology: Food, Recipe, Ingredient,
+//     Season, Region, Nutrient, Diet, User;
+//   - the ABoxes for competency questions CQ1-CQ3 (Listings 1-3).
+//
+// The documents are embedded as Turtle and parsed by the repository's own
+// parser, so loading also continuously exercises the serialization stack.
+// Classification (e.g. which instances are eo:Fact) is left to the OWL RL
+// reasoner, exactly as the paper runs Pellet before querying.
+package ontology
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/reasoner"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+// Well-known EO terms.
+var (
+	EOExplanation     = rdf.NewIRI(rdf.EONS + "Explanation")
+	EOQuestion        = rdf.NewIRI(rdf.EONS + "Question")
+	EORecommendation  = rdf.NewIRI(rdf.EONS + "Recommendation")
+	EOSystem          = rdf.NewIRI(rdf.EONS + "System")
+	EOKnowledge       = rdf.NewIRI(rdf.EONS + "knowledge")
+	EOFact            = rdf.NewIRI(rdf.EONS + "Fact")
+	EOFoil            = rdf.NewIRI(rdf.EONS + "Foil")
+	EOAddresses       = rdf.NewIRI(rdf.EONS + "addresses")
+	EOExplains        = rdf.NewIRI(rdf.EONS + "explains")
+	EOUsesKnowledge   = rdf.NewIRI(rdf.EONS + "usesKnowledge")
+	EOHasExplanation  = rdf.NewIRI(rdf.EONS + "hasExplanation")
+	EORecommends      = rdf.NewIRI(rdf.EONS + "recommends")
+	EOGeneratedBy     = rdf.NewIRI(rdf.EONS + "generatedBy")
+	EOBasedOnEvidence = rdf.NewIRI(rdf.EONS + "basedOnEvidence")
+)
+
+// The nine explanation-type classes of Table I.
+var (
+	EOCaseBasedExplanation       = rdf.NewIRI(rdf.EONS + "CaseBasedExplanation")
+	EOContextualExplanation      = rdf.NewIRI(rdf.EONS + "ContextualExplanation")
+	EOContrastiveExplanation     = rdf.NewIRI(rdf.EONS + "ContrastiveExplanation")
+	EOCounterfactualExplanation  = rdf.NewIRI(rdf.EONS + "CounterfactualExplanation")
+	EOEverydayExplanation        = rdf.NewIRI(rdf.EONS + "EverydayExplanation")
+	EOScientificExplanation      = rdf.NewIRI(rdf.EONS + "ScientificExplanation")
+	EOSimulationBasedExplanation = rdf.NewIRI(rdf.EONS + "SimulationBasedExplanation")
+	EOStatisticalExplanation     = rdf.NewIRI(rdf.EONS + "StatisticalExplanation")
+	EOTraceBasedExplanation      = rdf.NewIRI(rdf.EONS + "TraceBasedExplanation")
+)
+
+// FEO class terms (Figure 1 hierarchy plus classification classes).
+var (
+	FEOCharacteristic       = rdf.NewIRI(rdf.FEONS + "Characteristic")
+	FEOParameter            = rdf.NewIRI(rdf.FEONS + "Parameter")
+	FEOUserCharacteristic   = rdf.NewIRI(rdf.FEONS + "UserCharacteristic")
+	FEOSystemCharacteristic = rdf.NewIRI(rdf.FEONS + "SystemCharacteristic")
+	FEOLikedFood            = rdf.NewIRI(rdf.FEONS + "LikedFoodCharacteristic")
+	FEODislikedFood         = rdf.NewIRI(rdf.FEONS + "DislikedFoodCharacteristic")
+	FEOAllergicFood         = rdf.NewIRI(rdf.FEONS + "AllergicFoodCharacteristic")
+	FEODiet                 = rdf.NewIRI(rdf.FEONS + "DietCharacteristic")
+	FEOCondition            = rdf.NewIRI(rdf.FEONS + "ConditionCharacteristic")
+	FEOGoal                 = rdf.NewIRI(rdf.FEONS + "GoalCharacteristic")
+	FEOBudget               = rdf.NewIRI(rdf.FEONS + "BudgetCharacteristic")
+	FEOSeason               = rdf.NewIRI(rdf.FEONS + "SeasonCharacteristic")
+	FEOLocation             = rdf.NewIRI(rdf.FEONS + "LocationCharacteristic")
+	FEOTime                 = rdf.NewIRI(rdf.FEONS + "TimeCharacteristic")
+	FEONutrient             = rdf.NewIRI(rdf.FEONS + "NutrientCharacteristic")
+	FEOEcosystem            = rdf.NewIRI(rdf.FEONS + "EcosystemCharacteristic")
+	FEOParameterChar        = rdf.NewIRI(rdf.FEONS + "ParameterCharacteristic")
+	FEOSupportive           = rdf.NewIRI(rdf.FEONS + "SupportiveCharacteristic")
+	FEOOpposing             = rdf.NewIRI(rdf.FEONS + "OpposingCharacteristic")
+	FEOFoodQuestion         = rdf.NewIRI(rdf.FEONS + "FoodQuestion")
+	FEOFoodRecommendation   = rdf.NewIRI(rdf.FEONS + "FoodRecommendation")
+)
+
+// FEO property terms (Figure 2 lattice).
+var (
+	FEOHasCharacteristic     = rdf.NewIRI(rdf.FEONS + "hasCharacteristic")
+	FEOIsCharacteristicOf    = rdf.NewIRI(rdf.FEONS + "isCharacteristicOf")
+	FEOHasSupportiveChar     = rdf.NewIRI(rdf.FEONS + "hasSupportiveCharacteristic")
+	FEOIsSupportiveOf        = rdf.NewIRI(rdf.FEONS + "isSupportiveOf")
+	FEOHasOpposingChar       = rdf.NewIRI(rdf.FEONS + "hasOpposingCharacteristic")
+	FEOIsOpposedBy           = rdf.NewIRI(rdf.FEONS + "isOpposedBy")
+	FEOForbids               = rdf.NewIRI(rdf.FEONS + "forbids")
+	FEORecommends            = rdf.NewIRI(rdf.FEONS + "recommends")
+	FEOHasParameter          = rdf.NewIRI(rdf.FEONS + "hasParameter")
+	FEOHasPrimaryParameter   = rdf.NewIRI(rdf.FEONS + "hasPrimaryParameter")
+	FEOHasSecondaryParameter = rdf.NewIRI(rdf.FEONS + "hasSecondaryParameter")
+	FEOHasIngredient         = rdf.NewIRI(rdf.FEONS + "hasIngredient")
+	FEOIsIngredientOf        = rdf.NewIRI(rdf.FEONS + "isIngredientOf")
+	FEOAvailableIn           = rdf.NewIRI(rdf.FEONS + "availableIn")
+	FEOAvailableInRegion     = rdf.NewIRI(rdf.FEONS + "availableInRegion")
+	FEOHasNutrient           = rdf.NewIRI(rdf.FEONS + "hasNutrient")
+	FEOHasDiet               = rdf.NewIRI(rdf.FEONS + "hasDiet")
+	FEOCompatibleWithDiet    = rdf.NewIRI(rdf.FEONS + "compatibleWithDiet")
+	FEOLike                  = rdf.NewIRI(rdf.FEONS + "like")
+	FEOLikedBy               = rdf.NewIRI(rdf.FEONS + "likedBy")
+	FEODislike               = rdf.NewIRI(rdf.FEONS + "dislike")
+	FEODislikedBy            = rdf.NewIRI(rdf.FEONS + "dislikedBy")
+	FEOAllergicTo            = rdf.NewIRI(rdf.FEONS + "allergicTo")
+	FEOHasCondition          = rdf.NewIRI(rdf.FEONS + "hasCondition")
+	FEOHasGoal               = rdf.NewIRI(rdf.FEONS + "hasGoal")
+	FEOHasSeason             = rdf.NewIRI(rdf.FEONS + "hasSeason")
+	FEOLocatedIn             = rdf.NewIRI(rdf.FEONS + "locatedIn")
+	FEOHasBudget             = rdf.NewIRI(rdf.FEONS + "hasBudget")
+	FEOIsInternal            = rdf.NewIRI(rdf.FEONS + "isInternal")
+)
+
+// Food ontology class terms.
+var (
+	FoodFood       = rdf.NewIRI(rdf.FoodNS + "Food")
+	FoodRecipe     = rdf.NewIRI(rdf.FoodNS + "Recipe")
+	FoodIngredient = rdf.NewIRI(rdf.FoodNS + "Ingredient")
+	FoodSeason     = rdf.NewIRI(rdf.FoodNS + "Season")
+	FoodRegion     = rdf.NewIRI(rdf.FoodNS + "Region")
+	FoodNutrient   = rdf.NewIRI(rdf.FoodNS + "Nutrient")
+	FoodDiet       = rdf.NewIRI(rdf.FoodNS + "Diet")
+	FoodUser       = rdf.NewIRI(rdf.FoodNS + "User")
+	FoodCalories   = rdf.NewIRI(rdf.FoodNS + "calories")
+	FoodProtein    = rdf.NewIRI(rdf.FoodNS + "proteinGrams")
+	FoodCostLevel  = rdf.NewIRI(rdf.FoodNS + "costLevel")
+)
+
+// CompetencyQuestion selects one of the paper's evaluation datasets.
+type CompetencyQuestion int
+
+// The paper's three competency questions plus the merged dataset.
+const (
+	CQ1 CompetencyQuestion = iota + 1 // contextual: cauliflower potato curry
+	CQ2                               // contrastive: butternut vs broccoli soup
+	CQ3                               // counterfactual: pregnancy
+	CQAll
+)
+
+// TBox returns the merged terminology: EO subset + FEO + food ontology.
+func TBox() *store.Graph {
+	g := store.New()
+	mustParse(g, eoTTL, "eo")
+	mustParse(g, feoTTL, "feo")
+	mustParse(g, foodTTL, "food")
+	return g
+}
+
+// ABox returns the instance data for one competency question (or all).
+func ABox(cq CompetencyQuestion) *store.Graph {
+	g := store.New()
+	switch cq {
+	case CQ1:
+		mustParse(g, cq1TTL, "cq1")
+	case CQ2:
+		mustParse(g, cq2TTL, "cq2")
+	case CQ3:
+		mustParse(g, cq3TTL, "cq3")
+	case CQAll:
+		mustParse(g, cq1TTL, "cq1")
+		mustParse(g, cq2TTL, "cq2")
+		mustParse(g, cq3TTL, "cq3")
+	default:
+		panic(fmt.Sprintf("ontology: unknown competency question %d", cq))
+	}
+	return g
+}
+
+// Dataset returns TBox + ABox(cq), materialized with the OWL RL reasoner —
+// the graph state the paper queries (Pellet-inferred export). The returned
+// reasoner retains derivation traces for trace-based explanations.
+func Dataset(cq CompetencyQuestion) (*store.Graph, *reasoner.Reasoner) {
+	g := TBox()
+	g.Merge(ABox(cq))
+	r := reasoner.New(reasoner.Options{TraceDerivations: true})
+	r.Materialize(g)
+	return g, r
+}
+
+func mustParse(g *store.Graph, ttl, name string) {
+	if err := turtle.ParseInto(g, ttl); err != nil {
+		panic(fmt.Sprintf("ontology: embedded %s document is invalid: %v", name, err))
+	}
+}

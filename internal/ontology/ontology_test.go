@@ -1,0 +1,302 @@
+package ontology
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+func TestTBoxLoads(t *testing.T) {
+	g := TBox()
+	if g.Len() < 100 {
+		t.Fatalf("TBox suspiciously small: %d triples", g.Len())
+	}
+	for _, c := range []rdf.Term{FEOCharacteristic, FEOParameter, FEOUserCharacteristic,
+		FEOSystemCharacteristic, FEOSeason, FEOAllergicFood, EOFact, EOFoil, EOKnowledge,
+		FoodFood, FoodRecipe, FoodIngredient} {
+		if !g.Exists(c, store.Wildcard, store.Wildcard) {
+			t.Errorf("class %s missing from TBox", c.Compact(g.Namespaces()))
+		}
+	}
+}
+
+func TestFigure1Hierarchy(t *testing.T) {
+	g, _ := Dataset(CQAll)
+	// Figure 1: Parameter, UserCharacteristic, SystemCharacteristic are
+	// subclasses of Characteristic.
+	for _, sub := range []rdf.Term{FEOParameter, FEOUserCharacteristic, FEOSystemCharacteristic} {
+		if !g.Has(sub, rdf.SubClassOfIRI, FEOCharacteristic) {
+			t.Errorf("%s should be a subclass of feo:Characteristic", sub.Compact(g.Namespaces()))
+		}
+	}
+	// Transitive materialization reaches the leaves.
+	for _, leaf := range []rdf.Term{FEOSeason, FEOAllergicFood, FEOLikedFood, FEOCondition} {
+		if !g.Has(leaf, rdf.SubClassOfIRI, FEOCharacteristic) {
+			t.Errorf("%s should be a transitive subclass of feo:Characteristic", leaf.Compact(g.Namespaces()))
+		}
+	}
+	// Bookkeeping classes stay under eo:knowledge, outside user-facing types.
+	for _, k := range []rdf.Term{EOFact, EOFoil, FEOEcosystem, FEOParameterChar} {
+		if !g.Has(k, rdf.SubClassOfIRI, EOKnowledge) {
+			t.Errorf("%s should be under eo:knowledge", k.Compact(g.Namespaces()))
+		}
+	}
+	// Critically, the concrete characteristic classes (and the orientation
+	// classes they subclass) must NOT be under knowledge or the paper's
+	// transitive filters would hide them.
+	for _, c := range []rdf.Term{FEOSeason, FEOAllergicFood, FEOUserCharacteristic,
+		FEOSystemCharacteristic, FEOSupportive, FEOOpposing} {
+		if g.Has(c, rdf.SubClassOfIRI, EOKnowledge) {
+			t.Errorf("%s must not be under eo:knowledge", c.Compact(g.Namespaces()))
+		}
+	}
+}
+
+func TestInferredClassifications(t *testing.T) {
+	g, _ := Dataset(CQ2)
+	cases := []struct {
+		name     string
+		instance rdf.Term
+		class    rdf.Term
+		want     bool
+	}{
+		{"autumn is SeasonCharacteristic", Autumn, FEOSeason, true},
+		{"autumn is SystemCharacteristic", Autumn, FEOSystemCharacteristic, true},
+		{"autumn is Ecosystem (union)", Autumn, FEOEcosystem, true},
+		{"autumn is Supportive", Autumn, FEOSupportive, true},
+		{"autumn is ParameterCharacteristic", Autumn, FEOParameterChar, true},
+		{"autumn is a Fact", Autumn, EOFact, true},
+		{"autumn is not a Foil", Autumn, EOFoil, false},
+		{"broccoli is AllergicFood (range)", Broccoli, FEOAllergicFood, true},
+		{"broccoli is UserCharacteristic", Broccoli, FEOUserCharacteristic, true},
+		{"broccoli is Opposing", Broccoli, FEOOpposing, true},
+		{"broccoli is a Foil", Broccoli, EOFoil, true},
+		{"broccoli is not a Fact", Broccoli, EOFact, false},
+		{"liked soup is LikedFood (someValuesFrom)", BroccoliCheddarSoup, FEOLikedFood, true},
+		{"liked soup is not a Fact", BroccoliCheddarSoup, EOFact, false},
+		{"cheddar is not a Foil", Cheddar, EOFoil, false},
+		{"squash is not a Fact (not in ecosystem)", ButternutSquash, EOFact, false},
+		{"primary parameter typed", ButternutSquashSoup, FEOParameter, true},
+		{"secondary parameter typed", BroccoliCheddarSoup, FEOParameter, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := g.IsA(tc.instance, tc.class); got != tc.want {
+				t.Errorf("IsA(%s, %s) = %v, want %v",
+					tc.instance.Compact(g.Namespaces()), tc.class.Compact(g.Namespaces()), got, tc.want)
+			}
+		})
+	}
+}
+
+func TestIsInternalInference(t *testing.T) {
+	g, _ := Dataset(CQ1)
+	// cls-hv1: season instances become isInternal=false, foods true.
+	if !g.Has(Autumn, FEOIsInternal, rdf.NewBool(false)) {
+		t.Error("Autumn should be inferred isInternal=false")
+	}
+	if !g.Has(Cauliflower, FEOIsInternal, rdf.NewBool(true)) {
+		t.Error("Cauliflower should be inferred isInternal=true")
+	}
+	if !g.Has(CauliflowerPotatoCurry, FEOIsInternal, rdf.NewBool(true)) {
+		t.Error("the recipe should be isInternal=true")
+	}
+}
+
+func TestTransitiveCharacteristicClosure(t *testing.T) {
+	g, _ := Dataset(CQ1)
+	// Depth-2: curry -> cauliflower -> autumn.
+	if !g.Has(CauliflowerPotatoCurry, FEOHasCharacteristic, Autumn) {
+		t.Error("transitive hasCharacteristic should reach Autumn from the curry")
+	}
+	// Inverse completion.
+	if !g.Has(Autumn, FEOIsCharacteristicOf, CauliflowerPotatoCurry) {
+		t.Error("inverse isCharacteristicOf missing")
+	}
+}
+
+func TestForbidsChain(t *testing.T) {
+	g, _ := Dataset(CQ3)
+	if !g.Has(Pregnancy, FEOForbids, Sushi) {
+		t.Error("pregnancy should forbid sushi via forbids∘isIngredientOf")
+	}
+	// Multiple inheritance: forbids implies both isOpposedBy and
+	// isCharacteristicOf (the paper's Section III-B example).
+	if !g.Has(Pregnancy, FEOIsOpposedBy, Sushi) {
+		t.Error("forbids ⊑ isOpposedBy not propagated")
+	}
+	if !g.Has(Pregnancy, FEOIsCharacteristicOf, Sushi) {
+		t.Error("forbids ⊑ isCharacteristicOf not propagated")
+	}
+	// recommends propagates to the supportive lattice only.
+	if !g.Has(Pregnancy, FEOIsSupportiveOf, Spinach) {
+		t.Error("recommends ⊑ isSupportiveOf not propagated")
+	}
+	if g.Has(Pregnancy, FEOForbids, Rice) {
+		t.Error("rice is not forbidden; chain over-fired")
+	}
+	if g.Has(Pregnancy, FEORecommends, SpinachFrittata) {
+		t.Error("recommendations must not propagate through ingredients")
+	}
+}
+
+// listing1 is the paper's Listing 1 verbatim (whitespace normalized).
+const listing1 = `
+SELECT DISTINCT ?characteristic ?classes
+WHERE{
+?WhyEatCauliflowerPotatoCurry feo:hasParameter ?parameter .
+?parameter feo:hasCharacteristic ?characteristic .
+?characteristic feo:isInternal False .
+?systemChar a feo:SystemCharacteristic .
+?userChar a feo:UserCharacteristic .
+Filter ( ?characteristic = ?systemChar || ?characteristic = ?userChar ) .
+?characteristic a ?classes .
+?classes rdfs:subClassOf feo:Characteristic .
+Filter Not Exists{?classes rdfs:subClassOf eo:knowledge }.
+}`
+
+func TestListing1CQ1(t *testing.T) {
+	g, _ := Dataset(CQ1)
+	res, err := sparql.Run(g, listing1)
+	if err != nil {
+		t.Fatalf("listing 1: %v", err)
+	}
+	// The paper's displayed row.
+	if !res.HasRow(map[string]rdf.Term{"characteristic": Autumn, "classes": FEOSeason}) {
+		t.Errorf("expected row (feo:Autumn, feo:SeasonCharacteristic); got:\n%s", res.Table())
+	}
+	// Every returned characteristic must be Autumn (the only external
+	// characteristic of the curry in the ecosystem).
+	for _, c := range res.Column("characteristic") {
+		if c != Autumn {
+			t.Errorf("unexpected characteristic %s", c.Compact(g.Namespaces()))
+		}
+	}
+	// No internal (food) characteristics may leak through.
+	for _, cl := range res.Column("classes") {
+		if cl == FoodIngredient || cl == FoodFood {
+			t.Errorf("internal class %s leaked into contextual results", cl.Compact(g.Namespaces()))
+		}
+	}
+}
+
+// listing2 is the paper's Listing 2 verbatim.
+const listing2 = `
+Select DISTINCT ?factType ?factA ?foilType ?foilB
+Where{
+BIND (feo:WhyEatButternutSquashSoupOverBroccoliCheddarSoup as ?question) .
+?question feo:hasPrimaryParameter ?parameterA .
+?question feo:hasSecondaryParameter ?parameterB .
+?parameterA feo:hasCharacteristic ?factA .
+?factA a <https://purl.org/heals/eo#Fact>.
+?factA a ?factType .
+?factType (rdfs:subClassOf+) feo:Characteristic .
+Filter Not Exists{?factType rdfs:subClassOf <https://purl.org/heals/eo#knowledge> }.
+Filter Not Exists{?s rdfs:subClassOf ?factType}.
+?parameterB feo:hasCharacteristic ?foilB .
+?foilB a <https://purl.org/heals/eo#Foil> .
+?foilB a ?foilType.
+?foilType (rdfs:subClassOf+) feo:Characteristic .
+Filter Not Exists{?foilType rdfs:subClassOf <https://purl.org/heals/eo#knowledge> }.
+Filter Not Exists{?t rdfs:subClassOf ?foilType}.
+}`
+
+func TestListing2CQ2(t *testing.T) {
+	g, _ := Dataset(CQ2)
+	res, err := sparql.Run(g, listing2)
+	if err != nil {
+		t.Fatalf("listing 2: %v", err)
+	}
+	// The paper's exact single result row.
+	want := map[string]rdf.Term{
+		"factType": FEOSeason,
+		"factA":    Autumn,
+		"foilType": FEOAllergicFood,
+		"foilB":    Broccoli,
+	}
+	if !res.HasRow(want) {
+		t.Fatalf("expected the paper's row (SeasonCharacteristic, Autumn, AllergicFoodCharacteristic, Broccoli); got:\n%s", res.Table())
+	}
+	if res.Len() != 1 {
+		t.Errorf("expected exactly 1 row like the paper, got %d:\n%s", res.Len(), res.Table())
+	}
+}
+
+// listing3 is the paper's Listing 3 verbatim.
+const listing3 = `
+SELECT Distinct ?property ?baseFood ?inheritedFood
+WHERE{
+feo:WhatIfIWasPregnant feo:hasParameter ?parameter .
+?parameter ?property ?baseFood .
+?property rdfs:subPropertyOf feo:isCharacteristicOf.
+?baseFood a food:Food .
+OPTIONAL { ?baseFood feo:isIngredientOf ?inheritedFood.}
+}`
+
+func TestListing3CQ3(t *testing.T) {
+	g, _ := Dataset(CQ3)
+	res, err := sparql.Run(g, listing3)
+	if err != nil {
+		t.Fatalf("listing 3: %v", err)
+	}
+	// Paper row 1: feo:recommends feo:Spinach feo:SpinachFrittata.
+	if !res.HasRow(map[string]rdf.Term{
+		"property": FEORecommends, "baseFood": Spinach, "inheritedFood": SpinachFrittata,
+	}) {
+		t.Errorf("missing (recommends, Spinach, SpinachFrittata):\n%s", res.Table())
+	}
+	// Paper row 2: feo:forbids feo:Sushi (no inherited food).
+	foundForbidsSushi := false
+	for _, sol := range res.Solutions {
+		if sol["property"] == FEOForbids && sol["baseFood"] == Sushi {
+			foundForbidsSushi = true
+			if _, bound := sol["inheritedFood"]; bound {
+				t.Error("sushi row should have unbound inheritedFood")
+			}
+		}
+	}
+	if !foundForbidsSushi {
+		t.Errorf("missing (forbids, Sushi):\n%s", res.Table())
+	}
+	if res.Len() != 2 {
+		t.Errorf("expected exactly the paper's 2 rows, got %d:\n%s", res.Len(), res.Table())
+	}
+	// Raw fish must be filtered out by `?baseFood a food:Food`.
+	for _, b := range res.Column("baseFood") {
+		if b == RawFish {
+			t.Error("raw fish (an Ingredient, not a Food) leaked into results")
+		}
+	}
+}
+
+func TestDatasetsAreIndependent(t *testing.T) {
+	g1, _ := Dataset(CQ1)
+	if g1.Exists(QWhatIfIWasPregnant, store.Wildcard, store.Wildcard) {
+		t.Error("CQ1 dataset must not contain CQ3 instances")
+	}
+	gAll, _ := Dataset(CQAll)
+	if !gAll.Exists(QWhatIfIWasPregnant, store.Wildcard, store.Wildcard) ||
+		!gAll.Exists(QWhyEatCauliflowerPotatoCurry, store.Wildcard, store.Wildcard) {
+		t.Error("CQAll must contain every question")
+	}
+}
+
+func TestMaterializationIsFixpoint(t *testing.T) {
+	g, r := Dataset(CQAll)
+	n := g.Len()
+	stats := r.Materialize(g)
+	if stats.Inferred != 0 || g.Len() != n {
+		t.Errorf("re-materialization added %d triples", stats.Inferred)
+	}
+}
+
+func TestABoxPanicsOnUnknownCQ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ABox should panic on invalid CQ")
+		}
+	}()
+	ABox(CompetencyQuestion(99))
+}

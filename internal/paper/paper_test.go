@@ -1,0 +1,164 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListing1Reproduction(t *testing.T) {
+	out, err := Listing(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's displayed row: feo:Autumn / feo:SeasonCharacteristic.
+	if !strings.Contains(out, "feo:Autumn") || !strings.Contains(out, "feo:SeasonCharacteristic") {
+		t.Errorf("Listing 1 missing the paper's row:\n%s", out)
+	}
+}
+
+func TestListing2Reproduction(t *testing.T) {
+	out, err := Listing(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"feo:SeasonCharacteristic", "feo:Autumn",
+		"feo:AllergicFoodCharacteristic", "feo:Broccoli"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Listing 2 missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestListing3Reproduction(t *testing.T) {
+	out, err := Listing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"feo:recommends", "feo:Spinach", "feo:SpinachFrittata",
+		"feo:forbids", "feo:Sushi"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Listing 3 missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestListingRange(t *testing.T) {
+	if _, err := Listing(4); err == nil {
+		t.Error("listing 4 should not exist")
+	}
+}
+
+func TestTable1AllNineRows(t *testing.T) {
+	out, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range []string{"case-based", "contextual", "contrastive",
+		"counterfactual", "everyday", "scientific", "simulation-based",
+		"statistical", "trace-based"} {
+		if !strings.Contains(out, typ) {
+			t.Errorf("Table I missing type %s", typ)
+		}
+	}
+	// Spot-check the flagship answers.
+	if !strings.Contains(out, "Autumn is the current season") {
+		t.Error("Table I contextual answer missing season")
+	}
+	if !strings.Contains(out, "forbidden from eating Sushi") {
+		t.Error("Table I counterfactual answer missing sushi")
+	}
+}
+
+func TestFigure1Tree(t *testing.T) {
+	out := Figure1()
+	for _, want := range []string{"feo:Characteristic", "feo:Parameter",
+		"feo:UserCharacteristic", "feo:SystemCharacteristic",
+		"feo:SeasonCharacteristic", "feo:AllergicFoodCharacteristic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 1 missing %s:\n%s", want, out)
+		}
+	}
+	// Season must be nested under SystemCharacteristic (deeper indent).
+	sysIdx := strings.Index(out, "feo:SystemCharacteristic")
+	seaIdx := strings.Index(out, "feo:SeasonCharacteristic")
+	if sysIdx < 0 || seaIdx < sysIdx {
+		t.Error("Figure 1 ordering wrong: Season should follow System")
+	}
+}
+
+func TestFigure2Lattice(t *testing.T) {
+	out := Figure2()
+	// The paper's multiple-inheritance example: forbids under both parents.
+	if strings.Count(out, "^-- feo:forbids") < 2 {
+		t.Errorf("Figure 2 should show forbids under two superproperties:\n%s", out)
+	}
+	if !strings.Contains(out, "feo:hasCharacteristic <-> feo:isCharacteristicOf") &&
+		!strings.Contains(out, "feo:dislike <-> feo:dislikedBy") {
+		t.Errorf("Figure 2 missing inverses:\n%s", out)
+	}
+}
+
+func TestFigure3Matrix(t *testing.T) {
+	out := Figure3()
+	factsLine, foilsLine := "", ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "facts") {
+			factsLine = line
+		}
+		if strings.HasPrefix(line, "foils") {
+			foilsLine = line
+		}
+	}
+	if !strings.Contains(factsLine, "feo:Autumn") {
+		t.Errorf("Figure 3 facts should contain Autumn: %s", factsLine)
+	}
+	if !strings.Contains(foilsLine, "feo:Broccoli") {
+		t.Errorf("Figure 3 foils should contain Broccoli: %s", foilsLine)
+	}
+	if strings.Contains(factsLine, "feo:Broccoli") || strings.Contains(foilsLine, "feo:Autumn") {
+		t.Error("Figure 3 cells mixed up")
+	}
+}
+
+func TestFigure4InferredSubgraph(t *testing.T) {
+	out := Figure4()
+	if !strings.Contains(out, "[inferred]") || !strings.Contains(out, "[asserted]") {
+		t.Errorf("Figure 4 should mark asserted and inferred triples:\n%s", out)
+	}
+	// The key inferred triple: the curry transitively has characteristic
+	// Autumn.
+	if !strings.Contains(out, "feo:CauliflowerPotatoCurry feo:hasCharacteristic feo:Autumn") {
+		t.Errorf("Figure 4 missing transitive closure triple:\n%s", out)
+	}
+}
+
+// Figure 3 partition property: no instance may be both fact and foil, and
+// the three cells are disjoint by construction of the output.
+func TestFigure3PartitionDisjoint(t *testing.T) {
+	out := Figure3()
+	lines := strings.Split(out, "\n")
+	cells := map[string][]string{}
+	for _, l := range lines {
+		for _, prefix := range []string{"facts", "foils", "neither"} {
+			if strings.HasPrefix(l, prefix) {
+				if i := strings.Index(l, ":"); i > 0 {
+					for _, item := range strings.Split(l[i+1:], ",") {
+						item = strings.TrimSpace(item)
+						if item != "" {
+							cells[prefix] = append(cells[prefix], item)
+						}
+					}
+				}
+			}
+		}
+	}
+	seen := map[string]string{}
+	for cell, items := range cells {
+		for _, item := range items {
+			if prev, dup := seen[item]; dup {
+				t.Errorf("%s appears in both %s and %s", item, prev, cell)
+			}
+			seen[item] = cell
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package rdf
+
+import "testing"
+
+func TestNamespacesExpandShrink(t *testing.T) {
+	ns := StandardNamespaces()
+	iri, ok := ns.Expand("feo:Characteristic")
+	if !ok || iri != FEONS+"Characteristic" {
+		t.Fatalf("Expand = (%q,%v)", iri, ok)
+	}
+	q, ok := ns.Shrink(iri)
+	if !ok || q != "feo:Characteristic" {
+		t.Fatalf("Shrink = (%q,%v)", q, ok)
+	}
+}
+
+func TestExpandUnboundPrefix(t *testing.T) {
+	ns := NewNamespaces()
+	if _, ok := ns.Expand("nope:x"); ok {
+		t.Error("unbound prefix must not expand")
+	}
+	if _, ok := ns.Expand("noColon"); ok {
+		t.Error("name without colon must not expand")
+	}
+}
+
+func TestMustExpandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExpand should panic on unbound prefix")
+		}
+	}()
+	NewNamespaces().MustExpand("nope:x")
+}
+
+func TestShrinkLongestMatch(t *testing.T) {
+	ns := NewNamespaces()
+	ns.Bind("a", "http://e/")
+	ns.Bind("b", "http://e/sub/")
+	q, ok := ns.Shrink("http://e/sub/x")
+	if !ok || q != "b:x" {
+		t.Errorf("Shrink = (%q,%v), want b:x via longest namespace", q, ok)
+	}
+}
+
+func TestShrinkRejectsStructuredLocal(t *testing.T) {
+	ns := NewNamespaces()
+	ns.Bind("e", "http://e/")
+	if _, ok := ns.Shrink("http://e/a/b"); ok {
+		t.Error("local name containing '/' must not shrink")
+	}
+	if _, ok := ns.Shrink("http://e/"); ok {
+		t.Error("empty local name must not shrink")
+	}
+}
+
+func TestBindReplacesPrevious(t *testing.T) {
+	ns := NewNamespaces()
+	ns.Bind("p", "http://one/")
+	ns.Bind("p", "http://two/")
+	if iri, _ := ns.IRIFor("p"); iri != "http://two/" {
+		t.Errorf("rebind: IRIFor = %q", iri)
+	}
+	if _, ok := ns.Shrink("http://one/x"); ok {
+		t.Error("old namespace must be forgotten after rebind")
+	}
+}
+
+func TestResolveRelative(t *testing.T) {
+	ns := NewNamespaces()
+	ns.SetBase("http://example.org/onto")
+	for _, tc := range []struct{ in, want string }{
+		{"http://abs/x", "http://abs/x"},
+		{"#frag", "http://example.org/onto#frag"},
+		{"rel", "http://example.org/onto/rel"},
+		{"urn:x", "urn:x"},
+	} {
+		if got := ns.Resolve(tc.in); got != tc.want {
+			t.Errorf("Resolve(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	ns.SetBase("http://example.org/dir/")
+	if got := ns.Resolve("leaf"); got != "http://example.org/dir/leaf" {
+		t.Errorf("Resolve against slash base = %q", got)
+	}
+	ns.SetBase("http://example.org/page#frag")
+	if got := ns.Resolve("#other"); got != "http://example.org/page#other" {
+		t.Errorf("Resolve fragment against fragmented base = %q", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	ns := NewNamespaces()
+	ns.Bind("a", "http://a/")
+	ns.SetBase("http://base/")
+	c := ns.Clone()
+	c.Bind("b", "http://b/")
+	if _, ok := ns.Expand("b:x"); ok {
+		t.Error("binding on clone leaked into original")
+	}
+	if _, ok := c.Expand("a:x"); !ok {
+		t.Error("clone lost original binding")
+	}
+	if c.Base() != "http://base/" {
+		t.Error("clone lost base")
+	}
+}
+
+func TestNilReceiverSafety(t *testing.T) {
+	var ns *Namespaces
+	if _, ok := ns.Expand("a:x"); ok {
+		t.Error("nil Expand should fail")
+	}
+	if _, ok := ns.Shrink("http://a/x"); ok {
+		t.Error("nil Shrink should fail")
+	}
+	if ns.Base() != "" {
+		t.Error("nil Base should be empty")
+	}
+	if got := ns.Resolve("x"); got != "x" {
+		t.Error("nil Resolve should pass through")
+	}
+	if ns.Prefixes() != nil {
+		t.Error("nil Prefixes should be nil")
+	}
+}
+
+func TestStandardNamespacesComplete(t *testing.T) {
+	ns := StandardNamespaces()
+	for _, p := range []string{"rdf", "rdfs", "owl", "xsd", "eo", "feo", "food", "kg"} {
+		if _, ok := ns.IRIFor(p); !ok {
+			t.Errorf("standard prefix %q missing", p)
+		}
+	}
+	if len(ns.Prefixes()) != 8 {
+		t.Errorf("want 8 standard prefixes, got %d", len(ns.Prefixes()))
+	}
+}

@@ -1,0 +1,142 @@
+package rdf
+
+// Standard namespace prefixes used across the repository.
+const (
+	RDFNS  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	OWLNS  = "http://www.w3.org/2002/07/owl#"
+	XSDNS  = "http://www.w3.org/2001/XMLSchema#"
+
+	// EONS is the Explanation Ontology namespace the paper extends.
+	EONS = "https://purl.org/heals/eo#"
+	// FEONS is the Food Explanation Ontology namespace (the paper's contribution).
+	FEONS = "https://purl.org/heals/feo#"
+	// FoodNS is the "What To Make" food ontology namespace FEO builds on.
+	FoodNS = "http://purl.org/heals/food/"
+	// KGNS is the namespace for synthetic FoodKG instance data.
+	KGNS = "https://purl.org/heals/foodkg/"
+)
+
+// RDF vocabulary.
+const (
+	RDFType      = RDFNS + "type"
+	RDFProperty  = RDFNS + "Property"
+	RDFFirst     = RDFNS + "first"
+	RDFRest      = RDFNS + "rest"
+	RDFNil       = RDFNS + "nil"
+	RDFLangStr   = RDFNS + "langString"
+	RDFStatement = RDFNS + "Statement"
+	RDFSubject   = RDFNS + "subject"
+	RDFPredicate = RDFNS + "predicate"
+	RDFObject    = RDFNS + "object"
+)
+
+// RDFLangString aliases the rdf:langString datatype IRI.
+const RDFLangString = RDFLangStr
+
+// RDFS vocabulary.
+const (
+	RDFSSubClassOf    = RDFSNS + "subClassOf"
+	RDFSSubPropertyOf = RDFSNS + "subPropertyOf"
+	RDFSDomain        = RDFSNS + "domain"
+	RDFSRange         = RDFSNS + "range"
+	RDFSLabel         = RDFSNS + "label"
+	RDFSComment       = RDFSNS + "comment"
+	RDFSClass         = RDFSNS + "Class"
+	RDFSResource      = RDFSNS + "Resource"
+	RDFSSeeAlso       = RDFSNS + "seeAlso"
+	RDFSIsDefinedBy   = RDFSNS + "isDefinedBy"
+)
+
+// OWL vocabulary (the subset the OWL RL reasoner understands).
+const (
+	OWLClass                   = OWLNS + "Class"
+	OWLThing                   = OWLNS + "Thing"
+	OWLNothing                 = OWLNS + "Nothing"
+	OWLObjectProperty          = OWLNS + "ObjectProperty"
+	OWLDatatypeProperty        = OWLNS + "DatatypeProperty"
+	OWLAnnotationProperty      = OWLNS + "AnnotationProperty"
+	OWLOntology                = OWLNS + "Ontology"
+	OWLNamedIndividual         = OWLNS + "NamedIndividual"
+	OWLTransitiveProperty      = OWLNS + "TransitiveProperty"
+	OWLSymmetricProperty       = OWLNS + "SymmetricProperty"
+	OWLFunctionalProperty      = OWLNS + "FunctionalProperty"
+	OWLInverseFunctional       = OWLNS + "InverseFunctionalProperty"
+	OWLInverseOf               = OWLNS + "inverseOf"
+	OWLEquivalentClass         = OWLNS + "equivalentClass"
+	OWLEquivalentProperty      = OWLNS + "equivalentProperty"
+	OWLDisjointWith            = OWLNS + "disjointWith"
+	OWLPropertyDisjointWith    = OWLNS + "propertyDisjointWith"
+	OWLSameAs                  = OWLNS + "sameAs"
+	OWLDifferentFrom           = OWLNS + "differentFrom"
+	OWLIntersectionOf          = OWLNS + "intersectionOf"
+	OWLUnionOf                 = OWLNS + "unionOf"
+	OWLComplementOf            = OWLNS + "complementOf"
+	OWLOneOf                   = OWLNS + "oneOf"
+	OWLRestriction             = OWLNS + "Restriction"
+	OWLOnProperty              = OWLNS + "onProperty"
+	OWLSomeValuesFrom          = OWLNS + "someValuesFrom"
+	OWLAllValuesFrom           = OWLNS + "allValuesFrom"
+	OWLHasValue                = OWLNS + "hasValue"
+	OWLImports                 = OWLNS + "imports"
+	OWLVersionIRI              = OWLNS + "versionIRI"
+	OWLPropertyChainAxiom      = OWLNS + "propertyChainAxiom"
+	OWLIrreflexiveProperty     = OWLNS + "IrreflexiveProperty"
+	OWLAsymmetricProperty      = OWLNS + "AsymmetricProperty"
+	OWLReflexiveProperty       = OWLNS + "ReflexiveProperty"
+	OWLNegativePropertyAssert  = OWLNS + "NegativePropertyAssertion"
+	OWLSourceIndividual        = OWLNS + "sourceIndividual"
+	OWLAssertionProperty       = OWLNS + "assertionProperty"
+	OWLTargetIndividual        = OWLNS + "targetIndividual"
+	OWLAllDisjointClasses      = OWLNS + "AllDisjointClasses"
+	OWLMembers                 = OWLNS + "members"
+	OWLMaxCardinality          = OWLNS + "maxCardinality"
+	OWLMaxQualifiedCardinality = OWLNS + "maxQualifiedCardinality"
+)
+
+// XSD datatypes.
+const (
+	XSDString             = XSDNS + "string"
+	XSDBoolean            = XSDNS + "boolean"
+	XSDInteger            = XSDNS + "integer"
+	XSDDecimal            = XSDNS + "decimal"
+	XSDFloat              = XSDNS + "float"
+	XSDDouble             = XSDNS + "double"
+	XSDInt                = XSDNS + "int"
+	XSDLong               = XSDNS + "long"
+	XSDShort              = XSDNS + "short"
+	XSDByte               = XSDNS + "byte"
+	XSDDate               = XSDNS + "date"
+	XSDDateTime           = XSDNS + "dateTime"
+	XSDTime               = XSDNS + "time"
+	XSDAnyURI             = XSDNS + "anyURI"
+	XSDNonNegativeInteger = XSDNS + "nonNegativeInteger"
+	XSDNonPositiveInteger = XSDNS + "nonPositiveInteger"
+	XSDPositiveInteger    = XSDNS + "positiveInteger"
+	XSDNegativeInteger    = XSDNS + "negativeInteger"
+	XSDUnsignedInt        = XSDNS + "unsignedInt"
+	XSDUnsignedLong       = XSDNS + "unsignedLong"
+)
+
+// Frequently used terms, pre-built to avoid re-allocating in hot paths.
+var (
+	TypeIRI          = NewIRI(RDFType)
+	SubClassOfIRI    = NewIRI(RDFSSubClassOf)
+	SubPropertyOfIRI = NewIRI(RDFSSubPropertyOf)
+	DomainIRI        = NewIRI(RDFSDomain)
+	RangeIRI         = NewIRI(RDFSRange)
+	LabelIRI         = NewIRI(RDFSLabel)
+	CommentIRI       = NewIRI(RDFSComment)
+	SameAsIRI        = NewIRI(OWLSameAs)
+	InverseOfIRI     = NewIRI(OWLInverseOf)
+	EquivClassIRI    = NewIRI(OWLEquivalentClass)
+	EquivPropIRI     = NewIRI(OWLEquivalentProperty)
+	FirstIRI         = NewIRI(RDFFirst)
+	RestIRI          = NewIRI(RDFRest)
+	NilIRI           = NewIRI(RDFNil)
+	ThingIRI         = NewIRI(OWLThing)
+	NothingIRI       = NewIRI(OWLNothing)
+	ClassIRI         = NewIRI(OWLClass)
+	TrueLiteral      = NewBool(true)
+	FalseLiteral     = NewBool(false)
+)

@@ -1,0 +1,396 @@
+// Package rdfxml reads and writes the RDF/XML concrete syntax — the format
+// Protégé exports ontologies in (the paper's FEO is published as RDF/XML
+// alongside Turtle). The parser covers the constructs ontology documents
+// use: typed node elements, rdf:about / rdf:ID / rdf:nodeID,
+// rdf:resource / rdf:datatype / xml:lang on property elements, nested node
+// elements, property attributes, rdf:parseType="Resource" and
+// rdf:parseType="Collection", and xml:base resolution.
+//
+// The writer emits one rdf:Description block per subject, which any RDF/XML
+// consumer (including this parser) round-trips.
+package rdfxml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+const rdfXMLNS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+
+// Parse reads an RDF/XML document into a fresh graph.
+func Parse(r io.Reader) (*store.Graph, error) {
+	g := store.New()
+	if err := ParseInto(g, r); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseInto reads an RDF/XML document into g.
+func ParseInto(g *store.Graph, r io.Reader) error {
+	dec := xml.NewDecoder(r)
+	p := &xparser{g: g, dec: dec}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return fmt.Errorf("rdfxml: no rdf:RDF root element")
+		}
+		if err != nil {
+			return fmt.Errorf("rdfxml: %w", err)
+		}
+		if start, ok := tok.(xml.StartElement); ok {
+			if start.Name.Space == rdfXMLNS && start.Name.Local == "RDF" {
+				p.base = attrValue(start, "base", "http://www.w3.org/XML/1998/namespace")
+				return p.parseNodeElements(start)
+			}
+			// A single node element without rdf:RDF wrapper is also legal.
+			_, err := p.parseNodeElement(start)
+			return err
+		}
+	}
+}
+
+type xparser struct {
+	g        *store.Graph
+	dec      *xml.Decoder
+	base     string
+	bnodeSeq int
+}
+
+func (p *xparser) errf(format string, args ...any) error {
+	return fmt.Errorf("rdfxml: "+format, args...)
+}
+
+func (p *xparser) fresh() rdf.Term {
+	p.bnodeSeq++
+	return rdf.NewBlank(fmt.Sprintf("x%d", p.bnodeSeq))
+}
+
+// resolve resolves a possibly-relative IRI reference against xml:base.
+func (p *xparser) resolve(ref string) string {
+	if ref == "" {
+		return p.base
+	}
+	if strings.Contains(ref, "://") || strings.HasPrefix(ref, "urn:") {
+		return ref
+	}
+	if strings.HasPrefix(ref, "#") {
+		if i := strings.IndexByte(p.base, '#'); i >= 0 {
+			return p.base[:i] + ref
+		}
+		return p.base + ref
+	}
+	if p.base == "" {
+		return ref
+	}
+	if strings.HasSuffix(p.base, "/") || strings.HasSuffix(p.base, "#") {
+		return p.base + ref
+	}
+	return p.base + "/" + ref
+}
+
+// parseNodeElements consumes children of rdf:RDF until its end element.
+func (p *xparser) parseNodeElements(parent xml.StartElement) error {
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return p.errf("unterminated %s: %v", parent.Name.Local, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if _, err := p.parseNodeElement(t); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+// parseNodeElement parses one resource description and returns its subject.
+func (p *xparser) parseNodeElement(el xml.StartElement) (rdf.Term, error) {
+	subject := p.subjectOf(el)
+	// Typed node element: element name other than rdf:Description is the
+	// type.
+	if !(el.Name.Space == rdfXMLNS && el.Name.Local == "Description") {
+		p.g.Add(subject, rdf.TypeIRI, rdf.NewIRI(el.Name.Space+el.Name.Local))
+	}
+	// Property attributes.
+	for _, a := range el.Attr {
+		if isSyntaxAttr(a) {
+			continue
+		}
+		p.g.Add(subject, rdf.NewIRI(a.Name.Space+a.Name.Local), rdf.NewLiteral(a.Value))
+	}
+	// Property elements.
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return rdf.Term{}, p.errf("unterminated node element %s: %v", el.Name.Local, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if err := p.parsePropertyElement(subject, t); err != nil {
+				return rdf.Term{}, err
+			}
+		case xml.EndElement:
+			return subject, nil
+		}
+	}
+}
+
+func (p *xparser) subjectOf(el xml.StartElement) rdf.Term {
+	if about := attrValue(el, "about", rdfXMLNS); about != "" {
+		return rdf.NewIRI(p.resolve(about))
+	}
+	if id := attrValue(el, "ID", rdfXMLNS); id != "" {
+		return rdf.NewIRI(p.resolve("#" + id))
+	}
+	if nid := attrValue(el, "nodeID", rdfXMLNS); nid != "" {
+		return rdf.NewBlank(nid)
+	}
+	return p.fresh()
+}
+
+// parsePropertyElement parses one property of subject.
+func (p *xparser) parsePropertyElement(subject rdf.Term, el xml.StartElement) error {
+	pred := rdf.NewIRI(el.Name.Space + el.Name.Local)
+
+	switch attrValue(el, "parseType", rdfXMLNS) {
+	case "Resource":
+		// Anonymous nested resource: properties directly inside.
+		node := p.fresh()
+		p.g.Add(subject, pred, node)
+		for {
+			tok, err := p.dec.Token()
+			if err != nil {
+				return p.errf("unterminated parseType=Resource: %v", err)
+			}
+			switch t := tok.(type) {
+			case xml.StartElement:
+				if err := p.parsePropertyElement(node, t); err != nil {
+					return err
+				}
+			case xml.EndElement:
+				return nil
+			}
+		}
+	case "Collection":
+		var members []rdf.Term
+		for {
+			tok, err := p.dec.Token()
+			if err != nil {
+				return p.errf("unterminated collection: %v", err)
+			}
+			switch t := tok.(type) {
+			case xml.StartElement:
+				m, err := p.parseNodeElement(t)
+				if err != nil {
+					return err
+				}
+				members = append(members, m)
+			case xml.EndElement:
+				head := rdf.NilIRI
+				if len(members) > 0 {
+					head = p.fresh()
+					cur := head
+					for i, m := range members {
+						p.g.Add(cur, rdf.FirstIRI, m)
+						if i == len(members)-1 {
+							p.g.Add(cur, rdf.RestIRI, rdf.NilIRI)
+						} else {
+							next := p.fresh()
+							p.g.Add(cur, rdf.RestIRI, next)
+							cur = next
+						}
+					}
+				}
+				p.g.Add(subject, pred, head)
+				return nil
+			}
+		}
+	}
+
+	// rdf:resource object.
+	if res, ok := lookupAttr(el, "resource", rdfXMLNS); ok {
+		p.g.Add(subject, pred, rdf.NewIRI(p.resolve(res)))
+		return p.skipToEnd()
+	}
+	if nid, ok := lookupAttr(el, "nodeID", rdfXMLNS); ok {
+		p.g.Add(subject, pred, rdf.NewBlank(nid))
+		return p.skipToEnd()
+	}
+
+	datatype := attrValue(el, "datatype", rdfXMLNS)
+	lang := attrValue(el, "lang", "http://www.w3.org/XML/1998/namespace")
+
+	// Either text content (literal) or one nested node element.
+	var text strings.Builder
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return p.errf("unterminated property %s: %v", el.Name.Local, err)
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			text.Write(t)
+		case xml.StartElement:
+			node, err := p.parseNodeElement(t)
+			if err != nil {
+				return err
+			}
+			p.g.Add(subject, pred, node)
+			return p.skipToEnd()
+		case xml.EndElement:
+			lex := text.String()
+			var obj rdf.Term
+			switch {
+			case datatype != "":
+				obj = rdf.NewTypedLiteral(lex, datatype)
+			case lang != "":
+				obj = rdf.NewLangLiteral(lex, lang)
+			default:
+				obj = rdf.NewLiteral(lex)
+			}
+			p.g.Add(subject, pred, obj)
+			return nil
+		}
+	}
+}
+
+// skipToEnd consumes tokens until the current element's end tag.
+func (p *xparser) skipToEnd() error {
+	depth := 0
+	for {
+		tok, err := p.dec.Token()
+		if err != nil {
+			return p.errf("unterminated element: %v", err)
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			depth++
+		case xml.EndElement:
+			if depth == 0 {
+				return nil
+			}
+			depth--
+		}
+	}
+}
+
+func attrValue(el xml.StartElement, local, space string) string {
+	v, _ := lookupAttr(el, local, space)
+	return v
+}
+
+func lookupAttr(el xml.StartElement, local, space string) (string, bool) {
+	for _, a := range el.Attr {
+		if a.Name.Local == local && (a.Name.Space == space || a.Name.Space == "") {
+			if a.Name.Space == "" && local != "base" && local != "lang" {
+				// Unprefixed attributes only match rdf:* forms like
+				// about/resource when written without a namespace, which
+				// some tools emit.
+				if space != rdfXMLNS {
+					continue
+				}
+			}
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+func isSyntaxAttr(a xml.Attr) bool {
+	if a.Name.Space == rdfXMLNS {
+		return true
+	}
+	if a.Name.Space == "http://www.w3.org/XML/1998/namespace" {
+		return true
+	}
+	if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+		return true
+	}
+	// Unprefixed rdf syntax attributes emitted by some serializers.
+	switch a.Name.Local {
+	case "about", "ID", "nodeID", "resource", "datatype", "parseType":
+		return a.Name.Space == ""
+	}
+	return false
+}
+
+// Write serializes g as RDF/XML: one rdf:Description per subject, sorted.
+// Each property element declares its namespace inline, trading verbosity
+// for a serializer with no prefix-allocation state.
+func Write(w io.Writer, g *store.Graph) error {
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	b.WriteString(`<rdf:RDF xmlns:rdf="` + rdfXMLNS + `">` + "\n")
+	for _, subj := range g.SubjectSet() {
+		b.WriteString("  <rdf:Description")
+		if subj.IsBlank() {
+			b.WriteString(` rdf:nodeID="` + xmlEscape(subj.Value) + `"`)
+		} else {
+			b.WriteString(` rdf:about="` + xmlEscape(subj.Value) + `"`)
+		}
+		b.WriteString(">\n")
+		triples := g.Match(subj, store.Wildcard, store.Wildcard)
+		sort.Slice(triples, func(i, j int) bool {
+			if c := rdf.Compare(triples[i].P, triples[j].P); c != 0 {
+				return c < 0
+			}
+			return rdf.Compare(triples[i].O, triples[j].O) < 0
+		})
+		for _, t := range triples {
+			ns, local := splitIRI(t.P.Value)
+			open := `    <p:` + local + ` xmlns:p="` + xmlEscape(ns) + `"`
+			switch {
+			case t.O.IsIRI():
+				b.WriteString(open + ` rdf:resource="` + xmlEscape(t.O.Value) + `"/>` + "\n")
+			case t.O.IsBlank():
+				b.WriteString(open + ` rdf:nodeID="` + xmlEscape(t.O.Value) + `"/>` + "\n")
+			default:
+				b.WriteString(open)
+				if t.O.Lang != "" {
+					b.WriteString(` xml:lang="` + xmlEscape(t.O.Lang) + `"`)
+				} else if t.O.Datatype != "" && t.O.Datatype != rdf.XSDString {
+					b.WriteString(` rdf:datatype="` + xmlEscape(t.O.Datatype) + `"`)
+				}
+				b.WriteString(">" + xmlEscape(t.O.Value) + "</p:" + local + ">\n")
+			}
+		}
+		b.WriteString("  </rdf:Description>\n")
+	}
+	b.WriteString("</rdf:RDF>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// splitIRI splits an IRI into namespace and XML-name-safe local part.
+func splitIRI(iri string) (ns, local string) {
+	for i := len(iri) - 1; i >= 0; i-- {
+		c := iri[i]
+		if c == '#' || c == '/' || c == ':' {
+			return iri[:i+1], iri[i+1:]
+		}
+	}
+	return "", iri
+}
+
+func nsOf(iri string) string {
+	ns, _ := splitIRI(iri)
+	return ns
+}
+
+func xmlEscape(s string) string {
+	var b strings.Builder
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		return s
+	}
+	return b.String()
+}

@@ -1,0 +1,247 @@
+package rdfxml
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+func parseDoc(t *testing.T, doc string) *store.Graph {
+	t.Helper()
+	g, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, doc)
+	}
+	return g
+}
+
+func TestParseTypedNodeElement(t *testing.T) {
+	g := parseDoc(t, `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:food="http://purl.org/heals/food/">
+  <food:Recipe rdf:about="http://e/curry"/>
+</rdf:RDF>`)
+	if !g.IsA(rdf.NewIRI("http://e/curry"), rdf.NewIRI("http://purl.org/heals/food/Recipe")) {
+		t.Errorf("typed node element: %v", g.Triples())
+	}
+}
+
+func TestParseProperties(t *testing.T) {
+	g := parseDoc(t, `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:feo="https://purl.org/heals/feo#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#">
+  <rdf:Description rdf:about="http://e/curry">
+    <feo:hasIngredient rdf:resource="http://e/cauliflower"/>
+    <rdfs:label>Cauliflower Potato Curry</rdfs:label>
+    <rdfs:comment xml:lang="fr">currie</rdfs:comment>
+    <feo:calories rdf:datatype="http://www.w3.org/2001/XMLSchema#integer">500</feo:calories>
+  </rdf:Description>
+</rdf:RDF>`)
+	curry := rdf.NewIRI("http://e/curry")
+	if !g.Has(curry, rdf.NewIRI(rdf.FEONS+"hasIngredient"), rdf.NewIRI("http://e/cauliflower")) {
+		t.Error("resource property missing")
+	}
+	if !g.Has(curry, rdf.LabelIRI, rdf.NewLiteral("Cauliflower Potato Curry")) {
+		t.Error("plain literal missing")
+	}
+	if !g.Has(curry, rdf.CommentIRI, rdf.NewLangLiteral("currie", "fr")) {
+		t.Error("lang literal missing")
+	}
+	if !g.Has(curry, rdf.NewIRI(rdf.FEONS+"calories"), rdf.NewInt(500)) {
+		t.Error("typed literal missing")
+	}
+}
+
+func TestParseNestedNodeElement(t *testing.T) {
+	g := parseDoc(t, `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:ex="http://e/">
+  <rdf:Description rdf:about="http://e/s">
+    <ex:knows>
+      <ex:Person rdf:about="http://e/o"><ex:name>Bob</ex:name></ex:Person>
+    </ex:knows>
+  </rdf:Description>
+</rdf:RDF>`)
+	if !g.Has(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/knows"), rdf.NewIRI("http://e/o")) {
+		t.Errorf("nested node: %v", g.Triples())
+	}
+	if !g.Has(rdf.NewIRI("http://e/o"), rdf.NewIRI("http://e/name"), rdf.NewLiteral("Bob")) {
+		t.Error("nested node's own property missing")
+	}
+}
+
+func TestParseParseTypeResource(t *testing.T) {
+	g := parseDoc(t, `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#">
+  <rdf:Description rdf:about="http://e/C">
+    <owl:equivalentClass rdf:parseType="Resource">
+      <owl:onProperty rdf:resource="http://e/p"/>
+      <owl:hasValue rdf:resource="http://e/v"/>
+    </owl:equivalentClass>
+  </rdf:Description>
+</rdf:RDF>`)
+	objs := g.Objects(rdf.NewIRI("http://e/C"), rdf.EquivClassIRI)
+	if len(objs) != 1 || !objs[0].IsBlank() {
+		t.Fatalf("parseType=Resource should create a bnode: %v", g.Triples())
+	}
+	if !g.Has(objs[0], rdf.NewIRI(rdf.OWLOnProperty), rdf.NewIRI("http://e/p")) {
+		t.Error("nested property missing")
+	}
+}
+
+func TestParseCollection(t *testing.T) {
+	g := parseDoc(t, `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#">
+  <rdf:Description rdf:about="http://e/Fact">
+    <owl:intersectionOf rdf:parseType="Collection">
+      <rdf:Description rdf:about="http://e/A"/>
+      <rdf:Description rdf:about="http://e/B"/>
+    </owl:intersectionOf>
+  </rdf:Description>
+</rdf:RDF>`)
+	head := g.FirstObject(rdf.NewIRI("http://e/Fact"), rdf.NewIRI(rdf.OWLIntersectionOf))
+	members, ok := g.ReadList(head)
+	if !ok || len(members) != 2 {
+		t.Fatalf("collection = %v ok=%v\n%v", members, ok, g.Triples())
+	}
+	if members[0] != rdf.NewIRI("http://e/A") {
+		t.Errorf("collection order: %v", members)
+	}
+}
+
+func TestParseBaseAndID(t *testing.T) {
+	g := parseDoc(t, `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:ex="http://e/"
+         xml:base="http://example.org/onto">
+  <rdf:Description rdf:ID="thing">
+    <ex:p rdf:resource="#other"/>
+  </rdf:Description>
+</rdf:RDF>`)
+	if !g.Has(rdf.NewIRI("http://example.org/onto#thing"),
+		rdf.NewIRI("http://e/p"),
+		rdf.NewIRI("http://example.org/onto#other")) {
+		t.Errorf("base/ID resolution: %v", g.Triples())
+	}
+}
+
+func TestParseNodeID(t *testing.T) {
+	g := parseDoc(t, `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:ex="http://e/">
+  <rdf:Description rdf:nodeID="b1"><ex:p>v</ex:p></rdf:Description>
+  <rdf:Description rdf:about="http://e/s"><ex:q rdf:nodeID="b1"/></rdf:Description>
+</rdf:RDF>`)
+	b := rdf.NewBlank("b1")
+	if !g.Has(b, rdf.NewIRI("http://e/p"), rdf.NewLiteral("v")) {
+		t.Error("nodeID subject missing")
+	}
+	if !g.Has(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/q"), b) {
+		t.Error("nodeID object missing")
+	}
+}
+
+func TestParsePropertyAttributes(t *testing.T) {
+	g := parseDoc(t, `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:ex="http://e/">
+  <ex:Person rdf:about="http://e/alice" ex:name="Alice"/>
+</rdf:RDF>`)
+	if !g.Has(rdf.NewIRI("http://e/alice"), rdf.NewIRI("http://e/name"), rdf.NewLiteral("Alice")) {
+		t.Errorf("property attribute: %v", g.Triples())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, doc := range []string{
+		``,
+		`<foo`,
+		`<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">`,
+		`plain text`,
+	} {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("expected error for %q", doc)
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	src := `
+@prefix ex: <http://e/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:s a ex:Class ;
+    ex:p "lit", "fr"@fr, "5"^^xsd:integer ;
+    ex:q <http://other/iri> ;
+    ex:r _:b .
+_:b ex:inner ex:s .
+`
+	g, err := turtle.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	if !store.Isomorphic(g, g2) {
+		t.Errorf("round trip not isomorphic.\nXML:\n%s\noriginal: %v\nreparsed: %v",
+			sb.String(), g.Triples(), g2.Triples())
+	}
+}
+
+// TestOntologyThroughRDFXML pushes the whole FEO TBox through the RDF/XML
+// writer and parser and checks isomorphism — the Protégé-interchange
+// scenario.
+func TestOntologyThroughRDFXML(t *testing.T) {
+	// Use a representative slice of FEO spelled in Turtle.
+	src := `
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl:  <http://www.w3.org/2002/07/owl#> .
+@prefix feo:  <https://purl.org/heals/feo#> .
+feo:Characteristic a owl:Class .
+feo:Parameter a owl:Class ; rdfs:subClassOf feo:Characteristic .
+feo:hasCharacteristic a owl:ObjectProperty , owl:TransitiveProperty ;
+    owl:inverseOf feo:isCharacteristicOf .
+feo:SeasonCharacteristic rdfs:subClassOf feo:Characteristic ,
+    [ a owl:Restriction ; owl:onProperty feo:isInternal ; owl:hasValue false ] .
+`
+	g, err := turtle.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !store.Isomorphic(g, g2) {
+		t.Errorf("FEO slice lost through RDF/XML:\n%s", sb.String())
+	}
+}
+
+func TestSplitIRI(t *testing.T) {
+	for iri, want := range map[string][2]string{
+		"http://e/a#b": {"http://e/a#", "b"},
+		"http://e/a/b": {"http://e/a/", "b"},
+		"urn:x:y":      {"urn:x:", "y"},
+		"plain":        {"", "plain"},
+	} {
+		ns, local := splitIRI(iri)
+		if ns != want[0] || local != want[1] {
+			t.Errorf("splitIRI(%q) = (%q,%q), want (%q,%q)", iri, ns, local, want[0], want[1])
+		}
+	}
+}

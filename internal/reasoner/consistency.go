@@ -1,0 +1,189 @@
+package reasoner
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Inconsistency reports one violated OWL constraint found by Validate.
+type Inconsistency struct {
+	// Rule is the OWL RL false-rule name (cax-dw, eq-diff1, ...).
+	Rule string
+	// Message is a human-readable description.
+	Message string
+	// Triples are the conflicting assertions.
+	Triples []rdf.Triple
+}
+
+func (i Inconsistency) String() string {
+	return fmt.Sprintf("[%s] %s", i.Rule, i.Message)
+}
+
+// Validate checks the (ideally already materialized) graph against the OWL
+// RL inconsistency rules Pellet would flag: disjoint-class membership,
+// sameAs/differentFrom clashes, owl:Nothing membership, asymmetric and
+// irreflexive property violations, complementOf membership, and violated
+// negative property assertions. It returns every violation found.
+func Validate(g *store.Graph) []Inconsistency {
+	var out []Inconsistency
+	out = append(out, checkDisjointClasses(g)...)
+	out = append(out, checkSameDifferent(g)...)
+	out = append(out, checkNothing(g)...)
+	out = append(out, checkAsymmetric(g)...)
+	out = append(out, checkIrreflexive(g)...)
+	out = append(out, checkComplement(g)...)
+	out = append(out, checkNegativeAssertions(g)...)
+	return out
+}
+
+// checkDisjointClasses implements cax-dw: no individual may belong to two
+// disjoint classes.
+func checkDisjointClasses(g *store.Graph) []Inconsistency {
+	var out []Inconsistency
+	disjointIRI := rdf.NewIRI(rdf.OWLDisjointWith)
+	g.ForEach(store.Wildcard, disjointIRI, store.Wildcard, func(ax rdf.Triple) bool {
+		c1, c2 := ax.S, ax.O
+		for _, x := range g.InstancesOf(c1) {
+			if g.IsA(x, c2) {
+				out = append(out, Inconsistency{
+					Rule: "cax-dw",
+					Message: fmt.Sprintf("%s belongs to disjoint classes %s and %s",
+						x, c1, c2),
+					Triples: []rdf.Triple{
+						{S: x, P: rdf.TypeIRI, O: c1},
+						{S: x, P: rdf.TypeIRI, O: c2},
+						ax,
+					},
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkSameDifferent implements eq-diff1: owl:sameAs and owl:differentFrom
+// may not hold for the same pair.
+func checkSameDifferent(g *store.Graph) []Inconsistency {
+	var out []Inconsistency
+	diffIRI := rdf.NewIRI(rdf.OWLDifferentFrom)
+	g.ForEach(store.Wildcard, diffIRI, store.Wildcard, func(ax rdf.Triple) bool {
+		if g.Has(ax.S, rdf.SameAsIRI, ax.O) || g.Has(ax.O, rdf.SameAsIRI, ax.S) || ax.S == ax.O {
+			out = append(out, Inconsistency{
+				Rule:    "eq-diff1",
+				Message: fmt.Sprintf("%s is both sameAs and differentFrom %s", ax.S, ax.O),
+				Triples: []rdf.Triple{ax, {S: ax.S, P: rdf.SameAsIRI, O: ax.O}},
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// checkNothing implements cls-nothing2: owl:Nothing has no instances.
+func checkNothing(g *store.Graph) []Inconsistency {
+	var out []Inconsistency
+	for _, x := range g.InstancesOf(rdf.NothingIRI) {
+		out = append(out, Inconsistency{
+			Rule:    "cls-nothing2",
+			Message: fmt.Sprintf("%s is an instance of owl:Nothing", x),
+			Triples: []rdf.Triple{{S: x, P: rdf.TypeIRI, O: rdf.NothingIRI}},
+		})
+	}
+	return out
+}
+
+// checkAsymmetric implements prp-asyp: an asymmetric property may not hold
+// in both directions.
+func checkAsymmetric(g *store.Graph) []Inconsistency {
+	var out []Inconsistency
+	asymIRI := rdf.NewIRI(rdf.OWLAsymmetricProperty)
+	for _, p := range g.Subjects(rdf.TypeIRI, asymIRI) {
+		g.ForEach(store.Wildcard, p, store.Wildcard, func(t rdf.Triple) bool {
+			if (t.O.IsIRI() || t.O.IsBlank()) && g.Has(t.O, p, t.S) {
+				// Report each unordered pair once.
+				if rdf.Compare(t.S, t.O) <= 0 {
+					out = append(out, Inconsistency{
+						Rule:    "prp-asyp",
+						Message: fmt.Sprintf("asymmetric property %s holds both ways between %s and %s", p, t.S, t.O),
+						Triples: []rdf.Triple{t, {S: t.O, P: p, O: t.S}},
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkIrreflexive implements prp-irp: an irreflexive property may not
+// relate a node to itself.
+func checkIrreflexive(g *store.Graph) []Inconsistency {
+	var out []Inconsistency
+	irrIRI := rdf.NewIRI(rdf.OWLIrreflexiveProperty)
+	for _, p := range g.Subjects(rdf.TypeIRI, irrIRI) {
+		g.ForEach(store.Wildcard, p, store.Wildcard, func(t rdf.Triple) bool {
+			if t.S == t.O {
+				out = append(out, Inconsistency{
+					Rule:    "prp-irp",
+					Message: fmt.Sprintf("irreflexive property %s relates %s to itself", p, t.S),
+					Triples: []rdf.Triple{t},
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkComplement implements cls-com: no individual may belong to a class
+// and its complement.
+func checkComplement(g *store.Graph) []Inconsistency {
+	var out []Inconsistency
+	compIRI := rdf.NewIRI(rdf.OWLComplementOf)
+	g.ForEach(store.Wildcard, compIRI, store.Wildcard, func(ax rdf.Triple) bool {
+		for _, x := range g.InstancesOf(ax.S) {
+			if g.IsA(x, ax.O) {
+				out = append(out, Inconsistency{
+					Rule:    "cls-com",
+					Message: fmt.Sprintf("%s belongs to %s and its complement %s", x, ax.O, ax.S),
+					Triples: []rdf.Triple{
+						{S: x, P: rdf.TypeIRI, O: ax.S},
+						{S: x, P: rdf.TypeIRI, O: ax.O},
+						ax,
+					},
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkNegativeAssertions implements prp-npa1: a triple asserted by the
+// graph may not be denied by an owl:NegativePropertyAssertion.
+func checkNegativeAssertions(g *store.Graph) []Inconsistency {
+	var out []Inconsistency
+	npaIRI := rdf.NewIRI(rdf.OWLNegativePropertyAssert)
+	srcIRI := rdf.NewIRI(rdf.OWLSourceIndividual)
+	propIRI := rdf.NewIRI(rdf.OWLAssertionProperty)
+	tgtIRI := rdf.NewIRI(rdf.OWLTargetIndividual)
+	for _, npa := range g.InstancesOf(npaIRI) {
+		src := g.FirstObject(npa, srcIRI)
+		prop := g.FirstObject(npa, propIRI)
+		tgt := g.FirstObject(npa, tgtIRI)
+		if !src.IsValid() || !prop.IsValid() || !tgt.IsValid() {
+			continue
+		}
+		if g.Has(src, prop, tgt) {
+			out = append(out, Inconsistency{
+				Rule:    "prp-npa1",
+				Message: fmt.Sprintf("negative assertion violated: %s %s %s", src, prop, tgt),
+				Triples: []rdf.Triple{{S: src, P: prop, O: tgt}},
+			})
+		}
+	}
+	return out
+}

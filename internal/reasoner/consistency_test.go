@@ -1,0 +1,174 @@
+package reasoner
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func validateSrc(t *testing.T, src string) []Inconsistency {
+	t.Helper()
+	g := materialize(t, src)
+	return Validate(g)
+}
+
+func hasRule(incs []Inconsistency, rule string) bool {
+	for _, i := range incs {
+		if i.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDisjointClassViolation(t *testing.T) {
+	incs := validateSrc(t, prelude+`
+ex:Food owl:disjointWith ex:Season .
+ex:weird a ex:Food , ex:Season .
+`)
+	if !hasRule(incs, "cax-dw") {
+		t.Errorf("expected cax-dw, got %v", incs)
+	}
+}
+
+func TestDisjointViolationThroughSubclass(t *testing.T) {
+	// The violation is only visible after materialization: x is asserted
+	// into a subclass of one of the disjoint classes.
+	incs := validateSrc(t, prelude+`
+ex:Food owl:disjointWith ex:Season .
+ex:Recipe rdfs:subClassOf ex:Food .
+ex:weird a ex:Recipe , ex:Season .
+`)
+	if !hasRule(incs, "cax-dw") {
+		t.Errorf("expected cax-dw via subclass, got %v", incs)
+	}
+}
+
+func TestDisjointClean(t *testing.T) {
+	incs := validateSrc(t, prelude+`
+ex:Food owl:disjointWith ex:Season .
+ex:apple a ex:Food . ex:autumn a ex:Season .
+`)
+	if len(incs) != 0 {
+		t.Errorf("clean graph flagged: %v", incs)
+	}
+}
+
+func TestSameDifferentClash(t *testing.T) {
+	incs := validateSrc(t, prelude+`
+ex:a owl:sameAs ex:b .
+ex:a owl:differentFrom ex:b .
+`)
+	if !hasRule(incs, "eq-diff1") {
+		t.Errorf("expected eq-diff1, got %v", incs)
+	}
+}
+
+func TestSameDifferentClashInferred(t *testing.T) {
+	// sameAs derived through a chain still clashes with differentFrom.
+	incs := validateSrc(t, prelude+`
+ex:a owl:sameAs ex:b . ex:b owl:sameAs ex:c .
+ex:a owl:differentFrom ex:c .
+`)
+	if !hasRule(incs, "eq-diff1") {
+		t.Errorf("expected eq-diff1 via eq-trans, got %v", incs)
+	}
+}
+
+func TestNothingMembership(t *testing.T) {
+	incs := validateSrc(t, prelude+`
+ex:x a owl:Nothing .
+`)
+	if !hasRule(incs, "cls-nothing2") {
+		t.Errorf("expected cls-nothing2, got %v", incs)
+	}
+}
+
+func TestAsymmetricViolation(t *testing.T) {
+	incs := validateSrc(t, prelude+`
+ex:betterThan a owl:AsymmetricProperty .
+ex:a ex:betterThan ex:b .
+ex:b ex:betterThan ex:a .
+`)
+	if !hasRule(incs, "prp-asyp") {
+		t.Errorf("expected prp-asyp, got %v", incs)
+	}
+	// Exactly one report per unordered pair.
+	n := 0
+	for _, i := range incs {
+		if i.Rule == "prp-asyp" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("prp-asyp reported %d times, want 1", n)
+	}
+}
+
+func TestIrreflexiveViolation(t *testing.T) {
+	incs := validateSrc(t, prelude+`
+ex:contains a owl:IrreflexiveProperty .
+ex:soup ex:contains ex:soup .
+`)
+	if !hasRule(incs, "prp-irp") {
+		t.Errorf("expected prp-irp, got %v", incs)
+	}
+}
+
+func TestComplementViolation(t *testing.T) {
+	incs := validateSrc(t, prelude+`
+ex:NonVegan owl:complementOf ex:Vegan .
+ex:dish a ex:Vegan , ex:NonVegan .
+`)
+	if !hasRule(incs, "cls-com") {
+		t.Errorf("expected cls-com, got %v", incs)
+	}
+}
+
+func TestNegativeAssertionViolation(t *testing.T) {
+	incs := validateSrc(t, prelude+`
+[] a owl:NegativePropertyAssertion ;
+   owl:sourceIndividual ex:user ;
+   owl:assertionProperty ex:like ;
+   owl:targetIndividual ex:broccoli .
+ex:user ex:like ex:broccoli .
+`)
+	if !hasRule(incs, "prp-npa1") {
+		t.Errorf("expected prp-npa1, got %v", incs)
+	}
+}
+
+func TestNegativeAssertionClean(t *testing.T) {
+	incs := validateSrc(t, prelude+`
+[] a owl:NegativePropertyAssertion ;
+   owl:sourceIndividual ex:user ;
+   owl:assertionProperty ex:like ;
+   owl:targetIndividual ex:broccoli .
+ex:user ex:like ex:spinach .
+`)
+	if len(incs) != 0 {
+		t.Errorf("clean NPA flagged: %v", incs)
+	}
+}
+
+func TestInconsistencyCarriesTriples(t *testing.T) {
+	incs := validateSrc(t, prelude+`
+ex:Food owl:disjointWith ex:Season .
+ex:weird a ex:Food , ex:Season .
+`)
+	if len(incs) == 0 {
+		t.Fatal("no inconsistencies")
+	}
+	inc := incs[0]
+	if len(inc.Triples) < 2 {
+		t.Errorf("inconsistency should carry the conflicting triples: %v", inc)
+	}
+	if inc.String() == "" {
+		t.Error("String should render")
+	}
+	for _, tr := range inc.Triples {
+		if tr.P == rdf.TypeIRI && !tr.S.IsValid() {
+			t.Error("malformed evidence triple")
+		}
+	}
+}

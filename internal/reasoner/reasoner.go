@@ -1,0 +1,211 @@
+package reasoner
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Options configures a materialization run.
+type Options struct {
+	// Naive selects full re-evaluation each round instead of delta-driven
+	// semi-naive evaluation. Kept for the ablation benchmark; results are
+	// identical, only slower.
+	Naive bool
+	// MaxRounds bounds naive evaluation rounds (and acts as a safety valve
+	// for semi-naive). Zero means the default of 1000.
+	MaxRounds int
+	// TraceDerivations records, for every inferred triple, the rule and
+	// premises that first produced it. Required for trace-based
+	// explanations; costs one map entry per inferred triple.
+	TraceDerivations bool
+	// IncludeReflexive additionally materializes the reflexive
+	// rdfs:subClassOf/subPropertyOf triples of OWL RL rule scm-cls/scm-op.
+	// The paper's SPARQL listings assume Protégé-style inferred exports,
+	// which omit reflexive axioms, so the default is false.
+	IncludeReflexive bool
+}
+
+// Derivation records how an inferred triple was first derived.
+type Derivation struct {
+	Rule     string       // OWL RL rule name, e.g. "cax-sco"
+	Premises []rdf.Triple // the triples that matched the rule body
+}
+
+// Stats summarizes a materialization run.
+type Stats struct {
+	Asserted    int // triples present before materialization
+	Inferred    int // new triples added
+	Rounds      int // naive rounds, or delta batches processed
+	RuleFirings map[string]int
+	Duration    time.Duration
+}
+
+// String renders the stats compactly for CLI output.
+func (s Stats) String() string {
+	return fmt.Sprintf("asserted=%d inferred=%d rounds=%d duration=%s",
+		s.Asserted, s.Inferred, s.Rounds, s.Duration)
+}
+
+// Reasoner materializes OWL 2 RL consequences into a graph.
+type Reasoner struct {
+	opts  Options
+	g     *store.Graph
+	expr  *exprTable
+	queue []rdf.Triple
+	stats Stats
+	// derivations maps each inferred triple to its first derivation.
+	derivations map[rdf.Triple]Derivation
+	exprDirty   bool
+}
+
+// New returns a Reasoner with the given options.
+func New(opts Options) *Reasoner {
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 1000
+	}
+	return &Reasoner{opts: opts}
+}
+
+// Materialize computes the OWL RL closure of g in place and returns run
+// statistics. It can be called again after further assertions; the closure
+// is recomputed incrementally from the full graph.
+func (r *Reasoner) Materialize(g *store.Graph) Stats {
+	start := time.Now()
+	r.g = g
+	r.stats = Stats{Asserted: g.Len(), RuleFirings: make(map[string]int)}
+	if r.opts.TraceDerivations && r.derivations == nil {
+		r.derivations = make(map[rdf.Triple]Derivation)
+	}
+	r.expr = buildExprTable(g)
+	if r.opts.Naive {
+		r.runNaive()
+	} else {
+		r.runSemiNaive()
+	}
+	r.stats.Inferred = g.Len() - r.stats.Asserted
+	r.stats.Duration = time.Since(start)
+	return r.stats
+}
+
+// Derivation returns how t was inferred. ok is false for asserted triples,
+// for unknown triples, or when tracing was disabled.
+func (r *Reasoner) Derivation(t rdf.Triple) (Derivation, bool) {
+	d, ok := r.derivations[t]
+	return d, ok
+}
+
+// ProofTree returns the derivation of t and, recursively, of its premises,
+// flattened in dependency order (premises before conclusions). Asserted
+// premises appear with rule "asserted".
+type ProofStep struct {
+	Conclusion rdf.Triple
+	Rule       string
+	Premises   []rdf.Triple
+}
+
+// Proof reconstructs the full derivation chain for t. The result is empty
+// when tracing was disabled or t is unknown.
+func (r *Reasoner) Proof(t rdf.Triple) []ProofStep {
+	var steps []ProofStep
+	seen := make(map[rdf.Triple]bool)
+	var walk func(rdf.Triple)
+	walk = func(cur rdf.Triple) {
+		if seen[cur] {
+			return
+		}
+		seen[cur] = true
+		d, ok := r.derivations[cur]
+		if !ok {
+			if r.g != nil && r.g.Has(cur.S, cur.P, cur.O) {
+				steps = append(steps, ProofStep{Conclusion: cur, Rule: "asserted"})
+			}
+			return
+		}
+		for _, p := range d.Premises {
+			walk(p)
+		}
+		steps = append(steps, ProofStep{Conclusion: cur, Rule: d.Rule, Premises: d.Premises})
+	}
+	walk(t)
+	return steps
+}
+
+// runSemiNaive seeds the queue with every asserted triple and then processes
+// deltas: each new triple is matched against every rule position it could
+// fill, joining other premises against the current graph. Each inferred
+// triple enters the queue exactly once.
+func (r *Reasoner) runSemiNaive() {
+	r.queue = r.g.Triples()
+	r.seedAxiomRules()
+	processed := 0
+	for len(r.queue) > 0 {
+		t := r.queue[len(r.queue)-1]
+		r.queue = r.queue[:len(r.queue)-1]
+		if r.exprDirty {
+			r.expr = buildExprTable(r.g)
+			r.exprDirty = false
+		}
+		r.applyDelta(t)
+		processed++
+		if processed > r.opts.MaxRounds*1_000_000 {
+			break // safety valve; unreachable in practice
+		}
+	}
+	r.stats.Rounds = processed
+}
+
+// runNaive repeatedly applies every rule to every triple until a full round
+// adds nothing. Kept for the A1 ablation benchmark.
+func (r *Reasoner) runNaive() {
+	for round := 0; round < r.opts.MaxRounds; round++ {
+		r.stats.Rounds = round + 1
+		before := r.g.Len()
+		r.expr = buildExprTable(r.g)
+		r.exprDirty = false
+		r.seedAxiomRules()
+		for _, t := range r.g.Triples() {
+			r.applyDelta(t)
+		}
+		if r.g.Len() == before {
+			return
+		}
+	}
+}
+
+// infer adds a conclusion triple; when new, it is queued for further delta
+// processing and its derivation is recorded.
+func (r *Reasoner) infer(rule string, s, p, o rdf.Term, premises ...rdf.Triple) {
+	t := rdf.Triple{S: s, P: p, O: o}
+	if !t.Valid() || r.g.Has(s, p, o) {
+		return
+	}
+	r.g.AddTriple(t)
+	r.stats.RuleFirings[rule]++
+	if !r.opts.Naive {
+		r.queue = append(r.queue, t)
+	}
+	if r.opts.TraceDerivations {
+		prem := make([]rdf.Triple, len(premises))
+		copy(prem, premises)
+		r.derivations[t] = Derivation{Rule: rule, Premises: prem}
+	}
+	if structuralPredicates[p.Value] {
+		r.exprDirty = true
+	}
+}
+
+// seedAxiomRules applies rules with no instance premises (scm-cls style).
+func (r *Reasoner) seedAxiomRules() {
+	if !r.opts.IncludeReflexive {
+		return
+	}
+	classIRI := rdf.ClassIRI
+	r.g.ForEach(store.Wildcard, rdf.TypeIRI, classIRI, func(t rdf.Triple) bool {
+		r.infer("scm-cls", t.S, rdf.SubClassOfIRI, t.S, t)
+		r.infer("scm-cls", t.S, rdf.SubClassOfIRI, rdf.ThingIRI, t)
+		return true
+	})
+}

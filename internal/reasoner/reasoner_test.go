@@ -1,0 +1,645 @@
+package reasoner
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://e/" + s) }
+
+func materialize(t *testing.T, src string) *store.Graph {
+	t.Helper()
+	g, err := turtle.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	New(Options{}).Materialize(g)
+	return g
+}
+
+const prelude = `
+@prefix ex: <http://e/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+`
+
+func TestSubClassTransitivityAndTypePropagation(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:A rdfs:subClassOf ex:B .
+ex:B rdfs:subClassOf ex:C .
+ex:C rdfs:subClassOf ex:D .
+ex:x a ex:A .
+`)
+	if !g.Has(iri("A"), rdf.SubClassOfIRI, iri("D")) {
+		t.Error("scm-sco: A sco D missing")
+	}
+	for _, c := range []string{"B", "C", "D"} {
+		if !g.IsA(iri("x"), iri(c)) {
+			t.Errorf("cax-sco: x should be a %s", c)
+		}
+	}
+}
+
+func TestSubPropertyPropagation(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:p1 rdfs:subPropertyOf ex:p2 .
+ex:p2 rdfs:subPropertyOf ex:p3 .
+ex:x ex:p1 ex:y .
+`)
+	if !g.Has(iri("p1"), rdf.SubPropertyOfIRI, iri("p3")) {
+		t.Error("scm-spo: p1 spo p3 missing")
+	}
+	if !g.Has(iri("x"), iri("p2"), iri("y")) || !g.Has(iri("x"), iri("p3"), iri("y")) {
+		t.Error("prp-spo1: triple not propagated to superproperties")
+	}
+}
+
+func TestDomainRange(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:p rdfs:domain ex:D ; rdfs:range ex:R .
+ex:x ex:p ex:y .
+`)
+	if !g.IsA(iri("x"), iri("D")) {
+		t.Error("prp-dom failed")
+	}
+	if !g.IsA(iri("y"), iri("R")) {
+		t.Error("prp-rng failed")
+	}
+}
+
+func TestRangeNotAppliedToLiterals(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:p rdfs:range ex:R .
+ex:x ex:p "literal" .
+`)
+	if g.Exists(rdf.NewLiteral("literal"), rdf.TypeIRI, store.Wildcard) {
+		t.Error("range rule must not type literals")
+	}
+}
+
+func TestInverseOf(t *testing.T) {
+	// The paper's own example: feo:dislikedBy inverse of feo:dislike lets
+	// the reasoner infer user dislikes without explicit assertions.
+	g := materialize(t, prelude+`
+ex:dislike owl:inverseOf ex:dislikedBy .
+ex:user ex:dislike ex:broccoli .
+ex:spinach ex:dislikedBy ex:user2 .
+`)
+	if !g.Has(iri("broccoli"), iri("dislikedBy"), iri("user")) {
+		t.Error("prp-inv1 failed")
+	}
+	if !g.Has(iri("user2"), iri("dislike"), iri("spinach")) {
+		t.Error("prp-inv2 failed")
+	}
+}
+
+func TestTransitiveProperty(t *testing.T) {
+	// The paper declares feo:hasCharacteristic transitive so queries reach
+	// characteristics at all depths.
+	g := materialize(t, prelude+`
+ex:hasCharacteristic a owl:TransitiveProperty .
+ex:curry ex:hasCharacteristic ex:cauliflower .
+ex:cauliflower ex:hasCharacteristic ex:autumn .
+ex:autumn ex:hasCharacteristic ex:cool .
+`)
+	if !g.Has(iri("curry"), iri("hasCharacteristic"), iri("autumn")) {
+		t.Error("prp-trp depth 2 failed")
+	}
+	if !g.Has(iri("curry"), iri("hasCharacteristic"), iri("cool")) {
+		t.Error("prp-trp depth 3 failed")
+	}
+}
+
+func TestTransitiveDeclarationAfterEdges(t *testing.T) {
+	// Characteristic activation must also work when the edges are already
+	// in the graph before the TransitiveProperty declaration is processed.
+	g := store.New()
+	g.Add(iri("a"), iri("p"), iri("b"))
+	g.Add(iri("b"), iri("p"), iri("c"))
+	g.Add(iri("p"), rdf.TypeIRI, rdf.NewIRI(rdf.OWLTransitiveProperty))
+	New(Options{}).Materialize(g)
+	if !g.Has(iri("a"), iri("p"), iri("c")) {
+		t.Error("transitivity not applied to pre-existing edges")
+	}
+}
+
+func TestSymmetricProperty(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:pairsWith a owl:SymmetricProperty .
+ex:wine ex:pairsWith ex:cheese .
+`)
+	if !g.Has(iri("cheese"), iri("pairsWith"), iri("wine")) {
+		t.Error("prp-symp failed")
+	}
+}
+
+func TestEquivalentClass(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:A owl:equivalentClass ex:B .
+ex:x a ex:A .
+ex:y a ex:B .
+`)
+	if !g.IsA(iri("x"), iri("B")) || !g.IsA(iri("y"), iri("A")) {
+		t.Error("equivalentClass must share instances both ways")
+	}
+	if !g.Has(iri("B"), rdf.EquivClassIRI, iri("A")) {
+		t.Error("equivalentClass must be symmetric")
+	}
+}
+
+func TestMutualSubclassBecomesEquivalent(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:A rdfs:subClassOf ex:B .
+ex:B rdfs:subClassOf ex:A .
+`)
+	if !g.Has(iri("A"), rdf.EquivClassIRI, iri("B")) {
+		t.Error("scm-eqc2 failed")
+	}
+}
+
+func TestEquivalentProperty(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:p owl:equivalentProperty ex:q .
+ex:x ex:p ex:y .
+`)
+	if !g.Has(iri("x"), iri("q"), iri("y")) {
+		t.Error("equivalentProperty must propagate triples")
+	}
+}
+
+func TestIntersectionClassification(t *testing.T) {
+	// The Fact/Foil pattern: Fact ≡ SupportsParameter ⊓ InEcosystem.
+	g := materialize(t, prelude+`
+ex:Fact owl:intersectionOf ( ex:SupportsParameter ex:InEcosystem ) .
+ex:autumn a ex:SupportsParameter , ex:InEcosystem .
+ex:broccoli a ex:SupportsParameter .
+`)
+	if !g.IsA(iri("autumn"), iri("Fact")) {
+		t.Error("cls-int1: autumn should classify as Fact")
+	}
+	if g.IsA(iri("broccoli"), iri("Fact")) {
+		t.Error("cls-int1: broccoli lacks InEcosystem, must not be Fact")
+	}
+}
+
+func TestIntersectionDecomposition(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:Fact owl:intersectionOf ( ex:A ex:B ) .
+ex:x a ex:Fact .
+`)
+	if !g.IsA(iri("x"), iri("A")) || !g.IsA(iri("x"), iri("B")) {
+		t.Error("cls-int2: members not derived from intersection type")
+	}
+}
+
+func TestIntersectionMembersInEitherOrder(t *testing.T) {
+	// cls-int1 must fire regardless of which member type arrives last.
+	g := store.New()
+	if err := turtle.ParseInto(g, prelude+`
+ex:Both owl:intersectionOf ( ex:A ex:B ) .
+`); err != nil {
+		t.Fatal(err)
+	}
+	g.Add(iri("x"), rdf.TypeIRI, iri("B"))
+	g.Add(iri("x"), rdf.TypeIRI, iri("A"))
+	New(Options{}).Materialize(g)
+	if !g.IsA(iri("x"), iri("Both")) {
+		t.Error("cls-int1 order dependence")
+	}
+}
+
+func TestUnionMembership(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:Produce owl:unionOf ( ex:Fruit ex:Vegetable ) .
+ex:apple a ex:Fruit .
+`)
+	if !g.IsA(iri("apple"), iri("Produce")) {
+		t.Error("cls-uni failed")
+	}
+}
+
+func TestSomeValuesFrom(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:SeasonalFood owl:equivalentClass [ a owl:Restriction ;
+    owl:onProperty ex:availableIn ; owl:someValuesFrom ex:Season ] .
+ex:autumn a ex:Season .
+ex:squash ex:availableIn ex:autumn .
+ex:candy ex:availableIn ex:nowhere .
+`)
+	if !g.IsA(iri("squash"), iri("SeasonalFood")) {
+		t.Error("cls-svf1 + equivalence: squash should be SeasonalFood")
+	}
+	if g.IsA(iri("candy"), iri("SeasonalFood")) {
+		t.Error("candy must not classify (filler not a Season)")
+	}
+}
+
+func TestSomeValuesFromFillerArrivesLate(t *testing.T) {
+	g := store.New()
+	if err := turtle.ParseInto(g, prelude+`
+ex:R a owl:Restriction ; owl:onProperty ex:p ; owl:someValuesFrom ex:F .
+ex:x ex:p ex:y .
+`); err != nil {
+		t.Fatal(err)
+	}
+	New(Options{}).Materialize(g)
+	if g.IsA(iri("x"), iri("R")) {
+		t.Fatal("x must not classify before filler type exists")
+	}
+	g.Add(iri("y"), rdf.TypeIRI, iri("F"))
+	New(Options{}).Materialize(g)
+	if !g.IsA(iri("x"), iri("R")) {
+		t.Error("cls-svf1 must fire when filler type arrives later")
+	}
+}
+
+func TestSomeValuesFromThing(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:R a owl:Restriction ; owl:onProperty ex:p ; owl:someValuesFrom owl:Thing .
+ex:x ex:p ex:anything .
+`)
+	if !g.IsA(iri("x"), iri("R")) {
+		t.Error("cls-svf2: someValuesFrom owl:Thing should classify any subject")
+	}
+}
+
+func TestHasValueBothDirections(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:PregnantUser owl:equivalentClass [ a owl:Restriction ;
+    owl:onProperty ex:hasCondition ; owl:hasValue ex:Pregnancy ] .
+ex:alice ex:hasCondition ex:Pregnancy .
+ex:carol a ex:PregnantUser .
+`)
+	if !g.IsA(iri("alice"), iri("PregnantUser")) {
+		t.Error("cls-hv2: value assertion should classify alice")
+	}
+	if !g.Has(iri("carol"), iri("hasCondition"), iri("Pregnancy")) {
+		t.Error("cls-hv1: class membership should assert the value")
+	}
+}
+
+func TestAllValuesFrom(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:VeganDish a owl:Class .
+ex:VeganDish rdfs:subClassOf [ a owl:Restriction ;
+    owl:onProperty ex:hasIngredient ; owl:allValuesFrom ex:PlantIngredient ] .
+ex:salad a ex:VeganDish ; ex:hasIngredient ex:lettuce .
+`)
+	if !g.IsA(iri("lettuce"), iri("PlantIngredient")) {
+		t.Error("cls-avf: ingredient of vegan dish should be plant")
+	}
+}
+
+func TestFunctionalProperty(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:hasBirthSeason a owl:FunctionalProperty .
+ex:u ex:hasBirthSeason ex:s1 , ex:s2 .
+`)
+	if !g.Has(iri("s1"), rdf.SameAsIRI, iri("s2")) && !g.Has(iri("s2"), rdf.SameAsIRI, iri("s1")) {
+		t.Error("prp-fp: functional property objects must be sameAs")
+	}
+}
+
+func TestInverseFunctionalProperty(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:hasSSN a owl:InverseFunctionalProperty .
+ex:a ex:hasSSN ex:n . ex:b ex:hasSSN ex:n .
+`)
+	if !g.Has(iri("a"), rdf.SameAsIRI, iri("b")) && !g.Has(iri("b"), rdf.SameAsIRI, iri("a")) {
+		t.Error("prp-ifp failed")
+	}
+}
+
+func TestSameAsReplication(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:a owl:sameAs ex:b .
+ex:a ex:p ex:o .
+ex:s ex:q ex:a .
+ex:b owl:sameAs ex:c .
+`)
+	if !g.Has(iri("b"), iri("p"), iri("o")) {
+		t.Error("eq-rep-s failed")
+	}
+	if !g.Has(iri("s"), iri("q"), iri("b")) {
+		t.Error("eq-rep-o failed")
+	}
+	if !g.Has(iri("a"), rdf.SameAsIRI, iri("c")) {
+		t.Error("eq-trans failed")
+	}
+	if !g.Has(iri("b"), rdf.SameAsIRI, iri("a")) {
+		t.Error("eq-sym failed")
+	}
+	if !g.Has(iri("c"), iri("p"), iri("o")) {
+		t.Error("sameAs chain replication failed")
+	}
+}
+
+func TestFixpointIdempotence(t *testing.T) {
+	src := prelude + `
+ex:A rdfs:subClassOf ex:B . ex:B rdfs:subClassOf ex:C .
+ex:p a owl:TransitiveProperty . ex:p owl:inverseOf ex:q .
+ex:x a ex:A ; ex:p ex:y . ex:y ex:p ex:z .
+ex:I owl:intersectionOf ( ex:B ex:C ) .
+`
+	g := materialize(t, src)
+	n1 := g.Len()
+	stats := New(Options{}).Materialize(g)
+	if g.Len() != n1 {
+		t.Errorf("second materialization added %d triples; closure not a fixpoint", g.Len()-n1)
+	}
+	if stats.Inferred != 0 {
+		t.Errorf("stats.Inferred = %d on second run, want 0", stats.Inferred)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	src := prelude + `
+ex:A rdfs:subClassOf ex:B .
+ex:x a ex:A ; ex:p ex:y .
+`
+	g, err := turtle.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.Triples()
+	New(Options{}).Materialize(g)
+	for _, tr := range before {
+		if !g.Has(tr.S, tr.P, tr.O) {
+			t.Errorf("asserted triple %v lost during materialization", tr)
+		}
+	}
+}
+
+func TestNaiveSemiNaiveEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	classes := []rdf.Term{iri("C1"), iri("C2"), iri("C3"), iri("C4")}
+	props := []rdf.Term{iri("p1"), iri("p2"), iri("p3")}
+	inds := []rdf.Term{iri("i1"), iri("i2"), iri("i3"), iri("i4"), iri("i5")}
+	for trial := 0; trial < 40; trial++ {
+		g1 := store.New()
+		// Random schema.
+		for i := 0; i < 4; i++ {
+			g1.Add(classes[rng.Intn(4)], rdf.SubClassOfIRI, classes[rng.Intn(4)])
+			g1.Add(props[rng.Intn(3)], rdf.SubPropertyOfIRI, props[rng.Intn(3)])
+		}
+		if rng.Intn(2) == 0 {
+			g1.Add(props[0], rdf.TypeIRI, rdf.NewIRI(rdf.OWLTransitiveProperty))
+		}
+		if rng.Intn(2) == 0 {
+			g1.Add(props[1], rdf.InverseOfIRI, props[2])
+		}
+		g1.Add(props[rng.Intn(3)], rdf.DomainIRI, classes[rng.Intn(4)])
+		g1.Add(props[rng.Intn(3)], rdf.RangeIRI, classes[rng.Intn(4)])
+		// Random instances.
+		for i := 0; i < 10; i++ {
+			g1.Add(inds[rng.Intn(5)], props[rng.Intn(3)], inds[rng.Intn(5)])
+			g1.Add(inds[rng.Intn(5)], rdf.TypeIRI, classes[rng.Intn(4)])
+		}
+		g2 := g1.Clone()
+		New(Options{Naive: false}).Materialize(g1)
+		New(Options{Naive: true}).Materialize(g2)
+		if !g1.Equal(g2) {
+			only1, only2 := diff(g1, g2)
+			t.Fatalf("trial %d: naive and semi-naive closures differ\nsemi-naive only: %v\nnaive only: %v",
+				trial, only1, only2)
+		}
+	}
+}
+
+func diff(a, b *store.Graph) (onlyA, onlyB []rdf.Triple) {
+	for _, t := range a.Triples() {
+		if !b.Has(t.S, t.P, t.O) {
+			onlyA = append(onlyA, t)
+		}
+	}
+	for _, t := range b.Triples() {
+		if !a.Has(t.S, t.P, t.O) {
+			onlyB = append(onlyB, t)
+		}
+	}
+	return onlyA, onlyB
+}
+
+// TestSubclassClosureAgainstFloydWarshall checks scm-sco against an
+// independent transitive-closure computation on random class DAGs.
+func TestSubclassClosureAgainstFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 12
+	for trial := 0; trial < 30; trial++ {
+		g := store.New()
+		reach := make([][]bool, n)
+		for i := range reach {
+			reach[i] = make([]bool, n)
+		}
+		cls := make([]rdf.Term, n)
+		for i := range cls {
+			cls[i] = iri(fmt.Sprintf("C%d", i))
+		}
+		for e := 0; e < 18; e++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			g.Add(cls[i], rdf.SubClassOfIRI, cls[j])
+			reach[i][j] = true
+		}
+		// Floyd-Warshall reference closure.
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if reach[i][k] && reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+		New(Options{}).Materialize(g)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				has := g.Has(cls[i], rdf.SubClassOfIRI, cls[j])
+				if has != reach[i][j] {
+					t.Fatalf("trial %d: C%d sco C%d: reasoner=%v reference=%v",
+						trial, i, j, has, reach[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestDerivationTracing(t *testing.T) {
+	g, err := turtle.Parse(prelude + `
+ex:A rdfs:subClassOf ex:B .
+ex:B rdfs:subClassOf ex:C .
+ex:x a ex:A .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(Options{TraceDerivations: true})
+	r.Materialize(g)
+	inferred := rdf.Triple{S: iri("x"), P: rdf.TypeIRI, O: iri("C")}
+	d, ok := r.Derivation(inferred)
+	if !ok {
+		t.Fatal("derivation missing for inferred triple")
+	}
+	if d.Rule != "cax-sco" {
+		t.Errorf("rule = %s, want cax-sco", d.Rule)
+	}
+	proof := r.Proof(inferred)
+	if len(proof) < 2 {
+		t.Fatalf("proof too short: %v", proof)
+	}
+	// Final step must be the conclusion; earlier steps its support.
+	if proof[len(proof)-1].Conclusion != inferred {
+		t.Error("proof must end at the queried conclusion")
+	}
+	sawAsserted := false
+	for _, s := range proof {
+		if s.Rule == "asserted" {
+			sawAsserted = true
+		}
+	}
+	if !sawAsserted {
+		t.Error("proof should bottom out at asserted triples")
+	}
+	// Asserted triples have no derivation.
+	if _, ok := r.Derivation(rdf.Triple{S: iri("x"), P: rdf.TypeIRI, O: iri("A")}); ok {
+		t.Error("asserted triple must not have a derivation")
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	g, _ := turtle.Parse(prelude + `
+ex:A rdfs:subClassOf ex:B . ex:x a ex:A .
+`)
+	r := New(Options{})
+	r.Materialize(g)
+	if _, ok := r.Derivation(rdf.Triple{S: iri("x"), P: rdf.TypeIRI, O: iri("B")}); ok {
+		t.Error("tracing should be off by default")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	g, _ := turtle.Parse(prelude + `
+ex:A rdfs:subClassOf ex:B . ex:x a ex:A .
+`)
+	stats := New(Options{}).Materialize(g)
+	if stats.Asserted != 2 {
+		t.Errorf("Asserted = %d, want 2", stats.Asserted)
+	}
+	if stats.Inferred != 1 {
+		t.Errorf("Inferred = %d, want 1", stats.Inferred)
+	}
+	if stats.RuleFirings["cax-sco"] != 1 {
+		t.Errorf("RuleFirings = %v", stats.RuleFirings)
+	}
+	if stats.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestNoReflexiveByDefault(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:A a owl:Class .
+ex:A rdfs:subClassOf ex:B .
+`)
+	if g.Has(iri("A"), rdf.SubClassOfIRI, iri("A")) {
+		t.Error("reflexive subClassOf must be off by default (paper queries rely on it)")
+	}
+	g2, _ := turtle.Parse(prelude + `
+ex:A a owl:Class .
+`)
+	New(Options{IncludeReflexive: true}).Materialize(g2)
+	if !g2.Has(iri("A"), rdf.SubClassOfIRI, iri("A")) {
+		t.Error("IncludeReflexive should add reflexive sco")
+	}
+	if !g2.Has(iri("A"), rdf.SubClassOfIRI, rdf.ThingIRI) {
+		t.Error("IncludeReflexive should add sco owl:Thing")
+	}
+}
+
+func TestDeepChainClosure(t *testing.T) {
+	// A 50-deep transitive chain exercises queue behavior.
+	g := store.New()
+	p := iri("p")
+	g.Add(p, rdf.TypeIRI, rdf.NewIRI(rdf.OWLTransitiveProperty))
+	for i := 0; i < 50; i++ {
+		g.Add(iri(fmt.Sprintf("n%d", i)), p, iri(fmt.Sprintf("n%d", i+1)))
+	}
+	New(Options{}).Materialize(g)
+	if !g.Has(iri("n0"), p, iri("n50")) {
+		t.Error("deep transitive closure incomplete")
+	}
+	// Full closure has n*(n+1)/2 pairs.
+	want := 51 * 50 / 2
+	if got := g.Count(store.Wildcard, p, store.Wildcard); got != want {
+		t.Errorf("closure size = %d, want %d", got, want)
+	}
+}
+
+func TestPropertyChain(t *testing.T) {
+	// The CQ3 pattern: forbids ∘ isIngredientOf ⊑ forbids.
+	g := materialize(t, prelude+`
+ex:forbids owl:propertyChainAxiom ( ex:forbids ex:isIngredientOf ) .
+ex:Pregnancy ex:forbids ex:RawFish .
+ex:RawFish ex:isIngredientOf ex:Sushi .
+`)
+	if !g.Has(iri("Pregnancy"), iri("forbids"), iri("Sushi")) {
+		t.Error("prp-spo2: pregnancy should forbid sushi via ingredient chain")
+	}
+}
+
+func TestPropertyChainThreeSteps(t *testing.T) {
+	g := materialize(t, prelude+`
+ex:anc owl:propertyChainAxiom ( ex:p ex:q ex:r ) .
+ex:a ex:p ex:b . ex:b ex:q ex:c . ex:c ex:r ex:d .
+`)
+	if !g.Has(iri("a"), iri("anc"), iri("d")) {
+		t.Error("3-step chain failed")
+	}
+}
+
+func TestPropertyChainOrderIndependence(t *testing.T) {
+	// The chain must fire no matter which step triple arrives last.
+	for variant := 0; variant < 2; variant++ {
+		g := store.New()
+		if err := turtle.ParseInto(g, prelude+`
+ex:sup owl:propertyChainAxiom ( ex:p ex:q ) .
+`); err != nil {
+			t.Fatal(err)
+		}
+		if variant == 0 {
+			g.Add(iri("a"), iri("p"), iri("b"))
+			g.Add(iri("b"), iri("q"), iri("c"))
+		} else {
+			g.Add(iri("b"), iri("q"), iri("c"))
+			g.Add(iri("a"), iri("p"), iri("b"))
+		}
+		New(Options{}).Materialize(g)
+		if !g.Has(iri("a"), iri("sup"), iri("c")) {
+			t.Errorf("variant %d: chain did not fire", variant)
+		}
+	}
+}
+
+func TestChainRecursiveGrowth(t *testing.T) {
+	// forbids ∘ ingredient chains compose with newly inferred forbids.
+	g := materialize(t, prelude+`
+ex:forbids owl:propertyChainAxiom ( ex:forbids ex:isIngredientOf ) .
+ex:C ex:forbids ex:x .
+ex:x ex:isIngredientOf ex:y .
+ex:y ex:isIngredientOf ex:z .
+`)
+	if !g.Has(iri("C"), iri("forbids"), iri("z")) {
+		t.Error("recursive chain growth failed: C should forbid z")
+	}
+}

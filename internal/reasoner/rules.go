@@ -1,0 +1,460 @@
+package reasoner
+
+import (
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Pre-built predicate terms used by the dispatcher.
+var (
+	typeT       = rdf.TypeIRI
+	scoT        = rdf.SubClassOfIRI
+	spoT        = rdf.SubPropertyOfIRI
+	domT        = rdf.DomainIRI
+	rngT        = rdf.RangeIRI
+	invT        = rdf.InverseOfIRI
+	eqcT        = rdf.EquivClassIRI
+	eqpT        = rdf.EquivPropIRI
+	sameT       = rdf.SameAsIRI
+	transPropT  = rdf.NewIRI(rdf.OWLTransitiveProperty)
+	symPropT    = rdf.NewIRI(rdf.OWLSymmetricProperty)
+	funcPropT   = rdf.NewIRI(rdf.OWLFunctionalProperty)
+	invFuncT    = rdf.NewIRI(rdf.OWLInverseFunctional)
+	owlThingT   = rdf.ThingIRI
+	owlNothingT = rdf.NothingIRI
+)
+
+// applyDelta fires every rule in which the triple t can serve as a premise,
+// joining the remaining premises against the current graph.
+func (r *Reasoner) applyDelta(t rdf.Triple) {
+	switch t.P {
+	case scoT:
+		r.onSubClassOf(t)
+	case spoT:
+		r.onSubPropertyOf(t)
+	case typeT:
+		r.onType(t)
+	case domT:
+		r.onDomain(t)
+	case rngT:
+		r.onRange(t)
+	case invT:
+		r.onInverseOf(t)
+	case eqcT:
+		r.onEquivalentClass(t)
+	case eqpT:
+		r.onEquivalentProperty(t)
+	case sameT:
+		r.onSameAs(t)
+	}
+	// Every triple is also a candidate instance assertion (x p y).
+	r.onAssertion(t)
+}
+
+// onSubClassOf: scm-sco (transitivity), cax-sco (type propagation),
+// scm-eqc2 (mutual subclass → equivalence), scm-dom1, scm-rng1.
+func (r *Reasoner) onSubClassOf(t rdf.Triple) {
+	c1, c2 := t.S, t.O
+	// scm-sco: (c1 sco c2) ∧ (c2 sco c3) → (c1 sco c3)
+	for _, c3 := range r.g.Objects(c2, scoT) {
+		if c3 != c1 {
+			r.infer("scm-sco", c1, scoT, c3, t, rdf.Triple{S: c2, P: scoT, O: c3})
+		}
+	}
+	// scm-sco (other side): (c0 sco c1) ∧ (c1 sco c2) → (c0 sco c2)
+	for _, c0 := range r.g.Subjects(scoT, c1) {
+		if c0 != c2 {
+			r.infer("scm-sco", c0, scoT, c2, rdf.Triple{S: c0, P: scoT, O: c1}, t)
+		}
+	}
+	// cax-sco: (x type c1) → (x type c2)
+	for _, x := range r.g.Subjects(typeT, c1) {
+		r.infer("cax-sco", x, typeT, c2, rdf.Triple{S: x, P: typeT, O: c1}, t)
+	}
+	// scm-eqc2: (c1 sco c2) ∧ (c2 sco c1) → equivalence
+	if c1 != c2 && r.g.Has(c2, scoT, c1) {
+		r.infer("scm-eqc2", c1, eqcT, c2, t, rdf.Triple{S: c2, P: scoT, O: c1})
+	}
+	// cls-int1 via subclass: if c2 is a member of an intersection, x may now
+	// qualify — handled by the type-propagation above reaching onType.
+}
+
+// onSubPropertyOf: scm-spo (transitivity), prp-spo1 (triple propagation),
+// scm-eqp2, scm-dom2, scm-rng2.
+func (r *Reasoner) onSubPropertyOf(t rdf.Triple) {
+	p1, p2 := t.S, t.O
+	for _, p3 := range r.g.Objects(p2, spoT) {
+		if p3 != p1 {
+			r.infer("scm-spo", p1, spoT, p3, t, rdf.Triple{S: p2, P: spoT, O: p3})
+		}
+	}
+	for _, p0 := range r.g.Subjects(spoT, p1) {
+		if p0 != p2 {
+			r.infer("scm-spo", p0, spoT, p2, rdf.Triple{S: p0, P: spoT, O: p1}, t)
+		}
+	}
+	// prp-spo1: (x p1 y) → (x p2 y)
+	r.g.ForEach(store.Wildcard, p1, store.Wildcard, func(a rdf.Triple) bool {
+		r.infer("prp-spo1", a.S, p2, a.O, a, t)
+		return true
+	})
+	// scm-eqp2
+	if p1 != p2 && r.g.Has(p2, spoT, p1) {
+		r.infer("scm-eqp2", p1, eqpT, p2, t, rdf.Triple{S: p2, P: spoT, O: p1})
+	}
+	// scm-dom2: (p2 dom c) → (p1 dom c); scm-rng2 analog.
+	for _, c := range r.g.Objects(p2, domT) {
+		r.infer("scm-dom2", p1, domT, c, rdf.Triple{S: p2, P: domT, O: c}, t)
+	}
+	for _, c := range r.g.Objects(p2, rngT) {
+		r.infer("scm-rng2", p1, rngT, c, rdf.Triple{S: p2, P: rngT, O: c}, t)
+	}
+}
+
+// onType handles (x rdf:type c): subclass propagation, intersection and
+// union membership, restriction consequences, and property-characteristic
+// activation when c is an owl property class.
+func (r *Reasoner) onType(t rdf.Triple) {
+	x, c := t.S, t.O
+	// cax-sco: (c sco c2) → (x type c2)
+	for _, c2 := range r.g.Objects(c, scoT) {
+		r.infer("cax-sco", x, typeT, c2, t, rdf.Triple{S: c, P: scoT, O: c2})
+	}
+	// cls-int2: x ∈ intersection c → x ∈ every member.
+	if members, ok := r.expr.intersections[c]; ok {
+		for _, m := range members {
+			r.infer("cls-int2", x, typeT, m, t)
+		}
+	}
+	// cls-int1: c is a member of intersection classes; x qualifies when it
+	// has every member type.
+	for _, ic := range r.expr.memberOfIntersection[c] {
+		all := true
+		for _, m := range r.expr.intersections[ic] {
+			if m != c && !r.g.Has(x, typeT, m) {
+				all = false
+				break
+			}
+		}
+		if all {
+			premises := []rdf.Triple{t}
+			for _, m := range r.expr.intersections[ic] {
+				if m != c {
+					premises = append(premises, rdf.Triple{S: x, P: typeT, O: m})
+				}
+			}
+			r.infer("cls-int1", x, typeT, ic, premises...)
+		}
+	}
+	// cls-uni: c is a member of union classes → x ∈ union.
+	for _, uc := range r.expr.memberOfUnion[c] {
+		r.infer("cls-uni", x, typeT, uc, t)
+	}
+	// cls-hv1: c is a hasValue restriction → (x prop value).
+	if rest, ok := r.expr.byNode[c]; ok {
+		if rest.HasValue.IsValid() {
+			r.infer("cls-hv1", x, rest.Prop, rest.HasValue, t)
+		}
+		// cls-avf: c = allValuesFrom(p, f): (x p v) → (v type f)
+		if rest.AllFrom.IsValid() {
+			r.g.ForEach(x, rest.Prop, store.Wildcard, func(a rdf.Triple) bool {
+				r.infer("cls-avf", a.O, typeT, rest.AllFrom, t, a)
+				return true
+			})
+		}
+	}
+	// cls-svf1 (filler side): x just became an instance of a someValuesFrom
+	// filler; every (u p x) now makes u an instance of the restriction.
+	for _, rest := range r.expr.svfByFiller[c] {
+		r.g.ForEach(store.Wildcard, rest.Prop, store.Wildcard, func(a rdf.Triple) bool {
+			if a.O == x {
+				r.infer("cls-svf1", a.S, typeT, rest.Node, a, t)
+			}
+			return true
+		})
+	}
+	// Property-characteristic activation: (p type TransitiveProperty) etc.
+	// arriving after instance triples requires a batch pass.
+	switch c {
+	case transPropT:
+		r.g.ForEach(store.Wildcard, x, store.Wildcard, func(a rdf.Triple) bool {
+			r.transClose(x, a)
+			return true
+		})
+	case symPropT:
+		r.g.ForEach(store.Wildcard, x, store.Wildcard, func(a rdf.Triple) bool {
+			if a.O.IsIRI() || a.O.IsBlank() {
+				r.infer("prp-symp", a.O, x, a.S, a, t)
+			}
+			return true
+		})
+	case funcPropT:
+		r.g.ForEach(store.Wildcard, x, store.Wildcard, func(a rdf.Triple) bool {
+			r.funcProp(x, a)
+			return true
+		})
+	case invFuncT:
+		r.g.ForEach(store.Wildcard, x, store.Wildcard, func(a rdf.Triple) bool {
+			r.invFuncProp(x, a)
+			return true
+		})
+	}
+}
+
+// onDomain applies prp-dom to all existing triples of the property.
+func (r *Reasoner) onDomain(t rdf.Triple) {
+	p, c := t.S, t.O
+	r.g.ForEach(store.Wildcard, p, store.Wildcard, func(a rdf.Triple) bool {
+		r.infer("prp-dom", a.S, typeT, c, a, t)
+		return true
+	})
+}
+
+// onRange applies prp-rng to all existing triples of the property.
+func (r *Reasoner) onRange(t rdf.Triple) {
+	p, c := t.S, t.O
+	r.g.ForEach(store.Wildcard, p, store.Wildcard, func(a rdf.Triple) bool {
+		if a.O.IsIRI() || a.O.IsBlank() {
+			r.infer("prp-rng", a.O, typeT, c, a, t)
+		}
+		return true
+	})
+}
+
+// onInverseOf applies prp-inv1/2 to existing triples of both properties.
+func (r *Reasoner) onInverseOf(t rdf.Triple) {
+	p1, p2 := t.S, t.O
+	r.g.ForEach(store.Wildcard, p1, store.Wildcard, func(a rdf.Triple) bool {
+		if a.O.IsIRI() || a.O.IsBlank() {
+			r.infer("prp-inv1", a.O, p2, a.S, a, t)
+		}
+		return true
+	})
+	r.g.ForEach(store.Wildcard, p2, store.Wildcard, func(a rdf.Triple) bool {
+		if a.O.IsIRI() || a.O.IsBlank() {
+			r.infer("prp-inv2", a.O, p1, a.S, a, t)
+		}
+		return true
+	})
+}
+
+// onEquivalentClass: scm-eqc1 both directions plus symmetry.
+func (r *Reasoner) onEquivalentClass(t rdf.Triple) {
+	c1, c2 := t.S, t.O
+	r.infer("scm-eqc1", c1, scoT, c2, t)
+	r.infer("scm-eqc1", c2, scoT, c1, t)
+	r.infer("eq-sym(c)", c2, eqcT, c1, t)
+}
+
+// onEquivalentProperty: scm-eqp1 both directions plus symmetry.
+func (r *Reasoner) onEquivalentProperty(t rdf.Triple) {
+	p1, p2 := t.S, t.O
+	r.infer("scm-eqp1", p1, spoT, p2, t)
+	r.infer("scm-eqp1", p2, spoT, p1, t)
+	r.infer("eq-sym(p)", p2, eqpT, p1, t)
+}
+
+// onSameAs: eq-sym, eq-trans, eq-rep-s/o (predicate replacement is omitted:
+// sameAs between properties does not occur in FEO).
+func (r *Reasoner) onSameAs(t rdf.Triple) {
+	x, y := t.S, t.O
+	if x == y {
+		return
+	}
+	r.infer("eq-sym", y, sameT, x, t)
+	for _, z := range r.g.Objects(y, sameT) {
+		if z != x {
+			r.infer("eq-trans", x, sameT, z, t, rdf.Triple{S: y, P: sameT, O: z})
+		}
+	}
+	// eq-rep-s: (x same y) ∧ (x p o) → (y p o)
+	r.g.ForEach(x, store.Wildcard, store.Wildcard, func(a rdf.Triple) bool {
+		if a.P != sameT {
+			r.infer("eq-rep-s", y, a.P, a.O, a, t)
+		}
+		return true
+	})
+	// eq-rep-o: (x same y) ∧ (s p x) → (s p y)
+	r.g.ForEach(store.Wildcard, store.Wildcard, x, func(a rdf.Triple) bool {
+		if a.P != sameT {
+			r.infer("eq-rep-o", a.S, a.P, y, a, t)
+		}
+		return true
+	})
+}
+
+// onAssertion handles a generic triple (x p y) as an instance assertion.
+func (r *Reasoner) onAssertion(t rdf.Triple) {
+	x, p, y := t.S, t.P, t.O
+	// prp-spo1: superproperties carry the triple.
+	for _, sup := range r.g.Objects(p, spoT) {
+		if sup != p {
+			r.infer("prp-spo1", x, sup, y, t, rdf.Triple{S: p, P: spoT, O: sup})
+		}
+	}
+	// prp-dom / prp-rng.
+	for _, c := range r.g.Objects(p, domT) {
+		r.infer("prp-dom", x, typeT, c, t, rdf.Triple{S: p, P: domT, O: c})
+	}
+	if y.IsIRI() || y.IsBlank() {
+		for _, c := range r.g.Objects(p, rngT) {
+			r.infer("prp-rng", y, typeT, c, t, rdf.Triple{S: p, P: rngT, O: c})
+		}
+	}
+	// prp-inv1/2.
+	if y.IsIRI() || y.IsBlank() {
+		for _, q := range r.g.Objects(p, invT) {
+			r.infer("prp-inv1", y, q, x, t, rdf.Triple{S: p, P: invT, O: q})
+		}
+		for _, q := range r.g.Subjects(invT, p) {
+			r.infer("prp-inv2", y, q, x, t, rdf.Triple{S: q, P: invT, O: p})
+		}
+		// prp-symp.
+		if r.g.Has(p, typeT, symPropT) {
+			r.infer("prp-symp", y, p, x, t, rdf.Triple{S: p, P: typeT, O: symPropT})
+		}
+		// prp-trp.
+		if r.g.Has(p, typeT, transPropT) {
+			r.transClose(p, t)
+		}
+		// prp-fp / prp-ifp.
+		if r.g.Has(p, typeT, funcPropT) {
+			r.funcProp(p, t)
+		}
+		if r.g.Has(p, typeT, invFuncT) {
+			r.invFuncProp(p, t)
+		}
+	}
+	// cls-svf1: (x p y) ∧ (y type filler) → (x type restriction).
+	for _, rest := range r.expr.restrictionsByProp[p] {
+		if rest.SomeFrom.IsValid() {
+			if rest.SomeFrom == owlThingT || r.g.Has(y, typeT, rest.SomeFrom) {
+				prem := []rdf.Triple{t}
+				if rest.SomeFrom != owlThingT {
+					prem = append(prem, rdf.Triple{S: y, P: typeT, O: rest.SomeFrom})
+				}
+				r.infer("cls-svf1", x, typeT, rest.Node, prem...)
+			}
+		}
+		// cls-hv2: (x p v) with v the hasValue → (x type restriction).
+		if rest.HasValue.IsValid() && rest.HasValue == y {
+			r.infer("cls-hv2", x, typeT, rest.Node, t)
+		}
+		// cls-avf: (x type restriction) ∧ (x p y) → (y type filler).
+		if rest.AllFrom.IsValid() && r.g.Has(x, typeT, rest.Node) {
+			r.infer("cls-avf", y, typeT, rest.AllFrom, t, rdf.Triple{S: x, P: typeT, O: rest.Node})
+		}
+	}
+	// prp-spo2: property chains. Any triple whose predicate appears in a
+	// chain may complete an instantiation of that chain.
+	for _, ci := range r.expr.chainsByStep[p] {
+		r.applyChain(r.expr.chains[ci], t)
+	}
+	// eq-rep: replicate through sameAs aliases of x and y.
+	if p != sameT {
+		for _, alias := range r.g.Objects(x, sameT) {
+			if alias != x {
+				r.infer("eq-rep-s", alias, p, y, t, rdf.Triple{S: x, P: sameT, O: alias})
+			}
+		}
+		if y.IsIRI() || y.IsBlank() {
+			for _, alias := range r.g.Objects(y, sameT) {
+				if alias != y {
+					r.infer("eq-rep-o", x, p, alias, t, rdf.Triple{S: y, P: sameT, O: alias})
+				}
+			}
+		}
+	}
+}
+
+// transClose extends the transitive closure of property p around the new
+// edge a = (x p y): joins on both sides.
+func (r *Reasoner) transClose(p rdf.Term, a rdf.Triple) {
+	x, y := a.S, a.O
+	charPremise := rdf.Triple{S: p, P: typeT, O: transPropT}
+	for _, z := range r.g.Objects(y, p) {
+		if z != x {
+			r.infer("prp-trp", x, p, z, a, rdf.Triple{S: y, P: p, O: z}, charPremise)
+		}
+	}
+	for _, w := range r.g.Subjects(p, x) {
+		if w != y {
+			r.infer("prp-trp", w, p, y, rdf.Triple{S: w, P: p, O: x}, a, charPremise)
+		}
+	}
+}
+
+// applyChain applies prp-spo2 for one chain, seeded by the new triple t.
+// It enumerates every full instantiation of the chain that uses t in at
+// least one step position, joining the other steps against the graph.
+func (r *Reasoner) applyChain(c chain, t rdf.Triple) {
+	for pos, step := range c.Steps {
+		if step != t.P {
+			continue
+		}
+		// Walk backward from t.S through steps[0..pos-1] and forward from
+		// t.O through steps[pos+1..], collecting premise sets.
+		starts := []chainPath{{node: t.S, premises: nil}}
+		for i := pos - 1; i >= 0; i-- {
+			var next []chainPath
+			for _, cp := range starts {
+				for _, prev := range r.g.Subjects(c.Steps[i], cp.node) {
+					prem := append([]rdf.Triple{{S: prev, P: c.Steps[i], O: cp.node}}, cp.premises...)
+					next = append(next, chainPath{node: prev, premises: prem})
+				}
+			}
+			starts = next
+			if len(starts) == 0 {
+				return
+			}
+		}
+		ends := []chainPath{{node: t.O, premises: nil}}
+		for i := pos + 1; i < len(c.Steps); i++ {
+			var next []chainPath
+			for _, cp := range ends {
+				for _, nxt := range r.g.Objects(cp.node, c.Steps[i]) {
+					prem := append(append([]rdf.Triple{}, cp.premises...), rdf.Triple{S: cp.node, P: c.Steps[i], O: nxt})
+					next = append(next, chainPath{node: nxt, premises: prem})
+				}
+			}
+			ends = next
+			if len(ends) == 0 {
+				return
+			}
+		}
+		for _, s := range starts {
+			for _, e := range ends {
+				premises := make([]rdf.Triple, 0, len(s.premises)+1+len(e.premises))
+				premises = append(premises, s.premises...)
+				premises = append(premises, t)
+				premises = append(premises, e.premises...)
+				r.infer("prp-spo2", s.node, c.Super, e.node, premises...)
+			}
+		}
+	}
+}
+
+// chainPath tracks one partial chain instantiation during prp-spo2.
+type chainPath struct {
+	node     rdf.Term
+	premises []rdf.Triple
+}
+
+// funcProp applies prp-fp: two objects of a functional property are sameAs.
+func (r *Reasoner) funcProp(p rdf.Term, a rdf.Triple) {
+	for _, other := range r.g.Objects(a.S, p) {
+		if other != a.O && (other.IsIRI() || other.IsBlank()) && (a.O.IsIRI() || a.O.IsBlank()) {
+			r.infer("prp-fp", a.O, sameT, other, a, rdf.Triple{S: a.S, P: p, O: other})
+		}
+	}
+}
+
+// invFuncProp applies prp-ifp: two subjects sharing an object of an
+// inverse-functional property are sameAs.
+func (r *Reasoner) invFuncProp(p rdf.Term, a rdf.Triple) {
+	for _, other := range r.g.Subjects(p, a.O) {
+		if other != a.S {
+			r.infer("prp-ifp", a.S, sameT, other, a, rdf.Triple{S: other, P: p, O: a.O})
+		}
+	}
+}

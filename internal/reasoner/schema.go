@@ -1,0 +1,150 @@
+// Package reasoner implements a forward-chaining materializer for the OWL 2
+// RL fragment that the Food Explanation Ontology (FEO) uses. It substitutes
+// for the Pellet reasoner the paper runs before exporting inferred axioms:
+// after Materialize, the graph contains every triple Listings 1-3 of the
+// paper query for — transitive characteristic closures, inverse-property
+// completions, sub-property inheritance, and equivalent-class membership
+// (including intersection and restriction classes such as eo:Fact/eo:Foil).
+//
+// Two evaluation strategies are provided: semi-naive (delta-driven, the
+// default) and naive (full re-evaluation each round, kept for the ablation
+// benchmark that reproduces the paper's "a reasoner known to handle
+// individuals more efficiently" motivation for choosing Pellet).
+package reasoner
+
+import (
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// restriction describes an owl:Restriction node after structural parsing.
+// Exactly one of SomeFrom, AllFrom, HasValue is set.
+type restriction struct {
+	Node     rdf.Term // the restriction class node (usually a blank node)
+	Prop     rdf.Term // owl:onProperty
+	SomeFrom rdf.Term // owl:someValuesFrom filler, or zero
+	AllFrom  rdf.Term // owl:allValuesFrom filler, or zero
+	HasValue rdf.Term // owl:hasValue value, or zero
+}
+
+// exprTable indexes OWL class expressions (intersections, unions,
+// restrictions) for O(1) lookup during rule application. It is rebuilt
+// whenever structural vocabulary triples change, which for ontology +
+// instance loads happens once.
+type exprTable struct {
+	// intersections maps a class to its owl:intersectionOf member list.
+	intersections map[rdf.Term][]rdf.Term
+	// memberOfIntersection maps a member class to the intersection classes
+	// that contain it.
+	memberOfIntersection map[rdf.Term][]rdf.Term
+	unions               map[rdf.Term][]rdf.Term
+	memberOfUnion        map[rdf.Term][]rdf.Term
+	// restrictionsByProp maps a property to the restrictions on it.
+	restrictionsByProp map[rdf.Term][]restriction
+	// byNode maps a restriction node to its parsed form.
+	byNode map[rdf.Term]restriction
+	// svfByFiller maps a someValuesFrom filler class to restrictions using it.
+	svfByFiller map[rdf.Term][]restriction
+	// chains holds owl:propertyChainAxiom definitions: super-property and
+	// the chain of step properties.
+	chains []chain
+	// chainsByStep indexes chains by each property appearing in them.
+	chainsByStep map[rdf.Term][]int
+}
+
+// chain is one owl:propertyChainAxiom: steps[0] ∘ steps[1] ∘ … ⊑ super.
+type chain struct {
+	Super rdf.Term
+	Steps []rdf.Term
+}
+
+// structuralPredicates are the predicates whose presence requires an
+// expression-table rebuild when they change.
+var structuralPredicates = map[string]bool{
+	rdf.OWLIntersectionOf:     true,
+	rdf.OWLUnionOf:            true,
+	rdf.OWLOnProperty:         true,
+	rdf.OWLSomeValuesFrom:     true,
+	rdf.OWLAllValuesFrom:      true,
+	rdf.OWLHasValue:           true,
+	rdf.OWLPropertyChainAxiom: true,
+	rdf.RDFFirst:              true,
+	rdf.RDFRest:               true,
+}
+
+func buildExprTable(g *store.Graph) *exprTable {
+	t := &exprTable{
+		intersections:        make(map[rdf.Term][]rdf.Term),
+		memberOfIntersection: make(map[rdf.Term][]rdf.Term),
+		unions:               make(map[rdf.Term][]rdf.Term),
+		memberOfUnion:        make(map[rdf.Term][]rdf.Term),
+		restrictionsByProp:   make(map[rdf.Term][]restriction),
+		byNode:               make(map[rdf.Term]restriction),
+		svfByFiller:          make(map[rdf.Term][]restriction),
+		chainsByStep:         make(map[rdf.Term][]int),
+	}
+	interIRI := rdf.NewIRI(rdf.OWLIntersectionOf)
+	unionIRI := rdf.NewIRI(rdf.OWLUnionOf)
+	onPropIRI := rdf.NewIRI(rdf.OWLOnProperty)
+	svfIRI := rdf.NewIRI(rdf.OWLSomeValuesFrom)
+	avfIRI := rdf.NewIRI(rdf.OWLAllValuesFrom)
+	hvIRI := rdf.NewIRI(rdf.OWLHasValue)
+
+	g.ForEach(store.Wildcard, interIRI, store.Wildcard, func(tr rdf.Triple) bool {
+		if members, ok := g.ReadList(tr.O); ok && len(members) > 0 {
+			t.intersections[tr.S] = members
+			for _, m := range members {
+				t.memberOfIntersection[m] = append(t.memberOfIntersection[m], tr.S)
+			}
+		}
+		return true
+	})
+	g.ForEach(store.Wildcard, unionIRI, store.Wildcard, func(tr rdf.Triple) bool {
+		if members, ok := g.ReadList(tr.O); ok && len(members) > 0 {
+			t.unions[tr.S] = members
+			for _, m := range members {
+				t.memberOfUnion[m] = append(t.memberOfUnion[m], tr.S)
+			}
+		}
+		return true
+	})
+	g.ForEach(store.Wildcard, onPropIRI, store.Wildcard, func(tr rdf.Triple) bool {
+		r := restriction{Node: tr.S, Prop: tr.O}
+		if f := g.FirstObject(tr.S, svfIRI); f.IsValid() {
+			r.SomeFrom = f
+		}
+		if f := g.FirstObject(tr.S, avfIRI); f.IsValid() {
+			r.AllFrom = f
+		}
+		if v := g.FirstObject(tr.S, hvIRI); v.IsValid() {
+			r.HasValue = v
+		}
+		if !r.SomeFrom.IsValid() && !r.AllFrom.IsValid() && !r.HasValue.IsValid() {
+			return true // cardinality or other unsupported restriction
+		}
+		t.restrictionsByProp[r.Prop] = append(t.restrictionsByProp[r.Prop], r)
+		t.byNode[r.Node] = r
+		if r.SomeFrom.IsValid() {
+			t.svfByFiller[r.SomeFrom] = append(t.svfByFiller[r.SomeFrom], r)
+		}
+		return true
+	})
+	chainIRI := rdf.NewIRI(rdf.OWLPropertyChainAxiom)
+	g.ForEach(store.Wildcard, chainIRI, store.Wildcard, func(tr rdf.Triple) bool {
+		steps, ok := g.ReadList(tr.O)
+		if !ok || len(steps) < 2 {
+			return true
+		}
+		idx := len(t.chains)
+		t.chains = append(t.chains, chain{Super: tr.S, Steps: steps})
+		seen := make(map[rdf.Term]bool)
+		for _, s := range steps {
+			if !seen[s] {
+				seen[s] = true
+				t.chainsByStep[s] = append(t.chainsByStep[s], idx)
+			}
+		}
+		return true
+	})
+	return t
+}

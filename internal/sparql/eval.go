@@ -1,0 +1,728 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Result holds the outcome of executing a query.
+type Result struct {
+	Kind QueryKind
+	// Vars lists the projected variable names in order (SELECT).
+	Vars []string
+	// Solutions holds the rows (SELECT).
+	Solutions []Solution
+	// Boolean is the ASK answer.
+	Boolean bool
+	// Graph holds CONSTRUCT/DESCRIBE output.
+	Graph *store.Graph
+	// Namespaces from the query, for rendering.
+	Namespaces *rdf.Namespaces
+}
+
+// Execute runs a parsed query against a graph.
+func Execute(g *store.Graph, q *Query) (*Result, error) {
+	ec := &evalContext{g: g}
+	sols := ec.evalGroup(q.Where, []Solution{{}})
+	res := &Result{Kind: q.Kind, Namespaces: q.Namespaces}
+	switch q.Kind {
+	case KindAsk:
+		res.Boolean = len(sols) > 0
+		return res, nil
+	case KindConstruct:
+		res.Graph = constructGraph(q, sols)
+		return res, nil
+	case KindDescribe:
+		res.Graph = describeGraph(g, q, sols)
+		return res, nil
+	}
+	return finishSelect(ec, q, sols)
+}
+
+// Run parses and executes src against g in one call.
+func Run(g *store.Graph, src string) (*Result, error) {
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(g, q)
+}
+
+type evalContext struct {
+	g *store.Graph
+}
+
+// evalGroup evaluates a group graph pattern over the input solutions.
+func (ec *evalContext) evalGroup(g *Group, input []Solution) []Solution {
+	seq := input
+	for _, pat := range g.Patterns {
+		seq = ec.evalPattern(pat, seq)
+		if len(seq) == 0 {
+			// Filters with EXISTS could still not resurrect solutions.
+			break
+		}
+	}
+	for _, f := range g.Filters {
+		seq = ec.applyFilter(f, seq)
+	}
+	return seq
+}
+
+func (ec *evalContext) evalPattern(p Pattern, seq []Solution) []Solution {
+	switch pat := p.(type) {
+	case *BGP:
+		for _, tp := range pat.Triples {
+			seq = ec.evalTriplePattern(tp, seq)
+			if len(seq) == 0 {
+				return nil
+			}
+		}
+		return seq
+	case *Group:
+		return ec.evalGroup(pat, seq)
+	case *Optional:
+		var out []Solution
+		for _, sol := range seq {
+			ext := ec.evalGroup(pat.Pattern, []Solution{sol})
+			if len(ext) > 0 {
+				out = append(out, ext...)
+			} else {
+				out = append(out, sol)
+			}
+		}
+		return out
+	case *Union:
+		left := ec.evalGroup(pat.Left, seq)
+		right := ec.evalGroup(pat.Right, seq)
+		return append(left, right...)
+	case *Minus:
+		rhs := ec.evalGroup(pat.Pattern, []Solution{{}})
+		var out []Solution
+		for _, sol := range seq {
+			if !minusMatches(sol, rhs) {
+				out = append(out, sol)
+			}
+		}
+		return out
+	case *Bind:
+		var out []Solution
+		for _, sol := range seq {
+			v, err := pat.Expr.Eval(ec, sol)
+			if err != nil {
+				out = append(out, sol) // expression error leaves var unbound
+				continue
+			}
+			if existing, bound := sol[pat.Var]; bound {
+				if existing == v {
+					out = append(out, sol)
+				}
+				continue
+			}
+			ns := sol.clone()
+			ns[pat.Var] = v
+			out = append(out, ns)
+		}
+		return out
+	case *InlineData:
+		var out []Solution
+		for _, sol := range seq {
+			for _, row := range pat.Rows {
+				merged, ok := mergeRow(sol, pat.Vars, row)
+				if ok {
+					out = append(out, merged)
+				}
+			}
+		}
+		return out
+	case *SubSelect:
+		// Subqueries evaluate in a fresh scope, then join with the outer
+		// solutions on their projected variables.
+		res, err := finishSelect(ec, pat.Query, ec.evalGroup(pat.Query.Where, []Solution{{}}))
+		if err != nil {
+			return nil
+		}
+		var out []Solution
+		for _, sol := range seq {
+			for _, sub := range res.Solutions {
+				if merged, ok := mergeSolutions(sol, sub); ok {
+					out = append(out, merged)
+				}
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// mergeSolutions joins two solutions when their shared variables agree.
+func mergeSolutions(a, b Solution) (Solution, bool) {
+	out := a.clone()
+	for k, v := range b {
+		if existing, ok := out[k]; ok {
+			if existing != v {
+				return nil, false
+			}
+			continue
+		}
+		out[k] = v
+	}
+	return out, true
+}
+
+// minusMatches reports whether sol is excluded by any solution in rhs per
+// SPARQL MINUS semantics (compatible and sharing at least one variable).
+func minusMatches(sol Solution, rhs []Solution) bool {
+	for _, m := range rhs {
+		shared := false
+		compatible := true
+		for k, v := range m {
+			if sv, ok := sol[k]; ok {
+				shared = true
+				if sv != v {
+					compatible = false
+					break
+				}
+			}
+		}
+		if shared && compatible {
+			return true
+		}
+	}
+	return false
+}
+
+func mergeRow(sol Solution, vars []string, row []TermOrNil) (Solution, bool) {
+	out := sol.clone()
+	for i, v := range vars {
+		if !row[i].Defined {
+			continue
+		}
+		if existing, ok := out[v]; ok {
+			if existing != row[i].Term {
+				return nil, false
+			}
+			continue
+		}
+		out[v] = row[i].Term
+	}
+	return out, true
+}
+
+func (ec *evalContext) applyFilter(f Expression, seq []Solution) []Solution {
+	var out []Solution
+	for _, sol := range seq {
+		if ok, err := ebvOf(f, ec, sol); err == nil && ok {
+			out = append(out, sol)
+		}
+	}
+	return out
+}
+
+// evalTriplePattern extends each solution with matches of one pattern.
+func (ec *evalContext) evalTriplePattern(tp TriplePattern, seq []Solution) []Solution {
+	var out []Solution
+	for _, sol := range seq {
+		if tp.Path != nil {
+			out = append(out, ec.evalPathPattern(tp, sol)...)
+			continue
+		}
+		s, sVar := resolve(tp.S, sol)
+		p, pVar := resolve(tp.P, sol)
+		o, oVar := resolve(tp.O, sol)
+		ec.g.ForEach(s, p, o, func(t rdf.Triple) bool {
+			ext := sol
+			cloned := false
+			bind := func(name string, val rdf.Term) bool {
+				if name == "" {
+					return true
+				}
+				if cur, ok := ext[name]; ok {
+					return cur == val
+				}
+				if !cloned {
+					ext = ext.clone()
+					cloned = true
+				}
+				ext[name] = val
+				return true
+			}
+			if bind(sVar, t.S) && bind(pVar, t.P) && bind(oVar, t.O) {
+				if !cloned {
+					ext = sol
+				}
+				out = append(out, ext)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// resolve maps a pattern position to (bound term, "") or (wildcard, varname).
+func resolve(tv TermOrVar, sol Solution) (rdf.Term, string) {
+	if !tv.IsVar {
+		return tv.Term, ""
+	}
+	if t, ok := sol[tv.Var]; ok {
+		return t, ""
+	}
+	return store.Wildcard, tv.Var
+}
+
+// ---- SELECT finalization: grouping, aggregates, projection, modifiers ----
+
+func finishSelect(ec *evalContext, q *Query, sols []Solution) (*Result, error) {
+	res := &Result{Kind: KindSelect, Namespaces: q.Namespaces}
+	// Aggregation applies when GROUP BY is present or any projection/having
+	// expression contains an aggregate.
+	aggs := collectAggregates(q)
+	if len(q.GroupBy) > 0 || len(aggs) > 0 {
+		grouped, err := groupAndAggregate(ec, q, sols, aggs)
+		if err != nil {
+			return nil, err
+		}
+		sols = grouped
+	}
+	// Extend solutions with computed projection values first, so ORDER BY
+	// can reference both SELECT aliases and variables that the projection
+	// will later drop.
+	vars := projectionVars(q, sols)
+	res.Vars = vars
+	hasExprs := false
+	for _, item := range q.Projection {
+		if item.Expr != nil {
+			hasExprs = true
+			break
+		}
+	}
+	extended := sols
+	if hasExprs {
+		extended = make([]Solution, 0, len(sols))
+		for _, sol := range sols {
+			ext := sol.clone()
+			for _, item := range q.Projection {
+				if item.Expr == nil {
+					continue
+				}
+				if v, err := item.Expr.Eval(ec, ext); err == nil {
+					ext[item.Var] = v
+				}
+			}
+			extended = append(extended, ext)
+		}
+	}
+	// ORDER BY on the full (extended) solutions.
+	if len(q.OrderBy) > 0 {
+		sorted := make([]Solution, len(extended))
+		copy(sorted, extended)
+		sortSolutions(ec, sorted, q.OrderBy)
+		extended = sorted
+	}
+	// Reduce to the projected variables.
+	projected := make([]Solution, 0, len(extended))
+	for _, sol := range extended {
+		row := make(Solution, len(vars))
+		for _, v := range vars {
+			if t, ok := sol[v]; ok {
+				row[v] = t
+			}
+		}
+		projected = append(projected, row)
+	}
+	// DISTINCT / REDUCED.
+	if q.Distinct || q.Reduced {
+		projected = distinct(projected, vars)
+	}
+	// OFFSET / LIMIT.
+	if q.Offset > 0 {
+		if q.Offset >= len(projected) {
+			projected = nil
+		} else {
+			projected = projected[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(projected) {
+		projected = projected[:q.Limit]
+	}
+	res.Solutions = projected
+	return res, nil
+}
+
+func collectAggregates(q *Query) []*AggExpr {
+	var aggs []*AggExpr
+	var walk func(e Expression)
+	walk = func(e Expression) {
+		switch x := e.(type) {
+		case *AggExpr:
+			aggs = append(aggs, x)
+		case *BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *UnaryExpr:
+			walk(x.Expr)
+		case *FuncExpr:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *InExpr:
+			walk(x.Expr)
+			for _, a := range x.List {
+				walk(a)
+			}
+		}
+	}
+	for _, item := range q.Projection {
+		if item.Expr != nil {
+			walk(item.Expr)
+		}
+	}
+	for _, h := range q.Having {
+		walk(h)
+	}
+	return aggs
+}
+
+// groupAndAggregate partitions solutions by the GROUP BY keys, computes each
+// aggregate per group, and returns one solution per group carrying the key
+// bindings plus aggregate values under their internal keys.
+func groupAndAggregate(ec *evalContext, q *Query, sols []Solution, aggs []*AggExpr) ([]Solution, error) {
+	type groupData struct {
+		key  Solution
+		rows []Solution
+	}
+	groups := make(map[string]*groupData)
+	var order []string
+	for _, sol := range sols {
+		var kb strings.Builder
+		key := Solution{}
+		for i, ge := range q.GroupBy {
+			v, err := ge.Eval(ec, sol)
+			if err == nil {
+				kb.WriteString(v.String())
+				if ve, ok := ge.(*VarExpr); ok {
+					key[ve.Name] = v
+				} else {
+					key[" gk"+strconv.Itoa(i)] = v
+				}
+			}
+			kb.WriteByte('|')
+		}
+		k := kb.String()
+		gd, ok := groups[k]
+		if !ok {
+			gd = &groupData{key: key}
+			groups[k] = gd
+			order = append(order, k)
+		}
+		gd.rows = append(gd.rows, sol)
+	}
+	// With no GROUP BY, all solutions form one group (even when empty).
+	if len(q.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &groupData{key: Solution{}}
+		order = append(order, "")
+	}
+	var out []Solution
+	for _, k := range order {
+		gd := groups[k]
+		row := gd.key.clone()
+		for _, agg := range aggs {
+			if v, ok := computeAggregate(ec, agg, gd.rows); ok {
+				row[agg.key] = v
+			}
+		}
+		keep := true
+		for _, h := range q.Having {
+			ok, err := ebvOf(h, ec, row)
+			if err != nil || !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func computeAggregate(ec *evalContext, agg *AggExpr, rows []Solution) (rdf.Term, bool) {
+	var values []rdf.Term
+	for _, r := range rows {
+		if agg.Arg == nil { // COUNT(*)
+			values = append(values, rdf.TrueLiteral)
+			continue
+		}
+		if v, err := agg.Arg.Eval(ec, r); err == nil {
+			values = append(values, v)
+		}
+	}
+	if agg.Distinct {
+		seen := make(map[rdf.Term]bool)
+		var dd []rdf.Term
+		for _, v := range values {
+			if !seen[v] {
+				seen[v] = true
+				dd = append(dd, v)
+			}
+		}
+		values = dd
+	}
+	switch agg.Name {
+	case "COUNT":
+		return rdf.NewInt(int64(len(values))), true
+	case "SUM", "AVG":
+		sum := 0.0
+		n := 0
+		allInt := true
+		for _, v := range values {
+			if f, ok := v.Float(); ok {
+				sum += f
+				n++
+				if v.Datatype != rdf.XSDInteger {
+					allInt = false
+				}
+			}
+		}
+		if agg.Name == "SUM" {
+			if allInt {
+				return rdf.NewInt(int64(sum)), true
+			}
+			return rdf.NewFloat(sum), true
+		}
+		if n == 0 {
+			return rdf.NewInt(0), true
+		}
+		return rdf.NewFloat(sum / float64(n)), true
+	case "MIN", "MAX":
+		if len(values) == 0 {
+			return rdf.Term{}, false
+		}
+		best := values[0]
+		for _, v := range values[1:] {
+			c, err := orderCompare(v, best)
+			if err != nil {
+				c = rdf.Compare(v, best)
+			}
+			if (agg.Name == "MIN" && c < 0) || (agg.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, true
+	case "SAMPLE":
+		if len(values) == 0 {
+			return rdf.Term{}, false
+		}
+		// Deterministic sample: smallest term.
+		best := values[0]
+		for _, v := range values[1:] {
+			if rdf.Compare(v, best) < 0 {
+				best = v
+			}
+		}
+		return best, true
+	case "GROUP_CONCAT":
+		parts := make([]string, 0, len(values))
+		for _, v := range values {
+			parts = append(parts, v.Value)
+		}
+		sort.Strings(parts) // deterministic
+		return rdf.NewLiteral(strings.Join(parts, agg.Sep)), true
+	}
+	return rdf.Term{}, false
+}
+
+// projectionVars determines the output column order.
+func projectionVars(q *Query, sols []Solution) []string {
+	if len(q.Projection) > 0 {
+		vars := make([]string, 0, len(q.Projection))
+		for _, item := range q.Projection {
+			vars = append(vars, item.Var)
+		}
+		return vars
+	}
+	// SELECT *: variables in order of first appearance in the pattern tree.
+	var vars []string
+	seen := make(map[string]bool)
+	add := func(name string) {
+		if name != "" && !seen[name] && !strings.HasPrefix(name, " ") {
+			seen[name] = true
+			vars = append(vars, name)
+		}
+	}
+	var walkGroup func(g *Group)
+	var walkPattern func(p Pattern)
+	walkPattern = func(p Pattern) {
+		switch pat := p.(type) {
+		case *BGP:
+			for _, tp := range pat.Triples {
+				if tp.S.IsVar {
+					add(tp.S.Var)
+				}
+				if tp.P.IsVar {
+					add(tp.P.Var)
+				}
+				if tp.O.IsVar {
+					add(tp.O.Var)
+				}
+			}
+		case *Group:
+			walkGroup(pat)
+		case *Optional:
+			walkGroup(pat.Pattern)
+		case *Union:
+			walkGroup(pat.Left)
+			walkGroup(pat.Right)
+		case *Minus:
+			// MINUS variables are not projected.
+		case *Bind:
+			add(pat.Var)
+		case *InlineData:
+			for _, v := range pat.Vars {
+				add(v)
+			}
+		}
+	}
+	walkGroup = func(g *Group) {
+		for _, p := range g.Patterns {
+			walkPattern(p)
+		}
+	}
+	if q.Where != nil {
+		walkGroup(q.Where)
+	}
+	return vars
+}
+
+func sortSolutions(ec *evalContext, sols []Solution, conds []OrderCondition) {
+	sort.SliceStable(sols, func(i, j int) bool {
+		for _, c := range conds {
+			vi, ei := c.Expr.Eval(ec, sols[i])
+			vj, ej := c.Expr.Eval(ec, sols[j])
+			var cmp int
+			switch {
+			case ei != nil && ej != nil:
+				cmp = 0
+			case ei != nil:
+				cmp = -1 // unbound sorts first
+			case ej != nil:
+				cmp = 1
+			default:
+				var err error
+				cmp, err = orderCompare(vi, vj)
+				if err != nil {
+					cmp = rdf.Compare(vi, vj)
+				}
+			}
+			if c.Descending {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+}
+
+func distinct(sols []Solution, vars []string) []Solution {
+	seen := make(map[string]bool, len(sols))
+	var out []Solution
+	for _, sol := range sols {
+		var kb strings.Builder
+		for _, v := range vars {
+			if t, ok := sol[v]; ok {
+				kb.WriteString(t.String())
+			}
+			kb.WriteByte('|')
+		}
+		k := kb.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, sol)
+		}
+	}
+	return out
+}
+
+// ---- CONSTRUCT / DESCRIBE ----
+
+func constructGraph(q *Query, sols []Solution) *store.Graph {
+	out := store.New()
+	if q.Namespaces != nil {
+		for _, p := range q.Namespaces.Prefixes() {
+			if iri, ok := q.Namespaces.IRIFor(p); ok {
+				out.Namespaces().Bind(p, iri)
+			}
+		}
+	}
+	bnodeSeq := 0
+	for _, sol := range sols {
+		bnodeSeq++
+		for _, tp := range q.Template {
+			s, sOK := instantiate(tp.S, sol, bnodeSeq)
+			p, pOK := instantiate(tp.P, sol, bnodeSeq)
+			o, oOK := instantiate(tp.O, sol, bnodeSeq)
+			if sOK && pOK && oOK {
+				out.Add(s, p, o)
+			}
+		}
+	}
+	return out
+}
+
+func instantiate(tv TermOrVar, sol Solution, bnodeSeq int) (rdf.Term, bool) {
+	if !tv.IsVar {
+		return tv.Term, true
+	}
+	if strings.HasPrefix(tv.Var, " bnode") {
+		// Template blank nodes are fresh per solution.
+		return rdf.NewBlank(fmt.Sprintf("c%d%s", bnodeSeq, strings.TrimSpace(tv.Var))), true
+	}
+	t, ok := sol[tv.Var]
+	return t, ok
+}
+
+// describeGraph returns the concise bounded description of every described
+// resource: all triples with the resource as subject, recursing through
+// blank-node objects, plus incoming triples.
+func describeGraph(g *store.Graph, q *Query, sols []Solution) *store.Graph {
+	out := store.New()
+	targets := make(map[rdf.Term]bool)
+	for _, dt := range q.DescribeTerms {
+		if !dt.IsVar {
+			targets[dt.Term] = true
+			continue
+		}
+		for _, sol := range sols {
+			if t, ok := sol[dt.Var]; ok {
+				targets[t] = true
+			}
+		}
+	}
+	var describe func(t rdf.Term, depth int)
+	describe = func(t rdf.Term, depth int) {
+		if depth > 8 {
+			return
+		}
+		g.ForEach(t, store.Wildcard, store.Wildcard, func(tr rdf.Triple) bool {
+			if out.AddTriple(tr) && tr.O.IsBlank() {
+				describe(tr.O, depth+1)
+			}
+			return true
+		})
+	}
+	for t := range targets {
+		describe(t, 0)
+		g.ForEach(store.Wildcard, store.Wildcard, t, func(tr rdf.Triple) bool {
+			out.AddTriple(tr)
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package sparql
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func formatFixture(t *testing.T) *Result {
+	g := testGraph(t, fixture)
+	return run(t, g, `PREFIX ex: <http://e/>
+SELECT ?p ?name ?f WHERE {
+  ?p ex:name ?name . OPTIONAL { ?p ex:likes ?f }
+} ORDER BY ?name`)
+}
+
+func TestWriteJSONConformsToW3CShape(t *testing.T) {
+	res := formatFixture(t)
+	var sb strings.Builder
+	if err := res.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Head struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Results struct {
+			Bindings []map[string]struct {
+				Type  string `json:"type"`
+				Value string `json:"value"`
+			} `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.Head.Vars) != 3 {
+		t.Errorf("vars = %v", doc.Head.Vars)
+	}
+	if len(doc.Results.Bindings) != 4 {
+		t.Errorf("bindings = %d, want 4", len(doc.Results.Bindings))
+	}
+	first := doc.Results.Bindings[0]
+	if first["p"].Type != "uri" || first["name"].Type != "literal" {
+		t.Errorf("term typing wrong: %v", first)
+	}
+	// Carol has no likes: her row must omit ?f rather than bind empty.
+	for _, row := range doc.Results.Bindings {
+		if row["name"].Value == "Carol" {
+			if _, bound := row["f"]; bound {
+				t.Error("unbound variable must be omitted in JSON bindings")
+			}
+		}
+	}
+}
+
+func TestWriteJSONAsk(t *testing.T) {
+	g := testGraph(t, fixture)
+	res := run(t, g, `PREFIX ex: <http://e/> ASK { ex:alice ex:likes ex:sushi }`)
+	var sb strings.Builder
+	if err := res.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Boolean *bool `json:"boolean"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Boolean == nil || !*doc.Boolean {
+		t.Errorf("ASK JSON: %s", sb.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := formatFixture(t)
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("csv lines = %d, want header+4:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "p,name,f" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(sb.String(), "Alice") {
+		t.Error("csv missing data")
+	}
+}
+
+func TestWriteTSVUsesNTriplesTerms(t *testing.T) {
+	res := formatFixture(t)
+	var sb strings.Builder
+	if err := res.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "?p\t?name\t?f") {
+		t.Errorf("tsv header wrong:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "<http://e/alice>") {
+		t.Error("tsv should render IRIs in angle brackets")
+	}
+	if !strings.Contains(sb.String(), `"Alice"`) {
+		t.Error("tsv should render literals quoted")
+	}
+}
+
+func TestWriteXMLWellFormed(t *testing.T) {
+	res := formatFixture(t)
+	var sb strings.Builder
+	if err := res.WriteXML(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(sb.String()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("ill-formed XML: %v\n%s", err, sb.String())
+		}
+	}
+	if !strings.Contains(sb.String(), `<variable name="p"/>`) {
+		t.Error("XML head missing variables")
+	}
+	if !strings.Contains(sb.String(), "<uri>http://e/alice</uri>") {
+		t.Error("XML missing uri binding")
+	}
+}
+
+func TestWriteXMLAsk(t *testing.T) {
+	g := testGraph(t, fixture)
+	res := run(t, g, `ASK { ?s ?p ?o }`)
+	var sb strings.Builder
+	if err := res.WriteXML(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<boolean>true</boolean>") {
+		t.Errorf("ASK XML:\n%s", sb.String())
+	}
+}
+
+func TestFormatsEscapeSpecials(t *testing.T) {
+	g := testGraph(t, `
+@prefix ex: <http://e/> .
+ex:s ex:p "a,b\"c<d>&e" .
+`)
+	res := run(t, g, `PREFIX ex: <http://e/> SELECT ?o WHERE { ex:s ex:p ?o }`)
+	var csvOut, xmlOut, jsonOut strings.Builder
+	if err := res.WriteCSV(&csvOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteXML(&xmlOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteJSON(&jsonOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvOut.String(), `"a,b""c<d>&e"`) {
+		t.Errorf("csv quoting wrong: %q", csvOut.String())
+	}
+	if strings.Contains(xmlOut.String(), "<d>") {
+		t.Error("xml must escape angle brackets in literals")
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(jsonOut.String()), &parsed); err != nil {
+		t.Errorf("json escape broke document: %v", err)
+	}
+}

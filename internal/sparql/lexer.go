@@ -1,0 +1,426 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokKeyword
+	tokVar     // ?name or $name (normalized to name)
+	tokIRIRef  // <...> (value without brackets)
+	tokPName   // prefix:local or prefix: (kept verbatim)
+	tokString  // quoted string (value unescaped)
+	tokNumber  // numeric literal (verbatim)
+	tokBool    // true / false
+	tokPunct   // single/multi character punctuation
+	tokLangTag // @en
+	tokAnon    // []
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// Error reports a SPARQL syntax or evaluation error with position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("sparql: line %d col %d: %s", e.Line, e.Col, e.Msg)
+	}
+	return "sparql: " + e.Msg
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "REDUCED": true, "WHERE": true,
+	"FILTER": true, "OPTIONAL": true, "UNION": true, "MINUS": true,
+	"BIND": true, "AS": true, "VALUES": true, "UNDEF": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "OFFSET": true, "GROUP": true, "HAVING": true,
+	"ASK": true, "CONSTRUCT": true, "DESCRIBE": true,
+	"PREFIX": true, "BASE": true, "NOT": true, "EXISTS": true, "IN": true,
+	"A":      true,
+	"INSERT": true, "DELETE": true, "DATA": true, "CLEAR": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, line: l.line, col: l.col})
+}
+
+func (l *lexer) eof() bool { return l.pos >= len(l.src) }
+
+func (l *lexer) peek() byte {
+	if l.eof() {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) run() error {
+	for !l.eof() {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for !l.eof() && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '?' || c == '$':
+			// '?' not followed by a name char is the zero-or-one path
+			// modifier, not a variable.
+			if !isNameChar(l.peekAt(1)) {
+				l.advance()
+				l.emit(tokPunct, "?")
+				continue
+			}
+			l.advance()
+			start := l.pos
+			for !l.eof() && isNameChar(l.peek()) {
+				l.advance()
+			}
+			l.emit(tokVar, l.src[start:l.pos])
+		case c == '<':
+			// Distinguish IRIRef from comparison operators: an IRIRef has no
+			// whitespace before the closing '>'.
+			if iri, ok := l.tryIRIRef(); ok {
+				l.emit(tokIRIRef, iri)
+			} else {
+				l.advance()
+				if l.peek() == '=' {
+					l.advance()
+					l.emit(tokPunct, "<=")
+				} else {
+					l.emit(tokPunct, "<")
+				}
+			}
+		case c == '"' || c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return err
+			}
+			l.emit(tokString, s)
+		case c == '@':
+			l.advance()
+			start := l.pos
+			for !l.eof() && (isAlpha(l.peek()) || l.peek() == '-' || isDigit(l.peek())) {
+				l.advance()
+			}
+			if l.pos == start {
+				return l.errf("empty language tag")
+			}
+			l.emit(tokLangTag, l.src[start:l.pos])
+		case isDigit(c) || (c == '.' && isDigit(l.peekAt(1))):
+			l.lexNumber(false)
+		case c == '+' || c == '-':
+			// Sign is part of a numeric literal only directly before digits;
+			// the parser decides arithmetic from context, so emit punct and
+			// let numbers be unsigned at the lexer level.
+			l.advance()
+			l.emit(tokPunct, string(c))
+		case c == '[':
+			// ANON blank node "[]" (possibly with inner whitespace) vs '['.
+			save := l.pos
+			l.advance()
+			for !l.eof() && (l.peek() == ' ' || l.peek() == '\t') {
+				l.advance()
+			}
+			if l.peek() == ']' {
+				l.advance()
+				l.emit(tokAnon, "[]")
+			} else {
+				l.pos = save
+				l.advance()
+				l.emit(tokPunct, "[")
+			}
+		case strings.IndexByte("{}().;,*/|^!=>&", c) >= 0:
+			l.lexPunct()
+		case c == '_' && l.peekAt(1) == ':':
+			l.advance()
+			l.advance()
+			start := l.pos
+			for !l.eof() && isNameChar(l.peek()) {
+				l.advance()
+			}
+			l.emit(tokPName, "_:"+l.src[start:l.pos])
+		case isAlpha(c) || c >= utf8.RuneSelf:
+			l.lexWord()
+		default:
+			return l.errf("unexpected character %q", string(c))
+		}
+	}
+	return nil
+}
+
+// tryIRIRef attempts to scan <...> as an IRI reference; on failure the
+// position is restored and ok=false (so '<' can be an operator).
+func (l *lexer) tryIRIRef() (string, bool) {
+	save, saveLine, saveCol := l.pos, l.line, l.col
+	l.advance() // '<'
+	start := l.pos
+	for !l.eof() {
+		c := l.peek()
+		if c == '>' {
+			iri := l.src[start:l.pos]
+			l.advance()
+			return iri, true
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '<' || c == '"' {
+			break
+		}
+		l.advance()
+	}
+	l.pos, l.line, l.col = save, saveLine, saveCol
+	return "", false
+}
+
+func (l *lexer) lexString() (string, error) {
+	quote := l.advance()
+	long := false
+	if l.peek() == quote && l.peekAt(1) == quote {
+		l.advance()
+		l.advance()
+		long = true
+	} else if l.peek() == quote {
+		l.advance()
+		return "", nil
+	}
+	var b strings.Builder
+	for {
+		if l.eof() {
+			return "", l.errf("unterminated string")
+		}
+		c := l.peek()
+		if c == quote {
+			if !long {
+				l.advance()
+				return b.String(), nil
+			}
+			if l.peekAt(1) == quote && l.peekAt(2) == quote {
+				l.advance()
+				l.advance()
+				l.advance()
+				return b.String(), nil
+			}
+			b.WriteByte(l.advance())
+			continue
+		}
+		if c == '\\' {
+			l.advance()
+			if l.eof() {
+				return "", l.errf("unterminated escape")
+			}
+			switch e := l.advance(); e {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case '"', '\'', '\\':
+				b.WriteByte(e)
+			case 'u':
+				r, err := l.readHex(4)
+				if err != nil {
+					return "", err
+				}
+				b.WriteRune(r)
+			default:
+				return "", l.errf("invalid escape \\%c", e)
+			}
+			continue
+		}
+		if !long && (c == '\n' || c == '\r') {
+			return "", l.errf("newline in string")
+		}
+		b.WriteByte(l.advance())
+	}
+}
+
+func (l *lexer) readHex(n int) (rune, error) {
+	var v rune
+	for i := 0; i < n; i++ {
+		if l.eof() {
+			return 0, l.errf("unterminated hex escape")
+		}
+		c := l.advance()
+		v <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			v |= rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			v |= rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			v |= rune(c-'A') + 10
+		default:
+			return 0, l.errf("invalid hex digit")
+		}
+	}
+	return v, nil
+}
+
+func (l *lexer) lexNumber(neg bool) {
+	start := l.pos
+	for !l.eof() && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peekAt(1)) {
+		l.advance()
+		for !l.eof() && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.pos
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			for !l.eof() && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	text := l.src[start:l.pos]
+	if neg {
+		text = "-" + text
+	}
+	l.emit(tokNumber, text)
+}
+
+func (l *lexer) lexPunct() {
+	c := l.advance()
+	two := func(next byte, combined string) {
+		if l.peek() == next {
+			l.advance()
+			l.emit(tokPunct, combined)
+		} else {
+			l.emit(tokPunct, string(c))
+		}
+	}
+	switch c {
+	case '!':
+		two('=', "!=")
+	case '>':
+		two('=', ">=")
+	case '&':
+		two('&', "&&")
+	case '|':
+		two('|', "||")
+	default:
+		l.emit(tokPunct, string(c))
+	}
+}
+
+// lexWord scans a bare word: keyword, boolean, builtin function name, or
+// prefixed name.
+func (l *lexer) lexWord() {
+	start := l.pos
+	for !l.eof() && (isNameChar(l.peek()) || l.peek() >= utf8.RuneSelf) {
+		l.advance()
+	}
+	word := l.src[start:l.pos]
+	// prefix:local form (includes empty local "ex:").
+	if l.peek() == ':' {
+		l.advance()
+		lstart := l.pos
+		for !l.eof() {
+			c := l.peek()
+			if isNameChar(c) || c >= utf8.RuneSelf {
+				l.advance()
+				continue
+			}
+			if c == '.' && (isNameChar(l.peekAt(1)) || l.peekAt(1) >= utf8.RuneSelf) {
+				l.advance()
+				continue
+			}
+			break
+		}
+		l.emit(tokPName, word+":"+l.src[lstart:l.pos])
+		return
+	}
+	switch strings.ToLower(word) {
+	case "true", "false":
+		// Boolean literals are matched case-insensitively: the paper's
+		// Listing 1 spells "False".
+		l.emit(tokBool, strings.ToLower(word))
+		return
+	}
+	if keywords[strings.ToUpper(word)] {
+		l.emit(tokKeyword, strings.ToUpper(word))
+		return
+	}
+	// Builtin function names and anything else: keep verbatim; the parser
+	// resolves them (case-insensitively for functions).
+	l.emit(tokPName, word)
+}
+
+func isAlpha(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameChar(c byte) bool { return isAlpha(c) || isDigit(c) || c == '-' }

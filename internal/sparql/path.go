@@ -1,0 +1,270 @@
+package sparql
+
+import (
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// evalPathPattern evaluates a triple pattern whose predicate is a property
+// path, extending sol with every (subject, object) pair the path connects.
+//
+// The evaluation direction is chosen from the bound ends: bound→unbound uses
+// forward or backward reachability; bound→bound is a reachability test; and
+// unbound→unbound enumerates path matches from every candidate start node.
+func (ec *evalContext) evalPathPattern(tp TriplePattern, sol Solution) []Solution {
+	s, sVar := resolve(tp.S, sol)
+	o, oVar := resolve(tp.O, sol)
+	var out []Solution
+	switch {
+	case sVar == "" && oVar == "":
+		if ec.pathReaches(tp.Path, s, o) {
+			out = append(out, sol)
+		}
+	case sVar == "" && oVar != "":
+		for _, t := range ec.pathForward(tp.Path, s) {
+			ns := sol.clone()
+			ns[oVar] = t
+			out = append(out, ns)
+		}
+	case sVar != "" && oVar == "":
+		for _, t := range ec.pathBackward(tp.Path, o) {
+			ns := sol.clone()
+			ns[sVar] = t
+			out = append(out, ns)
+		}
+	default:
+		// Both unbound: enumerate from all subject candidates.
+		for _, start := range ec.pathStartCandidates(tp.Path) {
+			for _, t := range ec.pathForward(tp.Path, start) {
+				ns := sol.clone()
+				ns[sVar] = start
+				if sVar == oVar {
+					if start != t {
+						continue
+					}
+				} else {
+					ns[oVar] = t
+				}
+				out = append(out, ns)
+			}
+		}
+	}
+	return out
+}
+
+// pathForward returns the set of nodes reachable from `from` via the path.
+func (ec *evalContext) pathForward(p *Path, from rdf.Term) []rdf.Term {
+	switch p.Kind {
+	case PathIRI:
+		return ec.g.Objects(from, p.IRI)
+	case PathInverse:
+		return ec.pathBackward(p.Kids[0], from)
+	case PathSeq:
+		mids := ec.pathForward(p.Kids[0], from)
+		seen := make(map[rdf.Term]bool)
+		var out []rdf.Term
+		for _, m := range mids {
+			for _, t := range ec.pathForward(p.Kids[1], m) {
+				if !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+				}
+			}
+		}
+		return out
+	case PathAlt:
+		seen := make(map[rdf.Term]bool)
+		var out []rdf.Term
+		for _, kid := range p.Kids {
+			for _, t := range ec.pathForward(kid, from) {
+				if !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+				}
+			}
+		}
+		return out
+	case PathZeroOrOne:
+		out := []rdf.Term{from}
+		seen := map[rdf.Term]bool{from: true}
+		for _, t := range ec.pathForward(p.Kids[0], from) {
+			if !seen[t] {
+				out = append(out, t)
+			}
+		}
+		return out
+	case PathZeroOrMore, PathOneOrMore:
+		return ec.closure(p.Kids[0], from, p.Kind == PathZeroOrMore, false)
+	}
+	return nil
+}
+
+// pathBackward returns the set of nodes from which `to` is reachable.
+func (ec *evalContext) pathBackward(p *Path, to rdf.Term) []rdf.Term {
+	switch p.Kind {
+	case PathIRI:
+		return ec.g.Subjects(p.IRI, to)
+	case PathInverse:
+		return ec.pathForward(p.Kids[0], to)
+	case PathSeq:
+		mids := ec.pathBackward(p.Kids[1], to)
+		seen := make(map[rdf.Term]bool)
+		var out []rdf.Term
+		for _, m := range mids {
+			for _, t := range ec.pathBackward(p.Kids[0], m) {
+				if !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+				}
+			}
+		}
+		return out
+	case PathAlt:
+		seen := make(map[rdf.Term]bool)
+		var out []rdf.Term
+		for _, kid := range p.Kids {
+			for _, t := range ec.pathBackward(kid, to) {
+				if !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+				}
+			}
+		}
+		return out
+	case PathZeroOrOne:
+		out := []rdf.Term{to}
+		seen := map[rdf.Term]bool{to: true}
+		for _, t := range ec.pathBackward(p.Kids[0], to) {
+			if !seen[t] {
+				out = append(out, t)
+			}
+		}
+		return out
+	case PathZeroOrMore, PathOneOrMore:
+		return ec.closure(p.Kids[0], to, p.Kind == PathZeroOrMore, true)
+	}
+	return nil
+}
+
+// closure performs BFS over single path steps. includeStart selects
+// zero-or-more semantics; backward reverses the step direction.
+func (ec *evalContext) closure(step *Path, start rdf.Term, includeStart, backward bool) []rdf.Term {
+	visited := make(map[rdf.Term]bool)
+	var out []rdf.Term
+	if includeStart {
+		visited[start] = true
+		out = append(out, start)
+	}
+	frontier := []rdf.Term{start}
+	for len(frontier) > 0 {
+		var next []rdf.Term
+		for _, node := range frontier {
+			var steps []rdf.Term
+			if backward {
+				steps = ec.pathBackward(step, node)
+			} else {
+				steps = ec.pathForward(step, node)
+			}
+			for _, t := range steps {
+				if !visited[t] {
+					visited[t] = true
+					out = append(out, t)
+					next = append(next, t)
+				}
+			}
+		}
+		frontier = next
+	}
+	if !includeStart {
+		// One-or-more: the start itself is only a result if reachable in ≥1
+		// step, which the BFS above established via visited.
+		return out
+	}
+	return out
+}
+
+// pathReaches tests whether `to` is reachable from `from` via the path.
+func (ec *evalContext) pathReaches(p *Path, from, to rdf.Term) bool {
+	for _, t := range ec.pathForward(p, from) {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}
+
+// pathStartCandidates returns the nodes that can possibly start a path match
+// when both ends are unbound: for zero-width paths every subject and object,
+// otherwise the subjects of the leftmost predicate.
+func (ec *evalContext) pathStartCandidates(p *Path) []rdf.Term {
+	switch p.Kind {
+	case PathIRI:
+		seen := make(map[rdf.Term]bool)
+		var out []rdf.Term
+		ec.g.ForEach(store.Wildcard, p.IRI, store.Wildcard, func(t rdf.Triple) bool {
+			if !seen[t.S] {
+				seen[t.S] = true
+				out = append(out, t.S)
+			}
+			return true
+		})
+		return out
+	case PathInverse:
+		return ec.pathEndCandidates(p.Kids[0])
+	case PathSeq:
+		return ec.pathStartCandidates(p.Kids[0])
+	case PathAlt:
+		seen := make(map[rdf.Term]bool)
+		var out []rdf.Term
+		for _, kid := range p.Kids {
+			for _, t := range ec.pathStartCandidates(kid) {
+				if !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+				}
+			}
+		}
+		return out
+	case PathOneOrMore:
+		return ec.pathStartCandidates(p.Kids[0])
+	case PathZeroOrMore, PathZeroOrOne:
+		// Zero-width paths can start at any node in the graph.
+		return ec.allNodes()
+	}
+	return nil
+}
+
+func (ec *evalContext) pathEndCandidates(p *Path) []rdf.Term {
+	switch p.Kind {
+	case PathIRI:
+		seen := make(map[rdf.Term]bool)
+		var out []rdf.Term
+		ec.g.ForEach(store.Wildcard, p.IRI, store.Wildcard, func(t rdf.Triple) bool {
+			if !seen[t.O] {
+				seen[t.O] = true
+				out = append(out, t.O)
+			}
+			return true
+		})
+		return out
+	default:
+		return ec.allNodes()
+	}
+}
+
+func (ec *evalContext) allNodes() []rdf.Term {
+	seen := make(map[rdf.Term]bool)
+	var out []rdf.Term
+	ec.g.ForEach(store.Wildcard, store.Wildcard, store.Wildcard, func(t rdf.Triple) bool {
+		if !seen[t.S] {
+			seen[t.S] = true
+			out = append(out, t.S)
+		}
+		if !seen[t.O] {
+			seen[t.O] = true
+			out = append(out, t.O)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,101 @@
+package sparql
+
+import (
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Get returns the binding of var in row i, or the zero Term.
+func (r *Result) Get(i int, varName string) rdf.Term {
+	if i < 0 || i >= len(r.Solutions) {
+		return rdf.Term{}
+	}
+	return r.Solutions[i][varName]
+}
+
+// Len returns the number of solution rows.
+func (r *Result) Len() int { return len(r.Solutions) }
+
+// Table renders SELECT results as an aligned text table using the query's
+// prefixes, in the style the paper presents its listing outputs.
+func (r *Result) Table() string {
+	if r.Kind == KindAsk {
+		if r.Boolean {
+			return "yes\n"
+		}
+		return "no\n"
+	}
+	cols := r.Vars
+	widths := make([]int, len(cols))
+	header := make([]string, len(cols))
+	for i, c := range cols {
+		header[i] = "?" + c
+		widths[i] = len(header[i])
+	}
+	rows := make([][]string, 0, len(r.Solutions))
+	for _, sol := range r.Solutions {
+		row := make([]string, len(cols))
+		for i, c := range cols {
+			if t, ok := sol[c]; ok {
+				row[i] = t.Compact(r.Namespaces)
+			} else {
+				row[i] = ""
+			}
+			if len(row[i]) > widths[i] {
+				widths[i] = len(row[i])
+			}
+		}
+		rows = append(rows, row)
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Column returns all bindings of one variable across rows (unbound cells
+// are skipped).
+func (r *Result) Column(varName string) []rdf.Term {
+	out := make([]rdf.Term, 0, len(r.Solutions))
+	for _, sol := range r.Solutions {
+		if t, ok := sol[varName]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// HasRow reports whether some row binds every given (var, term) pair.
+func (r *Result) HasRow(want map[string]rdf.Term) bool {
+	for _, sol := range r.Solutions {
+		match := true
+		for v, t := range want {
+			if sol[v] != t {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

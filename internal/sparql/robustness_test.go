@@ -1,0 +1,125 @@
+package sparql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+var querySeeds = []string{
+	`SELECT ?s WHERE { ?s ?p ?o }`,
+	`PREFIX ex: <http://e/> SELECT DISTINCT ?a ?b WHERE { ?a ex:p+ ?b . FILTER(?a != ?b) }`,
+	`SELECT (COUNT(?x) AS ?n) WHERE { ?x ?p ?o } GROUP BY ?p HAVING (COUNT(?x) > 1)`,
+	`ASK { <http://e/a> <http://e/b> "lit"@en }`,
+	`CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o . OPTIONAL { ?s ?q ?r } }`,
+	`SELECT * WHERE { { ?a ?b ?c } UNION { ?c ?b ?a } MINUS { ?a ?x ?y } } ORDER BY ?a LIMIT 5`,
+	`SELECT ?s WHERE { VALUES (?s) { (<http://e/a>) (UNDEF) } ?s ?p ?o . BIND(STR(?o) AS ?t) }`,
+	`INSERT DATA { <http://e/a> <http://e/b> <http://e/c> }`,
+}
+
+// TestQueryParserNeverPanics mutates valid queries and asserts the parser
+// (and evaluator, when parsing succeeds) never panics.
+func TestQueryParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := store.New()
+	for trial := 0; trial < 3000; trial++ {
+		q := querySeeds[rng.Intn(len(querySeeds))]
+		for n := 0; n < 1+rng.Intn(4); n++ {
+			switch rng.Intn(4) {
+			case 0:
+				if len(q) > 0 {
+					i := rng.Intn(len(q))
+					q = q[:i] + q[i+1:]
+				}
+			case 1:
+				i := rng.Intn(len(q) + 1)
+				q = q[:i] + string(rune(32+rng.Intn(95))) + q[i:]
+			case 2:
+				if len(q) > 1 {
+					q = q[:rng.Intn(len(q))]
+				}
+			case 3:
+				b := []byte(q)
+				if len(b) > 0 {
+					b[rng.Intn(len(b))] = byte(rng.Intn(256))
+				}
+				q = string(b)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on query %q: %v", q, r)
+				}
+			}()
+			if parsed, err := ParseQuery(q); err == nil {
+				_, _ = Execute(g, parsed)
+			}
+			_, _ = RunUpdate(g, q)
+		}()
+	}
+}
+
+func TestQueryPathologicalInputs(t *testing.T) {
+	g := store.New()
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT *",
+		"SELECT * WHERE",
+		"SELECT * WHERE {",
+		strings.Repeat("{", 500),
+		"SELECT * WHERE " + strings.Repeat("{ ?s ?p ?o . ", 100) + strings.Repeat("}", 100),
+		"SELECT ?x WHERE { ?x " + strings.Repeat("a/", 200) + "a ?y }",
+		"SELECT * WHERE { ?s ?p " + strings.Repeat("\"", 99) + " }",
+		"\x00",
+		"SELECT (((((?x AS ?y) WHERE { ?x ?p ?o }",
+	}
+	for _, q := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", q, r)
+				}
+			}()
+			if parsed, err := ParseQuery(q); err == nil {
+				_, _ = Execute(g, parsed)
+			}
+		}()
+	}
+}
+
+// TestDeepPathTermination guards against exponential blowup on cyclic
+// graphs with nested path operators.
+func TestDeepPathTermination(t *testing.T) {
+	g := store.New()
+	// Dense cyclic graph: 20 nodes, all-to-all edges.
+	nodes := make([]string, 20)
+	for i := range nodes {
+		nodes[i] = string(rune('a' + i))
+	}
+	if err := loadEdges(g, nodes); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, `PREFIX ex: <http://e/> SELECT ?x WHERE { ex:a (ex:p+)+ ?x }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 20 {
+		t.Errorf("cyclic closure = %d, want 20", res.Len())
+	}
+}
+
+func loadEdges(g *store.Graph, nodes []string) error {
+	var sb strings.Builder
+	sb.WriteString("@prefix ex: <http://e/> .\n")
+	for _, a := range nodes {
+		for _, b := range nodes {
+			sb.WriteString("ex:" + a + " ex:p ex:" + b + " .\n")
+		}
+	}
+	return turtle.ParseInto(g, sb.String())
+}

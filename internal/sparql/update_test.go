@@ -1,0 +1,206 @@
+package sparql
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func TestInsertData(t *testing.T) {
+	g := store.New()
+	res, err := RunUpdate(g, `
+PREFIX ex: <http://e/>
+INSERT DATA { ex:s ex:p ex:o . ex:s ex:p "lit" . ex:s a ex:C . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 3 || res.Deleted != 0 {
+		t.Errorf("result = %v", res)
+	}
+	if !g.Has(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewLiteral("lit")) {
+		t.Error("inserted literal missing")
+	}
+	if !g.IsA(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/C")) {
+		t.Error("'a' keyword in update data failed")
+	}
+	// Duplicate insert is a no-op.
+	res, _ = RunUpdate(g, `PREFIX ex: <http://e/> INSERT DATA { ex:s ex:p ex:o }`)
+	if res.Inserted != 0 {
+		t.Error("duplicate insert should count 0")
+	}
+}
+
+func TestDeleteData(t *testing.T) {
+	g := store.New()
+	g.Add(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/o"))
+	res, err := RunUpdate(g, `PREFIX ex: <http://e/> DELETE DATA { ex:s ex:p ex:o . ex:x ex:y ex:z . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 1 {
+		t.Errorf("deleted = %d, want 1 (second triple absent)", res.Deleted)
+	}
+	if g.Len() != 0 {
+		t.Error("triple not removed")
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	g := store.New()
+	ex := func(s string) rdf.Term { return rdf.NewIRI("http://e/" + s) }
+	g.Add(ex("a"), ex("age"), rdf.NewInt(30))
+	g.Add(ex("b"), ex("age"), rdf.NewInt(25))
+	g.Add(ex("a"), ex("name"), rdf.NewLiteral("A"))
+	res, err := RunUpdate(g, `PREFIX ex: <http://e/> DELETE WHERE { ?s ex:age ?v }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 2 {
+		t.Errorf("deleted = %d, want 2", res.Deleted)
+	}
+	if !g.Has(ex("a"), ex("name"), rdf.NewLiteral("A")) {
+		t.Error("unrelated triple removed")
+	}
+}
+
+func TestModifyDeleteInsertWhere(t *testing.T) {
+	g := store.New()
+	ex := func(s string) rdf.Term { return rdf.NewIRI("http://e/" + s) }
+	g.Add(ex("a"), ex("status"), rdf.NewLiteral("draft"))
+	g.Add(ex("b"), ex("status"), rdf.NewLiteral("draft"))
+	g.Add(ex("c"), ex("status"), rdf.NewLiteral("final"))
+	res, err := RunUpdate(g, `
+PREFIX ex: <http://e/>
+DELETE { ?s ex:status "draft" }
+INSERT { ?s ex:status "review" }
+WHERE  { ?s ex:status "draft" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 2 || res.Inserted != 2 {
+		t.Errorf("result = %v", res)
+	}
+	if g.Count(store.Wildcard, ex("status"), rdf.NewLiteral("review")) != 2 {
+		t.Error("rewrite incomplete")
+	}
+	if !g.Has(ex("c"), ex("status"), rdf.NewLiteral("final")) {
+		t.Error("non-matching subject touched")
+	}
+}
+
+func TestInsertWhereOnly(t *testing.T) {
+	g := store.New()
+	ex := func(s string) rdf.Term { return rdf.NewIRI("http://e/" + s) }
+	g.Add(ex("r"), ex("hasIngredient"), ex("i"))
+	res, err := RunUpdate(g, `
+PREFIX ex: <http://e/>
+INSERT { ?i ex:isIngredientOf ?r } WHERE { ?r ex:hasIngredient ?i }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 {
+		t.Errorf("inserted = %d", res.Inserted)
+	}
+	if !g.Has(ex("i"), ex("isIngredientOf"), ex("r")) {
+		t.Error("inverse triple missing")
+	}
+}
+
+func TestModifyWithFilter(t *testing.T) {
+	g := store.New()
+	ex := func(s string) rdf.Term { return rdf.NewIRI("http://e/" + s) }
+	g.Add(ex("a"), ex("cal"), rdf.NewInt(800))
+	g.Add(ex("b"), ex("cal"), rdf.NewInt(200))
+	_, err := RunUpdate(g, `
+PREFIX ex: <http://e/>
+INSERT { ?s a ex:HighCalorie } WHERE { ?s ex:cal ?c . FILTER(?c > 500) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsA(ex("a"), ex("HighCalorie")) || g.IsA(ex("b"), ex("HighCalorie")) {
+		t.Error("filtered insert wrong")
+	}
+}
+
+func TestClear(t *testing.T) {
+	g := store.New()
+	g.Add(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/o"))
+	res, err := RunUpdate(g, `CLEAR ALL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 1 || g.Len() != 0 {
+		t.Errorf("clear result = %v, len = %d", res, g.Len())
+	}
+}
+
+func TestUpdateSequence(t *testing.T) {
+	g := store.New()
+	res, err := RunUpdate(g, `
+PREFIX ex: <http://e/>
+INSERT DATA { ex:s ex:p ex:o } ;
+DELETE DATA { ex:s ex:p ex:o } ;
+INSERT DATA { ex:s ex:q ex:o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 2 || res.Deleted != 1 {
+		t.Errorf("sequence result = %v", res)
+	}
+	if g.Len() != 1 {
+		t.Errorf("len = %d", g.Len())
+	}
+}
+
+func TestUpdateParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"var in insert data", `INSERT DATA { ?s <http://e/p> <http://e/o> }`},
+		{"var in delete data", `DELETE DATA { <http://e/s> ?p <http://e/o> }`},
+		{"garbage", `UPSERT DATA { }`},
+		{"unterminated", `INSERT DATA { <http://e/s> <http://e/p> <http://e/o>`},
+		{"delete where with filter", `DELETE WHERE { ?s ?p ?o . FILTER(?s = ?o) }`},
+		{"path in template", `INSERT { ?s <http://e/p>+ ?o } WHERE { ?s ?p ?o }`},
+		{"trailing garbage", `CLEAR ALL garbage`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseUpdate(tc.src); err == nil {
+				t.Errorf("expected error for %q", tc.src)
+			}
+		})
+	}
+}
+
+func TestUpdateUnboundTemplateVarSkipped(t *testing.T) {
+	g := store.New()
+	ex := func(s string) rdf.Term { return rdf.NewIRI("http://e/" + s) }
+	g.Add(ex("a"), ex("p"), ex("b"))
+	// ?x is never bound; the template instantiation must be skipped, not
+	// inserted with a zero term.
+	res, err := RunUpdate(g, `
+PREFIX ex: <http://e/>
+INSERT { ?s ex:q ?x } WHERE { ?s ex:p ?o . OPTIONAL { ?s ex:none ?x } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 0 {
+		t.Errorf("inserted = %d, want 0", res.Inserted)
+	}
+}
+
+func TestUpdateLiteralSubjectSkipped(t *testing.T) {
+	g := store.New()
+	ex := func(s string) rdf.Term { return rdf.NewIRI("http://e/" + s) }
+	g.Add(ex("a"), ex("p"), rdf.NewLiteral("lit"))
+	// ?o binds to a literal; using it as subject is invalid and skipped.
+	res, err := RunUpdate(g, `
+PREFIX ex: <http://e/>
+INSERT { ?o ex:q ex:a } WHERE { ?s ex:p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 0 {
+		t.Errorf("inserted = %d, want 0 (literal subject invalid)", res.Inserted)
+	}
+}

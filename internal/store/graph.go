@@ -1,0 +1,480 @@
+// Package store provides an in-memory indexed RDF graph.
+//
+// Graph maintains three permutation indexes (SPO, POS, OSP) so that every
+// triple-pattern shape — any combination of bound and wildcard positions —
+// is answered by at most one nested-map walk without scanning unrelated
+// triples. This is the same access-path design used by in-memory models in
+// Jena and RDF4J and is what both the OWL RL reasoner and the SPARQL
+// evaluator in this repository are built on.
+//
+// A Graph is not safe for concurrent mutation. Concurrent readers are safe
+// provided no writer is active; the typical lifecycle (load, reason, then
+// query from many goroutines) needs no locking.
+package store
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// Wildcard is the zero rdf.Term; in pattern positions it matches any term.
+var Wildcard = rdf.Term{}
+
+type termSet map[rdf.Term]struct{}
+
+type index map[rdf.Term]map[rdf.Term]termSet
+
+// Graph is a set of RDF triples with full permutation indexing.
+type Graph struct {
+	spo index
+	pos index
+	osp index
+	n   int
+	ns  *rdf.Namespaces
+}
+
+// New returns an empty graph with the repository's standard namespaces bound.
+func New() *Graph {
+	return &Graph{
+		spo: make(index),
+		pos: make(index),
+		osp: make(index),
+		ns:  rdf.StandardNamespaces(),
+	}
+}
+
+// Namespaces returns the prefix mapping attached to the graph. Parsers add
+// prefixes they encounter; serializers and human-facing output read them.
+func (g *Graph) Namespaces() *rdf.Namespaces { return g.ns }
+
+// Len returns the number of triples in the graph.
+func (g *Graph) Len() int { return g.n }
+
+// Add inserts the triple (s, p, o); it reports whether the triple was new.
+// Invalid triples (per rdf.Triple.Valid) are rejected and return false.
+func (g *Graph) Add(s, p, o rdf.Term) bool {
+	t := rdf.Triple{S: s, P: p, O: o}
+	if !t.Valid() {
+		return false
+	}
+	if !indexAdd(g.spo, s, p, o) {
+		return false
+	}
+	indexAdd(g.pos, p, o, s)
+	indexAdd(g.osp, o, s, p)
+	g.n++
+	return true
+}
+
+// AddTriple inserts t; it reports whether the triple was new.
+func (g *Graph) AddTriple(t rdf.Triple) bool { return g.Add(t.S, t.P, t.O) }
+
+// AddAll inserts every triple in ts and returns the number actually added.
+func (g *Graph) AddAll(ts []rdf.Triple) int {
+	added := 0
+	for _, t := range ts {
+		if g.AddTriple(t) {
+			added++
+		}
+	}
+	return added
+}
+
+// Remove deletes the triple (s, p, o); it reports whether it was present.
+func (g *Graph) Remove(s, p, o rdf.Term) bool {
+	if !indexRemove(g.spo, s, p, o) {
+		return false
+	}
+	indexRemove(g.pos, p, o, s)
+	indexRemove(g.osp, o, s, p)
+	g.n--
+	return true
+}
+
+// Has reports whether the exact triple (s, p, o) is present. Wildcards are
+// not interpreted; use Exists for pattern queries.
+func (g *Graph) Has(s, p, o rdf.Term) bool {
+	m1, ok := g.spo[s]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[p]
+	if !ok {
+		return false
+	}
+	_, ok = m2[o]
+	return ok
+}
+
+func indexAdd(idx index, a, b, c rdf.Term) bool {
+	m1, ok := idx[a]
+	if !ok {
+		m1 = make(map[rdf.Term]termSet)
+		idx[a] = m1
+	}
+	m2, ok := m1[b]
+	if !ok {
+		m2 = make(termSet)
+		m1[b] = m2
+	}
+	if _, ok := m2[c]; ok {
+		return false
+	}
+	m2[c] = struct{}{}
+	return true
+}
+
+func indexRemove(idx index, a, b, c rdf.Term) bool {
+	m1, ok := idx[a]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[b]
+	if !ok {
+		return false
+	}
+	if _, ok := m2[c]; !ok {
+		return false
+	}
+	delete(m2, c)
+	if len(m2) == 0 {
+		delete(m1, b)
+		if len(m1) == 0 {
+			delete(idx, a)
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every triple matching the pattern (s, p, o), where
+// the zero Term (Wildcard) matches anything. Iteration stops early when fn
+// returns false. The callback must not mutate the graph.
+func (g *Graph) ForEach(s, p, o rdf.Term, fn func(rdf.Triple) bool) {
+	sB, pB, oB := s.IsValid(), p.IsValid(), o.IsValid()
+	switch {
+	case sB && pB && oB:
+		if g.Has(s, p, o) {
+			fn(rdf.Triple{S: s, P: p, O: o})
+		}
+	case sB && pB: // (s, p, ?) — SPO
+		for obj := range g.spo[s][p] {
+			if !fn(rdf.Triple{S: s, P: p, O: obj}) {
+				return
+			}
+		}
+	case sB && oB: // (s, ?, o) — OSP
+		for pred := range g.osp[o][s] {
+			if !fn(rdf.Triple{S: s, P: pred, O: o}) {
+				return
+			}
+		}
+	case pB && oB: // (?, p, o) — POS
+		for subj := range g.pos[p][o] {
+			if !fn(rdf.Triple{S: subj, P: p, O: o}) {
+				return
+			}
+		}
+	case sB: // (s, ?, ?) — SPO
+		for pred, objs := range g.spo[s] {
+			for obj := range objs {
+				if !fn(rdf.Triple{S: s, P: pred, O: obj}) {
+					return
+				}
+			}
+		}
+	case pB: // (?, p, ?) — POS
+		for obj, subjs := range g.pos[p] {
+			for subj := range subjs {
+				if !fn(rdf.Triple{S: subj, P: p, O: obj}) {
+					return
+				}
+			}
+		}
+	case oB: // (?, ?, o) — OSP
+		for subj, preds := range g.osp[o] {
+			for pred := range preds {
+				if !fn(rdf.Triple{S: subj, P: pred, O: o}) {
+					return
+				}
+			}
+		}
+	default: // full scan
+		for subj, m1 := range g.spo {
+			for pred, objs := range m1 {
+				for obj := range objs {
+					if !fn(rdf.Triple{S: subj, P: pred, O: obj}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Match returns all triples matching the pattern, in unspecified order.
+func (g *Graph) Match(s, p, o rdf.Term) []rdf.Triple {
+	var out []rdf.Triple
+	g.ForEach(s, p, o, func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// Exists reports whether any triple matches the pattern.
+func (g *Graph) Exists(s, p, o rdf.Term) bool {
+	found := false
+	g.ForEach(s, p, o, func(rdf.Triple) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Count returns the number of triples matching the pattern without
+// materializing them.
+func (g *Graph) Count(s, p, o rdf.Term) int {
+	n := 0
+	g.ForEach(s, p, o, func(rdf.Triple) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// Objects returns the distinct objects of triples (s, p, *).
+func (g *Graph) Objects(s, p rdf.Term) []rdf.Term {
+	objs := g.spo[s][p]
+	out := make([]rdf.Term, 0, len(objs))
+	for o := range objs {
+		out = append(out, o)
+	}
+	sortTerms(out)
+	return out
+}
+
+// FirstObject returns one object of (s, p, *), or the zero Term if none.
+// When several objects exist the smallest (per rdf.Compare) is returned so
+// results are deterministic.
+func (g *Graph) FirstObject(s, p rdf.Term) rdf.Term {
+	objs := g.Objects(s, p)
+	if len(objs) == 0 {
+		return rdf.Term{}
+	}
+	return objs[0]
+}
+
+// Subjects returns the distinct subjects of triples (*, p, o).
+func (g *Graph) Subjects(p, o rdf.Term) []rdf.Term {
+	subjs := g.pos[p][o]
+	out := make([]rdf.Term, 0, len(subjs))
+	for s := range subjs {
+		out = append(out, s)
+	}
+	sortTerms(out)
+	return out
+}
+
+// Predicates returns the distinct predicates of triples (s, *, o).
+func (g *Graph) Predicates(s, o rdf.Term) []rdf.Term {
+	preds := g.osp[o][s]
+	out := make([]rdf.Term, 0, len(preds))
+	for p := range preds {
+		out = append(out, p)
+	}
+	sortTerms(out)
+	return out
+}
+
+// TypesOf returns the asserted rdf:type objects of s, sorted.
+func (g *Graph) TypesOf(s rdf.Term) []rdf.Term {
+	return g.Objects(s, rdf.TypeIRI)
+}
+
+// IsA reports whether (s rdf:type class) is present.
+func (g *Graph) IsA(s, class rdf.Term) bool {
+	return g.Has(s, rdf.TypeIRI, class)
+}
+
+// InstancesOf returns the subjects asserted to have rdf:type class, sorted.
+func (g *Graph) InstancesOf(class rdf.Term) []rdf.Term {
+	return g.Subjects(rdf.TypeIRI, class)
+}
+
+// Triples returns every triple in the graph sorted by subject, predicate,
+// object. Intended for serialization and tests; large graphs should iterate
+// with ForEach instead.
+func (g *Graph) Triples() []rdf.Triple {
+	out := make([]rdf.Triple, 0, g.n)
+	g.ForEach(Wildcard, Wildcard, Wildcard, func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return compareTriples(out[i], out[j]) < 0 })
+	return out
+}
+
+// SubjectSet returns the distinct subjects in the graph, sorted.
+func (g *Graph) SubjectSet() []rdf.Term {
+	out := make([]rdf.Term, 0, len(g.spo))
+	for s := range g.spo {
+		out = append(out, s)
+	}
+	sortTerms(out)
+	return out
+}
+
+// PredicateSet returns the distinct predicates in the graph, sorted.
+func (g *Graph) PredicateSet() []rdf.Term {
+	out := make([]rdf.Term, 0, len(g.pos))
+	for p := range g.pos {
+		out = append(out, p)
+	}
+	sortTerms(out)
+	return out
+}
+
+// Clone returns a deep copy of the graph (indexes rebuilt, namespaces copied).
+func (g *Graph) Clone() *Graph {
+	out := New()
+	out.ns = g.ns.Clone()
+	g.ForEach(Wildcard, Wildcard, Wildcard, func(t rdf.Triple) bool {
+		out.AddTriple(t)
+		return true
+	})
+	return out
+}
+
+// Merge adds every triple of other into g and returns the number added.
+func (g *Graph) Merge(other *Graph) int {
+	if other == nil {
+		return 0
+	}
+	added := 0
+	other.ForEach(Wildcard, Wildcard, Wildcard, func(t rdf.Triple) bool {
+		if g.AddTriple(t) {
+			added++
+		}
+		return true
+	})
+	for _, prefix := range other.ns.Prefixes() {
+		if iri, ok := other.ns.IRIFor(prefix); ok {
+			if _, bound := g.ns.IRIFor(prefix); !bound {
+				g.ns.Bind(prefix, iri)
+			}
+		}
+	}
+	return added
+}
+
+// Subtract removes every triple of other from g and returns the number removed.
+func (g *Graph) Subtract(other *Graph) int {
+	if other == nil {
+		return 0
+	}
+	removed := 0
+	other.ForEach(Wildcard, Wildcard, Wildcard, func(t rdf.Triple) bool {
+		if g.Remove(t.S, t.P, t.O) {
+			removed++
+		}
+		return true
+	})
+	return removed
+}
+
+// Equal reports whether g and other contain exactly the same triples.
+// Blank node labels are compared literally (no isomorphism check); use
+// Isomorphic for bnode-invariant comparison.
+func (g *Graph) Equal(other *Graph) bool {
+	if other == nil || g.n != other.n {
+		return false
+	}
+	eq := true
+	g.ForEach(Wildcard, Wildcard, Wildcard, func(t rdf.Triple) bool {
+		if !other.Has(t.S, t.P, t.O) {
+			eq = false
+			return false
+		}
+		return true
+	})
+	return eq
+}
+
+// Clear removes all triples.
+func (g *Graph) Clear() {
+	g.spo = make(index)
+	g.pos = make(index)
+	g.osp = make(index)
+	g.n = 0
+}
+
+// ReadList reads an RDF collection (rdf:first / rdf:rest chain) starting at
+// head and returns its members in order. Malformed lists return the members
+// collected before the defect, and ok=false.
+func (g *Graph) ReadList(head rdf.Term) (members []rdf.Term, ok bool) {
+	seen := make(map[rdf.Term]bool)
+	for head != rdf.NilIRI {
+		if !head.IsValid() || seen[head] {
+			return members, false
+		}
+		seen[head] = true
+		first := g.FirstObject(head, rdf.FirstIRI)
+		if !first.IsValid() {
+			return members, false
+		}
+		members = append(members, first)
+		head = g.FirstObject(head, rdf.RestIRI)
+	}
+	return members, true
+}
+
+// AddList writes members as an RDF collection using fresh blank nodes with
+// the given label prefix and returns the head term (rdf:nil for an empty
+// list).
+func (g *Graph) AddList(labelPrefix string, members []rdf.Term) rdf.Term {
+	if len(members) == 0 {
+		return rdf.NilIRI
+	}
+	head := rdf.NewBlank(labelPrefix + "0")
+	cur := head
+	for i, m := range members {
+		g.Add(cur, rdf.FirstIRI, m)
+		if i == len(members)-1 {
+			g.Add(cur, rdf.RestIRI, rdf.NilIRI)
+		} else {
+			next := rdf.NewBlank(labelPrefix + itoa(i+1))
+			g.Add(cur, rdf.RestIRI, next)
+			cur = next
+		}
+	}
+	return head
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+func sortTerms(ts []rdf.Term) {
+	sort.Slice(ts, func(i, j int) bool { return rdf.Compare(ts[i], ts[j]) < 0 })
+}
+
+func compareTriples(a, b rdf.Triple) int {
+	if c := rdf.Compare(a.S, b.S); c != 0 {
+		return c
+	}
+	if c := rdf.Compare(a.P, b.P); c != 0 {
+		return c
+	}
+	return rdf.Compare(a.O, b.O)
+}

@@ -1,0 +1,408 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://e/" + s) }
+
+func TestAddHasRemove(t *testing.T) {
+	g := New()
+	s, p, o := iri("s"), iri("p"), iri("o")
+	if !g.Add(s, p, o) {
+		t.Fatal("first Add should report new")
+	}
+	if g.Add(s, p, o) {
+		t.Error("duplicate Add should report not-new")
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+	if !g.Has(s, p, o) {
+		t.Error("Has should find added triple")
+	}
+	if !g.Remove(s, p, o) {
+		t.Error("Remove should report present")
+	}
+	if g.Remove(s, p, o) {
+		t.Error("second Remove should report absent")
+	}
+	if g.Len() != 0 || g.Has(s, p, o) {
+		t.Error("graph should be empty after Remove")
+	}
+}
+
+func TestAddRejectsInvalid(t *testing.T) {
+	g := New()
+	if g.Add(rdf.NewLiteral("x"), iri("p"), iri("o")) {
+		t.Error("literal subject must be rejected")
+	}
+	if g.Add(iri("s"), rdf.NewBlank("b"), iri("o")) {
+		t.Error("blank predicate must be rejected")
+	}
+	if g.Len() != 0 {
+		t.Error("rejected triples must not change Len")
+	}
+}
+
+func TestAllPatternShapes(t *testing.T) {
+	g := New()
+	// 2x2x2 grid of triples.
+	for _, s := range []string{"s1", "s2"} {
+		for _, p := range []string{"p1", "p2"} {
+			for _, o := range []string{"o1", "o2"} {
+				g.Add(iri(s), iri(p), iri(o))
+			}
+		}
+	}
+	w := Wildcard
+	cases := []struct {
+		name    string
+		s, p, o rdf.Term
+		want    int
+	}{
+		{"spo bound", iri("s1"), iri("p1"), iri("o1"), 1},
+		{"sp?", iri("s1"), iri("p1"), w, 2},
+		{"s?o", iri("s1"), w, iri("o1"), 2},
+		{"?po", w, iri("p1"), iri("o1"), 2},
+		{"s??", iri("s1"), w, w, 4},
+		{"?p?", w, iri("p1"), w, 4},
+		{"??o", w, w, iri("o1"), 4},
+		{"???", w, w, w, 8},
+		{"absent", iri("nope"), w, w, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := g.Count(tc.s, tc.p, tc.o)
+			if got != tc.want {
+				t.Errorf("Count = %d, want %d", got, tc.want)
+			}
+			if len(g.Match(tc.s, tc.p, tc.o)) != tc.want {
+				t.Errorf("Match length mismatch")
+			}
+			if g.Exists(tc.s, tc.p, tc.o) != (tc.want > 0) {
+				t.Errorf("Exists inconsistent with Count")
+			}
+		})
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	g := New()
+	for i := 0; i < 10; i++ {
+		g.Add(iri(fmt.Sprintf("s%d", i)), iri("p"), iri("o"))
+	}
+	n := 0
+	g.ForEach(Wildcard, iri("p"), Wildcard, func(rdf.Triple) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	g := New()
+	g.Add(iri("s"), iri("p"), iri("o1"))
+	g.Add(iri("s"), iri("p"), iri("o2"))
+	g.Add(iri("s2"), iri("p"), iri("o1"))
+	g.Add(iri("s"), iri("q"), iri("o1"))
+
+	if objs := g.Objects(iri("s"), iri("p")); len(objs) != 2 {
+		t.Errorf("Objects = %v", objs)
+	}
+	if subs := g.Subjects(iri("p"), iri("o1")); len(subs) != 2 {
+		t.Errorf("Subjects = %v", subs)
+	}
+	if preds := g.Predicates(iri("s"), iri("o1")); len(preds) != 2 {
+		t.Errorf("Predicates = %v", preds)
+	}
+	if f := g.FirstObject(iri("s"), iri("p")); f != iri("o1") {
+		t.Errorf("FirstObject = %v, want deterministic smallest o1", f)
+	}
+	if f := g.FirstObject(iri("s"), iri("missing")); f.IsValid() {
+		t.Error("FirstObject of absent pattern should be zero Term")
+	}
+}
+
+func TestTypeHelpers(t *testing.T) {
+	g := New()
+	food := iri("Food")
+	g.Add(iri("apple"), rdf.TypeIRI, food)
+	g.Add(iri("pear"), rdf.TypeIRI, food)
+	g.Add(iri("apple"), rdf.TypeIRI, iri("Fruit"))
+	if !g.IsA(iri("apple"), food) {
+		t.Error("IsA should hold")
+	}
+	if got := len(g.InstancesOf(food)); got != 2 {
+		t.Errorf("InstancesOf = %d, want 2", got)
+	}
+	if got := len(g.TypesOf(iri("apple"))); got != 2 {
+		t.Errorf("TypesOf = %d, want 2", got)
+	}
+}
+
+func TestTriplesSortedDeterministic(t *testing.T) {
+	g := New()
+	g.Add(iri("b"), iri("p"), iri("o"))
+	g.Add(iri("a"), iri("p"), iri("o"))
+	g.Add(iri("a"), iri("p"), iri("n"))
+	ts := g.Triples()
+	if len(ts) != 3 {
+		t.Fatalf("len = %d", len(ts))
+	}
+	if ts[0].S != iri("a") || ts[0].O != iri("n") {
+		t.Errorf("Triples not sorted: %v", ts)
+	}
+}
+
+func TestCloneMergeSubtract(t *testing.T) {
+	g := New()
+	g.Add(iri("s"), iri("p"), iri("o"))
+	c := g.Clone()
+	c.Add(iri("s2"), iri("p"), iri("o"))
+	if g.Len() != 1 || c.Len() != 2 {
+		t.Error("Clone must be independent")
+	}
+	h := New()
+	h.Add(iri("s2"), iri("p"), iri("o"))
+	h.Add(iri("s3"), iri("p"), iri("o"))
+	if added := c.Merge(h); added != 1 {
+		t.Errorf("Merge added %d, want 1 (one duplicate)", added)
+	}
+	if removed := c.Subtract(h); removed != 2 {
+		t.Errorf("Subtract removed %d, want 2", removed)
+	}
+	if c.Len() != 1 {
+		t.Errorf("after subtract Len = %d, want 1", c.Len())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	g, h := New(), New()
+	g.Add(iri("s"), iri("p"), iri("o"))
+	h.Add(iri("s"), iri("p"), iri("o"))
+	if !g.Equal(h) {
+		t.Error("identical graphs must be Equal")
+	}
+	h.Add(iri("s"), iri("p"), iri("o2"))
+	if g.Equal(h) {
+		t.Error("different sizes must not be Equal")
+	}
+	g.Add(iri("s"), iri("p"), iri("o3"))
+	if g.Equal(h) {
+		t.Error("same size different content must not be Equal")
+	}
+	if g.Equal(nil) {
+		t.Error("nil is never Equal")
+	}
+}
+
+func TestClear(t *testing.T) {
+	g := New()
+	g.Add(iri("s"), iri("p"), iri("o"))
+	g.Clear()
+	if g.Len() != 0 || g.Exists(Wildcard, Wildcard, Wildcard) {
+		t.Error("Clear must empty the graph")
+	}
+}
+
+func TestListRoundTrip(t *testing.T) {
+	g := New()
+	members := []rdf.Term{iri("a"), iri("b"), iri("c")}
+	head := g.AddList("l", members)
+	got, ok := g.ReadList(head)
+	if !ok {
+		t.Fatal("ReadList failed on well-formed list")
+	}
+	if len(got) != 3 || got[0] != iri("a") || got[2] != iri("c") {
+		t.Errorf("ReadList = %v", got)
+	}
+	// Empty list.
+	if h := g.AddList("e", nil); h != rdf.NilIRI {
+		t.Errorf("empty AddList head = %v, want rdf:nil", h)
+	}
+	if m, ok := g.ReadList(rdf.NilIRI); !ok || len(m) != 0 {
+		t.Error("ReadList(nil) should be empty and ok")
+	}
+}
+
+func TestReadListMalformed(t *testing.T) {
+	g := New()
+	// Cycle: b1 -> b1
+	b1 := rdf.NewBlank("b1")
+	g.Add(b1, rdf.FirstIRI, iri("a"))
+	g.Add(b1, rdf.RestIRI, b1)
+	if _, ok := g.ReadList(b1); ok {
+		t.Error("cyclic list must not be ok")
+	}
+	// Missing rdf:first.
+	b2 := rdf.NewBlank("b2")
+	g.Add(b2, rdf.RestIRI, rdf.NilIRI)
+	if _, ok := g.ReadList(b2); ok {
+		t.Error("list node without rdf:first must not be ok")
+	}
+	// Dangling rest (no rdf:rest at all → zero Term).
+	b3 := rdf.NewBlank("b3")
+	g.Add(b3, rdf.FirstIRI, iri("a"))
+	if _, ok := g.ReadList(b3); ok {
+		t.Error("list node without rdf:rest must not be ok")
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	g := New()
+	g.Add(iri("a"), rdf.TypeIRI, iri("C"))
+	g.Add(iri("b"), rdf.TypeIRI, iri("C"))
+	g.Add(iri("a"), iri("p"), rdf.NewBlank("x"))
+	st := g.Statistics()
+	if st.Triples != 3 || st.Classes != 1 || st.Instances != 2 || st.Blanks != 1 {
+		t.Errorf("Statistics = %+v", st)
+	}
+}
+
+// Property: pattern matching agrees with a linear scan filter, for random
+// small graphs and random patterns.
+func TestMatchAgreesWithScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pool := []rdf.Term{iri("a"), iri("b"), iri("c"), iri("d")}
+	for trial := 0; trial < 200; trial++ {
+		g := New()
+		var all []rdf.Triple
+		for i := 0; i < 20; i++ {
+			tr := rdf.Triple{S: pool[rng.Intn(4)], P: pool[rng.Intn(4)], O: pool[rng.Intn(4)]}
+			if g.AddTriple(tr) {
+				all = append(all, tr)
+			}
+		}
+		pick := func() rdf.Term {
+			if rng.Intn(2) == 0 {
+				return Wildcard
+			}
+			return pool[rng.Intn(4)]
+		}
+		s, p, o := pick(), pick(), pick()
+		want := 0
+		for _, tr := range all {
+			if (!s.IsValid() || tr.S == s) && (!p.IsValid() || tr.P == p) && (!o.IsValid() || tr.O == o) {
+				want++
+			}
+		}
+		if got := g.Count(s, p, o); got != want {
+			t.Fatalf("trial %d: Count(%v,%v,%v) = %d, want %d", trial, s, p, o, got, want)
+		}
+	}
+}
+
+// Property: add then remove returns the graph to its previous state.
+func TestAddRemoveInverse(t *testing.T) {
+	f := func(s1, p1, o1, s2, p2, o2 uint8) bool {
+		names := []string{"x", "y", "z"}
+		g := New()
+		t1 := rdf.Triple{S: iri(names[s1%3]), P: iri(names[p1%3]), O: iri(names[o1%3])}
+		t2 := rdf.Triple{S: iri(names[s2%3]), P: iri(names[p2%3]), O: iri(names[o2%3])}
+		g.AddTriple(t1)
+		before := g.Len()
+		wasNew := g.AddTriple(t2)
+		if wasNew {
+			g.Remove(t2.S, t2.P, t2.O)
+		}
+		return g.Len() == before && g.Has(t1.S, t1.P, t1.O) == true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsomorphicGroundGraphs(t *testing.T) {
+	g, h := New(), New()
+	g.Add(iri("s"), iri("p"), iri("o"))
+	h.Add(iri("s"), iri("p"), iri("o"))
+	if !Isomorphic(g, h) {
+		t.Error("identical ground graphs must be isomorphic")
+	}
+	h.Add(iri("s"), iri("p"), iri("o2"))
+	if Isomorphic(g, h) {
+		t.Error("size mismatch must fail")
+	}
+}
+
+func TestIsomorphicBlankRenaming(t *testing.T) {
+	g, h := New(), New()
+	// g: _:a p o ; s q _:a
+	g.Add(rdf.NewBlank("a"), iri("p"), iri("o"))
+	g.Add(iri("s"), iri("q"), rdf.NewBlank("a"))
+	// h: same structure, different label
+	h.Add(rdf.NewBlank("zz"), iri("p"), iri("o"))
+	h.Add(iri("s"), iri("q"), rdf.NewBlank("zz"))
+	if !Isomorphic(g, h) {
+		t.Error("blank-renamed graphs must be isomorphic")
+	}
+}
+
+func TestIsomorphicDistinguishesStructure(t *testing.T) {
+	g, h := New(), New()
+	// g: two blanks, chained. h: two blanks, parallel.
+	g.Add(rdf.NewBlank("a"), iri("p"), rdf.NewBlank("b"))
+	g.Add(rdf.NewBlank("b"), iri("p"), iri("o"))
+	h.Add(rdf.NewBlank("x"), iri("p"), iri("o"))
+	h.Add(rdf.NewBlank("y"), iri("p"), iri("o"))
+	if Isomorphic(g, h) {
+		t.Error("chain vs parallel blanks must not be isomorphic")
+	}
+}
+
+func TestIsomorphicSymmetricBlanksNeedSearch(t *testing.T) {
+	// Two structurally identical blanks (same signature) — color refinement
+	// alone cannot split them; the backtracking phase must succeed.
+	g, h := New(), New()
+	for _, label := range []string{"a", "b"} {
+		g.Add(rdf.NewBlank(label), iri("p"), iri("o"))
+	}
+	for _, label := range []string{"u", "v"} {
+		h.Add(rdf.NewBlank(label), iri("p"), iri("o"))
+	}
+	if !Isomorphic(g, h) {
+		t.Error("symmetric blank graphs must be isomorphic")
+	}
+}
+
+func TestMergeCopiesNamespaces(t *testing.T) {
+	g, h := New(), New()
+	h.Namespaces().Bind("custom", "http://custom/")
+	h.Add(iri("s"), iri("p"), iri("o"))
+	g.Merge(h)
+	if _, ok := g.Namespaces().IRIFor("custom"); !ok {
+		t.Error("Merge should copy unbound prefixes")
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	// The documented contract: concurrent readers are safe once mutation
+	// stops. Run under -race this exercises the guarantee.
+	g := New()
+	for i := 0; i < 500; i++ {
+		g.Add(iri(fmt.Sprintf("s%d", i%50)), iri(fmt.Sprintf("p%d", i%10)), iri(fmt.Sprintf("o%d", i)))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := iri(fmt.Sprintf("s%d", (seed+i)%50))
+				g.Count(s, Wildcard, Wildcard)
+				g.Objects(s, iri("p1"))
+				g.Exists(Wildcard, iri(fmt.Sprintf("p%d", i%10)), Wildcard)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,720 @@
+// Package turtle reads and writes the Turtle and N-Triples concrete RDF
+// syntaxes. The parser covers the Turtle features ontology documents use:
+// prefix and base directives, prefixed names, the 'a' keyword, string
+// (short and long), numeric, and boolean literals, language tags and
+// datatypes, anonymous and labeled blank nodes, property lists,
+// collections, and predicate-object/object list punctuation.
+//
+// Every valid N-Triples document is also a valid Turtle document, so the
+// same parser loads both.
+package turtle
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"unicode/utf8"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// parseSeq distinguishes anonymous blank nodes across parser invocations:
+// without it, _:gen1 from one document would collide with _:gen1 from
+// another when both are loaded into the same graph.
+var parseSeq atomic.Uint64
+
+// ParseError reports a syntax error with line and column position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("turtle: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses a Turtle document and returns its triples in a fresh graph.
+func Parse(input string) (*store.Graph, error) {
+	g := store.New()
+	if err := ParseInto(g, input); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseInto parses a Turtle document and adds its triples to g. Prefix
+// directives are recorded in g's namespace table. On error the graph may
+// contain the triples parsed so far.
+func ParseInto(g *store.Graph, input string) error {
+	p := &parser{
+		src: input, line: 1, col: 1, g: g, ns: g.Namespaces(),
+		bnodePrefix: fmt.Sprintf("d%d", parseSeq.Add(1)),
+	}
+	return p.parseDocument()
+}
+
+type parser struct {
+	src         string
+	pos         int
+	line        int
+	col         int
+	g           *store.Graph
+	ns          *rdf.Namespaces
+	bnodeSeq    int
+	bnodePrefix string
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) peekAt(off int) byte {
+	if p.pos+off >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos+off]
+}
+
+func (p *parser) advance() byte {
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+		p.col = 1
+	} else {
+		p.col++
+	}
+	return c
+}
+
+// skipWS skips whitespace and comments.
+func (p *parser) skipWS() {
+	for !p.eof() {
+		c := p.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			p.advance()
+		case c == '#':
+			for !p.eof() && p.peek() != '\n' {
+				p.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) expect(c byte) error {
+	if p.eof() || p.peek() != c {
+		return p.errf("expected %q, found %q", string(c), string(p.peek()))
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) hasKeyword(kw string) bool {
+	if p.pos+len(kw) > len(p.src) {
+		return false
+	}
+	if !strings.EqualFold(p.src[p.pos:p.pos+len(kw)], kw) {
+		return false
+	}
+	// Must be followed by whitespace or delimiter.
+	next := p.peekAt(len(kw))
+	return next == 0 || next == ' ' || next == '\t' || next == '\r' || next == '\n' || next == '<' || next == '#'
+}
+
+func (p *parser) consumeKeyword(kw string) {
+	for i := 0; i < len(kw); i++ {
+		p.advance()
+	}
+}
+
+func (p *parser) parseDocument() error {
+	for {
+		p.skipWS()
+		if p.eof() {
+			return nil
+		}
+		switch {
+		case p.peek() == '@':
+			if err := p.parseAtDirective(); err != nil {
+				return err
+			}
+		case p.hasKeyword("PREFIX"):
+			p.consumeKeyword("PREFIX")
+			if err := p.parsePrefixBody(false); err != nil {
+				return err
+			}
+		case p.hasKeyword("BASE"):
+			p.consumeKeyword("BASE")
+			if err := p.parseBaseBody(false); err != nil {
+				return err
+			}
+		default:
+			if err := p.parseTriples(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (p *parser) parseAtDirective() error {
+	p.advance() // '@'
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "prefix"):
+		for i := 0; i < len("prefix"); i++ {
+			p.advance()
+		}
+		return p.parsePrefixBody(true)
+	case strings.HasPrefix(p.src[p.pos:], "base"):
+		for i := 0; i < len("base"); i++ {
+			p.advance()
+		}
+		return p.parseBaseBody(true)
+	default:
+		return p.errf("unknown directive after '@'")
+	}
+}
+
+func (p *parser) parsePrefixBody(dotted bool) error {
+	p.skipWS()
+	start := p.pos
+	for !p.eof() && p.peek() != ':' {
+		p.advance()
+	}
+	prefix := strings.TrimSpace(p.src[start:p.pos])
+	if err := p.expect(':'); err != nil {
+		return err
+	}
+	p.skipWS()
+	iri, err := p.parseIRIRef()
+	if err != nil {
+		return err
+	}
+	p.ns.Bind(prefix, iri)
+	if dotted {
+		p.skipWS()
+		return p.expect('.')
+	}
+	return nil
+}
+
+func (p *parser) parseBaseBody(dotted bool) error {
+	p.skipWS()
+	iri, err := p.parseIRIRef()
+	if err != nil {
+		return err
+	}
+	p.ns.SetBase(iri)
+	if dotted {
+		p.skipWS()
+		return p.expect('.')
+	}
+	return nil
+}
+
+// parseTriples parses: subject predicateObjectList '.' or a blank node
+// property list optionally followed by a predicateObjectList.
+func (p *parser) parseTriples() error {
+	var subj rdf.Term
+	var err error
+	if p.peek() == '[' {
+		subj, err = p.parseBlankNodePropertyList()
+		if err != nil {
+			return err
+		}
+		p.skipWS()
+		if p.peek() == '.' {
+			p.advance()
+			return nil
+		}
+	} else {
+		subj, err = p.parseSubject()
+		if err != nil {
+			return err
+		}
+	}
+	if err := p.parsePredicateObjectList(subj); err != nil {
+		return err
+	}
+	p.skipWS()
+	return p.expect('.')
+}
+
+func (p *parser) parsePredicateObjectList(subj rdf.Term) error {
+	for {
+		p.skipWS()
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return err
+		}
+		if err := p.parseObjectList(subj, pred); err != nil {
+			return err
+		}
+		p.skipWS()
+		if p.peek() != ';' {
+			return nil
+		}
+		p.advance()
+		p.skipWS()
+		// Allow trailing ';' before '.' or ']'.
+		if c := p.peek(); c == '.' || c == ']' || c == ';' {
+			for p.peek() == ';' {
+				p.advance()
+				p.skipWS()
+			}
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseObjectList(subj, pred rdf.Term) error {
+	for {
+		p.skipWS()
+		obj, err := p.parseObject()
+		if err != nil {
+			return err
+		}
+		if !p.g.Add(subj, pred, obj) && !p.g.Has(subj, pred, obj) {
+			return p.errf("invalid triple %s %s %s", subj, pred, obj)
+		}
+		p.skipWS()
+		if p.peek() != ',' {
+			return nil
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parseSubject() (rdf.Term, error) {
+	p.skipWS()
+	switch c := p.peek(); {
+	case c == '<':
+		iri, err := p.parseIRIRef()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(iri), nil
+	case c == '_' && p.peekAt(1) == ':':
+		return p.parseBlankLabel()
+	case c == '(':
+		return p.parseCollection()
+	default:
+		return p.parsePrefixedName()
+	}
+}
+
+func (p *parser) parsePredicate() (rdf.Term, error) {
+	p.skipWS()
+	if p.peek() == 'a' {
+		next := p.peekAt(1)
+		if next == ' ' || next == '\t' || next == '\r' || next == '\n' || next == '<' || next == '[' || next == '_' || next == '(' || next == '"' {
+			p.advance()
+			return rdf.TypeIRI, nil
+		}
+	}
+	if p.peek() == '<' {
+		iri, err := p.parseIRIRef()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(iri), nil
+	}
+	return p.parsePrefixedName()
+}
+
+func (p *parser) parseObject() (rdf.Term, error) {
+	p.skipWS()
+	switch c := p.peek(); {
+	case c == '<':
+		iri, err := p.parseIRIRef()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(iri), nil
+	case c == '_' && p.peekAt(1) == ':':
+		return p.parseBlankLabel()
+	case c == '[':
+		return p.parseBlankNodePropertyList()
+	case c == '(':
+		return p.parseCollection()
+	case c == '"' || c == '\'':
+		return p.parseLiteral()
+	case c == '+' || c == '-' || (c >= '0' && c <= '9') || (c == '.' && isDigit(p.peekAt(1))):
+		return p.parseNumericLiteral()
+	case p.hasBareKeyword("true"):
+		p.consumeKeyword("true")
+		return rdf.NewBool(true), nil
+	case p.hasBareKeyword("false"):
+		p.consumeKeyword("false")
+		return rdf.NewBool(false), nil
+	default:
+		return p.parsePrefixedName()
+	}
+}
+
+// hasBareKeyword matches a lowercase keyword followed by a non-name char.
+func (p *parser) hasBareKeyword(kw string) bool {
+	if !strings.HasPrefix(p.src[p.pos:], kw) {
+		return false
+	}
+	next := p.peekAt(len(kw))
+	return !isPNChar(rune(next)) && next != ':'
+}
+
+func (p *parser) parseIRIRef() (string, error) {
+	if err := p.expect('<'); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return "", p.errf("unterminated IRI")
+		}
+		c := p.advance()
+		switch c {
+		case '>':
+			return p.ns.Resolve(b.String()), nil
+		case '\\':
+			if p.eof() {
+				return "", p.errf("unterminated escape in IRI")
+			}
+			e := p.advance()
+			switch e {
+			case 'u':
+				r, err := p.readHex(4)
+				if err != nil {
+					return "", err
+				}
+				b.WriteRune(r)
+			case 'U':
+				r, err := p.readHex(8)
+				if err != nil {
+					return "", err
+				}
+				b.WriteRune(r)
+			default:
+				return "", p.errf("invalid IRI escape \\%c", e)
+			}
+		case ' ', '\n', '\t':
+			return "", p.errf("whitespace in IRI")
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func (p *parser) readHex(n int) (rune, error) {
+	var v rune
+	for i := 0; i < n; i++ {
+		if p.eof() {
+			return 0, p.errf("unterminated hex escape")
+		}
+		c := p.advance()
+		v <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			v |= rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			v |= rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			v |= rune(c-'A') + 10
+		default:
+			return 0, p.errf("invalid hex digit %q", string(c))
+		}
+	}
+	return v, nil
+}
+
+func (p *parser) parseBlankLabel() (rdf.Term, error) {
+	p.advance() // '_'
+	p.advance() // ':'
+	start := p.pos
+	for !p.eof() && (isPNChar(rune(p.peek())) || p.peek() == '.') {
+		// A '.' only stays in the label if followed by another label char.
+		if p.peek() == '.' && !isPNChar(rune(p.peekAt(1))) {
+			break
+		}
+		p.advance()
+	}
+	if p.pos == start {
+		return rdf.Term{}, p.errf("empty blank node label")
+	}
+	return rdf.NewBlank(p.src[start:p.pos]), nil
+}
+
+func (p *parser) freshBlank() rdf.Term {
+	p.bnodeSeq++
+	return rdf.NewBlank(fmt.Sprintf("%sgen%d", p.bnodePrefix, p.bnodeSeq))
+}
+
+func (p *parser) parseBlankNodePropertyList() (rdf.Term, error) {
+	p.advance() // '['
+	node := p.freshBlank()
+	p.skipWS()
+	if p.peek() == ']' {
+		p.advance()
+		return node, nil
+	}
+	if err := p.parsePredicateObjectList(node); err != nil {
+		return rdf.Term{}, err
+	}
+	p.skipWS()
+	if err := p.expect(']'); err != nil {
+		return rdf.Term{}, err
+	}
+	return node, nil
+}
+
+func (p *parser) parseCollection() (rdf.Term, error) {
+	p.advance() // '('
+	var members []rdf.Term
+	for {
+		p.skipWS()
+		if p.eof() {
+			return rdf.Term{}, p.errf("unterminated collection")
+		}
+		if p.peek() == ')' {
+			p.advance()
+			break
+		}
+		obj, err := p.parseObject()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		members = append(members, obj)
+	}
+	if len(members) == 0 {
+		return rdf.NilIRI, nil
+	}
+	head := p.freshBlank()
+	cur := head
+	for i, m := range members {
+		p.g.Add(cur, rdf.FirstIRI, m)
+		if i == len(members)-1 {
+			p.g.Add(cur, rdf.RestIRI, rdf.NilIRI)
+		} else {
+			next := p.freshBlank()
+			p.g.Add(cur, rdf.RestIRI, next)
+			cur = next
+		}
+	}
+	return head, nil
+}
+
+func (p *parser) parsePrefixedName() (rdf.Term, error) {
+	start := p.pos
+	for !p.eof() && p.peek() != ':' && isPNChar(rune(p.peek())) {
+		p.advance()
+	}
+	if p.eof() || p.peek() != ':' {
+		return rdf.Term{}, p.errf("expected prefixed name")
+	}
+	prefix := p.src[start:p.pos]
+	p.advance() // ':'
+	lstart := p.pos
+	for !p.eof() {
+		c := p.peek()
+		if isPNChar(rune(c)) || c == '%' {
+			p.advance()
+			continue
+		}
+		if c == '.' && isPNChar(rune(p.peekAt(1))) {
+			p.advance()
+			continue
+		}
+		if c == '\\' && p.peekAt(1) != 0 {
+			p.advance()
+			p.advance()
+			continue
+		}
+		break
+	}
+	local := strings.ReplaceAll(p.src[lstart:p.pos], "\\", "")
+	base, ok := p.ns.IRIFor(prefix)
+	if !ok {
+		return rdf.Term{}, p.errf("unbound prefix %q", prefix)
+	}
+	return rdf.NewIRI(base + local), nil
+}
+
+func (p *parser) parseLiteral() (rdf.Term, error) {
+	lex, err := p.parseString()
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	switch {
+	case p.peek() == '@':
+		p.advance()
+		start := p.pos
+		for !p.eof() {
+			c := p.peek()
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '-' {
+				p.advance()
+			} else {
+				break
+			}
+		}
+		if p.pos == start {
+			return rdf.Term{}, p.errf("empty language tag")
+		}
+		return rdf.NewLangLiteral(lex, p.src[start:p.pos]), nil
+	case p.peek() == '^' && p.peekAt(1) == '^':
+		p.advance()
+		p.advance()
+		var dt rdf.Term
+		if p.peek() == '<' {
+			iri, err := p.parseIRIRef()
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			dt = rdf.NewIRI(iri)
+		} else {
+			dt, err = p.parsePrefixedName()
+			if err != nil {
+				return rdf.Term{}, err
+			}
+		}
+		return rdf.NewTypedLiteral(lex, dt.Value), nil
+	default:
+		return rdf.NewLiteral(lex), nil
+	}
+}
+
+func (p *parser) parseString() (string, error) {
+	quote := p.advance() // '"' or '\''
+	long := false
+	if p.peek() == quote && p.peekAt(1) == quote {
+		p.advance()
+		p.advance()
+		long = true
+	} else if p.peek() == quote {
+		// Empty short string.
+		p.advance()
+		return "", nil
+	}
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return "", p.errf("unterminated string")
+		}
+		c := p.peek()
+		if c == quote {
+			if !long {
+				p.advance()
+				return b.String(), nil
+			}
+			if p.peekAt(1) == quote && p.peekAt(2) == quote {
+				p.advance()
+				p.advance()
+				p.advance()
+				return b.String(), nil
+			}
+			b.WriteByte(p.advance())
+			continue
+		}
+		if c == '\\' {
+			p.advance()
+			if p.eof() {
+				return "", p.errf("unterminated escape")
+			}
+			e := p.advance()
+			switch e {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case '"':
+				b.WriteByte('"')
+			case '\'':
+				b.WriteByte('\'')
+			case '\\':
+				b.WriteByte('\\')
+			case 'u':
+				r, err := p.readHex(4)
+				if err != nil {
+					return "", err
+				}
+				b.WriteRune(r)
+			case 'U':
+				r, err := p.readHex(8)
+				if err != nil {
+					return "", err
+				}
+				b.WriteRune(r)
+			default:
+				return "", p.errf("invalid string escape \\%c", e)
+			}
+			continue
+		}
+		if !long && (c == '\n' || c == '\r') {
+			return "", p.errf("newline in short string")
+		}
+		b.WriteByte(p.advance())
+	}
+}
+
+func (p *parser) parseNumericLiteral() (rdf.Term, error) {
+	start := p.pos
+	if p.peek() == '+' || p.peek() == '-' {
+		p.advance()
+	}
+	sawDot, sawExp := false, false
+	for !p.eof() {
+		c := p.peek()
+		switch {
+		case isDigit(c):
+			p.advance()
+		case c == '.' && !sawDot && !sawExp && isDigit(p.peekAt(1)):
+			sawDot = true
+			p.advance()
+		case (c == 'e' || c == 'E') && !sawExp:
+			sawExp = true
+			p.advance()
+			if p.peek() == '+' || p.peek() == '-' {
+				p.advance()
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	lex := p.src[start:p.pos]
+	if lex == "" || lex == "+" || lex == "-" {
+		return rdf.Term{}, p.errf("malformed numeric literal")
+	}
+	switch {
+	case sawExp:
+		return rdf.NewTypedLiteral(lex, rdf.XSDDouble), nil
+	case sawDot:
+		return rdf.NewTypedLiteral(lex, rdf.XSDDecimal), nil
+	default:
+		return rdf.NewTypedLiteral(lex, rdf.XSDInteger), nil
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// isPNChar approximates Turtle's PN_CHARS production: ASCII letters, digits,
+// underscore, hyphen, and any non-ASCII rune.
+func isPNChar(r rune) bool {
+	return (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+		(r >= '0' && r <= '9') || r == '_' || r == '-' || r >= utf8.RuneSelf
+}

@@ -1,0 +1,107 @@
+package turtle
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// corpus of valid documents used as mutation seeds.
+var mutationSeeds = []string{
+	`@prefix ex: <http://e/> . ex:s ex:p ex:o .`,
+	`@prefix ex: <http://e/> . ex:s ex:p "lit"@en , 5 , 2.5 , true .`,
+	`@prefix ex: <http://e/> . ex:s ex:p [ ex:q ( ex:a ex:b ) ] .`,
+	`<http://e/s> a <http://e/C> ; <http://e/p> """long
+string""" .`,
+	`@base <http://e/> . <s> <p> <#o> .`,
+	`_:b <http://e/p> "xé\n" .`,
+}
+
+// TestParserNeverPanics drives the parser with randomly mutated documents:
+// every outcome must be a clean parse or a ParseError, never a panic or a
+// hang.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	mutations := []func(string) string{
+		func(s string) string { // delete a random byte
+			if len(s) == 0 {
+				return s
+			}
+			i := rng.Intn(len(s))
+			return s[:i] + s[i+1:]
+		},
+		func(s string) string { // insert a random byte
+			i := rng.Intn(len(s) + 1)
+			return s[:i] + string(rune(rng.Intn(128))) + s[i:]
+		},
+		func(s string) string { // flip a random byte
+			if len(s) == 0 {
+				return s
+			}
+			b := []byte(s)
+			b[rng.Intn(len(b))] = byte(rng.Intn(256))
+			return string(b)
+		},
+		func(s string) string { // truncate
+			if len(s) == 0 {
+				return s
+			}
+			return s[:rng.Intn(len(s))]
+		},
+		func(s string) string { // duplicate a slice
+			if len(s) < 2 {
+				return s
+			}
+			i, j := rng.Intn(len(s)), rng.Intn(len(s))
+			if i > j {
+				i, j = j, i
+			}
+			return s + s[i:j]
+		},
+	}
+	for trial := 0; trial < 3000; trial++ {
+		doc := mutationSeeds[rng.Intn(len(mutationSeeds))]
+		for n := 0; n < 1+rng.Intn(4); n++ {
+			doc = mutations[rng.Intn(len(mutations))](doc)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panic on input %q: %v", doc, r)
+				}
+			}()
+			_, _ = Parse(doc) // error or success both fine
+		}()
+	}
+}
+
+// TestParserPathologicalInputs exercises adversarial shapes directly.
+func TestParserPathologicalInputs(t *testing.T) {
+	cases := []string{
+		"",
+		".",
+		"@",
+		"@prefix",
+		"@prefix :",
+		"@prefix : <",
+		strings.Repeat("(", 1000),
+		strings.Repeat("[", 1000),
+		"<" + strings.Repeat("a", 10000) + ">",
+		`"` + strings.Repeat("x", 10000),
+		strings.Repeat(`<http://e/s> <http://e/p> <http://e/o> . `, 500),
+		"\x00\x01\x02",
+		"ex:s ex:p ex:o", // unbound prefix, missing dot
+		"<s> <p> 1.2.3 .",
+		"<s> <p> --5 .",
+	}
+	for _, doc := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", doc, r)
+				}
+			}()
+			_, _ = Parse(doc)
+		}()
+	}
+}

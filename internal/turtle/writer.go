@@ -1,0 +1,134 @@
+package turtle
+
+import (
+	"bufio"
+	"io"
+	"sort"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Write serializes g as Turtle: prefix directives first, then triples
+// grouped by subject with predicate-object lists, in deterministic sorted
+// order so output is diffable and usable in golden tests.
+func Write(w io.Writer, g *store.Graph) error {
+	bw := bufio.NewWriter(w)
+	ns := g.Namespaces()
+	for _, prefix := range ns.Prefixes() {
+		iri, _ := ns.IRIFor(prefix)
+		if _, err := bw.WriteString("@prefix " + prefix + ": <" + iri + "> .\n"); err != nil {
+			return err
+		}
+	}
+	if len(ns.Prefixes()) > 0 {
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	triples := g.Triples()
+	// Group by subject preserving sorted order.
+	i := 0
+	for i < len(triples) {
+		j := i
+		for j < len(triples) && triples[j].S == triples[i].S {
+			j++
+		}
+		if err := writeSubjectBlock(bw, ns, triples[i:j]); err != nil {
+			return err
+		}
+		i = j
+	}
+	return bw.Flush()
+}
+
+func writeSubjectBlock(bw *bufio.Writer, ns *rdf.Namespaces, ts []rdf.Triple) error {
+	subj := formatTerm(ts[0].S, ns)
+	if _, err := bw.WriteString(subj + " "); err != nil {
+		return err
+	}
+	// Group by predicate within the already-sorted block.
+	i := 0
+	firstPred := true
+	for i < len(ts) {
+		j := i
+		for j < len(ts) && ts[j].P == ts[i].P {
+			j++
+		}
+		if !firstPred {
+			if _, err := bw.WriteString(" ;\n    "); err != nil {
+				return err
+			}
+		}
+		firstPred = false
+		pred := formatPredicate(ts[i].P, ns)
+		if _, err := bw.WriteString(pred + " "); err != nil {
+			return err
+		}
+		for k := i; k < j; k++ {
+			if k > i {
+				if _, err := bw.WriteString(", "); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(formatTerm(ts[k].O, ns)); err != nil {
+				return err
+			}
+		}
+		i = j
+	}
+	_, err := bw.WriteString(" .\n")
+	return err
+}
+
+func formatPredicate(t rdf.Term, ns *rdf.Namespaces) string {
+	if t.Value == rdf.RDFType {
+		return "a"
+	}
+	return formatTerm(t, ns)
+}
+
+func formatTerm(t rdf.Term, ns *rdf.Namespaces) string {
+	switch t.Kind {
+	case rdf.KindIRI:
+		if q, ok := ns.Shrink(t.Value); ok {
+			return q
+		}
+		return "<" + t.Value + ">"
+	case rdf.KindBlank:
+		return "_:" + t.Value
+	case rdf.KindLiteral:
+		if t.Lang != "" {
+			return rdf.QuoteLiteral(t.Value) + "@" + t.Lang
+		}
+		switch t.Datatype {
+		case "", rdf.XSDString:
+			return rdf.QuoteLiteral(t.Value)
+		case rdf.XSDInteger, rdf.XSDBoolean, rdf.XSDDecimal:
+			// Native Turtle token forms.
+			return t.Value
+		default:
+			dt := t.Datatype
+			if q, ok := ns.Shrink(dt); ok {
+				return rdf.QuoteLiteral(t.Value) + "^^" + q
+			}
+			return rdf.QuoteLiteral(t.Value) + "^^<" + dt + ">"
+		}
+	default:
+		return t.String()
+	}
+}
+
+// WriteNTriples serializes g in canonical N-Triples: one triple per line,
+// absolute IRIs, sorted order.
+func WriteNTriples(w io.Writer, g *store.Graph) error {
+	bw := bufio.NewWriter(w)
+	ts := g.Triples()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].String() < ts[j].String() })
+	for _, t := range ts {
+		if _, err := bw.WriteString(t.String() + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
