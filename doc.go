@@ -3,4 +3,17 @@
 // root package carries the repository-level benchmark suite that
 // regenerates and times every artifact of the paper's evaluation — see
 // bench_test.go, DESIGN.md, and EXPERIMENTS.md.
+//
+// # Dictionary-encoded engine
+//
+// The storage and query substrate is dictionary-encoded: internal/store
+// interns every distinct RDF term into a dense uint32 ID (store.TermDict)
+// and keeps its SPO/POS/OSP permutation indexes as nested map[ID]
+// structures. Terms are encoded once, on write; reads decode lazily, only
+// for the positions a caller receives. The two hot consumers exploit this
+// end to end: the OWL RL reasoner (internal/reasoner) joins rule premises
+// on IDs, and the SPARQL evaluator (internal/sparql) runs basic graph
+// patterns as an ID-space pipeline after reordering them by estimated
+// selectivity. scripts/bench.sh records the benchmark trajectory across
+// PRs (BENCH_*.json).
 package repro

@@ -110,6 +110,12 @@ func (t Term) IsLiteral() bool { return t.Kind == KindLiteral }
 // IsValid reports whether the term is one of the three RDF term kinds.
 func (t Term) IsValid() bool { return t.Kind != KindInvalid }
 
+// IsResource reports whether the term is an IRI or a blank node — the kinds
+// allowed in triple subject position and required by many OWL rule guards.
+// The store's dictionary exposes the same test by ID (Graph.IsResourceID)
+// so hot paths can check it without decoding the term.
+func (t Term) IsResource() bool { return t.Kind == KindIRI || t.Kind == KindBlank }
+
 // Bool interprets the term as an xsd:boolean literal.
 func (t Term) Bool() (bool, bool) {
 	if t.Kind != KindLiteral || t.Datatype != XSDBoolean {
@@ -312,7 +318,7 @@ func (t Triple) String() string {
 // is an IRI or blank node, the predicate is an IRI, and the object is any
 // valid term.
 func (t Triple) Valid() bool {
-	if !(t.S.IsIRI() || t.S.IsBlank()) {
+	if !t.S.IsResource() {
 		return false
 	}
 	if !t.P.IsIRI() {

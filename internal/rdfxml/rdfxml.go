@@ -35,7 +35,7 @@ func Parse(r io.Reader) (*store.Graph, error) {
 // ParseInto reads an RDF/XML document into g.
 func ParseInto(g *store.Graph, r io.Reader) error {
 	dec := xml.NewDecoder(r)
-	p := &xparser{g: g, dec: dec}
+	p := &xparser{g: g, b: g.Bulk(), dec: dec}
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
@@ -58,6 +58,7 @@ func ParseInto(g *store.Graph, r io.Reader) error {
 
 type xparser struct {
 	g        *store.Graph
+	b        *store.Bulk // bulk writer: repeated subjects/predicates intern once
 	dec      *xml.Decoder
 	base     string
 	bnodeSeq int
@@ -119,14 +120,14 @@ func (p *xparser) parseNodeElement(el xml.StartElement) (rdf.Term, error) {
 	// Typed node element: element name other than rdf:Description is the
 	// type.
 	if !(el.Name.Space == rdfXMLNS && el.Name.Local == "Description") {
-		p.g.Add(subject, rdf.TypeIRI, rdf.NewIRI(el.Name.Space+el.Name.Local))
+		p.b.Add(subject, rdf.TypeIRI, rdf.NewIRI(el.Name.Space+el.Name.Local))
 	}
 	// Property attributes.
 	for _, a := range el.Attr {
 		if isSyntaxAttr(a) {
 			continue
 		}
-		p.g.Add(subject, rdf.NewIRI(a.Name.Space+a.Name.Local), rdf.NewLiteral(a.Value))
+		p.b.Add(subject, rdf.NewIRI(a.Name.Space+a.Name.Local), rdf.NewLiteral(a.Value))
 	}
 	// Property elements.
 	for {
@@ -166,7 +167,7 @@ func (p *xparser) parsePropertyElement(subject rdf.Term, el xml.StartElement) er
 	case "Resource":
 		// Anonymous nested resource: properties directly inside.
 		node := p.fresh()
-		p.g.Add(subject, pred, node)
+		p.b.Add(subject, pred, node)
 		for {
 			tok, err := p.dec.Token()
 			if err != nil {
@@ -201,17 +202,17 @@ func (p *xparser) parsePropertyElement(subject rdf.Term, el xml.StartElement) er
 					head = p.fresh()
 					cur := head
 					for i, m := range members {
-						p.g.Add(cur, rdf.FirstIRI, m)
+						p.b.Add(cur, rdf.FirstIRI, m)
 						if i == len(members)-1 {
-							p.g.Add(cur, rdf.RestIRI, rdf.NilIRI)
+							p.b.Add(cur, rdf.RestIRI, rdf.NilIRI)
 						} else {
 							next := p.fresh()
-							p.g.Add(cur, rdf.RestIRI, next)
+							p.b.Add(cur, rdf.RestIRI, next)
 							cur = next
 						}
 					}
 				}
-				p.g.Add(subject, pred, head)
+				p.b.Add(subject, pred, head)
 				return nil
 			}
 		}
@@ -219,11 +220,11 @@ func (p *xparser) parsePropertyElement(subject rdf.Term, el xml.StartElement) er
 
 	// rdf:resource object.
 	if res, ok := lookupAttr(el, "resource", rdfXMLNS); ok {
-		p.g.Add(subject, pred, rdf.NewIRI(p.resolve(res)))
+		p.b.Add(subject, pred, rdf.NewIRI(p.resolve(res)))
 		return p.skipToEnd()
 	}
 	if nid, ok := lookupAttr(el, "nodeID", rdfXMLNS); ok {
-		p.g.Add(subject, pred, rdf.NewBlank(nid))
+		p.b.Add(subject, pred, rdf.NewBlank(nid))
 		return p.skipToEnd()
 	}
 
@@ -245,7 +246,7 @@ func (p *xparser) parsePropertyElement(subject rdf.Term, el xml.StartElement) er
 			if err != nil {
 				return err
 			}
-			p.g.Add(subject, pred, node)
+			p.b.Add(subject, pred, node)
 			return p.skipToEnd()
 		case xml.EndElement:
 			lex := text.String()
@@ -258,7 +259,7 @@ func (p *xparser) parsePropertyElement(subject rdf.Term, el xml.StartElement) er
 			default:
 				obj = rdf.NewLiteral(lex)
 			}
-			p.g.Add(subject, pred, obj)
+			p.b.Add(subject, pred, obj)
 			return nil
 		}
 	}

@@ -102,7 +102,7 @@ func checkAsymmetric(g *store.Graph) []Inconsistency {
 	asymIRI := rdf.NewIRI(rdf.OWLAsymmetricProperty)
 	for _, p := range g.Subjects(rdf.TypeIRI, asymIRI) {
 		g.ForEach(store.Wildcard, p, store.Wildcard, func(t rdf.Triple) bool {
-			if (t.O.IsIRI() || t.O.IsBlank()) && g.Has(t.O, p, t.S) {
+			if t.O.IsResource() && g.Has(t.O, p, t.S) {
 				// Report each unordered pair once.
 				if rdf.Compare(t.S, t.O) <= 0 {
 					out = append(out, Inconsistency{

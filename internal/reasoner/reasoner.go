@@ -49,13 +49,71 @@ func (s Stats) String() string {
 		s.Asserted, s.Inferred, s.Rounds, s.Duration)
 }
 
+// iTriple is a dictionary-encoded triple. The whole rule engine — queue,
+// joins, premise bookkeeping — runs on these 12-byte values; rdf.Triple is
+// only materialized at the public API boundary (Derivation, Proof) and when
+// tracing is on.
+type iTriple struct {
+	S, P, O store.ID
+}
+
+// vocab holds the interned IDs of every RDF/RDFS/OWL term the rule bodies
+// dispatch on. Interning happens once per Materialize; afterwards predicate
+// dispatch and joins compare uint32s instead of hashing term structs.
+type vocab struct {
+	typ, sco, spo, dom, rng, inv, eqc, eqp, same store.ID
+	trans, sym, funcP, invFunc, thing, class     store.ID
+	inter, union, onProp, svf, avf, hv, chain    store.ID
+	first, rest                                  store.ID
+}
+
+func internVocab(g *store.Graph) vocab {
+	return vocab{
+		typ:     g.InternTerm(rdf.TypeIRI),
+		sco:     g.InternTerm(rdf.SubClassOfIRI),
+		spo:     g.InternTerm(rdf.SubPropertyOfIRI),
+		dom:     g.InternTerm(rdf.DomainIRI),
+		rng:     g.InternTerm(rdf.RangeIRI),
+		inv:     g.InternTerm(rdf.InverseOfIRI),
+		eqc:     g.InternTerm(rdf.EquivClassIRI),
+		eqp:     g.InternTerm(rdf.EquivPropIRI),
+		same:    g.InternTerm(rdf.SameAsIRI),
+		trans:   g.InternTerm(rdf.NewIRI(rdf.OWLTransitiveProperty)),
+		sym:     g.InternTerm(rdf.NewIRI(rdf.OWLSymmetricProperty)),
+		funcP:   g.InternTerm(rdf.NewIRI(rdf.OWLFunctionalProperty)),
+		invFunc: g.InternTerm(rdf.NewIRI(rdf.OWLInverseFunctional)),
+		thing:   g.InternTerm(rdf.ThingIRI),
+		class:   g.InternTerm(rdf.ClassIRI),
+		inter:   g.InternTerm(rdf.NewIRI(rdf.OWLIntersectionOf)),
+		union:   g.InternTerm(rdf.NewIRI(rdf.OWLUnionOf)),
+		onProp:  g.InternTerm(rdf.NewIRI(rdf.OWLOnProperty)),
+		svf:     g.InternTerm(rdf.NewIRI(rdf.OWLSomeValuesFrom)),
+		avf:     g.InternTerm(rdf.NewIRI(rdf.OWLAllValuesFrom)),
+		hv:      g.InternTerm(rdf.NewIRI(rdf.OWLHasValue)),
+		chain:   g.InternTerm(rdf.NewIRI(rdf.OWLPropertyChainAxiom)),
+		first:   g.InternTerm(rdf.FirstIRI),
+		rest:    g.InternTerm(rdf.RestIRI),
+	}
+}
+
+// structuralIDs returns the set of predicate IDs whose presence requires an
+// expression-table rebuild when they change.
+func (v vocab) structuralIDs() map[store.ID]bool {
+	return map[store.ID]bool{
+		v.inter: true, v.union: true, v.onProp: true, v.svf: true,
+		v.avf: true, v.hv: true, v.chain: true, v.first: true, v.rest: true,
+	}
+}
+
 // Reasoner materializes OWL 2 RL consequences into a graph.
 type Reasoner struct {
-	opts  Options
-	g     *store.Graph
-	expr  *exprTable
-	queue []rdf.Triple
-	stats Stats
+	opts      Options
+	g         *store.Graph
+	v         vocab
+	structIDs map[store.ID]bool
+	expr      *exprTable
+	queue     []iTriple
+	stats     Stats
 	// derivations maps each inferred triple to its first derivation.
 	derivations map[rdf.Triple]Derivation
 	exprDirty   bool
@@ -75,11 +133,13 @@ func New(opts Options) *Reasoner {
 func (r *Reasoner) Materialize(g *store.Graph) Stats {
 	start := time.Now()
 	r.g = g
+	r.v = internVocab(g)
+	r.structIDs = r.v.structuralIDs()
 	r.stats = Stats{Asserted: g.Len(), RuleFirings: make(map[string]int)}
 	if r.opts.TraceDerivations && r.derivations == nil {
 		r.derivations = make(map[rdf.Triple]Derivation)
 	}
-	r.expr = buildExprTable(g)
+	r.expr = buildExprTable(g, r.v)
 	if r.opts.Naive {
 		r.runNaive()
 	} else {
@@ -88,6 +148,22 @@ func (r *Reasoner) Materialize(g *store.Graph) Stats {
 	r.stats.Inferred = g.Len() - r.stats.Asserted
 	r.stats.Duration = time.Since(start)
 	return r.stats
+}
+
+// decode materializes an ID triple at the public API / tracing boundary.
+func (r *Reasoner) decode(t iTriple) rdf.Triple {
+	return rdf.Triple{S: r.g.TermOf(t.S), P: r.g.TermOf(t.P), O: r.g.TermOf(t.O)}
+}
+
+// snapshot returns every triple currently in the graph as ID triples, in
+// index order.
+func (r *Reasoner) snapshot() []iTriple {
+	out := make([]iTriple, 0, r.g.Len())
+	r.g.ForEachID(store.NoID, store.NoID, store.NoID, func(s, p, o store.ID) bool {
+		out = append(out, iTriple{s, p, o})
+		return true
+	})
+	return out
 }
 
 // Derivation returns how t was inferred. ok is false for asserted triples,
@@ -138,14 +214,14 @@ func (r *Reasoner) Proof(t rdf.Triple) []ProofStep {
 // fill, joining other premises against the current graph. Each inferred
 // triple enters the queue exactly once.
 func (r *Reasoner) runSemiNaive() {
-	r.queue = r.g.Triples()
+	r.queue = r.snapshot()
 	r.seedAxiomRules()
 	processed := 0
 	for len(r.queue) > 0 {
 		t := r.queue[len(r.queue)-1]
 		r.queue = r.queue[:len(r.queue)-1]
 		if r.exprDirty {
-			r.expr = buildExprTable(r.g)
+			r.expr = buildExprTable(r.g, r.v)
 			r.exprDirty = false
 		}
 		r.applyDelta(t)
@@ -163,10 +239,10 @@ func (r *Reasoner) runNaive() {
 	for round := 0; round < r.opts.MaxRounds; round++ {
 		r.stats.Rounds = round + 1
 		before := r.g.Len()
-		r.expr = buildExprTable(r.g)
+		r.expr = buildExprTable(r.g, r.v)
 		r.exprDirty = false
 		r.seedAxiomRules()
-		for _, t := range r.g.Triples() {
+		for _, t := range r.snapshot() {
 			r.applyDelta(t)
 		}
 		if r.g.Len() == before {
@@ -176,23 +252,27 @@ func (r *Reasoner) runNaive() {
 }
 
 // infer adds a conclusion triple; when new, it is queued for further delta
-// processing and its derivation is recorded.
-func (r *Reasoner) infer(rule string, s, p, o rdf.Term, premises ...rdf.Triple) {
-	t := rdf.Triple{S: s, P: p, O: o}
-	if !t.Valid() || r.g.Has(s, p, o) {
+// processing and its derivation is recorded. All arguments are interned IDs.
+func (r *Reasoner) infer(rule string, s, p, o store.ID, premises ...iTriple) {
+	if !r.g.IsResourceID(s) || r.g.KindOf(p) != rdf.KindIRI {
 		return
 	}
-	r.g.AddTriple(t)
+	if !r.g.AddID(s, p, o) {
+		return // already present (or invalid)
+	}
+	t := iTriple{s, p, o}
 	r.stats.RuleFirings[rule]++
 	if !r.opts.Naive {
 		r.queue = append(r.queue, t)
 	}
 	if r.opts.TraceDerivations {
 		prem := make([]rdf.Triple, len(premises))
-		copy(prem, premises)
-		r.derivations[t] = Derivation{Rule: rule, Premises: prem}
+		for i, pt := range premises {
+			prem[i] = r.decode(pt)
+		}
+		r.derivations[r.decode(t)] = Derivation{Rule: rule, Premises: prem}
 	}
-	if structuralPredicates[p.Value] {
+	if r.structIDs[p] {
 		r.exprDirty = true
 	}
 }
@@ -202,10 +282,10 @@ func (r *Reasoner) seedAxiomRules() {
 	if !r.opts.IncludeReflexive {
 		return
 	}
-	classIRI := rdf.ClassIRI
-	r.g.ForEach(store.Wildcard, rdf.TypeIRI, classIRI, func(t rdf.Triple) bool {
-		r.infer("scm-cls", t.S, rdf.SubClassOfIRI, t.S, t)
-		r.infer("scm-cls", t.S, rdf.SubClassOfIRI, rdf.ThingIRI, t)
+	r.g.ForEachID(store.NoID, r.v.typ, r.v.class, func(s, p, o store.ID) bool {
+		t := iTriple{s, p, o}
+		r.infer("scm-cls", s, r.v.sco, s, t)
+		r.infer("scm-cls", s, r.v.sco, r.v.thing, t)
 		return true
 	})
 }

@@ -1,50 +1,36 @@
 package reasoner
 
 import (
-	"repro/internal/rdf"
 	"repro/internal/store"
 )
 
-// Pre-built predicate terms used by the dispatcher.
-var (
-	typeT       = rdf.TypeIRI
-	scoT        = rdf.SubClassOfIRI
-	spoT        = rdf.SubPropertyOfIRI
-	domT        = rdf.DomainIRI
-	rngT        = rdf.RangeIRI
-	invT        = rdf.InverseOfIRI
-	eqcT        = rdf.EquivClassIRI
-	eqpT        = rdf.EquivPropIRI
-	sameT       = rdf.SameAsIRI
-	transPropT  = rdf.NewIRI(rdf.OWLTransitiveProperty)
-	symPropT    = rdf.NewIRI(rdf.OWLSymmetricProperty)
-	funcPropT   = rdf.NewIRI(rdf.OWLFunctionalProperty)
-	invFuncT    = rdf.NewIRI(rdf.OWLInverseFunctional)
-	owlThingT   = rdf.ThingIRI
-	owlNothingT = rdf.NothingIRI
-)
+// The rule bodies below run entirely on dictionary IDs: premise joins probe
+// the store's ID indexes (ObjectsID / SubjectsID / HasID / ForEachID) and
+// conclusions are asserted with AddID. No term is decoded unless tracing is
+// enabled. Kind guards that used to call Term.IsIRI/IsBlank use the
+// dictionary's kind table (IsResourceID) instead.
 
 // applyDelta fires every rule in which the triple t can serve as a premise,
 // joining the remaining premises against the current graph.
-func (r *Reasoner) applyDelta(t rdf.Triple) {
+func (r *Reasoner) applyDelta(t iTriple) {
 	switch t.P {
-	case scoT:
+	case r.v.sco:
 		r.onSubClassOf(t)
-	case spoT:
+	case r.v.spo:
 		r.onSubPropertyOf(t)
-	case typeT:
+	case r.v.typ:
 		r.onType(t)
-	case domT:
+	case r.v.dom:
 		r.onDomain(t)
-	case rngT:
+	case r.v.rng:
 		r.onRange(t)
-	case invT:
+	case r.v.inv:
 		r.onInverseOf(t)
-	case eqcT:
+	case r.v.eqc:
 		r.onEquivalentClass(t)
-	case eqpT:
+	case r.v.eqp:
 		r.onEquivalentProperty(t)
-	case sameT:
+	case r.v.same:
 		r.onSameAs(t)
 	}
 	// Every triple is also a candidate instance assertion (x p y).
@@ -53,27 +39,27 @@ func (r *Reasoner) applyDelta(t rdf.Triple) {
 
 // onSubClassOf: scm-sco (transitivity), cax-sco (type propagation),
 // scm-eqc2 (mutual subclass → equivalence), scm-dom1, scm-rng1.
-func (r *Reasoner) onSubClassOf(t rdf.Triple) {
+func (r *Reasoner) onSubClassOf(t iTriple) {
 	c1, c2 := t.S, t.O
 	// scm-sco: (c1 sco c2) ∧ (c2 sco c3) → (c1 sco c3)
-	for _, c3 := range r.g.Objects(c2, scoT) {
+	for _, c3 := range r.g.ObjectsID(c2, r.v.sco) {
 		if c3 != c1 {
-			r.infer("scm-sco", c1, scoT, c3, t, rdf.Triple{S: c2, P: scoT, O: c3})
+			r.infer("scm-sco", c1, r.v.sco, c3, t, iTriple{c2, r.v.sco, c3})
 		}
 	}
 	// scm-sco (other side): (c0 sco c1) ∧ (c1 sco c2) → (c0 sco c2)
-	for _, c0 := range r.g.Subjects(scoT, c1) {
+	for _, c0 := range r.g.SubjectsID(r.v.sco, c1) {
 		if c0 != c2 {
-			r.infer("scm-sco", c0, scoT, c2, rdf.Triple{S: c0, P: scoT, O: c1}, t)
+			r.infer("scm-sco", c0, r.v.sco, c2, iTriple{c0, r.v.sco, c1}, t)
 		}
 	}
 	// cax-sco: (x type c1) → (x type c2)
-	for _, x := range r.g.Subjects(typeT, c1) {
-		r.infer("cax-sco", x, typeT, c2, rdf.Triple{S: x, P: typeT, O: c1}, t)
+	for _, x := range r.g.SubjectsID(r.v.typ, c1) {
+		r.infer("cax-sco", x, r.v.typ, c2, iTriple{x, r.v.typ, c1}, t)
 	}
 	// scm-eqc2: (c1 sco c2) ∧ (c2 sco c1) → equivalence
-	if c1 != c2 && r.g.Has(c2, scoT, c1) {
-		r.infer("scm-eqc2", c1, eqcT, c2, t, rdf.Triple{S: c2, P: scoT, O: c1})
+	if c1 != c2 && r.g.HasID(c2, r.v.sco, c1) {
+		r.infer("scm-eqc2", c1, r.v.eqc, c2, t, iTriple{c2, r.v.sco, c1})
 	}
 	// cls-int1 via subclass: if c2 is a member of an intersection, x may now
 	// qualify — handled by the type-propagation above reaching onType.
@@ -81,49 +67,49 @@ func (r *Reasoner) onSubClassOf(t rdf.Triple) {
 
 // onSubPropertyOf: scm-spo (transitivity), prp-spo1 (triple propagation),
 // scm-eqp2, scm-dom2, scm-rng2.
-func (r *Reasoner) onSubPropertyOf(t rdf.Triple) {
+func (r *Reasoner) onSubPropertyOf(t iTriple) {
 	p1, p2 := t.S, t.O
-	for _, p3 := range r.g.Objects(p2, spoT) {
+	for _, p3 := range r.g.ObjectsID(p2, r.v.spo) {
 		if p3 != p1 {
-			r.infer("scm-spo", p1, spoT, p3, t, rdf.Triple{S: p2, P: spoT, O: p3})
+			r.infer("scm-spo", p1, r.v.spo, p3, t, iTriple{p2, r.v.spo, p3})
 		}
 	}
-	for _, p0 := range r.g.Subjects(spoT, p1) {
+	for _, p0 := range r.g.SubjectsID(r.v.spo, p1) {
 		if p0 != p2 {
-			r.infer("scm-spo", p0, spoT, p2, rdf.Triple{S: p0, P: spoT, O: p1}, t)
+			r.infer("scm-spo", p0, r.v.spo, p2, iTriple{p0, r.v.spo, p1}, t)
 		}
 	}
 	// prp-spo1: (x p1 y) → (x p2 y)
-	r.g.ForEach(store.Wildcard, p1, store.Wildcard, func(a rdf.Triple) bool {
-		r.infer("prp-spo1", a.S, p2, a.O, a, t)
+	r.g.ForEachID(store.NoID, p1, store.NoID, func(s, p, o store.ID) bool {
+		r.infer("prp-spo1", s, p2, o, iTriple{s, p, o}, t)
 		return true
 	})
 	// scm-eqp2
-	if p1 != p2 && r.g.Has(p2, spoT, p1) {
-		r.infer("scm-eqp2", p1, eqpT, p2, t, rdf.Triple{S: p2, P: spoT, O: p1})
+	if p1 != p2 && r.g.HasID(p2, r.v.spo, p1) {
+		r.infer("scm-eqp2", p1, r.v.eqp, p2, t, iTriple{p2, r.v.spo, p1})
 	}
 	// scm-dom2: (p2 dom c) → (p1 dom c); scm-rng2 analog.
-	for _, c := range r.g.Objects(p2, domT) {
-		r.infer("scm-dom2", p1, domT, c, rdf.Triple{S: p2, P: domT, O: c}, t)
+	for _, c := range r.g.ObjectsID(p2, r.v.dom) {
+		r.infer("scm-dom2", p1, r.v.dom, c, iTriple{p2, r.v.dom, c}, t)
 	}
-	for _, c := range r.g.Objects(p2, rngT) {
-		r.infer("scm-rng2", p1, rngT, c, rdf.Triple{S: p2, P: rngT, O: c}, t)
+	for _, c := range r.g.ObjectsID(p2, r.v.rng) {
+		r.infer("scm-rng2", p1, r.v.rng, c, iTriple{p2, r.v.rng, c}, t)
 	}
 }
 
 // onType handles (x rdf:type c): subclass propagation, intersection and
 // union membership, restriction consequences, and property-characteristic
 // activation when c is an owl property class.
-func (r *Reasoner) onType(t rdf.Triple) {
+func (r *Reasoner) onType(t iTriple) {
 	x, c := t.S, t.O
 	// cax-sco: (c sco c2) → (x type c2)
-	for _, c2 := range r.g.Objects(c, scoT) {
-		r.infer("cax-sco", x, typeT, c2, t, rdf.Triple{S: c, P: scoT, O: c2})
+	for _, c2 := range r.g.ObjectsID(c, r.v.sco) {
+		r.infer("cax-sco", x, r.v.typ, c2, t, iTriple{c, r.v.sco, c2})
 	}
 	// cls-int2: x ∈ intersection c → x ∈ every member.
 	if members, ok := r.expr.intersections[c]; ok {
 		for _, m := range members {
-			r.infer("cls-int2", x, typeT, m, t)
+			r.infer("cls-int2", x, r.v.typ, m, t)
 		}
 	}
 	// cls-int1: c is a member of intersection classes; x qualifies when it
@@ -131,34 +117,34 @@ func (r *Reasoner) onType(t rdf.Triple) {
 	for _, ic := range r.expr.memberOfIntersection[c] {
 		all := true
 		for _, m := range r.expr.intersections[ic] {
-			if m != c && !r.g.Has(x, typeT, m) {
+			if m != c && !r.g.HasID(x, r.v.typ, m) {
 				all = false
 				break
 			}
 		}
 		if all {
-			premises := []rdf.Triple{t}
+			premises := []iTriple{t}
 			for _, m := range r.expr.intersections[ic] {
 				if m != c {
-					premises = append(premises, rdf.Triple{S: x, P: typeT, O: m})
+					premises = append(premises, iTriple{x, r.v.typ, m})
 				}
 			}
-			r.infer("cls-int1", x, typeT, ic, premises...)
+			r.infer("cls-int1", x, r.v.typ, ic, premises...)
 		}
 	}
 	// cls-uni: c is a member of union classes → x ∈ union.
 	for _, uc := range r.expr.memberOfUnion[c] {
-		r.infer("cls-uni", x, typeT, uc, t)
+		r.infer("cls-uni", x, r.v.typ, uc, t)
 	}
 	// cls-hv1: c is a hasValue restriction → (x prop value).
 	if rest, ok := r.expr.byNode[c]; ok {
-		if rest.HasValue.IsValid() {
+		if rest.HasValue != store.NoID {
 			r.infer("cls-hv1", x, rest.Prop, rest.HasValue, t)
 		}
 		// cls-avf: c = allValuesFrom(p, f): (x p v) → (v type f)
-		if rest.AllFrom.IsValid() {
-			r.g.ForEach(x, rest.Prop, store.Wildcard, func(a rdf.Triple) bool {
-				r.infer("cls-avf", a.O, typeT, rest.AllFrom, t, a)
+		if rest.AllFrom != store.NoID {
+			r.g.ForEachID(x, rest.Prop, store.NoID, func(s, p, o store.ID) bool {
+				r.infer("cls-avf", o, r.v.typ, rest.AllFrom, t, iTriple{s, p, o})
 				return true
 			})
 		}
@@ -166,183 +152,181 @@ func (r *Reasoner) onType(t rdf.Triple) {
 	// cls-svf1 (filler side): x just became an instance of a someValuesFrom
 	// filler; every (u p x) now makes u an instance of the restriction.
 	for _, rest := range r.expr.svfByFiller[c] {
-		r.g.ForEach(store.Wildcard, rest.Prop, store.Wildcard, func(a rdf.Triple) bool {
-			if a.O == x {
-				r.infer("cls-svf1", a.S, typeT, rest.Node, a, t)
-			}
-			return true
-		})
+		for _, u := range r.g.SubjectsID(rest.Prop, x) {
+			r.infer("cls-svf1", u, r.v.typ, rest.Node, iTriple{u, rest.Prop, x}, t)
+		}
 	}
 	// Property-characteristic activation: (p type TransitiveProperty) etc.
 	// arriving after instance triples requires a batch pass.
 	switch c {
-	case transPropT:
-		r.g.ForEach(store.Wildcard, x, store.Wildcard, func(a rdf.Triple) bool {
-			r.transClose(x, a)
+	case r.v.trans:
+		r.g.ForEachID(store.NoID, x, store.NoID, func(s, p, o store.ID) bool {
+			r.transClose(x, iTriple{s, p, o})
 			return true
 		})
-	case symPropT:
-		r.g.ForEach(store.Wildcard, x, store.Wildcard, func(a rdf.Triple) bool {
-			if a.O.IsIRI() || a.O.IsBlank() {
-				r.infer("prp-symp", a.O, x, a.S, a, t)
+	case r.v.sym:
+		r.g.ForEachID(store.NoID, x, store.NoID, func(s, p, o store.ID) bool {
+			if r.g.IsResourceID(o) {
+				r.infer("prp-symp", o, x, s, iTriple{s, p, o}, t)
 			}
 			return true
 		})
-	case funcPropT:
-		r.g.ForEach(store.Wildcard, x, store.Wildcard, func(a rdf.Triple) bool {
-			r.funcProp(x, a)
+	case r.v.funcP:
+		r.g.ForEachID(store.NoID, x, store.NoID, func(s, p, o store.ID) bool {
+			r.funcProp(x, iTriple{s, p, o})
 			return true
 		})
-	case invFuncT:
-		r.g.ForEach(store.Wildcard, x, store.Wildcard, func(a rdf.Triple) bool {
-			r.invFuncProp(x, a)
+	case r.v.invFunc:
+		r.g.ForEachID(store.NoID, x, store.NoID, func(s, p, o store.ID) bool {
+			r.invFuncProp(x, iTriple{s, p, o})
 			return true
 		})
 	}
 }
 
 // onDomain applies prp-dom to all existing triples of the property.
-func (r *Reasoner) onDomain(t rdf.Triple) {
+func (r *Reasoner) onDomain(t iTriple) {
 	p, c := t.S, t.O
-	r.g.ForEach(store.Wildcard, p, store.Wildcard, func(a rdf.Triple) bool {
-		r.infer("prp-dom", a.S, typeT, c, a, t)
+	r.g.ForEachID(store.NoID, p, store.NoID, func(s, pp, o store.ID) bool {
+		r.infer("prp-dom", s, r.v.typ, c, iTriple{s, pp, o}, t)
 		return true
 	})
 }
 
 // onRange applies prp-rng to all existing triples of the property.
-func (r *Reasoner) onRange(t rdf.Triple) {
+func (r *Reasoner) onRange(t iTriple) {
 	p, c := t.S, t.O
-	r.g.ForEach(store.Wildcard, p, store.Wildcard, func(a rdf.Triple) bool {
-		if a.O.IsIRI() || a.O.IsBlank() {
-			r.infer("prp-rng", a.O, typeT, c, a, t)
+	r.g.ForEachID(store.NoID, p, store.NoID, func(s, pp, o store.ID) bool {
+		if r.g.IsResourceID(o) {
+			r.infer("prp-rng", o, r.v.typ, c, iTriple{s, pp, o}, t)
 		}
 		return true
 	})
 }
 
 // onInverseOf applies prp-inv1/2 to existing triples of both properties.
-func (r *Reasoner) onInverseOf(t rdf.Triple) {
+func (r *Reasoner) onInverseOf(t iTriple) {
 	p1, p2 := t.S, t.O
-	r.g.ForEach(store.Wildcard, p1, store.Wildcard, func(a rdf.Triple) bool {
-		if a.O.IsIRI() || a.O.IsBlank() {
-			r.infer("prp-inv1", a.O, p2, a.S, a, t)
+	r.g.ForEachID(store.NoID, p1, store.NoID, func(s, p, o store.ID) bool {
+		if r.g.IsResourceID(o) {
+			r.infer("prp-inv1", o, p2, s, iTriple{s, p, o}, t)
 		}
 		return true
 	})
-	r.g.ForEach(store.Wildcard, p2, store.Wildcard, func(a rdf.Triple) bool {
-		if a.O.IsIRI() || a.O.IsBlank() {
-			r.infer("prp-inv2", a.O, p1, a.S, a, t)
+	r.g.ForEachID(store.NoID, p2, store.NoID, func(s, p, o store.ID) bool {
+		if r.g.IsResourceID(o) {
+			r.infer("prp-inv2", o, p1, s, iTriple{s, p, o}, t)
 		}
 		return true
 	})
 }
 
 // onEquivalentClass: scm-eqc1 both directions plus symmetry.
-func (r *Reasoner) onEquivalentClass(t rdf.Triple) {
+func (r *Reasoner) onEquivalentClass(t iTriple) {
 	c1, c2 := t.S, t.O
-	r.infer("scm-eqc1", c1, scoT, c2, t)
-	r.infer("scm-eqc1", c2, scoT, c1, t)
-	r.infer("eq-sym(c)", c2, eqcT, c1, t)
+	r.infer("scm-eqc1", c1, r.v.sco, c2, t)
+	r.infer("scm-eqc1", c2, r.v.sco, c1, t)
+	r.infer("eq-sym(c)", c2, r.v.eqc, c1, t)
 }
 
 // onEquivalentProperty: scm-eqp1 both directions plus symmetry.
-func (r *Reasoner) onEquivalentProperty(t rdf.Triple) {
+func (r *Reasoner) onEquivalentProperty(t iTriple) {
 	p1, p2 := t.S, t.O
-	r.infer("scm-eqp1", p1, spoT, p2, t)
-	r.infer("scm-eqp1", p2, spoT, p1, t)
-	r.infer("eq-sym(p)", p2, eqpT, p1, t)
+	r.infer("scm-eqp1", p1, r.v.spo, p2, t)
+	r.infer("scm-eqp1", p2, r.v.spo, p1, t)
+	r.infer("eq-sym(p)", p2, r.v.eqp, p1, t)
 }
 
 // onSameAs: eq-sym, eq-trans, eq-rep-s/o (predicate replacement is omitted:
 // sameAs between properties does not occur in FEO).
-func (r *Reasoner) onSameAs(t rdf.Triple) {
+func (r *Reasoner) onSameAs(t iTriple) {
 	x, y := t.S, t.O
 	if x == y {
 		return
 	}
-	r.infer("eq-sym", y, sameT, x, t)
-	for _, z := range r.g.Objects(y, sameT) {
+	r.infer("eq-sym", y, r.v.same, x, t)
+	for _, z := range r.g.ObjectsID(y, r.v.same) {
 		if z != x {
-			r.infer("eq-trans", x, sameT, z, t, rdf.Triple{S: y, P: sameT, O: z})
+			r.infer("eq-trans", x, r.v.same, z, t, iTriple{y, r.v.same, z})
 		}
 	}
 	// eq-rep-s: (x same y) ∧ (x p o) → (y p o)
-	r.g.ForEach(x, store.Wildcard, store.Wildcard, func(a rdf.Triple) bool {
-		if a.P != sameT {
-			r.infer("eq-rep-s", y, a.P, a.O, a, t)
+	r.g.ForEachID(x, store.NoID, store.NoID, func(s, p, o store.ID) bool {
+		if p != r.v.same {
+			r.infer("eq-rep-s", y, p, o, iTriple{s, p, o}, t)
 		}
 		return true
 	})
 	// eq-rep-o: (x same y) ∧ (s p x) → (s p y)
-	r.g.ForEach(store.Wildcard, store.Wildcard, x, func(a rdf.Triple) bool {
-		if a.P != sameT {
-			r.infer("eq-rep-o", a.S, a.P, y, a, t)
+	r.g.ForEachID(store.NoID, store.NoID, x, func(s, p, o store.ID) bool {
+		if p != r.v.same {
+			r.infer("eq-rep-o", s, p, y, iTriple{s, p, o}, t)
 		}
 		return true
 	})
 }
 
 // onAssertion handles a generic triple (x p y) as an instance assertion.
-func (r *Reasoner) onAssertion(t rdf.Triple) {
+func (r *Reasoner) onAssertion(t iTriple) {
 	x, p, y := t.S, t.P, t.O
+	yRes := r.g.IsResourceID(y)
 	// prp-spo1: superproperties carry the triple.
-	for _, sup := range r.g.Objects(p, spoT) {
+	for _, sup := range r.g.ObjectsID(p, r.v.spo) {
 		if sup != p {
-			r.infer("prp-spo1", x, sup, y, t, rdf.Triple{S: p, P: spoT, O: sup})
+			r.infer("prp-spo1", x, sup, y, t, iTriple{p, r.v.spo, sup})
 		}
 	}
 	// prp-dom / prp-rng.
-	for _, c := range r.g.Objects(p, domT) {
-		r.infer("prp-dom", x, typeT, c, t, rdf.Triple{S: p, P: domT, O: c})
+	for _, c := range r.g.ObjectsID(p, r.v.dom) {
+		r.infer("prp-dom", x, r.v.typ, c, t, iTriple{p, r.v.dom, c})
 	}
-	if y.IsIRI() || y.IsBlank() {
-		for _, c := range r.g.Objects(p, rngT) {
-			r.infer("prp-rng", y, typeT, c, t, rdf.Triple{S: p, P: rngT, O: c})
+	if yRes {
+		for _, c := range r.g.ObjectsID(p, r.v.rng) {
+			r.infer("prp-rng", y, r.v.typ, c, t, iTriple{p, r.v.rng, c})
 		}
 	}
 	// prp-inv1/2.
-	if y.IsIRI() || y.IsBlank() {
-		for _, q := range r.g.Objects(p, invT) {
-			r.infer("prp-inv1", y, q, x, t, rdf.Triple{S: p, P: invT, O: q})
+	if yRes {
+		for _, q := range r.g.ObjectsID(p, r.v.inv) {
+			r.infer("prp-inv1", y, q, x, t, iTriple{p, r.v.inv, q})
 		}
-		for _, q := range r.g.Subjects(invT, p) {
-			r.infer("prp-inv2", y, q, x, t, rdf.Triple{S: q, P: invT, O: p})
+		for _, q := range r.g.SubjectsID(r.v.inv, p) {
+			r.infer("prp-inv2", y, q, x, t, iTriple{q, r.v.inv, p})
 		}
 		// prp-symp.
-		if r.g.Has(p, typeT, symPropT) {
-			r.infer("prp-symp", y, p, x, t, rdf.Triple{S: p, P: typeT, O: symPropT})
+		if r.g.HasID(p, r.v.typ, r.v.sym) {
+			r.infer("prp-symp", y, p, x, t, iTriple{p, r.v.typ, r.v.sym})
 		}
 		// prp-trp.
-		if r.g.Has(p, typeT, transPropT) {
+		if r.g.HasID(p, r.v.typ, r.v.trans) {
 			r.transClose(p, t)
 		}
 		// prp-fp / prp-ifp.
-		if r.g.Has(p, typeT, funcPropT) {
+		if r.g.HasID(p, r.v.typ, r.v.funcP) {
 			r.funcProp(p, t)
 		}
-		if r.g.Has(p, typeT, invFuncT) {
+		if r.g.HasID(p, r.v.typ, r.v.invFunc) {
 			r.invFuncProp(p, t)
 		}
 	}
 	// cls-svf1: (x p y) ∧ (y type filler) → (x type restriction).
 	for _, rest := range r.expr.restrictionsByProp[p] {
-		if rest.SomeFrom.IsValid() {
-			if rest.SomeFrom == owlThingT || r.g.Has(y, typeT, rest.SomeFrom) {
-				prem := []rdf.Triple{t}
-				if rest.SomeFrom != owlThingT {
-					prem = append(prem, rdf.Triple{S: y, P: typeT, O: rest.SomeFrom})
+		if rest.SomeFrom != store.NoID {
+			if rest.SomeFrom == r.v.thing || r.g.HasID(y, r.v.typ, rest.SomeFrom) {
+				prem := []iTriple{t}
+				if rest.SomeFrom != r.v.thing {
+					prem = append(prem, iTriple{y, r.v.typ, rest.SomeFrom})
 				}
-				r.infer("cls-svf1", x, typeT, rest.Node, prem...)
+				r.infer("cls-svf1", x, r.v.typ, rest.Node, prem...)
 			}
 		}
 		// cls-hv2: (x p v) with v the hasValue → (x type restriction).
-		if rest.HasValue.IsValid() && rest.HasValue == y {
-			r.infer("cls-hv2", x, typeT, rest.Node, t)
+		if rest.HasValue != store.NoID && rest.HasValue == y {
+			r.infer("cls-hv2", x, r.v.typ, rest.Node, t)
 		}
 		// cls-avf: (x type restriction) ∧ (x p y) → (y type filler).
-		if rest.AllFrom.IsValid() && r.g.Has(x, typeT, rest.Node) {
-			r.infer("cls-avf", y, typeT, rest.AllFrom, t, rdf.Triple{S: x, P: typeT, O: rest.Node})
+		if rest.AllFrom != store.NoID && r.g.HasID(x, r.v.typ, rest.Node) {
+			r.infer("cls-avf", y, r.v.typ, rest.AllFrom, t, iTriple{x, r.v.typ, rest.Node})
 		}
 	}
 	// prp-spo2: property chains. Any triple whose predicate appears in a
@@ -351,16 +335,16 @@ func (r *Reasoner) onAssertion(t rdf.Triple) {
 		r.applyChain(r.expr.chains[ci], t)
 	}
 	// eq-rep: replicate through sameAs aliases of x and y.
-	if p != sameT {
-		for _, alias := range r.g.Objects(x, sameT) {
+	if p != r.v.same {
+		for _, alias := range r.g.ObjectsID(x, r.v.same) {
 			if alias != x {
-				r.infer("eq-rep-s", alias, p, y, t, rdf.Triple{S: x, P: sameT, O: alias})
+				r.infer("eq-rep-s", alias, p, y, t, iTriple{x, r.v.same, alias})
 			}
 		}
-		if y.IsIRI() || y.IsBlank() {
-			for _, alias := range r.g.Objects(y, sameT) {
+		if yRes {
+			for _, alias := range r.g.ObjectsID(y, r.v.same) {
 				if alias != y {
-					r.infer("eq-rep-o", x, p, alias, t, rdf.Triple{S: y, P: sameT, O: alias})
+					r.infer("eq-rep-o", x, p, alias, t, iTriple{y, r.v.same, alias})
 				}
 			}
 		}
@@ -369,17 +353,17 @@ func (r *Reasoner) onAssertion(t rdf.Triple) {
 
 // transClose extends the transitive closure of property p around the new
 // edge a = (x p y): joins on both sides.
-func (r *Reasoner) transClose(p rdf.Term, a rdf.Triple) {
+func (r *Reasoner) transClose(p store.ID, a iTriple) {
 	x, y := a.S, a.O
-	charPremise := rdf.Triple{S: p, P: typeT, O: transPropT}
-	for _, z := range r.g.Objects(y, p) {
+	charPremise := iTriple{p, r.v.typ, r.v.trans}
+	for _, z := range r.g.ObjectsID(y, p) {
 		if z != x {
-			r.infer("prp-trp", x, p, z, a, rdf.Triple{S: y, P: p, O: z}, charPremise)
+			r.infer("prp-trp", x, p, z, a, iTriple{y, p, z}, charPremise)
 		}
 	}
-	for _, w := range r.g.Subjects(p, x) {
+	for _, w := range r.g.SubjectsID(p, x) {
 		if w != y {
-			r.infer("prp-trp", w, p, y, rdf.Triple{S: w, P: p, O: x}, a, charPremise)
+			r.infer("prp-trp", w, p, y, iTriple{w, p, x}, a, charPremise)
 		}
 	}
 }
@@ -387,7 +371,7 @@ func (r *Reasoner) transClose(p rdf.Term, a rdf.Triple) {
 // applyChain applies prp-spo2 for one chain, seeded by the new triple t.
 // It enumerates every full instantiation of the chain that uses t in at
 // least one step position, joining the other steps against the graph.
-func (r *Reasoner) applyChain(c chain, t rdf.Triple) {
+func (r *Reasoner) applyChain(c chain, t iTriple) {
 	for pos, step := range c.Steps {
 		if step != t.P {
 			continue
@@ -398,8 +382,8 @@ func (r *Reasoner) applyChain(c chain, t rdf.Triple) {
 		for i := pos - 1; i >= 0; i-- {
 			var next []chainPath
 			for _, cp := range starts {
-				for _, prev := range r.g.Subjects(c.Steps[i], cp.node) {
-					prem := append([]rdf.Triple{{S: prev, P: c.Steps[i], O: cp.node}}, cp.premises...)
+				for _, prev := range r.g.SubjectsID(c.Steps[i], cp.node) {
+					prem := append([]iTriple{{prev, c.Steps[i], cp.node}}, cp.premises...)
 					next = append(next, chainPath{node: prev, premises: prem})
 				}
 			}
@@ -412,8 +396,8 @@ func (r *Reasoner) applyChain(c chain, t rdf.Triple) {
 		for i := pos + 1; i < len(c.Steps); i++ {
 			var next []chainPath
 			for _, cp := range ends {
-				for _, nxt := range r.g.Objects(cp.node, c.Steps[i]) {
-					prem := append(append([]rdf.Triple{}, cp.premises...), rdf.Triple{S: cp.node, P: c.Steps[i], O: nxt})
+				for _, nxt := range r.g.ObjectsID(cp.node, c.Steps[i]) {
+					prem := append(append([]iTriple{}, cp.premises...), iTriple{cp.node, c.Steps[i], nxt})
 					next = append(next, chainPath{node: nxt, premises: prem})
 				}
 			}
@@ -424,7 +408,7 @@ func (r *Reasoner) applyChain(c chain, t rdf.Triple) {
 		}
 		for _, s := range starts {
 			for _, e := range ends {
-				premises := make([]rdf.Triple, 0, len(s.premises)+1+len(e.premises))
+				premises := make([]iTriple, 0, len(s.premises)+1+len(e.premises))
 				premises = append(premises, s.premises...)
 				premises = append(premises, t)
 				premises = append(premises, e.premises...)
@@ -436,25 +420,28 @@ func (r *Reasoner) applyChain(c chain, t rdf.Triple) {
 
 // chainPath tracks one partial chain instantiation during prp-spo2.
 type chainPath struct {
-	node     rdf.Term
-	premises []rdf.Triple
+	node     store.ID
+	premises []iTriple
 }
 
 // funcProp applies prp-fp: two objects of a functional property are sameAs.
-func (r *Reasoner) funcProp(p rdf.Term, a rdf.Triple) {
-	for _, other := range r.g.Objects(a.S, p) {
-		if other != a.O && (other.IsIRI() || other.IsBlank()) && (a.O.IsIRI() || a.O.IsBlank()) {
-			r.infer("prp-fp", a.O, sameT, other, a, rdf.Triple{S: a.S, P: p, O: other})
+func (r *Reasoner) funcProp(p store.ID, a iTriple) {
+	if !r.g.IsResourceID(a.O) {
+		return
+	}
+	for _, other := range r.g.ObjectsID(a.S, p) {
+		if other != a.O && r.g.IsResourceID(other) {
+			r.infer("prp-fp", a.O, r.v.same, other, a, iTriple{a.S, p, other})
 		}
 	}
 }
 
 // invFuncProp applies prp-ifp: two subjects sharing an object of an
 // inverse-functional property are sameAs.
-func (r *Reasoner) invFuncProp(p rdf.Term, a rdf.Triple) {
-	for _, other := range r.g.Subjects(p, a.O) {
+func (r *Reasoner) invFuncProp(p store.ID, a iTriple) {
+	for _, other := range r.g.SubjectsID(p, a.O) {
 		if other != a.S {
-			r.infer("prp-ifp", a.S, sameT, other, a, rdf.Triple{S: other, P: p, O: a.O})
+			r.infer("prp-ifp", a.S, r.v.same, other, a, iTriple{other, p, a.O})
 		}
 	}
 }

@@ -10,138 +10,115 @@
 // default) and naive (full re-evaluation each round, kept for the ablation
 // benchmark that reproduces the paper's "a reasoner known to handle
 // individuals more efficiently" motivation for choosing Pellet).
+//
+// The engine is dictionary-encoded end to end: triples enter the rule queue
+// as store.ID triples, rule joins probe the store's ID indexes, and terms
+// are only decoded at the public API boundary (Derivation, Proof) or when
+// TraceDerivations is on.
 package reasoner
 
 import (
-	"repro/internal/rdf"
 	"repro/internal/store"
 )
 
 // restriction describes an owl:Restriction node after structural parsing.
-// Exactly one of SomeFrom, AllFrom, HasValue is set.
+// Exactly one of SomeFrom, AllFrom, HasValue is set (the others are NoID).
 type restriction struct {
-	Node     rdf.Term // the restriction class node (usually a blank node)
-	Prop     rdf.Term // owl:onProperty
-	SomeFrom rdf.Term // owl:someValuesFrom filler, or zero
-	AllFrom  rdf.Term // owl:allValuesFrom filler, or zero
-	HasValue rdf.Term // owl:hasValue value, or zero
+	Node     store.ID // the restriction class node (usually a blank node)
+	Prop     store.ID // owl:onProperty
+	SomeFrom store.ID // owl:someValuesFrom filler, or NoID
+	AllFrom  store.ID // owl:allValuesFrom filler, or NoID
+	HasValue store.ID // owl:hasValue value, or NoID
 }
 
 // exprTable indexes OWL class expressions (intersections, unions,
-// restrictions) for O(1) lookup during rule application. It is rebuilt
-// whenever structural vocabulary triples change, which for ontology +
-// instance loads happens once.
+// restrictions) for O(1) lookup during rule application, keyed by term ID.
+// It is rebuilt whenever structural vocabulary triples change, which for
+// ontology + instance loads happens once.
 type exprTable struct {
 	// intersections maps a class to its owl:intersectionOf member list.
-	intersections map[rdf.Term][]rdf.Term
+	intersections map[store.ID][]store.ID
 	// memberOfIntersection maps a member class to the intersection classes
 	// that contain it.
-	memberOfIntersection map[rdf.Term][]rdf.Term
-	unions               map[rdf.Term][]rdf.Term
-	memberOfUnion        map[rdf.Term][]rdf.Term
+	memberOfIntersection map[store.ID][]store.ID
+	unions               map[store.ID][]store.ID
+	memberOfUnion        map[store.ID][]store.ID
 	// restrictionsByProp maps a property to the restrictions on it.
-	restrictionsByProp map[rdf.Term][]restriction
+	restrictionsByProp map[store.ID][]restriction
 	// byNode maps a restriction node to its parsed form.
-	byNode map[rdf.Term]restriction
+	byNode map[store.ID]restriction
 	// svfByFiller maps a someValuesFrom filler class to restrictions using it.
-	svfByFiller map[rdf.Term][]restriction
+	svfByFiller map[store.ID][]restriction
 	// chains holds owl:propertyChainAxiom definitions: super-property and
 	// the chain of step properties.
 	chains []chain
 	// chainsByStep indexes chains by each property appearing in them.
-	chainsByStep map[rdf.Term][]int
+	chainsByStep map[store.ID][]int
 }
 
 // chain is one owl:propertyChainAxiom: steps[0] ∘ steps[1] ∘ … ⊑ super.
 type chain struct {
-	Super rdf.Term
-	Steps []rdf.Term
+	Super store.ID
+	Steps []store.ID
 }
 
-// structuralPredicates are the predicates whose presence requires an
-// expression-table rebuild when they change.
-var structuralPredicates = map[string]bool{
-	rdf.OWLIntersectionOf:     true,
-	rdf.OWLUnionOf:            true,
-	rdf.OWLOnProperty:         true,
-	rdf.OWLSomeValuesFrom:     true,
-	rdf.OWLAllValuesFrom:      true,
-	rdf.OWLHasValue:           true,
-	rdf.OWLPropertyChainAxiom: true,
-	rdf.RDFFirst:              true,
-	rdf.RDFRest:               true,
-}
-
-func buildExprTable(g *store.Graph) *exprTable {
+func buildExprTable(g *store.Graph, v vocab) *exprTable {
 	t := &exprTable{
-		intersections:        make(map[rdf.Term][]rdf.Term),
-		memberOfIntersection: make(map[rdf.Term][]rdf.Term),
-		unions:               make(map[rdf.Term][]rdf.Term),
-		memberOfUnion:        make(map[rdf.Term][]rdf.Term),
-		restrictionsByProp:   make(map[rdf.Term][]restriction),
-		byNode:               make(map[rdf.Term]restriction),
-		svfByFiller:          make(map[rdf.Term][]restriction),
-		chainsByStep:         make(map[rdf.Term][]int),
+		intersections:        make(map[store.ID][]store.ID),
+		memberOfIntersection: make(map[store.ID][]store.ID),
+		unions:               make(map[store.ID][]store.ID),
+		memberOfUnion:        make(map[store.ID][]store.ID),
+		restrictionsByProp:   make(map[store.ID][]restriction),
+		byNode:               make(map[store.ID]restriction),
+		svfByFiller:          make(map[store.ID][]restriction),
+		chainsByStep:         make(map[store.ID][]int),
 	}
-	interIRI := rdf.NewIRI(rdf.OWLIntersectionOf)
-	unionIRI := rdf.NewIRI(rdf.OWLUnionOf)
-	onPropIRI := rdf.NewIRI(rdf.OWLOnProperty)
-	svfIRI := rdf.NewIRI(rdf.OWLSomeValuesFrom)
-	avfIRI := rdf.NewIRI(rdf.OWLAllValuesFrom)
-	hvIRI := rdf.NewIRI(rdf.OWLHasValue)
-
-	g.ForEach(store.Wildcard, interIRI, store.Wildcard, func(tr rdf.Triple) bool {
-		if members, ok := g.ReadList(tr.O); ok && len(members) > 0 {
-			t.intersections[tr.S] = members
+	g.ForEachID(store.NoID, v.inter, store.NoID, func(s, _, o store.ID) bool {
+		if members, ok := g.ReadListID(o); ok && len(members) > 0 {
+			t.intersections[s] = members
 			for _, m := range members {
-				t.memberOfIntersection[m] = append(t.memberOfIntersection[m], tr.S)
+				t.memberOfIntersection[m] = append(t.memberOfIntersection[m], s)
 			}
 		}
 		return true
 	})
-	g.ForEach(store.Wildcard, unionIRI, store.Wildcard, func(tr rdf.Triple) bool {
-		if members, ok := g.ReadList(tr.O); ok && len(members) > 0 {
-			t.unions[tr.S] = members
+	g.ForEachID(store.NoID, v.union, store.NoID, func(s, _, o store.ID) bool {
+		if members, ok := g.ReadListID(o); ok && len(members) > 0 {
+			t.unions[s] = members
 			for _, m := range members {
-				t.memberOfUnion[m] = append(t.memberOfUnion[m], tr.S)
+				t.memberOfUnion[m] = append(t.memberOfUnion[m], s)
 			}
 		}
 		return true
 	})
-	g.ForEach(store.Wildcard, onPropIRI, store.Wildcard, func(tr rdf.Triple) bool {
-		r := restriction{Node: tr.S, Prop: tr.O}
-		if f := g.FirstObject(tr.S, svfIRI); f.IsValid() {
-			r.SomeFrom = f
+	g.ForEachID(store.NoID, v.onProp, store.NoID, func(s, _, o store.ID) bool {
+		r := restriction{Node: s, Prop: o,
+			SomeFrom: g.FirstObjectID(s, v.svf),
+			AllFrom:  g.FirstObjectID(s, v.avf),
+			HasValue: g.FirstObjectID(s, v.hv),
 		}
-		if f := g.FirstObject(tr.S, avfIRI); f.IsValid() {
-			r.AllFrom = f
-		}
-		if v := g.FirstObject(tr.S, hvIRI); v.IsValid() {
-			r.HasValue = v
-		}
-		if !r.SomeFrom.IsValid() && !r.AllFrom.IsValid() && !r.HasValue.IsValid() {
+		if r.SomeFrom == store.NoID && r.AllFrom == store.NoID && r.HasValue == store.NoID {
 			return true // cardinality or other unsupported restriction
 		}
 		t.restrictionsByProp[r.Prop] = append(t.restrictionsByProp[r.Prop], r)
 		t.byNode[r.Node] = r
-		if r.SomeFrom.IsValid() {
+		if r.SomeFrom != store.NoID {
 			t.svfByFiller[r.SomeFrom] = append(t.svfByFiller[r.SomeFrom], r)
 		}
 		return true
 	})
-	chainIRI := rdf.NewIRI(rdf.OWLPropertyChainAxiom)
-	g.ForEach(store.Wildcard, chainIRI, store.Wildcard, func(tr rdf.Triple) bool {
-		steps, ok := g.ReadList(tr.O)
+	g.ForEachID(store.NoID, v.chain, store.NoID, func(s, _, o store.ID) bool {
+		steps, ok := g.ReadListID(o)
 		if !ok || len(steps) < 2 {
 			return true
 		}
 		idx := len(t.chains)
-		t.chains = append(t.chains, chain{Super: tr.S, Steps: steps})
-		seen := make(map[rdf.Term]bool)
-		for _, s := range steps {
-			if !seen[s] {
-				seen[s] = true
-				t.chainsByStep[s] = append(t.chainsByStep[s], idx)
+		t.chains = append(t.chains, chain{Super: s, Steps: steps})
+		seen := make(map[store.ID]bool)
+		for _, st := range steps {
+			if !seen[st] {
+				seen[st] = true
+				t.chainsByStep[st] = append(t.chainsByStep[st], idx)
 			}
 		}
 		return true

@@ -55,34 +55,298 @@ func Run(g *store.Graph, src string) (*Result, error) {
 
 type evalContext struct {
 	g *store.Graph
+	// Per-query property-path memo: the graph is immutable while a query
+	// runs, so the node set a path reaches from a given term is computed
+	// once even when many solutions probe the same (path, term) pair.
+	pathFwd map[pathTermKey][]rdf.Term
+	pathBwd map[pathTermKey][]rdf.Term
+	// Per-query filter-pushdown analysis, memoized by group: OPTIONAL and
+	// EXISTS bodies re-enter evalGroup once per solution, and the variable
+	// collection depends only on the (immutable) pattern tree.
+	groupMemo map[*Group]*groupInfo
+}
+
+type pathTermKey struct {
+	p *Path
+	t rdf.Term
+}
+
+// groupInfo caches the static part of a group's filter-pushdown analysis.
+type groupInfo struct {
+	groupVars map[string]bool // variables any pattern of the group could bind
+	fvars     [][]string      // variables mentioned by each filter
+}
+
+func (ec *evalContext) groupInfoFor(g *Group) *groupInfo {
+	if gi, ok := ec.groupMemo[g]; ok {
+		return gi
+	}
+	gi := &groupInfo{groupVars: make(map[string]bool), fvars: make([][]string, len(g.Filters))}
+	for _, pat := range g.Patterns {
+		collectPossibleVars(pat, gi.groupVars)
+	}
+	for i, f := range g.Filters {
+		gi.fvars[i] = collectExprVars(f)
+	}
+	if ec.groupMemo == nil {
+		ec.groupMemo = make(map[*Group]*groupInfo)
+	}
+	ec.groupMemo[g] = gi
+	return gi
 }
 
 // evalGroup evaluates a group graph pattern over the input solutions.
+//
+// Filters are pushed down: a filter runs as soon as every variable it can
+// ever see is certainly bound (or can never be bound by this group), so it
+// prunes intermediate solutions before later patterns multiply them. A
+// filter's value for a solution cannot change once its variables are bound,
+// so the final solution set is identical to filtering at the end.
 func (ec *evalContext) evalGroup(g *Group, input []Solution) []Solution {
 	seq := input
+	if len(g.Filters) == 0 {
+		for _, pat := range g.Patterns {
+			seq = ec.evalPattern(pat, seq)
+			if len(seq) == 0 {
+				break
+			}
+		}
+		return seq
+	}
+	// certain: variables bound in every solution at this point.
+	certain := varsBoundInAll(input)
+	gi := ec.groupInfoFor(g)
+	groupVars, fvars := gi.groupVars, gi.fvars
+	applied := make([]bool, len(g.Filters))
+	runReady := func() {
+		for i, f := range g.Filters {
+			if applied[i] {
+				continue
+			}
+			ready := true
+			for _, v := range fvars[i] {
+				// A variable blocks the filter only while this group could
+				// still bind it: anything else is either bound already or
+				// stays unbound forever (existential / error semantics).
+				if !certain[v] && groupVars[v] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				applied[i] = true
+				seq = ec.applyFilter(f, seq)
+			}
+		}
+	}
+	runReady()
 	for _, pat := range g.Patterns {
 		seq = ec.evalPattern(pat, seq)
 		if len(seq) == 0 {
 			// Filters with EXISTS could still not resurrect solutions.
 			break
 		}
+		addCertainVars(pat, certain)
+		runReady()
 	}
-	for _, f := range g.Filters {
-		seq = ec.applyFilter(f, seq)
+	for i, f := range g.Filters {
+		if !applied[i] {
+			seq = ec.applyFilter(f, seq)
+		}
 	}
 	return seq
+}
+
+// varsBoundInAll returns the variables bound in every input solution.
+func varsBoundInAll(input []Solution) map[string]bool {
+	out := make(map[string]bool)
+	if len(input) == 0 {
+		return out
+	}
+	for v := range input[0] {
+		inAll := true
+		for _, sol := range input[1:] {
+			if _, ok := sol[v]; !ok {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// collectPossibleVars adds every variable p could bind in any solution.
+func collectPossibleVars(p Pattern, out map[string]bool) {
+	switch pat := p.(type) {
+	case *BGP:
+		for _, tp := range pat.Triples {
+			for _, tv := range [3]TermOrVar{tp.S, tp.P, tp.O} {
+				if tv.IsVar {
+					out[tv.Var] = true
+				}
+			}
+		}
+	case *Group:
+		for _, sub := range pat.Patterns {
+			collectPossibleVars(sub, out)
+		}
+	case *Optional:
+		for _, sub := range pat.Pattern.Patterns {
+			collectPossibleVars(sub, out)
+		}
+	case *Union:
+		for _, sub := range pat.Left.Patterns {
+			collectPossibleVars(sub, out)
+		}
+		for _, sub := range pat.Right.Patterns {
+			collectPossibleVars(sub, out)
+		}
+	case *Bind:
+		out[pat.Var] = true
+	case *InlineData:
+		for _, v := range pat.Vars {
+			out[v] = true
+		}
+	case *SubSelect:
+		for _, item := range pat.Query.Projection {
+			out[item.Var] = true
+		}
+		if len(pat.Query.Projection) == 0 {
+			// SELECT *: anything its WHERE clause mentions.
+			if pat.Query.Where != nil {
+				for _, sub := range pat.Query.Where.Patterns {
+					collectPossibleVars(sub, out)
+				}
+			}
+		}
+	}
+	// *Minus binds nothing.
+}
+
+// addCertainVars adds the variables that are bound in every solution after
+// p evaluates successfully.
+func addCertainVars(p Pattern, out map[string]bool) {
+	switch pat := p.(type) {
+	case *BGP:
+		for _, tp := range pat.Triples {
+			for _, tv := range [3]TermOrVar{tp.S, tp.P, tp.O} {
+				if tv.IsVar {
+					out[tv.Var] = true
+				}
+			}
+		}
+	case *Group:
+		for _, sub := range pat.Patterns {
+			addCertainVars(sub, out)
+		}
+	case *Union:
+		left := make(map[string]bool)
+		right := make(map[string]bool)
+		for _, sub := range pat.Left.Patterns {
+			addCertainVars(sub, left)
+		}
+		for _, sub := range pat.Right.Patterns {
+			addCertainVars(sub, right)
+		}
+		for v := range left {
+			if right[v] {
+				out[v] = true
+			}
+		}
+	}
+	// Optional, Bind, InlineData, Minus, SubSelect guarantee nothing: their
+	// bindings can be absent from individual solutions.
+}
+
+// collectExprVars returns every variable an expression mentions, including
+// variables anywhere inside EXISTS patterns — pattern positions and filter
+// expressions alike, at every nesting depth. Pushdown correctness depends
+// on this being an over-approximation, never an under-approximation.
+func collectExprVars(e Expression) []string {
+	seen := make(map[string]bool)
+	var walk func(Expression)
+	var walkPat func(Pattern)
+	var walkGroup func(g *Group)
+	walkGroup = func(g *Group) {
+		if g == nil {
+			return
+		}
+		for _, sub := range g.Patterns {
+			walkPat(sub)
+		}
+		for _, f := range g.Filters {
+			walk(f)
+		}
+	}
+	walkPat = func(p Pattern) {
+		collectPossibleVars(p, seen)
+		switch pat := p.(type) {
+		case *Group:
+			walkGroup(pat)
+		case *Optional:
+			walkGroup(pat.Pattern)
+		case *Union:
+			walkGroup(pat.Left)
+			walkGroup(pat.Right)
+		case *Minus:
+			walkGroup(pat.Pattern)
+		case *Bind:
+			walk(pat.Expr)
+		case *SubSelect:
+			if pat.Query != nil {
+				walkGroup(pat.Query.Where)
+				for _, item := range pat.Query.Projection {
+					if item.Expr != nil {
+						walk(item.Expr)
+					}
+				}
+				for _, h := range pat.Query.Having {
+					walk(h)
+				}
+			}
+		}
+	}
+	walk = func(e Expression) {
+		switch x := e.(type) {
+		case *VarExpr:
+			seen[x.Name] = true
+		case *BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *UnaryExpr:
+			walk(x.Expr)
+		case *FuncExpr:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *InExpr:
+			walk(x.Expr)
+			for _, a := range x.List {
+				walk(a)
+			}
+		case *AggExpr:
+			if x.Arg != nil {
+				walk(x.Arg)
+			}
+		case *ExistsExpr:
+			walkGroup(x.Pattern)
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	return out
 }
 
 func (ec *evalContext) evalPattern(p Pattern, seq []Solution) []Solution {
 	switch pat := p.(type) {
 	case *BGP:
-		for _, tp := range pat.Triples {
-			seq = ec.evalTriplePattern(tp, seq)
-			if len(seq) == 0 {
-				return nil
-			}
-		}
-		return seq
+		return ec.evalBGP(pat, seq)
 	case *Group:
 		return ec.evalGroup(pat, seq)
 	case *Optional:
@@ -224,24 +488,394 @@ func (ec *evalContext) applyFilter(f Expression, seq []Solution) []Solution {
 	return out
 }
 
-// evalTriplePattern extends each solution with matches of one pattern.
+// DisableJoinReorder turns off selectivity-based BGP join reordering and
+// evaluates triple patterns in their written order. The solution set is
+// identical either way; the knob exists for A/B benchmarks and for tests
+// that verify that equivalence.
+var DisableJoinReorder = false
+
+// orderBGP returns the BGP's triple patterns in a greedy join order:
+// repeatedly pick the pattern with the lowest estimated cardinality given
+// the variables bound so far, so selective patterns run first and each join
+// extends as few intermediate solutions as possible. The solution multiset
+// of a conjunctive BGP is invariant under join order, so results are
+// identical to the written order. Property-path patterns carry no index
+// statistics and evaluate last, keeping their relative order.
+func (ec *evalContext) orderBGP(tps []TriplePattern, seq []Solution) []TriplePattern {
+	if len(tps) < 2 || DisableJoinReorder {
+		return tps
+	}
+	// Variables bound in every input solution count as bound for estimation.
+	bound := varsBoundInAll(seq)
+	// Encode each pattern's constant positions once; the greedy rounds below
+	// then only consult the O(1) count tables and the bound-variable set.
+	type patInfo struct {
+		vars      [3]string // variable name per position, "" when constant
+		baseCount int       // CountID over the constant positions
+		isPath    bool
+	}
+	infos := make([]patInfo, len(tps))
+	for i, tp := range tps {
+		pi := patInfo{isPath: tp.Path != nil}
+		ids := [3]store.ID{store.NoID, store.NoID, store.NoID}
+		empty := false
+		for j, tv := range [3]TermOrVar{tp.S, tp.P, tp.O} {
+			if pi.isPath && j == 1 {
+				continue // path position: no predicate term
+			}
+			if tv.IsVar {
+				pi.vars[j] = tv.Var
+				continue
+			}
+			id, ok := ec.g.LookupID(tv.Term)
+			if !ok {
+				empty = true // constant absent from graph: pattern is empty
+				break
+			}
+			ids[j] = id
+		}
+		if !pi.isPath {
+			if empty {
+				pi.baseCount = 0
+			} else {
+				pi.baseCount = ec.g.CountID(ids[0], ids[1], ids[2])
+			}
+		}
+		infos[i] = pi
+	}
+	const pathCost = int(^uint(0) >> 1)
+	estimate := func(pi patInfo) int {
+		if pi.isPath {
+			// Paths carry no index statistics. A path whose endpoints are
+			// already bound is a near-constant reachability check and should
+			// run as soon as it can prune; with endpoints free it can
+			// enumerate large closures, so it goes last.
+			boundEnds := 0
+			if pi.vars[0] == "" || bound[pi.vars[0]] {
+				boundEnds++
+			}
+			if pi.vars[2] == "" || bound[pi.vars[2]] {
+				boundEnds++
+			}
+			switch boundEnds {
+			case 2:
+				return 8
+			case 1:
+				return 4096
+			default:
+				return pathCost
+			}
+		}
+		// Each position held by an already-bound variable shrinks the
+		// estimate: the join will probe with a concrete term even though we
+		// could not count it upfront.
+		est := pi.baseCount
+		for _, v := range pi.vars {
+			if v != "" && bound[v] && est > 1 {
+				est = est/8 + 1
+			}
+		}
+		return est
+	}
+	out := make([]TriplePattern, 0, len(tps))
+	used := make([]bool, len(tps))
+	for range tps {
+		best, bestEst := -1, 0
+		for i := range tps {
+			if used[i] {
+				continue
+			}
+			est := estimate(infos[i])
+			if best < 0 || est < bestEst {
+				best, bestEst = i, est
+			}
+		}
+		used[best] = true
+		out = append(out, tps[best])
+		for _, v := range infos[best].vars {
+			if v != "" {
+				bound[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// evalBGP evaluates a basic graph pattern: patterns are reordered by
+// estimated selectivity, then the maximal path-free prefix runs as a pure
+// ID-space pipeline (bindings are []store.ID rows — extending a row is a
+// small memcopy, with no term hashing and no map allocation), and only the
+// BGP's final rows are materialized back into Solutions. Path patterns and
+// anything ordered after them go through the per-pattern evaluator.
+func (ec *evalContext) evalBGP(bgp *BGP, seq []Solution) []Solution {
+	ordered := ec.orderBGP(bgp.Triples, seq)
+	prefix := 0
+	for prefix < len(ordered) && ordered[prefix].Path == nil {
+		prefix++
+	}
+	// The ID pipeline pays off from two joined patterns up; a single
+	// pattern (the common OPTIONAL / EXISTS body, re-entered per solution)
+	// is cheaper through the direct per-pattern evaluator.
+	if prefix > 1 && len(seq) > 0 {
+		seq = ec.evalBGPPrefix(ordered[:prefix], seq)
+	} else {
+		prefix = 0
+	}
+	for _, tp := range ordered[prefix:] {
+		if len(seq) == 0 {
+			return nil
+		}
+		seq = ec.evalTriplePattern(tp, seq)
+	}
+	return seq
+}
+
+// evalBGPPrefix joins a run of non-path triple patterns entirely on
+// dictionary IDs. Variables get dense slots; every intermediate binding is
+// a row of IDs. Each input Solution seeds one row, and each surviving row
+// clones its input Solution exactly once, at the end, with the new
+// variables decoded lazily.
+func (ec *evalContext) evalBGPPrefix(tps []TriplePattern, seq []Solution) []Solution {
+	g := ec.g
+	// Assign slots to the variables the patterns mention.
+	slots := make(map[string]int)
+	slotNames := make([]string, 0, 8)
+	slotOf := func(name string) int {
+		if i, ok := slots[name]; ok {
+			return i
+		}
+		i := len(slotNames)
+		slots[name] = i
+		slotNames = append(slotNames, name)
+		return i
+	}
+	// Encode each pattern: per position either a constant ID or a slot.
+	const constPos = -1
+	type patSpec struct {
+		ids  [3]store.ID // constant ID (slot == constPos), else unset
+		slot [3]int
+	}
+	specs := make([]patSpec, len(tps))
+	for i, tp := range tps {
+		for j, tv := range [3]TermOrVar{tp.S, tp.P, tp.O} {
+			if tv.IsVar {
+				specs[i].slot[j] = slotOf(tv.Var)
+				continue
+			}
+			specs[i].slot[j] = constPos
+			id, ok := g.LookupID(tv.Term)
+			if !ok {
+				return nil // constant term absent: no triple can match
+			}
+			specs[i].ids[j] = id
+		}
+	}
+	nSlots := len(slotNames)
+	type row struct {
+		src  int // index of the seeding input Solution
+		vals []store.ID
+	}
+	rows := make([]row, 0, len(seq))
+	for si, sol := range seq {
+		vals := make([]store.ID, nSlots)
+		ok := true
+		for name, slot := range slots {
+			vals[slot] = store.NoID
+			if t, bound := sol[name]; bound {
+				id, known := g.LookupID(t)
+				if !known {
+					ok = false // bound to a term no triple contains
+					break
+				}
+				vals[slot] = id
+			}
+		}
+		if ok {
+			rows = append(rows, row{src: si, vals: vals})
+		}
+	}
+	for _, spec := range specs {
+		if len(rows) == 0 {
+			return nil
+		}
+		next := rows[:0:0]
+		for _, r := range rows {
+			var probe [3]store.ID
+			for j := 0; j < 3; j++ {
+				if spec.slot[j] == constPos {
+					probe[j] = spec.ids[j]
+				} else {
+					probe[j] = r.vals[spec.slot[j]] // NoID when unbound
+				}
+			}
+			g.ForEachID(probe[0], probe[1], probe[2], func(s, p, o store.ID) bool {
+				match := [3]store.ID{s, p, o}
+				ext := r.vals
+				cloned := false
+				for j := 0; j < 3; j++ {
+					slot := spec.slot[j]
+					if slot == constPos || probe[j] != store.NoID {
+						continue // constant or pre-bound: index guaranteed it
+					}
+					if ext[slot] != store.NoID {
+						// Same variable matched earlier in this triple.
+						if ext[slot] != match[j] {
+							return true
+						}
+						continue
+					}
+					if !cloned {
+						ext = append([]store.ID(nil), ext...)
+						cloned = true
+					}
+					ext[slot] = match[j]
+				}
+				next = append(next, row{src: r.src, vals: ext})
+				return true
+			})
+		}
+		rows = next
+	}
+	out := make([]Solution, 0, len(rows))
+	for _, r := range rows {
+		sol := seq[r.src]
+		ext := sol
+		cloned := false
+		for slot, name := range slotNames {
+			if r.vals[slot] == store.NoID {
+				continue
+			}
+			if _, bound := sol[name]; bound {
+				continue
+			}
+			if !cloned {
+				ext = sol.clone()
+				cloned = true
+			}
+			ext[name] = g.TermOf(r.vals[slot])
+		}
+		out = append(out, ext)
+	}
+	return out
+}
+
+// quickExists answers EXISTS over a group consisting of a single non-path
+// triple pattern without materializing bindings: it probes the ID indexes
+// and stops at the first match. ok=false means the group is not of that
+// shape and the caller must fall back to full evaluation.
+func (ec *evalContext) quickExists(g *Group, sol Solution) (found, ok bool) {
+	if g == nil || len(g.Filters) != 0 || len(g.Patterns) != 1 {
+		return false, false
+	}
+	bgp, isBGP := g.Patterns[0].(*BGP)
+	if !isBGP || len(bgp.Triples) != 1 || bgp.Triples[0].Path != nil {
+		return false, false
+	}
+	tp := bgp.Triples[0]
+	ids := [3]store.ID{store.NoID, store.NoID, store.NoID}
+	var seenVars [3]string
+	for i, tv := range [3]TermOrVar{tp.S, tp.P, tp.O} {
+		term := tv.Term
+		if tv.IsVar {
+			t, bound := sol[tv.Var]
+			if !bound {
+				// Two unbound occurrences of one variable constrain each
+				// other; leave that shape to the full evaluator.
+				for j := 0; j < i; j++ {
+					if seenVars[j] == tv.Var {
+						return false, false
+					}
+				}
+				seenVars[i] = tv.Var
+				continue
+			}
+			term = t
+		}
+		id, known := ec.g.LookupID(term)
+		if !known {
+			return false, true // a term the graph has never seen: no match
+		}
+		ids[i] = id
+	}
+	ec.g.ForEachID(ids[0], ids[1], ids[2], func(_, _, _ store.ID) bool {
+		found = true
+		return false
+	})
+	return found, true
+}
+
+// evalTriplePattern extends each solution with matches of one pattern. The
+// match runs at dictionary-ID level: constants are encoded once per pattern,
+// solution-bound variables once per solution, and only the wildcard
+// positions of each matching triple are decoded back to terms.
 func (ec *evalContext) evalTriplePattern(tp TriplePattern, seq []Solution) []Solution {
 	var out []Solution
-	for _, sol := range seq {
-		if tp.Path != nil {
+	if tp.Path != nil {
+		for _, sol := range seq {
 			out = append(out, ec.evalPathPattern(tp, sol)...)
+		}
+		return out
+	}
+	g := ec.g
+	// Encode the constant positions once; a constant the dictionary has
+	// never seen matches nothing for any solution.
+	type posSpec struct {
+		id      store.ID // bound ID, or NoID when variable
+		varName string   // non-empty when variable
+	}
+	encode := func(tv TermOrVar) (posSpec, bool) {
+		if tv.IsVar {
+			return posSpec{id: store.NoID, varName: tv.Var}, true
+		}
+		id, ok := g.LookupID(tv.Term)
+		return posSpec{id: id}, ok
+	}
+	sSpec, ok := encode(tp.S)
+	if !ok {
+		return nil
+	}
+	pSpec, ok := encode(tp.P)
+	if !ok {
+		return nil
+	}
+	oSpec, ok := encode(tp.O)
+	if !ok {
+		return nil
+	}
+	// resolvePos folds the current solution in: a variable bound in sol
+	// becomes a concrete ID (ok=false when its term is not in the graph —
+	// the pattern then cannot match this solution).
+	resolvePos := func(ps posSpec, sol Solution) (store.ID, string, bool) {
+		if ps.varName == "" {
+			return ps.id, "", true
+		}
+		if t, bound := sol[ps.varName]; bound {
+			id, known := g.LookupID(t)
+			return id, "", known
+		}
+		return store.NoID, ps.varName, true
+	}
+	for _, sol := range seq {
+		sID, sVar, ok := resolvePos(sSpec, sol)
+		if !ok {
 			continue
 		}
-		s, sVar := resolve(tp.S, sol)
-		p, pVar := resolve(tp.P, sol)
-		o, oVar := resolve(tp.O, sol)
-		ec.g.ForEach(s, p, o, func(t rdf.Triple) bool {
+		pID, pVar, ok := resolvePos(pSpec, sol)
+		if !ok {
+			continue
+		}
+		oID, oVar, ok := resolvePos(oSpec, sol)
+		if !ok {
+			continue
+		}
+		g.ForEachID(sID, pID, oID, func(si, pi, oi store.ID) bool {
 			ext := sol
 			cloned := false
-			bind := func(name string, val rdf.Term) bool {
+			bind := func(name string, id store.ID) bool {
 				if name == "" {
 					return true
 				}
+				val := g.TermOf(id)
 				if cur, ok := ext[name]; ok {
 					return cur == val
 				}
@@ -252,7 +886,7 @@ func (ec *evalContext) evalTriplePattern(tp TriplePattern, seq []Solution) []Sol
 				ext[name] = val
 				return true
 			}
-			if bind(sVar, t.S) && bind(pVar, t.P) && bind(oVar, t.O) {
+			if bind(sVar, si) && bind(pVar, pi) && bind(oVar, oi) {
 				if !cloned {
 					ext = sol
 				}

@@ -14,7 +14,8 @@ import (
 // Solution is one query solution: a binding of variable names to terms.
 type Solution map[string]rdf.Term
 
-// clone copies a solution before extension.
+// clone copies a solution before extension. The extra headroom keeps the
+// insert that follows from growing (and rehashing) the fresh map.
 func (s Solution) clone() Solution {
 	out := make(Solution, len(s)+2)
 	for k, v := range s {
@@ -248,8 +249,13 @@ func (e *InExpr) Eval(ec *evalContext, sol Solution) (rdf.Term, error) {
 }
 
 // Eval of ExistsExpr runs the nested pattern seeded with the current
-// solution and tests for any result.
+// solution and tests for any result. Single-triple-pattern groups — the
+// common FILTER (NOT) EXISTS shape — short-circuit on the first index hit
+// instead of materializing every binding.
 func (e *ExistsExpr) Eval(ec *evalContext, sol Solution) (rdf.Term, error) {
+	if found, ok := ec.quickExists(e.Pattern, sol); ok {
+		return boolTerm(found != e.Negated), nil
+	}
 	res := ec.evalGroup(e.Pattern, []Solution{sol})
 	return boolTerm((len(res) > 0) != e.Negated), nil
 }

@@ -21,13 +21,13 @@ func (ec *evalContext) evalPathPattern(tp TriplePattern, sol Solution) []Solutio
 			out = append(out, sol)
 		}
 	case sVar == "" && oVar != "":
-		for _, t := range ec.pathForward(tp.Path, s) {
+		for _, t := range ec.pathForwardCached(tp.Path, s) {
 			ns := sol.clone()
 			ns[oVar] = t
 			out = append(out, ns)
 		}
 	case sVar != "" && oVar == "":
-		for _, t := range ec.pathBackward(tp.Path, o) {
+		for _, t := range ec.pathBackwardCached(tp.Path, o) {
 			ns := sol.clone()
 			ns[sVar] = t
 			out = append(out, ns)
@@ -35,7 +35,7 @@ func (ec *evalContext) evalPathPattern(tp TriplePattern, sol Solution) []Solutio
 	default:
 		// Both unbound: enumerate from all subject candidates.
 		for _, start := range ec.pathStartCandidates(tp.Path) {
-			for _, t := range ec.pathForward(tp.Path, start) {
+			for _, t := range ec.pathForwardCached(tp.Path, start) {
 				ns := sol.clone()
 				ns[sVar] = start
 				if sVar == oVar {
@@ -50,6 +50,35 @@ func (ec *evalContext) evalPathPattern(tp TriplePattern, sol Solution) []Solutio
 		}
 	}
 	return out
+}
+
+// pathForwardCached memoizes pathForward per (path, start) for the duration
+// of one query evaluation.
+func (ec *evalContext) pathForwardCached(p *Path, from rdf.Term) []rdf.Term {
+	k := pathTermKey{p, from}
+	if v, ok := ec.pathFwd[k]; ok {
+		return v
+	}
+	v := ec.pathForward(p, from)
+	if ec.pathFwd == nil {
+		ec.pathFwd = make(map[pathTermKey][]rdf.Term)
+	}
+	ec.pathFwd[k] = v
+	return v
+}
+
+// pathBackwardCached memoizes pathBackward per (path, end).
+func (ec *evalContext) pathBackwardCached(p *Path, to rdf.Term) []rdf.Term {
+	k := pathTermKey{p, to}
+	if v, ok := ec.pathBwd[k]; ok {
+		return v
+	}
+	v := ec.pathBackward(p, to)
+	if ec.pathBwd == nil {
+		ec.pathBwd = make(map[pathTermKey][]rdf.Term)
+	}
+	ec.pathBwd[k] = v
+	return v
 }
 
 // pathForward returns the set of nodes reachable from `from` via the path.
@@ -147,8 +176,97 @@ func (ec *evalContext) pathBackward(p *Path, to rdf.Term) []rdf.Term {
 }
 
 // closure performs BFS over single path steps. includeStart selects
-// zero-or-more semantics; backward reverses the step direction.
+// zero-or-more semantics; backward reverses the step direction. When the
+// step is built only from plain, inverted, or alternated predicates the
+// walk runs on dictionary IDs; composite steps fall back to term-level BFS.
 func (ec *evalContext) closure(step *Path, start rdf.Term, includeStart, backward bool) []rdf.Term {
+	if out, ok := ec.closureIDs(step, start, includeStart, backward); ok {
+		return out
+	}
+	return ec.closureTerms(step, start, includeStart, backward)
+}
+
+// closureIDs is the ID-level BFS: each frontier expansion probes the SPO /
+// POS indexes with uint32 keys and nothing is decoded until the closure is
+// complete. ok=false when the step contains sequence/optional/nested-closure
+// operators, which the flattening below does not model.
+func (ec *evalContext) closureIDs(step *Path, start rdf.Term, includeStart, backward bool) ([]rdf.Term, bool) {
+	var fwd, inv []store.ID
+	var flatten func(p *Path, inverted bool) bool
+	flatten = func(p *Path, inverted bool) bool {
+		switch p.Kind {
+		case PathIRI:
+			id, ok := ec.g.LookupID(p.IRI)
+			if !ok {
+				return true // predicate absent from graph: no edges
+			}
+			if inverted {
+				inv = append(inv, id)
+			} else {
+				fwd = append(fwd, id)
+			}
+			return true
+		case PathInverse:
+			return flatten(p.Kids[0], !inverted)
+		case PathAlt:
+			for _, kid := range p.Kids {
+				if !flatten(kid, inverted) {
+					return false
+				}
+			}
+			return true
+		default:
+			return false
+		}
+	}
+	if !flatten(step, backward) {
+		return nil, false
+	}
+	startID, known := ec.g.LookupID(start)
+	if !known {
+		if includeStart {
+			return []rdf.Term{start}, true
+		}
+		return nil, true
+	}
+	visited := make(map[store.ID]bool)
+	var reached []store.ID
+	if includeStart {
+		visited[startID] = true
+		reached = append(reached, startID)
+	}
+	frontier := []store.ID{startID}
+	for len(frontier) > 0 {
+		var next []store.ID
+		for _, node := range frontier {
+			expand := func(t store.ID) {
+				if !visited[t] {
+					visited[t] = true
+					reached = append(reached, t)
+					next = append(next, t)
+				}
+			}
+			for _, p := range fwd {
+				for _, t := range ec.g.ObjectsID(node, p) {
+					expand(t)
+				}
+			}
+			for _, p := range inv {
+				for _, t := range ec.g.SubjectsID(p, node) {
+					expand(t)
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]rdf.Term, len(reached))
+	for i, id := range reached {
+		out[i] = ec.g.TermOf(id)
+	}
+	return out, true
+}
+
+func (ec *evalContext) closureTerms(step *Path, start rdf.Term, includeStart, backward bool) []rdf.Term {
 	visited := make(map[rdf.Term]bool)
 	var out []rdf.Term
 	if includeStart {
@@ -185,7 +303,7 @@ func (ec *evalContext) closure(step *Path, start rdf.Term, includeStart, backwar
 
 // pathReaches tests whether `to` is reachable from `from` via the path.
 func (ec *evalContext) pathReaches(p *Path, from, to rdf.Term) bool {
-	for _, t := range ec.pathForward(p, from) {
+	for _, t := range ec.pathForwardCached(p, from) {
 		if t == to {
 			return true
 		}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/rdf"
 	"repro/internal/store"
 	"repro/internal/turtle"
 )
@@ -122,4 +123,25 @@ func loadEdges(g *store.Graph, nodes []string) error {
 		}
 	}
 	return turtle.ParseInto(g, sb.String())
+}
+
+// TestFilterPushdownNestedExists guards the filter-pushdown analysis: a
+// filter buried several groups deep inside EXISTS still references outer
+// variables, so the EXISTS must not run before those variables are bound.
+func TestFilterPushdownNestedExists(t *testing.T) {
+	g := store.New()
+	g.Namespaces().Bind("ex", "http://example.org/")
+	a := rdf.NewIRI("http://example.org/a")
+	b := rdf.NewIRI("http://example.org/b")
+	c := rdf.NewIRI("http://example.org/c")
+	g.Add(a, rdf.NewIRI("http://example.org/p"), b)
+	g.Add(b, rdf.NewIRI("http://example.org/q"), c)
+	res, err := Run(g, `PREFIX ex: <http://example.org/>
+		SELECT ?x WHERE { ?x ex:p ?y . FILTER EXISTS { { { ?z ex:q ?w . FILTER(?x = ?x) } } } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0]["x"] != a {
+		t.Fatalf("got %v, want one solution with x=%v", res.Solutions, a)
+	}
 }

@@ -214,8 +214,11 @@ func patternTriples(g *Group) []TriplePattern {
 // one operation, per the SPARQL Update semantics.
 func ExecuteUpdate(g *store.Graph, u *Update) (UpdateResult, error) {
 	var res UpdateResult
-	ec := &evalContext{g: g}
 	for _, op := range u.Operations {
+		// Fresh context per operation: evalContext memoizes path
+		// reachability under the assumption the graph does not change
+		// mid-evaluation, and earlier operations may have mutated it.
+		ec := &evalContext{g: g}
 		switch op.Kind {
 		case UpdateInsertData:
 			for _, tp := range op.Insert {

@@ -1,0 +1,50 @@
+package store
+
+import "repro/internal/rdf"
+
+// Bulk is a write path for loaders that emit runs of triples sharing a
+// subject or predicate (Turtle predicate/object lists, RDF/XML property
+// elements, generated datasets). It keeps the dictionary IDs of the last
+// subject and predicate seen, so a run of n triples about one subject
+// interns that subject once instead of n times.
+//
+// A Bulk wraps a Graph and follows the same concurrency contract: one
+// writer, no concurrent readers during writes.
+type Bulk struct {
+	g            *Graph
+	dict         *TermDict // dictionary the cached IDs belong to
+	lastS, lastP rdf.Term
+	sID, pID     ID
+	haveS, haveP bool
+}
+
+// Bulk returns a bulk writer for the graph.
+func (g *Graph) Bulk() *Bulk { return &Bulk{g: g, dict: g.dict} }
+
+// Add inserts the triple (s, p, o) with the same validation and return
+// value as Graph.Add.
+func (b *Bulk) Add(s, p, o rdf.Term) bool {
+	t := rdf.Triple{S: s, P: p, O: o}
+	if !t.Valid() {
+		return false
+	}
+	if b.dict != b.g.dict {
+		// Graph.Clear replaced the dictionary; cached IDs are meaningless.
+		b.dict = b.g.dict
+		b.haveS, b.haveP = false, false
+	}
+	if !b.haveS || b.lastS != s {
+		b.sID = b.g.dict.Intern(s)
+		b.lastS = s
+		b.haveS = true
+	}
+	if !b.haveP || b.lastP != p {
+		b.pID = b.g.dict.Intern(p)
+		b.lastP = p
+		b.haveP = true
+	}
+	return b.g.addIDs(b.sID, b.pID, b.g.dict.Intern(o))
+}
+
+// Graph returns the underlying graph.
+func (b *Bulk) Graph() *Graph { return b.g }

@@ -1,0 +1,79 @@
+package store
+
+import "repro/internal/rdf"
+
+// ID is a dense integer handle for a term interned in a TermDict. IDs are
+// assigned in first-seen order starting at 0 and are stable for the lifetime
+// of the dictionary: a term, once interned, keeps its ID forever.
+type ID uint32
+
+// NoID is the sentinel ID used for "absent": a wildcard position in an
+// ID-level pattern, or the result of encoding a term the dictionary has
+// never seen. No real term ever has this ID.
+const NoID = ^ID(0)
+
+// TermDict is an append-only interner mapping rdf.Term values to dense
+// integer IDs and back. It is the heart of the store's dictionary encoding:
+// the graph hashes each distinct term exactly once (on first insert) and all
+// index probes, joins, and rule firings afterwards operate on uint32 keys.
+//
+// Concurrency contract: the dictionary follows the same rule as Graph —
+// Intern may only be called while no other goroutine touches the dictionary,
+// while any number of concurrent readers (Lookup, Term, Len) are safe once
+// writers have quiesced. The typical lifecycle (load, reason, then query
+// from many goroutines) therefore needs no locking.
+type TermDict struct {
+	terms []rdf.Term
+	ids   map[rdf.Term]ID
+}
+
+// NewTermDict returns an empty dictionary.
+func NewTermDict() *TermDict {
+	return &TermDict{ids: make(map[rdf.Term]ID)}
+}
+
+// Intern returns the ID for t, assigning the next dense ID when t is new.
+func (d *TermDict) Intern(t rdf.Term) ID {
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	id := ID(len(d.terms))
+	d.terms = append(d.terms, t)
+	d.ids[t] = id
+	return id
+}
+
+// Lookup returns the ID for t without interning. ok is false when t has
+// never been interned; the returned ID is then NoID.
+func (d *TermDict) Lookup(t rdf.Term) (ID, bool) {
+	if id, ok := d.ids[t]; ok {
+		return id, true
+	}
+	return NoID, false
+}
+
+// Term decodes an ID back to its term. Decoding is a slice index — no
+// allocation, no hashing — which is what makes the store's decode-lazily
+// read path cheap. Passing an ID the dictionary never issued panics.
+func (d *TermDict) Term(id ID) rdf.Term { return d.terms[id] }
+
+// Kind returns the TermKind of the term behind id without copying the
+// term's strings out of the dictionary.
+func (d *TermDict) Kind(id ID) rdf.TermKind { return d.terms[id].Kind }
+
+// Len returns the number of interned terms.
+func (d *TermDict) Len() int { return len(d.terms) }
+
+// Clone returns an independent copy of the dictionary. IDs are preserved:
+// every term interned in d has the same ID in the clone.
+func (d *TermDict) Clone() *TermDict {
+	out := &TermDict{
+		terms: make([]rdf.Term, len(d.terms)),
+		ids:   make(map[rdf.Term]ID, len(d.ids)),
+	}
+	copy(out.terms, d.terms)
+	for t, id := range d.ids {
+		out.ids[t] = id
+	}
+	return out
+}

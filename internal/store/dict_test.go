@@ -1,0 +1,276 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestTermDictRoundTrip(t *testing.T) {
+	d := NewTermDict()
+	terms := []rdf.Term{
+		rdf.NewIRI("http://example.org/a"),
+		rdf.NewBlank("b0"),
+		rdf.NewLiteral("plain"),
+		rdf.NewTypedLiteral("42", rdf.XSDInteger),
+		rdf.NewLangLiteral("chou-fleur", "fr"),
+	}
+	ids := make([]ID, len(terms))
+	for i, term := range terms {
+		ids[i] = d.Intern(term)
+		if i > 0 && ids[i] == ids[i-1] {
+			t.Fatalf("distinct terms %v and %v share ID %d", terms[i-1], terms[i], ids[i])
+		}
+	}
+	if d.Len() != len(terms) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(terms))
+	}
+	for i, term := range terms {
+		if got := d.Term(ids[i]); got != term {
+			t.Errorf("Term(%d) = %v, want %v", ids[i], got, term)
+		}
+		if id, ok := d.Lookup(term); !ok || id != ids[i] {
+			t.Errorf("Lookup(%v) = (%d, %v), want (%d, true)", term, id, ok, ids[i])
+		}
+		if d.Intern(term) != ids[i] {
+			t.Errorf("re-Intern(%v) changed the ID", term)
+		}
+		if got, want := d.Kind(ids[i]), term.Kind; got != want {
+			t.Errorf("Kind(%d) = %v, want %v", ids[i], got, want)
+		}
+	}
+	if id, ok := d.Lookup(rdf.NewIRI("http://example.org/never")); ok || id != NoID {
+		t.Errorf("Lookup of unseen term = (%d, %v), want (NoID, false)", id, ok)
+	}
+}
+
+// TestTermDictConcurrentReaders exercises the documented contract under the
+// race detector: once writers quiesce, any number of goroutines may Lookup
+// and decode concurrently.
+func TestTermDictConcurrentReaders(t *testing.T) {
+	d := NewTermDict()
+	const n = 500
+	terms := make([]rdf.Term, n)
+	for i := range terms {
+		terms[i] = rdf.NewIRI(fmt.Sprintf("http://example.org/t%d", i))
+		d.Intern(terms[i])
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				k := (i + seed) % n
+				id, ok := d.Lookup(terms[k])
+				if !ok {
+					t.Errorf("Lookup(%v) failed", terms[k])
+					return
+				}
+				if got := d.Term(id); got != terms[k] {
+					t.Errorf("Term(%d) = %v, want %v", id, got, terms[k])
+					return
+				}
+			}
+		}(w * 37)
+	}
+	wg.Wait()
+}
+
+func TestGraphIDsStableAcrossClone(t *testing.T) {
+	g := New()
+	a := rdf.NewIRI("http://example.org/a")
+	p := rdf.NewIRI("http://example.org/p")
+	b := rdf.NewIRI("http://example.org/b")
+	g.Add(a, p, b)
+	g.Add(b, p, a)
+	clone := g.Clone()
+	for _, term := range []rdf.Term{a, p, b} {
+		origID, ok1 := g.LookupID(term)
+		cloneID, ok2 := clone.LookupID(term)
+		if !ok1 || !ok2 || origID != cloneID {
+			t.Errorf("ID of %v changed across Clone: (%d,%v) vs (%d,%v)", term, origID, ok1, cloneID, ok2)
+		}
+	}
+	// Writes to the clone must not leak into the original.
+	c := rdf.NewIRI("http://example.org/c")
+	clone.Add(a, p, c)
+	if g.Has(a, p, c) {
+		t.Error("clone write visible in original graph")
+	}
+	if _, ok := g.LookupID(c); ok {
+		t.Error("clone intern visible in original dictionary")
+	}
+}
+
+func TestGraphIDsStableAcrossMerge(t *testing.T) {
+	g := New()
+	a := rdf.NewIRI("http://example.org/a")
+	p := rdf.NewIRI("http://example.org/p")
+	b := rdf.NewIRI("http://example.org/b")
+	g.Add(a, p, b)
+	beforeA, _ := g.LookupID(a)
+	beforeP, _ := g.LookupID(p)
+
+	other := New()
+	c := rdf.NewIRI("http://example.org/c")
+	other.Add(c, p, a) // shares p and a, brings new c
+	if added := g.Merge(other); added != 1 {
+		t.Fatalf("Merge added %d, want 1", added)
+	}
+	afterA, _ := g.LookupID(a)
+	afterP, _ := g.LookupID(p)
+	if beforeA != afterA || beforeP != afterP {
+		t.Errorf("existing IDs changed across Merge: a %d→%d, p %d→%d", beforeA, afterA, beforeP, afterP)
+	}
+	if !g.Has(c, p, a) {
+		t.Error("merged triple missing")
+	}
+	// The merged graph must answer by its own dictionary, not other's.
+	cID, ok := g.LookupID(c)
+	if !ok {
+		t.Fatal("merged term not interned")
+	}
+	if g.TermOf(cID) != c {
+		t.Errorf("TermOf(%d) = %v, want %v", cID, g.TermOf(cID), c)
+	}
+}
+
+func TestCountExistsFastPaths(t *testing.T) {
+	g := New()
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://example.org/" + s) }
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			g.Add(iri(fmt.Sprintf("s%d", i)), iri(fmt.Sprintf("p%d", j)), iri(fmt.Sprintf("o%d", (i+j)%5)))
+		}
+	}
+	w := Wildcard
+	patterns := [][3]rdf.Term{
+		{iri("s0"), iri("p0"), iri("o0")},
+		{iri("s0"), iri("p1"), w},
+		{iri("s0"), w, iri("o1")},
+		{w, iri("p2"), iri("o2")},
+		{iri("s1"), w, w},
+		{w, iri("p1"), w},
+		{w, w, iri("o3")},
+		{w, w, w},
+		{iri("nope"), w, w},
+	}
+	for _, pat := range patterns {
+		want := 0
+		g.ForEach(pat[0], pat[1], pat[2], func(rdf.Triple) bool { want++; return true })
+		if got := g.Count(pat[0], pat[1], pat[2]); got != want {
+			t.Errorf("Count(%v) = %d, want %d", pat, got, want)
+		}
+		if got := g.Exists(pat[0], pat[1], pat[2]); got != (want > 0) {
+			t.Errorf("Exists(%v) = %v, want %v", pat, got, want > 0)
+		}
+	}
+	// Counts stay correct through removals.
+	g.Remove(iri("s0"), iri("p0"), iri("o0"))
+	if got := g.Count(iri("s0"), w, w); got != 2 {
+		t.Errorf("Count(s0,*,*) after remove = %d, want 2", got)
+	}
+	if got := g.Count(w, iri("p0"), w); got != 3 {
+		t.Errorf("Count(*,p0,*) after remove = %d, want 3", got)
+	}
+}
+
+func TestFirstObjectMinScan(t *testing.T) {
+	g := New()
+	s := rdf.NewIRI("http://example.org/s")
+	p := rdf.NewIRI("http://example.org/p")
+	objs := []rdf.Term{
+		rdf.NewIRI("http://example.org/zz"),
+		rdf.NewIRI("http://example.org/aa"),
+		rdf.NewIRI("http://example.org/mm"),
+		rdf.NewLiteral("lit"),
+		rdf.NewBlank("bn"),
+	}
+	for _, o := range objs {
+		g.Add(s, p, o)
+	}
+	want := g.Objects(s, p)[0] // Objects sorts per rdf.Compare
+	if got := g.FirstObject(s, p); got != want {
+		t.Errorf("FirstObject = %v, want smallest %v", got, want)
+	}
+	if got := g.FirstObject(s, rdf.NewIRI("http://example.org/absent")); got.IsValid() {
+		t.Errorf("FirstObject of absent pattern = %v, want zero Term", got)
+	}
+}
+
+func TestBulkAddMatchesGraphAdd(t *testing.T) {
+	reference := New()
+	bulkG := New()
+	bulk := bulkG.Bulk()
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://example.org/" + s) }
+	triples := []rdf.Triple{
+		{S: iri("s"), P: iri("p"), O: iri("a")},
+		{S: iri("s"), P: iri("p"), O: iri("b")}, // same subject+predicate run
+		{S: iri("s"), P: iri("q"), O: rdf.NewLiteral("x")},
+		{S: iri("t"), P: iri("p"), O: iri("a")},
+		{S: iri("s"), P: iri("p"), O: iri("a")}, // duplicate
+	}
+	for _, tr := range triples {
+		if got, want := bulk.Add(tr.S, tr.P, tr.O), reference.AddTriple(tr); got != want {
+			t.Errorf("Bulk.Add(%v) = %v, Graph.Add = %v", tr, got, want)
+		}
+	}
+	if bulk.Add(rdf.NewLiteral("bad"), iri("p"), iri("a")) {
+		t.Error("Bulk.Add accepted a literal subject")
+	}
+	if !reference.Equal(bulkG) {
+		t.Error("bulk-loaded graph differs from reference graph")
+	}
+}
+
+// TestBulkSurvivesClear: Graph.Clear replaces the dictionary; a Bulk writer
+// created beforehand must not feed its stale cached IDs into the new one.
+func TestBulkSurvivesClear(t *testing.T) {
+	g := New()
+	b := g.Bulk()
+	s := rdf.NewIRI("http://example.org/s")
+	p := rdf.NewIRI("http://example.org/p")
+	b.Add(s, p, rdf.NewIRI("http://example.org/o1"))
+	g.Clear()
+	if !b.Add(s, p, rdf.NewIRI("http://example.org/o2")) {
+		t.Fatal("Bulk.Add failed after Clear")
+	}
+	ts := g.Triples() // panics or decodes garbage if stale IDs leaked
+	if len(ts) != 1 || ts[0].S != s || ts[0].P != p {
+		t.Fatalf("post-Clear bulk add produced %v", ts)
+	}
+}
+
+func TestForEachIDAndAddID(t *testing.T) {
+	g := New()
+	s := rdf.NewIRI("http://example.org/s")
+	p := rdf.NewIRI("http://example.org/p")
+	o := rdf.NewLiteral("v")
+	sID, pID, oID := g.InternTerm(s), g.InternTerm(p), g.InternTerm(o)
+	if !g.AddID(sID, pID, oID) {
+		t.Fatal("AddID rejected a valid triple")
+	}
+	if g.AddID(sID, pID, oID) {
+		t.Error("AddID re-added an existing triple")
+	}
+	if g.AddID(oID, pID, sID) {
+		t.Error("AddID accepted a literal subject")
+	}
+	if !g.Has(s, p, o) {
+		t.Error("triple added by ID invisible to Term API")
+	}
+	n := 0
+	g.ForEachID(NoID, pID, NoID, func(si, pi, oi ID) bool {
+		if si != sID || pi != pID || oi != oID {
+			t.Errorf("ForEachID yielded (%d,%d,%d), want (%d,%d,%d)", si, pi, oi, sID, pID, oID)
+		}
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Errorf("ForEachID matched %d triples, want 1", n)
+	}
+}

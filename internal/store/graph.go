@@ -1,15 +1,34 @@
 // Package store provides an in-memory indexed RDF graph.
 //
-// Graph maintains three permutation indexes (SPO, POS, OSP) so that every
-// triple-pattern shape — any combination of bound and wildcard positions —
-// is answered by at most one nested-map walk without scanning unrelated
-// triples. This is the same access-path design used by in-memory models in
-// Jena and RDF4J and is what both the OWL RL reasoner and the SPARQL
-// evaluator in this repository are built on.
+// # Dictionary encoding
+//
+// The store is dictionary-encoded: a TermDict interns every distinct
+// rdf.Term into a dense uint32 ID (append-only, first-seen order), and the
+// three permutation indexes (SPO, POS, OSP) are nested map[ID] structures.
+// Terms are encoded exactly once, on write; every probe, join, and
+// iteration afterwards hashes 4-byte integers instead of 4-field structs
+// holding up to three IRI strings. This is the standard access-path design
+// of serious RDF engines (Jena TDB, RDF4J, Virtuoso) and is what makes the
+// OWL RL reasoner's rule joins and the SPARQL evaluator's BGP joins cheap.
+//
+// Reads decode lazily: the Term-based API (ForEach, Match, Objects, …)
+// materializes rdf.Term values only for the positions a caller actually
+// receives, via a slice index into the dictionary — no allocation and no
+// hashing on the read path. Hot consumers (the reasoner and the SPARQL
+// evaluator) opt into the ID-level API (LookupID, ForEachID, CountID, …)
+// and defer decoding until results leave the engine.
+//
+// The three permutation indexes answer every triple-pattern shape — any
+// combination of bound and wildcard positions — by at most one nested-map
+// walk without scanning unrelated triples.
+//
+// # Concurrency
 //
 // A Graph is not safe for concurrent mutation. Concurrent readers are safe
 // provided no writer is active; the typical lifecycle (load, reason, then
-// query from many goroutines) needs no locking.
+// query from many goroutines) needs no locking. The dictionary follows the
+// same contract and is append-only, so IDs observed by readers never change
+// meaning.
 package store
 
 import (
@@ -21,26 +40,39 @@ import (
 // Wildcard is the zero rdf.Term; in pattern positions it matches any term.
 var Wildcard = rdf.Term{}
 
-type termSet map[rdf.Term]struct{}
+type idSet map[ID]struct{}
 
-type index map[rdf.Term]map[rdf.Term]termSet
+type index map[ID]map[ID]idSet
 
-// Graph is a set of RDF triples with full permutation indexing.
+// Graph is a set of RDF triples with full permutation indexing over
+// dictionary-encoded term IDs.
 type Graph struct {
-	spo index
-	pos index
-	osp index
-	n   int
-	ns  *rdf.Namespaces
+	dict *TermDict
+	spo  index
+	pos  index
+	osp  index
+	// Per-position triple counts (subjN[s] = triples with subject s, …),
+	// maintained on every add/remove so CountID answers any singly-bound
+	// pattern in O(1). The SPARQL planner's selectivity estimates probe
+	// these on every BGP, so they must not require an index walk.
+	subjN map[ID]int
+	predN map[ID]int
+	objN  map[ID]int
+	n     int
+	ns    *rdf.Namespaces
 }
 
 // New returns an empty graph with the repository's standard namespaces bound.
 func New() *Graph {
 	return &Graph{
-		spo: make(index),
-		pos: make(index),
-		osp: make(index),
-		ns:  rdf.StandardNamespaces(),
+		dict:  NewTermDict(),
+		spo:   make(index),
+		pos:   make(index),
+		osp:   make(index),
+		subjN: make(map[ID]int),
+		predN: make(map[ID]int),
+		objN:  make(map[ID]int),
+		ns:    rdf.StandardNamespaces(),
 	}
 }
 
@@ -51,6 +83,207 @@ func (g *Graph) Namespaces() *rdf.Namespaces { return g.ns }
 // Len returns the number of triples in the graph.
 func (g *Graph) Len() int { return g.n }
 
+// ---- ID-level API (hot-path opt-ins) ----
+
+// Dict exposes the graph's term dictionary. It is append-only; callers must
+// follow the store's concurrency contract.
+func (g *Graph) Dict() *TermDict { return g.dict }
+
+// LookupID encodes a term without interning it. A term the graph has never
+// stored returns (NoID, false) — by construction no triple can match it.
+func (g *Graph) LookupID(t rdf.Term) (ID, bool) { return g.dict.Lookup(t) }
+
+// InternTerm encodes a term, assigning a fresh ID when new. Invalid (zero)
+// terms are not interned and return NoID.
+func (g *Graph) InternTerm(t rdf.Term) ID {
+	if !t.IsValid() {
+		return NoID
+	}
+	return g.dict.Intern(t)
+}
+
+// TermOf decodes an ID previously issued by this graph's dictionary.
+func (g *Graph) TermOf(id ID) rdf.Term { return g.dict.Term(id) }
+
+// KindOf returns the term kind behind id without copying the term.
+func (g *Graph) KindOf(id ID) rdf.TermKind { return g.dict.Kind(id) }
+
+// IsResourceID reports whether id decodes to an IRI or blank node — the
+// positions allowed as triple subjects and the guard many OWL rules need.
+func (g *Graph) IsResourceID(id ID) bool {
+	k := g.dict.Kind(id)
+	return k == rdf.KindIRI || k == rdf.KindBlank
+}
+
+// HasID reports whether the exact triple (s, p, o) is present, by ID.
+// NoID in any position returns false (use ForEachID for patterns).
+func (g *Graph) HasID(s, p, o ID) bool {
+	_, ok := g.spo[s][p][o]
+	return ok
+}
+
+// AddID inserts the triple (s, p, o) given already-interned IDs; it reports
+// whether the triple was new. Kind constraints (subject resource, predicate
+// IRI) are enforced against the dictionary.
+func (g *Graph) AddID(s, p, o ID) bool {
+	if s == NoID || p == NoID || o == NoID {
+		return false
+	}
+	if !g.IsResourceID(s) || g.dict.Kind(p) != rdf.KindIRI {
+		return false
+	}
+	return g.addIDs(s, p, o)
+}
+
+func (g *Graph) addIDs(s, p, o ID) bool {
+	if !indexAdd(g.spo, s, p, o) {
+		return false
+	}
+	indexAdd(g.pos, p, o, s)
+	indexAdd(g.osp, o, s, p)
+	g.subjN[s]++
+	g.predN[p]++
+	g.objN[o]++
+	g.n++
+	return true
+}
+
+// ForEachID calls fn for every ID triple matching the pattern (s, p, o),
+// where NoID matches anything. Iteration stops early when fn returns false.
+// The callback must not mutate the graph.
+func (g *Graph) ForEachID(s, p, o ID, fn func(s, p, o ID) bool) {
+	sB, pB, oB := s != NoID, p != NoID, o != NoID
+	switch {
+	case sB && pB && oB:
+		if g.HasID(s, p, o) {
+			fn(s, p, o)
+		}
+	case sB && pB: // (s, p, ?) — SPO
+		for obj := range g.spo[s][p] {
+			if !fn(s, p, obj) {
+				return
+			}
+		}
+	case sB && oB: // (s, ?, o) — OSP
+		for pred := range g.osp[o][s] {
+			if !fn(s, pred, o) {
+				return
+			}
+		}
+	case pB && oB: // (?, p, o) — POS
+		for subj := range g.pos[p][o] {
+			if !fn(subj, p, o) {
+				return
+			}
+		}
+	case sB: // (s, ?, ?) — SPO
+		for pred, objs := range g.spo[s] {
+			for obj := range objs {
+				if !fn(s, pred, obj) {
+					return
+				}
+			}
+		}
+	case pB: // (?, p, ?) — POS
+		for obj, subjs := range g.pos[p] {
+			for subj := range subjs {
+				if !fn(subj, p, obj) {
+					return
+				}
+			}
+		}
+	case oB: // (?, ?, o) — OSP
+		for subj, preds := range g.osp[o] {
+			for pred := range preds {
+				if !fn(subj, pred, o) {
+					return
+				}
+			}
+		}
+	default: // full scan
+		for subj, m1 := range g.spo {
+			for pred, objs := range m1 {
+				for obj := range objs {
+					if !fn(subj, pred, obj) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// CountID returns the number of triples matching the ID pattern without
+// iterating them: fully and doubly bound shapes are a single len() of the
+// underlying index level; singly bound shapes sum one index level.
+func (g *Graph) CountID(s, p, o ID) int {
+	sB, pB, oB := s != NoID, p != NoID, o != NoID
+	switch {
+	case sB && pB && oB:
+		if g.HasID(s, p, o) {
+			return 1
+		}
+		return 0
+	case sB && pB:
+		return len(g.spo[s][p])
+	case sB && oB:
+		return len(g.osp[o][s])
+	case pB && oB:
+		return len(g.pos[p][o])
+	case sB:
+		return g.subjN[s]
+	case pB:
+		return g.predN[p]
+	case oB:
+		return g.objN[o]
+	default:
+		return g.n
+	}
+}
+
+// ObjectsID returns the object IDs of triples (s, p, *) in index order
+// (unsorted). The reasoner's rule joins use this to avoid the term decode
+// and sort that Objects pays for.
+func (g *Graph) ObjectsID(s, p ID) []ID {
+	objs := g.spo[s][p]
+	if len(objs) == 0 {
+		return nil
+	}
+	out := make([]ID, 0, len(objs))
+	for o := range objs {
+		out = append(out, o)
+	}
+	return out
+}
+
+// SubjectsID returns the subject IDs of triples (*, p, o), unsorted.
+func (g *Graph) SubjectsID(p, o ID) []ID {
+	subjs := g.pos[p][o]
+	if len(subjs) == 0 {
+		return nil
+	}
+	out := make([]ID, 0, len(subjs))
+	for s := range subjs {
+		out = append(out, s)
+	}
+	return out
+}
+
+// FirstObjectID returns one object ID of (s, p, *), or NoID if none. When
+// several objects exist the smallest decoded term (per rdf.Compare) wins, so
+// results are deterministic and agree with FirstObject.
+func (g *Graph) FirstObjectID(s, p ID) ID {
+	best := NoID
+	for o := range g.spo[s][p] {
+		if best == NoID || rdf.Compare(g.dict.Term(o), g.dict.Term(best)) < 0 {
+			best = o
+		}
+	}
+	return best
+}
+
+// ---- Term-level API (encode on write, decode lazily on read) ----
+
 // Add inserts the triple (s, p, o); it reports whether the triple was new.
 // Invalid triples (per rdf.Triple.Valid) are rejected and return false.
 func (g *Graph) Add(s, p, o rdf.Term) bool {
@@ -58,13 +291,7 @@ func (g *Graph) Add(s, p, o rdf.Term) bool {
 	if !t.Valid() {
 		return false
 	}
-	if !indexAdd(g.spo, s, p, o) {
-		return false
-	}
-	indexAdd(g.pos, p, o, s)
-	indexAdd(g.osp, o, s, p)
-	g.n++
-	return true
+	return g.addIDs(g.dict.Intern(s), g.dict.Intern(p), g.dict.Intern(o))
 }
 
 // AddTriple inserts t; it reports whether the triple was new.
@@ -82,40 +309,67 @@ func (g *Graph) AddAll(ts []rdf.Triple) int {
 }
 
 // Remove deletes the triple (s, p, o); it reports whether it was present.
+// The terms stay interned: IDs are never reused or reassigned.
 func (g *Graph) Remove(s, p, o rdf.Term) bool {
-	if !indexRemove(g.spo, s, p, o) {
+	sID, ok := g.dict.Lookup(s)
+	if !ok {
 		return false
 	}
-	indexRemove(g.pos, p, o, s)
-	indexRemove(g.osp, o, s, p)
+	pID, ok := g.dict.Lookup(p)
+	if !ok {
+		return false
+	}
+	oID, ok := g.dict.Lookup(o)
+	if !ok {
+		return false
+	}
+	if !indexRemove(g.spo, sID, pID, oID) {
+		return false
+	}
+	indexRemove(g.pos, pID, oID, sID)
+	indexRemove(g.osp, oID, sID, pID)
+	decCount(g.subjN, sID)
+	decCount(g.predN, pID)
+	decCount(g.objN, oID)
 	g.n--
 	return true
+}
+
+func decCount(m map[ID]int, id ID) {
+	if m[id] <= 1 {
+		delete(m, id)
+	} else {
+		m[id]--
+	}
 }
 
 // Has reports whether the exact triple (s, p, o) is present. Wildcards are
 // not interpreted; use Exists for pattern queries.
 func (g *Graph) Has(s, p, o rdf.Term) bool {
-	m1, ok := g.spo[s]
+	sID, ok := g.dict.Lookup(s)
 	if !ok {
 		return false
 	}
-	m2, ok := m1[p]
+	pID, ok := g.dict.Lookup(p)
 	if !ok {
 		return false
 	}
-	_, ok = m2[o]
-	return ok
+	oID, ok := g.dict.Lookup(o)
+	if !ok {
+		return false
+	}
+	return g.HasID(sID, pID, oID)
 }
 
-func indexAdd(idx index, a, b, c rdf.Term) bool {
+func indexAdd(idx index, a, b, c ID) bool {
 	m1, ok := idx[a]
 	if !ok {
-		m1 = make(map[rdf.Term]termSet)
+		m1 = make(map[ID]idSet)
 		idx[a] = m1
 	}
 	m2, ok := m1[b]
 	if !ok {
-		m2 = make(termSet)
+		m2 = make(idSet)
 		m1[b] = m2
 	}
 	if _, ok := m2[c]; ok {
@@ -125,7 +379,7 @@ func indexAdd(idx index, a, b, c rdf.Term) bool {
 	return true
 }
 
-func indexRemove(idx index, a, b, c rdf.Term) bool {
+func indexRemove(idx index, a, b, c ID) bool {
 	m1, ok := idx[a]
 	if !ok {
 		return false
@@ -147,69 +401,47 @@ func indexRemove(idx index, a, b, c rdf.Term) bool {
 	return true
 }
 
+// encodePattern maps a Term pattern position to an ID pattern position:
+// wildcard terms become NoID, known terms their ID. ok is false when the
+// term is bound but unknown to the dictionary — no triple can match.
+func (g *Graph) encodePattern(t rdf.Term) (ID, bool) {
+	if !t.IsValid() {
+		return NoID, true
+	}
+	id, ok := g.dict.Lookup(t)
+	return id, ok
+}
+
 // ForEach calls fn for every triple matching the pattern (s, p, o), where
 // the zero Term (Wildcard) matches anything. Iteration stops early when fn
 // returns false. The callback must not mutate the graph.
 func (g *Graph) ForEach(s, p, o rdf.Term, fn func(rdf.Triple) bool) {
-	sB, pB, oB := s.IsValid(), p.IsValid(), o.IsValid()
-	switch {
-	case sB && pB && oB:
-		if g.Has(s, p, o) {
-			fn(rdf.Triple{S: s, P: p, O: o})
-		}
-	case sB && pB: // (s, p, ?) — SPO
-		for obj := range g.spo[s][p] {
-			if !fn(rdf.Triple{S: s, P: p, O: obj}) {
-				return
-			}
-		}
-	case sB && oB: // (s, ?, o) — OSP
-		for pred := range g.osp[o][s] {
-			if !fn(rdf.Triple{S: s, P: pred, O: o}) {
-				return
-			}
-		}
-	case pB && oB: // (?, p, o) — POS
-		for subj := range g.pos[p][o] {
-			if !fn(rdf.Triple{S: subj, P: p, O: o}) {
-				return
-			}
-		}
-	case sB: // (s, ?, ?) — SPO
-		for pred, objs := range g.spo[s] {
-			for obj := range objs {
-				if !fn(rdf.Triple{S: s, P: pred, O: obj}) {
-					return
-				}
-			}
-		}
-	case pB: // (?, p, ?) — POS
-		for obj, subjs := range g.pos[p] {
-			for subj := range subjs {
-				if !fn(rdf.Triple{S: subj, P: p, O: obj}) {
-					return
-				}
-			}
-		}
-	case oB: // (?, ?, o) — OSP
-		for subj, preds := range g.osp[o] {
-			for pred := range preds {
-				if !fn(rdf.Triple{S: subj, P: pred, O: o}) {
-					return
-				}
-			}
-		}
-	default: // full scan
-		for subj, m1 := range g.spo {
-			for pred, objs := range m1 {
-				for obj := range objs {
-					if !fn(rdf.Triple{S: subj, P: pred, O: obj}) {
-						return
-					}
-				}
-			}
-		}
+	sID, ok := g.encodePattern(s)
+	if !ok {
+		return
 	}
+	pID, ok := g.encodePattern(p)
+	if !ok {
+		return
+	}
+	oID, ok := g.encodePattern(o)
+	if !ok {
+		return
+	}
+	g.ForEachID(sID, pID, oID, func(si, pi, oi ID) bool {
+		// Reuse the caller's bound terms; decode only wildcard positions.
+		t := rdf.Triple{S: s, P: p, O: o}
+		if sID == NoID {
+			t.S = g.dict.Term(si)
+		}
+		if pID == NoID {
+			t.P = g.dict.Term(pi)
+		}
+		if oID == NoID {
+			t.O = g.dict.Term(oi)
+		}
+		return fn(t)
+	})
 }
 
 // Match returns all triples matching the pattern, in unspecified order.
@@ -222,69 +454,129 @@ func (g *Graph) Match(s, p, o rdf.Term) []rdf.Triple {
 	return out
 }
 
-// Exists reports whether any triple matches the pattern.
+// Exists reports whether any triple matches the pattern. Like Count, it
+// answers from index-level sizes without iterating triples.
 func (g *Graph) Exists(s, p, o rdf.Term) bool {
-	found := false
-	g.ForEach(s, p, o, func(rdf.Triple) bool {
-		found = true
+	sID, ok := g.encodePattern(s)
+	if !ok {
 		return false
-	})
-	return found
+	}
+	pID, ok := g.encodePattern(p)
+	if !ok {
+		return false
+	}
+	oID, ok := g.encodePattern(o)
+	if !ok {
+		return false
+	}
+	sB, pB, oB := sID != NoID, pID != NoID, oID != NoID
+	switch {
+	case sB && pB && oB:
+		return g.HasID(sID, pID, oID)
+	case sB && pB:
+		return len(g.spo[sID][pID]) > 0
+	case sB && oB:
+		return len(g.osp[oID][sID]) > 0
+	case pB && oB:
+		return len(g.pos[pID][oID]) > 0
+	case sB:
+		return len(g.spo[sID]) > 0
+	case pB:
+		return len(g.pos[pID]) > 0
+	case oB:
+		return len(g.osp[oID]) > 0
+	default:
+		return g.n > 0
+	}
 }
 
 // Count returns the number of triples matching the pattern without
-// materializing them.
+// materializing or iterating them (a len() of the right index level).
 func (g *Graph) Count(s, p, o rdf.Term) int {
-	n := 0
-	g.ForEach(s, p, o, func(rdf.Triple) bool {
-		n++
-		return true
-	})
-	return n
+	sID, ok := g.encodePattern(s)
+	if !ok {
+		return 0
+	}
+	pID, ok := g.encodePattern(p)
+	if !ok {
+		return 0
+	}
+	oID, ok := g.encodePattern(o)
+	if !ok {
+		return 0
+	}
+	return g.CountID(sID, pID, oID)
 }
 
-// Objects returns the distinct objects of triples (s, p, *).
-func (g *Graph) Objects(s, p rdf.Term) []rdf.Term {
-	objs := g.spo[s][p]
-	out := make([]rdf.Term, 0, len(objs))
-	for o := range objs {
-		out = append(out, o)
+// decodeSorted decodes an ID set to terms sorted per rdf.Compare.
+func (g *Graph) decodeSorted(set idSet) []rdf.Term {
+	out := make([]rdf.Term, 0, len(set))
+	for id := range set {
+		out = append(out, g.dict.Term(id))
 	}
 	sortTerms(out)
 	return out
+}
+
+// Objects returns the distinct objects of triples (s, p, *), sorted.
+func (g *Graph) Objects(s, p rdf.Term) []rdf.Term {
+	sID, ok := g.dict.Lookup(s)
+	if !ok {
+		return nil
+	}
+	pID, ok := g.dict.Lookup(p)
+	if !ok {
+		return nil
+	}
+	return g.decodeSorted(g.spo[sID][pID])
 }
 
 // FirstObject returns one object of (s, p, *), or the zero Term if none.
 // When several objects exist the smallest (per rdf.Compare) is returned so
-// results are deterministic.
+// results are deterministic. This is a single O(n) min-scan, not a sort.
 func (g *Graph) FirstObject(s, p rdf.Term) rdf.Term {
-	objs := g.Objects(s, p)
-	if len(objs) == 0 {
+	sID, ok := g.dict.Lookup(s)
+	if !ok {
 		return rdf.Term{}
 	}
-	return objs[0]
+	pID, ok := g.dict.Lookup(p)
+	if !ok {
+		return rdf.Term{}
+	}
+	var best rdf.Term
+	for o := range g.spo[sID][pID] {
+		t := g.dict.Term(o)
+		if !best.IsValid() || rdf.Compare(t, best) < 0 {
+			best = t
+		}
+	}
+	return best
 }
 
-// Subjects returns the distinct subjects of triples (*, p, o).
+// Subjects returns the distinct subjects of triples (*, p, o), sorted.
 func (g *Graph) Subjects(p, o rdf.Term) []rdf.Term {
-	subjs := g.pos[p][o]
-	out := make([]rdf.Term, 0, len(subjs))
-	for s := range subjs {
-		out = append(out, s)
+	pID, ok := g.dict.Lookup(p)
+	if !ok {
+		return nil
 	}
-	sortTerms(out)
-	return out
+	oID, ok := g.dict.Lookup(o)
+	if !ok {
+		return nil
+	}
+	return g.decodeSorted(g.pos[pID][oID])
 }
 
-// Predicates returns the distinct predicates of triples (s, *, o).
+// Predicates returns the distinct predicates of triples (s, *, o), sorted.
 func (g *Graph) Predicates(s, o rdf.Term) []rdf.Term {
-	preds := g.osp[o][s]
-	out := make([]rdf.Term, 0, len(preds))
-	for p := range preds {
-		out = append(out, p)
+	sID, ok := g.dict.Lookup(s)
+	if !ok {
+		return nil
 	}
-	sortTerms(out)
-	return out
+	oID, ok := g.dict.Lookup(o)
+	if !ok {
+		return nil
+	}
+	return g.decodeSorted(g.osp[oID][sID])
 }
 
 // TypesOf returns the asserted rdf:type objects of s, sorted.
@@ -307,8 +599,8 @@ func (g *Graph) InstancesOf(class rdf.Term) []rdf.Term {
 // with ForEach instead.
 func (g *Graph) Triples() []rdf.Triple {
 	out := make([]rdf.Triple, 0, g.n)
-	g.ForEach(Wildcard, Wildcard, Wildcard, func(t rdf.Triple) bool {
-		out = append(out, t)
+	g.ForEachID(NoID, NoID, NoID, func(s, p, o ID) bool {
+		out = append(out, rdf.Triple{S: g.dict.Term(s), P: g.dict.Term(p), O: g.dict.Term(o)})
 		return true
 	})
 	sort.Slice(out, func(i, j int) bool { return compareTriples(out[i], out[j]) < 0 })
@@ -319,7 +611,7 @@ func (g *Graph) Triples() []rdf.Triple {
 func (g *Graph) SubjectSet() []rdf.Term {
 	out := make([]rdf.Term, 0, len(g.spo))
 	for s := range g.spo {
-		out = append(out, s)
+		out = append(out, g.dict.Term(s))
 	}
 	sortTerms(out)
 	return out
@@ -329,31 +621,75 @@ func (g *Graph) SubjectSet() []rdf.Term {
 func (g *Graph) PredicateSet() []rdf.Term {
 	out := make([]rdf.Term, 0, len(g.pos))
 	for p := range g.pos {
-		out = append(out, p)
+		out = append(out, g.dict.Term(p))
 	}
 	sortTerms(out)
 	return out
 }
 
-// Clone returns a deep copy of the graph (indexes rebuilt, namespaces copied).
+// Clone returns a deep copy of the graph. The dictionary is copied too, so
+// every ID valid for g decodes to the same term in the clone (IDs are
+// stable across Clone); the nested indexes are rebuilt without re-encoding
+// a single term.
 func (g *Graph) Clone() *Graph {
-	out := New()
-	out.ns = g.ns.Clone()
-	g.ForEach(Wildcard, Wildcard, Wildcard, func(t rdf.Triple) bool {
-		out.AddTriple(t)
-		return true
-	})
+	out := &Graph{
+		dict:  g.dict.Clone(),
+		spo:   cloneIndex(g.spo),
+		pos:   cloneIndex(g.pos),
+		osp:   cloneIndex(g.osp),
+		subjN: cloneCounts(g.subjN),
+		predN: cloneCounts(g.predN),
+		objN:  cloneCounts(g.objN),
+		n:     g.n,
+		ns:    g.ns.Clone(),
+	}
+	return out
+}
+
+func cloneCounts(m map[ID]int) map[ID]int {
+	out := make(map[ID]int, len(m))
+	for id, n := range m {
+		out[id] = n
+	}
+	return out
+}
+
+func cloneIndex(idx index) index {
+	out := make(index, len(idx))
+	for a, m1 := range idx {
+		c1 := make(map[ID]idSet, len(m1))
+		for b, m2 := range m1 {
+			c2 := make(idSet, len(m2))
+			for c := range m2 {
+				c2[c] = struct{}{}
+			}
+			c1[b] = c2
+		}
+		out[a] = c1
+	}
 	return out
 }
 
 // Merge adds every triple of other into g and returns the number added.
+// Terms of other are re-interned into g's dictionary through a one-pass
+// remap table, so each distinct term is hashed once regardless of how many
+// triples mention it.
 func (g *Graph) Merge(other *Graph) int {
 	if other == nil {
 		return 0
 	}
+	remap := make(map[ID]ID, other.dict.Len())
+	mapID := func(id ID) ID {
+		if to, ok := remap[id]; ok {
+			return to
+		}
+		to := g.dict.Intern(other.dict.Term(id))
+		remap[id] = to
+		return to
+	}
 	added := 0
-	other.ForEach(Wildcard, Wildcard, Wildcard, func(t rdf.Triple) bool {
-		if g.AddTriple(t) {
+	other.ForEachID(NoID, NoID, NoID, func(s, p, o ID) bool {
+		if g.addIDs(mapID(s), mapID(p), mapID(o)) {
 			added++
 		}
 		return true
@@ -401,11 +737,16 @@ func (g *Graph) Equal(other *Graph) bool {
 	return eq
 }
 
-// Clear removes all triples.
+// Clear removes all triples. The dictionary is reset too; IDs issued
+// before Clear must not be used afterwards.
 func (g *Graph) Clear() {
+	g.dict = NewTermDict()
 	g.spo = make(index)
 	g.pos = make(index)
 	g.osp = make(index)
+	g.subjN = make(map[ID]int)
+	g.predN = make(map[ID]int)
+	g.objN = make(map[ID]int)
 	g.n = 0
 }
 
@@ -425,6 +766,29 @@ func (g *Graph) ReadList(head rdf.Term) (members []rdf.Term, ok bool) {
 		}
 		members = append(members, first)
 		head = g.FirstObject(head, rdf.RestIRI)
+	}
+	return members, true
+}
+
+// ReadListID is ReadList at the dictionary-ID level: it reads the
+// collection starting at head without decoding a single term. Malformed
+// lists return the members collected before the defect, and ok=false.
+func (g *Graph) ReadListID(head ID) (members []ID, ok bool) {
+	nilID, hasNil := g.dict.Lookup(rdf.NilIRI)
+	firstID, hasFirst := g.dict.Lookup(rdf.FirstIRI)
+	restID, hasRest := g.dict.Lookup(rdf.RestIRI)
+	seen := make(map[ID]bool)
+	for !hasNil || head != nilID {
+		if head == NoID || seen[head] || !hasFirst || !hasRest {
+			return members, false
+		}
+		seen[head] = true
+		first := g.FirstObjectID(head, firstID)
+		if first == NoID {
+			return members, false
+		}
+		members = append(members, first)
+		head = g.FirstObjectID(head, restID)
 	}
 	return members, true
 }

@@ -48,7 +48,7 @@ func Parse(input string) (*store.Graph, error) {
 // contain the triples parsed so far.
 func ParseInto(g *store.Graph, input string) error {
 	p := &parser{
-		src: input, line: 1, col: 1, g: g, ns: g.Namespaces(),
+		src: input, line: 1, col: 1, g: g, b: g.Bulk(), ns: g.Namespaces(),
 		bnodePrefix: fmt.Sprintf("d%d", parseSeq.Add(1)),
 	}
 	return p.parseDocument()
@@ -60,6 +60,7 @@ type parser struct {
 	line        int
 	col         int
 	g           *store.Graph
+	b           *store.Bulk // bulk writer: repeated subjects/predicates intern once
 	ns          *rdf.Namespaces
 	bnodeSeq    int
 	bnodePrefix string
@@ -286,7 +287,7 @@ func (p *parser) parseObjectList(subj, pred rdf.Term) error {
 		if err != nil {
 			return err
 		}
-		if !p.g.Add(subj, pred, obj) && !p.g.Has(subj, pred, obj) {
+		if !p.b.Add(subj, pred, obj) && !p.g.Has(subj, pred, obj) {
 			return p.errf("invalid triple %s %s %s", subj, pred, obj)
 		}
 		p.skipWS()
@@ -501,12 +502,12 @@ func (p *parser) parseCollection() (rdf.Term, error) {
 	head := p.freshBlank()
 	cur := head
 	for i, m := range members {
-		p.g.Add(cur, rdf.FirstIRI, m)
+		p.b.Add(cur, rdf.FirstIRI, m)
 		if i == len(members)-1 {
-			p.g.Add(cur, rdf.RestIRI, rdf.NilIRI)
+			p.b.Add(cur, rdf.RestIRI, rdf.NilIRI)
 		} else {
 			next := p.freshBlank()
-			p.g.Add(cur, rdf.RestIRI, next)
+			p.b.Add(cur, rdf.RestIRI, next)
 			cur = next
 		}
 	}

@@ -1,0 +1,102 @@
+package repro
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/paper"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// canonRows renders a solution multiset order-insensitively.
+func canonRows(res *sparql.Result) []string {
+	rows := make([]string, 0, len(res.Solutions))
+	for _, sol := range res.Solutions {
+		parts := make([]string, 0, len(sol))
+		for v, t := range sol {
+			parts = append(parts, v+"="+t.String())
+		}
+		sort.Strings(parts)
+		rows = append(rows, strings.Join(parts, "|"))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+func runBothOrders(t *testing.T, g *store.Graph, query string) ([]string, []string) {
+	t.Helper()
+	q, err := sparql.ParseQuery(query)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	reordered, err := sparql.Execute(g, q)
+	if err != nil {
+		t.Fatalf("execute (reordered): %v", err)
+	}
+	sparql.DisableJoinReorder = true
+	defer func() { sparql.DisableJoinReorder = false }()
+	naive, err := sparql.Execute(g, q)
+	if err != nil {
+		t.Fatalf("execute (naive order): %v", err)
+	}
+	return canonRows(reordered), canonRows(naive)
+}
+
+// TestJoinReorderEquivalence verifies that selectivity-based BGP join
+// reordering produces exactly the solutions of written-order evaluation on
+// every competency-question dataset and the paper's listing queries.
+func TestJoinReorderEquivalence(t *testing.T) {
+	cases := []struct {
+		name  string
+		cq    ontology.CompetencyQuestion
+		query string
+	}{
+		{"listing1/cq1", ontology.CQ1, paper.Listing1Query},
+		{"listing2/cq2", ontology.CQ2, paper.Listing2Query},
+		{"listing3/cq3", ontology.CQ3, paper.Listing3Query},
+		{"listing1/cqall", ontology.CQAll, paper.Listing1Query},
+		{"listing2/cqall", ontology.CQAll, paper.Listing2Query},
+		{"listing3/cqall", ontology.CQAll, paper.Listing3Query},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, _ := ontology.Dataset(tc.cq)
+			got, want := runBothOrders(t, g, tc.query)
+			if len(got) != len(want) {
+				t.Fatalf("row count differs: reordered %d vs naive %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("row %d differs:\nreordered: %s\nnaive:     %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestJoinReorderEquivalenceOperators covers the operator shapes the A4
+// benchmark exercises: multi-pattern joins, OPTIONAL, UNION, filters over
+// cross products, and paths mixed into a BGP.
+func TestJoinReorderEquivalenceOperators(t *testing.T) {
+	g, _ := ontology.Dataset(ontology.CQAll)
+	queries := []struct{ name, query string }{
+		{"join", `SELECT ?p ?c WHERE { ?q feo:hasParameter ?p . ?p feo:hasCharacteristic ?c }`},
+		{"optional", `SELECT ?p ?c WHERE { ?q feo:hasParameter ?p . OPTIONAL { ?p feo:hasCharacteristic ?c } }`},
+		{"union", `SELECT ?x WHERE { { ?x a feo:SystemCharacteristic } UNION { ?x a feo:UserCharacteristic } }`},
+		{"cross-filter", `SELECT ?a ?b WHERE { ?a a feo:SystemCharacteristic . ?b a feo:UserCharacteristic . FILTER(?a != ?b) }`},
+		{"path-in-bgp", `SELECT ?t WHERE { ?x a feo:SystemCharacteristic . ?x a ?t . ?t (rdfs:subClassOf+) feo:Characteristic }`},
+		{"not-exists", `SELECT ?t WHERE { ?t rdfs:subClassOf feo:Characteristic . FILTER NOT EXISTS { ?s rdfs:subClassOf ?t } }`},
+	}
+	for _, tc := range queries {
+		t.Run(tc.name, func(t *testing.T) {
+			got, want := runBothOrders(t, g, tc.query)
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Fatalf("solutions differ\nreordered:\n%s\nnaive:\n%s",
+					strings.Join(got, "\n"), strings.Join(want, "\n"))
+			}
+		})
+	}
+}
