@@ -83,6 +83,11 @@ func dataFlag(fs *flag.FlagSet) *string {
 	return fs.String("data", "all", "dataset: cq1, cq2, cq3, all, synthetic, none")
 }
 
+// parallelFlag registers the shared -parallel flag (SPARQL worker count).
+func parallelFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 0, "SPARQL workers per query: 0 = one per CPU, 1 = sequential")
+}
+
 func newSession(data string) (*feo.Session, error) {
 	switch data {
 	case "synthetic":
@@ -129,9 +134,11 @@ func cmdQuery(args []string) error {
 	data := dataFlag(fs)
 	file := fs.String("file", "", "read the query from a file")
 	format := fs.String("format", "table", "output: table, json, csv, tsv, xml")
+	par := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	feo.SetQueryParallelism(*par)
 	query := strings.Join(fs.Args(), " ")
 	if *file != "" {
 		b, err := os.ReadFile(*file)

@@ -21,9 +21,11 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	data := dataFlag(fs)
 	addr := fs.String("addr", ":8080", "listen address")
+	par := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	feo.SetQueryParallelism(*par)
 	s, err := newSession(*data)
 	if err != nil {
 		return err

@@ -14,6 +14,30 @@
 // end to end: the OWL RL reasoner (internal/reasoner) joins rule premises
 // on IDs, and the SPARQL evaluator (internal/sparql) runs basic graph
 // patterns as an ID-space pipeline after reordering them by estimated
-// selectivity. scripts/bench.sh records the benchmark trajectory across
-// PRs (BENCH_*.json).
+// selectivity.
+//
+// # Parallel query execution
+//
+// On top of the ID pipeline the evaluator fans each query out across a
+// worker pool: BGP joins partition their row stream into contiguous
+// morsels, UNION branches and OPTIONAL/EXISTS probes evaluate
+// concurrently, filters apply in parallel morsels, and property-path BFS
+// frontiers expand across workers. The knob is
+// sparql.SetParallelism (re-exported as feo.SetQueryParallelism): 0 means
+// one worker per CPU, 1 pins the sequential reference implementation, and
+// results are identical at every setting — workers write into
+// index-ordered slots, so the fan-out preserves the sequential append
+// order, and the equivalence suite (internal/sparql/parallel_test.go,
+// parallel_equiv_test.go) holds every operator and every paper artifact
+// byte-identical across parallelism levels. The pool relies on the
+// store's reader contract: a quiescent Graph is safe for any number of
+// concurrent readers.
+//
+// # Benchmark trajectory and its CI gate
+//
+// scripts/bench.sh records the benchmark suite (all packages) across PRs
+// (BENCH_*.json), and scripts/bench_compare.sh enforces it: the CI
+// bench-compare job re-runs the suite and fails the build when a paper
+// listing, Table I, figure, or reasoner benchmark regresses more than 15%
+// against the latest committed trajectory point.
 package repro

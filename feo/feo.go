@@ -74,6 +74,19 @@ func ParseExplanationType(s string) (ExplanationType, error) {
 // AllExplanationTypes lists the nine types in Table I order.
 func AllExplanationTypes() []ExplanationType { return core.AllExplanationTypes() }
 
+// SetQueryParallelism sets the worker count the SPARQL engine uses per
+// query, process-wide: 0 (the default) means one worker per CPU
+// (GOMAXPROCS), 1 selects the sequential reference implementation, n > 1
+// caps the pool at n. Results are identical at every setting — the
+// executor partitions work into index-ordered morsels, so parallelism
+// changes only latency, never the solution multiset or any rendered
+// artifact. Safe to call at any time, including while queries run (each
+// query reads the knob once at entry).
+func SetQueryParallelism(n int) { sparql.SetParallelism(n) }
+
+// QueryParallelism reports the current SetQueryParallelism setting.
+func QueryParallelism() int { return sparql.Parallelism() }
+
 // IRI builds an IRI term.
 func IRI(s string) Term { return rdf.NewIRI(s) }
 
@@ -175,7 +188,11 @@ func (s *Session) LoadRDFXML(r io.Reader) error {
 // WriteRDFXML serializes the session graph as RDF/XML.
 func (s *Session) WriteRDFXML(w io.Writer) error { return rdfxml.Write(w, s.graph) }
 
-// Query runs a SPARQL query against the materialized graph.
+// Query runs a SPARQL query against the materialized graph. Queries may
+// run from many goroutines concurrently (each one additionally fans out
+// across the SetQueryParallelism worker budget); the only requirement is
+// that no mutating call — LoadTurtle, LoadRDFXML, Update — overlaps them,
+// per the store's reader contract.
 func (s *Session) Query(q string) (*QueryResult, error) {
 	return sparql.Run(s.graph, q)
 }

@@ -1,7 +1,9 @@
 package feo
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -207,5 +209,51 @@ func TestSessionRDFXMLRoundTrip(t *testing.T) {
 	res, err := s2.Query(`ASK { feo:SeasonCharacteristic rdfs:subClassOf feo:SystemCharacteristic }`)
 	if err != nil || !res.Boolean {
 		t.Error("hierarchy lost through RDF/XML round trip")
+	}
+}
+
+// TestSessionConcurrentQuery guards the public concurrency contract: a
+// materialized Session serves Query from many goroutines at once, and the
+// engine-level parallelism knob round-trips and never changes results.
+func TestSessionConcurrentQuery(t *testing.T) {
+	old := QueryParallelism()
+	defer SetQueryParallelism(old)
+	s := NewSession(Options{})
+	const query = `SELECT ?c WHERE { feo:CauliflowerPotatoCurry feo:hasCharacteristic ?c }`
+	SetQueryParallelism(1)
+	ref, err := s.Query(query)
+	if err != nil {
+		t.Fatalf("reference query: %v", err)
+	}
+	if ref.Len() == 0 {
+		t.Fatal("reference query returned no rows")
+	}
+	SetQueryParallelism(4)
+	if QueryParallelism() != 4 {
+		t.Fatalf("QueryParallelism = %d, want 4", QueryParallelism())
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				res, err := s.Query(query)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Len() != ref.Len() {
+					errs <- fmt.Errorf("concurrent query returned %d rows, want %d", res.Len(), ref.Len())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -85,6 +85,9 @@ func Listing(n int) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// The listings carry no ORDER BY; sort so the rendered artifact is
+	// byte-stable across runs and across parallelism settings.
+	res.Sort()
 	var b strings.Builder
 	fmt.Fprintf(&b, "Listing %d (competency question %d)\n\n", n, n)
 	b.WriteString(res.Table())

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/rdf"
 	"repro/internal/store"
@@ -25,9 +26,12 @@ type Result struct {
 	Namespaces *rdf.Namespaces
 }
 
-// Execute runs a parsed query against a graph.
+// Execute runs a parsed query against a graph. Evaluation fans out across
+// the worker budget set by SetParallelism; the graph must be quiescent (no
+// concurrent writers) for the duration of the call, per the store's reader
+// contract. Concurrent Execute calls against one graph are safe.
 func Execute(g *store.Graph, q *Query) (*Result, error) {
-	ec := &evalContext{g: g}
+	ec := newEvalContext(g)
 	sols := ec.evalGroup(q.Where, []Solution{{}})
 	res := &Result{Kind: q.Kind, Namespaces: q.Namespaces}
 	switch q.Kind {
@@ -55,6 +59,16 @@ func Run(g *store.Graph, src string) (*Result, error) {
 
 type evalContext struct {
 	g *store.Graph
+	// par is the worker budget this execution resolved from SetParallelism;
+	// sem holds its par-1 extra-worker tokens. sem == nil (par <= 1) keeps
+	// every loop on the sequential reference path.
+	par int
+	sem chan struct{}
+	// mu guards the memo maps below: they are lazily filled caches of pure
+	// computations, shared by all of the query's workers. Lookups and
+	// stores lock; the computation itself runs unlocked (a duplicated
+	// compute is harmless, a lock held across one could deadlock re-entry).
+	mu sync.Mutex
 	// Per-query property-path memo: the graph is immutable while a query
 	// runs, so the node set a path reaches from a given term is computed
 	// once even when many solutions probe the same (path, term) pair.
@@ -64,6 +78,15 @@ type evalContext struct {
 	// EXISTS bodies re-enter evalGroup once per solution, and the variable
 	// collection depends only on the (immutable) pattern tree.
 	groupMemo map[*Group]*groupInfo
+}
+
+// newEvalContext resolves the parallelism knob once for this execution.
+func newEvalContext(g *store.Graph) *evalContext {
+	ec := &evalContext{g: g, par: effectiveParallelism()}
+	if ec.par > 1 {
+		ec.sem = make(chan struct{}, ec.par-1)
+	}
+	return ec
 }
 
 type pathTermKey struct {
@@ -78,20 +101,25 @@ type groupInfo struct {
 }
 
 func (ec *evalContext) groupInfoFor(g *Group) *groupInfo {
-	if gi, ok := ec.groupMemo[g]; ok {
+	ec.mu.Lock()
+	gi, ok := ec.groupMemo[g]
+	ec.mu.Unlock()
+	if ok {
 		return gi
 	}
-	gi := &groupInfo{groupVars: make(map[string]bool), fvars: make([][]string, len(g.Filters))}
+	gi = &groupInfo{groupVars: make(map[string]bool), fvars: make([][]string, len(g.Filters))}
 	for _, pat := range g.Patterns {
 		collectPossibleVars(pat, gi.groupVars)
 	}
 	for i, f := range g.Filters {
 		gi.fvars[i] = collectExprVars(f)
 	}
+	ec.mu.Lock()
 	if ec.groupMemo == nil {
 		ec.groupMemo = make(map[*Group]*groupInfo)
 	}
 	ec.groupMemo[g] = gi
+	ec.mu.Unlock()
 	return gi
 }
 
@@ -350,48 +378,54 @@ func (ec *evalContext) evalPattern(p Pattern, seq []Solution) []Solution {
 	case *Group:
 		return ec.evalGroup(pat, seq)
 	case *Optional:
-		var out []Solution
-		for _, sol := range seq {
-			ext := ec.evalGroup(pat.Pattern, []Solution{sol})
-			if len(ext) > 0 {
-				out = append(out, ext...)
-			} else {
-				out = append(out, sol)
+		// Each solution's OPTIONAL probe is independent: fan the probes out,
+		// falling back to the sequential loop below the threshold.
+		if ec.parEligible(len(seq)) {
+			if out, ok := parRange(ec, len(seq), func(lo, hi int, out []Solution) []Solution {
+				return ec.evalOptionalRange(pat, seq, lo, hi, out)
+			}); ok {
+				return out
 			}
 		}
-		return out
+		return ec.evalOptionalRange(pat, seq, 0, len(seq), nil)
 	case *Union:
+		// The branches see the same immutable inputs and share the query's
+		// memo caches (locked), so they can evaluate concurrently; output
+		// order stays left-then-right either way. Micro-unions — one input
+		// solution joined against two single-pattern branches, the shape a
+		// per-row EXISTS re-enters — stay sequential: goroutine hand-off
+		// would cost more than the branch and burn the token budget the
+		// large fan-outs need.
+		if ec.sem != nil && (len(seq) > 1 || len(pat.Left.Patterns)+len(pat.Right.Patterns) > 2) {
+			var left, right []Solution
+			ec.parPair(
+				func() { left = ec.evalGroup(pat.Left, seq) },
+				func() { right = ec.evalGroup(pat.Right, seq) },
+			)
+			return append(left, right...)
+		}
 		left := ec.evalGroup(pat.Left, seq)
 		right := ec.evalGroup(pat.Right, seq)
 		return append(left, right...)
 	case *Minus:
 		rhs := ec.evalGroup(pat.Pattern, []Solution{{}})
-		var out []Solution
-		for _, sol := range seq {
-			if !minusMatches(sol, rhs) {
-				out = append(out, sol)
+		if ec.parEligible(len(seq)) {
+			if out, ok := parRange(ec, len(seq), func(lo, hi int, out []Solution) []Solution {
+				return minusRange(seq, rhs, lo, hi, out)
+			}); ok {
+				return out
 			}
 		}
-		return out
+		return minusRange(seq, rhs, 0, len(seq), nil)
 	case *Bind:
-		var out []Solution
-		for _, sol := range seq {
-			v, err := pat.Expr.Eval(ec, sol)
-			if err != nil {
-				out = append(out, sol) // expression error leaves var unbound
-				continue
+		if ec.parEligible(len(seq)) {
+			if out, ok := parRange(ec, len(seq), func(lo, hi int, out []Solution) []Solution {
+				return ec.evalBindRange(pat, seq, lo, hi, out)
+			}); ok {
+				return out
 			}
-			if existing, bound := sol[pat.Var]; bound {
-				if existing == v {
-					out = append(out, sol)
-				}
-				continue
-			}
-			ns := sol.clone()
-			ns[pat.Var] = v
-			out = append(out, ns)
 		}
-		return out
+		return ec.evalBindRange(pat, seq, 0, len(seq), nil)
 	case *InlineData:
 		var out []Solution
 		for _, sol := range seq {
@@ -422,6 +456,52 @@ func (ec *evalContext) evalPattern(p Pattern, seq []Solution) []Solution {
 	default:
 		return nil
 	}
+}
+
+// evalOptionalRange extends seq[lo:hi] per OPTIONAL semantics, appending
+// to out. The range form serves both the sequential reference path (one
+// full-range call, no closures) and the worker pool (one call per morsel).
+func (ec *evalContext) evalOptionalRange(pat *Optional, seq []Solution, lo, hi int, out []Solution) []Solution {
+	for _, sol := range seq[lo:hi] {
+		ext := ec.evalGroup(pat.Pattern, []Solution{sol})
+		if len(ext) > 0 {
+			out = append(out, ext...)
+		} else {
+			out = append(out, sol)
+		}
+	}
+	return out
+}
+
+// minusRange appends the solutions of seq[lo:hi] not excluded by rhs.
+func minusRange(seq, rhs []Solution, lo, hi int, out []Solution) []Solution {
+	for _, sol := range seq[lo:hi] {
+		if !minusMatches(sol, rhs) {
+			out = append(out, sol)
+		}
+	}
+	return out
+}
+
+// evalBindRange applies a BIND to seq[lo:hi], appending to out.
+func (ec *evalContext) evalBindRange(pat *Bind, seq []Solution, lo, hi int, out []Solution) []Solution {
+	for _, sol := range seq[lo:hi] {
+		v, err := pat.Expr.Eval(ec, sol)
+		if err != nil {
+			out = append(out, sol) // expression error leaves var unbound
+			continue
+		}
+		if existing, bound := sol[pat.Var]; bound {
+			if existing == v {
+				out = append(out, sol)
+			}
+			continue
+		}
+		ns := sol.clone()
+		ns[pat.Var] = v
+		out = append(out, ns)
+	}
+	return out
 }
 
 // mergeSolutions joins two solutions when their shared variables agree.
@@ -479,6 +559,15 @@ func mergeRow(sol Solution, vars []string, row []TermOrNil) (Solution, bool) {
 }
 
 func (ec *evalContext) applyFilter(f Expression, seq []Solution) []Solution {
+	// Filters are pure per-solution predicates (EXISTS probes re-enter the
+	// evaluator, which is itself safe for concurrent solutions), so large
+	// inputs evaluate in parallel morsels whose surviving rows concatenate
+	// in chunk order — input order exactly.
+	if ec.parEligible(len(seq)) {
+		if out, ok := ec.parApplyFilter(f, seq); ok {
+			return out
+		}
+	}
 	var out []Solution
 	for _, sol := range seq {
 		if ok, err := ebvOf(f, ec, sol); err == nil && ok {
@@ -486,6 +575,19 @@ func (ec *evalContext) applyFilter(f Expression, seq []Solution) []Solution {
 		}
 	}
 	return out
+}
+
+// parApplyFilter fans a filter across the worker pool; false means no
+// tokens were free and the caller must filter sequentially.
+func (ec *evalContext) parApplyFilter(f Expression, seq []Solution) ([]Solution, bool) {
+	return parRange(ec, len(seq), func(lo, hi int, out []Solution) []Solution {
+		for _, sol := range seq[lo:hi] {
+			if ok, err := ebvOf(f, ec, sol); err == nil && ok {
+				out = append(out, sol)
+			}
+		}
+		return out
+	})
 }
 
 // DisableJoinReorder turns off selectivity-based BGP join reordering and
@@ -630,6 +732,22 @@ func (ec *evalContext) evalBGP(bgp *BGP, seq []Solution) []Solution {
 	return seq
 }
 
+// bgpConstPos marks a pattern position that holds a constant ID.
+const bgpConstPos = -1
+
+// bgpSpec is one triple pattern of an ID pipeline: per position either a
+// constant ID (slot == bgpConstPos) or an index into the row's slots.
+type bgpSpec struct {
+	ids  [3]store.ID
+	slot [3]int
+}
+
+// idRow is one intermediate binding of the ID pipeline.
+type idRow struct {
+	src  int // index of the seeding input Solution
+	vals []store.ID
+}
+
 // evalBGPPrefix joins a run of non-path triple patterns entirely on
 // dictionary IDs. Variables get dense slots; every intermediate binding is
 // a row of IDs. Each input Solution seeds one row, and each surviving row
@@ -650,19 +768,14 @@ func (ec *evalContext) evalBGPPrefix(tps []TriplePattern, seq []Solution) []Solu
 		return i
 	}
 	// Encode each pattern: per position either a constant ID or a slot.
-	const constPos = -1
-	type patSpec struct {
-		ids  [3]store.ID // constant ID (slot == constPos), else unset
-		slot [3]int
-	}
-	specs := make([]patSpec, len(tps))
+	specs := make([]bgpSpec, len(tps))
 	for i, tp := range tps {
 		for j, tv := range [3]TermOrVar{tp.S, tp.P, tp.O} {
 			if tv.IsVar {
 				specs[i].slot[j] = slotOf(tv.Var)
 				continue
 			}
-			specs[i].slot[j] = constPos
+			specs[i].slot[j] = bgpConstPos
 			id, ok := g.LookupID(tv.Term)
 			if !ok {
 				return nil // constant term absent: no triple can match
@@ -671,11 +784,7 @@ func (ec *evalContext) evalBGPPrefix(tps []TriplePattern, seq []Solution) []Solu
 		}
 	}
 	nSlots := len(slotNames)
-	type row struct {
-		src  int // index of the seeding input Solution
-		vals []store.ID
-	}
-	rows := make([]row, 0, len(seq))
+	rows := make([]idRow, 0, len(seq))
 	for si, sol := range seq {
 		vals := make([]store.ID, nSlots)
 		ok := true
@@ -691,53 +800,102 @@ func (ec *evalContext) evalBGPPrefix(tps []TriplePattern, seq []Solution) []Solu
 			}
 		}
 		if ok {
-			rows = append(rows, row{src: si, vals: vals})
+			rows = append(rows, idRow{src: si, vals: vals})
 		}
 	}
+	// Join pipeline: the first (most selective) pattern seeds the row
+	// stream, and each subsequent pattern expands every surviving row.
+	// Large row sets fan out across the worker pool in contiguous morsels
+	// whose outputs concatenate in morsel order — exactly the sequential
+	// append order — while small ones run the closure-free range call.
 	for _, spec := range specs {
 		if len(rows) == 0 {
 			return nil
 		}
-		next := rows[:0:0]
-		for _, r := range rows {
-			var probe [3]store.ID
-			for j := 0; j < 3; j++ {
-				if spec.slot[j] == constPos {
-					probe[j] = spec.ids[j]
-				} else {
-					probe[j] = r.vals[spec.slot[j]] // NoID when unbound
-				}
+		if ec.parEligible(len(rows)) {
+			if par, ok := ec.parExpandIDRows(spec, rows); ok {
+				rows = par
+				continue
 			}
-			g.ForEachID(probe[0], probe[1], probe[2], func(s, p, o store.ID) bool {
-				match := [3]store.ID{s, p, o}
-				ext := r.vals
-				cloned := false
-				for j := 0; j < 3; j++ {
-					slot := spec.slot[j]
-					if slot == constPos || probe[j] != store.NoID {
-						continue // constant or pre-bound: index guaranteed it
-					}
-					if ext[slot] != store.NoID {
-						// Same variable matched earlier in this triple.
-						if ext[slot] != match[j] {
-							return true
-						}
-						continue
-					}
-					if !cloned {
-						ext = append([]store.ID(nil), ext...)
-						cloned = true
-					}
-					ext[slot] = match[j]
-				}
-				next = append(next, row{src: r.src, vals: ext})
-				return true
-			})
 		}
-		rows = next
+		rows = expandIDRows(g, spec, rows, 0, len(rows), rows[:0:0])
 	}
-	out := make([]Solution, 0, len(rows))
-	for _, r := range rows {
+	// Materialize surviving rows into Solutions; each row is independent,
+	// so large results decode in parallel into index-ordered slots.
+	out := make([]Solution, len(rows))
+	if !(ec.parEligible(len(rows)) && ec.parMaterializeIDRows(seq, slotNames, rows, out)) {
+		materializeIDRows(g, seq, slotNames, rows, out, 0, len(rows))
+	}
+	return out
+}
+
+// parExpandIDRows fans one pattern's row expansion across the worker
+// pool. A separate method (like parStepIDs) so its escaping closure never
+// forces heap boxing of evalBGPPrefix's pipeline state on the sequential
+// reference path.
+func (ec *evalContext) parExpandIDRows(spec bgpSpec, rows []idRow) ([]idRow, bool) {
+	return parRange(ec, len(rows), func(lo, hi int, out []idRow) []idRow {
+		return expandIDRows(ec.g, spec, rows, lo, hi, out)
+	})
+}
+
+// parMaterializeIDRows decodes rows into out's index-ordered slots in
+// parallel; false means the caller must materialize sequentially.
+func (ec *evalContext) parMaterializeIDRows(seq []Solution, slotNames []string, rows []idRow, out []Solution) bool {
+	_, ok := ec.parChunks(len(rows), func(_, lo, hi int) {
+		materializeIDRows(ec.g, seq, slotNames, rows, out, lo, hi)
+	})
+	return ok
+}
+
+// expandIDRows joins rows[lo:hi] against one encoded pattern, appending
+// every extension to next. It reads only the graph and the rows, so it is
+// safe to call from concurrent workers on disjoint ranges.
+func expandIDRows(g *store.Graph, spec bgpSpec, rows []idRow, lo, hi int, next []idRow) []idRow {
+	for _, r := range rows[lo:hi] {
+		var probe [3]store.ID
+		for j := 0; j < 3; j++ {
+			if spec.slot[j] == bgpConstPos {
+				probe[j] = spec.ids[j]
+			} else {
+				probe[j] = r.vals[spec.slot[j]] // NoID when unbound
+			}
+		}
+		g.ForEachID(probe[0], probe[1], probe[2], func(s, p, o store.ID) bool {
+			match := [3]store.ID{s, p, o}
+			ext := r.vals
+			cloned := false
+			for j := 0; j < 3; j++ {
+				slot := spec.slot[j]
+				if slot == bgpConstPos || probe[j] != store.NoID {
+					continue // constant or pre-bound: index guaranteed it
+				}
+				if ext[slot] != store.NoID {
+					// Same variable matched earlier in this triple.
+					if ext[slot] != match[j] {
+						return true
+					}
+					continue
+				}
+				if !cloned {
+					ext = append([]store.ID(nil), ext...)
+					cloned = true
+				}
+				ext[slot] = match[j]
+			}
+			next = append(next, idRow{src: r.src, vals: ext})
+			return true
+		})
+	}
+	return next
+}
+
+// materializeIDRows decodes rows[lo:hi] into out[lo:hi]: each surviving
+// row clones its seeding Solution exactly once, with the new variables
+// decoded lazily from the dictionary.
+func materializeIDRows(g *store.Graph, seq []Solution, slotNames []string, rows []idRow, out []Solution, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		r := rows[i]
 		sol := seq[r.src]
 		ext := sol
 		cloned := false
@@ -754,9 +912,8 @@ func (ec *evalContext) evalBGPPrefix(tps []TriplePattern, seq []Solution) []Solu
 			}
 			ext[name] = g.TermOf(r.vals[slot])
 		}
-		out = append(out, ext)
+		out[i] = ext
 	}
-	return out
 }
 
 // quickExists answers EXISTS over a group consisting of a single non-path
@@ -809,9 +966,24 @@ func (ec *evalContext) quickExists(g *Group, sol Solution) (found, ok bool) {
 // solution-bound variables once per solution, and only the wildcard
 // positions of each matching triple are decoded back to terms.
 func (ec *evalContext) evalTriplePattern(tp TriplePattern, seq []Solution) []Solution {
-	var out []Solution
+	// Each solution extends independently; large inputs fan out across the
+	// worker pool, everything else takes the closure-free range call.
+	if ec.parEligible(len(seq)) {
+		if out, ok := parRange(ec, len(seq), func(lo, hi int, out []Solution) []Solution {
+			return ec.evalTriplePatternRange(tp, seq, lo, hi, out)
+		}); ok {
+			return out
+		}
+	}
+	return ec.evalTriplePatternRange(tp, seq, 0, len(seq), nil)
+}
+
+// evalTriplePatternRange extends seq[lo:hi] with tp's matches, appending
+// to out; the per-pattern constant encoding is repeated per range, which
+// costs three dictionary probes per worker morsel.
+func (ec *evalContext) evalTriplePatternRange(tp TriplePattern, seq []Solution, lo, hi int, out []Solution) []Solution {
 	if tp.Path != nil {
-		for _, sol := range seq {
+		for _, sol := range seq[lo:hi] {
 			out = append(out, ec.evalPathPattern(tp, sol)...)
 		}
 		return out
@@ -855,7 +1027,7 @@ func (ec *evalContext) evalTriplePattern(tp TriplePattern, seq []Solution) []Sol
 		}
 		return store.NoID, ps.varName, true
 	}
-	for _, sol := range seq {
+	for _, sol := range seq[lo:hi] {
 		sID, sVar, ok := resolvePos(sSpec, sol)
 		if !ok {
 			continue
@@ -937,8 +1109,7 @@ func finishSelect(ec *evalContext, q *Query, sols []Solution) (*Result, error) {
 	}
 	extended := sols
 	if hasExprs {
-		extended = make([]Solution, 0, len(sols))
-		for _, sol := range sols {
+		extendOne := func(sol Solution) Solution {
 			ext := sol.clone()
 			for _, item := range q.Projection {
 				if item.Expr == nil {
@@ -948,7 +1119,13 @@ func finishSelect(ec *evalContext, q *Query, sols []Solution) (*Result, error) {
 					ext[item.Var] = v
 				}
 			}
-			extended = append(extended, ext)
+			return ext
+		}
+		extended = make([]Solution, len(sols))
+		if !parMap(ec, sols, extended, extendOne) {
+			for i, sol := range sols {
+				extended[i] = extendOne(sol)
+			}
 		}
 	}
 	// ORDER BY on the full (extended) solutions.
@@ -959,15 +1136,20 @@ func finishSelect(ec *evalContext, q *Query, sols []Solution) (*Result, error) {
 		extended = sorted
 	}
 	// Reduce to the projected variables.
-	projected := make([]Solution, 0, len(extended))
-	for _, sol := range extended {
+	projectOne := func(sol Solution) Solution {
 		row := make(Solution, len(vars))
 		for _, v := range vars {
 			if t, ok := sol[v]; ok {
 				row[v] = t
 			}
 		}
-		projected = append(projected, row)
+		return row
+	}
+	projected := make([]Solution, len(extended))
+	if !parMap(ec, extended, projected, projectOne) {
+		for i, sol := range extended {
+			projected[i] = projectOne(sol)
+		}
 	}
 	// DISTINCT / REDUCED.
 	if q.Distinct || q.Reduced {

@@ -7,6 +7,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/rdf"
 )
@@ -29,6 +31,12 @@ func (s Solution) clone() Solution {
 var errUnbound = errors.New("sparql: expression error")
 
 // Expression is a SPARQL expression evaluable against a solution.
+//
+// Expression trees are immutable after parsing, so Eval is safe for
+// concurrent calls with distinct solutions — the parallel executor
+// evaluates filters, BINDs, and projection expressions from many workers
+// at once. Anything stateful an Eval reaches (the evalContext memos, the
+// regex cache) synchronizes internally.
 type Expression interface {
 	Eval(ec *evalContext, sol Solution) (rdf.Term, error)
 }
@@ -497,11 +505,36 @@ func evalBuiltin(name string, args []rdf.Term) (rdf.Term, error) {
 	return rdf.Term{}, fmt.Errorf("sparql: unknown function %s", name)
 }
 
+// regexCache memoizes compiled REGEX/REPLACE patterns across queries. The
+// pattern argument is re-evaluated per solution, so an uncached FILTER
+// REGEX would recompile the same pattern once per row. Data-driven
+// (per-row varying) patterns stop being cached once the cache is full,
+// bounding memory; lookups stay lock-free either way.
+var (
+	regexCache    sync.Map // "pattern\x00flags" -> *regexp.Regexp
+	regexCacheLen atomic.Int32
+)
+
+const regexCacheMax = 256
+
 func compileRegex(pattern, flags string) (*regexp.Regexp, error) {
+	key := pattern + "\x00" + flags
+	if re, ok := regexCache.Load(key); ok {
+		return re.(*regexp.Regexp), nil
+	}
 	if strings.Contains(flags, "i") {
 		pattern = "(?i)" + pattern
 	}
-	return regexp.Compile(pattern)
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if regexCacheLen.Load() < regexCacheMax {
+		if _, loaded := regexCache.LoadOrStore(key, re); !loaded {
+			regexCacheLen.Add(1)
+		}
+	}
+	return re, nil
 }
 
 func numericUnary(t rdf.Term, f func(float64) float64) (rdf.Term, error) {

@@ -1,0 +1,217 @@
+package sparql
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel query execution.
+//
+// The evaluator's hot loops are embarrassingly parallel: extending N
+// solutions against a triple pattern, probing N OPTIONAL / EXISTS bodies,
+// evaluating a filter over N rows, expanding N BFS frontier nodes — each
+// item is independent and touches the graph read-only (see the reader
+// contract in internal/store). This file provides the morsel-driven
+// fan-out those loops share.
+//
+// # Determinism
+//
+// Every fan-out here is order-preserving by construction: items are
+// partitioned into contiguous chunks, each chunk appends into its own
+// index-ordered slot, and slots are concatenated in chunk order. The
+// resulting sequence is exactly what the sequential append loop over the
+// same items would have produced — parallel execution never reorders,
+// drops, or duplicates a row relative to parallelism 1. (The store's set
+// iteration order is unspecified, so two executions of the same query can
+// enumerate index matches in different orders; that nondeterminism exists
+// at every parallelism level and is canonicalized away by ORDER BY,
+// DISTINCT-insensitive consumers, and the artifact renderers. The
+// guarantee the worker pool adds — and the equivalence tests enforce — is
+// that the solution multiset, the variable list, and every rendered
+// artifact are identical to sequential evaluation.)
+//
+// # Scheduling
+//
+// One query resolves its worker budget once, at Execute time. The budget
+// is a semaphore of par-1 extra-worker tokens shared by every fan-out
+// point in that query, so nested parallelism (a UNION branch inside an
+// OPTIONAL inside a parallel filter) can never exceed the budget: a loop
+// that finds no free token simply runs sequentially in its caller's
+// goroutine. Fan-outs engage only when a loop has at least 2*fanoutMin
+// items, so small queries keep the exact allocation profile of the
+// sequential reference implementation.
+
+// parallelism holds the package-wide worker knob; see SetParallelism.
+var parallelism atomic.Int32
+
+// fanoutMin is the minimum number of items one worker must be able to
+// claim before a loop fans out. A variable rather than a constant so tests
+// can force tiny corpora through the parallel paths.
+var fanoutMin = 16
+
+// chunksPerWorker over-partitions each fan-out so a chunk that happens to
+// carry heavy rows (e.g. a high-degree join key) doesn't stall the barrier.
+const chunksPerWorker = 4
+
+// SetParallelism sets the worker count used by Execute: 0 (the default)
+// resolves to runtime.GOMAXPROCS(0), 1 selects the sequential reference
+// implementation, and n > 1 uses at most n workers per query. The setting
+// is process-wide and safe to change concurrently with running queries;
+// each Execute resolves it once at entry. Results are identical at every
+// setting (see the determinism notes above).
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism reports the current SetParallelism value (0 = automatic).
+func Parallelism() int { return int(parallelism.Load()) }
+
+// effectiveParallelism resolves the knob to a concrete worker count.
+func effectiveParallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parChunks partitions [0, n) into contiguous chunks and runs fn over them
+// on this query's workers. fn receives (chunk, lo, hi) and must write only
+// to state owned by that chunk index (or to distinct item indexes), never
+// to shared accumulators. Chunk indexes are dense in [0, chunks), and
+// chunks never exceeds ec.maxChunks().
+//
+// Returns (chunks, true) after all chunks completed, or (0, false) when the
+// caller must run its sequential loop instead — the work is too small, the
+// context is sequential, or every worker token is already in use.
+func (ec *evalContext) parChunks(n int, fn func(chunk, lo, hi int)) (int, bool) {
+	if ec == nil || ec.sem == nil || n < 2*fanoutMin {
+		return 0, false
+	}
+	workers := n / fanoutMin
+	if workers > ec.par {
+		workers = ec.par
+	}
+	// Claim extra-worker tokens without blocking: a nested fan-out that
+	// finds the budget exhausted degrades to sequential instead of
+	// deadlocking or oversubscribing.
+	extra := 0
+acquire:
+	for extra < workers-1 {
+		select {
+		case ec.sem <- struct{}{}:
+			extra++
+		default:
+			break acquire
+		}
+	}
+	if extra == 0 {
+		return 0, false
+	}
+	workers = extra + 1
+	chunks := workers * chunksPerWorker
+	if chunks > n {
+		chunks = n
+	}
+	var cursor atomic.Int64
+	run := func() {
+		for {
+			c := int(cursor.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			fn(c, c*n/chunks, (c+1)*n/chunks)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(extra)
+	for i := 0; i < extra; i++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run() // the caller's goroutine participates
+	wg.Wait()
+	for i := 0; i < extra; i++ {
+		<-ec.sem
+	}
+	return chunks, true
+}
+
+// maxChunks bounds the chunk count any parChunks call can produce, so
+// callers can pre-size per-chunk slot arrays.
+func (ec *evalContext) maxChunks() int { return ec.par * chunksPerWorker }
+
+// parEligible reports whether a loop over n items may fan out. Call sites
+// guard with it BEFORE constructing the closures they would hand to
+// parRange/parChunks/parMap: those closures escape into worker goroutines,
+// so building them unconditionally would put one heap allocation on the
+// sequential path of every operator — exactly the profile the reference
+// implementation must keep.
+func (ec *evalContext) parEligible(n int) bool {
+	return ec != nil && ec.sem != nil && n >= 2*fanoutMin
+}
+
+// parRange fans an append-style range evaluator (eval appends the results
+// for items [lo, hi) onto out) across the worker pool and concatenates the
+// per-chunk outputs in chunk order, reproducing the sequential append
+// order exactly. ok=false means the caller must run eval(0, n, nil) itself.
+func parRange[U any](ec *evalContext, n int, eval func(lo, hi int, out []U) []U) ([]U, bool) {
+	buckets := make([][]U, ec.maxChunks())
+	chunks, ok := ec.parChunks(n, func(c, lo, hi int) {
+		buckets[c] = eval(lo, hi, nil)
+	})
+	if !ok {
+		return nil, false
+	}
+	total := 0
+	for _, b := range buckets[:chunks] {
+		total += len(b)
+	}
+	out := make([]U, 0, total)
+	for _, b := range buckets[:chunks] {
+		out = append(out, b...)
+	}
+	return out, true
+}
+
+// parMap fills out[i] = fn(items[i]) in parallel. Index-ordered slots make
+// it trivially order-preserving. Returns false when the caller must run
+// the loop sequentially; out is then untouched.
+func parMap[T, U any](ec *evalContext, items []T, out []U, fn func(T) U) bool {
+	if ec == nil || ec.sem == nil || len(items) < 2*fanoutMin {
+		return false
+	}
+	_, ok := ec.parChunks(len(items), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = fn(items[i])
+		}
+	})
+	return ok
+}
+
+// parPair runs f and g concurrently when a worker token is free, else
+// sequentially (f first). Used for the two branches of UNION.
+func (ec *evalContext) parPair(f, g func()) {
+	if ec != nil && ec.sem != nil {
+		select {
+		case ec.sem <- struct{}{}:
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				f()
+			}()
+			g()
+			<-done
+			<-ec.sem
+			return
+		default:
+		}
+	}
+	f()
+	g()
+}

@@ -1,0 +1,54 @@
+package sparql
+
+import (
+	"testing"
+)
+
+// Benchmarks for the parallel executor, recorded in the BENCH_*.json
+// trajectory now that scripts/bench.sh sweeps ./... . The seq variant pins
+// parallelism 1 (the reference implementation); auto resolves the knob to
+// GOMAXPROCS, so on a multi-core runner the pair measures the fan-out
+// speedup and on a single-core runner they should coincide (the morsel
+// scheduler never engages without a second worker).
+
+func benchQueries() []struct{ name, query string } {
+	return []struct{ name, query string }{
+		{"join", `SELECT ?a ?b ?v WHERE { ?a <http://w/next> ?b . ?b <http://w/val> ?v }`},
+		{"filter-exists", `SELECT ?c WHERE { ?c <http://w/val> ?v . FILTER NOT EXISTS { ?c <http://w/next> ?g } }`},
+		{"path-plus", `SELECT ?x WHERE { <http://w/root> <http://w/next>+ ?x }`},
+		{"optional", `SELECT ?c ?g WHERE { ?c a <http://w/Node> . OPTIONAL { ?c <http://w/next> ?g } }`},
+	}
+}
+
+func BenchmarkParallelExecute(b *testing.B) {
+	g := buildWideGraph(400, 8)
+	old := Parallelism()
+	b.Cleanup(func() { SetParallelism(old) })
+	for _, tc := range benchQueries() {
+		q, err := ParseQuery(tc.query)
+		if err != nil {
+			b.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, mode := range []struct {
+			name string
+			par  int
+		}{{"seq", 1}, {"auto", 0}} {
+			b.Run(tc.name+"/"+mode.name, func(b *testing.B) {
+				SetParallelism(mode.par)
+				res, err := Execute(g, q)
+				if err != nil {
+					b.Fatalf("%s: %v", tc.name, err)
+				}
+				if res.Len() == 0 {
+					b.Fatalf("%s: no rows", tc.name)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Execute(g, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

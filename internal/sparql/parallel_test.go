@@ -1,0 +1,300 @@
+package sparql
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// forceParallel pins the parallelism knob to n and drops the fan-out
+// threshold to 1 so even the tiny test corpora exercise every parallel
+// code path; both globals are restored on cleanup.
+func forceParallel(t *testing.T, n int) {
+	t.Helper()
+	oldMin := fanoutMin
+	oldPar := Parallelism()
+	fanoutMin = 1
+	SetParallelism(n)
+	t.Cleanup(func() {
+		fanoutMin = oldMin
+		SetParallelism(oldPar)
+	})
+}
+
+// canonicalRows renders a solution multiset order-insensitively.
+func canonicalRows(res *Result) []string {
+	rows := make([]string, 0, len(res.Solutions))
+	for _, sol := range res.Solutions {
+		parts := make([]string, 0, len(sol))
+		for v, t := range sol {
+			parts = append(parts, v+"="+t.String())
+		}
+		sort.Strings(parts)
+		rows = append(rows, strings.Join(parts, "|"))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// parallelCorpus is the operator coverage for sequential-vs-parallel
+// equivalence: one query per evaluator code path the worker pool touches.
+var parallelCorpus = []struct{ name, query string }{
+	{"bgp-join", `PREFIX ex: <http://e/> SELECT ?p ?f WHERE { ?p a ex:Person . ?p ex:likes ?f }`},
+	{"bgp-3way", `PREFIX ex: <http://e/> SELECT ?p ?f ?c WHERE { ?p a ex:Person . ?p ex:likes ?f . ?f ex:cuisine ?c }`},
+	{"shared-var", `PREFIX ex: <http://e/> SELECT ?x WHERE { ?x ex:likes ?x }`},
+	{"filter-cmp", `PREFIX ex: <http://e/> SELECT ?p WHERE { ?p ex:age ?a . FILTER(?a >= 30) }`},
+	{"filter-regex", `PREFIX ex: <http://e/> SELECT ?p WHERE { ?p ex:name ?n . FILTER(REGEX(?n, "^[AB]")) }`},
+	{"not-exists", `PREFIX ex: <http://e/> SELECT ?p WHERE { ?p a ex:Person . FILTER NOT EXISTS { ?p ex:likes ?f } }`},
+	{"exists", `PREFIX ex: <http://e/> SELECT ?p WHERE { ?p a ex:Person . FILTER EXISTS { ?p ex:likes ex:pizza } }`},
+	{"optional", `PREFIX ex: <http://e/> SELECT ?p ?f WHERE { ?p a ex:Person . OPTIONAL { ?p ex:likes ?f } }`},
+	{"union", `PREFIX ex: <http://e/> SELECT ?x WHERE { { ?x a ex:Person } UNION { ?x a ex:Food } }`},
+	{"minus", `PREFIX ex: <http://e/> SELECT ?p WHERE { ?p a ex:Person . MINUS { ?p ex:likes ex:sushi } }`},
+	{"bind", `PREFIX ex: <http://e/> SELECT ?p ?n2 WHERE { ?p ex:age ?a . BIND(?a * 2 AS ?n2) }`},
+	{"values", `PREFIX ex: <http://e/> SELECT ?p ?f WHERE { ?p ex:likes ?f . VALUES ?f { ex:pizza ex:sushi } }`},
+	{"distinct", `PREFIX ex: <http://e/> SELECT DISTINCT ?f WHERE { ?p ex:likes ?f }`},
+	{"order-limit", `PREFIX ex: <http://e/> SELECT ?p ?a WHERE { ?p ex:age ?a } ORDER BY DESC(?a) LIMIT 2`},
+	{"aggregate", `PREFIX ex: <http://e/> SELECT ?f (COUNT(?p) AS ?n) WHERE { ?p ex:likes ?f } GROUP BY ?f`},
+	{"having", `PREFIX ex: <http://e/> SELECT ?f (COUNT(?p) AS ?n) WHERE { ?p ex:likes ?f } GROUP BY ?f HAVING(COUNT(?p) > 1)`},
+	{"path-seq", `PREFIX ex: <http://e/> SELECT ?p ?i WHERE { ?p ex:likes/ex:contains ?i }`},
+	{"path-alt-plus", `PREFIX ex: <http://e/> SELECT ?x WHERE { ex:alice (ex:likes|ex:contains)+ ?x }`},
+	{"path-inverse", `PREFIX ex: <http://e/> SELECT ?p WHERE { ex:pizza ^ex:likes ?p }`},
+	{"path-star-unbound", `PREFIX ex: <http://e/> SELECT ?a ?b WHERE { ?a ex:likes* ?b }`},
+	{"path-zero-or-one", `PREFIX ex: <http://e/> SELECT ?x WHERE { ex:alice ex:likes? ?x }`},
+	{"var-predicate", `PREFIX ex: <http://e/> SELECT ?pred WHERE { ex:alice ?pred ?o }`},
+	{"subselect", `PREFIX ex: <http://e/> SELECT ?p ?f WHERE { ?p a ex:Person . { SELECT ?f WHERE { ?f a ex:Food } } }`},
+}
+
+// TestParallelEquivalence runs the operator corpus at parallelism 1, 2, 4,
+// and GOMAXPROCS and requires the same solution multiset and variable list
+// from each. fanoutMin is forced to 1 so the parallel paths genuinely run.
+func TestParallelEquivalence(t *testing.T) {
+	g := testGraph(t, fixture)
+	levels := []int{2, 4, runtime.GOMAXPROCS(0)}
+	for _, tc := range parallelCorpus {
+		t.Run(tc.name, func(t *testing.T) {
+			forceParallel(t, 1)
+			q, err := ParseQuery(tc.query)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			ref, err := Execute(g, q)
+			if err != nil {
+				t.Fatalf("sequential execute: %v", err)
+			}
+			want := canonicalRows(ref)
+			for _, par := range levels {
+				SetParallelism(par)
+				res, err := Execute(g, q)
+				if err != nil {
+					t.Fatalf("parallel(%d) execute: %v", par, err)
+				}
+				if got := canonicalRows(res); strings.Join(got, "\n") != strings.Join(want, "\n") {
+					t.Errorf("parallelism %d: solutions differ\npar:\n%s\nseq:\n%s",
+						par, strings.Join(got, "\n"), strings.Join(want, "\n"))
+				}
+				if strings.Join(res.Vars, ",") != strings.Join(ref.Vars, ",") {
+					t.Errorf("parallelism %d: vars %v != %v", par, res.Vars, ref.Vars)
+				}
+			}
+		})
+	}
+}
+
+// buildWideGraph returns a synthetic graph big enough that the default
+// fan-out threshold engages: a two-level star (fan wide children, each
+// with grand grandchildren) plus typed, numbered leaves.
+func buildWideGraph(fan, grand int) *store.Graph {
+	g := store.New()
+	next := rdf.NewIRI("http://w/next")
+	val := rdf.NewIRI("http://w/val")
+	kind := rdf.NewIRI("http://w/Node")
+	root := rdf.NewIRI("http://w/root")
+	for i := 0; i < fan; i++ {
+		child := rdf.NewIRI(fmt.Sprintf("http://w/c%d", i))
+		g.Add(root, next, child)
+		g.Add(child, rdf.TypeIRI, kind)
+		g.Add(child, val, rdf.NewInt(int64(i)))
+		for j := 0; j < grand; j++ {
+			gc := rdf.NewIRI(fmt.Sprintf("http://w/c%d_%d", i, j))
+			g.Add(child, next, gc)
+			g.Add(gc, val, rdf.NewInt(int64(i*grand+j)))
+		}
+	}
+	return g
+}
+
+// TestParallelEquivalenceWide repeats the equivalence check on a graph
+// whose intermediate row sets exceed the production fan-out threshold, so
+// the morsel scheduler runs with its real chunk sizes (no test hooks).
+func TestParallelEquivalenceWide(t *testing.T) {
+	g := buildWideGraph(300, 6)
+	queries := []struct{ name, query string }{
+		{"join", `SELECT ?a ?b ?v WHERE { ?a <http://w/next> ?b . ?b <http://w/val> ?v }`},
+		{"filter", `SELECT ?c WHERE { ?c <http://w/val> ?v . FILTER(?v >= 150 && ?v < 1000) }`},
+		{"not-exists", `SELECT ?c WHERE { ?c a <http://w/Node> . FILTER NOT EXISTS { ?x <http://w/next> ?c } }`},
+		{"optional", `SELECT ?c ?g WHERE { ?c a <http://w/Node> . OPTIONAL { ?c <http://w/next> ?g } }`},
+		{"path-plus", `SELECT ?x WHERE { <http://w/root> <http://w/next>+ ?x }`},
+		{"path-unbound", `SELECT ?a ?b WHERE { ?a <http://w/next>+ ?b . ?a a <http://w/Node> }`},
+		{"aggregate", `SELECT ?a (COUNT(?b) AS ?n) WHERE { ?a <http://w/next> ?b } GROUP BY ?a`},
+	}
+	oldPar := Parallelism()
+	t.Cleanup(func() { SetParallelism(oldPar) })
+	for _, tc := range queries {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := ParseQuery(tc.query)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			SetParallelism(1)
+			ref, err := Execute(g, q)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			want := canonicalRows(ref)
+			for _, par := range []int{2, 4} {
+				SetParallelism(par)
+				res, err := Execute(g, q)
+				if err != nil {
+					t.Fatalf("parallel(%d): %v", par, err)
+				}
+				if got := canonicalRows(res); strings.Join(got, "\n") != strings.Join(want, "\n") {
+					t.Errorf("parallelism %d: %d rows vs %d; solutions differ", par, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestParallelAskConstruct covers the non-SELECT query kinds.
+func TestParallelAskConstruct(t *testing.T) {
+	g := testGraph(t, fixture)
+	forceParallel(t, 4)
+	ask, err := Run(g, `PREFIX ex: <http://e/> ASK { ?p ex:likes ex:pizza }`)
+	if err != nil || !ask.Boolean {
+		t.Fatalf("ASK failed under parallelism: %v %v", err, ask)
+	}
+	built, err := Run(g, `PREFIX ex: <http://e/> CONSTRUCT { ?f ex:likedBy ?p } WHERE { ?p ex:likes ?f }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(1)
+	ref, err := Run(g, `PREFIX ex: <http://e/> CONSTRUCT { ?f ex:likedBy ?p } WHERE { ?p ex:likes ?f }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !built.Graph.Equal(ref.Graph) {
+		t.Error("CONSTRUCT graph differs between parallel and sequential execution")
+	}
+}
+
+// TestParallelOrderByDeterministic: a total ORDER BY fully determines the
+// rendered table, so it must be byte-identical at every parallelism level.
+func TestParallelOrderByDeterministic(t *testing.T) {
+	g := buildWideGraph(200, 2)
+	const query = `SELECT ?c ?v WHERE { ?c <http://w/val> ?v } ORDER BY ?v ?c`
+	oldPar := Parallelism()
+	t.Cleanup(func() { SetParallelism(oldPar) })
+	SetParallelism(1)
+	ref, err := Run(g, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Table()
+	for _, par := range []int{2, 4} {
+		SetParallelism(par)
+		res, err := Run(g, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Table() != want {
+			t.Errorf("parallelism %d: ORDER BY table not byte-identical to sequential", par)
+		}
+	}
+}
+
+// TestSetParallelismKnob pins the knob's documented semantics.
+func TestSetParallelismKnob(t *testing.T) {
+	old := Parallelism()
+	t.Cleanup(func() { SetParallelism(old) })
+	SetParallelism(0)
+	if got := effectiveParallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("auto parallelism = %d, want GOMAXPROCS (%d)", got, runtime.GOMAXPROCS(0))
+	}
+	SetParallelism(-5)
+	if Parallelism() != 0 {
+		t.Errorf("negative parallelism should clamp to 0, got %d", Parallelism())
+	}
+	SetParallelism(3)
+	if Parallelism() != 3 || effectiveParallelism() != 3 {
+		t.Errorf("parallelism = %d / %d, want 3 / 3", Parallelism(), effectiveParallelism())
+	}
+	ec := newEvalContext(store.New())
+	if ec.par != 3 || cap(ec.sem) != 2 {
+		t.Errorf("context budget = par %d, %d tokens; want 3, 2", ec.par, cap(ec.sem))
+	}
+	SetParallelism(1)
+	if ec := newEvalContext(store.New()); ec.sem != nil {
+		t.Error("parallelism 1 must keep the sequential path (nil semaphore)")
+	}
+}
+
+// TestConcurrentExecute is the smoke test for the store's reader contract
+// as the worker pool consumes it: many goroutines execute queries (each
+// itself fanning out internally) against one shared graph under -race.
+func TestConcurrentExecute(t *testing.T) {
+	g := buildWideGraph(120, 4)
+	queries := []string{
+		`SELECT ?a ?b WHERE { ?a <http://w/next> ?b }`,
+		`SELECT ?c WHERE { ?c <http://w/val> ?v . FILTER(?v < 100) }`,
+		`SELECT ?x WHERE { <http://w/root> <http://w/next>+ ?x }`,
+		`SELECT ?c (COUNT(?g) AS ?n) WHERE { ?c <http://w/next> ?g } GROUP BY ?c`,
+	}
+	parsed := make([]*Query, len(queries))
+	want := make([]int, len(queries))
+	forceParallel(t, 4)
+	for i, src := range queries {
+		q, err := ParseQuery(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed[i] = q
+		res, err := Execute(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Len()
+	}
+	const goroutines = 8
+	const iterations = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				qi := (w + it) % len(parsed)
+				res, err := Execute(g, parsed[qi])
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if res.Len() != want[qi] {
+					errs <- fmt.Errorf("worker %d query %d: %d rows, want %d", w, qi, res.Len(), want[qi])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

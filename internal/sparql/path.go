@@ -34,50 +34,87 @@ func (ec *evalContext) evalPathPattern(tp TriplePattern, sol Solution) []Solutio
 		}
 	default:
 		// Both unbound: enumerate from all subject candidates.
-		for _, start := range ec.pathStartCandidates(tp.Path) {
-			for _, t := range ec.pathForwardCached(tp.Path, start) {
-				ns := sol.clone()
-				ns[sVar] = start
-				if sVar == oVar {
-					if start != t {
-						continue
-					}
-				} else {
-					ns[oVar] = t
+		return ec.pathStartsAll(tp, sol, sVar, oVar)
+	}
+	return out
+}
+
+// pathStartsAll enumerates path matches from every candidate start node.
+// Each start's reachability is independent, so large candidate sets fan
+// out across the worker pool. A separate method so the closure it hands
+// the scheduler cannot force heap boxing inside evalPathPattern's
+// (sequential, per-solution) hot path.
+func (ec *evalContext) pathStartsAll(tp TriplePattern, sol Solution, sVar, oVar string) []Solution {
+	starts := ec.pathStartCandidates(tp.Path)
+	if ec.parEligible(len(starts)) {
+		if par, ok := parRange(ec, len(starts), func(lo, hi int, out []Solution) []Solution {
+			return ec.pathStartsRange(tp, sol, sVar, oVar, starts, lo, hi, out)
+		}); ok {
+			return par
+		}
+	}
+	return ec.pathStartsRange(tp, sol, sVar, oVar, starts, 0, len(starts), nil)
+}
+
+// pathStartsRange matches the path from starts[lo:hi], appending a
+// solution per (start, reachable) pair to out.
+func (ec *evalContext) pathStartsRange(tp TriplePattern, sol Solution, sVar, oVar string, starts []rdf.Term, lo, hi int, out []Solution) []Solution {
+	for _, start := range starts[lo:hi] {
+		for _, t := range ec.pathForwardCached(tp.Path, start) {
+			ns := sol.clone()
+			ns[sVar] = start
+			if sVar == oVar {
+				if start != t {
+					continue
 				}
-				out = append(out, ns)
+			} else {
+				ns[oVar] = t
 			}
+			out = append(out, ns)
 		}
 	}
 	return out
 }
 
 // pathForwardCached memoizes pathForward per (path, start) for the duration
-// of one query evaluation.
+// of one query evaluation. The memo is shared by the query's workers: the
+// lookup and store lock, the (pure) computation runs unlocked, so a race
+// costs at worst a duplicated traversal, never a wrong result.
 func (ec *evalContext) pathForwardCached(p *Path, from rdf.Term) []rdf.Term {
 	k := pathTermKey{p, from}
-	if v, ok := ec.pathFwd[k]; ok {
+	ec.mu.Lock()
+	v, ok := ec.pathFwd[k]
+	ec.mu.Unlock()
+	if ok {
 		return v
 	}
-	v := ec.pathForward(p, from)
+	v = ec.pathForward(p, from)
+	ec.mu.Lock()
 	if ec.pathFwd == nil {
 		ec.pathFwd = make(map[pathTermKey][]rdf.Term)
 	}
 	ec.pathFwd[k] = v
+	ec.mu.Unlock()
 	return v
 }
 
-// pathBackwardCached memoizes pathBackward per (path, end).
+// pathBackwardCached memoizes pathBackward per (path, end); see
+// pathForwardCached for the locking discipline.
 func (ec *evalContext) pathBackwardCached(p *Path, to rdf.Term) []rdf.Term {
 	k := pathTermKey{p, to}
-	if v, ok := ec.pathBwd[k]; ok {
+	ec.mu.Lock()
+	v, ok := ec.pathBwd[k]
+	ec.mu.Unlock()
+	if ok {
 		return v
 	}
-	v := ec.pathBackward(p, to)
+	v = ec.pathBackward(p, to)
+	ec.mu.Lock()
 	if ec.pathBwd == nil {
 		ec.pathBwd = make(map[pathTermKey][]rdf.Term)
 	}
 	ec.pathBwd[k] = v
+	ec.mu.Unlock()
 	return v
 }
 
@@ -238,6 +275,25 @@ func (ec *evalContext) closureIDs(step *Path, start rdf.Term, includeStart, back
 	frontier := []store.ID{startID}
 	for len(frontier) > 0 {
 		var next []store.ID
+		// Wide frontiers expand in parallel: workers gather successor lists
+		// into chunk-ordered slots, then a sequential merge in frontier
+		// order updates the visited set — the same visit order the purely
+		// sequential BFS produces. The fan-out lives in a helper method so
+		// its escaping closure cannot force heap boxing of this walk's
+		// locals on the sequential path.
+		if ec.parEligible(len(frontier)) {
+			if flat, ok := ec.parStepIDs(fwd, inv, frontier); ok {
+				for _, t := range flat {
+					if !visited[t] {
+						visited[t] = true
+						reached = append(reached, t)
+						next = append(next, t)
+					}
+				}
+				frontier = next
+				continue
+			}
+		}
 		for _, node := range frontier {
 			expand := func(t store.ID) {
 				if !visited[t] {
@@ -260,10 +316,40 @@ func (ec *evalContext) closureIDs(step *Path, start rdf.Term, includeStart, back
 		frontier = next
 	}
 	out := make([]rdf.Term, len(reached))
-	for i, id := range reached {
-		out[i] = ec.g.TermOf(id)
+	decoded := false
+	if ec.parEligible(len(reached)) {
+		decoded = parMap(ec, reached, out, ec.g.TermOf)
+	}
+	if !decoded {
+		for i, id := range reached {
+			out[i] = ec.g.TermOf(id)
+		}
 	}
 	return out, true
+}
+
+// parStepIDs expands one BFS frontier across the worker pool, returning
+// every node's successors concatenated in frontier order — the exact
+// visit sequence the sequential expansion produces. ok=false when the
+// fan-out could not run (caller expands sequentially).
+func (ec *evalContext) parStepIDs(fwd, inv, frontier []store.ID) ([]store.ID, bool) {
+	return parRange(ec, len(frontier), func(lo, hi int, buf []store.ID) []store.ID {
+		for _, node := range frontier[lo:hi] {
+			for _, p := range fwd {
+				ec.g.ForEachObjectID(node, p, func(t store.ID) bool {
+					buf = append(buf, t)
+					return true
+				})
+			}
+			for _, p := range inv {
+				ec.g.ForEachSubjectID(p, node, func(t store.ID) bool {
+					buf = append(buf, t)
+					return true
+				})
+			}
+		}
+		return buf
+	})
 }
 
 func (ec *evalContext) closureTerms(step *Path, start rdf.Term, includeStart, backward bool) []rdf.Term {
@@ -276,6 +362,22 @@ func (ec *evalContext) closureTerms(step *Path, start rdf.Term, includeStart, ba
 	frontier := []rdf.Term{start}
 	for len(frontier) > 0 {
 		var next []rdf.Term
+		// Composite steps (sequences, optionals) are the expensive
+		// per-node traversals, so wide frontiers fan out here too; the
+		// merge below runs in frontier order like the ID-level BFS.
+		if ec.parEligible(len(frontier)) {
+			if flat, ok := ec.parStepTerms(step, frontier, backward); ok {
+				for _, t := range flat {
+					if !visited[t] {
+						visited[t] = true
+						out = append(out, t)
+						next = append(next, t)
+					}
+				}
+				frontier = next
+				continue
+			}
+		}
 		for _, node := range frontier {
 			var steps []rdf.Term
 			if backward {
@@ -299,6 +401,20 @@ func (ec *evalContext) closureTerms(step *Path, start rdf.Term, includeStart, ba
 		return out
 	}
 	return out
+}
+
+// parStepTerms is parStepIDs for the term-level BFS over composite steps.
+func (ec *evalContext) parStepTerms(step *Path, frontier []rdf.Term, backward bool) ([]rdf.Term, bool) {
+	return parRange(ec, len(frontier), func(lo, hi int, buf []rdf.Term) []rdf.Term {
+		for _, node := range frontier[lo:hi] {
+			if backward {
+				buf = append(buf, ec.pathBackward(step, node)...)
+			} else {
+				buf = append(buf, ec.pathForward(step, node)...)
+			}
+		}
+		return buf
+	})
 }
 
 // pathReaches tests whether `to` is reachable from `from` via the path.

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"sort"
 	"strings"
 
 	"repro/internal/rdf"
@@ -16,6 +17,24 @@ func (r *Result) Get(i int, varName string) rdf.Term {
 
 // Len returns the number of solution rows.
 func (r *Result) Len() int { return len(r.Solutions) }
+
+// Sort orders the solution rows deterministically by the projected
+// variables (rdf.Compare per column, left to right; unbound sorts first).
+// Without an ORDER BY clause the evaluator's row order is unspecified —
+// it follows index iteration, which varies run to run — so renderers that
+// need byte-stable output across runs and across parallelism settings
+// sort before rendering. A no-op on ASK/CONSTRUCT/DESCRIBE results.
+func (r *Result) Sort() {
+	sort.SliceStable(r.Solutions, func(i, j int) bool {
+		a, b := r.Solutions[i], r.Solutions[j]
+		for _, v := range r.Vars {
+			if c := rdf.Compare(a[v], b[v]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
 
 // Table renders SELECT results as an aligned text table using the query's
 // prefixes, in the style the paper presents its listing outputs.

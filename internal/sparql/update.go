@@ -218,6 +218,9 @@ func ExecuteUpdate(g *store.Graph, u *Update) (UpdateResult, error) {
 		// Fresh context per operation: evalContext memoizes path
 		// reachability under the assumption the graph does not change
 		// mid-evaluation, and earlier operations may have mutated it.
+		// Deliberately built without a worker budget (nil sem, never
+		// parallel): updates interleave pattern matching with mutation,
+		// which the store's reader contract forbids running concurrently.
 		ec := &evalContext{g: g}
 		switch op.Kind {
 		case UpdateInsertData:

@@ -22,13 +22,24 @@
 // combination of bound and wildcard positions — by at most one nested-map
 // walk without scanning unrelated triples.
 //
-// # Concurrency
+// # Concurrency: the reader contract
 //
-// A Graph is not safe for concurrent mutation. Concurrent readers are safe
-// provided no writer is active; the typical lifecycle (load, reason, then
-// query from many goroutines) needs no locking. The dictionary follows the
-// same contract and is append-only, so IDs observed by readers never change
-// meaning.
+// A Graph is not safe for concurrent mutation, and no read may overlap a
+// mutation (Add*, Merge, Remove, Subtract, Clear, InternTerm). Once the
+// graph is quiescent, any number of goroutines may read it concurrently
+// with no locking: every non-mutating method — ForEach*, Match, Has*,
+// Exists, Count*, Objects*, Subjects*, Predicates, FirstObject*, TermOf,
+// KindOf, IsResourceID, LookupID, ReadList*, Triples, the set accessors —
+// only walks the immutable index maps and the append-only dictionary, so
+// IDs observed by readers never change meaning. The typical lifecycle
+// (load, reason, then query from many goroutines) therefore needs no
+// synchronization at all.
+//
+// Two classes of consumer rely on this contract: applications serving many
+// queries from one materialized graph, and the SPARQL engine's parallel
+// executor (internal/sparql), which fans a single query's joins, filters,
+// and path searches across a worker pool probing one shared Graph.
+// internal/store/concurrent_test.go locks the contract in under -race.
 package store
 
 import (
@@ -254,6 +265,30 @@ func (g *Graph) ObjectsID(s, p ID) []ID {
 		out = append(out, o)
 	}
 	return out
+}
+
+// ForEachObjectID calls fn for every object ID of triples (s, p, *), in
+// index order (unsorted), stopping early when fn returns false. It is the
+// allocation-free form of ObjectsID, for hot loops — the SPARQL engine's
+// path BFS expands frontiers with it — that want neither a fresh slice per
+// probe nor a full triple callback.
+func (g *Graph) ForEachObjectID(s, p ID, fn func(o ID) bool) {
+	for o := range g.spo[s][p] {
+		if !fn(o) {
+			return
+		}
+	}
+}
+
+// ForEachSubjectID calls fn for every subject ID of triples (*, p, o), in
+// index order (unsorted), stopping early when fn returns false. The
+// allocation-free form of SubjectsID.
+func (g *Graph) ForEachSubjectID(p, o ID, fn func(s ID) bool) {
+	for s := range g.pos[p][o] {
+		if !fn(s) {
+			return
+		}
+	}
 }
 
 // SubjectsID returns the subject IDs of triples (*, p, o), unsorted.

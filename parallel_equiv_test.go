@@ -1,0 +1,139 @@
+package repro
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/foodkg"
+	"repro/internal/ontology"
+	"repro/internal/paper"
+	"repro/internal/reasoner"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// runAt executes query at the given parallelism level, restoring the knob.
+func runAt(t *testing.T, g *store.Graph, query string, par int) *sparql.Result {
+	t.Helper()
+	old := sparql.Parallelism()
+	sparql.SetParallelism(par)
+	defer sparql.SetParallelism(old)
+	res, err := sparql.Run(g, query)
+	if err != nil {
+		t.Fatalf("execute at parallelism %d: %v", par, err)
+	}
+	return res
+}
+
+// parallelLevels is the matrix the ISSUE requires: sequential reference,
+// two workers, and the automatic GOMAXPROCS setting.
+func parallelLevels() []int {
+	return []int{1, 2, runtime.GOMAXPROCS(0)}
+}
+
+// TestParallelEquivalenceListings evaluates every paper listing on every
+// competency dataset at parallelism 1, 2, and GOMAXPROCS and requires the
+// identical solution multiset from each level.
+func TestParallelEquivalenceListings(t *testing.T) {
+	cases := []struct {
+		name  string
+		cq    ontology.CompetencyQuestion
+		query string
+	}{
+		{"listing1/cq1", ontology.CQ1, paper.Listing1Query},
+		{"listing2/cq2", ontology.CQ2, paper.Listing2Query},
+		{"listing3/cq3", ontology.CQ3, paper.Listing3Query},
+		{"listing1/cqall", ontology.CQAll, paper.Listing1Query},
+		{"listing2/cqall", ontology.CQAll, paper.Listing2Query},
+		{"listing3/cqall", ontology.CQAll, paper.Listing3Query},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, _ := ontology.Dataset(tc.cq)
+			want := canonRows(runAt(t, g, tc.query, 1))
+			for _, par := range parallelLevels()[1:] {
+				got := canonRows(runAt(t, g, tc.query, par))
+				if strings.Join(got, "\n") != strings.Join(want, "\n") {
+					t.Fatalf("parallelism %d: solutions differ from sequential\npar:\n%s\nseq:\n%s",
+						par, strings.Join(got, "\n"), strings.Join(want, "\n"))
+				}
+			}
+		})
+	}
+}
+
+// TestParallelEquivalenceOperators runs the A4 operator suite over the
+// synthetic FoodKG — row sets large enough that the morsel scheduler
+// engages at its production threshold — at every parallelism level.
+func TestParallelEquivalenceOperators(t *testing.T) {
+	kg := foodkg.Generate(foodkg.DefaultConfig())
+	g := ontology.TBox()
+	g.Merge(kg.Graph)
+	reasoner.New(reasoner.Options{}).Materialize(g)
+	queries := []struct{ name, query string }{
+		{"bgp-join", `SELECT ?r ?i WHERE { ?r a food:Recipe . ?r feo:hasIngredient ?i }`},
+		{"filter", `SELECT ?r WHERE { ?r food:calories ?c . FILTER(?c > 400) }`},
+		{"not-exists", `SELECT ?r WHERE { ?r a food:Recipe . FILTER NOT EXISTS { ?r feo:compatibleWithDiet ?d } }`},
+		{"optional", `SELECT ?r ?d WHERE { ?r a food:Recipe . OPTIONAL { ?r feo:compatibleWithDiet ?d } }`},
+		{"union", `SELECT ?x WHERE { { ?x a food:Recipe } UNION { ?x a food:Ingredient } }`},
+		{"path-plus", `SELECT ?c WHERE { ?r a food:Recipe . ?r (feo:hasIngredient|feo:availableIn)+ ?c }`},
+		{"aggregate", `SELECT ?i (COUNT(?r) AS ?n) WHERE { ?r feo:hasIngredient ?i } GROUP BY ?i`},
+	}
+	for _, tc := range queries {
+		t.Run(tc.name, func(t *testing.T) {
+			want := canonRows(runAt(t, g, tc.query, 1))
+			if len(want) == 0 {
+				t.Fatalf("corpus query %s returned no rows; equivalence check is vacuous", tc.name)
+			}
+			for _, par := range parallelLevels()[1:] {
+				got := canonRows(runAt(t, g, tc.query, par))
+				if strings.Join(got, "\n") != strings.Join(want, "\n") {
+					t.Fatalf("parallelism %d: %d rows vs sequential %d; solutions differ",
+						par, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// renderAt regenerates an artifact with the knob pinned to par.
+func renderAt(par int, f func() string) string {
+	old := sparql.Parallelism()
+	sparql.SetParallelism(par)
+	defer sparql.SetParallelism(old)
+	return f()
+}
+
+// TestParallelArtifactsByteIdentical requires every paper artifact —
+// listings, Table I, Figures 1-4 — to come out byte-identical whether the
+// engine runs sequentially or fully parallel. (The listing renderer sorts
+// its rows, so this is a real guarantee, not map-order luck.)
+func TestParallelArtifactsByteIdentical(t *testing.T) {
+	artifacts := []struct {
+		name   string
+		render func() string
+	}{
+		{"listing1", func() string { out, _ := paper.Listing(1); return out }},
+		{"listing2", func() string { out, _ := paper.Listing(2); return out }},
+		{"listing3", func() string { out, _ := paper.Listing(3); return out }},
+		{"table1", func() string { out, _ := paper.Table1(); return out }},
+		{"figure1", paper.Figure1},
+		{"figure2", paper.Figure2},
+		{"figure3", paper.Figure3},
+		{"figure4", paper.Figure4},
+	}
+	for _, a := range artifacts {
+		t.Run(a.name, func(t *testing.T) {
+			want := renderAt(1, a.render)
+			if want == "" {
+				t.Fatalf("%s rendered empty at parallelism 1", a.name)
+			}
+			for _, par := range parallelLevels()[1:] {
+				if got := renderAt(par, a.render); got != want {
+					t.Errorf("%s differs at parallelism %d", a.name, par)
+				}
+			}
+		})
+	}
+}

@@ -8,6 +8,11 @@
 # Defaults: OUT.json = BENCH.json, BENCH_REGEX = "." (everything). Each
 # benchmark is run with -benchmem -count=3; the recorded numbers are the
 # per-metric minima over the three runs (least-noise estimate).
+#
+# The sweep covers every package (./...), so internal/... benchmarks join
+# the recorded trajectory alongside the root artifact suite. Benchmark
+# names are recorded without their package path; keep top-level Benchmark
+# function names unique across packages.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,7 +23,7 @@ count=3
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchmem -count="$count" . | tee "$raw" >&2
+go test -run '^$' -bench "$pattern" -benchmem -count="$count" ./... | tee "$raw" >&2
 
 awk -v out="$out" '
 /^Benchmark/ && /ns\/op/ {
