@@ -17,6 +17,14 @@ import (
 //	POST     /explain            {"type","primary","secondary","user"} -> explanation
 //	GET      /recommend?user=IRI&limit=N
 //	GET      /stats              graph statistics
+//
+// net/http serves each request on its own goroutine, and /explain mutates
+// the graph (the engine asserts question and explanation individuals), so
+// handler concurrency is exactly the writer-vs-reader mix the store
+// forbids. feo.Session serializes it: Explain takes the session's write
+// lock, Query/Recommend/Stats share the read lock, so /sparql and
+// /recommend keep running concurrently with each other and only queue
+// behind in-flight explanation writes.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	data := dataFlag(fs)

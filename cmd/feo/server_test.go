@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/feo"
@@ -165,6 +166,64 @@ func TestExplainEndpointValidation(t *testing.T) {
 	srv.handleExplain(rr, httptest.NewRequest(http.MethodGet, "/explain", nil))
 	if rr.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET /explain status = %d", rr.Code)
+	}
+}
+
+// TestConcurrentExplainAndSPARQL hammers the mutating /explain endpoint
+// concurrently with /sparql and /recommend readers. Before feo.Session
+// gated mutation behind its RWMutex this was a data race (the explain
+// engine asserts individuals into the graph while queries walk its
+// indexes) that -race reliably caught; the test pins the fix.
+func TestConcurrentExplainAndSPARQL(t *testing.T) {
+	srv := testServer(t)
+	query := "/sparql?query=" + strings.ReplaceAll(
+		"SELECT ?e WHERE { ?e a eo:Explanation }", " ", "%20")
+	const workers, rounds = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				body := strings.NewReader(`{"type":"contextual","primary":"feo:CauliflowerPotatoCurry"}`)
+				rr := httptest.NewRecorder()
+				srv.handleExplain(rr, httptest.NewRequest(http.MethodPost, "/explain", body))
+				if rr.Code != http.StatusOK {
+					t.Errorf("explain status = %d body=%s", rr.Code, rr.Body.String())
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				rr := httptest.NewRecorder()
+				srv.handleSPARQL(rr, httptest.NewRequest(http.MethodGet, query, nil))
+				if rr.Code != http.StatusOK {
+					t.Errorf("sparql status = %d body=%s", rr.Code, rr.Body.String())
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				rr := httptest.NewRecorder()
+				srv.handleRecommend(rr, httptest.NewRequest(http.MethodGet, "/recommend?user=feo:User2&limit=3", nil))
+				if rr.Code != http.StatusOK {
+					t.Errorf("recommend status = %d body=%s", rr.Code, rr.Body.String())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// The explanations asserted under the write lock must be visible to a
+	// subsequent read.
+	rr := httptest.NewRecorder()
+	srv.handleStats(rr, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stats after hammering = %d", rr.Code)
 	}
 }
 

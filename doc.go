@@ -4,17 +4,30 @@
 // regenerates and times every artifact of the paper's evaluation — see
 // bench_test.go, DESIGN.md, and EXPERIMENTS.md.
 //
-// # Dictionary-encoded engine
+// # Dictionary-encoded engine over roaring bitmap indexes
 //
 // The storage and query substrate is dictionary-encoded: internal/store
 // interns every distinct RDF term into a dense uint32 ID (store.TermDict)
-// and keeps its SPO/POS/OSP permutation indexes as nested map[ID]
-// structures. Terms are encoded once, on write; reads decode lazily, only
-// for the positions a caller receives. The two hot consumers exploit this
-// end to end: the OWL RL reasoner (internal/reasoner) joins rule premises
-// on IDs, and the SPARQL evaluator (internal/sparql) runs basic graph
+// and keeps its SPO/POS/OSP permutation indexes as two nested map levels
+// whose innermost level is a roaring-style bitmap set (store.IDSet,
+// internal/store/bitset.go) — 16-bit-keyed containers, sorted-array when
+// sparse and 1024-word bitmap when dense. Terms are encoded once, on
+// write; reads decode lazily, only for the positions a caller receives,
+// and ID-level set iteration is in ascending ID order. The two hot
+// consumers exploit this end to end: the OWL RL reasoner
+// (internal/reasoner) joins rule premises on IDs with bitmap membership
+// probes, and the SPARQL evaluator (internal/sparql) runs basic graph
 // patterns as an ID-space pipeline after reordering them by estimated
-// selectivity.
+// selectivity — fusing runs of patterns that constrain the same fresh
+// variable into word-level bitmap intersections (Graph.MatchSetID +
+// IDSet.And), and running property-path BFS with bitmap visited/frontier
+// sets. Graph.Version counts mutations, so memoized per-snapshot state
+// (path reachability, future plan caches) can assert graph stability.
+//
+// The store itself never locks; serving layers that interleave mutation
+// with reads serialize at their own level — feo.Session gates Explain
+// (which asserts explanation individuals) and the loaders behind the
+// write side of an RWMutex while queries share the read side.
 //
 // # Parallel query execution
 //
@@ -38,6 +51,7 @@
 // scripts/bench.sh records the benchmark suite (all packages) across PRs
 // (BENCH_*.json), and scripts/bench_compare.sh enforces it: the CI
 // bench-compare job re-runs the suite and fails the build when a paper
-// listing, Table I, figure, or reasoner benchmark regresses more than 15%
-// against the latest committed trajectory point.
+// listing, Table I, figure, reasoner, or store bitset/dense-pattern
+// benchmark regresses more than 15% against the latest committed
+// trajectory point.
 package repro

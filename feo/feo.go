@@ -20,6 +20,7 @@ package feo
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/foodkg"
@@ -117,7 +118,27 @@ const (
 )
 
 // Session is a loaded, materialized knowledge graph with attached engines.
+//
+// # Concurrency
+//
+// A Session is safe for concurrent use. The underlying store forbids any
+// read overlapping a mutation (see internal/store's reader contract), and
+// a serving Session mutates more often than it looks: Explain asserts the
+// question and explanation individuals into the graph before querying it,
+// and LoadTurtle / LoadRDFXML / Update both parse into the graph and
+// re-materialize the OWL RL closure. Session therefore gates every method
+// with an RWMutex — mutating calls (Explain, LoadTurtle, LoadRDFXML,
+// Update) take the write lock, read-only calls (Query, Recommend,
+// RecommendGroup, Users, Recipes, Stats, Validate, ExplainTriple,
+// WriteTurtle, WriteRDFXML) share the read lock. Readers still run fully
+// concurrently with each other, and each Query additionally fans out
+// across the SetQueryParallelism worker budget under its read lock.
+//
+// Graph exposes the raw store and escapes this gate: callers that mix
+// direct Graph mutation with concurrent Session use must provide their
+// own serialization.
 type Session struct {
+	mu       sync.RWMutex
 	graph    *store.Graph
 	reasoner *reasoner.Reasoner
 	engine   *core.Engine
@@ -154,20 +175,33 @@ func NewSession(opts Options) *Session {
 	return &Session{graph: g, reasoner: r, engine: engine, coach: coach, kg: kg}
 }
 
-// Graph returns the session's materialized graph.
+// Graph returns the session's materialized graph. The returned store is
+// NOT covered by the session's lock: direct mutation of it while other
+// goroutines use the Session is the caller's race to prevent.
 func (s *Session) Graph() *store.Graph { return s.graph }
 
 // KG returns the generated FoodKG handles (nil unless DataSynthetic).
 func (s *Session) KG() *foodkg.KG { return s.kg }
 
 // Users returns the user individuals known to the session.
-func (s *Session) Users() []Term { return s.graph.InstancesOf(ontology.FoodUser) }
+func (s *Session) Users() []Term {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graph.InstancesOf(ontology.FoodUser)
+}
 
 // Recipes returns the recipe individuals known to the session.
-func (s *Session) Recipes() []Term { return s.graph.InstancesOf(ontology.FoodRecipe) }
+func (s *Session) Recipes() []Term {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graph.InstancesOf(ontology.FoodRecipe)
+}
 
-// LoadTurtle adds Turtle data to the session and re-materializes.
+// LoadTurtle adds Turtle data to the session and re-materializes. It takes
+// the session's write lock: no query overlaps the load.
 func (s *Session) LoadTurtle(doc string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := turtle.ParseInto(s.graph, doc); err != nil {
 		return err
 	}
@@ -176,8 +210,10 @@ func (s *Session) LoadTurtle(doc string) error {
 }
 
 // LoadRDFXML adds RDF/XML data (Protégé's export format) to the session
-// and re-materializes.
+// and re-materializes, under the session's write lock.
 func (s *Session) LoadRDFXML(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := rdfxml.ParseInto(s.graph, r); err != nil {
 		return err
 	}
@@ -186,30 +222,47 @@ func (s *Session) LoadRDFXML(r io.Reader) error {
 }
 
 // WriteRDFXML serializes the session graph as RDF/XML.
-func (s *Session) WriteRDFXML(w io.Writer) error { return rdfxml.Write(w, s.graph) }
+func (s *Session) WriteRDFXML(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return rdfxml.Write(w, s.graph)
+}
 
 // Query runs a SPARQL query against the materialized graph. Queries may
 // run from many goroutines concurrently (each one additionally fans out
-// across the SetQueryParallelism worker budget); the only requirement is
-// that no mutating call — LoadTurtle, LoadRDFXML, Update — overlaps them,
-// per the store's reader contract.
+// across the SetQueryParallelism worker budget); the session's read lock
+// keeps them off the mutating calls (Explain, LoadTurtle, LoadRDFXML,
+// Update) automatically.
 func (s *Session) Query(q string) (*QueryResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return sparql.Run(s.graph, q)
 }
 
-// Explain generates an explanation for the question.
+// Explain generates an explanation for the question. Explanation
+// generation WRITES: the engine asserts the question individual and the
+// generated explanation individual (eo:Explanation node, eo:usesKnowledge
+// evidence links, …) into the graph, so Explain takes the session's write
+// lock and never overlaps Query/Recommend readers — the data race that
+// serving /explain next to /sparql used to carry.
 func (s *Session) Explain(q Question) (*Explanation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.engine.Explain(q)
 }
 
 // Recommend ranks recipes for the user (Health Coach simulation).
 func (s *Session) Recommend(user Term, limit int) []Recommendation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.coach.Recommend(user, limit)
 }
 
 // RecommendGroup ranks recipes for a group; any member's hard constraint
 // excludes a recipe.
 func (s *Session) RecommendGroup(users []Term, limit int) []Recommendation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.coach.RecommendGroup(users, limit)
 }
 
@@ -223,6 +276,8 @@ func (s *Session) RecommendGroup(users []Term, limit int) []Recommendation {
 // reclassifying). To fully retract, rebuild the session from the edited
 // source data.
 func (s *Session) Update(req string) (sparql.UpdateResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	res, err := sparql.RunUpdate(s.graph, req)
 	if err != nil {
 		return res, err
@@ -237,6 +292,8 @@ func (s *Session) Update(req string) (sparql.UpdateResult, error) {
 // differentFrom, owl:Nothing, asymmetric/irreflexive violations, negative
 // property assertions) over the materialized graph.
 func (s *Session) Validate() []reasoner.Inconsistency {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return reasoner.Validate(s.graph)
 }
 
@@ -244,14 +301,22 @@ func (s *Session) Validate() []reasoner.Inconsistency {
 // which OWL RL rules produced it from which premises. Empty for asserted
 // or unknown triples.
 func (s *Session) ExplainTriple(subject, predicate, object Term) []reasoner.ProofStep {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.reasoner.Proof(rdf.Triple{S: subject, P: predicate, O: object})
 }
 
 // WriteTurtle serializes the session graph as Turtle.
-func (s *Session) WriteTurtle(w io.Writer) error { return turtle.Write(w, s.graph) }
+func (s *Session) WriteTurtle(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return turtle.Write(w, s.graph)
+}
 
 // Stats summarizes the session graph.
 func (s *Session) Stats() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st := s.graph.Statistics()
 	return fmt.Sprintf("triples=%d subjects=%d predicates=%d classes=%d instances=%d",
 		st.Triples, st.Subjects, st.Predicates, st.Classes, st.Instances)

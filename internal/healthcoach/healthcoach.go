@@ -72,12 +72,13 @@ type Recommendation struct {
 
 // Coach scores recipes in a knowledge graph for users. Entities (system,
 // season, recipes) are resolved from the graph on every call, so data
-// loaded after construction is picked up automatically.
+// loaded after construction is picked up automatically. A Coach holds no
+// per-call state: once the graph is quiescent, any number of goroutines
+// may call Recommend/RecommendGroup concurrently (the system context each
+// pass needs travels as a value, never through Coach fields).
 type Coach struct {
-	g      *store.Graph
-	w      Weights
-	season rdf.Term
-	region rdf.Term
+	g *store.Graph
+	w Weights
 }
 
 // New builds a Coach over a (materialized) graph.
@@ -99,22 +100,30 @@ func (c *Coach) Season() rdf.Term {
 	return c.g.FirstObject(c.System(), ontology.FEOHasSeason)
 }
 
+// sysContext is the system state one recommendation pass scores against.
+// It is re-read from the graph per pass and passed by value so concurrent
+// passes never share mutable Coach state.
+type sysContext struct {
+	season, region rdf.Term
+}
+
 // refresh re-reads the system context before a recommendation pass.
-func (c *Coach) refresh() []rdf.Term {
+func (c *Coach) refresh() (sysContext, []rdf.Term) {
 	sys := c.System()
-	c.season = c.g.FirstObject(sys, ontology.FEOHasSeason)
-	c.region = c.g.FirstObject(sys, ontology.FEOLocatedIn)
-	return c.g.InstancesOf(ontology.FoodRecipe)
+	return sysContext{
+		season: c.g.FirstObject(sys, ontology.FEOHasSeason),
+		region: c.g.FirstObject(sys, ontology.FEOLocatedIn),
+	}, c.g.InstancesOf(ontology.FoodRecipe)
 }
 
 // Recommend ranks every non-excluded recipe for the user, best first.
 // Excluded recipes are returned after the ranked ones with Excluded=true,
 // so explanation code can also answer "why NOT X".
 func (c *Coach) Recommend(user rdf.Term, limit int) []Recommendation {
-	recipes := c.refresh()
+	sc, recipes := c.refresh()
 	recs := make([]Recommendation, 0, len(recipes))
 	for _, r := range recipes {
-		recs = append(recs, c.scoreOne(user, r))
+		recs = append(recs, c.scoreOne(sc, user, r))
 	}
 	sort.SliceStable(recs, func(i, j int) bool {
 		if recs[i].Excluded != recs[j].Excluded {
@@ -138,7 +147,7 @@ func (c *Coach) RecommendGroup(users []rdf.Term, limit int) []Recommendation {
 	if len(users) == 0 {
 		return nil
 	}
-	recipes := c.refresh()
+	sc, recipes := c.refresh()
 	recs := make([]Recommendation, 0, len(recipes))
 	for _, r := range recipes {
 		var sum float64
@@ -146,7 +155,7 @@ func (c *Coach) RecommendGroup(users []rdf.Term, limit int) []Recommendation {
 		merged.Recipe = r
 		merged.Label = c.label(r)
 		for _, u := range users {
-			one := c.scoreOne(u, r)
+			one := c.scoreOne(sc, u, r)
 			if one.Excluded {
 				merged.Excluded = true
 				merged.Reason = fmt.Sprintf("%s (member %s)", one.Reason, c.label(u))
@@ -179,7 +188,7 @@ func (c *Coach) RecommendGroup(users []rdf.Term, limit int) []Recommendation {
 	return recs
 }
 
-func (c *Coach) scoreOne(user, recipe rdf.Term) Recommendation {
+func (c *Coach) scoreOne(sc sysContext, user, recipe rdf.Term) Recommendation {
 	rec := Recommendation{Recipe: recipe, Label: c.label(recipe)}
 	ingredients := c.g.Objects(recipe, ontology.FEOHasIngredient)
 
@@ -244,10 +253,10 @@ func (c *Coach) scoreOne(user, recipe rdf.Term) Recommendation {
 	}
 	// Seasonal and regional availability.
 	for _, ing := range ingredients {
-		if c.season.IsValid() && c.g.Has(ing, ontology.FEOAvailableIn, c.season) {
+		if sc.season.IsValid() && c.g.Has(ing, ontology.FEOAvailableIn, sc.season) {
 			add("in-season", fmt.Sprintf("%s is available in the current season", c.label(ing)), c.w.InSeason)
 		}
-		if c.region.IsValid() && c.g.Has(ing, ontology.FEOAvailableInRegion, c.region) {
+		if sc.region.IsValid() && c.g.Has(ing, ontology.FEOAvailableInRegion, sc.region) {
 			add("in-region", fmt.Sprintf("%s is local to the system's region", c.label(ing)), c.w.InRegion)
 		}
 	}

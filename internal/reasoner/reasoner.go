@@ -97,12 +97,16 @@ func internVocab(g *store.Graph) vocab {
 }
 
 // structuralIDs returns the set of predicate IDs whose presence requires an
-// expression-table rebuild when they change.
-func (v vocab) structuralIDs() map[store.ID]bool {
-	return map[store.ID]bool{
-		v.inter: true, v.union: true, v.onProp: true, v.svf: true,
-		v.avf: true, v.hv: true, v.chain: true, v.first: true, v.rest: true,
+// expression-table rebuild when they change, as a bitmap probed once per
+// inferred triple.
+func (v vocab) structuralIDs() *store.IDSet {
+	s := store.NewIDSet()
+	for _, id := range []store.ID{
+		v.inter, v.union, v.onProp, v.svf, v.avf, v.hv, v.chain, v.first, v.rest,
+	} {
+		s.Add(id)
 	}
+	return s
 }
 
 // Reasoner materializes OWL 2 RL consequences into a graph.
@@ -110,7 +114,7 @@ type Reasoner struct {
 	opts      Options
 	g         *store.Graph
 	v         vocab
-	structIDs map[store.ID]bool
+	structIDs *store.IDSet
 	expr      *exprTable
 	queue     []iTriple
 	stats     Stats
@@ -272,7 +276,7 @@ func (r *Reasoner) infer(rule string, s, p, o store.ID, premises ...iTriple) {
 		}
 		r.derivations[r.decode(t)] = Derivation{Rule: rule, Premises: prem}
 	}
-	if r.structIDs[p] {
+	if r.structIDs.Contains(p) {
 		r.exprDirty = true
 	}
 }

@@ -6,9 +6,12 @@ import (
 
 // The rule bodies below run entirely on dictionary IDs: premise joins probe
 // the store's ID indexes (ObjectsID / SubjectsID / HasID / ForEachID) and
-// conclusions are asserted with AddID. No term is decoded unless tracing is
-// enabled. Kind guards that used to call Term.IsIRI/IsBlank use the
-// dictionary's kind table (IsResourceID) instead.
+// conclusions are asserted with AddID. The indexes' innermost levels are
+// the store's roaring bitmaps, so a membership premise (HasID) is a bitmap
+// Contains and the candidate lists the joins iterate arrive in ascending
+// ID order. No term is decoded unless tracing is enabled. Kind guards that
+// used to call Term.IsIRI/IsBlank use the dictionary's kind table
+// (IsResourceID) instead.
 
 // applyDelta fires every rule in which the triple t can serve as a premise,
 // joining the remaining premises against the current graph.

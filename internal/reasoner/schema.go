@@ -114,10 +114,9 @@ func buildExprTable(g *store.Graph, v vocab) *exprTable {
 		}
 		idx := len(t.chains)
 		t.chains = append(t.chains, chain{Super: s, Steps: steps})
-		seen := make(map[store.ID]bool)
+		seen := store.NewIDSet()
 		for _, st := range steps {
-			if !seen[st] {
-				seen[st] = true
+			if seen.Add(st) {
 				t.chainsByStep[st] = append(t.chainsByStep[st], idx)
 			}
 		}

@@ -64,6 +64,12 @@ type evalContext struct {
 	// every loop on the sequential reference path.
 	par int
 	sem chan struct{}
+	// gver is the graph's mutation version at Execute entry. The per-query
+	// memo caches below are only valid for that snapshot; the path caches
+	// check it on every lookup and bypass themselves if the graph mutated
+	// mid-query (a reader-contract violation, degraded to uncached
+	// evaluation instead of stale results).
+	gver uint64
 	// mu guards the memo maps below: they are lazily filled caches of pure
 	// computations, shared by all of the query's workers. Lookups and
 	// stores lock; the computation itself runs unlocked (a duplicated
@@ -82,7 +88,7 @@ type evalContext struct {
 
 // newEvalContext resolves the parallelism knob once for this execution.
 func newEvalContext(g *store.Graph) *evalContext {
-	ec := &evalContext{g: g, par: effectiveParallelism()}
+	ec := &evalContext{g: g, par: effectiveParallelism(), gver: g.Version()}
 	if ec.par > 1 {
 		ec.sem = make(chan struct{}, ec.par-1)
 	}
@@ -785,6 +791,7 @@ func (ec *evalContext) evalBGPPrefix(tps []TriplePattern, seq []Solution) []Solu
 	}
 	nSlots := len(slotNames)
 	rows := make([]idRow, 0, len(seq))
+	boundN := make([]int, nSlots)
 	for si, sol := range seq {
 		vals := make([]store.ID, nSlots)
 		ok := true
@@ -800,25 +807,82 @@ func (ec *evalContext) evalBGPPrefix(tps []TriplePattern, seq []Solution) []Solu
 			}
 		}
 		if ok {
+			for slot, v := range vals {
+				if v != store.NoID {
+					boundN[slot]++
+				}
+			}
 			rows = append(rows, idRow{src: si, vals: vals})
 		}
 	}
+	// certain[slot] marks slots bound in every row: seeded from the rows
+	// just built, then extended as the pipeline executes (a pattern binds
+	// all of its slots in every surviving row). Runs of patterns whose
+	// single uncertain slot coincide fuse into one bitmap intersection
+	// below.
+	certain := make([]bool, nSlots)
+	for slot, n := range boundN {
+		certain[slot] = n == len(rows) && len(rows) > 0
+	}
 	// Join pipeline: the first (most selective) pattern seeds the row
 	// stream, and each subsequent pattern expands every surviving row.
-	// Large row sets fan out across the worker pool in contiguous morsels
-	// whose outputs concatenate in morsel order — exactly the sequential
-	// append order — while small ones run the closure-free range call.
-	for _, spec := range specs {
+	// Consecutive patterns that constrain the same single fresh variable —
+	// the dense-ontology staple `?x rdf:type :A . ?x rdf:type :B` — fuse
+	// into one run: per row, each pattern's candidate bitmap comes straight
+	// from an index level (MatchSetID) and the run's matches are their
+	// word-level intersection, in the exact ascending-ID order the unfused
+	// expand-then-filter cascade would emit. Large row sets fan out across
+	// the worker pool in contiguous morsels whose outputs concatenate in
+	// morsel order — exactly the sequential append order — while small
+	// ones run the closure-free range call.
+	for i := 0; i < len(specs); {
 		if len(rows) == 0 {
 			return nil
 		}
-		if ec.parEligible(len(rows)) {
-			if par, ok := ec.parExpandIDRows(spec, rows); ok {
-				rows = par
-				continue
+		run := i
+		freeSlot := -1
+		if v, ok := fusableSlot(specs[i], certain); ok {
+			freeSlot = v
+			for run = i + 1; run < len(specs); run++ {
+				if v2, ok2 := fusableSlot(specs[run], certain); !ok2 || v2 != v {
+					break
+				}
 			}
 		}
-		rows = expandIDRows(g, spec, rows, 0, len(rows), rows[:0:0])
+		if run > i+1 {
+			fused := specs[i:run]
+			// When every non-free position of the run is a constant the
+			// candidate sets are the same for every row: resolve them once
+			// here — and materialize the dense word-level AND once — instead
+			// of per row (and per morsel).
+			shared, sharedCand := fusedSharedSets(g, fused, freeSlot)
+			expanded := false
+			if ec.parEligible(len(rows)) {
+				if par, ok := ec.parIntersectIDRows(fused, freeSlot, shared, sharedCand, rows); ok {
+					rows, expanded = par, true
+				}
+			}
+			if !expanded {
+				rows = intersectIDRows(g, fused, freeSlot, shared, sharedCand, rows, 0, len(rows), rows[:0:0])
+			}
+			for _, spec := range fused {
+				markCertain(spec, certain)
+			}
+			i = run
+			continue
+		}
+		spec := specs[i]
+		expanded := false
+		if ec.parEligible(len(rows)) {
+			if par, ok := ec.parExpandIDRows(spec, rows); ok {
+				rows, expanded = par, true
+			}
+		}
+		if !expanded {
+			rows = expandIDRows(g, spec, rows, 0, len(rows), rows[:0:0])
+		}
+		markCertain(spec, certain)
+		i++
 	}
 	// Materialize surviving rows into Solutions; each row is independent,
 	// so large results decode in parallel into index-ordered slots.
@@ -827,6 +891,213 @@ func (ec *evalContext) evalBGPPrefix(tps []TriplePattern, seq []Solution) []Solu
 		materializeIDRows(g, seq, slotNames, rows, out, 0, len(rows))
 	}
 	return out
+}
+
+// fusableSlot reports whether exactly one position of spec holds a slot
+// not yet certainly bound, returning that slot. Such a pattern resolves,
+// per row, to a single index-level candidate set — the shape the fused
+// intersection join consumes. A pattern repeating its one fresh variable
+// in two positions has two uncertain positions and is rejected, as is a
+// pattern whose positions are all constants or certain (a pure existence
+// test, which the plain expander handles without allocating).
+func fusableSlot(spec bgpSpec, certain []bool) (int, bool) {
+	free, n := -1, 0
+	for j := 0; j < 3; j++ {
+		if s := spec.slot[j]; s != bgpConstPos && !certain[s] {
+			free = s
+			n++
+		}
+	}
+	return free, n == 1
+}
+
+// probeFor resolves one pattern against one row: constants from the spec,
+// everything else from the row's slots (NoID when the slot is unbound).
+func probeFor(spec bgpSpec, r idRow) [3]store.ID {
+	var probe [3]store.ID
+	for j := 0; j < 3; j++ {
+		if spec.slot[j] == bgpConstPos {
+			probe[j] = spec.ids[j]
+		} else {
+			probe[j] = r.vals[spec.slot[j]]
+		}
+	}
+	return probe
+}
+
+// markCertain records that spec's slots are bound in every surviving row
+// (expansion binds all of a pattern's slots).
+func markCertain(spec bgpSpec, certain []bool) {
+	for j := 0; j < 3; j++ {
+		if spec.slot[j] != bgpConstPos {
+			certain[spec.slot[j]] = true
+		}
+	}
+}
+
+// fusedSharedSets resolves a fused run's candidate sets when they are
+// row-invariant: every position of every pattern other than the free slot
+// holds a constant, so the per-row probes never differ. The live index
+// sets are returned smallest first (the iteration/And order that does the
+// least work); nil sets means some pattern reads another (certainly
+// bound) slot and the sets must be resolved per row. When the smallest
+// set is dense enough for word-level ANDs to pay off, cand is the
+// materialized intersection, computed exactly once for the whole run —
+// sequential and fanned-out execution alike.
+func fusedSharedSets(g *store.Graph, specs []bgpSpec, freeSlot int) (sets []*store.IDSet, cand *store.IDSet) {
+	for _, spec := range specs {
+		for j := 0; j < 3; j++ {
+			if s := spec.slot[j]; s != bgpConstPos && s != freeSlot {
+				return nil, nil
+			}
+		}
+	}
+	sets = make([]*store.IDSet, 0, len(specs))
+	for _, spec := range specs {
+		var probe [3]store.ID
+		for j := 0; j < 3; j++ {
+			if spec.slot[j] == bgpConstPos {
+				probe[j] = spec.ids[j]
+			} else {
+				probe[j] = store.NoID
+			}
+		}
+		sets = append(sets, g.MatchSetID(probe[0], probe[1], probe[2]))
+	}
+	sortSetsByLen(sets)
+	if sets[0].Len() >= fusedAndMin {
+		cand = andAll(sets)
+	}
+	return sets, cand
+}
+
+// andAll folds ≥ 2 sets (smallest first) into their intersection with
+// word-level ANDs, stopping as soon as the product empties. The result is
+// always a fresh set, never a live index level.
+func andAll(sets []*store.IDSet) *store.IDSet {
+	cand := sets[0].And(sets[1])
+	for _, s := range sets[2:] {
+		if cand.Len() == 0 {
+			break
+		}
+		cand = cand.And(s)
+	}
+	return cand
+}
+
+// sortSetsByLen orders a handful of sets by ascending cardinality
+// (insertion sort: runs are 2-4 patterns long).
+func sortSetsByLen(sets []*store.IDSet) {
+	for i := 1; i < len(sets); i++ {
+		for j := i; j > 0 && sets[j].Len() < sets[j-1].Len(); j-- {
+			sets[j], sets[j-1] = sets[j-1], sets[j]
+		}
+	}
+}
+
+// fusedAndMin is the smallest-candidate-set size at which materializing
+// the word-level AND beats iterating the smallest set and probing the
+// others. Below it the intersection runs allocation-free.
+const fusedAndMin = 1024
+
+// intersectIDRows joins rows[lo:hi] against a fused run of patterns that
+// all constrain the same single fresh slot. Per row, each pattern
+// contributes the live index bitmap behind its doubly-bound probe; the
+// run's matches are the intersection of those bitmaps — iterated off the
+// smallest set with membership probes into the rest when the smallest is
+// small (no allocation), materialized as word-level ANDs when it is dense.
+// Either way the surviving IDs extend the row in ascending order — exactly
+// what expanding the first pattern and filtering through the rest would
+// append, without materializing a row per pre-filter candidate. Rows whose
+// seeding solution already bound the slot degrade to one membership test
+// per pattern. shared passes the row-invariant candidate sets from
+// fusedSharedSets (nil: resolve per row) and sharedCand their
+// pre-materialized dense intersection (nil: none).
+func intersectIDRows(g *store.Graph, specs []bgpSpec, freeSlot int, shared []*store.IDSet, sharedCand *store.IDSet, rows []idRow, lo, hi int, next []idRow) []idRow {
+	var scratch [8]*store.IDSet
+	for _, r := range rows[lo:hi] {
+		if v := r.vals[freeSlot]; v != store.NoID {
+			ok := true
+			switch {
+			case sharedCand != nil:
+				ok = sharedCand.Contains(v)
+			case shared != nil:
+				for _, set := range shared {
+					if !set.Contains(v) {
+						ok = false
+						break
+					}
+				}
+			default:
+				for _, spec := range specs {
+					probe := probeFor(spec, r)
+					if !g.HasID(probe[0], probe[1], probe[2]) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				next = append(next, r)
+			}
+			continue
+		}
+		emit := func(id store.ID) bool {
+			vals := append([]store.ID(nil), r.vals...)
+			vals[freeSlot] = id
+			next = append(next, idRow{src: r.src, vals: vals})
+			return true
+		}
+		if sharedCand != nil {
+			sharedCand.ForEach(emit)
+			continue
+		}
+		sets := shared
+		if sets == nil {
+			sets = scratch[:0]
+			dead := false
+			for _, spec := range specs {
+				probe := probeFor(spec, r)
+				set := g.MatchSetID(probe[0], probe[1], probe[2])
+				if set.Len() == 0 {
+					dead = true
+					break
+				}
+				sets = append(sets, set)
+			}
+			if dead {
+				continue
+			}
+			sortSetsByLen(sets)
+			if sets[0].Len() >= fusedAndMin {
+				// Dense row-dependent candidates: materialize this row's
+				// word-level AND.
+				andAll(sets).ForEach(emit)
+				continue
+			}
+		} else if sets[0].Len() == 0 {
+			continue
+		}
+		// Sparse candidates: iterate the smallest set and probe the others —
+		// ascending order, nothing allocated.
+		sets[0].ForEach(func(id store.ID) bool {
+			for _, s := range sets[1:] {
+				if !s.Contains(id) {
+					return true
+				}
+			}
+			return emit(id)
+		})
+	}
+	return next
+}
+
+// parIntersectIDRows fans a fused intersection run across the worker pool;
+// see parExpandIDRows for why it is a separate method.
+func (ec *evalContext) parIntersectIDRows(specs []bgpSpec, freeSlot int, shared []*store.IDSet, sharedCand *store.IDSet, rows []idRow) ([]idRow, bool) {
+	return parRange(ec, len(rows), func(lo, hi int, out []idRow) []idRow {
+		return intersectIDRows(ec.g, specs, freeSlot, shared, sharedCand, rows, lo, hi, out)
+	})
 }
 
 // parExpandIDRows fans one pattern's row expansion across the worker
@@ -853,14 +1124,7 @@ func (ec *evalContext) parMaterializeIDRows(seq []Solution, slotNames []string, 
 // safe to call from concurrent workers on disjoint ranges.
 func expandIDRows(g *store.Graph, spec bgpSpec, rows []idRow, lo, hi int, next []idRow) []idRow {
 	for _, r := range rows[lo:hi] {
-		var probe [3]store.ID
-		for j := 0; j < 3; j++ {
-			if spec.slot[j] == bgpConstPos {
-				probe[j] = spec.ids[j]
-			} else {
-				probe[j] = r.vals[spec.slot[j]] // NoID when unbound
-			}
-		}
+		probe := probeFor(spec, r) // NoID in unbound positions
 		g.ForEachID(probe[0], probe[1], probe[2], func(s, p, o store.ID) bool {
 			match := [3]store.ID{s, p, o}
 			ext := r.vals

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/store"
 )
 
 // Parallel query execution.
@@ -22,11 +24,13 @@ import (
 // index-ordered slot, and slots are concatenated in chunk order. The
 // resulting sequence is exactly what the sequential append loop over the
 // same items would have produced — parallel execution never reorders,
-// drops, or duplicates a row relative to parallelism 1. (The store's set
-// iteration order is unspecified, so two executions of the same query can
-// enumerate index matches in different orders; that nondeterminism exists
-// at every parallelism level and is canonicalized away by ORDER BY,
-// DISTINCT-insensitive consumers, and the artifact renderers. The
+// drops, or duplicates a row relative to parallelism 1. (The store's
+// innermost index level is a bitmap and iterates in ascending ID order,
+// but patterns with two or more free positions still walk the outer map
+// levels in unspecified order, so two executions of the same query can
+// enumerate those matches differently; that residual nondeterminism
+// exists at every parallelism level and is canonicalized away by ORDER
+// BY, DISTINCT-insensitive consumers, and the artifact renderers. The
 // guarantee the worker pool adds — and the equivalence tests enforce — is
 // that the solution multiset, the variable list, and every rendered
 // artifact are identical to sequential evaluation.)
@@ -192,6 +196,30 @@ func parMap[T, U any](ec *evalContext, items []T, out []U, fn func(T) U) bool {
 		}
 	})
 	return ok
+}
+
+// parSetUnion fans an accumulate-into-a-set evaluator across the worker
+// pool: [0, n) partitions into contiguous morsels, eval fills a private
+// bitmap per morsel, and the morsel bitmaps merge with word-level ORs.
+// Union is commutative and idempotent, so the merged set is independent
+// of chunk boundaries and worker scheduling — identical to eval(0, n)
+// into one set. ok=false means the caller must run that sequential form
+// itself.
+func parSetUnion(ec *evalContext, n int, eval func(lo, hi int, out *store.IDSet)) (*store.IDSet, bool) {
+	outs := make([]*store.IDSet, ec.maxChunks())
+	chunks, ok := ec.parChunks(n, func(c, lo, hi int) {
+		s := store.NewIDSet()
+		eval(lo, hi, s)
+		outs[c] = s
+	})
+	if !ok {
+		return nil, false
+	}
+	merged := outs[0]
+	for _, s := range outs[1:chunks] {
+		merged.OrWith(s)
+	}
+	return merged, true
 }
 
 // parPair runs f and g concurrently when a worker token is free, else

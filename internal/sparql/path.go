@@ -80,7 +80,16 @@ func (ec *evalContext) pathStartsRange(tp TriplePattern, sol Solution, sVar, oVa
 // of one query evaluation. The memo is shared by the query's workers: the
 // lookup and store lock, the (pure) computation runs unlocked, so a race
 // costs at worst a duplicated traversal, never a wrong result.
+//
+// Memoized reachability is only valid for the graph snapshot the query
+// started against, so both caches assert stability via Graph.Version: if
+// the graph mutated since Execute began (a contract violation — but one a
+// mis-locked caller can commit), the memo is bypassed in both directions
+// rather than serving reachability from a graph that no longer exists.
 func (ec *evalContext) pathForwardCached(p *Path, from rdf.Term) []rdf.Term {
+	if ec.g.Version() != ec.gver {
+		return ec.pathForward(p, from)
+	}
 	k := pathTermKey{p, from}
 	ec.mu.Lock()
 	v, ok := ec.pathFwd[k]
@@ -99,8 +108,11 @@ func (ec *evalContext) pathForwardCached(p *Path, from rdf.Term) []rdf.Term {
 }
 
 // pathBackwardCached memoizes pathBackward per (path, end); see
-// pathForwardCached for the locking discipline.
+// pathForwardCached for the locking discipline and the version guard.
 func (ec *evalContext) pathBackwardCached(p *Path, to rdf.Term) []rdf.Term {
+	if ec.g.Version() != ec.gver {
+		return ec.pathBackward(p, to)
+	}
 	k := pathTermKey{p, to}
 	ec.mu.Lock()
 	v, ok := ec.pathBwd[k]
@@ -225,7 +237,12 @@ func (ec *evalContext) closure(step *Path, start rdf.Term, includeStart, backwar
 
 // closureIDs is the ID-level BFS: each frontier expansion probes the SPO /
 // POS indexes with uint32 keys and nothing is decoded until the closure is
-// complete. ok=false when the step contains sequence/optional/nested-closure
+// complete. The visited and frontier sets are bitmaps, so the per-level
+// bookkeeping is set algebra — fresh = successors AndNot visited, visited
+// OrWith fresh — over 64-bit words instead of a hash probe per reached
+// node, and the result enumerates in ascending ID order at every
+// parallelism level (union of the morsel expansions is commutative).
+// ok=false when the step contains sequence/optional/nested-closure
 // operators, which the flattening below does not model.
 func (ec *evalContext) closureIDs(step *Path, start rdf.Term, includeStart, backward bool) ([]rdf.Term, bool) {
 	var fwd, inv []store.ID
@@ -266,55 +283,55 @@ func (ec *evalContext) closureIDs(step *Path, start rdf.Term, includeStart, back
 		}
 		return nil, true
 	}
-	visited := make(map[store.ID]bool)
-	var reached []store.ID
+	// visited is the closure's dedup bitmap — Add doubles as the membership
+	// test — and the frontier is a slice of the IDs Add just admitted. The
+	// sequential walk allocates only visited and two level buffers, no
+	// matter how many levels the BFS runs.
+	visited := store.NewIDSet()
 	if includeStart {
-		visited[startID] = true
-		reached = append(reached, startID)
+		visited.Add(startID)
 	}
 	frontier := []store.ID{startID}
+	var next []store.ID
 	for len(frontier) > 0 {
-		var next []store.ID
-		// Wide frontiers expand in parallel: workers gather successor lists
-		// into chunk-ordered slots, then a sequential merge in frontier
-		// order updates the visited set — the same visit order the purely
-		// sequential BFS produces. The fan-out lives in a helper method so
+		next = next[:0]
+		// Wide frontiers expand in parallel: contiguous frontier morsels
+		// each accumulate successors into a private bitmap, the morsel
+		// bitmaps merge with word-level ORs (commutative — the merged set
+		// is independent of chunk boundaries), and the fresh nodes are the
+		// merged set minus visited. The fan-out lives in a helper method so
 		// its escaping closure cannot force heap boxing of this walk's
 		// locals on the sequential path.
 		if ec.parEligible(len(frontier)) {
-			if flat, ok := ec.parStepIDs(fwd, inv, frontier); ok {
-				for _, t := range flat {
-					if !visited[t] {
-						visited[t] = true
-						reached = append(reached, t)
-						next = append(next, t)
-					}
-				}
-				frontier = next
+			if succ := ec.parStepSet(fwd, inv, frontier); succ != nil {
+				fresh := succ.AndNot(visited)
+				visited.OrWith(fresh)
+				next = fresh.AppendTo(next)
+				frontier, next = next, frontier
 				continue
 			}
 		}
 		for _, node := range frontier {
-			expand := func(t store.ID) {
-				if !visited[t] {
-					visited[t] = true
-					reached = append(reached, t)
+			expand := func(t store.ID) bool {
+				if visited.Add(t) {
 					next = append(next, t)
 				}
+				return true
 			}
 			for _, p := range fwd {
-				for _, t := range ec.g.ObjectsID(node, p) {
-					expand(t)
-				}
+				ec.g.ForEachObjectID(node, p, expand)
 			}
 			for _, p := range inv {
-				for _, t := range ec.g.SubjectsID(p, node) {
-					expand(t)
-				}
+				ec.g.ForEachSubjectID(p, node, expand)
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
+	// The result enumerates the visited bitmap in ascending ID order —
+	// identical at every parallelism level. (Under one-or-more semantics
+	// the start is absent unless the walk reached it, exactly as the
+	// includeStart seeding above arranged.)
+	reached := visited.AppendTo(make([]store.ID, 0, visited.Len()))
 	out := make([]rdf.Term, len(reached))
 	decoded := false
 	if ec.parEligible(len(reached)) {
@@ -328,28 +345,28 @@ func (ec *evalContext) closureIDs(step *Path, start rdf.Term, includeStart, back
 	return out, true
 }
 
-// parStepIDs expands one BFS frontier across the worker pool, returning
-// every node's successors concatenated in frontier order — the exact
-// visit sequence the sequential expansion produces. ok=false when the
-// fan-out could not run (caller expands sequentially).
-func (ec *evalContext) parStepIDs(fwd, inv, frontier []store.ID) ([]store.ID, bool) {
-	return parRange(ec, len(frontier), func(lo, hi int, buf []store.ID) []store.ID {
+// parStepSet expands one BFS frontier across the worker pool, returning
+// the union of all successor sets; nil means the fan-out could not run
+// and the caller expands sequentially.
+func (ec *evalContext) parStepSet(fwd, inv []store.ID, frontier []store.ID) *store.IDSet {
+	succ, ok := parSetUnion(ec, len(frontier), func(lo, hi int, out *store.IDSet) {
+		add := func(t store.ID) bool {
+			out.Add(t)
+			return true
+		}
 		for _, node := range frontier[lo:hi] {
 			for _, p := range fwd {
-				ec.g.ForEachObjectID(node, p, func(t store.ID) bool {
-					buf = append(buf, t)
-					return true
-				})
+				ec.g.ForEachObjectID(node, p, add)
 			}
 			for _, p := range inv {
-				ec.g.ForEachSubjectID(p, node, func(t store.ID) bool {
-					buf = append(buf, t)
-					return true
-				})
+				ec.g.ForEachSubjectID(p, node, add)
 			}
 		}
-		return buf
 	})
+	if !ok {
+		return nil
+	}
+	return succ
 }
 
 func (ec *evalContext) closureTerms(step *Path, start rdf.Term, includeStart, backward bool) []rdf.Term {

@@ -218,10 +218,12 @@ func ExecuteUpdate(g *store.Graph, u *Update) (UpdateResult, error) {
 		// Fresh context per operation: evalContext memoizes path
 		// reachability under the assumption the graph does not change
 		// mid-evaluation, and earlier operations may have mutated it.
-		// Deliberately built without a worker budget (nil sem, never
+		// gver pins that snapshot so the memo stays live for the WHERE
+		// evaluation (and self-bypasses if the graph somehow mutates under
+		// it). Deliberately built without a worker budget (nil sem, never
 		// parallel): updates interleave pattern matching with mutation,
 		// which the store's reader contract forbids running concurrently.
-		ec := &evalContext{g: g}
+		ec := &evalContext{g: g, gver: g.Version()}
 		switch op.Kind {
 		case UpdateInsertData:
 			for _, tp := range op.Insert {

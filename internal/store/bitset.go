@@ -1,0 +1,527 @@
+package store
+
+import "math/bits"
+
+// Roaring-style compressed ID sets.
+//
+// An IDSet partitions the 32-bit ID space into 2^16 buckets keyed by the
+// high 16 bits of each member. Each bucket holds one container for the low
+// 16 bits: a sorted uint16 array while sparse, a 1024-word bitmap once the
+// bucket exceeds arrMaxLen members. This is the classic Roaring layout
+// (Lemire et al.): dense sets — the POS level of rdf:type-heavy predicates,
+// BFS visited sets over a contiguous dictionary — cost one bit per possible
+// member, and And/Or/AndNot between dense sets run as 64-bit word
+// operations instead of per-element hash probes.
+//
+// Iteration is always in ascending ID order, so every consumer that sorts
+// or canonicalizes downstream sees a deterministic sequence (the map-based
+// sets this type replaced iterated in random order).
+//
+// Concurrency matches the store's reader contract: no method mutates the
+// set except Add, Remove, and OrWith, so once a writer quiesces any number
+// of goroutines may call the read-only methods (Contains, Len, ForEach,
+// Min, And, …) concurrently. All read-only methods are safe on a nil
+// receiver, which behaves as the empty set.
+
+const (
+	// containerBits is the width of the low half of an ID: one container
+	// spans 2^16 consecutive IDs.
+	containerBits = 16
+	containerSpan = 1 << containerBits
+	// bitmapWords is the size of a dense container: 65536 bits.
+	bitmapWords = containerSpan / 64
+	// arrMaxLen is the array/bitmap switchover: a sorted uint16 array of
+	// 4096 entries occupies exactly the 8 KiB a bitmap would, so beyond it
+	// the bitmap is strictly smaller (and word ops become available).
+	arrMaxLen = 4096
+)
+
+// container holds the members of one 2^16-ID bucket, as either a sorted
+// array of low bits (arr, when bmp == nil) or a bitmap (bmp).
+type container struct {
+	arr []uint16
+	bmp *[bitmapWords]uint64
+	n   int // cardinality
+}
+
+// IDSet is a compressed set of dictionary IDs. The zero value is an empty
+// set ready for use (NewIDSet exists for symmetry with the rest of the
+// package), and read-only methods additionally accept a nil *IDSet as
+// empty.
+type IDSet struct {
+	keys []uint16 // sorted container keys (id >> containerBits)
+	cs   []container
+	n    int // total cardinality
+}
+
+// NewIDSet returns an empty set.
+func NewIDSet() *IDSet { return &IDSet{} }
+
+// Len returns the number of members. Nil-safe.
+func (s *IDSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// findContainer returns the index of key in s.keys and whether it exists;
+// when absent, the returned index is the insertion point.
+func (s *IDSet) findContainer(key uint16) (int, bool) {
+	lo, hi := 0, len(s.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s.keys) && s.keys[lo] == key
+}
+
+// Add inserts id and reports whether it was new.
+func (s *IDSet) Add(id ID) bool {
+	key, low := uint16(id>>containerBits), uint16(id)
+	i, ok := s.findContainer(key)
+	if !ok {
+		s.keys = append(s.keys, 0)
+		s.cs = append(s.cs, container{})
+		copy(s.keys[i+1:], s.keys[i:])
+		copy(s.cs[i+1:], s.cs[i:])
+		s.keys[i] = key
+		s.cs[i] = container{arr: []uint16{low}, n: 1}
+		s.n++
+		return true
+	}
+	if s.cs[i].add(low) {
+		s.n++
+		return true
+	}
+	return false
+}
+
+// Remove deletes id and reports whether it was present. Containers emptied
+// by the removal are dropped, keeping the key list canonical.
+func (s *IDSet) Remove(id ID) bool {
+	if s == nil {
+		return false
+	}
+	key, low := uint16(id>>containerBits), uint16(id)
+	i, ok := s.findContainer(key)
+	if !ok || !s.cs[i].remove(low) {
+		return false
+	}
+	s.n--
+	if s.cs[i].n == 0 {
+		s.keys = append(s.keys[:i], s.keys[i+1:]...)
+		s.cs = append(s.cs[:i], s.cs[i+1:]...)
+	}
+	return true
+}
+
+// Contains reports membership. Nil-safe.
+func (s *IDSet) Contains(id ID) bool {
+	if s == nil {
+		return false
+	}
+	i, ok := s.findContainer(uint16(id >> containerBits))
+	return ok && s.cs[i].contains(uint16(id))
+}
+
+// Min returns the smallest member; ok is false for an empty set. Nil-safe.
+func (s *IDSet) Min() (ID, bool) {
+	if s.Len() == 0 {
+		return NoID, false
+	}
+	return ID(s.keys[0])<<containerBits | ID(s.cs[0].min()), true
+}
+
+// ForEach calls fn for every member in ascending ID order, stopping early
+// when fn returns false; the return value reports whether iteration ran to
+// completion. Nil-safe.
+func (s *IDSet) ForEach(fn func(ID) bool) bool {
+	if s == nil {
+		return true
+	}
+	for i := range s.cs {
+		if !s.cs[i].forEach(ID(s.keys[i])<<containerBits, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendTo appends the members in ascending ID order to buf and returns
+// the extended slice. Nil-safe.
+func (s *IDSet) AppendTo(buf []ID) []ID {
+	s.ForEach(func(id ID) bool {
+		buf = append(buf, id)
+		return true
+	})
+	return buf
+}
+
+// Clone returns an independent copy. Nil-safe (returns a new empty set).
+func (s *IDSet) Clone() *IDSet {
+	out := NewIDSet()
+	if s == nil {
+		return out
+	}
+	out.keys = append([]uint16(nil), s.keys...)
+	out.cs = make([]container, len(s.cs))
+	for i := range s.cs {
+		out.cs[i] = s.cs[i].clone()
+	}
+	out.n = s.n
+	return out
+}
+
+// And returns the intersection s ∩ t as a new set. Bitmap/bitmap buckets
+// intersect as 64-bit word ANDs. Neither operand is mutated; both may be
+// nil.
+func (s *IDSet) And(t *IDSet) *IDSet {
+	out := NewIDSet()
+	if s.Len() == 0 || t.Len() == 0 {
+		return out
+	}
+	if len(t.keys) < len(s.keys) {
+		s, t = t, s
+	}
+	for i := range s.cs {
+		j, ok := t.findContainer(s.keys[i])
+		if !ok {
+			continue
+		}
+		if c := andContainers(&s.cs[i], &t.cs[j]); c.n > 0 {
+			out.keys = append(out.keys, s.keys[i])
+			out.cs = append(out.cs, c)
+			out.n += c.n
+		}
+	}
+	return out
+}
+
+// AndNot returns the difference s \ t as a new set. Neither operand is
+// mutated; both may be nil.
+func (s *IDSet) AndNot(t *IDSet) *IDSet {
+	if s.Len() == 0 {
+		return NewIDSet()
+	}
+	if t.Len() == 0 {
+		return s.Clone()
+	}
+	out := NewIDSet()
+	for i := range s.cs {
+		var c container
+		if j, ok := t.findContainer(s.keys[i]); ok {
+			c = andNotContainers(&s.cs[i], &t.cs[j])
+		} else {
+			c = s.cs[i].clone()
+		}
+		if c.n > 0 {
+			out.keys = append(out.keys, s.keys[i])
+			out.cs = append(out.cs, c)
+			out.n += c.n
+		}
+	}
+	return out
+}
+
+// Or returns the union s ∪ t as a new set. Neither operand is mutated;
+// both may be nil.
+func (s *IDSet) Or(t *IDSet) *IDSet {
+	out := s.Clone()
+	out.OrWith(t)
+	return out
+}
+
+// OrWith adds every member of t to s in place. Bitmap/bitmap buckets merge
+// as 64-bit word ORs. t is not mutated and may be nil.
+func (s *IDSet) OrWith(t *IDSet) {
+	if t.Len() == 0 {
+		return
+	}
+	for j := range t.cs {
+		i, ok := s.findContainer(t.keys[j])
+		if !ok {
+			s.keys = append(s.keys, 0)
+			s.cs = append(s.cs, container{})
+			copy(s.keys[i+1:], s.keys[i:])
+			copy(s.cs[i+1:], s.cs[i:])
+			s.keys[i] = t.keys[j]
+			s.cs[i] = t.cs[j].clone()
+			s.n += t.cs[j].n
+			continue
+		}
+		before := s.cs[i].n
+		orInto(&s.cs[i], &t.cs[j])
+		s.n += s.cs[i].n - before
+	}
+}
+
+// ---- container operations ----
+
+// arrSearch returns the insertion point of v in the sorted array: the
+// index of the first element >= v. Hand-rolled (linear for short arrays,
+// closure-free binary search above) because this sits under every HasID /
+// Contains probe the joins and the reasoner issue.
+func arrSearch(arr []uint16, v uint16) int {
+	if len(arr) <= 16 {
+		for i, x := range arr {
+			if x >= v {
+				return i
+			}
+		}
+		return len(arr)
+	}
+	lo, hi := 0, len(arr)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if arr[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (c *container) contains(v uint16) bool {
+	if c.bmp != nil {
+		return c.bmp[v>>6]&(1<<(v&63)) != 0
+	}
+	i := arrSearch(c.arr, v)
+	return i < len(c.arr) && c.arr[i] == v
+}
+
+func (c *container) add(v uint16) bool {
+	if c.bmp != nil {
+		w, b := v>>6, uint64(1)<<(v&63)
+		if c.bmp[w]&b != 0 {
+			return false
+		}
+		c.bmp[w] |= b
+		c.n++
+		return true
+	}
+	i := arrSearch(c.arr, v)
+	if i < len(c.arr) && c.arr[i] == v {
+		return false
+	}
+	if len(c.arr) >= arrMaxLen {
+		c.toBitmap()
+		c.bmp[v>>6] |= 1 << (v & 63)
+		c.n++
+		return true
+	}
+	c.arr = append(c.arr, 0)
+	copy(c.arr[i+1:], c.arr[i:])
+	c.arr[i] = v
+	c.n++
+	return true
+}
+
+func (c *container) remove(v uint16) bool {
+	if c.bmp != nil {
+		w, b := v>>6, uint64(1)<<(v&63)
+		if c.bmp[w]&b == 0 {
+			return false
+		}
+		c.bmp[w] &^= b
+		c.n--
+		if c.n <= arrMaxLen {
+			c.toArray()
+		}
+		return true
+	}
+	i := arrSearch(c.arr, v)
+	if i >= len(c.arr) || c.arr[i] != v {
+		return false
+	}
+	c.arr = append(c.arr[:i], c.arr[i+1:]...)
+	c.n--
+	return true
+}
+
+func (c *container) min() uint16 {
+	if c.bmp != nil {
+		for w, word := range c.bmp {
+			if word != 0 {
+				return uint16(w<<6 + bits.TrailingZeros64(word))
+			}
+		}
+	}
+	return c.arr[0] // containers are never empty
+}
+
+func (c *container) forEach(base ID, fn func(ID) bool) bool {
+	if c.bmp != nil {
+		for w, word := range c.bmp {
+			for word != 0 {
+				bit := bits.TrailingZeros64(word)
+				if !fn(base | ID(w<<6+bit)) {
+					return false
+				}
+				word &= word - 1
+			}
+		}
+		return true
+	}
+	for _, v := range c.arr {
+		if !fn(base | ID(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *container) clone() container {
+	out := container{n: c.n}
+	if c.bmp != nil {
+		out.bmp = new([bitmapWords]uint64)
+		*out.bmp = *c.bmp
+	} else {
+		out.arr = append([]uint16(nil), c.arr...)
+	}
+	return out
+}
+
+// toBitmap converts an array container in place.
+func (c *container) toBitmap() {
+	bmp := new([bitmapWords]uint64)
+	for _, v := range c.arr {
+		bmp[v>>6] |= 1 << (v & 63)
+	}
+	c.bmp, c.arr = bmp, nil
+}
+
+// toArray converts a bitmap container in place (caller guarantees the
+// cardinality fits an array container).
+func (c *container) toArray() {
+	arr := make([]uint16, 0, c.n)
+	for w, word := range c.bmp {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			arr = append(arr, uint16(w<<6+bit))
+			word &= word - 1
+		}
+	}
+	c.arr, c.bmp = arr, nil
+}
+
+// normalize converts a freshly built bitmap container to array form when
+// small enough, keeping the array-iff-sparse invariant.
+func (c *container) normalize() {
+	if c.bmp != nil && c.n <= arrMaxLen {
+		c.toArray()
+	}
+}
+
+func andContainers(a, b *container) container {
+	if a.bmp != nil && b.bmp != nil {
+		out := container{bmp: new([bitmapWords]uint64)}
+		for w := range a.bmp {
+			v := a.bmp[w] & b.bmp[w]
+			out.bmp[w] = v
+			out.n += bits.OnesCount64(v)
+		}
+		out.normalize()
+		return out
+	}
+	// At least one side is an array: filter the (smaller) array side.
+	if a.bmp != nil {
+		a, b = b, a
+	}
+	if b.bmp == nil && len(b.arr) < len(a.arr) {
+		a, b = b, a
+	}
+	out := container{}
+	for _, v := range a.arr {
+		if b.contains(v) {
+			out.arr = append(out.arr, v)
+		}
+	}
+	out.n = len(out.arr)
+	return out
+}
+
+func andNotContainers(a, b *container) container {
+	if a.bmp != nil {
+		out := container{bmp: new([bitmapWords]uint64)}
+		if b.bmp != nil {
+			for w := range a.bmp {
+				v := a.bmp[w] &^ b.bmp[w]
+				out.bmp[w] = v
+				out.n += bits.OnesCount64(v)
+			}
+		} else {
+			*out.bmp = *a.bmp
+			out.n = a.n
+			for _, v := range b.arr {
+				w, bit := v>>6, uint64(1)<<(v&63)
+				if out.bmp[w]&bit != 0 {
+					out.bmp[w] &^= bit
+					out.n--
+				}
+			}
+		}
+		out.normalize()
+		return out
+	}
+	out := container{}
+	for _, v := range a.arr {
+		if !b.contains(v) {
+			out.arr = append(out.arr, v)
+		}
+	}
+	out.n = len(out.arr)
+	return out
+}
+
+// orInto merges b into a in place.
+func orInto(a, b *container) {
+	if a.bmp == nil && b.bmp == nil && a.n+b.n <= arrMaxLen {
+		// Array/array merge that certainly stays an array.
+		merged := make([]uint16, 0, a.n+b.n)
+		i, j := 0, 0
+		for i < len(a.arr) && j < len(b.arr) {
+			switch {
+			case a.arr[i] < b.arr[j]:
+				merged = append(merged, a.arr[i])
+				i++
+			case a.arr[i] > b.arr[j]:
+				merged = append(merged, b.arr[j])
+				j++
+			default:
+				merged = append(merged, a.arr[i])
+				i++
+				j++
+			}
+		}
+		merged = append(merged, a.arr[i:]...)
+		merged = append(merged, b.arr[j:]...)
+		a.arr, a.n = merged, len(merged)
+		return
+	}
+	if a.bmp == nil {
+		a.toBitmap()
+	}
+	if b.bmp != nil {
+		n := 0
+		for w := range a.bmp {
+			a.bmp[w] |= b.bmp[w]
+			n += bits.OnesCount64(a.bmp[w])
+		}
+		a.n = n
+	} else {
+		for _, v := range b.arr {
+			w, bit := v>>6, uint64(1)<<(v&63)
+			if a.bmp[w]&bit == 0 {
+				a.bmp[w] |= bit
+				a.n++
+			}
+		}
+	}
+	a.normalize()
+}

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// The bitset benchmarks are part of the gated trajectory (see
+// scripts/bench_compare.sh): And/Or/iteration over dense and sparse
+// container mixes, plus pattern matching against a dense predicate level —
+// the rdf:type-shaped workload the roaring layout exists for.
+
+// benchSets builds two overlapping sets: a dense one (every ID in [0, n))
+// and a sparse one (every third ID, offset so containers overlap).
+func benchSets(n int) (*IDSet, *IDSet) {
+	a, b := NewIDSet(), NewIDSet()
+	for i := 0; i < n; i++ {
+		a.Add(ID(i))
+		if i%3 == 0 {
+			b.Add(ID(i + n/2))
+		}
+	}
+	return a, b
+}
+
+func BenchmarkBitsetAnd(b *testing.B) {
+	x, y := benchSets(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.And(y).Len() == 0 {
+			b.Fatal("empty intersection")
+		}
+	}
+}
+
+func BenchmarkBitsetOr(b *testing.B) {
+	x, y := benchSets(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.Or(y).Len() == 0 {
+			b.Fatal("empty union")
+		}
+	}
+}
+
+func BenchmarkBitsetAndNot(b *testing.B) {
+	x, y := benchSets(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.AndNot(y).Len() == 0 {
+			b.Fatal("empty difference")
+		}
+	}
+}
+
+func BenchmarkBitsetIterate(b *testing.B) {
+	x, _ := benchSets(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		x.ForEach(func(ID) bool {
+			n++
+			return true
+		})
+		if n != x.Len() {
+			b.Fatalf("iterated %d of %d", n, x.Len())
+		}
+	}
+}
+
+func BenchmarkBitsetContains(b *testing.B) {
+	x, _ := benchSets(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !x.Contains(ID(i % 100_000)) {
+			b.Fatal("missing member")
+		}
+	}
+}
+
+// denseGraph types every subject with one shared class (the dense POS
+// level) and a second class for every third subject.
+func denseGraph(n int) (*Graph, ID, ID, ID) {
+	g := New()
+	classA := rdf.NewIRI("http://bench/ClassA")
+	classB := rdf.NewIRI("http://bench/ClassB")
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://bench/s%d", i))
+		g.Add(s, rdf.TypeIRI, classA)
+		if i%3 == 0 {
+			g.Add(s, rdf.TypeIRI, classB)
+		}
+	}
+	p, _ := g.LookupID(rdf.TypeIRI)
+	a, _ := g.LookupID(classA)
+	bID, _ := g.LookupID(classB)
+	return g, p, a, bID
+}
+
+// BenchmarkStoreMatchDensePredicate iterates the full (?, rdf:type, ClassA)
+// POS level — the hottest single pattern shape of the paper's workload.
+func BenchmarkStoreMatchDensePredicate(b *testing.B) {
+	g, p, a, _ := denseGraph(50_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		g.ForEachID(NoID, p, a, func(_, _, _ ID) bool {
+			n++
+			return true
+		})
+		if n != 50_000 {
+			b.Fatalf("matched %d", n)
+		}
+	}
+}
+
+// BenchmarkStoreMatchDenseIntersect intersects the two dense class levels
+// through MatchSetID — the word-level join the SPARQL ID pipeline fuses
+// `?x a :A . ?x a :B` runs into.
+func BenchmarkStoreMatchDenseIntersect(b *testing.B) {
+	g, p, a, cb := denseGraph(50_000)
+	want := g.MatchSetID(NoID, p, a).And(g.MatchSetID(NoID, p, cb)).Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := g.MatchSetID(NoID, p, a).And(g.MatchSetID(NoID, p, cb))
+		if got.Len() != want {
+			b.Fatalf("intersection %d, want %d", got.Len(), want)
+		}
+	}
+}

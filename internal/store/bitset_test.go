@@ -1,0 +1,212 @@
+package store
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refSet is the map implementation IDSet replaced; the property suite
+// checks the bitmap set against it operation by operation.
+type refSet map[ID]struct{}
+
+func (r refSet) sorted() []ID {
+	out := make([]ID, 0, len(r))
+	for id := range r {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func checkEquiv(t *testing.T, s *IDSet, r refSet, ctx string) {
+	t.Helper()
+	if s.Len() != len(r) {
+		t.Fatalf("%s: Len = %d, want %d", ctx, s.Len(), len(r))
+	}
+	want := r.sorted()
+	got := s.AppendTo(nil)
+	if len(got) != len(want) {
+		t.Fatalf("%s: AppendTo returned %d members, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: member %d = %d, want %d (iteration must be sorted)", ctx, i, got[i], want[i])
+		}
+	}
+	if len(want) > 0 {
+		if m, ok := s.Min(); !ok || m != want[0] {
+			t.Fatalf("%s: Min = %d,%v, want %d,true", ctx, m, ok, want[0])
+		}
+	} else if _, ok := s.Min(); ok {
+		t.Fatalf("%s: Min ok on empty set", ctx)
+	}
+}
+
+// idDomain mixes IDs that collide inside one container with IDs spread
+// across containers, so both array and bitmap containers and multi-key
+// merges are exercised.
+func idDomain(rng *rand.Rand) ID {
+	switch rng.Intn(3) {
+	case 0: // dense low container — drives array→bitmap conversion
+		return ID(rng.Intn(10_000))
+	case 1: // a handful of distant containers
+		return ID(rng.Intn(4))<<containerBits | ID(rng.Intn(64))
+	default: // full 24-bit spread
+		return ID(rng.Intn(1 << 24))
+	}
+}
+
+func TestIDSetRandomOpsEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewIDSet()
+		r := refSet{}
+		for op := 0; op < 20_000; op++ {
+			id := idDomain(rng)
+			switch rng.Intn(5) {
+			case 0, 1, 2: // biased toward adds so containers densify
+				_, had := r[id]
+				if got := s.Add(id); got == had {
+					t.Fatalf("seed %d op %d: Add(%d) = %v, want %v", seed, op, id, got, !had)
+				}
+				r[id] = struct{}{}
+			case 3:
+				_, had := r[id]
+				if got := s.Remove(id); got != had {
+					t.Fatalf("seed %d op %d: Remove(%d) = %v, want %v", seed, op, id, got, had)
+				}
+				delete(r, id)
+			default:
+				_, had := r[id]
+				if got := s.Contains(id); got != had {
+					t.Fatalf("seed %d op %d: Contains(%d) = %v, want %v", seed, op, id, got, had)
+				}
+			}
+		}
+		checkEquiv(t, s, r, "after random ops")
+		// Drain part of the set to force bitmap→array reconversion.
+		for _, id := range r.sorted() {
+			if rng.Intn(4) > 0 {
+				s.Remove(id)
+				delete(r, id)
+			}
+		}
+		checkEquiv(t, s, r, "after drain")
+	}
+}
+
+func TestIDSetAlgebraEquivalence(t *testing.T) {
+	build := func(rng *rand.Rand, n int) (*IDSet, refSet) {
+		s, r := NewIDSet(), refSet{}
+		for i := 0; i < n; i++ {
+			id := idDomain(rng)
+			s.Add(id)
+			r[id] = struct{}{}
+		}
+		return s, r
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		// Vary sizes so array/array, array/bitmap, and bitmap/bitmap
+		// container pairings all occur.
+		a, ra := build(rng, []int{50, 3000, 9000}[seed%3])
+		b, rb := build(rng, []int{9000, 50, 3000}[seed%3])
+
+		and := refSet{}
+		for id := range ra {
+			if _, ok := rb[id]; ok {
+				and[id] = struct{}{}
+			}
+		}
+		checkEquiv(t, a.And(b), and, "And")
+		checkEquiv(t, b.And(a), and, "And (flipped)")
+
+		diff := refSet{}
+		for id := range ra {
+			if _, ok := rb[id]; !ok {
+				diff[id] = struct{}{}
+			}
+		}
+		checkEquiv(t, a.AndNot(b), diff, "AndNot")
+
+		or := refSet{}
+		for id := range ra {
+			or[id] = struct{}{}
+		}
+		for id := range rb {
+			or[id] = struct{}{}
+		}
+		checkEquiv(t, a.Or(b), or, "Or")
+		merged := a.Clone()
+		merged.OrWith(b)
+		checkEquiv(t, merged, or, "OrWith")
+
+		// The operands must be untouched.
+		checkEquiv(t, a, ra, "left operand after algebra")
+		checkEquiv(t, b, rb, "right operand after algebra")
+	}
+}
+
+func TestIDSetNilSafety(t *testing.T) {
+	var s *IDSet
+	if s.Len() != 0 || s.Contains(1) || s.Remove(1) {
+		t.Error("nil set should behave as empty")
+	}
+	if _, ok := s.Min(); ok {
+		t.Error("nil Min should report not-ok")
+	}
+	if got := s.AppendTo(nil); len(got) != 0 {
+		t.Errorf("nil AppendTo = %v", got)
+	}
+	s.ForEach(func(ID) bool { t.Fatal("nil ForEach must not call fn"); return true })
+	if s.Clone().Len() != 0 {
+		t.Error("nil Clone should be empty")
+	}
+	live := NewIDSet()
+	live.Add(3)
+	if got := live.And(s); got.Len() != 0 {
+		t.Errorf("And(nil) = %v", got.AppendTo(nil))
+	}
+	if got := s.And(live); got.Len() != 0 {
+		t.Errorf("nil.And = %v", got.AppendTo(nil))
+	}
+	if got := live.AndNot(s); got.Len() != 1 {
+		t.Errorf("AndNot(nil) = %v", got.AppendTo(nil))
+	}
+	if got := s.Or(live); got.Len() != 1 {
+		t.Errorf("nil.Or = %v", got.AppendTo(nil))
+	}
+	live.OrWith(s)
+	if live.Len() != 1 {
+		t.Error("OrWith(nil) changed the set")
+	}
+}
+
+func TestIDSetContainerBoundaries(t *testing.T) {
+	s := NewIDSet()
+	edge := []ID{0, 63, 64, containerSpan - 1, containerSpan, containerSpan + 1,
+		2*containerSpan - 1, 2 * containerSpan, 1<<24 - 1, 1 << 24}
+	r := refSet{}
+	for _, id := range edge {
+		s.Add(id)
+		r[id] = struct{}{}
+	}
+	checkEquiv(t, s, r, "container boundaries")
+	for _, id := range edge {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false after Add", id)
+		}
+	}
+	// Dense fill across the array→bitmap threshold and back.
+	for i := 0; i < 2*arrMaxLen; i++ {
+		s.Add(ID(i))
+		r[ID(i)] = struct{}{}
+	}
+	checkEquiv(t, s, r, "past array/bitmap threshold")
+	for i := arrMaxLen / 2; i < 2*arrMaxLen; i++ {
+		s.Remove(ID(i))
+		delete(r, ID(i))
+	}
+	checkEquiv(t, s, r, "back below threshold")
+}

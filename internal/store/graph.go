@@ -4,12 +4,24 @@
 //
 // The store is dictionary-encoded: a TermDict interns every distinct
 // rdf.Term into a dense uint32 ID (append-only, first-seen order), and the
-// three permutation indexes (SPO, POS, OSP) are nested map[ID] structures.
-// Terms are encoded exactly once, on write; every probe, join, and
-// iteration afterwards hashes 4-byte integers instead of 4-field structs
-// holding up to three IRI strings. This is the standard access-path design
-// of serious RDF engines (Jena TDB, RDF4J, Virtuoso) and is what makes the
-// OWL RL reasoner's rule joins and the SPARQL evaluator's BGP joins cheap.
+// three permutation indexes (SPO, POS, OSP) are nested maps whose innermost
+// level is a roaring-style bitmap set (IDSet, bitset.go): 16-bit-keyed
+// containers holding either a sorted uint16 array (sparse) or a 1024-word
+// bitmap (dense). Terms are encoded exactly once, on write; every probe,
+// join, and iteration afterwards touches 4-byte integers instead of 4-field
+// structs holding up to three IRI strings, and the innermost membership
+// tests and set combinations run as binary searches or 64-bit word
+// operations instead of hash probes. This is the standard access-path
+// design of serious RDF engines (Jena TDB, RDF4J, Virtuoso) and is what
+// makes the OWL RL reasoner's rule joins and the SPARQL evaluator's BGP
+// joins cheap: the huge object/subject sets of rdf:type-heavy predicates
+// compress to about one bit per member, and intersecting two of them
+// (MatchSetID + IDSet.And) ANDs words rather than re-hashing elements.
+//
+// ID-level set iteration (ForEachID, ObjectsID, SubjectsID, …) is in
+// ascending ID order — deterministic, unlike the map sets this layout
+// replaced. The term-level API still decodes and term-sorts at the
+// boundary, so rendered artifacts are unchanged.
 //
 // Reads decode lazily: the Term-based API (ForEach, Match, Objects, …)
 // materializes rdf.Term values only for the positions a caller actually
@@ -40,6 +52,14 @@
 // executor (internal/sparql), which fans a single query's joins, filters,
 // and path searches across a worker pool probing one shared Graph.
 // internal/store/concurrent_test.go locks the contract in under -race.
+//
+// The store itself does not synchronize — serializing writers against
+// readers is the caller's job. Long-lived applications that interleave
+// mutation with serving (e.g. feo.Session, whose Explain asserts
+// explanation individuals while /sparql and /recommend read) gate access
+// with an RWMutex at their own layer; see the locking notes on
+// feo.Session. Version() gives such callers (and per-query memo caches) a
+// cheap way to detect that any mutation happened.
 package store
 
 import (
@@ -51,9 +71,11 @@ import (
 // Wildcard is the zero rdf.Term; in pattern positions it matches any term.
 var Wildcard = rdf.Term{}
 
-type idSet map[ID]struct{}
-
-type index map[ID]map[ID]idSet
+// index is one permutation index: two map levels over the first two
+// positions, a bitmap set (see bitset.go) over the third. A missing third
+// level reads as a nil *IDSet, which every read-only IDSet method treats
+// as the empty set.
+type index map[ID]map[ID]*IDSet
 
 // Graph is a set of RDF triples with full permutation indexing over
 // dictionary-encoded term IDs.
@@ -70,7 +92,12 @@ type Graph struct {
 	predN map[ID]int
 	objN  map[ID]int
 	n     int
-	ns    *rdf.Namespaces
+	// version counts successful mutations (triple adds/removes and Clear).
+	// Consumers that memoize derived state per graph snapshot — the SPARQL
+	// engine's per-query path-reachability caches, future plan caches — key
+	// or guard on it; see Version.
+	version uint64
+	ns      *rdf.Namespaces
 }
 
 // New returns an empty graph with the repository's standard namespaces bound.
@@ -93,6 +120,15 @@ func (g *Graph) Namespaces() *rdf.Namespaces { return g.ns }
 
 // Len returns the number of triples in the graph.
 func (g *Graph) Len() int { return g.n }
+
+// Version returns a counter that increases on every successful mutation
+// (Add*, Remove, Merge, Subtract, Clear — including mutations that go
+// through Bulk or the reasoner). Two reads returning the same value
+// bracket a span with no triple-level mutation, so caches of derived
+// state (path reachability memos, query plans) can assert the graph they
+// were built against is still the graph being read. InternTerm alone does
+// not bump the version: interning never changes any pattern's matches.
+func (g *Graph) Version() uint64 { return g.version }
 
 // ---- ID-level API (hot-path opt-ins) ----
 
@@ -129,8 +165,25 @@ func (g *Graph) IsResourceID(id ID) bool {
 // HasID reports whether the exact triple (s, p, o) is present, by ID.
 // NoID in any position returns false (use ForEachID for patterns).
 func (g *Graph) HasID(s, p, o ID) bool {
-	_, ok := g.spo[s][p][o]
-	return ok
+	return g.spo[s][p].Contains(o)
+}
+
+// MatchSetID returns the graph's own bitmap set for a pattern with exactly
+// two bound positions: the objects of (s, p, ?), the subjects of (?, p, o),
+// or the predicates of (s, ?, o). Any other shape returns nil. The result
+// is the live innermost index level — callers must treat it as read-only
+// and follow the reader contract — which is what lets a join intersect two
+// index levels word-by-word (IDSet.And) without copying either.
+func (g *Graph) MatchSetID(s, p, o ID) *IDSet {
+	switch {
+	case s != NoID && p != NoID && o == NoID:
+		return g.spo[s][p]
+	case s == NoID && p != NoID && o != NoID:
+		return g.pos[p][o]
+	case s != NoID && p == NoID && o != NoID:
+		return g.osp[o][s]
+	}
+	return nil
 }
 
 // AddID inserts the triple (s, p, o) given already-interned IDs; it reports
@@ -156,12 +209,14 @@ func (g *Graph) addIDs(s, p, o ID) bool {
 	g.predN[p]++
 	g.objN[o]++
 	g.n++
+	g.version++
 	return true
 }
 
 // ForEachID calls fn for every ID triple matching the pattern (s, p, o),
 // where NoID matches anything. Iteration stops early when fn returns false.
-// The callback must not mutate the graph.
+// The innermost (bitmap) level iterates in ascending ID order; the outer
+// map levels remain unordered. The callback must not mutate the graph.
 func (g *Graph) ForEachID(s, p, o ID, fn func(s, p, o ID) bool) {
 	sB, pB, oB := s != NoID, p != NoID, o != NoID
 	switch {
@@ -170,54 +225,34 @@ func (g *Graph) ForEachID(s, p, o ID, fn func(s, p, o ID) bool) {
 			fn(s, p, o)
 		}
 	case sB && pB: // (s, p, ?) — SPO
-		for obj := range g.spo[s][p] {
-			if !fn(s, p, obj) {
-				return
-			}
-		}
+		g.spo[s][p].ForEach(func(obj ID) bool { return fn(s, p, obj) })
 	case sB && oB: // (s, ?, o) — OSP
-		for pred := range g.osp[o][s] {
-			if !fn(s, pred, o) {
-				return
-			}
-		}
+		g.osp[o][s].ForEach(func(pred ID) bool { return fn(s, pred, o) })
 	case pB && oB: // (?, p, o) — POS
-		for subj := range g.pos[p][o] {
-			if !fn(subj, p, o) {
-				return
-			}
-		}
+		g.pos[p][o].ForEach(func(subj ID) bool { return fn(subj, p, o) })
 	case sB: // (s, ?, ?) — SPO
 		for pred, objs := range g.spo[s] {
-			for obj := range objs {
-				if !fn(s, pred, obj) {
-					return
-				}
+			if !objs.ForEach(func(obj ID) bool { return fn(s, pred, obj) }) {
+				return
 			}
 		}
 	case pB: // (?, p, ?) — POS
 		for obj, subjs := range g.pos[p] {
-			for subj := range subjs {
-				if !fn(subj, p, obj) {
-					return
-				}
+			if !subjs.ForEach(func(subj ID) bool { return fn(subj, p, obj) }) {
+				return
 			}
 		}
 	case oB: // (?, ?, o) — OSP
 		for subj, preds := range g.osp[o] {
-			for pred := range preds {
-				if !fn(subj, pred, o) {
-					return
-				}
+			if !preds.ForEach(func(pred ID) bool { return fn(subj, pred, o) }) {
+				return
 			}
 		}
 	default: // full scan
 		for subj, m1 := range g.spo {
 			for pred, objs := range m1 {
-				for obj := range objs {
-					if !fn(subj, pred, obj) {
-						return
-					}
+				if !objs.ForEach(func(obj ID) bool { return fn(subj, pred, obj) }) {
+					return
 				}
 			}
 		}
@@ -236,11 +271,11 @@ func (g *Graph) CountID(s, p, o ID) int {
 		}
 		return 0
 	case sB && pB:
-		return len(g.spo[s][p])
+		return g.spo[s][p].Len()
 	case sB && oB:
-		return len(g.osp[o][s])
+		return g.osp[o][s].Len()
 	case pB && oB:
-		return len(g.pos[p][o])
+		return g.pos[p][o].Len()
 	case sB:
 		return g.subjN[s]
 	case pB:
@@ -252,68 +287,67 @@ func (g *Graph) CountID(s, p, o ID) int {
 	}
 }
 
-// ObjectsID returns the object IDs of triples (s, p, *) in index order
-// (unsorted). The reasoner's rule joins use this to avoid the term decode
-// and sort that Objects pays for.
+// ObjectsID returns the object IDs of triples (s, p, *) in ascending ID
+// order. The reasoner's rule joins use this to avoid the term decode and
+// sort that Objects pays for.
 func (g *Graph) ObjectsID(s, p ID) []ID {
 	objs := g.spo[s][p]
-	if len(objs) == 0 {
+	if objs.Len() == 0 {
 		return nil
 	}
-	out := make([]ID, 0, len(objs))
-	for o := range objs {
-		out = append(out, o)
-	}
-	return out
+	return objs.AppendTo(make([]ID, 0, objs.Len()))
 }
 
 // ForEachObjectID calls fn for every object ID of triples (s, p, *), in
-// index order (unsorted), stopping early when fn returns false. It is the
+// ascending ID order, stopping early when fn returns false. It is the
 // allocation-free form of ObjectsID, for hot loops — the SPARQL engine's
 // path BFS expands frontiers with it — that want neither a fresh slice per
 // probe nor a full triple callback.
 func (g *Graph) ForEachObjectID(s, p ID, fn func(o ID) bool) {
-	for o := range g.spo[s][p] {
-		if !fn(o) {
-			return
-		}
-	}
+	g.spo[s][p].ForEach(fn)
 }
 
 // ForEachSubjectID calls fn for every subject ID of triples (*, p, o), in
-// index order (unsorted), stopping early when fn returns false. The
+// ascending ID order, stopping early when fn returns false. The
 // allocation-free form of SubjectsID.
 func (g *Graph) ForEachSubjectID(p, o ID, fn func(s ID) bool) {
-	for s := range g.pos[p][o] {
-		if !fn(s) {
-			return
-		}
-	}
+	g.pos[p][o].ForEach(fn)
 }
 
-// SubjectsID returns the subject IDs of triples (*, p, o), unsorted.
+// SubjectsID returns the subject IDs of triples (*, p, o) in ascending ID
+// order.
 func (g *Graph) SubjectsID(p, o ID) []ID {
 	subjs := g.pos[p][o]
-	if len(subjs) == 0 {
+	if subjs.Len() == 0 {
 		return nil
 	}
-	out := make([]ID, 0, len(subjs))
-	for s := range subjs {
-		out = append(out, s)
-	}
-	return out
+	return subjs.AppendTo(make([]ID, 0, subjs.Len()))
 }
 
 // FirstObjectID returns one object ID of (s, p, *), or NoID if none. When
 // several objects exist the smallest decoded term (per rdf.Compare) wins, so
-// results are deterministic and agree with FirstObject.
+// results are deterministic and agree with FirstObject. The dominant case —
+// a single object, as every functional property and rdf:first/rdf:rest
+// chain produces — answers straight from the bitmap without decoding any
+// term; larger sets decode each candidate exactly once.
 func (g *Graph) FirstObjectID(s, p ID) ID {
-	best := NoID
-	for o := range g.spo[s][p] {
-		if best == NoID || rdf.Compare(g.dict.Term(o), g.dict.Term(best)) < 0 {
-			best = o
+	objs := g.spo[s][p]
+	if objs.Len() <= 1 {
+		o, ok := objs.Min()
+		if !ok {
+			return NoID
 		}
+		return o
 	}
+	best := NoID
+	var bestTerm rdf.Term
+	objs.ForEach(func(o ID) bool {
+		t := g.dict.Term(o)
+		if best == NoID || rdf.Compare(t, bestTerm) < 0 {
+			best, bestTerm = o, t
+		}
+		return true
+	})
 	return best
 }
 
@@ -367,6 +401,7 @@ func (g *Graph) Remove(s, p, o rdf.Term) bool {
 	decCount(g.predN, pID)
 	decCount(g.objN, oID)
 	g.n--
+	g.version++
 	return true
 }
 
@@ -399,19 +434,15 @@ func (g *Graph) Has(s, p, o rdf.Term) bool {
 func indexAdd(idx index, a, b, c ID) bool {
 	m1, ok := idx[a]
 	if !ok {
-		m1 = make(map[ID]idSet)
+		m1 = make(map[ID]*IDSet)
 		idx[a] = m1
 	}
 	m2, ok := m1[b]
 	if !ok {
-		m2 = make(idSet)
+		m2 = NewIDSet()
 		m1[b] = m2
 	}
-	if _, ok := m2[c]; ok {
-		return false
-	}
-	m2[c] = struct{}{}
-	return true
+	return m2.Add(c)
 }
 
 func indexRemove(idx index, a, b, c ID) bool {
@@ -420,14 +451,10 @@ func indexRemove(idx index, a, b, c ID) bool {
 		return false
 	}
 	m2, ok := m1[b]
-	if !ok {
+	if !ok || !m2.Remove(c) {
 		return false
 	}
-	if _, ok := m2[c]; !ok {
-		return false
-	}
-	delete(m2, c)
-	if len(m2) == 0 {
+	if m2.Len() == 0 {
 		delete(m1, b)
 		if len(m1) == 0 {
 			delete(idx, a)
@@ -509,11 +536,11 @@ func (g *Graph) Exists(s, p, o rdf.Term) bool {
 	case sB && pB && oB:
 		return g.HasID(sID, pID, oID)
 	case sB && pB:
-		return len(g.spo[sID][pID]) > 0
+		return g.spo[sID][pID].Len() > 0
 	case sB && oB:
-		return len(g.osp[oID][sID]) > 0
+		return g.osp[oID][sID].Len() > 0
 	case pB && oB:
-		return len(g.pos[pID][oID]) > 0
+		return g.pos[pID][oID].Len() > 0
 	case sB:
 		return len(g.spo[sID]) > 0
 	case pB:
@@ -543,12 +570,15 @@ func (g *Graph) Count(s, p, o rdf.Term) int {
 	return g.CountID(sID, pID, oID)
 }
 
-// decodeSorted decodes an ID set to terms sorted per rdf.Compare.
-func (g *Graph) decodeSorted(set idSet) []rdf.Term {
-	out := make([]rdf.Term, 0, len(set))
-	for id := range set {
+// decodeSorted decodes an ID set to terms sorted per rdf.Compare. The set
+// iterates in ID order but the output contract is term order, so the sort
+// remains (ID order is first-seen order, not term order).
+func (g *Graph) decodeSorted(set *IDSet) []rdf.Term {
+	out := make([]rdf.Term, 0, set.Len())
+	set.ForEach(func(id ID) bool {
 		out = append(out, g.dict.Term(id))
-	}
+		return true
+	})
 	sortTerms(out)
 	return out
 }
@@ -568,7 +598,8 @@ func (g *Graph) Objects(s, p rdf.Term) []rdf.Term {
 
 // FirstObject returns one object of (s, p, *), or the zero Term if none.
 // When several objects exist the smallest (per rdf.Compare) is returned so
-// results are deterministic. This is a single O(n) min-scan, not a sort.
+// results are deterministic and agree with FirstObjectID. This is a single
+// O(n) min-scan, not a sort; the singleton case decodes exactly one term.
 func (g *Graph) FirstObject(s, p rdf.Term) rdf.Term {
 	sID, ok := g.dict.Lookup(s)
 	if !ok {
@@ -578,14 +609,11 @@ func (g *Graph) FirstObject(s, p rdf.Term) rdf.Term {
 	if !ok {
 		return rdf.Term{}
 	}
-	var best rdf.Term
-	for o := range g.spo[sID][pID] {
-		t := g.dict.Term(o)
-		if !best.IsValid() || rdf.Compare(t, best) < 0 {
-			best = t
-		}
+	best := g.FirstObjectID(sID, pID)
+	if best == NoID {
+		return rdf.Term{}
 	}
-	return best
+	return g.dict.Term(best)
 }
 
 // Subjects returns the distinct subjects of triples (*, p, o), sorted.
@@ -676,7 +704,10 @@ func (g *Graph) Clone() *Graph {
 		predN: cloneCounts(g.predN),
 		objN:  cloneCounts(g.objN),
 		n:     g.n,
-		ns:    g.ns.Clone(),
+		// The clone starts its own mutation history; versions are only
+		// comparable against the same Graph value.
+		version: g.version,
+		ns:      g.ns.Clone(),
 	}
 	return out
 }
@@ -692,13 +723,9 @@ func cloneCounts(m map[ID]int) map[ID]int {
 func cloneIndex(idx index) index {
 	out := make(index, len(idx))
 	for a, m1 := range idx {
-		c1 := make(map[ID]idSet, len(m1))
+		c1 := make(map[ID]*IDSet, len(m1))
 		for b, m2 := range m1 {
-			c2 := make(idSet, len(m2))
-			for c := range m2 {
-				c2[c] = struct{}{}
-			}
-			c1[b] = c2
+			c1[b] = m2.Clone()
 		}
 		out[a] = c1
 	}
@@ -773,7 +800,8 @@ func (g *Graph) Equal(other *Graph) bool {
 }
 
 // Clear removes all triples. The dictionary is reset too; IDs issued
-// before Clear must not be used afterwards.
+// before Clear must not be used afterwards. The mutation version advances
+// (it never resets), so memoized consumers observe the wipe.
 func (g *Graph) Clear() {
 	g.dict = NewTermDict()
 	g.spo = make(index)
@@ -783,6 +811,7 @@ func (g *Graph) Clear() {
 	g.predN = make(map[ID]int)
 	g.objN = make(map[ID]int)
 	g.n = 0
+	g.version++
 }
 
 // ReadList reads an RDF collection (rdf:first / rdf:rest chain) starting at

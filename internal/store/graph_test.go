@@ -406,3 +406,107 @@ func TestConcurrentReads(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestVersionCounter(t *testing.T) {
+	g := New()
+	v0 := g.Version()
+	if !g.Add(iri("s"), iri("p"), iri("o")) {
+		t.Fatal("add failed")
+	}
+	v1 := g.Version()
+	if v1 == v0 {
+		t.Error("Add must bump the version")
+	}
+	// A duplicate add mutates nothing and must not bump.
+	g.Add(iri("s"), iri("p"), iri("o"))
+	if g.Version() != v1 {
+		t.Error("no-op Add bumped the version")
+	}
+	// Interning alone is not a mutation.
+	g.InternTerm(iri("unseen"))
+	if g.Version() != v1 {
+		t.Error("InternTerm bumped the version")
+	}
+	if !g.Remove(iri("s"), iri("p"), iri("o")) {
+		t.Fatal("remove failed")
+	}
+	v2 := g.Version()
+	if v2 == v1 {
+		t.Error("Remove must bump the version")
+	}
+	g.Remove(iri("s"), iri("p"), iri("o"))
+	if g.Version() != v2 {
+		t.Error("no-op Remove bumped the version")
+	}
+	h := New()
+	h.Add(iri("a"), iri("b"), iri("c"))
+	g.Merge(h)
+	if g.Version() == v2 {
+		t.Error("Merge must bump the version")
+	}
+	v3 := g.Version()
+	g.Subtract(h)
+	if g.Version() == v3 {
+		t.Error("Subtract must bump the version")
+	}
+	v4 := g.Version()
+	g.Clear()
+	if g.Version() == v4 {
+		t.Error("Clear must bump the version")
+	}
+}
+
+func TestFirstObjectIDAgreesWithFirstObject(t *testing.T) {
+	g := New()
+	s, p := iri("s"), iri("p")
+	// Insert objects whose ID order deliberately disagrees with term order:
+	// z is interned first (lowest ID) but sorts last.
+	for _, o := range []string{"z", "m", "a", "q"} {
+		g.Add(s, p, iri(o))
+	}
+	want := iri("a")
+	if got := g.FirstObject(s, p); got != want {
+		t.Fatalf("FirstObject = %v, want %v", got, want)
+	}
+	sID, _ := g.LookupID(s)
+	pID, _ := g.LookupID(p)
+	if got := g.TermOf(g.FirstObjectID(sID, pID)); got != want {
+		t.Fatalf("FirstObjectID decodes to %v, want %v", got, want)
+	}
+	// Singleton fast path.
+	g2 := New()
+	g2.Add(s, p, iri("only"))
+	sID2, _ := g2.LookupID(s)
+	pID2, _ := g2.LookupID(p)
+	if got := g2.TermOf(g2.FirstObjectID(sID2, pID2)); got != iri("only") {
+		t.Fatalf("singleton FirstObjectID = %v", got)
+	}
+	if g2.FirstObjectID(sID2, NoID) != NoID {
+		t.Error("FirstObjectID with absent pattern should be NoID")
+	}
+	if g2.FirstObject(iri("missing"), p).IsValid() {
+		t.Error("FirstObject on missing subject should be zero Term")
+	}
+}
+
+func TestMatchSetID(t *testing.T) {
+	g := New()
+	for i := 0; i < 10; i++ {
+		g.Add(iri(fmt.Sprintf("s%d", i)), iri("p"), iri("o"))
+	}
+	pID, _ := g.LookupID(iri("p"))
+	oID, _ := g.LookupID(iri("o"))
+	sID, _ := g.LookupID(iri("s3"))
+	if set := g.MatchSetID(NoID, pID, oID); set.Len() != 10 {
+		t.Errorf("POS set len = %d, want 10", set.Len())
+	}
+	if set := g.MatchSetID(sID, pID, NoID); set.Len() != 1 || !set.Contains(oID) {
+		t.Errorf("SPO set = %v", set.AppendTo(nil))
+	}
+	if set := g.MatchSetID(sID, NoID, oID); set.Len() != 1 || !set.Contains(pID) {
+		t.Errorf("OSP set = %v", set.AppendTo(nil))
+	}
+	if g.MatchSetID(sID, pID, oID) != nil || g.MatchSetID(NoID, pID, NoID) != nil {
+		t.Error("non-doubly-bound shapes must return nil")
+	}
+}

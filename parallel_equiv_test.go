@@ -26,10 +26,11 @@ func runAt(t *testing.T, g *store.Graph, query string, par int) *sparql.Result {
 	return res
 }
 
-// parallelLevels is the matrix the ISSUE requires: sequential reference,
-// two workers, and the automatic GOMAXPROCS setting.
+// parallelLevels is the equivalence matrix: the sequential reference,
+// fixed two- and four-worker pools (so the multi-worker paths run even on
+// single-CPU machines), and the automatic GOMAXPROCS setting.
 func parallelLevels() []int {
-	return []int{1, 2, runtime.GOMAXPROCS(0)}
+	return []int{1, 2, 4, runtime.GOMAXPROCS(0)}
 }
 
 // TestParallelEquivalenceListings evaluates every paper listing on every

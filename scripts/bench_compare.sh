@@ -13,8 +13,9 @@
 #   NEW.json      freshly recorded run to judge (e.g. BENCH_ci.json)
 #   --tolerance   max allowed ns/op increase in percent (default 15)
 #   --filter      benchmarks the gate applies to (default: the paper
-#                 artifact suite and the reasoner ablations — the noisier
-#                 micro/scale benchmarks are reported but not gated)
+#                 artifact suite, the reasoner ablations, and the store's
+#                 bitset/dense-pattern suite — the noisier micro/scale
+#                 benchmarks are reported but not gated)
 #
 # Only the "benchmarks" array of each file is read (BENCH_*.json files may
 # carry extra hand-written arrays such as baseline_seed). Benchmarks
@@ -23,7 +24,7 @@
 set -euo pipefail
 
 tolerance=15
-filter='^Benchmark(Listing|Table1|Figure|Reasoner)'
+filter='^Benchmark(Listing|Table1|Figure|Reasoner|Bitset|StoreMatch)'
 
 args=()
 while [ $# -gt 0 ]; do
