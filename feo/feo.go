@@ -88,6 +88,18 @@ func SetQueryParallelism(n int) { sparql.SetParallelism(n) }
 // QueryParallelism reports the current SetQueryParallelism setting.
 func QueryParallelism() int { return sparql.Parallelism() }
 
+// QueryPlanCacheStats reports the SPARQL engine's cumulative plan-cache
+// hit and miss counts. The engine memoizes each basic graph pattern's
+// compiled plan (join order, constant encoding, fused intersection runs)
+// per graph snapshot; a repeated query on an unmodified session hits,
+// and any mutation (load, update, explain-time assertion) invalidates by
+// bumping the graph version. Useful for serve-time dashboards.
+func QueryPlanCacheStats() (hits, misses uint64) { return sparql.PlanCacheStats() }
+
+// ResetQueryPlanCache drops every memoized query plan and zeroes the
+// counters — a benchmarking/testing hook, never needed for correctness.
+func ResetQueryPlanCache() { sparql.ResetPlanCache() }
+
 // IRI builds an IRI term.
 func IRI(s string) Term { return rdf.NewIRI(s) }
 

@@ -257,3 +257,40 @@ func TestSessionConcurrentQuery(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestQueryPlanCacheStats: repeated session queries hit the memoized
+// plans; loading data invalidates them (the graph version moves).
+func TestQueryPlanCacheStats(t *testing.T) {
+	ResetQueryPlanCache()
+	s := NewSession(Options{})
+	const q = `SELECT ?c WHERE { ?c a feo:Characteristic }`
+	if _, err := s.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	hits0, misses0 := QueryPlanCacheStats()
+	if misses0 == 0 {
+		t.Fatal("first query should compile a plan")
+	}
+	if _, err := s.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1 := QueryPlanCacheStats()
+	if hits1 <= hits0 || misses1 != misses0 {
+		t.Errorf("repeat query should hit, not recompile (hits %d->%d, misses %d->%d)",
+			hits0, hits1, misses0, misses1)
+	}
+	if err := s.LoadTurtle(`<http://e/x> <http://e/p> <http://e/y> .`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	_, misses2 := QueryPlanCacheStats()
+	if misses2 <= misses1 {
+		t.Error("query after LoadTurtle must recompile (version bumped)")
+	}
+	ResetQueryPlanCache()
+	if h, m := QueryPlanCacheStats(); h != 0 || m != 0 {
+		t.Errorf("reset did not zero counters: %d/%d", h, m)
+	}
+}

@@ -1,14 +1,4 @@
-// Package sparql implements the subset of SPARQL 1.1 that the FEO paper's
-// competency-question queries (Listings 1-3) and the extension explanation
-// types require: SELECT/ASK/CONSTRUCT/DESCRIBE forms, basic graph patterns,
-// FILTER with the standard operator and builtin-function library,
-// FILTER (NOT) EXISTS, OPTIONAL, UNION, MINUS, BIND, VALUES, property paths
-// (sequence, alternative, inverse, +, *, ?), DISTINCT/REDUCED, GROUP BY with
-// aggregates, HAVING, ORDER BY, and LIMIT/OFFSET.
-//
-// The engine evaluates against a store.Graph; run the reasoner first to
-// query the inferred closure, exactly as the paper exports inferred axioms
-// from Pellet before querying.
+// AST types for parsed queries; package documentation lives in doc.go.
 package sparql
 
 import (

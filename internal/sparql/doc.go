@@ -1,0 +1,75 @@
+// Package sparql implements the subset of SPARQL 1.1 that the FEO paper's
+// competency-question queries (Listings 1-3) and the extension explanation
+// types require: SELECT/ASK/CONSTRUCT/DESCRIBE forms, basic graph patterns,
+// FILTER with the standard operator and builtin-function library,
+// FILTER (NOT) EXISTS, OPTIONAL, UNION, MINUS, BIND, VALUES, property paths
+// (sequence, alternative, inverse, +, *, ?), DISTINCT/REDUCED, GROUP BY with
+// aggregates, HAVING, ORDER BY, and LIMIT/OFFSET.
+//
+// The engine evaluates against a store.Graph; run the reasoner first to
+// query the inferred closure, exactly as the paper exports inferred axioms
+// from Pellet before querying.
+//
+// # ID-space solution representation
+//
+// Internally the evaluator never works on the public map-based Solution.
+// Before execution, every variable the query can mention — pattern
+// positions, BIND/VALUES targets, SELECT aliases, subquery and EXISTS-body
+// variables, the planner's internal aggregate and group keys — is assigned
+// a dense slot (idspace.go), and an intermediate solution is an idRow: a
+// fixed-width []store.ID with store.NoID marking unbound slots. Every
+// operator — BGP joins, UNION, OPTIONAL/MINUS probes, EXISTS, FILTER,
+// property paths, BIND, VALUES, subqueries, GROUP BY/aggregation,
+// ORDER BY, DISTINCT — consumes and produces idRows; joining is integer
+// comparison and extending a binding is a small copy-on-write memcopy.
+// The public map[string]rdf.Term Solutions materialize exactly once per
+// projected result row, at the end of finishSelect (ExecuteUpdate's
+// template instantiation likewise consumes ID rows directly).
+//
+// Terms that exist only inside a query — expression results, VALUES
+// constants the graph never interned — get query-local "extension" IDs
+// growing downward from just below store.NoID. They can never collide
+// with graph IDs, graph index probes against them simply miss, and ID
+// equality remains exact RDF term identity across both ranges.
+//
+// # The lazy-decode rule
+//
+// A term is decoded from its ID only when something needs its lexical
+// form: a FILTER expression reading a slot, ORDER BY comparisons,
+// CONSTRUCT/DESCRIBE instantiation, update templates, and final result
+// materialization. Operators that only move bindings around (joins,
+// UNION, MINUS, projection, DISTINCT — which dedups on slot IDs) decode
+// nothing; BOUND and the single-pattern EXISTS fast path touch no term at
+// all. Property-path reachability is memoized per (path, endpoint ID)
+// with the endpoint decoded once per memo fill, never per row.
+//
+// # Plan cache
+//
+// Compiling a basic graph pattern — estimating selectivities, picking the
+// greedy join order, encoding constant IDs, segmenting the ordered
+// patterns into fused bitmap-intersection runs — depends only on the
+// pattern list, the graph snapshot, and which slots are certainly bound
+// at entry. planBGP therefore memoizes compiled plans process-wide, keyed
+// by (BGP identity, graph identity, Graph.Version, bound-slot set).
+// Invalidation is by construction: every mutation bumps Graph.Version, so
+// a stale plan's key can never be looked up again; on overflow the
+// bounded cache evicts those unreachable stale entries first.
+// PlanCacheStats exposes hit/miss counters and ResetPlanCache gives
+// benchmarks a cold start. Run additionally
+// memoizes parses by source text, so a serve-time request stream of
+// repeated query strings reuses one immutable parse tree — the BGP
+// identity the plan cache keys on. DisableJoinReorder bypasses the cache
+// (knob-shaped plans are never stored).
+//
+// # Correctness harness
+//
+// The ID pipeline, the planner, and the caches are locked in by a
+// randomized reference-equivalence harness (reference_test.go,
+// equivalence_test.go): a deliberately naive term-level evaluator —
+// nested-loop joins in written order, no reordering, no fusion, no
+// caching, no parallelism — must produce the same solution multiset as
+// the production engine on generated graphs and queries, at parallelism
+// 1/2/4/GOMAXPROCS, with cold and warm plans, across interleaved
+// mutations. FuzzParseQuery additionally holds the parser and the
+// renderer ((*Query).String) to a round-trip fixed point.
+package sparql

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rdf"
 	"repro/internal/store"
@@ -30,74 +31,132 @@ type Result struct {
 // the worker budget set by SetParallelism; the graph must be quiescent (no
 // concurrent writers) for the duration of the call, per the store's reader
 // contract. Concurrent Execute calls against one graph are safe.
+//
+// Internally every operator works on fixed-slot ID rows (see idspace.go);
+// the public map-based Solutions are materialized exactly once per
+// projected result row, in finishSelect.
 func Execute(g *store.Graph, q *Query) (*Result, error) {
-	ec := newEvalContext(g)
-	sols := ec.evalGroup(q.Where, []Solution{{}})
+	ec := newEvalContext(g, buildQueryEnv(q))
+	rows := ec.evalGroupRows(q.Where, []idRow{ec.newRow()})
 	res := &Result{Kind: q.Kind, Namespaces: q.Namespaces}
 	switch q.Kind {
 	case KindAsk:
-		res.Boolean = len(sols) > 0
+		res.Boolean = len(rows) > 0
 		return res, nil
 	case KindConstruct:
-		res.Graph = constructGraph(q, sols)
+		res.Graph = ec.constructGraph(q, rows)
 		return res, nil
 	case KindDescribe:
-		res.Graph = describeGraph(g, q, sols)
+		res.Graph = ec.describeGraph(q, rows)
 		return res, nil
 	}
-	return finishSelect(ec, q, sols)
+	return ec.finishSelect(q, rows)
 }
 
-// Run parses and executes src against g in one call.
+// Run parses and executes src against g in one call. Parses are memoized
+// by source text (bounded), so the serve-time steady state — the same
+// query string arriving per request — reuses one immutable parse tree,
+// which in turn is what lets the plan cache hit across requests: its keys
+// include BGP identity, and a fresh parse would mint fresh identities.
 func Run(g *store.Graph, src string) (*Result, error) {
-	q, err := ParseQuery(src)
+	q, err := parseQueryCached(src)
 	if err != nil {
 		return nil, err
 	}
 	return Execute(g, q)
 }
 
+// queryCache memoizes successful parses by exact source text. Parsed
+// queries are immutable after ParseQuery returns (execution never writes
+// to the AST), so one tree can serve concurrent executions. Bounded the
+// same way as the plan cache: on overflow the whole map drops.
+var (
+	queryCache    sync.Map // string -> *Query
+	queryCacheLen atomic.Int32
+)
+
+const queryCacheMax = 512
+
+func parseQueryCached(src string) (*Query, error) {
+	if q, ok := queryCache.Load(src); ok {
+		return q.(*Query), nil
+	}
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, err // parse errors are not cached (and are cheap to rediscover)
+	}
+	if _, loaded := queryCache.LoadOrStore(src, q); !loaded {
+		if queryCacheLen.Add(1) > queryCacheMax {
+			queryCache.Range(func(k, _ any) bool {
+				queryCache.Delete(k)
+				return true
+			})
+			queryCacheLen.Store(0)
+		}
+	}
+	return q, nil
+}
+
 type evalContext struct {
 	g *store.Graph
+	// env is the query's variable→slot binding table; every idRow this
+	// context touches has exactly env.width() slots.
+	env *slotEnv
 	// par is the worker budget this execution resolved from SetParallelism;
 	// sem holds its par-1 extra-worker tokens. sem == nil (par <= 1) keeps
 	// every loop on the sequential reference path.
 	par int
 	sem chan struct{}
-	// gver is the graph's mutation version at Execute entry. The per-query
-	// memo caches below are only valid for that snapshot; the path caches
-	// check it on every lookup and bypass themselves if the graph mutated
-	// mid-query (a reader-contract violation, degraded to uncached
-	// evaluation instead of stale results).
-	gver uint64
-	// mu guards the memo maps below: they are lazily filled caches of pure
-	// computations, shared by all of the query's workers. Lookups and
-	// stores lock; the computation itself runs unlocked (a duplicated
-	// compute is harmless, a lock held across one could deadlock re-entry).
+	// gver is the graph's mutation version at Execute entry, and dictLen
+	// the dictionary size of that snapshot (the boundary between graph IDs
+	// and query-local extension IDs). The memo caches below are only valid
+	// for that snapshot; the path caches and the plan cache check it and
+	// bypass themselves if the graph mutated mid-query (a reader-contract
+	// violation, degraded to uncached evaluation instead of stale results).
+	gver    uint64
+	dictLen int
+	// mu guards the maps below plus the extension dictionary: they are
+	// lazily filled caches shared by all of the query's workers. Lookups
+	// and stores lock; computations run unlocked (a duplicated compute is
+	// harmless, a lock held across one could deadlock re-entry).
 	mu sync.Mutex
-	// Per-query property-path memo: the graph is immutable while a query
-	// runs, so the node set a path reaches from a given term is computed
-	// once even when many solutions probe the same (path, term) pair.
-	pathFwd map[pathTermKey][]rdf.Term
-	pathBwd map[pathTermKey][]rdf.Term
+	// Query-local extension dictionary: terms the graph has never interned
+	// (expression results, VALUES constants), with IDs growing downward
+	// from just below store.NoID. See idspace.go.
+	extIDs   map[rdf.Term]store.ID
+	extTerms []rdf.Term
+	// Per-query property-path memos, ID-keyed: the graph is immutable
+	// while a query runs, so the ID set a path reaches from a given
+	// endpoint is computed (and encoded) once even when many rows probe
+	// the same (path, endpoint) pair.
+	pathFwd    map[pathIDKey][]store.ID
+	pathBwd    map[pathIDKey][]store.ID
+	pathStarts map[*Path][]store.ID
 	// Per-query filter-pushdown analysis, memoized by group: OPTIONAL and
-	// EXISTS bodies re-enter evalGroup once per solution, and the variable
+	// EXISTS bodies re-enter evalGroupRows once per row, and the variable
 	// collection depends only on the (immutable) pattern tree.
 	groupMemo map[*Group]*groupInfo
 }
 
-// newEvalContext resolves the parallelism knob once for this execution.
-func newEvalContext(g *store.Graph) *evalContext {
-	ec := &evalContext{g: g, par: effectiveParallelism(), gver: g.Version()}
+// newEvalContext resolves the parallelism knob and pins the graph snapshot
+// for this execution.
+func newEvalContext(g *store.Graph, env *slotEnv) *evalContext {
+	ec := &evalContext{
+		g:       g,
+		env:     env,
+		par:     effectiveParallelism(),
+		gver:    g.Version(),
+		dictLen: g.Dict().Len(),
+	}
 	if ec.par > 1 {
 		ec.sem = make(chan struct{}, ec.par-1)
 	}
 	return ec
 }
 
-type pathTermKey struct {
+type pathIDKey struct {
 	p *Path
-	t rdf.Term
+	t store.ID
 }
 
 // groupInfo caches the static part of a group's filter-pushdown analysis.
@@ -129,26 +188,26 @@ func (ec *evalContext) groupInfoFor(g *Group) *groupInfo {
 	return gi
 }
 
-// evalGroup evaluates a group graph pattern over the input solutions.
+// evalGroupRows evaluates a group graph pattern over the input rows.
 //
 // Filters are pushed down: a filter runs as soon as every variable it can
 // ever see is certainly bound (or can never be bound by this group), so it
-// prunes intermediate solutions before later patterns multiply them. A
-// filter's value for a solution cannot change once its variables are bound,
-// so the final solution set is identical to filtering at the end.
-func (ec *evalContext) evalGroup(g *Group, input []Solution) []Solution {
+// prunes intermediate rows before later patterns multiply them. A filter's
+// value for a row cannot change once its variables are bound, so the final
+// solution set is identical to filtering at the end.
+func (ec *evalContext) evalGroupRows(g *Group, input []idRow) []idRow {
 	seq := input
 	if len(g.Filters) == 0 {
 		for _, pat := range g.Patterns {
-			seq = ec.evalPattern(pat, seq)
+			seq = ec.evalPatternRows(pat, seq)
 			if len(seq) == 0 {
 				break
 			}
 		}
 		return seq
 	}
-	// certain: variables bound in every solution at this point.
-	certain := varsBoundInAll(input)
+	// certain: variables bound in every row at this point.
+	certain := ec.varsBoundInAllRows(input)
 	gi := ec.groupInfoFor(g)
 	groupVars, fvars := gi.groupVars, gi.fvars
 	applied := make([]bool, len(g.Filters))
@@ -175,7 +234,7 @@ func (ec *evalContext) evalGroup(g *Group, input []Solution) []Solution {
 	}
 	runReady()
 	for _, pat := range g.Patterns {
-		seq = ec.evalPattern(pat, seq)
+		seq = ec.evalPatternRows(pat, seq)
 		if len(seq) == 0 {
 			// Filters with EXISTS could still not resurrect solutions.
 			break
@@ -189,27 +248,6 @@ func (ec *evalContext) evalGroup(g *Group, input []Solution) []Solution {
 		}
 	}
 	return seq
-}
-
-// varsBoundInAll returns the variables bound in every input solution.
-func varsBoundInAll(input []Solution) map[string]bool {
-	out := make(map[string]bool)
-	if len(input) == 0 {
-		return out
-	}
-	for v := range input[0] {
-		inAll := true
-		for _, sol := range input[1:] {
-			if _, ok := sol[v]; !ok {
-				inAll = false
-				break
-			}
-		}
-		if inAll {
-			out[v] = true
-		}
-	}
-	return out
 }
 
 // collectPossibleVars adds every variable p could bind in any solution.
@@ -377,17 +415,17 @@ func collectExprVars(e Expression) []string {
 	return out
 }
 
-func (ec *evalContext) evalPattern(p Pattern, seq []Solution) []Solution {
+func (ec *evalContext) evalPatternRows(p Pattern, seq []idRow) []idRow {
 	switch pat := p.(type) {
 	case *BGP:
-		return ec.evalBGP(pat, seq)
+		return ec.evalBGPRows(pat, seq)
 	case *Group:
-		return ec.evalGroup(pat, seq)
+		return ec.evalGroupRows(pat, seq)
 	case *Optional:
-		// Each solution's OPTIONAL probe is independent: fan the probes out,
+		// Each row's OPTIONAL probe is independent: fan the probes out,
 		// falling back to the sequential loop below the threshold.
 		if ec.parEligible(len(seq)) {
-			if out, ok := parRange(ec, len(seq), func(lo, hi int, out []Solution) []Solution {
+			if out, ok := parRange(ec, len(seq), func(lo, hi int, out []idRow) []idRow {
 				return ec.evalOptionalRange(pat, seq, lo, hi, out)
 			}); ok {
 				return out
@@ -398,25 +436,25 @@ func (ec *evalContext) evalPattern(p Pattern, seq []Solution) []Solution {
 		// The branches see the same immutable inputs and share the query's
 		// memo caches (locked), so they can evaluate concurrently; output
 		// order stays left-then-right either way. Micro-unions — one input
-		// solution joined against two single-pattern branches, the shape a
+		// row joined against two single-pattern branches, the shape a
 		// per-row EXISTS re-enters — stay sequential: goroutine hand-off
 		// would cost more than the branch and burn the token budget the
 		// large fan-outs need.
 		if ec.sem != nil && (len(seq) > 1 || len(pat.Left.Patterns)+len(pat.Right.Patterns) > 2) {
-			var left, right []Solution
+			var left, right []idRow
 			ec.parPair(
-				func() { left = ec.evalGroup(pat.Left, seq) },
-				func() { right = ec.evalGroup(pat.Right, seq) },
+				func() { left = ec.evalGroupRows(pat.Left, seq) },
+				func() { right = ec.evalGroupRows(pat.Right, seq) },
 			)
 			return append(left, right...)
 		}
-		left := ec.evalGroup(pat.Left, seq)
-		right := ec.evalGroup(pat.Right, seq)
+		left := ec.evalGroupRows(pat.Left, seq)
+		right := ec.evalGroupRows(pat.Right, seq)
 		return append(left, right...)
 	case *Minus:
-		rhs := ec.evalGroup(pat.Pattern, []Solution{{}})
+		rhs := ec.evalGroupRows(pat.Pattern, []idRow{ec.newRow()})
 		if ec.parEligible(len(seq)) {
-			if out, ok := parRange(ec, len(seq), func(lo, hi int, out []Solution) []Solution {
+			if out, ok := parRange(ec, len(seq), func(lo, hi int, out []idRow) []idRow {
 				return minusRange(seq, rhs, lo, hi, out)
 			}); ok {
 				return out
@@ -425,7 +463,7 @@ func (ec *evalContext) evalPattern(p Pattern, seq []Solution) []Solution {
 		return minusRange(seq, rhs, 0, len(seq), nil)
 	case *Bind:
 		if ec.parEligible(len(seq)) {
-			if out, ok := parRange(ec, len(seq), func(lo, hi int, out []Solution) []Solution {
+			if out, ok := parRange(ec, len(seq), func(lo, hi int, out []idRow) []idRow {
 				return ec.evalBindRange(pat, seq, lo, hi, out)
 			}); ok {
 				return out
@@ -433,27 +471,16 @@ func (ec *evalContext) evalPattern(p Pattern, seq []Solution) []Solution {
 		}
 		return ec.evalBindRange(pat, seq, 0, len(seq), nil)
 	case *InlineData:
-		var out []Solution
-		for _, sol := range seq {
-			for _, row := range pat.Rows {
-				merged, ok := mergeRow(sol, pat.Vars, row)
-				if ok {
-					out = append(out, merged)
-				}
-			}
-		}
-		return out
+		return ec.evalInlineData(pat, seq)
 	case *SubSelect:
-		// Subqueries evaluate in a fresh scope, then join with the outer
-		// solutions on their projected variables.
-		res, err := finishSelect(ec, pat.Query, ec.evalGroup(pat.Query.Where, []Solution{{}}))
-		if err != nil {
-			return nil
-		}
-		var out []Solution
-		for _, sol := range seq {
-			for _, sub := range res.Solutions {
-				if merged, ok := mergeSolutions(sol, sub); ok {
+		// Subqueries evaluate in a fresh scope; their projected rows carry
+		// only the projected slots, then join with the outer rows.
+		inner := ec.evalGroupRows(pat.Query.Where, []idRow{ec.newRow()})
+		projRows, _ := ec.finishSelectRows(pat.Query, inner)
+		var out []idRow
+		for _, r := range seq {
+			for _, sr := range projRows {
+				if merged, ok := mergeRows(r, sr); ok {
 					out = append(out, merged)
 				}
 			}
@@ -467,74 +494,41 @@ func (ec *evalContext) evalPattern(p Pattern, seq []Solution) []Solution {
 // evalOptionalRange extends seq[lo:hi] per OPTIONAL semantics, appending
 // to out. The range form serves both the sequential reference path (one
 // full-range call, no closures) and the worker pool (one call per morsel).
-func (ec *evalContext) evalOptionalRange(pat *Optional, seq []Solution, lo, hi int, out []Solution) []Solution {
-	for _, sol := range seq[lo:hi] {
-		ext := ec.evalGroup(pat.Pattern, []Solution{sol})
+func (ec *evalContext) evalOptionalRange(pat *Optional, seq []idRow, lo, hi int, out []idRow) []idRow {
+	for _, r := range seq[lo:hi] {
+		ext := ec.evalGroupRows(pat.Pattern, []idRow{r})
 		if len(ext) > 0 {
 			out = append(out, ext...)
 		} else {
-			out = append(out, sol)
+			out = append(out, r)
 		}
 	}
 	return out
 }
 
-// minusRange appends the solutions of seq[lo:hi] not excluded by rhs.
-func minusRange(seq, rhs []Solution, lo, hi int, out []Solution) []Solution {
-	for _, sol := range seq[lo:hi] {
-		if !minusMatches(sol, rhs) {
-			out = append(out, sol)
+// minusRange appends the rows of seq[lo:hi] not excluded by rhs.
+func minusRange(seq, rhs []idRow, lo, hi int, out []idRow) []idRow {
+	for _, r := range seq[lo:hi] {
+		if !minusMatchesRows(r, rhs) {
+			out = append(out, r)
 		}
 	}
 	return out
 }
 
-// evalBindRange applies a BIND to seq[lo:hi], appending to out.
-func (ec *evalContext) evalBindRange(pat *Bind, seq []Solution, lo, hi int, out []Solution) []Solution {
-	for _, sol := range seq[lo:hi] {
-		v, err := pat.Expr.Eval(ec, sol)
-		if err != nil {
-			out = append(out, sol) // expression error leaves var unbound
-			continue
-		}
-		if existing, bound := sol[pat.Var]; bound {
-			if existing == v {
-				out = append(out, sol)
-			}
-			continue
-		}
-		ns := sol.clone()
-		ns[pat.Var] = v
-		out = append(out, ns)
-	}
-	return out
-}
-
-// mergeSolutions joins two solutions when their shared variables agree.
-func mergeSolutions(a, b Solution) (Solution, bool) {
-	out := a.clone()
-	for k, v := range b {
-		if existing, ok := out[k]; ok {
-			if existing != v {
-				return nil, false
-			}
-			continue
-		}
-		out[k] = v
-	}
-	return out, true
-}
-
-// minusMatches reports whether sol is excluded by any solution in rhs per
+// minusMatchesRows reports whether r is excluded by any row in rhs per
 // SPARQL MINUS semantics (compatible and sharing at least one variable).
-func minusMatches(sol Solution, rhs []Solution) bool {
+func minusMatchesRows(r idRow, rhs []idRow) bool {
 	for _, m := range rhs {
 		shared := false
 		compatible := true
-		for k, v := range m {
-			if sv, ok := sol[k]; ok {
+		for s, v := range m {
+			if v == store.NoID {
+				continue
+			}
+			if rv := r[s]; rv != store.NoID {
 				shared = true
-				if sv != v {
+				if rv != v {
 					compatible = false
 					break
 				}
@@ -547,26 +541,83 @@ func minusMatches(sol Solution, rhs []Solution) bool {
 	return false
 }
 
-func mergeRow(sol Solution, vars []string, row []TermOrNil) (Solution, bool) {
-	out := sol.clone()
-	for i, v := range vars {
-		if !row[i].Defined {
+// evalBindRange applies a BIND to seq[lo:hi], appending to out.
+func (ec *evalContext) evalBindRange(pat *Bind, seq []idRow, lo, hi int, out []idRow) []idRow {
+	slot := ec.env.slot(pat.Var)
+	for _, r := range seq[lo:hi] {
+		v, err := pat.Expr.Eval(ec, r)
+		if err != nil {
+			out = append(out, r) // expression error leaves var unbound
 			continue
 		}
-		if existing, ok := out[v]; ok {
-			if existing != row[i].Term {
-				return nil, false
+		id := ec.encodeTerm(v)
+		if r[slot] != store.NoID {
+			if r[slot] == id {
+				out = append(out, r)
 			}
 			continue
 		}
-		out[v] = row[i].Term
+		ns := cloneRow(r)
+		ns[slot] = id
+		out = append(out, ns)
 	}
-	return out, true
+	return out
 }
 
-func (ec *evalContext) applyFilter(f Expression, seq []Solution) []Solution {
-	// Filters are pure per-solution predicates (EXISTS probes re-enter the
-	// evaluator, which is itself safe for concurrent solutions), so large
+// evalInlineData joins a VALUES block: each data row's cells are encoded
+// once, then merged against every input row (copy-on-write, ID equality).
+func (ec *evalContext) evalInlineData(pat *InlineData, seq []idRow) []idRow {
+	slots := make([]int, len(pat.Vars))
+	for i, v := range pat.Vars {
+		slots[i] = ec.env.slot(v)
+	}
+	enc := make([][]store.ID, len(pat.Rows))
+	for i, row := range pat.Rows {
+		ids := make([]store.ID, len(row))
+		for j, cell := range row {
+			if cell.Defined {
+				ids[j] = ec.encodeTerm(cell.Term)
+			} else {
+				ids[j] = store.NoID // UNDEF
+			}
+		}
+		enc[i] = ids
+	}
+	var out []idRow
+	for _, r := range seq {
+		for _, ids := range enc {
+			merged := r
+			cloned := false
+			ok := true
+			for j, id := range ids {
+				if id == store.NoID {
+					continue
+				}
+				slot := slots[j]
+				if merged[slot] != store.NoID {
+					if merged[slot] != id {
+						ok = false
+						break
+					}
+					continue
+				}
+				if !cloned {
+					merged = cloneRow(r)
+					cloned = true
+				}
+				merged[slot] = id
+			}
+			if ok {
+				out = append(out, merged)
+			}
+		}
+	}
+	return out
+}
+
+func (ec *evalContext) applyFilter(f Expression, seq []idRow) []idRow {
+	// Filters are pure per-row predicates (EXISTS probes re-enter the
+	// evaluator, which is itself safe for concurrent rows), so large
 	// inputs evaluate in parallel morsels whose surviving rows concatenate
 	// in chunk order — input order exactly.
 	if ec.parEligible(len(seq)) {
@@ -574,10 +625,10 @@ func (ec *evalContext) applyFilter(f Expression, seq []Solution) []Solution {
 			return out
 		}
 	}
-	var out []Solution
-	for _, sol := range seq {
-		if ok, err := ebvOf(f, ec, sol); err == nil && ok {
-			out = append(out, sol)
+	var out []idRow
+	for _, r := range seq {
+		if ok, err := ebvOf(f, ec, r); err == nil && ok {
+			out = append(out, r)
 		}
 	}
 	return out
@@ -585,330 +636,68 @@ func (ec *evalContext) applyFilter(f Expression, seq []Solution) []Solution {
 
 // parApplyFilter fans a filter across the worker pool; false means no
 // tokens were free and the caller must filter sequentially.
-func (ec *evalContext) parApplyFilter(f Expression, seq []Solution) ([]Solution, bool) {
-	return parRange(ec, len(seq), func(lo, hi int, out []Solution) []Solution {
-		for _, sol := range seq[lo:hi] {
-			if ok, err := ebvOf(f, ec, sol); err == nil && ok {
-				out = append(out, sol)
+func (ec *evalContext) parApplyFilter(f Expression, seq []idRow) ([]idRow, bool) {
+	return parRange(ec, len(seq), func(lo, hi int, out []idRow) []idRow {
+		for _, r := range seq[lo:hi] {
+			if ok, err := ebvOf(f, ec, r); err == nil && ok {
+				out = append(out, r)
 			}
 		}
 		return out
 	})
 }
 
-// DisableJoinReorder turns off selectivity-based BGP join reordering and
-// evaluates triple patterns in their written order. The solution set is
-// identical either way; the knob exists for A/B benchmarks and for tests
-// that verify that equivalence.
-var DisableJoinReorder = false
-
-// orderBGP returns the BGP's triple patterns in a greedy join order:
-// repeatedly pick the pattern with the lowest estimated cardinality given
-// the variables bound so far, so selective patterns run first and each join
-// extends as few intermediate solutions as possible. The solution multiset
-// of a conjunctive BGP is invariant under join order, so results are
-// identical to the written order. Property-path patterns carry no index
-// statistics and evaluate last, keeping their relative order.
-func (ec *evalContext) orderBGP(tps []TriplePattern, seq []Solution) []TriplePattern {
-	if len(tps) < 2 || DisableJoinReorder {
-		return tps
+// evalBGPRows evaluates a basic graph pattern as a pure ID-space pipeline:
+// the compiled (and cached) plan orders the patterns by estimated
+// selectivity and fuses runs of patterns sharing one fresh slot into
+// bitmap intersections; execution then expands the input rows step by
+// step, with property-path steps interleaved where the planner placed
+// them. No term is decoded and no Solution map is built — rows stay
+// []store.ID throughout.
+func (ec *evalContext) evalBGPRows(bgp *BGP, rows []idRow) []idRow {
+	if len(rows) == 0 || len(bgp.Triples) == 0 {
+		return rows
 	}
-	// Variables bound in every input solution count as bound for estimation.
-	bound := varsBoundInAll(seq)
-	// Encode each pattern's constant positions once; the greedy rounds below
-	// then only consult the O(1) count tables and the bound-variable set.
-	type patInfo struct {
-		vars      [3]string // variable name per position, "" when constant
-		baseCount int       // CountID over the constant positions
-		isPath    bool
+	plan := ec.planBGP(bgp, rows)
+	if plan.empty {
+		return nil
 	}
-	infos := make([]patInfo, len(tps))
-	for i, tp := range tps {
-		pi := patInfo{isPath: tp.Path != nil}
-		ids := [3]store.ID{store.NoID, store.NoID, store.NoID}
-		empty := false
-		for j, tv := range [3]TermOrVar{tp.S, tp.P, tp.O} {
-			if pi.isPath && j == 1 {
-				continue // path position: no predicate term
-			}
-			if tv.IsVar {
-				pi.vars[j] = tv.Var
-				continue
-			}
-			id, ok := ec.g.LookupID(tv.Term)
-			if !ok {
-				empty = true // constant absent from graph: pattern is empty
-				break
-			}
-			ids[j] = id
-		}
-		if !pi.isPath {
-			if empty {
-				pi.baseCount = 0
-			} else {
-				pi.baseCount = ec.g.CountID(ids[0], ids[1], ids[2])
-			}
-		}
-		infos[i] = pi
-	}
-	const pathCost = int(^uint(0) >> 1)
-	estimate := func(pi patInfo) int {
-		if pi.isPath {
-			// Paths carry no index statistics. A path whose endpoints are
-			// already bound is a near-constant reachability check and should
-			// run as soon as it can prune; with endpoints free it can
-			// enumerate large closures, so it goes last.
-			boundEnds := 0
-			if pi.vars[0] == "" || bound[pi.vars[0]] {
-				boundEnds++
-			}
-			if pi.vars[2] == "" || bound[pi.vars[2]] {
-				boundEnds++
-			}
-			switch boundEnds {
-			case 2:
-				return 8
-			case 1:
-				return 4096
-			default:
-				return pathCost
-			}
-		}
-		// Each position held by an already-bound variable shrinks the
-		// estimate: the join will probe with a concrete term even though we
-		// could not count it upfront.
-		est := pi.baseCount
-		for _, v := range pi.vars {
-			if v != "" && bound[v] && est > 1 {
-				est = est/8 + 1
-			}
-		}
-		return est
-	}
-	out := make([]TriplePattern, 0, len(tps))
-	used := make([]bool, len(tps))
-	for range tps {
-		best, bestEst := -1, 0
-		for i := range tps {
-			if used[i] {
-				continue
-			}
-			est := estimate(infos[i])
-			if best < 0 || est < bestEst {
-				best, bestEst = i, est
-			}
-		}
-		used[best] = true
-		out = append(out, tps[best])
-		for _, v := range infos[best].vars {
-			if v != "" {
-				bound[v] = true
-			}
-		}
-	}
-	return out
-}
-
-// evalBGP evaluates a basic graph pattern: patterns are reordered by
-// estimated selectivity, then the maximal path-free prefix runs as a pure
-// ID-space pipeline (bindings are []store.ID rows — extending a row is a
-// small memcopy, with no term hashing and no map allocation), and only the
-// BGP's final rows are materialized back into Solutions. Path patterns and
-// anything ordered after them go through the per-pattern evaluator.
-func (ec *evalContext) evalBGP(bgp *BGP, seq []Solution) []Solution {
-	ordered := ec.orderBGP(bgp.Triples, seq)
-	prefix := 0
-	for prefix < len(ordered) && ordered[prefix].Path == nil {
-		prefix++
-	}
-	// The ID pipeline pays off from two joined patterns up; a single
-	// pattern (the common OPTIONAL / EXISTS body, re-entered per solution)
-	// is cheaper through the direct per-pattern evaluator.
-	if prefix > 1 && len(seq) > 0 {
-		seq = ec.evalBGPPrefix(ordered[:prefix], seq)
-	} else {
-		prefix = 0
-	}
-	for _, tp := range ordered[prefix:] {
-		if len(seq) == 0 {
-			return nil
-		}
-		seq = ec.evalTriplePattern(tp, seq)
-	}
-	return seq
-}
-
-// bgpConstPos marks a pattern position that holds a constant ID.
-const bgpConstPos = -1
-
-// bgpSpec is one triple pattern of an ID pipeline: per position either a
-// constant ID (slot == bgpConstPos) or an index into the row's slots.
-type bgpSpec struct {
-	ids  [3]store.ID
-	slot [3]int
-}
-
-// idRow is one intermediate binding of the ID pipeline.
-type idRow struct {
-	src  int // index of the seeding input Solution
-	vals []store.ID
-}
-
-// evalBGPPrefix joins a run of non-path triple patterns entirely on
-// dictionary IDs. Variables get dense slots; every intermediate binding is
-// a row of IDs. Each input Solution seeds one row, and each surviving row
-// clones its input Solution exactly once, at the end, with the new
-// variables decoded lazily.
-func (ec *evalContext) evalBGPPrefix(tps []TriplePattern, seq []Solution) []Solution {
-	g := ec.g
-	// Assign slots to the variables the patterns mention.
-	slots := make(map[string]int)
-	slotNames := make([]string, 0, 8)
-	slotOf := func(name string) int {
-		if i, ok := slots[name]; ok {
-			return i
-		}
-		i := len(slotNames)
-		slots[name] = i
-		slotNames = append(slotNames, name)
-		return i
-	}
-	// Encode each pattern: per position either a constant ID or a slot.
-	specs := make([]bgpSpec, len(tps))
-	for i, tp := range tps {
-		for j, tv := range [3]TermOrVar{tp.S, tp.P, tp.O} {
-			if tv.IsVar {
-				specs[i].slot[j] = slotOf(tv.Var)
-				continue
-			}
-			specs[i].slot[j] = bgpConstPos
-			id, ok := g.LookupID(tv.Term)
-			if !ok {
-				return nil // constant term absent: no triple can match
-			}
-			specs[i].ids[j] = id
-		}
-	}
-	nSlots := len(slotNames)
-	rows := make([]idRow, 0, len(seq))
-	boundN := make([]int, nSlots)
-	for si, sol := range seq {
-		vals := make([]store.ID, nSlots)
-		ok := true
-		for name, slot := range slots {
-			vals[slot] = store.NoID
-			if t, bound := sol[name]; bound {
-				id, known := g.LookupID(t)
-				if !known {
-					ok = false // bound to a term no triple contains
-					break
-				}
-				vals[slot] = id
-			}
-		}
-		if ok {
-			for slot, v := range vals {
-				if v != store.NoID {
-					boundN[slot]++
-				}
-			}
-			rows = append(rows, idRow{src: si, vals: vals})
-		}
-	}
-	// certain[slot] marks slots bound in every row: seeded from the rows
-	// just built, then extended as the pipeline executes (a pattern binds
-	// all of its slots in every surviving row). Runs of patterns whose
-	// single uncertain slot coincide fuse into one bitmap intersection
-	// below.
-	certain := make([]bool, nSlots)
-	for slot, n := range boundN {
-		certain[slot] = n == len(rows) && len(rows) > 0
-	}
-	// Join pipeline: the first (most selective) pattern seeds the row
-	// stream, and each subsequent pattern expands every surviving row.
-	// Consecutive patterns that constrain the same single fresh variable —
-	// the dense-ontology staple `?x rdf:type :A . ?x rdf:type :B` — fuse
-	// into one run: per row, each pattern's candidate bitmap comes straight
-	// from an index level (MatchSetID) and the run's matches are their
-	// word-level intersection, in the exact ascending-ID order the unfused
-	// expand-then-filter cascade would emit. Large row sets fan out across
-	// the worker pool in contiguous morsels whose outputs concatenate in
-	// morsel order — exactly the sequential append order — while small
-	// ones run the closure-free range call.
-	for i := 0; i < len(specs); {
+	for i := range plan.steps {
 		if len(rows) == 0 {
 			return nil
 		}
-		run := i
-		freeSlot := -1
-		if v, ok := fusableSlot(specs[i], certain); ok {
-			freeSlot = v
-			for run = i + 1; run < len(specs); run++ {
-				if v2, ok2 := fusableSlot(specs[run], certain); !ok2 || v2 != v {
-					break
-				}
-			}
-		}
-		if run > i+1 {
-			fused := specs[i:run]
-			// When every non-free position of the run is a constant the
-			// candidate sets are the same for every row: resolve them once
-			// here — and materialize the dense word-level AND once — instead
-			// of per row (and per morsel).
-			shared, sharedCand := fusedSharedSets(g, fused, freeSlot)
+		st := &plan.steps[i]
+		switch {
+		case st.isPath:
+			rows = ec.evalPathRows(st.tp, rows)
+		case len(st.specs) > 1:
+			// Fused run: per row, each pattern's candidate bitmap comes
+			// straight from an index level and the run's matches are their
+			// word-level intersection, in the exact ascending-ID order the
+			// unfused expand-then-filter cascade would emit.
 			expanded := false
 			if ec.parEligible(len(rows)) {
-				if par, ok := ec.parIntersectIDRows(fused, freeSlot, shared, sharedCand, rows); ok {
+				if par, ok := ec.parIntersectIDRows(st, rows); ok {
 					rows, expanded = par, true
 				}
 			}
 			if !expanded {
-				rows = intersectIDRows(g, fused, freeSlot, shared, sharedCand, rows, 0, len(rows), rows[:0:0])
+				rows = intersectIDRows(ec.g, st, rows, 0, len(rows), rows[:0:0])
 			}
-			for _, spec := range fused {
-				markCertain(spec, certain)
+		default:
+			spec := st.specs[0]
+			expanded := false
+			if ec.parEligible(len(rows)) {
+				if par, ok := ec.parExpandIDRows(spec, rows); ok {
+					rows, expanded = par, true
+				}
 			}
-			i = run
-			continue
-		}
-		spec := specs[i]
-		expanded := false
-		if ec.parEligible(len(rows)) {
-			if par, ok := ec.parExpandIDRows(spec, rows); ok {
-				rows, expanded = par, true
+			if !expanded {
+				rows = expandIDRows(ec.g, spec, rows, 0, len(rows), rows[:0:0])
 			}
-		}
-		if !expanded {
-			rows = expandIDRows(g, spec, rows, 0, len(rows), rows[:0:0])
-		}
-		markCertain(spec, certain)
-		i++
-	}
-	// Materialize surviving rows into Solutions; each row is independent,
-	// so large results decode in parallel into index-ordered slots.
-	out := make([]Solution, len(rows))
-	if !(ec.parEligible(len(rows)) && ec.parMaterializeIDRows(seq, slotNames, rows, out)) {
-		materializeIDRows(g, seq, slotNames, rows, out, 0, len(rows))
-	}
-	return out
-}
-
-// fusableSlot reports whether exactly one position of spec holds a slot
-// not yet certainly bound, returning that slot. Such a pattern resolves,
-// per row, to a single index-level candidate set — the shape the fused
-// intersection join consumes. A pattern repeating its one fresh variable
-// in two positions has two uncertain positions and is rejected, as is a
-// pattern whose positions are all constants or certain (a pure existence
-// test, which the plain expander handles without allocating).
-func fusableSlot(spec bgpSpec, certain []bool) (int, bool) {
-	free, n := -1, 0
-	for j := 0; j < 3; j++ {
-		if s := spec.slot[j]; s != bgpConstPos && !certain[s] {
-			free = s
-			n++
 		}
 	}
-	return free, n == 1
+	return rows
 }
 
 // probeFor resolves one pattern against one row: constants from the spec,
@@ -919,86 +708,11 @@ func probeFor(spec bgpSpec, r idRow) [3]store.ID {
 		if spec.slot[j] == bgpConstPos {
 			probe[j] = spec.ids[j]
 		} else {
-			probe[j] = r.vals[spec.slot[j]]
+			probe[j] = r[spec.slot[j]]
 		}
 	}
 	return probe
 }
-
-// markCertain records that spec's slots are bound in every surviving row
-// (expansion binds all of a pattern's slots).
-func markCertain(spec bgpSpec, certain []bool) {
-	for j := 0; j < 3; j++ {
-		if spec.slot[j] != bgpConstPos {
-			certain[spec.slot[j]] = true
-		}
-	}
-}
-
-// fusedSharedSets resolves a fused run's candidate sets when they are
-// row-invariant: every position of every pattern other than the free slot
-// holds a constant, so the per-row probes never differ. The live index
-// sets are returned smallest first (the iteration/And order that does the
-// least work); nil sets means some pattern reads another (certainly
-// bound) slot and the sets must be resolved per row. When the smallest
-// set is dense enough for word-level ANDs to pay off, cand is the
-// materialized intersection, computed exactly once for the whole run —
-// sequential and fanned-out execution alike.
-func fusedSharedSets(g *store.Graph, specs []bgpSpec, freeSlot int) (sets []*store.IDSet, cand *store.IDSet) {
-	for _, spec := range specs {
-		for j := 0; j < 3; j++ {
-			if s := spec.slot[j]; s != bgpConstPos && s != freeSlot {
-				return nil, nil
-			}
-		}
-	}
-	sets = make([]*store.IDSet, 0, len(specs))
-	for _, spec := range specs {
-		var probe [3]store.ID
-		for j := 0; j < 3; j++ {
-			if spec.slot[j] == bgpConstPos {
-				probe[j] = spec.ids[j]
-			} else {
-				probe[j] = store.NoID
-			}
-		}
-		sets = append(sets, g.MatchSetID(probe[0], probe[1], probe[2]))
-	}
-	sortSetsByLen(sets)
-	if sets[0].Len() >= fusedAndMin {
-		cand = andAll(sets)
-	}
-	return sets, cand
-}
-
-// andAll folds ≥ 2 sets (smallest first) into their intersection with
-// word-level ANDs, stopping as soon as the product empties. The result is
-// always a fresh set, never a live index level.
-func andAll(sets []*store.IDSet) *store.IDSet {
-	cand := sets[0].And(sets[1])
-	for _, s := range sets[2:] {
-		if cand.Len() == 0 {
-			break
-		}
-		cand = cand.And(s)
-	}
-	return cand
-}
-
-// sortSetsByLen orders a handful of sets by ascending cardinality
-// (insertion sort: runs are 2-4 patterns long).
-func sortSetsByLen(sets []*store.IDSet) {
-	for i := 1; i < len(sets); i++ {
-		for j := i; j > 0 && sets[j].Len() < sets[j-1].Len(); j-- {
-			sets[j], sets[j-1] = sets[j-1], sets[j]
-		}
-	}
-}
-
-// fusedAndMin is the smallest-candidate-set size at which materializing
-// the word-level AND beats iterating the smallest set and probing the
-// others. Below it the intersection runs allocation-free.
-const fusedAndMin = 1024
 
 // intersectIDRows joins rows[lo:hi] against a fused run of patterns that
 // all constrain the same single fresh slot. Per row, each pattern
@@ -1008,21 +722,19 @@ const fusedAndMin = 1024
 // small (no allocation), materialized as word-level ANDs when it is dense.
 // Either way the surviving IDs extend the row in ascending order — exactly
 // what expanding the first pattern and filtering through the rest would
-// append, without materializing a row per pre-filter candidate. Rows whose
-// seeding solution already bound the slot degrade to one membership test
-// per pattern. shared passes the row-invariant candidate sets from
-// fusedSharedSets (nil: resolve per row) and sharedCand their
-// pre-materialized dense intersection (nil: none).
-func intersectIDRows(g *store.Graph, specs []bgpSpec, freeSlot int, shared []*store.IDSet, sharedCand *store.IDSet, rows []idRow, lo, hi int, next []idRow) []idRow {
+// append, without materializing a row per pre-filter candidate. Rows that
+// already bind the slot degrade to one membership test per pattern.
+func intersectIDRows(g *store.Graph, st *planStep, rows []idRow, lo, hi int, next []idRow) []idRow {
+	specs, freeSlot := st.specs, st.freeSlot
 	var scratch [8]*store.IDSet
 	for _, r := range rows[lo:hi] {
-		if v := r.vals[freeSlot]; v != store.NoID {
+		if v := r[freeSlot]; v != store.NoID {
 			ok := true
 			switch {
-			case sharedCand != nil:
-				ok = sharedCand.Contains(v)
-			case shared != nil:
-				for _, set := range shared {
+			case st.sharedCand != nil:
+				ok = st.sharedCand.Contains(v)
+			case st.shared != nil:
+				for _, set := range st.shared {
 					if !set.Contains(v) {
 						ok = false
 						break
@@ -1043,16 +755,16 @@ func intersectIDRows(g *store.Graph, specs []bgpSpec, freeSlot int, shared []*st
 			continue
 		}
 		emit := func(id store.ID) bool {
-			vals := append([]store.ID(nil), r.vals...)
+			vals := cloneRow(r)
 			vals[freeSlot] = id
-			next = append(next, idRow{src: r.src, vals: vals})
+			next = append(next, vals)
 			return true
 		}
-		if sharedCand != nil {
-			sharedCand.ForEach(emit)
+		if st.sharedCand != nil {
+			st.sharedCand.ForEach(emit)
 			continue
 		}
-		sets := shared
+		sets := st.shared
 		if sets == nil {
 			sets = scratch[:0]
 			dead := false
@@ -1094,29 +806,20 @@ func intersectIDRows(g *store.Graph, specs []bgpSpec, freeSlot int, shared []*st
 
 // parIntersectIDRows fans a fused intersection run across the worker pool;
 // see parExpandIDRows for why it is a separate method.
-func (ec *evalContext) parIntersectIDRows(specs []bgpSpec, freeSlot int, shared []*store.IDSet, sharedCand *store.IDSet, rows []idRow) ([]idRow, bool) {
+func (ec *evalContext) parIntersectIDRows(st *planStep, rows []idRow) ([]idRow, bool) {
 	return parRange(ec, len(rows), func(lo, hi int, out []idRow) []idRow {
-		return intersectIDRows(ec.g, specs, freeSlot, shared, sharedCand, rows, lo, hi, out)
+		return intersectIDRows(ec.g, st, rows, lo, hi, out)
 	})
 }
 
 // parExpandIDRows fans one pattern's row expansion across the worker
-// pool. A separate method (like parStepIDs) so its escaping closure never
-// forces heap boxing of evalBGPPrefix's pipeline state on the sequential
+// pool. A separate method (like parStepSet) so its escaping closure never
+// forces heap boxing of evalBGPRows' pipeline state on the sequential
 // reference path.
 func (ec *evalContext) parExpandIDRows(spec bgpSpec, rows []idRow) ([]idRow, bool) {
 	return parRange(ec, len(rows), func(lo, hi int, out []idRow) []idRow {
 		return expandIDRows(ec.g, spec, rows, lo, hi, out)
 	})
-}
-
-// parMaterializeIDRows decodes rows into out's index-ordered slots in
-// parallel; false means the caller must materialize sequentially.
-func (ec *evalContext) parMaterializeIDRows(seq []Solution, slotNames []string, rows []idRow, out []Solution) bool {
-	_, ok := ec.parChunks(len(rows), func(_, lo, hi int) {
-		materializeIDRows(ec.g, seq, slotNames, rows, out, lo, hi)
-	})
-	return ok
 }
 
 // expandIDRows joins rows[lo:hi] against one encoded pattern, appending
@@ -1127,7 +830,7 @@ func expandIDRows(g *store.Graph, spec bgpSpec, rows []idRow, lo, hi int, next [
 		probe := probeFor(spec, r) // NoID in unbound positions
 		g.ForEachID(probe[0], probe[1], probe[2], func(s, p, o store.ID) bool {
 			match := [3]store.ID{s, p, o}
-			ext := r.vals
+			ext := r
 			cloned := false
 			for j := 0; j < 3; j++ {
 				slot := spec.slot[j]
@@ -1142,49 +845,24 @@ func expandIDRows(g *store.Graph, spec bgpSpec, rows []idRow, lo, hi int, next [
 					continue
 				}
 				if !cloned {
-					ext = append([]store.ID(nil), ext...)
+					ext = cloneRow(r)
 					cloned = true
 				}
 				ext[slot] = match[j]
 			}
-			next = append(next, idRow{src: r.src, vals: ext})
+			next = append(next, ext)
 			return true
 		})
 	}
 	return next
 }
 
-// materializeIDRows decodes rows[lo:hi] into out[lo:hi]: each surviving
-// row clones its seeding Solution exactly once, with the new variables
-// decoded lazily from the dictionary.
-func materializeIDRows(g *store.Graph, seq []Solution, slotNames []string, rows []idRow, out []Solution, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		r := rows[i]
-		sol := seq[r.src]
-		ext := sol
-		cloned := false
-		for slot, name := range slotNames {
-			if r.vals[slot] == store.NoID {
-				continue
-			}
-			if _, bound := sol[name]; bound {
-				continue
-			}
-			if !cloned {
-				ext = sol.clone()
-				cloned = true
-			}
-			ext[name] = g.TermOf(r.vals[slot])
-		}
-		out[i] = ext
-	}
-}
-
 // quickExists answers EXISTS over a group consisting of a single non-path
-// triple pattern without materializing bindings: it probes the ID indexes
-// and stops at the first match. ok=false means the group is not of that
-// shape and the caller must fall back to full evaluation.
-func (ec *evalContext) quickExists(g *Group, sol Solution) (found, ok bool) {
+// triple pattern without materializing rows: it probes the ID indexes
+// directly from the row's slots — no decode at all — and stops at the
+// first match. ok=false means the group is not of that shape and the
+// caller must fall back to full evaluation.
+func (ec *evalContext) quickExists(g *Group, r idRow) (found, ok bool) {
 	if g == nil || len(g.Filters) != 0 || len(g.Patterns) != 1 {
 		return false, false
 	}
@@ -1194,25 +872,25 @@ func (ec *evalContext) quickExists(g *Group, sol Solution) (found, ok bool) {
 	}
 	tp := bgp.Triples[0]
 	ids := [3]store.ID{store.NoID, store.NoID, store.NoID}
-	var seenVars [3]string
+	freeSlots := [3]int{-1, -1, -1}
 	for i, tv := range [3]TermOrVar{tp.S, tp.P, tp.O} {
-		term := tv.Term
 		if tv.IsVar {
-			t, bound := sol[tv.Var]
-			if !bound {
-				// Two unbound occurrences of one variable constrain each
-				// other; leave that shape to the full evaluator.
-				for j := 0; j < i; j++ {
-					if seenVars[j] == tv.Var {
-						return false, false
-					}
-				}
-				seenVars[i] = tv.Var
+			s := ec.env.slot(tv.Var)
+			if s >= 0 && r[s] != store.NoID {
+				ids[i] = r[s]
 				continue
 			}
-			term = t
+			// Two unbound occurrences of one variable constrain each
+			// other; leave that shape to the full evaluator.
+			for j := 0; j < i; j++ {
+				if freeSlots[j] == s {
+					return false, false
+				}
+			}
+			freeSlots[i] = s
+			continue
 		}
-		id, known := ec.g.LookupID(term)
+		id, known := ec.g.LookupID(tv.Term)
 		if !known {
 			return false, true // a term the graph has never seen: no match
 		}
@@ -1225,145 +903,58 @@ func (ec *evalContext) quickExists(g *Group, sol Solution) (found, ok bool) {
 	return found, true
 }
 
-// evalTriplePattern extends each solution with matches of one pattern. The
-// match runs at dictionary-ID level: constants are encoded once per pattern,
-// solution-bound variables once per solution, and only the wildcard
-// positions of each matching triple are decoded back to terms.
-func (ec *evalContext) evalTriplePattern(tp TriplePattern, seq []Solution) []Solution {
-	// Each solution extends independently; large inputs fan out across the
-	// worker pool, everything else takes the closure-free range call.
-	if ec.parEligible(len(seq)) {
-		if out, ok := parRange(ec, len(seq), func(lo, hi int, out []Solution) []Solution {
-			return ec.evalTriplePatternRange(tp, seq, lo, hi, out)
-		}); ok {
-			return out
-		}
-	}
-	return ec.evalTriplePatternRange(tp, seq, 0, len(seq), nil)
-}
-
-// evalTriplePatternRange extends seq[lo:hi] with tp's matches, appending
-// to out; the per-pattern constant encoding is repeated per range, which
-// costs three dictionary probes per worker morsel.
-func (ec *evalContext) evalTriplePatternRange(tp TriplePattern, seq []Solution, lo, hi int, out []Solution) []Solution {
-	if tp.Path != nil {
-		for _, sol := range seq[lo:hi] {
-			out = append(out, ec.evalPathPattern(tp, sol)...)
-		}
-		return out
-	}
-	g := ec.g
-	// Encode the constant positions once; a constant the dictionary has
-	// never seen matches nothing for any solution.
-	type posSpec struct {
-		id      store.ID // bound ID, or NoID when variable
-		varName string   // non-empty when variable
-	}
-	encode := func(tv TermOrVar) (posSpec, bool) {
-		if tv.IsVar {
-			return posSpec{id: store.NoID, varName: tv.Var}, true
-		}
-		id, ok := g.LookupID(tv.Term)
-		return posSpec{id: id}, ok
-	}
-	sSpec, ok := encode(tp.S)
-	if !ok {
-		return nil
-	}
-	pSpec, ok := encode(tp.P)
-	if !ok {
-		return nil
-	}
-	oSpec, ok := encode(tp.O)
-	if !ok {
-		return nil
-	}
-	// resolvePos folds the current solution in: a variable bound in sol
-	// becomes a concrete ID (ok=false when its term is not in the graph —
-	// the pattern then cannot match this solution).
-	resolvePos := func(ps posSpec, sol Solution) (store.ID, string, bool) {
-		if ps.varName == "" {
-			return ps.id, "", true
-		}
-		if t, bound := sol[ps.varName]; bound {
-			id, known := g.LookupID(t)
-			return id, "", known
-		}
-		return store.NoID, ps.varName, true
-	}
-	for _, sol := range seq[lo:hi] {
-		sID, sVar, ok := resolvePos(sSpec, sol)
-		if !ok {
-			continue
-		}
-		pID, pVar, ok := resolvePos(pSpec, sol)
-		if !ok {
-			continue
-		}
-		oID, oVar, ok := resolvePos(oSpec, sol)
-		if !ok {
-			continue
-		}
-		g.ForEachID(sID, pID, oID, func(si, pi, oi store.ID) bool {
-			ext := sol
-			cloned := false
-			bind := func(name string, id store.ID) bool {
-				if name == "" {
-					return true
-				}
-				val := g.TermOf(id)
-				if cur, ok := ext[name]; ok {
-					return cur == val
-				}
-				if !cloned {
-					ext = ext.clone()
-					cloned = true
-				}
-				ext[name] = val
-				return true
-			}
-			if bind(sVar, si) && bind(pVar, pi) && bind(oVar, oi) {
-				if !cloned {
-					ext = sol
-				}
-				out = append(out, ext)
-			}
-			return true
-		})
-	}
-	return out
-}
-
-// resolve maps a pattern position to (bound term, "") or (wildcard, varname).
-func resolve(tv TermOrVar, sol Solution) (rdf.Term, string) {
-	if !tv.IsVar {
-		return tv.Term, ""
-	}
-	if t, ok := sol[tv.Var]; ok {
-		return t, ""
-	}
-	return store.Wildcard, tv.Var
-}
-
 // ---- SELECT finalization: grouping, aggregates, projection, modifiers ----
 
-func finishSelect(ec *evalContext, q *Query, sols []Solution) (*Result, error) {
+// finishSelect runs the SELECT pipeline on ID rows and materializes the
+// public Solutions — one map allocation per projected result row, the
+// only place the engine decodes rows into terms wholesale.
+func (ec *evalContext) finishSelect(q *Query, rows []idRow) (*Result, error) {
 	res := &Result{Kind: KindSelect, Namespaces: q.Namespaces}
+	projected, vars := ec.finishSelectRows(q, rows)
+	res.Vars = vars
+	slots := make([]int, len(vars))
+	for i, v := range vars {
+		slots[i] = ec.env.slot(v)
+	}
+	out := make([]Solution, len(projected))
+	if !(ec.parEligible(len(projected)) && parMap(ec, projected, out, func(r idRow) Solution {
+		return ec.materializeRow(r, vars, slots)
+	})) {
+		for i, r := range projected {
+			out[i] = ec.materializeRow(r, vars, slots)
+		}
+	}
+	res.Solutions = out
+	return res, nil
+}
+
+// materializeRow builds the public Solution map for one projected row —
+// the single map[string]rdf.Term allocation per result row.
+func (ec *evalContext) materializeRow(r idRow, vars []string, slots []int) Solution {
+	sol := make(Solution, len(vars))
+	for i, v := range vars {
+		if s := slots[i]; s >= 0 && r[s] != store.NoID {
+			sol[v] = ec.termOf(r[s])
+		}
+	}
+	return sol
+}
+
+// finishSelectRows applies grouping/aggregation, projection expressions,
+// ORDER BY, projection, DISTINCT, and OFFSET/LIMIT, entirely on ID rows.
+// The returned rows carry only the projected slots (SubSelect joins rely
+// on that). vars is the projected column order.
+func (ec *evalContext) finishSelectRows(q *Query, rows []idRow) ([]idRow, []string) {
 	// Aggregation applies when GROUP BY is present or any projection/having
 	// expression contains an aggregate.
 	aggs := collectAggregates(q)
 	if len(q.GroupBy) > 0 || len(aggs) > 0 {
-		grouped, err := groupAndAggregate(ec, q, sols, aggs)
-		if err != nil {
-			return nil, err
-		}
-		sols = grouped
+		rows = ec.groupAndAggregateRows(q, rows, aggs)
 	}
-	// Extend solutions with computed projection values first, so ORDER BY
-	// can reference both SELECT aliases and variables that the projection
-	// will later drop.
-	vars := projectionVars(q, sols)
-	res.Vars = vars
+	// Extend rows with computed projection values first, so ORDER BY can
+	// reference both SELECT aliases and variables that the projection will
+	// later drop.
+	vars := projectionVars(q)
 	hasExprs := false
 	for _, item := range q.Projection {
 		if item.Expr != nil {
@@ -1371,53 +962,59 @@ func finishSelect(ec *evalContext, q *Query, sols []Solution) (*Result, error) {
 			break
 		}
 	}
-	extended := sols
+	extended := rows
 	if hasExprs {
-		extendOne := func(sol Solution) Solution {
-			ext := sol.clone()
+		extendOne := func(r idRow) idRow {
+			ext := cloneRow(r)
 			for _, item := range q.Projection {
 				if item.Expr == nil {
 					continue
 				}
 				if v, err := item.Expr.Eval(ec, ext); err == nil {
-					ext[item.Var] = v
+					if s := ec.env.slot(item.Var); s >= 0 {
+						ext[s] = ec.encodeTerm(v)
+					}
 				}
 			}
 			return ext
 		}
-		extended = make([]Solution, len(sols))
-		if !parMap(ec, sols, extended, extendOne) {
-			for i, sol := range sols {
-				extended[i] = extendOne(sol)
+		extended = make([]idRow, len(rows))
+		if !(ec.parEligible(len(rows)) && parMap(ec, rows, extended, extendOne)) {
+			for i, r := range rows {
+				extended[i] = extendOne(r)
 			}
 		}
 	}
-	// ORDER BY on the full (extended) solutions.
+	// ORDER BY on the full (extended) rows.
 	if len(q.OrderBy) > 0 {
-		sorted := make([]Solution, len(extended))
+		sorted := make([]idRow, len(extended))
 		copy(sorted, extended)
-		sortSolutions(ec, sorted, q.OrderBy)
+		sortRows(ec, sorted, q.OrderBy)
 		extended = sorted
 	}
-	// Reduce to the projected variables.
-	projectOne := func(sol Solution) Solution {
-		row := make(Solution, len(vars))
-		for _, v := range vars {
-			if t, ok := sol[v]; ok {
-				row[v] = t
+	// Reduce to the projected slots.
+	projSlots := make([]int, len(vars))
+	for i, v := range vars {
+		projSlots[i] = ec.env.slot(v)
+	}
+	projectOne := func(r idRow) idRow {
+		row := ec.newRow()
+		for _, s := range projSlots {
+			if s >= 0 {
+				row[s] = r[s]
 			}
 		}
 		return row
 	}
-	projected := make([]Solution, len(extended))
-	if !parMap(ec, extended, projected, projectOne) {
-		for i, sol := range extended {
-			projected[i] = projectOne(sol)
+	projected := make([]idRow, len(extended))
+	if !(ec.parEligible(len(extended)) && parMap(ec, extended, projected, projectOne)) {
+		for i, r := range extended {
+			projected[i] = projectOne(r)
 		}
 	}
 	// DISTINCT / REDUCED.
 	if q.Distinct || q.Reduced {
-		projected = distinct(projected, vars)
+		projected = distinctRows(projected, projSlots)
 	}
 	// OFFSET / LIMIT.
 	if q.Offset > 0 {
@@ -1430,8 +1027,7 @@ func finishSelect(ec *evalContext, q *Query, sols []Solution) (*Result, error) {
 	if q.Limit >= 0 && q.Limit < len(projected) {
 		projected = projected[:q.Limit]
 	}
-	res.Solutions = projected
-	return res, nil
+	return projected, vars
 }
 
 func collectAggregates(q *Query) []*AggExpr {
@@ -1468,52 +1064,71 @@ func collectAggregates(q *Query) []*AggExpr {
 	return aggs
 }
 
-// groupAndAggregate partitions solutions by the GROUP BY keys, computes each
-// aggregate per group, and returns one solution per group carrying the key
-// bindings plus aggregate values under their internal keys.
-func groupAndAggregate(ec *evalContext, q *Query, sols []Solution, aggs []*AggExpr) ([]Solution, error) {
+// groupAndAggregateRows partitions rows by the GROUP BY keys (compared by
+// ID — exact sameTerm semantics), computes each aggregate per group, and
+// returns one row per group carrying the key bindings plus aggregate
+// values under their internal slots.
+func (ec *evalContext) groupAndAggregateRows(q *Query, rows []idRow, aggs []*AggExpr) []idRow {
 	type groupData struct {
-		key  Solution
-		rows []Solution
+		key  idRow
+		rows []idRow
 	}
 	groups := make(map[string]*groupData)
 	var order []string
-	for _, sol := range sols {
-		var kb strings.Builder
-		key := Solution{}
-		for i, ge := range q.GroupBy {
-			v, err := ge.Eval(ec, sol)
-			if err == nil {
-				kb.WriteString(v.String())
-				if ve, ok := ge.(*VarExpr); ok {
-					key[ve.Name] = v
-				} else {
-					key[" gk"+strconv.Itoa(i)] = v
-				}
-			}
-			kb.WriteByte('|')
+	var kb []byte
+	// Key slots are loop-invariant: resolve each GROUP BY expression's
+	// target slot (the variable's own, or the planner's " gk<i>") once.
+	keySlots := make([]int, len(q.GroupBy))
+	for i, ge := range q.GroupBy {
+		if ve, isVar := ge.(*VarExpr); isVar {
+			keySlots[i] = ec.env.slot(ve.Name)
+		} else {
+			keySlots[i] = ec.env.slot(" gk" + strconv.Itoa(i))
 		}
-		k := kb.String()
+	}
+	keyIDs := make([]store.ID, len(q.GroupBy))
+	for _, r := range rows {
+		kb = kb[:0]
+		for i, ge := range q.GroupBy {
+			id := store.NoID // expression error: key component stays unbound
+			if v, err := ge.Eval(ec, r); err == nil {
+				id = ec.encodeTerm(v)
+			}
+			keyIDs[i] = id
+			kb = append(kb, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		}
+		k := string(kb)
 		gd, ok := groups[k]
 		if !ok {
+			// The key row materializes once per distinct group, not per
+			// input row.
+			key := ec.newRow()
+			for i, id := range keyIDs {
+				if s := keySlots[i]; s >= 0 && id != store.NoID {
+					key[s] = id
+				}
+			}
 			gd = &groupData{key: key}
 			groups[k] = gd
 			order = append(order, k)
 		}
-		gd.rows = append(gd.rows, sol)
+		gd.rows = append(gd.rows, r)
 	}
-	// With no GROUP BY, all solutions form one group (even when empty).
+	// With no GROUP BY, all rows form one group (even when empty).
 	if len(q.GroupBy) == 0 && len(groups) == 0 {
-		groups[""] = &groupData{key: Solution{}}
+		groups[""] = &groupData{key: ec.newRow()}
 		order = append(order, "")
 	}
-	var out []Solution
+	var out []idRow
 	for _, k := range order {
 		gd := groups[k]
-		row := gd.key.clone()
+		row := cloneRow(gd.key)
 		for _, agg := range aggs {
-			if v, ok := computeAggregate(ec, agg, gd.rows); ok {
-				row[agg.key] = v
+			values := ec.aggregateValues(agg, gd.rows)
+			if v, ok := foldAggregate(agg.Name, agg.Sep, values); ok {
+				if s := ec.env.slot(agg.key); s >= 0 {
+					row[s] = ec.encodeTerm(v)
+				}
 			}
 		}
 		keep := true
@@ -1528,10 +1143,13 @@ func groupAndAggregate(ec *evalContext, q *Query, sols []Solution, aggs []*AggEx
 			out = append(out, row)
 		}
 	}
-	return out, nil
+	return out
 }
 
-func computeAggregate(ec *evalContext, agg *AggExpr, rows []Solution) (rdf.Term, bool) {
+// aggregateValues evaluates an aggregate's argument over a group's rows
+// (COUNT(*) counts rows; evaluation errors skip the row), applying the
+// DISTINCT modifier.
+func (ec *evalContext) aggregateValues(agg *AggExpr, rows []idRow) []rdf.Term {
 	var values []rdf.Term
 	for _, r := range rows {
 		if agg.Arg == nil { // COUNT(*)
@@ -1543,17 +1161,29 @@ func computeAggregate(ec *evalContext, agg *AggExpr, rows []Solution) (rdf.Term,
 		}
 	}
 	if agg.Distinct {
-		seen := make(map[rdf.Term]bool)
-		var dd []rdf.Term
-		for _, v := range values {
-			if !seen[v] {
-				seen[v] = true
-				dd = append(dd, v)
-			}
-		}
-		values = dd
+		values = dedupTerms(values)
 	}
-	switch agg.Name {
+	return values
+}
+
+// dedupTerms removes duplicate terms, keeping first-occurrence order.
+func dedupTerms(values []rdf.Term) []rdf.Term {
+	seen := make(map[rdf.Term]bool, len(values))
+	var out []rdf.Term
+	for _, v := range values {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// foldAggregate folds gathered values into the aggregate's result. Pure:
+// shared by the production engine and the reference evaluator so both
+// agree on numeric typing and the deterministic SAMPLE/GROUP_CONCAT.
+func foldAggregate(name, sep string, values []rdf.Term) (rdf.Term, bool) {
+	switch name {
 	case "COUNT":
 		return rdf.NewInt(int64(len(values))), true
 	case "SUM", "AVG":
@@ -1569,7 +1199,7 @@ func computeAggregate(ec *evalContext, agg *AggExpr, rows []Solution) (rdf.Term,
 				}
 			}
 		}
-		if agg.Name == "SUM" {
+		if name == "SUM" {
 			if allInt {
 				return rdf.NewInt(int64(sum)), true
 			}
@@ -1589,7 +1219,7 @@ func computeAggregate(ec *evalContext, agg *AggExpr, rows []Solution) (rdf.Term,
 			if err != nil {
 				c = rdf.Compare(v, best)
 			}
-			if (agg.Name == "MIN" && c < 0) || (agg.Name == "MAX" && c > 0) {
+			if (name == "MIN" && c < 0) || (name == "MAX" && c > 0) {
 				best = v
 			}
 		}
@@ -1612,13 +1242,13 @@ func computeAggregate(ec *evalContext, agg *AggExpr, rows []Solution) (rdf.Term,
 			parts = append(parts, v.Value)
 		}
 		sort.Strings(parts) // deterministic
-		return rdf.NewLiteral(strings.Join(parts, agg.Sep)), true
+		return rdf.NewLiteral(strings.Join(parts, sep)), true
 	}
 	return rdf.Term{}, false
 }
 
 // projectionVars determines the output column order.
-func projectionVars(q *Query, sols []Solution) []string {
+func projectionVars(q *Query) []string {
 	if len(q.Projection) > 0 {
 		vars := make([]string, 0, len(q.Projection))
 		for _, item := range q.Projection {
@@ -1679,11 +1309,11 @@ func projectionVars(q *Query, sols []Solution) []string {
 	return vars
 }
 
-func sortSolutions(ec *evalContext, sols []Solution, conds []OrderCondition) {
-	sort.SliceStable(sols, func(i, j int) bool {
+func sortRows(ec *evalContext, rows []idRow, conds []OrderCondition) {
+	sort.SliceStable(rows, func(i, j int) bool {
 		for _, c := range conds {
-			vi, ei := c.Expr.Eval(ec, sols[i])
-			vj, ej := c.Expr.Eval(ec, sols[j])
+			vi, ei := c.Expr.Eval(ec, rows[i])
+			vj, ej := c.Expr.Eval(ec, rows[j])
 			var cmp int
 			switch {
 			case ei != nil && ej != nil:
@@ -1710,21 +1340,25 @@ func sortSolutions(ec *evalContext, sols []Solution, conds []OrderCondition) {
 	})
 }
 
-func distinct(sols []Solution, vars []string) []Solution {
-	seen := make(map[string]bool, len(sols))
-	var out []Solution
-	for _, sol := range sols {
-		var kb strings.Builder
-		for _, v := range vars {
-			if t, ok := sol[v]; ok {
-				kb.WriteString(t.String())
+// distinctRows dedups by the projected slots' IDs — exact term identity,
+// no string rendering.
+func distinctRows(rows []idRow, projSlots []int) []idRow {
+	seen := make(map[string]bool, len(rows))
+	var kb []byte
+	var out []idRow
+	for _, r := range rows {
+		kb = kb[:0]
+		for _, s := range projSlots {
+			id := store.NoID
+			if s >= 0 {
+				id = r[s]
 			}
-			kb.WriteByte('|')
+			kb = append(kb, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 		}
-		k := kb.String()
+		k := string(kb)
 		if !seen[k] {
 			seen[k] = true
-			out = append(out, sol)
+			out = append(out, r)
 		}
 	}
 	return out
@@ -1732,7 +1366,7 @@ func distinct(sols []Solution, vars []string) []Solution {
 
 // ---- CONSTRUCT / DESCRIBE ----
 
-func constructGraph(q *Query, sols []Solution) *store.Graph {
+func (ec *evalContext) constructGraph(q *Query, rows []idRow) *store.Graph {
 	out := store.New()
 	if q.Namespaces != nil {
 		for _, p := range q.Namespaces.Prefixes() {
@@ -1741,13 +1375,12 @@ func constructGraph(q *Query, sols []Solution) *store.Graph {
 			}
 		}
 	}
-	bnodeSeq := 0
-	for _, sol := range sols {
-		bnodeSeq++
+	for i, r := range rows {
+		bnodeSeq := i + 1
 		for _, tp := range q.Template {
-			s, sOK := instantiate(tp.S, sol, bnodeSeq)
-			p, pOK := instantiate(tp.P, sol, bnodeSeq)
-			o, oOK := instantiate(tp.O, sol, bnodeSeq)
+			s, sOK := ec.instantiatePos(tp.S, r, bnodeSeq)
+			p, pOK := ec.instantiatePos(tp.P, r, bnodeSeq)
+			o, oOK := ec.instantiatePos(tp.O, r, bnodeSeq)
 			if sOK && pOK && oOK {
 				out.Add(s, p, o)
 			}
@@ -1756,7 +1389,9 @@ func constructGraph(q *Query, sols []Solution) *store.Graph {
 	return out
 }
 
-func instantiate(tv TermOrVar, sol Solution, bnodeSeq int) (rdf.Term, bool) {
+// instantiatePos resolves a template position against a row, decoding the
+// bound slot (or minting a per-row blank node for template bnodes).
+func (ec *evalContext) instantiatePos(tv TermOrVar, r idRow, bnodeSeq int) (rdf.Term, bool) {
 	if !tv.IsVar {
 		return tv.Term, true
 	}
@@ -1764,14 +1399,14 @@ func instantiate(tv TermOrVar, sol Solution, bnodeSeq int) (rdf.Term, bool) {
 		// Template blank nodes are fresh per solution.
 		return rdf.NewBlank(fmt.Sprintf("c%d%s", bnodeSeq, strings.TrimSpace(tv.Var))), true
 	}
-	t, ok := sol[tv.Var]
-	return t, ok
+	return ec.valueOf(r, tv.Var)
 }
 
 // describeGraph returns the concise bounded description of every described
 // resource: all triples with the resource as subject, recursing through
 // blank-node objects, plus incoming triples.
-func describeGraph(g *store.Graph, q *Query, sols []Solution) *store.Graph {
+func (ec *evalContext) describeGraph(q *Query, rows []idRow) *store.Graph {
+	g := ec.g
 	out := store.New()
 	targets := make(map[rdf.Term]bool)
 	for _, dt := range q.DescribeTerms {
@@ -1779,8 +1414,8 @@ func describeGraph(g *store.Graph, q *Query, sols []Solution) *store.Graph {
 			targets[dt.Term] = true
 			continue
 		}
-		for _, sol := range sols {
-			if t, ok := sol[dt.Var]; ok {
+		for _, r := range rows {
+			if t, ok := ec.valueOf(r, dt.Var); ok {
 				targets[t] = true
 			}
 		}

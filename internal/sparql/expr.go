@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/rdf"
+	"repro/internal/store"
 )
 
 // Solution is one query solution: a binding of variable names to terms.
@@ -30,15 +31,18 @@ func (s Solution) clone() Solution {
 // removes the solution; in BIND it leaves the variable unbound.
 var errUnbound = errors.New("sparql: expression error")
 
-// Expression is a SPARQL expression evaluable against a solution.
+// Expression is a SPARQL expression evaluable against an ID row.
 //
-// Expression trees are immutable after parsing, so Eval is safe for
-// concurrent calls with distinct solutions — the parallel executor
+// Variables resolve through the context's slot table and decode lazily:
+// an expression that never needs a term's lexical form (BOUND, EXISTS)
+// touches no term at all, and one that does decodes exactly the slots it
+// reads. Expression trees are immutable after parsing, so Eval is safe
+// for concurrent calls with distinct rows — the parallel executor
 // evaluates filters, BINDs, and projection expressions from many workers
 // at once. Anything stateful an Eval reaches (the evalContext memos, the
 // regex cache) synchronizes internally.
 type Expression interface {
-	Eval(ec *evalContext, sol Solution) (rdf.Term, error)
+	Eval(ec *evalContext, r idRow) (rdf.Term, error)
 }
 
 // ---- leaf expressions ----
@@ -46,9 +50,9 @@ type Expression interface {
 // VarExpr references a variable.
 type VarExpr struct{ Name string }
 
-// Eval returns the bound term or an error when unbound.
-func (e *VarExpr) Eval(_ *evalContext, sol Solution) (rdf.Term, error) {
-	if t, ok := sol[e.Name]; ok {
+// Eval returns the bound term (decoded lazily) or an error when unbound.
+func (e *VarExpr) Eval(ec *evalContext, r idRow) (rdf.Term, error) {
+	if t, ok := ec.valueOf(r, e.Name); ok {
 		return t, nil
 	}
 	return rdf.Term{}, errUnbound
@@ -58,7 +62,7 @@ func (e *VarExpr) Eval(_ *evalContext, sol Solution) (rdf.Term, error) {
 type ConstExpr struct{ Term rdf.Term }
 
 // Eval returns the constant.
-func (e *ConstExpr) Eval(*evalContext, Solution) (rdf.Term, error) { return e.Term, nil }
+func (e *ConstExpr) Eval(*evalContext, idRow) (rdf.Term, error) { return e.Term, nil }
 
 // ---- compound expressions ----
 
@@ -103,9 +107,9 @@ type AggExpr struct {
 	key      string     // internal binding key assigned by the planner
 }
 
-// Eval reads the aggregate's computed value from the group-solution.
-func (e *AggExpr) Eval(_ *evalContext, sol Solution) (rdf.Term, error) {
-	if t, ok := sol[e.key]; ok {
+// Eval reads the aggregate's computed value from the group row.
+func (e *AggExpr) Eval(ec *evalContext, r idRow) (rdf.Term, error) {
+	if t, ok := ec.valueOf(r, e.key); ok {
 		return t, nil
 	}
 	return rdf.Term{}, errUnbound
@@ -113,11 +117,11 @@ func (e *AggExpr) Eval(_ *evalContext, sol Solution) (rdf.Term, error) {
 
 // Eval of BinaryExpr implements SPARQL operator semantics, including
 // short-circuit || / && with the three-valued error handling of the spec.
-func (e *BinaryExpr) Eval(ec *evalContext, sol Solution) (rdf.Term, error) {
+func (e *BinaryExpr) Eval(ec *evalContext, row idRow) (rdf.Term, error) {
 	switch e.Op {
 	case "||":
-		lv, lerr := ebvOf(e.Left, ec, sol)
-		rv, rerr := ebvOf(e.Right, ec, sol)
+		lv, lerr := ebvOf(e.Left, ec, row)
+		rv, rerr := ebvOf(e.Right, ec, row)
 		switch {
 		case lerr == nil && lv, rerr == nil && rv:
 			return rdf.TrueLiteral, nil
@@ -127,8 +131,8 @@ func (e *BinaryExpr) Eval(ec *evalContext, sol Solution) (rdf.Term, error) {
 			return rdf.FalseLiteral, nil
 		}
 	case "&&":
-		lv, lerr := ebvOf(e.Left, ec, sol)
-		rv, rerr := ebvOf(e.Right, ec, sol)
+		lv, lerr := ebvOf(e.Left, ec, row)
+		rv, rerr := ebvOf(e.Right, ec, row)
 		switch {
 		case lerr == nil && !lv, rerr == nil && !rv:
 			return rdf.FalseLiteral, nil
@@ -138,11 +142,11 @@ func (e *BinaryExpr) Eval(ec *evalContext, sol Solution) (rdf.Term, error) {
 			return rdf.TrueLiteral, nil
 		}
 	}
-	l, err := e.Left.Eval(ec, sol)
+	l, err := e.Left.Eval(ec, row)
 	if err != nil {
 		return rdf.Term{}, err
 	}
-	r, err := e.Right.Eval(ec, sol)
+	r, err := e.Right.Eval(ec, row)
 	if err != nil {
 		return rdf.Term{}, err
 	}
@@ -209,16 +213,16 @@ func numericResult(v float64, l, r rdf.Term, op string) rdf.Term {
 }
 
 // Eval of UnaryExpr.
-func (e *UnaryExpr) Eval(ec *evalContext, sol Solution) (rdf.Term, error) {
+func (e *UnaryExpr) Eval(ec *evalContext, r idRow) (rdf.Term, error) {
 	switch e.Op {
 	case "!":
-		v, err := ebvOf(e.Expr, ec, sol)
+		v, err := ebvOf(e.Expr, ec, r)
 		if err != nil {
 			return rdf.Term{}, err
 		}
 		return boolTerm(!v), nil
 	case "-":
-		v, err := e.Expr.Eval(ec, sol)
+		v, err := e.Expr.Eval(ec, r)
 		if err != nil {
 			return rdf.Term{}, err
 		}
@@ -231,20 +235,20 @@ func (e *UnaryExpr) Eval(ec *evalContext, sol Solution) (rdf.Term, error) {
 		}
 		return rdf.NewFloat(-f), nil
 	case "+":
-		return e.Expr.Eval(ec, sol)
+		return e.Expr.Eval(ec, r)
 	}
 	return rdf.Term{}, fmt.Errorf("sparql: unknown unary operator %q", e.Op)
 }
 
 // Eval of InExpr.
-func (e *InExpr) Eval(ec *evalContext, sol Solution) (rdf.Term, error) {
-	v, err := e.Expr.Eval(ec, sol)
+func (e *InExpr) Eval(ec *evalContext, r idRow) (rdf.Term, error) {
+	v, err := e.Expr.Eval(ec, r)
 	if err != nil {
 		return rdf.Term{}, err
 	}
 	found := false
 	for _, item := range e.List {
-		iv, err := item.Eval(ec, sol)
+		iv, err := item.Eval(ec, r)
 		if err != nil {
 			continue
 		}
@@ -256,20 +260,20 @@ func (e *InExpr) Eval(ec *evalContext, sol Solution) (rdf.Term, error) {
 	return boolTerm(found != e.Negated), nil
 }
 
-// Eval of ExistsExpr runs the nested pattern seeded with the current
-// solution and tests for any result. Single-triple-pattern groups — the
-// common FILTER (NOT) EXISTS shape — short-circuit on the first index hit
-// instead of materializing every binding.
-func (e *ExistsExpr) Eval(ec *evalContext, sol Solution) (rdf.Term, error) {
-	if found, ok := ec.quickExists(e.Pattern, sol); ok {
+// Eval of ExistsExpr runs the nested pattern seeded with the current row
+// and tests for any result. Single-triple-pattern groups — the common
+// FILTER (NOT) EXISTS shape — short-circuit on the first index hit
+// instead of materializing any binding, without decoding a single term.
+func (e *ExistsExpr) Eval(ec *evalContext, r idRow) (rdf.Term, error) {
+	if found, ok := ec.quickExists(e.Pattern, r); ok {
 		return boolTerm(found != e.Negated), nil
 	}
-	res := ec.evalGroup(e.Pattern, []Solution{sol})
+	res := ec.evalGroupRows(e.Pattern, []idRow{r})
 	return boolTerm((len(res) > 0) != e.Negated), nil
 }
 
 // Eval of FuncExpr dispatches the builtin library.
-func (e *FuncExpr) Eval(ec *evalContext, sol Solution) (rdf.Term, error) {
+func (e *FuncExpr) Eval(ec *evalContext, r idRow) (rdf.Term, error) {
 	// BOUND and COALESCE/IF inspect raw evaluation outcomes.
 	switch e.Name {
 	case "BOUND":
@@ -277,11 +281,11 @@ func (e *FuncExpr) Eval(ec *evalContext, sol Solution) (rdf.Term, error) {
 		if !ok {
 			return rdf.Term{}, errUnbound
 		}
-		_, bound := sol[v.Name]
-		return boolTerm(bound), nil
+		s := ec.env.slot(v.Name)
+		return boolTerm(s >= 0 && r[s] != store.NoID), nil
 	case "COALESCE":
 		for _, a := range e.Args {
-			if v, err := a.Eval(ec, sol); err == nil {
+			if v, err := a.Eval(ec, r); err == nil {
 				return v, nil
 			}
 		}
@@ -290,18 +294,18 @@ func (e *FuncExpr) Eval(ec *evalContext, sol Solution) (rdf.Term, error) {
 		if len(e.Args) != 3 {
 			return rdf.Term{}, errUnbound
 		}
-		c, err := ebvOf(e.Args[0], ec, sol)
+		c, err := ebvOf(e.Args[0], ec, r)
 		if err != nil {
 			return rdf.Term{}, err
 		}
 		if c {
-			return e.Args[1].Eval(ec, sol)
+			return e.Args[1].Eval(ec, r)
 		}
-		return e.Args[2].Eval(ec, sol)
+		return e.Args[2].Eval(ec, r)
 	}
 	args := make([]rdf.Term, len(e.Args))
 	for i, a := range e.Args {
-		v, err := a.Eval(ec, sol)
+		v, err := a.Eval(ec, r)
 		if err != nil {
 			return rdf.Term{}, err
 		}
@@ -566,8 +570,8 @@ func boolTerm(b bool) rdf.Term {
 }
 
 // ebvOf computes the effective boolean value of an expression.
-func ebvOf(e Expression, ec *evalContext, sol Solution) (bool, error) {
-	v, err := e.Eval(ec, sol)
+func ebvOf(e Expression, ec *evalContext, r idRow) (bool, error) {
+	v, err := e.Eval(ec, r)
 	if err != nil {
 		return false, err
 	}

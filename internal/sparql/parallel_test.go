@@ -234,12 +234,12 @@ func TestSetParallelismKnob(t *testing.T) {
 	if Parallelism() != 3 || effectiveParallelism() != 3 {
 		t.Errorf("parallelism = %d / %d, want 3 / 3", Parallelism(), effectiveParallelism())
 	}
-	ec := newEvalContext(store.New())
+	ec := newEvalContext(store.New(), &slotEnv{slots: map[string]int{}})
 	if ec.par != 3 || cap(ec.sem) != 2 {
 		t.Errorf("context budget = par %d, %d tokens; want 3, 2", ec.par, cap(ec.sem))
 	}
 	SetParallelism(1)
-	if ec := newEvalContext(store.New()); ec.sem != nil {
+	if ec := newEvalContext(store.New(), &slotEnv{slots: map[string]int{}}); ec.sem != nil {
 		t.Error("parallelism 1 must keep the sequential path (nil semaphore)")
 	}
 }

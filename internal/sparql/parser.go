@@ -35,8 +35,23 @@ type qparser struct {
 	aggs     []*AggExpr // aggregates discovered while parsing
 }
 
-func (p *qparser) cur() token  { return p.toks[p.pos] }
-func (p *qparser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+// cur and next clamp at the trailing EOF token: error paths that consume
+// a token they expected to exist (e.g. a GROUP_CONCAT separator cut off
+// mid-clause) must keep reporting EOF instead of running off the slice.
+func (p *qparser) cur() token {
+	if p.pos >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos]
+}
+
+func (p *qparser) next() token {
+	t := p.cur()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
 
 func (p *qparser) errf(format string, args ...any) error {
 	t := p.cur()

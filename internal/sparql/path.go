@@ -5,127 +5,231 @@ import (
 	"repro/internal/store"
 )
 
-// evalPathPattern evaluates a triple pattern whose predicate is a property
-// path, extending sol with every (subject, object) pair the path connects.
+// evalPathRows evaluates a triple pattern whose predicate is a property
+// path, extending each row with every (subject, object) pair the path
+// connects. Rows stay in ID space: endpoints resolve from row slots, the
+// per-(path, endpoint) reachability memo stores encoded ID lists, and the
+// underlying closure walks run on the bitmap indexes where the path shape
+// allows. Terms are decoded only once per distinct memo fill, never per
+// row.
+func (ec *evalContext) evalPathRows(tp TriplePattern, rows []idRow) []idRow {
+	if ec.parEligible(len(rows)) {
+		if out, ok := parRange(ec, len(rows), func(lo, hi int, out []idRow) []idRow {
+			return ec.evalPathRange(tp, rows, lo, hi, out)
+		}); ok {
+			return out
+		}
+	}
+	return ec.evalPathRange(tp, rows, 0, len(rows), nil)
+}
+
+// evalPathRange extends rows[lo:hi] with the path pattern's matches,
+// appending to out.
 //
-// The evaluation direction is chosen from the bound ends: bound→unbound uses
-// forward or backward reachability; bound→bound is a reachability test; and
-// unbound→unbound enumerates path matches from every candidate start node.
-func (ec *evalContext) evalPathPattern(tp TriplePattern, sol Solution) []Solution {
-	s, sVar := resolve(tp.S, sol)
-	o, oVar := resolve(tp.O, sol)
-	var out []Solution
-	switch {
-	case sVar == "" && oVar == "":
-		if ec.pathReaches(tp.Path, s, o) {
-			out = append(out, sol)
+// The evaluation direction is chosen from the bound ends: bound→unbound
+// uses forward or backward reachability; bound→bound is a reachability
+// test; and unbound→unbound enumerates path matches from every candidate
+// start node.
+// A variable path endpoint only ever binds a node of the graph (a term
+// used as subject or object). Without this restriction zero-width paths
+// would make BGP results depend on join order: `?x p* ?y` joined against
+// a pattern binding ?y to a predicate-only term would reflexively match
+// when the path runs last (?y arrives bound, zero-length x=y) but not
+// when it runs first (the unbound enumeration ranges over nodes). The
+// node rule makes the pattern's solution set a fixed multiset, invariant
+// under the planner's ordering — the randomized reference-equivalence
+// harness enforces exactly that. Constant endpoints are taken as given
+// (`<x> p* <x>` holds for any term, matching the zero-length-path spec).
+func (ec *evalContext) evalPathRange(tp TriplePattern, rows []idRow, lo, hi int, out []idRow) []idRow {
+	sSlot, oSlot := -1, -1
+	sConst, oConst := store.NoID, store.NoID
+	if tp.S.IsVar {
+		sSlot = ec.env.slot(tp.S.Var)
+	} else {
+		sConst = ec.encodeTerm(tp.S.Term)
+	}
+	if tp.O.IsVar {
+		oSlot = ec.env.slot(tp.O.Var)
+	} else {
+		oConst = ec.encodeTerm(tp.O.Term)
+	}
+	for _, r := range rows[lo:hi] {
+		sID := sConst
+		if sSlot >= 0 {
+			sID = r[sSlot]
+			if sID != store.NoID && !ec.isNodeID(sID) {
+				continue // a var endpoint bound to a non-node never matches
+			}
 		}
-	case sVar == "" && oVar != "":
-		for _, t := range ec.pathForwardCached(tp.Path, s) {
-			ns := sol.clone()
-			ns[oVar] = t
-			out = append(out, ns)
+		oID := oConst
+		if oSlot >= 0 {
+			oID = r[oSlot]
+			if oID != store.NoID && !ec.isNodeID(oID) {
+				continue
+			}
 		}
-	case sVar != "" && oVar == "":
-		for _, t := range ec.pathBackwardCached(tp.Path, o) {
-			ns := sol.clone()
-			ns[sVar] = t
-			out = append(out, ns)
+		switch {
+		case sID != store.NoID && oID != store.NoID:
+			if ec.pathReachesID(tp.Path, sID, oID) {
+				out = append(out, r)
+			}
+		case sID != store.NoID:
+			for _, t := range ec.pathForwardIDs(tp.Path, sID) {
+				if !ec.isNodeID(t) {
+					continue // only the zero-length self can be a non-node
+				}
+				ns := cloneRow(r)
+				ns[oSlot] = t
+				out = append(out, ns)
+			}
+		case oID != store.NoID:
+			for _, t := range ec.pathBackwardIDs(tp.Path, oID) {
+				if !ec.isNodeID(t) {
+					continue
+				}
+				ns := cloneRow(r)
+				ns[sSlot] = t
+				out = append(out, ns)
+			}
+		default:
+			// Both unbound: enumerate from all (node) start candidates.
+			out = ec.pathStartsAll(tp, r, sSlot, oSlot, out)
 		}
-	default:
-		// Both unbound: enumerate from all subject candidates.
-		return ec.pathStartsAll(tp, sol, sVar, oVar)
 	}
 	return out
+}
+
+// isNodeID reports whether id is a node of the graph: a term occurring in
+// subject or object position. Two O(1) count-table lookups.
+func (ec *evalContext) isNodeID(id store.ID) bool {
+	return ec.g.CountID(id, store.NoID, store.NoID) > 0 ||
+		ec.g.CountID(store.NoID, store.NoID, id) > 0
 }
 
 // pathStartsAll enumerates path matches from every candidate start node.
 // Each start's reachability is independent, so large candidate sets fan
 // out across the worker pool. A separate method so the closure it hands
-// the scheduler cannot force heap boxing inside evalPathPattern's
-// (sequential, per-solution) hot path.
-func (ec *evalContext) pathStartsAll(tp TriplePattern, sol Solution, sVar, oVar string) []Solution {
-	starts := ec.pathStartCandidates(tp.Path)
+// the scheduler cannot force heap boxing inside evalPathRange's
+// (sequential, per-row) hot path.
+func (ec *evalContext) pathStartsAll(tp TriplePattern, r idRow, sSlot, oSlot int, out []idRow) []idRow {
+	starts := ec.pathStartIDs(tp.Path)
 	if ec.parEligible(len(starts)) {
-		if par, ok := parRange(ec, len(starts), func(lo, hi int, out []Solution) []Solution {
-			return ec.pathStartsRange(tp, sol, sVar, oVar, starts, lo, hi, out)
+		if par, ok := parRange(ec, len(starts), func(lo, hi int, buf []idRow) []idRow {
+			return ec.pathStartsRange(tp, r, sSlot, oSlot, starts, lo, hi, buf)
 		}); ok {
-			return par
+			return append(out, par...)
 		}
 	}
-	return ec.pathStartsRange(tp, sol, sVar, oVar, starts, 0, len(starts), nil)
+	return ec.pathStartsRange(tp, r, sSlot, oSlot, starts, 0, len(starts), out)
 }
 
-// pathStartsRange matches the path from starts[lo:hi], appending a
-// solution per (start, reachable) pair to out.
-func (ec *evalContext) pathStartsRange(tp TriplePattern, sol Solution, sVar, oVar string, starts []rdf.Term, lo, hi int, out []Solution) []Solution {
+// pathStartsRange matches the path from starts[lo:hi], appending a row per
+// (start, reachable) pair to out.
+func (ec *evalContext) pathStartsRange(tp TriplePattern, r idRow, sSlot, oSlot int, starts []store.ID, lo, hi int, out []idRow) []idRow {
 	for _, start := range starts[lo:hi] {
-		for _, t := range ec.pathForwardCached(tp.Path, start) {
-			ns := sol.clone()
-			ns[sVar] = start
-			if sVar == oVar {
+		for _, t := range ec.pathForwardIDs(tp.Path, start) {
+			if sSlot == oSlot {
+				// ?x path ?x: only self-reaching starts match.
 				if start != t {
 					continue
 				}
-			} else {
-				ns[oVar] = t
+				ns := cloneRow(r)
+				ns[sSlot] = start
+				out = append(out, ns)
+				continue
 			}
+			ns := cloneRow(r)
+			ns[sSlot] = start
+			ns[oSlot] = t
 			out = append(out, ns)
 		}
 	}
 	return out
 }
 
-// pathForwardCached memoizes pathForward per (path, start) for the duration
-// of one query evaluation. The memo is shared by the query's workers: the
-// lookup and store lock, the (pure) computation runs unlocked, so a race
-// costs at worst a duplicated traversal, never a wrong result.
+// pathForwardIDs memoizes the encoded forward reachability of (path,
+// endpoint) for the duration of one query evaluation. The memo is shared
+// by the query's workers: the lookup and store lock, the (pure)
+// computation runs unlocked, so a race costs at worst a duplicated
+// traversal, never a wrong result.
 //
 // Memoized reachability is only valid for the graph snapshot the query
-// started against, so both caches assert stability via Graph.Version: if
+// started against, so the caches assert stability via Graph.Version: if
 // the graph mutated since Execute began (a contract violation — but one a
-// mis-locked caller can commit), the memo is bypassed in both directions
-// rather than serving reachability from a graph that no longer exists.
-func (ec *evalContext) pathForwardCached(p *Path, from rdf.Term) []rdf.Term {
+// mis-locked caller can commit), the memo is bypassed rather than serving
+// reachability from a graph that no longer exists.
+func (ec *evalContext) pathForwardIDs(p *Path, from store.ID) []store.ID {
 	if ec.g.Version() != ec.gver {
-		return ec.pathForward(p, from)
+		return ec.encodeTerms(ec.pathForward(p, ec.termOf(from)))
 	}
-	k := pathTermKey{p, from}
+	k := pathIDKey{p, from}
 	ec.mu.Lock()
 	v, ok := ec.pathFwd[k]
 	ec.mu.Unlock()
 	if ok {
 		return v
 	}
-	v = ec.pathForward(p, from)
+	v = ec.encodeTerms(ec.pathForward(p, ec.termOf(from)))
 	ec.mu.Lock()
 	if ec.pathFwd == nil {
-		ec.pathFwd = make(map[pathTermKey][]rdf.Term)
+		ec.pathFwd = make(map[pathIDKey][]store.ID)
 	}
 	ec.pathFwd[k] = v
 	ec.mu.Unlock()
 	return v
 }
 
-// pathBackwardCached memoizes pathBackward per (path, end); see
-// pathForwardCached for the locking discipline and the version guard.
-func (ec *evalContext) pathBackwardCached(p *Path, to rdf.Term) []rdf.Term {
+// pathBackwardIDs memoizes backward reachability per (path, endpoint);
+// see pathForwardIDs for the locking discipline and the version guard.
+func (ec *evalContext) pathBackwardIDs(p *Path, to store.ID) []store.ID {
 	if ec.g.Version() != ec.gver {
-		return ec.pathBackward(p, to)
+		return ec.encodeTerms(ec.pathBackward(p, ec.termOf(to)))
 	}
-	k := pathTermKey{p, to}
+	k := pathIDKey{p, to}
 	ec.mu.Lock()
 	v, ok := ec.pathBwd[k]
 	ec.mu.Unlock()
 	if ok {
 		return v
 	}
-	v = ec.pathBackward(p, to)
+	v = ec.encodeTerms(ec.pathBackward(p, ec.termOf(to)))
 	ec.mu.Lock()
 	if ec.pathBwd == nil {
-		ec.pathBwd = make(map[pathTermKey][]rdf.Term)
+		ec.pathBwd = make(map[pathIDKey][]store.ID)
 	}
 	ec.pathBwd[k] = v
+	ec.mu.Unlock()
+	return v
+}
+
+// pathReachesID tests whether `to` is reachable from `from` via the path.
+func (ec *evalContext) pathReachesID(p *Path, from, to store.ID) bool {
+	for _, t := range ec.pathForwardIDs(p, from) {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}
+
+// pathStartIDs memoizes the encoded start-candidate set per path (the set
+// is row-invariant, and the unbound-unbound shape probes it once per row).
+func (ec *evalContext) pathStartIDs(p *Path) []store.ID {
+	if ec.g.Version() != ec.gver {
+		return ec.encodeTerms(ec.pathStartCandidates(p))
+	}
+	ec.mu.Lock()
+	v, ok := ec.pathStarts[p]
+	ec.mu.Unlock()
+	if ok {
+		return v
+	}
+	v = ec.encodeTerms(ec.pathStartCandidates(p))
+	ec.mu.Lock()
+	if ec.pathStarts == nil {
+		ec.pathStarts = make(map[*Path][]store.ID)
+	}
+	ec.pathStarts[p] = v
 	ec.mu.Unlock()
 	return v
 }
@@ -432,16 +536,6 @@ func (ec *evalContext) parStepTerms(step *Path, frontier []rdf.Term, backward bo
 		}
 		return buf
 	})
-}
-
-// pathReaches tests whether `to` is reachable from `from` via the path.
-func (ec *evalContext) pathReaches(p *Path, from, to rdf.Term) bool {
-	for _, t := range ec.pathForwardCached(p, from) {
-		if t == to {
-			return true
-		}
-	}
-	return false
 }
 
 // pathStartCandidates returns the nodes that can possibly start a path match

@@ -1,0 +1,467 @@
+package sparql
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/store"
+)
+
+// BGP plan compilation and the process-wide plan cache.
+//
+// Compiling a BGP — estimating selectivities, picking the greedy join
+// order, encoding each pattern's constant IDs, and segmenting the ordered
+// patterns into fused intersection runs — depends only on the pattern
+// list, the graph snapshot (its Version), and which slots are certainly
+// bound on entry. All three are captured in the cache key, so a repeated
+// query (the serve-time steady state, and every per-row re-entry of an
+// OPTIONAL or EXISTS body) skips straight to execution. Any mutation bumps
+// Graph.Version and thereby invalidates every plan compiled against the
+// old snapshot: stale entries can never be hit again (versions are
+// monotonic) and are evicted, stale-first, when the cache reaches its
+// size cap.
+
+// bgpConstPos marks a pattern position that holds a constant ID.
+const bgpConstPos = -1
+
+// bgpSpec is one triple pattern of an ID pipeline: per position either a
+// constant ID (slot == bgpConstPos) or an index into the row's slots.
+type bgpSpec struct {
+	ids  [3]store.ID
+	slot [3]int
+}
+
+// planStep is one execution step of a compiled BGP: either a single
+// property-path pattern, one plain pattern expansion, or a fused run of
+// patterns that all constrain the same single fresh slot.
+type planStep struct {
+	tp     TriplePattern // the path pattern, when isPath
+	isPath bool
+	specs  []bgpSpec // 1 = plain expand, >1 = fused intersection run
+	// freeSlot is the run's single uncertain slot (fused runs only).
+	freeSlot int
+	// shared holds the run's row-invariant candidate sets (smallest
+	// first) when every non-free position is constant; sharedCand their
+	// pre-materialized dense intersection. nil: resolve per row.
+	shared     []*store.IDSet
+	sharedCand *store.IDSet
+}
+
+// bgpPlan is a compiled BGP: the reordered patterns broken into steps.
+// Plans are immutable after compilation and safe for concurrent use.
+type bgpPlan struct {
+	// empty is set when a non-path pattern names a constant term the
+	// graph has never seen: the conjunction can match nothing.
+	empty bool
+	steps []planStep
+}
+
+// planKey identifies a compiled plan: the BGP identity, the graph
+// snapshot it was compiled against, and which slots were certainly bound
+// at entry (the join-order estimates and the fusion segmentation both
+// depend on that set).
+type planKey struct {
+	bgp   *BGP
+	g     *store.Graph
+	ver   uint64
+	bound string
+}
+
+// planCacheMax bounds the cache; on overflow stale-version entries are
+// evicted first (see evictPlans).
+const planCacheMax = 4096
+
+var (
+	planCache    sync.Map // planKey -> *bgpPlan
+	planCacheLen atomic.Int32
+	planCacheMu  sync.Mutex
+	planHits     atomic.Uint64
+	planMisses   atomic.Uint64
+)
+
+// PlanCacheStats returns the cumulative plan-cache hit and miss counts
+// since process start (or the last ResetPlanCache). A repeated query on an
+// unmodified graph hits; the first execution after any mutation misses.
+func PlanCacheStats() (hits, misses uint64) {
+	return planHits.Load(), planMisses.Load()
+}
+
+// ResetPlanCache empties the plan cache and zeroes its counters. Intended
+// for tests and benchmarks that need a cold-plan baseline.
+func ResetPlanCache() {
+	planCacheMu.Lock()
+	defer planCacheMu.Unlock()
+	planCache.Range(func(k, _ any) bool {
+		planCache.Delete(k)
+		return true
+	})
+	planCacheLen.Store(0)
+	planHits.Store(0)
+	planMisses.Store(0)
+}
+
+// boundSig encodes the certainly-bound slot set as a compact cache-key
+// string: two little-endian bytes per bound slot index, collision-free up
+// to 65536 slots (the env builder assigns dense indices, so any real
+// query is far below that; a hypothetical wider one would panic in the
+// append below rather than alias two different bound sets onto one key).
+func boundSig(certain []bool) string {
+	if len(certain) > 1<<16 {
+		panic("sparql: query exceeds 65536 variable slots")
+	}
+	var buf []byte
+	for s, b := range certain {
+		if b {
+			buf = append(buf, byte(s), byte(s>>8))
+		}
+	}
+	return string(buf)
+}
+
+// evictPlans shrinks an overflowing cache. Stale entries — whose graph
+// has since mutated, so their key (old version) can never be looked up
+// again — go first; they are the ones mutation-heavy workloads (an
+// explain-time assertion per request) mint in bulk, and dropping them
+// frees the dead plans without a fleet-wide recompile of the hot ones.
+// If that alone does not bring the cache under its cap (e.g. thousands
+// of still-"live" entries for graphs the application has discarded —
+// their versions never move again, so staleness cannot identify them),
+// the purge falls back to dropping everything: the cap is a hard bound
+// on how much graph memory cache keys and cached index sets can pin.
+func evictPlans() {
+	planCacheMu.Lock()
+	defer planCacheMu.Unlock()
+	if planCacheLen.Load() <= planCacheMax {
+		return // another goroutine already evicted
+	}
+	dropped := int32(0)
+	planCache.Range(func(k, _ any) bool {
+		pk := k.(planKey)
+		if pk.g.Version() != pk.ver {
+			planCache.Delete(k)
+			dropped++
+		}
+		return true
+	})
+	if planCacheLen.Load()-dropped > planCacheMax {
+		planCache.Range(func(k, _ any) bool {
+			planCache.Delete(k)
+			dropped++
+			return true
+		})
+	}
+	planCacheLen.Add(-dropped)
+}
+
+// planBGP returns the compiled plan for bgp given the entry row set,
+// consulting the cache unless join reordering is disabled (the A/B knob
+// changes the plan shape and is not part of the key) or the graph mutated
+// mid-query (the snapshot the key names no longer exists).
+func (ec *evalContext) planBGP(bgp *BGP, rows []idRow) *bgpPlan {
+	certain := ec.certainSlots(rows)
+	if DisableJoinReorder || ec.g.Version() != ec.gver {
+		return ec.compileBGP(bgp, certain)
+	}
+	key := planKey{bgp: bgp, g: ec.g, ver: ec.gver, bound: boundSig(certain)}
+	if p, ok := planCache.Load(key); ok {
+		planHits.Add(1)
+		return p.(*bgpPlan)
+	}
+	planMisses.Add(1)
+	p := ec.compileBGP(bgp, certain)
+	if _, loaded := planCache.LoadOrStore(key, p); !loaded {
+		if planCacheLen.Add(1) > planCacheMax {
+			evictPlans()
+		}
+	}
+	return p
+}
+
+// compileBGP orders the patterns, encodes their constants, and segments
+// the ordered list into plan steps (fusing runs of patterns that share
+// one fresh slot into intersection steps).
+func (ec *evalContext) compileBGP(bgp *BGP, certain []bool) *bgpPlan {
+	order, empty := ec.orderBGP(bgp.Triples, certain)
+	plan := &bgpPlan{empty: empty}
+	if empty {
+		return plan
+	}
+	// Encode every non-path pattern once.
+	specs := make([]bgpSpec, len(order))
+	for i, oi := range order {
+		tp := bgp.Triples[oi]
+		if tp.Path != nil {
+			continue
+		}
+		for j, tv := range [3]TermOrVar{tp.S, tp.P, tp.O} {
+			if tv.IsVar {
+				specs[i].slot[j] = ec.env.slot(tv.Var)
+				continue
+			}
+			specs[i].slot[j] = bgpConstPos
+			id, ok := ec.g.LookupID(tv.Term)
+			if !ok {
+				plan.empty = true // constant absent: no triple can match
+				return plan
+			}
+			specs[i].ids[j] = id
+		}
+	}
+	// Segment into steps, tracking which slots become certainly bound as
+	// the pipeline executes (a pattern binds all its slots in every
+	// surviving row; a path binds its endpoint slots).
+	cert := append([]bool(nil), certain...)
+	for i := 0; i < len(order); {
+		tp := bgp.Triples[order[i]]
+		if tp.Path != nil {
+			plan.steps = append(plan.steps, planStep{tp: tp, isPath: true, freeSlot: -1})
+			for _, tv := range [2]TermOrVar{tp.S, tp.O} {
+				if tv.IsVar {
+					if s := ec.env.slot(tv.Var); s >= 0 {
+						cert[s] = true
+					}
+				}
+			}
+			i++
+			continue
+		}
+		run := i
+		freeSlot := -1
+		if v, ok := fusableSlot(specs[i], cert); ok {
+			freeSlot = v
+			for run = i + 1; run < len(order); run++ {
+				if bgp.Triples[order[run]].Path != nil {
+					break
+				}
+				if v2, ok2 := fusableSlot(specs[run], cert); !ok2 || v2 != v {
+					break
+				}
+			}
+		}
+		if run > i+1 {
+			st := planStep{specs: specs[i:run:run], freeSlot: freeSlot}
+			st.shared, st.sharedCand = fusedSharedSets(ec.g, st.specs, freeSlot)
+			plan.steps = append(plan.steps, st)
+			for _, spec := range st.specs {
+				markCertain(spec, cert)
+			}
+			i = run
+			continue
+		}
+		plan.steps = append(plan.steps, planStep{specs: specs[i : i+1 : i+1], freeSlot: -1})
+		markCertain(specs[i], cert)
+		i++
+	}
+	return plan
+}
+
+// DisableJoinReorder turns off selectivity-based BGP join reordering and
+// evaluates triple patterns in their written order (plans are then always
+// compiled fresh, bypassing the plan cache). The solution set is identical
+// either way; the knob exists for A/B benchmarks and for tests that
+// verify that equivalence.
+var DisableJoinReorder = false
+
+// orderBGP returns indices of the BGP's triple patterns in a greedy join
+// order: repeatedly pick the pattern with the lowest estimated cardinality
+// given the slots bound so far, so selective patterns run first and each
+// join extends as few intermediate rows as possible. The solution multiset
+// of a conjunctive BGP is invariant under join order, so results are
+// identical to the written order. empty reports that some non-path pattern
+// names a constant the graph has never interned (the BGP matches nothing).
+func (ec *evalContext) orderBGP(tps []TriplePattern, certain []bool) (order []int, empty bool) {
+	type patInfo struct {
+		slots     [3]int // slot per position, bgpConstPos when constant
+		baseCount int    // CountID over the constant positions
+		isPath    bool
+	}
+	infos := make([]patInfo, len(tps))
+	for i, tp := range tps {
+		pi := patInfo{isPath: tp.Path != nil}
+		ids := [3]store.ID{store.NoID, store.NoID, store.NoID}
+		absent := false
+		for j, tv := range [3]TermOrVar{tp.S, tp.P, tp.O} {
+			pi.slots[j] = bgpConstPos
+			if pi.isPath && j == 1 {
+				continue // path position: no predicate term
+			}
+			if tv.IsVar {
+				pi.slots[j] = ec.env.slot(tv.Var)
+				continue
+			}
+			id, ok := ec.g.LookupID(tv.Term)
+			if !ok {
+				// A constant the graph never interned. For a plain pattern
+				// the whole conjunction is empty; a path endpoint merely
+				// counts as bound for estimation (zero-width paths can
+				// still match it).
+				if !pi.isPath {
+					return nil, true
+				}
+				absent = true
+				continue
+			}
+			ids[j] = id
+		}
+		if !pi.isPath && !absent {
+			pi.baseCount = ec.g.CountID(ids[0], ids[1], ids[2])
+		}
+		infos[i] = pi
+	}
+	order = make([]int, 0, len(tps))
+	if len(tps) < 2 || DisableJoinReorder {
+		for i := range tps {
+			order = append(order, i)
+		}
+		return order, false
+	}
+	bound := append([]bool(nil), certain...)
+	const pathCost = int(^uint(0) >> 1)
+	estimate := func(pi patInfo) int {
+		if pi.isPath {
+			// Paths carry no index statistics. A path whose endpoints are
+			// already bound is a near-constant reachability check and
+			// should run as soon as it can prune; with endpoints free it
+			// can enumerate large closures, so it goes last.
+			boundEnds := 0
+			if pi.slots[0] == bgpConstPos || bound[pi.slots[0]] {
+				boundEnds++
+			}
+			if pi.slots[2] == bgpConstPos || bound[pi.slots[2]] {
+				boundEnds++
+			}
+			switch boundEnds {
+			case 2:
+				return 8
+			case 1:
+				return 4096
+			default:
+				return pathCost
+			}
+		}
+		// Each position held by an already-bound slot shrinks the
+		// estimate: the join will probe with a concrete ID even though we
+		// could not count it upfront.
+		est := pi.baseCount
+		for _, s := range pi.slots {
+			if s != bgpConstPos && bound[s] && est > 1 {
+				est = est/8 + 1
+			}
+		}
+		return est
+	}
+	used := make([]bool, len(tps))
+	for range tps {
+		best, bestEst := -1, 0
+		for i := range tps {
+			if used[i] {
+				continue
+			}
+			est := estimate(infos[i])
+			if best < 0 || est < bestEst {
+				best, bestEst = i, est
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, s := range infos[best].slots {
+			if s != bgpConstPos {
+				bound[s] = true
+			}
+		}
+	}
+	return order, false
+}
+
+// fusableSlot reports whether exactly one position of spec holds a slot
+// not yet certainly bound, returning that slot. Such a pattern resolves,
+// per row, to a single index-level candidate set — the shape the fused
+// intersection join consumes. A pattern repeating its one fresh variable
+// in two positions has two uncertain positions and is rejected, as is a
+// pattern whose positions are all constants or certain (a pure existence
+// test, which the plain expander handles without allocating).
+func fusableSlot(spec bgpSpec, certain []bool) (int, bool) {
+	free, n := -1, 0
+	for j := 0; j < 3; j++ {
+		if s := spec.slot[j]; s != bgpConstPos && !certain[s] {
+			free = s
+			n++
+		}
+	}
+	return free, n == 1
+}
+
+// markCertain records that spec's slots are bound in every surviving row
+// (expansion binds all of a pattern's slots).
+func markCertain(spec bgpSpec, certain []bool) {
+	for j := 0; j < 3; j++ {
+		if spec.slot[j] != bgpConstPos {
+			certain[spec.slot[j]] = true
+		}
+	}
+}
+
+// fusedSharedSets resolves a fused run's candidate sets when they are
+// row-invariant: every position of every pattern other than the free slot
+// holds a constant, so the per-row probes never differ. The live index
+// sets are returned smallest first (the iteration/And order that does the
+// least work); nil sets means some pattern reads another (certainly
+// bound) slot and the sets must be resolved per row. When the smallest
+// set is dense enough for word-level ANDs to pay off, cand is the
+// materialized intersection, computed exactly once for the whole plan —
+// cached, sequential, and fanned-out execution alike.
+func fusedSharedSets(g *store.Graph, specs []bgpSpec, freeSlot int) (sets []*store.IDSet, cand *store.IDSet) {
+	for _, spec := range specs {
+		for j := 0; j < 3; j++ {
+			if s := spec.slot[j]; s != bgpConstPos && s != freeSlot {
+				return nil, nil
+			}
+		}
+	}
+	sets = make([]*store.IDSet, 0, len(specs))
+	for _, spec := range specs {
+		var probe [3]store.ID
+		for j := 0; j < 3; j++ {
+			if spec.slot[j] == bgpConstPos {
+				probe[j] = spec.ids[j]
+			} else {
+				probe[j] = store.NoID
+			}
+		}
+		sets = append(sets, g.MatchSetID(probe[0], probe[1], probe[2]))
+	}
+	sortSetsByLen(sets)
+	if sets[0].Len() >= fusedAndMin {
+		cand = andAll(sets)
+	}
+	return sets, cand
+}
+
+// andAll folds ≥ 2 sets (smallest first) into their intersection with
+// word-level ANDs, stopping as soon as the product empties. The result is
+// always a fresh set, never a live index level.
+func andAll(sets []*store.IDSet) *store.IDSet {
+	cand := sets[0].And(sets[1])
+	for _, s := range sets[2:] {
+		if cand.Len() == 0 {
+			break
+		}
+		cand = cand.And(s)
+	}
+	return cand
+}
+
+// sortSetsByLen orders a handful of sets by ascending cardinality
+// (insertion sort: runs are 2-4 patterns long).
+func sortSetsByLen(sets []*store.IDSet) {
+	for i := 1; i < len(sets); i++ {
+		for j := i; j > 0 && sets[j].Len() < sets[j-1].Len(); j-- {
+			sets[j], sets[j-1] = sets[j-1], sets[j]
+		}
+	}
+}
+
+// fusedAndMin is the smallest-candidate-set size at which materializing
+// the word-level AND beats iterating the smallest set and probing the
+// others. Below it the intersection runs allocation-free.
+const fusedAndMin = 1024

@@ -1,0 +1,284 @@
+package sparql
+
+// Query rendering: Query.String() serializes a parsed query back to SPARQL
+// source that this package's parser accepts, reaching a fixed point after
+// one round trip (render(parse(render(q))) == render(q) — the property
+// FuzzParseQuery enforces). Prefixes are expanded (terms render as absolute
+// IRIs), and anonymous blank nodes — which the parser rewrites to internal
+// variables — render as plain variables with a reserved ?_anonN name, so
+// the rendered text is plain-variable SPARQL. The renderer is for
+// diagnostics, corpus generation, and round-trip testing; it does not try
+// to reproduce the original layout.
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// String renders the query as parseable SPARQL source.
+func (q *Query) String() string {
+	var b strings.Builder
+	switch q.Kind {
+	case KindSelect:
+		b.WriteString("SELECT ")
+		if q.Distinct {
+			b.WriteString("DISTINCT ")
+		} else if q.Reduced {
+			b.WriteString("REDUCED ")
+		}
+		if len(q.Projection) == 0 {
+			b.WriteString("*")
+		} else {
+			for i, item := range q.Projection {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				if item.Expr != nil {
+					b.WriteString("(" + renderExpr(item.Expr) + " AS " + renderVar(item.Var) + ")")
+				} else {
+					b.WriteString(renderVar(item.Var))
+				}
+			}
+		}
+	case KindAsk:
+		b.WriteString("ASK")
+	case KindConstruct:
+		b.WriteString("CONSTRUCT { ")
+		for _, tp := range q.Template {
+			b.WriteString(renderTriple(tp) + " ")
+		}
+		b.WriteString("}")
+	case KindDescribe:
+		b.WriteString("DESCRIBE")
+		for _, dt := range q.DescribeTerms {
+			b.WriteByte(' ')
+			b.WriteString(renderTermOrVar(dt))
+		}
+	}
+	b.WriteString(" WHERE ")
+	renderGroup(&b, q.Where)
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY")
+		for _, ge := range q.GroupBy {
+			b.WriteByte(' ')
+			if ve, ok := ge.(*VarExpr); ok {
+				b.WriteString(renderVar(ve.Name))
+			} else {
+				b.WriteString("(" + renderExpr(ge) + ")")
+			}
+		}
+	}
+	if len(q.Having) > 0 {
+		b.WriteString(" HAVING")
+		for _, h := range q.Having {
+			b.WriteString(" (" + renderExpr(h) + ")")
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY")
+		for _, oc := range q.OrderBy {
+			if oc.Descending {
+				b.WriteString(" DESC(" + renderExpr(oc.Expr) + ")")
+			} else {
+				b.WriteString(" ASC(" + renderExpr(oc.Expr) + ")")
+			}
+		}
+	}
+	if q.Limit >= 0 {
+		b.WriteString(" LIMIT " + strconv.Itoa(q.Limit))
+	}
+	if q.Offset > 0 {
+		b.WriteString(" OFFSET " + strconv.Itoa(q.Offset))
+	}
+	return b.String()
+}
+
+// renderVar maps internal anonymous-blank variables (" bnodeN") onto the
+// reserved plain name ?_anonN; ordinary variables render as ?name.
+func renderVar(name string) string {
+	if rest, ok := strings.CutPrefix(name, " bnode"); ok {
+		return "?_anon" + rest
+	}
+	return "?" + name
+}
+
+func renderTermOrVar(tv TermOrVar) string {
+	if tv.IsVar {
+		return renderVar(tv.Var)
+	}
+	return tv.Term.String()
+}
+
+func renderTriple(tp TriplePattern) string {
+	p := ""
+	if tp.Path != nil {
+		p = renderPath(tp.Path)
+	} else {
+		p = renderTermOrVar(tp.P)
+	}
+	return renderTermOrVar(tp.S) + " " + p + " " + renderTermOrVar(tp.O) + " ."
+}
+
+func renderPath(p *Path) string {
+	switch p.Kind {
+	case PathIRI:
+		return p.IRI.String()
+	case PathSeq:
+		return "(" + renderPath(p.Kids[0]) + "/" + renderPath(p.Kids[1]) + ")"
+	case PathAlt:
+		parts := make([]string, len(p.Kids))
+		for i, kid := range p.Kids {
+			parts[i] = renderPath(kid)
+		}
+		return "(" + strings.Join(parts, "|") + ")"
+	case PathInverse:
+		return "^(" + renderPath(p.Kids[0]) + ")"
+	case PathZeroOrMore:
+		return "(" + renderPath(p.Kids[0]) + ")*"
+	case PathOneOrMore:
+		return "(" + renderPath(p.Kids[0]) + ")+"
+	case PathZeroOrOne:
+		return "(" + renderPath(p.Kids[0]) + ")?"
+	}
+	return "<invalid-path>"
+}
+
+func renderGroup(b *strings.Builder, g *Group) {
+	b.WriteString("{ ")
+	if g != nil {
+		for _, p := range g.Patterns {
+			renderPattern(b, p)
+			b.WriteByte(' ')
+		}
+		for _, f := range g.Filters {
+			if ex, ok := f.(*ExistsExpr); ok {
+				b.WriteString("FILTER " + renderExists(ex) + " ")
+				continue
+			}
+			b.WriteString("FILTER (" + renderExpr(f) + ") ")
+		}
+	}
+	b.WriteString("}")
+}
+
+func renderPattern(b *strings.Builder, p Pattern) {
+	switch pat := p.(type) {
+	case *BGP:
+		for i, tp := range pat.Triples {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(renderTriple(tp))
+		}
+	case *Group:
+		// The parser wraps every UNION in a singleton group (and nested
+		// braces in general); unwrap filterless singletons so rendering is
+		// a fixed point instead of growing a brace level per round trip.
+		if len(pat.Patterns) == 1 && len(pat.Filters) == 0 {
+			renderPattern(b, pat.Patterns[0])
+			return
+		}
+		renderGroup(b, pat)
+	case *Optional:
+		b.WriteString("OPTIONAL ")
+		renderGroup(b, pat.Pattern)
+	case *Union:
+		renderGroup(b, pat.Left)
+		b.WriteString(" UNION ")
+		renderGroup(b, pat.Right)
+	case *Minus:
+		b.WriteString("MINUS ")
+		renderGroup(b, pat.Pattern)
+	case *Bind:
+		b.WriteString("BIND(" + renderExpr(pat.Expr) + " AS " + renderVar(pat.Var) + ")")
+	case *InlineData:
+		b.WriteString("VALUES (")
+		for i, v := range pat.Vars {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(renderVar(v))
+		}
+		b.WriteString(") { ")
+		for _, row := range pat.Rows {
+			b.WriteString("(")
+			for i, cell := range row {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				if cell.Defined {
+					b.WriteString(cell.Term.String())
+				} else {
+					b.WriteString("UNDEF")
+				}
+			}
+			b.WriteString(") ")
+		}
+		b.WriteString("}")
+	case *SubSelect:
+		b.WriteString("{ ")
+		b.WriteString(pat.Query.String())
+		b.WriteString(" }")
+	}
+}
+
+func renderExists(e *ExistsExpr) string {
+	var b strings.Builder
+	if e.Negated {
+		b.WriteString("NOT ")
+	}
+	b.WriteString("EXISTS ")
+	renderGroup(&b, e.Pattern)
+	return b.String()
+}
+
+func renderExpr(e Expression) string {
+	switch x := e.(type) {
+	case *VarExpr:
+		return renderVar(x.Name)
+	case *ConstExpr:
+		return x.Term.String()
+	case *BinaryExpr:
+		return "(" + renderExpr(x.Left) + " " + x.Op + " " + renderExpr(x.Right) + ")"
+	case *UnaryExpr:
+		return "(" + x.Op + renderExpr(x.Expr) + ")"
+	case *FuncExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = renderExpr(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *InExpr:
+		items := make([]string, len(x.List))
+		for i, item := range x.List {
+			items[i] = renderExpr(item)
+		}
+		op := " IN ("
+		if x.Negated {
+			op = " NOT IN ("
+		}
+		return "(" + renderExpr(x.Expr) + op + strings.Join(items, ", ") + "))"
+	case *AggExpr:
+		var b strings.Builder
+		b.WriteString(x.Name)
+		b.WriteByte('(')
+		if x.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		if x.Arg == nil {
+			b.WriteByte('*')
+		} else {
+			b.WriteString(renderExpr(x.Arg))
+		}
+		if x.Name == "GROUP_CONCAT" && x.Sep != " " {
+			b.WriteString("; SEPARATOR=" + rdf.QuoteLiteral(x.Sep))
+		}
+		b.WriteByte(')')
+		return b.String()
+	case *ExistsExpr:
+		return renderExists(x)
+	}
+	return "<invalid-expr>"
+}

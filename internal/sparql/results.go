@@ -102,12 +102,29 @@ func (r *Result) Column(varName string) []rdf.Term {
 	return out
 }
 
-// HasRow reports whether some row binds every given (var, term) pair.
+// HasRow reports whether some row binds every given (var, term) pair. A
+// zero Term in want requires the variable to be unbound in the row, and a
+// row entry holding a zero Term counts as unbound — absent and
+// explicitly-unbound variables are indistinguishable on both sides, so
+// reference-evaluator comparisons (and callers probing OPTIONAL results)
+// can use the same map regardless of how a row spelled "no binding".
 func (r *Result) HasRow(want map[string]rdf.Term) bool {
+	zero := rdf.Term{}
 	for _, sol := range r.Solutions {
 		match := true
 		for v, t := range want {
-			if sol[v] != t {
+			got, bound := sol[v]
+			if got == zero {
+				bound = false // an explicit zero binding means unbound
+			}
+			if t == zero {
+				if bound {
+					match = false
+					break
+				}
+				continue
+			}
+			if !bound || got != t {
 				match = false
 				break
 			}

@@ -223,7 +223,8 @@ func ExecuteUpdate(g *store.Graph, u *Update) (UpdateResult, error) {
 		// it). Deliberately built without a worker budget (nil sem, never
 		// parallel): updates interleave pattern matching with mutation,
 		// which the store's reader contract forbids running concurrently.
-		ec := &evalContext{g: g, gver: g.Version()}
+		op := op
+		ec := &evalContext{g: g, gver: g.Version(), dictLen: g.Dict().Len(), env: buildUpdateEnv(&op)}
 		switch op.Kind {
 		case UpdateInsertData:
 			for _, tp := range op.Insert {
@@ -238,17 +239,17 @@ func ExecuteUpdate(g *store.Graph, u *Update) (UpdateResult, error) {
 				}
 			}
 		case UpdateDeleteWhere, UpdateModify:
-			sols := ec.evalGroup(op.Where, []Solution{{}})
-			// Materialize both sets before mutating.
+			rows := ec.evalGroupRows(op.Where, []idRow{ec.newRow()})
+			// Materialize both sets (decoding the ID rows) before mutating.
 			var toDelete, toInsert []rdf.Triple
-			for _, sol := range sols {
+			for _, r := range rows {
 				for _, tp := range op.Delete {
-					if t, ok := instantiateTriple(tp, sol); ok {
+					if t, ok := ec.instantiateTripleRow(tp, r); ok {
 						toDelete = append(toDelete, t)
 					}
 				}
 				for _, tp := range op.Insert {
-					if t, ok := instantiateTriple(tp, sol); ok {
+					if t, ok := ec.instantiateTripleRow(tp, r); ok {
 						toInsert = append(toInsert, t)
 					}
 				}
@@ -271,13 +272,14 @@ func ExecuteUpdate(g *store.Graph, u *Update) (UpdateResult, error) {
 	return res, nil
 }
 
-func instantiateTriple(tp TriplePattern, sol Solution) (rdf.Triple, bool) {
+// instantiateTripleRow fills an update template from one ID row, decoding
+// each bound slot exactly once per instantiated position.
+func (ec *evalContext) instantiateTripleRow(tp TriplePattern, r idRow) (rdf.Triple, bool) {
 	resolvePos := func(tv TermOrVar) (rdf.Term, bool) {
 		if !tv.IsVar {
 			return tv.Term, true
 		}
-		t, ok := sol[tv.Var]
-		return t, ok
+		return ec.valueOf(r, tv.Var)
 	}
 	s, ok1 := resolvePos(tp.S)
 	p, ok2 := resolvePos(tp.P)

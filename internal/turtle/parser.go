@@ -47,6 +47,12 @@ func Parse(input string) (*store.Graph, error) {
 // directives are recorded in g's namespace table. On error the graph may
 // contain the triples parsed so far.
 func ParseInto(g *store.Graph, input string) error {
+	// Turtle documents are UTF-8 by definition; rejecting invalid bytes up
+	// front keeps every downstream consumer (and the writer, whose string
+	// escaping iterates runes) loss-free on anything this parser accepts.
+	if !utf8.ValidString(input) {
+		return &ParseError{Line: 1, Col: 1, Msg: "document is not valid UTF-8"}
+	}
 	p := &parser{
 		src: input, line: 1, col: 1, g: g, b: g.Bulk(), ns: g.Namespaces(),
 		bnodePrefix: fmt.Sprintf("d%d", parseSeq.Add(1)),
@@ -386,7 +392,14 @@ func (p *parser) parseIRIRef() (string, error) {
 		c := p.advance()
 		switch c {
 		case '>':
-			return p.ns.Resolve(b.String()), nil
+			iri := p.ns.Resolve(b.String())
+			if iri == "" {
+				// "<>" with no base in scope: an empty IRI denotes nothing
+				// and would collide with the plain-literal encoding of
+				// datatypes downstream.
+				return "", p.errf("empty IRI reference")
+			}
+			return iri, nil
 		case '\\':
 			if p.eof() {
 				return "", p.errf("unterminated escape in IRI")

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"io"
 	"sort"
+	"strings"
+	"unicode/utf8"
 
 	"repro/internal/rdf"
 	"repro/internal/store"
@@ -91,32 +93,80 @@ func formatPredicate(t rdf.Term, ns *rdf.Namespaces) string {
 func formatTerm(t rdf.Term, ns *rdf.Namespaces) string {
 	switch t.Kind {
 	case rdf.KindIRI:
-		if q, ok := ns.Shrink(t.Value); ok {
-			return q
-		}
-		return "<" + t.Value + ">"
+		return formatIRI(t.Value, ns)
 	case rdf.KindBlank:
 		return "_:" + t.Value
 	case rdf.KindLiteral:
 		if t.Lang != "" {
 			return rdf.QuoteLiteral(t.Value) + "@" + t.Lang
 		}
-		switch t.Datatype {
-		case "", rdf.XSDString:
+		switch {
+		case t.Datatype == "" || t.Datatype == rdf.XSDString:
 			return rdf.QuoteLiteral(t.Value)
-		case rdf.XSDInteger, rdf.XSDBoolean, rdf.XSDDecimal:
-			// Native Turtle token forms.
+		case t.Datatype == rdf.XSDInteger && isIntegerToken(t.Value),
+			t.Datatype == rdf.XSDBoolean && (t.Value == "true" || t.Value == "false"),
+			t.Datatype == rdf.XSDDecimal && isDecimalToken(t.Value):
+			// Native Turtle token forms — only when the lexical form is a
+			// token the parser will classify back to the same datatype
+			// (an xsd:integer with lexical form "abc" must stay quoted).
 			return t.Value
 		default:
-			dt := t.Datatype
-			if q, ok := ns.Shrink(dt); ok {
-				return rdf.QuoteLiteral(t.Value) + "^^" + q
-			}
-			return rdf.QuoteLiteral(t.Value) + "^^<" + dt + ">"
+			return rdf.QuoteLiteral(t.Value) + "^^" + formatIRI(t.Datatype, ns)
 		}
 	default:
 		return t.String()
 	}
+}
+
+// formatIRI shrinks an IRI to a prefixed name only when the local part is
+// a plain PN_CHARS run the parser reads back verbatim; anything fancier
+// (dots, percent escapes, punctuation) stays an absolute IRI reference.
+func formatIRI(iri string, ns *rdf.Namespaces) string {
+	if q, ok := ns.Shrink(iri); ok && safeQName(q) {
+		return q
+	}
+	return "<" + iri + ">"
+}
+
+func safeQName(q string) bool {
+	i := strings.IndexByte(q, ':')
+	if i < 0 {
+		return false
+	}
+	local := q[i+1:]
+	for _, r := range local {
+		if !((r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9') || r == '_' || r == '-' || r >= utf8.RuneSelf) {
+			return false
+		}
+	}
+	return true
+}
+
+func isIntegerToken(s string) bool {
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		s = s[1:]
+	}
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func isDecimalToken(s string) bool {
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		s = s[1:]
+	}
+	dot := strings.IndexByte(s, '.')
+	if dot <= 0 || dot == len(s)-1 {
+		return false
+	}
+	return isIntegerToken(s[:dot]) && isIntegerToken(s[dot+1:])
 }
 
 // WriteNTriples serializes g in canonical N-Triples: one triple per line,
