@@ -18,6 +18,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/feo"
 	"repro/internal/core"
 	"repro/internal/foodkg"
 	"repro/internal/healthcoach"
@@ -261,6 +262,93 @@ func BenchmarkScale_ReasonAndQuery(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---- A5: incremental (delta) re-materialization at serve shape ----
+
+// benchQuestion builds the triples the explanation engine asserts for one
+// ad-hoc question: the shape every /explain request writes.
+func benchQuestion(i int, recipe rdf.Term) []rdf.Triple {
+	q := rdf.NewIRI(rdf.KGNS + fmt.Sprintf("question/bench%d", i))
+	return []rdf.Triple{
+		{S: q, P: rdf.TypeIRI, O: ontology.FEOFoodQuestion},
+		{S: q, P: rdf.TypeIRI, O: ontology.EOContextualExplanation},
+		{S: q, P: rdf.CommentIRI, O: rdf.NewLiteral(fmt.Sprintf("bench ask %d", i))},
+		{S: q, P: ontology.FEOHasParameter, O: recipe},
+	}
+}
+
+// BenchmarkMaterializeDelta measures re-classification after asserting one
+// question into a large synthetic FoodKG: the delta path against the
+// historical full re-run it replaces. The delta number must not scale with
+// graph size — that gap is the PR's headline claim, and bench_compare
+// gates both sub-benchmarks.
+func BenchmarkMaterializeDelta(b *testing.B) {
+	cfg := foodkg.DefaultConfig()
+	cfg.Recipes = 800
+	cfg.Ingredients = 400
+	cfg.Users = 40
+	kg := foodkg.Generate(cfg)
+	base := ontology.TBox()
+	base.Merge(kg.Graph)
+	recipe := kg.Recipes[0]
+
+	b.Run("delta", func(b *testing.B) {
+		g := base.Clone()
+		r := reasoner.New(reasoner.Options{TraceDerivations: true})
+		r.Materialize(g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st := r.MaterializeDelta(g, benchQuestion(i, recipe))
+			if !st.Delta {
+				b.Fatal("expected the incremental path")
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		g := base.Clone()
+		r := reasoner.New(reasoner.Options{TraceDerivations: true})
+		r.Materialize(g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, t := range benchQuestion(i, recipe) {
+				g.AddTriple(t)
+			}
+			r.Materialize(g)
+		}
+	})
+}
+
+// BenchmarkExplainWarm measures steady-state serve latency of a warm
+// session: every iteration asks a fresh question (new text → new question
+// individual), so each Explain pays the full write path — assertion,
+// incremental re-classification, query, render — the way `feo serve`
+// does per /explain request.
+func BenchmarkExplainWarm(b *testing.B) {
+	cfg := foodkg.DefaultConfig()
+	cfg.Recipes = 800
+	cfg.Ingredients = 400
+	cfg.Users = 40
+	sess := feo.NewSession(feo.Options{Data: feo.DataSynthetic, KG: cfg})
+	recipes := sess.Recipes()
+	if len(recipes) == 0 {
+		b.Fatal("no recipes")
+	}
+	if _, err := sess.Explain(feo.Question{
+		Type: feo.Contextual, Primary: recipes[0], Text: "warmup",
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Explain(feo.Question{
+			Type:    feo.Contextual,
+			Primary: recipes[i%len(recipes)],
+			Text:    fmt.Sprintf("warm ask %d", i),
+		}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

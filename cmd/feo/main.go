@@ -378,6 +378,12 @@ func cmdUpdate(args []string) error {
 		return err
 	}
 	fmt.Println(res)
+	// Monotonic deletion caveat: inferences that lost a premise stay in
+	// the graph; surface them instead of silently serving stale proofs.
+	for _, t := range res.StaleInferred {
+		fmt.Printf("warning: inference may be stale (a premise of its proof was deleted): %s %s %s\n",
+			t.S, t.P, t.O)
+	}
 	return nil
 }
 

@@ -146,6 +146,14 @@ const (
 // concurrently with each other, and each Query additionally fans out
 // across the SetQueryParallelism worker budget under its read lock.
 //
+// The write-critical section is kept short by incremental (delta)
+// re-materialization: the session's engine captures every mutation since
+// the last reasoner run, and addition-only spans — the serve-time common
+// case — re-classify in time proportional to the delta's consequences
+// rather than the whole graph. Readers queue behind O(|delta closure|),
+// not O(|graph|). Deletions fall back to the historical full re-run; see
+// Update for the monotonicity caveat and its staleness detection.
+//
 // Graph exposes the raw store and escapes this gate: callers that mix
 // direct Graph mutation with concurrent Session use must provide their
 // own serialization.
@@ -209,27 +217,28 @@ func (s *Session) Recipes() []Term {
 	return s.graph.InstancesOf(ontology.FoodRecipe)
 }
 
-// LoadTurtle adds Turtle data to the session and re-materializes. It takes
-// the session's write lock: no query overlaps the load.
+// LoadTurtle adds Turtle data to the session and re-materializes — only
+// the loaded delta's consequences, not the whole closure. It takes the
+// session's write lock: no query overlaps the load.
 func (s *Session) LoadTurtle(doc string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := turtle.ParseInto(s.graph, doc); err != nil {
 		return err
 	}
-	s.reasoner.Materialize(s.graph)
+	s.engine.Rematerialize()
 	return nil
 }
 
 // LoadRDFXML adds RDF/XML data (Protégé's export format) to the session
-// and re-materializes, under the session's write lock.
+// and incrementally re-materializes, under the session's write lock.
 func (s *Session) LoadRDFXML(r io.Reader) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := rdfxml.ParseInto(s.graph, r); err != nil {
 		return err
 	}
-	s.reasoner.Materialize(s.graph)
+	s.engine.Rematerialize()
 	return nil
 }
 
@@ -256,7 +265,10 @@ func (s *Session) Query(q string) (*QueryResult, error) {
 // generated explanation individual (eo:Explanation node, eo:usesKnowledge
 // evidence links, …) into the graph, so Explain takes the session's write
 // lock and never overlaps Query/Recommend readers — the data race that
-// serving /explain next to /sparql used to carry.
+// serving /explain next to /sparql used to carry. The re-classification a
+// new question triggers is incremental (delta) work, so readers queue
+// behind the question's own consequences, not a whole-graph closure
+// re-run.
 func (s *Session) Explain(q Question) (*Explanation, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -280,22 +292,30 @@ func (s *Session) RecommendGroup(users []Term, limit int) []Recommendation {
 
 // Update applies a SPARQL 1.1 Update request (INSERT DATA, DELETE DATA,
 // DELETE WHERE, DELETE/INSERT WHERE, CLEAR) and re-materializes when
-// triples were added.
+// triples were added — incrementally for addition-only requests, with the
+// historical full re-run when the request also deleted.
 //
 // Deletions remove only the named triples: consequences previously
 // inferred from them are NOT retracted (forward-chaining materialization
 // is monotonic, the same behavior as re-exporting from Pellet without
-// reclassifying). To fully retract, rebuild the session from the edited
-// source data.
+// reclassifying). Inferences whose recorded derivation lost a premise to
+// the deletion are detected and returned in UpdateResult.StaleInferred so
+// callers are never silently served stale proofs; to fully retract,
+// rebuild the session from the edited source data.
 func (s *Session) Update(req string) (sparql.UpdateResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	span := s.graph.StartCapture()
 	res, err := sparql.RunUpdate(s.graph, req)
+	span.Stop()
 	if err != nil {
 		return res, err
 	}
+	if removed := span.RemovedTriples(); len(removed) > 0 {
+		res.StaleInferred = s.reasoner.StaleDerivations(removed)
+	}
 	if res.Inserted > 0 {
-		s.reasoner.Materialize(s.graph)
+		s.engine.Rematerialize()
 	}
 	return res, nil
 }

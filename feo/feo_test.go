@@ -294,3 +294,55 @@ func TestQueryPlanCacheStats(t *testing.T) {
 		t.Errorf("reset did not zero counters: %d/%d", h, m)
 	}
 }
+
+// TestSessionUpdateStaleInferred: deleting a premise of a traced
+// derivation is surfaced in UpdateResult instead of silently serving
+// stale proofs (materialization stays monotonic).
+func TestSessionUpdateStaleInferred(t *testing.T) {
+	s := NewSession(Options{Data: DataNone})
+	if _, err := s.Update(`
+INSERT DATA {
+  feo:Mango a <http://purl.org/heals/food/Ingredient> .
+  feo:MangoSalad a <http://purl.org/heals/food/Recipe> ;
+      feo:hasIngredient feo:Mango .
+}`); err != nil {
+		t.Fatal(err)
+	}
+	// The insert closed feo:Mango feo:isIngredientOf feo:MangoSalad via the
+	// inverse axiom. Deleting the premise leaves that inference stale.
+	res, err := s.Update(`DELETE DATA { feo:MangoSalad feo:hasIngredient feo:Mango . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 1 {
+		t.Fatalf("deleted = %d, want 1", res.Deleted)
+	}
+	if len(res.StaleInferred) == 0 {
+		t.Fatal("deleting a traced premise must surface stale inferences")
+	}
+	found := false
+	for _, tr := range res.StaleInferred {
+		if tr.S == FEO("Mango") && tr.P == FEO("isIngredientOf") && tr.O == FEO("MangoSalad") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stale list %v should include the inverse inference", res.StaleInferred)
+	}
+	if !strings.Contains(res.String(), "stale") {
+		t.Errorf("UpdateResult.String should mention staleness: %q", res.String())
+	}
+	// The stale inference is still present (monotonic), and an unrelated
+	// update reports nothing stale.
+	ask, err := s.Query(`ASK { feo:Mango feo:isIngredientOf feo:MangoSalad }`)
+	if err != nil || !ask.Boolean {
+		t.Error("monotonic behavior lost: inference was retracted")
+	}
+	res2, err := s.Update(`INSERT DATA { feo:Papaya a <http://purl.org/heals/food/Ingredient> . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.StaleInferred) != 0 {
+		t.Errorf("addition-only update flagged stale inferences: %v", res2.StaleInferred)
+	}
+}

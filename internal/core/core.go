@@ -173,24 +173,50 @@ type Engine struct {
 	coach *healthcoach.Coach
 	seq   int
 	// questionCache reuses minted question individuals for repeated asks,
-	// keeping Explain idempotent on the graph.
+	// keeping Explain idempotent on the graph. Keyed on the full question
+	// identity including its free-form text, so asks that differ only in
+	// phrasing each get their own individual (and exactly one rdfs:comment)
+	// instead of piling comments onto a shared node.
 	questionCache map[questionKey]rdf.Term
+	// pending captures every graph mutation since the last
+	// re-materialization — question/explanation assertions, session loads,
+	// SPARQL updates, even direct Graph writes by the embedding
+	// application — so Rematerialize can hand the reasoner an exact delta.
+	pending *store.ChangeSet
 }
 
 type questionKey struct {
 	typ                ExplanationType
 	primary, secondary rdf.Term
+	text               string
 }
 
 // NewEngine wraps a graph and its reasoner. The graph should contain the
-// FEO TBox and instance data; the engine re-materializes after asserting
-// new questions.
+// FEO TBox and instance data; the engine re-materializes (incrementally)
+// after asserting new questions.
 func NewEngine(g *store.Graph, r *reasoner.Reasoner) *Engine {
 	if r == nil {
 		r = reasoner.New(reasoner.Options{TraceDerivations: true})
 		r.Materialize(g)
 	}
-	return &Engine{g: g, r: r, questionCache: make(map[questionKey]rdf.Term)}
+	return &Engine{g: g, r: r, questionCache: make(map[questionKey]rdf.Term),
+		pending: g.StartCapture()}
+}
+
+// Rematerialize brings the OWL RL closure up to date with every graph
+// mutation since the previous run and re-arms change capture. When the
+// mutations were pure additions (the serve-time common case: question
+// assertions, INSERT DATA, document loads), the reasoner extends the
+// closure incrementally in O(|delta closure|); removals, Clear, or
+// mutations that bypassed capture fall back to the historical full re-run.
+// Callers that mutate the graph directly may invoke it themselves; Explain
+// and feo.Session call it automatically.
+func (e *Engine) Rematerialize() reasoner.Stats {
+	cs := e.pending
+	e.pending = nil
+	stats := e.r.MaterializeChanges(e.g, cs)
+	e.pending = e.g.StartCapture()
+	return stats
 }
 
 // SetCoach attaches a Health Coach recommender whose traces power
@@ -247,10 +273,12 @@ func (e *Engine) generate(q Question) (*Explanation, error) {
 
 // ensureQuestion asserts the question individual and parameters into the
 // graph and re-materializes so parameter classification (feo:Parameter,
-// eo:Fact/eo:Foil) reflects the question being asked.
+// eo:Fact/eo:Foil) reflects the question being asked. The
+// re-materialization is incremental: the write-critical section costs
+// O(closure of the few question triples), not O(|graph|).
 func (e *Engine) ensureQuestion(q *Question) {
 	if !q.IRI.IsValid() {
-		key := questionKey{typ: q.Type, primary: q.Primary, secondary: q.Secondary}
+		key := questionKey{typ: q.Type, primary: q.Primary, secondary: q.Secondary, text: q.Text}
 		if cached, ok := e.questionCache[key]; ok {
 			q.IRI = cached
 		} else {
@@ -279,7 +307,7 @@ func (e *Engine) ensureQuestion(q *Question) {
 		}
 	}
 	if added {
-		e.r.Materialize(e.g)
+		e.Rematerialize()
 	}
 }
 
@@ -287,7 +315,9 @@ func (e *Engine) ensureQuestion(q *Question) {
 // eo:Explanation individual: its type class, the question it addresses,
 // the knowledge (evidence terms) it uses, and the rendered summary. Reuses
 // one individual per (question, type) pair so repeated asks stay
-// idempotent.
+// idempotent. The added triples land in the engine's pending change
+// capture and are classified by the next (incremental) Rematerialize,
+// matching the historical timing of the full re-run.
 func (e *Engine) assertExplanation(ex *Explanation) rdf.Term {
 	node := rdf.NewIRI(rdf.KGNS + "explanation/" +
 		localOf(shrinkOr(e.g, ex.Question.IRI)) + "-" + ex.Type.String())

@@ -495,3 +495,99 @@ SELECT ?ex ?summary WHERE {
 		t.Errorf("stored summary = %q", res.Get(0, "summary").Value)
 	}
 }
+
+// TestExplainIdempotentGraphSize: repeated asks of the same question must
+// not grow the graph — the question individual, its comment, and the
+// explanation individual are all reused.
+func TestExplainIdempotentGraphSize(t *testing.T) {
+	e := engineFor(t, ontology.CQ1)
+	q := Question{
+		Type:    Contextual,
+		Primary: ontology.CauliflowerPotatoCurry,
+		Text:    "Why should I eat Cauliflower Potato Curry?",
+	}
+	if _, err := e.Explain(q); err != nil {
+		t.Fatal(err)
+	}
+	n := e.Graph().Len()
+	for i := 0; i < 3; i++ {
+		if _, err := e.Explain(q); err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Graph().Len(); got != n {
+			t.Fatalf("repeat %d: graph grew %d -> %d triples; Explain not idempotent", i+1, n, got)
+		}
+	}
+}
+
+// TestQuestionTextKeysCache: asks that differ only in free-form text get
+// their own question individuals, each carrying exactly one rdfs:comment —
+// the historical bug piled every phrasing onto one shared individual.
+func TestQuestionTextKeysCache(t *testing.T) {
+	e := engineFor(t, ontology.CQ1)
+	ex1, err := e.Explain(Question{
+		Type: Contextual, Primary: ontology.CauliflowerPotatoCurry,
+		Text: "Why should I eat this curry?",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2, err := e.Explain(Question{
+		Type: Contextual, Primary: ontology.CauliflowerPotatoCurry,
+		Text: "Is the curry good for me?",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex1.Question.IRI == ex2.Question.IRI {
+		t.Fatal("different question texts must mint different individuals")
+	}
+	for _, iri := range []rdf.Term{ex1.Question.IRI, ex2.Question.IRI} {
+		if n := len(e.Graph().Objects(iri, rdf.CommentIRI)); n != 1 {
+			t.Errorf("question %s carries %d comments, want exactly 1", iri, n)
+		}
+	}
+	// Same text again: reuse, and still one comment.
+	ex3, err := e.Explain(Question{
+		Type: Contextual, Primary: ontology.CauliflowerPotatoCurry,
+		Text: "Why should I eat this curry?",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex3.Question.IRI != ex1.Question.IRI {
+		t.Error("same text must reuse the cached individual")
+	}
+	if n := len(e.Graph().Objects(ex1.Question.IRI, rdf.CommentIRI)); n != 1 {
+		t.Errorf("reused question carries %d comments, want 1", n)
+	}
+}
+
+// TestEngineRematerializeDelta: the engine's change capture hands the
+// reasoner an exact delta, so a direct graph write re-classifies
+// incrementally; a removal falls back to the full path.
+func TestEngineRematerializeDelta(t *testing.T) {
+	e := engineFor(t, ontology.CQ1)
+	mango := rdf.NewIRI(rdf.KGNS + "ingredient/Mango")
+	e.Graph().Add(mango, rdf.TypeIRI, ontology.FoodIngredient)
+	st := e.Rematerialize()
+	if !st.Delta {
+		t.Fatal("addition-only span must take the incremental path")
+	}
+	if st.Inferred == 0 {
+		t.Error("ingredient classification should infer at least one triple")
+	}
+	e.Graph().Remove(mango, rdf.TypeIRI, ontology.FoodIngredient)
+	if st := e.Rematerialize(); st.Delta {
+		t.Error("a span containing a removal must fall back to the full path")
+	}
+	// Explain itself rides the delta path end to end.
+	if _, err := e.Explain(Question{
+		Type: Contextual, Primary: ontology.CauliflowerPotatoCurry, Text: "delta probe",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Rematerialize(); st.Delta != true {
+		t.Error("explanation assertions should leave a clean addition-only capture")
+	}
+}

@@ -2,6 +2,7 @@ package reasoner
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/rdf"
@@ -12,7 +13,8 @@ import (
 type Options struct {
 	// Naive selects full re-evaluation each round instead of delta-driven
 	// semi-naive evaluation. Kept for the ablation benchmark; results are
-	// identical, only slower.
+	// identical, only slower. A naive Reasoner never takes the incremental
+	// path: MaterializeDelta/MaterializeChanges fall back to full runs.
 	Naive bool
 	// MaxRounds bounds naive evaluation rounds (and acts as a safety valve
 	// for semi-naive). Zero means the default of 1000.
@@ -36,17 +38,34 @@ type Derivation struct {
 
 // Stats summarizes a materialization run.
 type Stats struct {
-	Asserted    int // triples present before materialization
-	Inferred    int // new triples added
-	Rounds      int // naive rounds, or delta batches processed
+	// Asserted counts the caller-asserted triples in the graph at the start
+	// of the run: the graph size minus every triple this Reasoner inferred
+	// in earlier runs on the same graph. (A fresh Reasoner pointed at an
+	// already-materialized graph cannot tell inherited inferences from
+	// assertions and counts them as asserted.)
+	Asserted int
+	// Inferred counts the new triples THIS run added — a per-run delta,
+	// zero for a run that found the closure already complete.
+	Inferred int
+	// TotalInferred counts the triples this Reasoner inferred across all
+	// its runs on the current graph, cumulative.
+	TotalInferred int
+	// Delta reports whether the run took the incremental path (seeded by a
+	// mutation delta) instead of re-running over the whole graph.
+	Delta       bool
+	Rounds      int // triples processed (semi-naive) or naive rounds
 	RuleFirings map[string]int
 	Duration    time.Duration
 }
 
 // String renders the stats compactly for CLI output.
 func (s Stats) String() string {
-	return fmt.Sprintf("asserted=%d inferred=%d rounds=%d duration=%s",
-		s.Asserted, s.Inferred, s.Rounds, s.Duration)
+	mode := "full"
+	if s.Delta {
+		mode = "delta"
+	}
+	return fmt.Sprintf("asserted=%d inferred=%d total-inferred=%d mode=%s rounds=%d duration=%s",
+		s.Asserted, s.Inferred, s.TotalInferred, mode, s.Rounds, s.Duration)
 }
 
 // iTriple is a dictionary-encoded triple. The whole rule engine — queue,
@@ -58,8 +77,9 @@ type iTriple struct {
 }
 
 // vocab holds the interned IDs of every RDF/RDFS/OWL term the rule bodies
-// dispatch on. Interning happens once per Materialize; afterwards predicate
-// dispatch and joins compare uint32s instead of hashing term structs.
+// dispatch on. Interning happens once per full Materialize; afterwards
+// predicate dispatch and joins compare uint32s instead of hashing term
+// structs.
 type vocab struct {
 	typ, sco, spo, dom, rng, inv, eqc, eqp, same store.ID
 	trans, sym, funcP, invFunc, thing, class     store.ID
@@ -96,9 +116,10 @@ func internVocab(g *store.Graph) vocab {
 	}
 }
 
-// structuralIDs returns the set of predicate IDs whose presence requires an
-// expression-table rebuild when they change, as a bitmap probed once per
-// inferred triple.
+// structuralIDs returns the set of predicate IDs whose triples feed the
+// expression table (see schema.go), as a bitmap probed once per processed
+// triple. A delta or inference touching one of them triggers an incremental
+// expression-table update, never a whole-graph rebuild.
 func (v vocab) structuralIDs() *store.IDSet {
 	s := store.NewIDSet()
 	for _, id := range []store.ID{
@@ -110,17 +131,57 @@ func (v vocab) structuralIDs() *store.IDSet {
 }
 
 // Reasoner materializes OWL 2 RL consequences into a graph.
+//
+// # Incremental contract
+//
+// A Reasoner carries its closure state — interned vocabulary, the parsed
+// expression table, cumulative statistics, and (with TraceDerivations) the
+// derivation map — across calls on the same graph. After a completed run,
+// MaterializeDelta/MaterializeChanges extend the closure with only the
+// consequences of newly added triples: the semi-naive queue is seeded with
+// the delta instead of the whole graph, and the expression table is patched
+// entry-by-entry for structural triples (owl:intersectionOf, owl:unionOf,
+// restrictions, property chains, and their rdf:first/rdf:rest lists) in the
+// delta. The write-side cost is O(|delta closure|), not O(|graph|).
+//
+// The incremental path silently falls back to a full run whenever its
+// preconditions fail: a different or never-materialized graph, a mutation
+// the change set did not record (version mismatch), Graph.Clear, a naive
+// Reasoner, or any removal in the change set. Removals fall back because
+// materialization is monotonic — consequences of removed triples are NOT
+// retracted (see StaleDerivations for detecting proofs that lost support);
+// re-running the full closure after a removal reproduces exactly the
+// historical "re-materialize everything" behavior.
 type Reasoner struct {
-	opts      Options
-	g         *store.Graph
+	opts Options
+	g    *store.Graph
+	// dict is the graph's term dictionary at bind time; Graph.Clear swaps
+	// the dictionary, which invalidates every cached ID and trace entry.
+	dict      *store.TermDict
 	v         vocab
 	structIDs *store.IDSet
 	expr      *exprTable
 	queue     []iTriple
 	stats     Stats
-	// derivations maps each inferred triple to its first derivation.
+	// derivations maps each inferred triple to its first derivation. It
+	// persists across runs so proofs over old and new inferences keep
+	// working after incremental updates.
 	derivations map[rdf.Triple]Derivation
-	exprDirty   bool
+	// pendingExpr queues structural triples (delta input or fresh
+	// inferences) whose expression-table entries need patching; drained
+	// before each queue pop so rule joins always see a current table.
+	pendingExpr []iTriple
+	// totalInferred accumulates inferred-triple counts across runs on the
+	// same graph; it backs the Stats.Asserted/TotalInferred split.
+	totalInferred int
+	// lastVersion is the graph's mutation version when the last run
+	// finished; MaterializeChanges refuses the delta path unless the change
+	// set spans exactly [lastVersion, current].
+	lastVersion uint64
+	// prepared reports that vocab/expr/lastVersion describe a completed
+	// closure of g.
+	prepared bool
+	startLen int
 }
 
 // New returns a Reasoner with the given options.
@@ -133,24 +194,145 @@ func New(opts Options) *Reasoner {
 
 // Materialize computes the OWL RL closure of g in place and returns run
 // statistics. It can be called again after further assertions; the closure
-// is recomputed incrementally from the full graph.
+// is recomputed from the full graph. When the mutations since the previous
+// run are known, MaterializeChanges/MaterializeDelta do the same work in
+// time proportional to the delta instead.
 func (r *Reasoner) Materialize(g *store.Graph) Stats {
 	start := time.Now()
-	r.g = g
-	r.v = internVocab(g)
-	r.structIDs = r.v.structuralIDs()
-	r.stats = Stats{Asserted: g.Len(), RuleFirings: make(map[string]int)}
-	if r.opts.TraceDerivations && r.derivations == nil {
-		r.derivations = make(map[rdf.Triple]Derivation)
-	}
+	r.bind(g)
+	r.beginRun(false)
 	r.expr = buildExprTable(g, r.v)
+	r.pendingExpr = nil
 	if r.opts.Naive {
 		r.runNaive()
 	} else {
-		r.runSemiNaive()
+		r.queue = r.snapshot()
+		r.drain()
 	}
-	r.stats.Inferred = g.Len() - r.stats.Asserted
+	return r.finishRun(start)
+}
+
+// MaterializeDelta asserts the added triples into g and incrementally
+// extends the OWL RL closure with their consequences. It requires that this
+// Reasoner already materialized g and that nothing else mutated the graph
+// since (otherwise it falls back to a full Materialize, after asserting the
+// triples). The caller may pass triples that are already present; they are
+// simply re-seeded, which is harmless.
+func (r *Reasoner) MaterializeDelta(g *store.Graph, added []rdf.Triple) Stats {
+	if !r.canDelta(g) || g.Version() != r.lastVersion {
+		for _, t := range added {
+			g.AddTriple(t)
+		}
+		return r.Materialize(g)
+	}
+	seed := make([]iTriple, 0, len(added))
+	for _, t := range added {
+		s, p, o := g.InternTerm(t.S), g.InternTerm(t.P), g.InternTerm(t.O)
+		if s == store.NoID || p == store.NoID || o == store.NoID {
+			continue
+		}
+		// Seed only triples that are actually in the graph: AddID rejects
+		// invalid kinds (literal subject, non-IRI predicate), and a rejected
+		// triple must not feed the rules — the full path drops it too.
+		if !g.AddID(s, p, o) && !g.HasID(s, p, o) {
+			continue
+		}
+		seed = append(seed, iTriple{s, p, o})
+	}
+	return r.runDelta(seed)
+}
+
+// MaterializeChanges brings the closure of g up to date after the mutations
+// recorded in cs (stopping the capture if it is still active). When the
+// change set proves the only mutations since the last run were additions,
+// the closure is extended incrementally from exactly those triples; any
+// removal, a Clear, a version gap, or a foreign/never-materialized graph
+// falls back to a full Materialize. A nil change set always runs full.
+func (r *Reasoner) MaterializeChanges(g *store.Graph, cs *store.ChangeSet) Stats {
+	cs.Stop()
+	if cs == nil || cs.Graph() != g || !r.canDelta(g) ||
+		cs.Cleared() || len(cs.Removed()) > 0 ||
+		cs.BaseVersion() != r.lastVersion || cs.EndVersion() != g.Version() {
+		return r.Materialize(g)
+	}
+	added := cs.Added()
+	seed := make([]iTriple, len(added))
+	for i, t := range added {
+		seed[i] = iTriple{t.S, t.P, t.O}
+	}
+	return r.runDelta(seed)
+}
+
+// canDelta reports whether this Reasoner holds reusable closure state for g.
+func (r *Reasoner) canDelta(g *store.Graph) bool {
+	return r.prepared && r.g == g && !r.opts.Naive
+}
+
+// runDelta seeds the semi-naive queue with just the delta and drains it.
+// Structural triples in the seed patch the expression table before any rule
+// fires.
+func (r *Reasoner) runDelta(seed []iTriple) Stats {
+	start := time.Now()
+	r.beginRun(true)
+	r.queue = append(r.queue[:0], seed...)
+	for _, t := range seed {
+		if r.structIDs.Contains(t.P) {
+			r.pendingExpr = append(r.pendingExpr, t)
+		}
+	}
+	r.drain()
+	return r.finishRun(start)
+}
+
+// bind points the Reasoner at g, resetting cumulative state when the graph
+// changed, and (re-)interns the vocabulary. Graph.Clear replaces the term
+// dictionary without changing the graph's identity, so the dictionary
+// pointer is part of the identity check: after a Clear the cumulative
+// inferred count and the derivation trace describe triples that no longer
+// exist and are dropped with the old dictionary.
+func (r *Reasoner) bind(g *store.Graph) {
+	if r.g != g || r.dict != g.Dict() {
+		r.g = g
+		r.dict = g.Dict()
+		r.totalInferred = 0
+		if r.derivations != nil {
+			r.derivations = make(map[rdf.Triple]Derivation)
+		}
+	}
+	r.prepared = false
+	r.v = internVocab(g)
+	r.structIDs = r.v.structuralIDs()
+}
+
+// beginRun resets the per-run statistics.
+func (r *Reasoner) beginRun(delta bool) {
+	r.startLen = r.g.Len()
+	if r.totalInferred > r.startLen {
+		// More recorded inferences than triples: the graph shrank under us
+		// (Clear, or removals of inferred triples). The split is lost;
+		// restart the cumulative count rather than report negatives.
+		r.totalInferred = 0
+	}
+	r.stats = Stats{
+		Asserted:    r.startLen - r.totalInferred,
+		Delta:       delta,
+		RuleFirings: make(map[string]int),
+	}
+	if r.opts.TraceDerivations && r.derivations == nil {
+		r.derivations = make(map[rdf.Triple]Derivation)
+	}
+}
+
+// finishRun folds the run's growth into the cumulative counters and records
+// the closure snapshot version for the next delta.
+func (r *Reasoner) finishRun(start time.Time) Stats {
+	run := r.g.Len() - r.startLen
+	r.totalInferred += run
+	r.stats.Inferred = run
+	r.stats.TotalInferred = r.totalInferred
 	r.stats.Duration = time.Since(start)
+	r.lastVersion = r.g.Version()
+	r.prepared = true
 	return r.stats
 }
 
@@ -213,42 +395,124 @@ func (r *Reasoner) Proof(t rdf.Triple) []ProofStep {
 	return steps
 }
 
-// runSemiNaive seeds the queue with every asserted triple and then processes
-// deltas: each new triple is matched against every rule position it could
-// fill, joining other premises against the current graph. Each inferred
-// triple enters the queue exactly once.
-func (r *Reasoner) runSemiNaive() {
-	r.queue = r.snapshot()
-	r.seedAxiomRules()
+// StaleDerivations reports the inferred triples still present in the graph
+// whose recorded derivation — transitively — used one of the removed
+// triples as a premise that the graph no longer contains. Materialization
+// is monotonic, so such inferences stay in the graph with proofs that no
+// longer ground out; callers (feo.Session.Update) surface them instead of
+// silently serving stale proofs. Best-effort: only each triple's FIRST
+// derivation is recorded, so a conclusion reported stale may still hold via
+// an alternative derivation the trace never saw. Empty when tracing is off.
+func (r *Reasoner) StaleDerivations(removed []rdf.Triple) []rdf.Triple {
+	if len(removed) == 0 || len(r.derivations) == 0 || r.g == nil {
+		return nil
+	}
+	gone := make(map[rdf.Triple]bool, len(removed))
+	for _, t := range removed {
+		if !r.g.Has(t.S, t.P, t.O) { // deleted and not re-inserted
+			gone[t] = true
+		}
+	}
+	if len(gone) == 0 {
+		return nil
+	}
+	// One pass over the trace builds a premise→conclusions index; a
+	// worklist then walks only the affected cone, so the cost is
+	// O(|trace| + |cone|) rather than one full rescan per dependency level.
+	rev := make(map[rdf.Triple][]rdf.Triple)
+	for concl, d := range r.derivations {
+		for _, p := range d.Premises {
+			rev[p] = append(rev[p], concl)
+		}
+	}
+	stale := make(map[rdf.Triple]bool)
+	work := make([]rdf.Triple, 0, len(gone))
+	for t := range gone {
+		work = append(work, t)
+	}
+	for len(work) > 0 {
+		t := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, concl := range rev[t] {
+			if !stale[concl] {
+				stale[concl] = true
+				work = append(work, concl)
+			}
+		}
+	}
+	out := make([]rdf.Triple, 0, len(stale))
+	for t := range stale {
+		if r.g.Has(t.S, t.P, t.O) {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return compareTriples(out[i], out[j]) < 0 })
+	return out
+}
+
+func compareTriples(a, b rdf.Triple) int {
+	if c := rdf.Compare(a.S, b.S); c != 0 {
+		return c
+	}
+	if c := rdf.Compare(a.P, b.P); c != 0 {
+		return c
+	}
+	return rdf.Compare(a.O, b.O)
+}
+
+// drain processes the semi-naive queue to fixpoint: each popped triple is
+// matched against every rule position it could fill, joining the other
+// premises against the current graph. Pending expression-table patches are
+// applied (and their instance re-scans enqueued) before each pop, so rules
+// never join against a stale table.
+func (r *Reasoner) drain() {
 	processed := 0
-	for len(r.queue) > 0 {
+	for {
+		if len(r.pendingExpr) > 0 {
+			r.applyExprUpdates()
+			continue
+		}
+		if len(r.queue) == 0 {
+			break
+		}
 		t := r.queue[len(r.queue)-1]
 		r.queue = r.queue[:len(r.queue)-1]
-		if r.exprDirty {
-			r.expr = buildExprTable(r.g, r.v)
-			r.exprDirty = false
-		}
 		r.applyDelta(t)
 		processed++
 		if processed > r.opts.MaxRounds*1_000_000 {
 			break // safety valve; unreachable in practice
 		}
 	}
-	r.stats.Rounds = processed
+	r.stats.Rounds += processed
+}
+
+// applyExprUpdates drains the pending structural triples into incremental
+// expression-table patches. Patching may activate expressions (re-scanning
+// affected instances), which enqueues further work.
+func (r *Reasoner) applyExprUpdates() {
+	pend := r.pendingExpr
+	r.pendingExpr = nil
+	for _, t := range pend {
+		r.updateExpr(t)
+	}
 }
 
 // runNaive repeatedly applies every rule to every triple until a full round
-// adds nothing. Kept for the A1 ablation benchmark.
+// adds nothing. Kept for the A1 ablation benchmark and as the blessed
+// reference implementation: it rebuilds the expression table from the whole
+// graph every round and never takes the incremental path.
 func (r *Reasoner) runNaive() {
 	for round := 0; round < r.opts.MaxRounds; round++ {
 		r.stats.Rounds = round + 1
 		before := r.g.Len()
 		r.expr = buildExprTable(r.g, r.v)
-		r.exprDirty = false
-		r.seedAxiomRules()
+		r.pendingExpr = nil
 		for _, t := range r.snapshot() {
 			r.applyDelta(t)
 		}
+		// Inferred structural triples join the table at the next round's
+		// rebuild; the fixpoint round runs with a complete table.
+		r.pendingExpr = nil
 		if r.g.Len() == before {
 			return
 		}
@@ -276,20 +540,7 @@ func (r *Reasoner) infer(rule string, s, p, o store.ID, premises ...iTriple) {
 		}
 		r.derivations[r.decode(t)] = Derivation{Rule: rule, Premises: prem}
 	}
-	if r.structIDs.Contains(p) {
-		r.exprDirty = true
+	if !r.opts.Naive && r.structIDs.Contains(p) {
+		r.pendingExpr = append(r.pendingExpr, t)
 	}
-}
-
-// seedAxiomRules applies rules with no instance premises (scm-cls style).
-func (r *Reasoner) seedAxiomRules() {
-	if !r.opts.IncludeReflexive {
-		return
-	}
-	r.g.ForEachID(store.NoID, r.v.typ, r.v.class, func(s, p, o store.ID) bool {
-		t := iTriple{s, p, o}
-		r.infer("scm-cls", s, r.v.sco, s, t)
-		r.infer("scm-cls", s, r.v.sco, r.v.thing, t)
-		return true
-	})
 }

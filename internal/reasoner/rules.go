@@ -159,6 +159,13 @@ func (r *Reasoner) onType(t iTriple) {
 			r.infer("cls-svf1", u, r.v.typ, rest.Node, iTriple{u, rest.Prop, x}, t)
 		}
 	}
+	// scm-cls: (x type owl:Class) → reflexive subclass axioms. Handled here
+	// (rather than by a whole-graph seed pass) so class declarations
+	// arriving in a delta get their reflexive triples too.
+	if c == r.v.class && r.opts.IncludeReflexive {
+		r.infer("scm-cls", x, r.v.sco, x, t)
+		r.infer("scm-cls", x, r.v.sco, r.v.thing, t)
+	}
 	// Property-characteristic activation: (p type TransitiveProperty) etc.
 	// arriving after instance triples requires a batch pass.
 	switch c {

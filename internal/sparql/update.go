@@ -39,10 +39,22 @@ type UpdateOperation struct {
 type UpdateResult struct {
 	Inserted int
 	Deleted  int
+	// StaleInferred lists previously inferred triples whose recorded
+	// derivation lost at least one premise to this update's deletions.
+	// Forward-chaining materialization is monotonic — such inferences stay
+	// in the graph — so inference-aware layers surface them here instead of
+	// silently serving stale proofs. The SPARQL executor itself never fills
+	// this field; feo.Session.Update does, from the reasoner's derivation
+	// trace.
+	StaleInferred []rdf.Triple
 }
 
 // String renders the result for CLI output.
 func (r UpdateResult) String() string {
+	if n := len(r.StaleInferred); n > 0 {
+		return fmt.Sprintf("inserted %d, deleted %d (%d inference(s) lost a premise and may be stale)",
+			r.Inserted, r.Deleted, n)
+	}
 	return fmt.Sprintf("inserted %d, deleted %d", r.Inserted, r.Deleted)
 }
 

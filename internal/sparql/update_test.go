@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/rdf"
@@ -202,5 +203,19 @@ INSERT { ?o ex:q ex:a } WHERE { ?s ex:p ?o }`)
 	}
 	if res.Inserted != 0 {
 		t.Errorf("inserted = %d, want 0 (literal subject invalid)", res.Inserted)
+	}
+}
+
+func TestUpdateResultStringStaleInferred(t *testing.T) {
+	res := UpdateResult{Inserted: 1, Deleted: 2}
+	if got := res.String(); got != "inserted 1, deleted 2" {
+		t.Errorf("String() = %q", got)
+	}
+	res.StaleInferred = []rdf.Triple{
+		{S: rdf.NewIRI("http://e/s"), P: rdf.NewIRI("http://e/p"), O: rdf.NewIRI("http://e/o")},
+	}
+	got := res.String()
+	if !strings.Contains(got, "1 inference(s)") || !strings.Contains(got, "stale") {
+		t.Errorf("String() with stale inferences = %q", got)
 	}
 }

@@ -1,0 +1,147 @@
+package store
+
+import "repro/internal/rdf"
+
+// IDTriple is a dictionary-encoded triple at the store's public boundary.
+// The reasoner's delta path and the change-capture log exchange these so a
+// recorded mutation never has to decode (and later re-encode) its terms.
+type IDTriple struct {
+	S, P, O ID
+}
+
+// ChangeSet records every triple-level mutation applied to a graph between
+// StartCapture and Stop. It is the change-capture hook that lets layered
+// consumers (feo.Session, core.Engine) hand the reasoner an exact delta for
+// incremental re-materialization without threading triples by hand through
+// every parser, updater, and assertion site: any mutation route — Add/AddID,
+// Bulk, Merge, SPARQL updates, reasoner inference — lands in the active
+// capture because they all funnel through the graph's single add/remove
+// chokepoints.
+//
+// Several captures may be active on one graph at a time; each records
+// independently. Captures follow the store's writer contract: starting,
+// stopping, and reading a ChangeSet must not race with mutations (in
+// practice the layer that serializes writers — e.g. feo.Session's write
+// lock — also owns the captures).
+//
+// Graph.Clear invalidates a capture (Cleared reports true): Clear replaces
+// the term dictionary, so previously recorded IDs would decode wrongly, and
+// a consumer must fall back to whole-graph processing anyway. A cleared
+// capture stops recording and holds no triples.
+type ChangeSet struct {
+	g           *Graph
+	dict        *TermDict // dictionary the recorded IDs belong to
+	baseVersion uint64    // graph version when capture started
+	endVersion  uint64    // graph version when capture stopped
+	added       []IDTriple
+	removed     []IDTriple
+	cleared     bool
+	active      bool
+}
+
+// StartCapture begins recording mutations into a new ChangeSet. The caller
+// must eventually Stop it; an active capture costs one slice append per
+// mutation and nothing on reads.
+func (g *Graph) StartCapture() *ChangeSet {
+	cs := &ChangeSet{g: g, dict: g.dict, baseVersion: g.version, active: true}
+	g.captures = append(g.captures, cs)
+	return cs
+}
+
+// Stop ends recording and detaches the capture from the graph. It pins the
+// end version so consumers can verify no uncaptured mutation slipped in
+// after the capture closed. Stop is idempotent and nil-safe.
+func (cs *ChangeSet) Stop() {
+	if cs == nil || !cs.active {
+		return
+	}
+	cs.active = false
+	cs.endVersion = cs.g.version
+	caps := cs.g.captures
+	for i, c := range caps {
+		if c == cs {
+			cs.g.captures = append(caps[:i], caps[i+1:]...)
+			break
+		}
+	}
+}
+
+// Active reports whether the capture is still recording.
+func (cs *ChangeSet) Active() bool { return cs != nil && cs.active }
+
+// Graph returns the graph this capture recorded.
+func (cs *ChangeSet) Graph() *Graph { return cs.g }
+
+// BaseVersion returns the graph version at StartCapture. A consumer that
+// processed the graph up to exactly this version may treat the recorded
+// triples as the complete mutation delta since then.
+func (cs *ChangeSet) BaseVersion() uint64 { return cs.baseVersion }
+
+// EndVersion returns the graph version at Stop (or the current version
+// while still active). EndVersion == Graph().Version() means no mutation
+// has happened since the capture closed.
+func (cs *ChangeSet) EndVersion() uint64 {
+	if cs.active {
+		return cs.g.version
+	}
+	return cs.endVersion
+}
+
+// Cleared reports whether Graph.Clear ran during the capture, invalidating
+// the recorded IDs (the dictionary was replaced).
+func (cs *ChangeSet) Cleared() bool { return cs.cleared }
+
+// Added returns the triples added during the capture, in mutation order.
+// The returned slice is the capture's own storage; callers must not mutate
+// it.
+func (cs *ChangeSet) Added() []IDTriple { return cs.added }
+
+// Removed returns the triples removed during the capture, in mutation
+// order.
+func (cs *ChangeSet) Removed() []IDTriple { return cs.removed }
+
+// AddedTriples decodes Added. Empty after Clear (the IDs died with the old
+// dictionary).
+func (cs *ChangeSet) AddedTriples() []rdf.Triple { return cs.decode(cs.added) }
+
+// RemovedTriples decodes Removed. Removal never un-interns a term, so the
+// decoded triples are exact even though they are no longer in the graph.
+func (cs *ChangeSet) RemovedTriples() []rdf.Triple { return cs.decode(cs.removed) }
+
+func (cs *ChangeSet) decode(ts []IDTriple) []rdf.Triple {
+	if len(ts) == 0 || cs.cleared {
+		return nil
+	}
+	out := make([]rdf.Triple, len(ts))
+	for i, t := range ts {
+		out[i] = rdf.Triple{S: cs.dict.Term(t.S), P: cs.dict.Term(t.P), O: cs.dict.Term(t.O)}
+	}
+	return out
+}
+
+// notifyAdd records a successful triple insertion into every active capture.
+func (g *Graph) notifyAdd(s, p, o ID) {
+	for _, cs := range g.captures {
+		if !cs.cleared {
+			cs.added = append(cs.added, IDTriple{s, p, o})
+		}
+	}
+}
+
+// notifyRemove records a successful triple removal into every active capture.
+func (g *Graph) notifyRemove(s, p, o ID) {
+	for _, cs := range g.captures {
+		if !cs.cleared {
+			cs.removed = append(cs.removed, IDTriple{s, p, o})
+		}
+	}
+}
+
+// notifyClear invalidates every active capture.
+func (g *Graph) notifyClear() {
+	for _, cs := range g.captures {
+		cs.cleared = true
+		cs.added = nil
+		cs.removed = nil
+	}
+}

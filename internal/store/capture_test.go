@@ -1,0 +1,135 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func capTriple(n string) (rdf.Term, rdf.Term, rdf.Term) {
+	return rdf.NewIRI("http://e/s" + n), rdf.NewIRI("http://e/p" + n), rdf.NewIRI("http://e/o" + n)
+}
+
+func TestCaptureRecordsAddsAndRemoves(t *testing.T) {
+	g := New()
+	s0, p0, o0 := capTriple("0")
+	g.Add(s0, p0, o0) // before capture: must not be recorded
+
+	cs := g.StartCapture()
+	if cs.BaseVersion() != g.Version() {
+		t.Errorf("BaseVersion = %d, want %d", cs.BaseVersion(), g.Version())
+	}
+	s1, p1, o1 := capTriple("1")
+	if !g.Add(s1, p1, o1) {
+		t.Fatal("add failed")
+	}
+	g.Add(s1, p1, o1) // duplicate: no mutation, no record
+	if !g.Remove(s0, p0, o0) {
+		t.Fatal("remove failed")
+	}
+	g.Remove(s0, p0, o0) // already gone: no record
+	cs.Stop()
+
+	s2, p2, o2 := capTriple("2")
+	g.Add(s2, p2, o2) // after Stop: must not be recorded
+
+	added := cs.AddedTriples()
+	if len(added) != 1 || added[0].S != s1 || added[0].P != p1 || added[0].O != o1 {
+		t.Errorf("AddedTriples = %v", added)
+	}
+	removed := cs.RemovedTriples()
+	if len(removed) != 1 || removed[0].S != s0 {
+		t.Errorf("RemovedTriples = %v", removed)
+	}
+	if cs.Cleared() {
+		t.Error("capture should not be cleared")
+	}
+	if cs.EndVersion() == cs.BaseVersion() {
+		t.Error("EndVersion should have advanced with the mutations")
+	}
+	if cs.EndVersion() == g.Version() {
+		t.Error("post-Stop mutation should make EndVersion lag Version")
+	}
+}
+
+func TestCaptureSeesEveryMutationRoute(t *testing.T) {
+	g := New()
+	cs := g.StartCapture()
+
+	// Term-level Add, ID-level AddID, Bulk, and Merge all funnel into the
+	// same chokepoint.
+	s1, p1, o1 := capTriple("1")
+	g.Add(s1, p1, o1)
+	s2, p2, o2 := capTriple("2")
+	g.AddID(g.InternTerm(s2), g.InternTerm(p2), g.InternTerm(o2))
+	s3, p3, o3 := capTriple("3")
+	g.Bulk().Add(s3, p3, o3)
+	other := New()
+	s4, p4, o4 := capTriple("4")
+	other.Add(s4, p4, o4)
+	g.Merge(other)
+	cs.Stop()
+
+	if n := len(cs.Added()); n != 4 {
+		t.Errorf("captured %d adds, want 4: %v", n, cs.AddedTriples())
+	}
+}
+
+func TestCaptureNestedIndependent(t *testing.T) {
+	g := New()
+	outer := g.StartCapture()
+	s1, p1, o1 := capTriple("1")
+	g.Add(s1, p1, o1)
+	inner := g.StartCapture()
+	s2, p2, o2 := capTriple("2")
+	g.Add(s2, p2, o2)
+	inner.Stop()
+	s3, p3, o3 := capTriple("3")
+	g.Add(s3, p3, o3)
+	outer.Stop()
+
+	if n := len(inner.Added()); n != 1 {
+		t.Errorf("inner captured %d adds, want 1", n)
+	}
+	if n := len(outer.Added()); n != 3 {
+		t.Errorf("outer captured %d adds, want 3", n)
+	}
+}
+
+func TestCaptureClearInvalidates(t *testing.T) {
+	g := New()
+	s1, p1, o1 := capTriple("1")
+	g.Add(s1, p1, o1)
+	cs := g.StartCapture()
+	s2, p2, o2 := capTriple("2")
+	g.Add(s2, p2, o2)
+	g.Clear()
+	s3, p3, o3 := capTriple("3")
+	g.Add(s3, p3, o3) // recorded IDs would belong to the new dictionary
+	cs.Stop()
+
+	if !cs.Cleared() {
+		t.Fatal("Clear must invalidate the capture")
+	}
+	if len(cs.Added()) != 0 || len(cs.AddedTriples()) != 0 {
+		t.Error("cleared capture must hold no triples")
+	}
+}
+
+func TestCaptureStopIdempotentAndNilSafe(t *testing.T) {
+	var nilCS *ChangeSet
+	nilCS.Stop() // must not panic
+	if nilCS.Active() {
+		t.Error("nil capture is not active")
+	}
+	g := New()
+	cs := g.StartCapture()
+	cs.Stop()
+	cs.Stop()
+	if cs.Active() {
+		t.Error("stopped capture reports active")
+	}
+	if len(g.captures) != 0 {
+		t.Error("stopped capture still registered")
+	}
+}

@@ -97,7 +97,10 @@ type Graph struct {
 	// engine's per-query path-reachability caches, future plan caches — key
 	// or guard on it; see Version.
 	version uint64
-	ns      *rdf.Namespaces
+	// captures holds the active change-capture logs (see capture.go). Empty
+	// in the common case; every successful add/remove fans into each one.
+	captures []*ChangeSet
+	ns       *rdf.Namespaces
 }
 
 // New returns an empty graph with the repository's standard namespaces bound.
@@ -210,6 +213,9 @@ func (g *Graph) addIDs(s, p, o ID) bool {
 	g.objN[o]++
 	g.n++
 	g.version++
+	if len(g.captures) != 0 {
+		g.notifyAdd(s, p, o)
+	}
 	return true
 }
 
@@ -402,6 +408,9 @@ func (g *Graph) Remove(s, p, o rdf.Term) bool {
 	decCount(g.objN, oID)
 	g.n--
 	g.version++
+	if len(g.captures) != 0 {
+		g.notifyRemove(sID, pID, oID)
+	}
 	return true
 }
 
@@ -812,6 +821,9 @@ func (g *Graph) Clear() {
 	g.objN = make(map[ID]int)
 	g.n = 0
 	g.version++
+	if len(g.captures) != 0 {
+		g.notifyClear()
+	}
 }
 
 // ReadList reads an RDF collection (rdf:first / rdf:rest chain) starting at

@@ -24,7 +24,7 @@
 set -euo pipefail
 
 tolerance=15
-filter='^Benchmark(Listing|Table1|Figure|Reasoner|Bitset|StoreMatch|MaterializeSolutions|PlanCache)'
+filter='^Benchmark(Listing|Table1|Figure|Reasoner|Bitset|StoreMatch|MaterializeSolutions|MaterializeDelta|ExplainWarm|PlanCache)'
 
 args=()
 while [ $# -gt 0 ]; do
