@@ -20,6 +20,7 @@ import (
 
 	"repro/feo"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/foodkg"
 	"repro/internal/healthcoach"
 	"repro/internal/ontology"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/reasoner"
 	"repro/internal/sparql"
 	"repro/internal/store"
+	"repro/internal/turtle"
 )
 
 // requireContains fails the benchmark when the regenerated artifact lost
@@ -425,6 +427,131 @@ func BenchmarkTurtle_ParseOntology(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := parseTTL(doc); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// ---- durability: boot-time and write-path benchmarks ----
+
+// durableBootConfig is the recipes=800 FoodKG the boot benchmarks compare
+// on — the same scale BenchmarkMaterializeDelta/ExplainWarm use.
+func durableBootConfig() foodkg.Config {
+	cfg := foodkg.DefaultConfig()
+	cfg.Recipes = 800
+	cfg.Ingredients = 400
+	cfg.Users = 40
+	return cfg
+}
+
+// BenchmarkTurtleBoot measures the historical cold-boot path a durable
+// directory replaces: parse the materialized graph's Turtle export back
+// into a store and re-run the reasoner to rebuild the closure and its
+// derivation traces. This is what every process start paid before
+// snapshots existed (and what non-durable sessions still pay).
+func BenchmarkTurtleBoot(b *testing.B) {
+	kg := foodkg.Generate(durableBootConfig())
+	base := ontology.TBox()
+	base.Merge(kg.Graph)
+	// Export the graph *before* materialization: the historical boot
+	// parsed base documents and computed the closure (and its traces)
+	// from scratch, so that is what each iteration must pay.
+	var ttl strings.Builder
+	if err := turtle.Write(&ttl, base); err != nil {
+		b.Fatal(err)
+	}
+	doc := ttl.String()
+	reasoner.New(reasoner.Options{TraceDerivations: true}).Materialize(base)
+	want := base.Len()
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := parseTTL(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := reasoner.New(reasoner.Options{TraceDerivations: true})
+		r.Materialize(g)
+		if g.Len() != want {
+			b.Fatalf("boot lost triples: %d vs %d", g.Len(), want)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad measures the durable cold boot: feo.Open on a
+// compacted data directory — binary snapshot load plus closure restore,
+// no parsing and no rule evaluation. Gate-compared against
+// BenchmarkTurtleBoot: the snapshot path must stay measurably faster.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	dir := b.TempDir()
+	seed, err := feo.Open(feo.Options{Data: feo.DataSynthetic, KG: durableBootConfig(), DataDir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := seed.Graph().Len()
+	if err := seed.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := feo.Open(feo.Options{DataDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !s.Replayed() || s.Graph().Len() != want {
+			b.Fatalf("boot wrong: replayed=%v len=%d want %d", s.Replayed(), s.Graph().Len(), want)
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkWALAppend measures the per-commit durability overhead a
+// mutating session call pays: framing, checksumming, and writing one
+// representative record (a question's assertions plus its inferred
+// consequences) to the log. SyncNever isolates the write path itself from
+// fsync latency, which the sync policy — not the code — decides.
+func BenchmarkWALAppend(b *testing.B) {
+	g := store.New()
+	g.Add(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/o"))
+	st, _, err := durable.Open(b.TempDir(), durable.Options{Sync: durable.SyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Compact(g, reasoner.ClosureState{}); err != nil {
+		b.Fatal(err)
+	}
+	tr := func(n string) rdf.Triple {
+		return rdf.Triple{
+			S: rdf.NewIRI("https://purl.org/heals/foodkg/question/q0001"),
+			P: rdf.NewIRI(rdf.FEONS + n),
+			O: rdf.NewIRI("http://example.org/recipe/42"),
+		}
+	}
+	rec := durable.Record{
+		Ops: []store.TermOp{
+			{T: tr("hasParameter")}, {T: tr("answeredBy")},
+			{T: tr("inferredA")}, {T: tr("inferredB")}, {T: tr("inferredC")},
+		},
+		EndVersion:    1,
+		TotalInferred: 3,
+		Derivations: []reasoner.TracedDerivation{
+			{Conclusion: tr("inferredA"), Rule: "cax-sco", Premises: []rdf.Triple{tr("hasParameter")}},
+			{Conclusion: tr("inferredB"), Rule: "prp-dom", Premises: []rdf.Triple{tr("answeredBy")}},
+			{Conclusion: tr("inferredC"), Rule: "prp-spo1", Premises: []rdf.Triple{tr("inferredA")}},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.EndVersion = uint64(i + 1)
+		if err := st.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+		if st.WALSize() > 64<<20 {
+			b.StopTimer()
+			if err := st.Compact(g, reasoner.ClosureState{}); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
 		}
 	}
 }

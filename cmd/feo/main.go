@@ -1,13 +1,14 @@
 // Command feo is the command-line interface to the FEO reproduction.
 //
-//	feo query    [-data cq1|cq2|cq3|all|synthetic] [-file f.rq] [QUERY]
+//	feo query    [-data cq1|cq2|cq3|all|synthetic] [-datadir DIR] [-file f.rq] [QUERY]
 //	feo explain  -type contextual -primary feo:CauliflowerPotatoCurry
-//	             [-secondary feo:X] [-user feo:U] [-data ...]
+//	             [-secondary feo:X] [-user feo:U] [-data ...] [-datadir DIR]
 //	feo recommend [-user IRI] [-group IRI,IRI] [-limit N] [-data synthetic]
 //	feo reason   [-data ...] [-naive]          print materialization stats
 //	feo bench    -artifact table1|fig1|fig2|fig3|fig4|listing1|listing2|listing3|all
 //	feo export   [-data ...] [-format ttl|nt]  dump the materialized graph
-//	feo serve    [-addr :8080] [-data ...]     HTTP SPARQL + explanation API
+//	feo compact  -datadir DIR [-data ...]      snapshot + rotate the write-ahead log
+//	feo serve    [-addr :8080] [-data ...] [-datadir DIR] [-sync commit|interval|off]
 package main
 
 import (
@@ -47,6 +48,8 @@ func main() {
 		err = cmdUpdate(os.Args[2:])
 	case "validate":
 		err = cmdValidate(os.Args[2:])
+	case "compact":
+		err = cmdCompact(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
@@ -74,6 +77,7 @@ commands:
   export     dump the materialized graph (ttl or nt)
   update     apply a SPARQL 1.1 Update request
   validate   run OWL consistency checks over the materialized graph
+  compact    write a fresh durability snapshot and rotate the write-ahead log
   serve      start the HTTP SPARQL + explanation API
 `)
 }
@@ -89,29 +93,95 @@ func parallelFlag(fs *flag.FlagSet) *int {
 }
 
 func newSession(data string) (*feo.Session, error) {
+	return openSession(data, "", "")
+}
+
+// datadirFlag registers the shared -datadir flag (durability directory).
+// Named -datadir rather than -data because -data already selects the
+// dataset.
+func datadirFlag(fs *flag.FlagSet) *string {
+	return fs.String("datadir", "", "durability directory: snapshot + write-ahead log (empty = memory only)")
+}
+
+// syncFlag registers the shared -sync flag (WAL fsync policy).
+func syncFlag(fs *flag.FlagSet) *string {
+	return fs.String("sync", "commit", "WAL fsync policy: commit, interval, off")
+}
+
+// openSession builds a session, durable when datadir is set. When the
+// directory already holds state, the graph is recovered from it and the
+// dataset selector only matters for a fresh directory.
+func openSession(data, datadir, syncMode string) (*feo.Session, error) {
+	opts := feo.Options{DataDir: datadir}
+	switch syncMode {
+	case "", "commit":
+		opts.Sync = feo.SyncAlways
+	case "interval":
+		opts.Sync = feo.SyncInterval
+	case "off":
+		opts.Sync = feo.SyncNever
+	default:
+		return nil, fmt.Errorf("unknown -sync policy %q (commit, interval, off)", syncMode)
+	}
+	var cq ontology.CompetencyQuestion
+	loadCQ := false
 	switch data {
 	case "synthetic":
-		return feo.NewSession(feo.Options{Data: feo.DataSynthetic}), nil
+		opts.Data = feo.DataSynthetic
 	case "none":
-		return feo.NewSession(feo.Options{Data: feo.DataNone}), nil
+		opts.Data = feo.DataNone
 	case "cq1", "cq2", "cq3":
-		s := feo.NewSession(feo.Options{Data: feo.DataNone})
-		cq := map[string]ontology.CompetencyQuestion{
+		opts.Data = feo.DataNone
+		cq = map[string]ontology.CompetencyQuestion{
 			"cq1": ontology.CQ1, "cq2": ontology.CQ2, "cq3": ontology.CQ3,
 		}[data]
-		var sb strings.Builder
-		if err := turtle.Write(&sb, ontology.ABox(cq)); err != nil {
-			return nil, err
-		}
-		if err := s.LoadTurtle(sb.String()); err != nil {
-			return nil, err
-		}
-		return s, nil
+		loadCQ = true
 	case "all", "":
-		return feo.NewSession(feo.Options{}), nil
+		opts.Data = feo.DataCQ
 	default:
 		return nil, fmt.Errorf("unknown dataset %q", data)
 	}
+	s, err := feo.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	// A replayed boot already contains whatever was loaded before the
+	// restart; re-loading the CQ subset would mint fresh blank nodes and
+	// duplicate its bnode-rooted structures.
+	if loadCQ && !s.Replayed() {
+		var sb strings.Builder
+		if err := turtle.Write(&sb, ontology.ABox(cq)); err != nil {
+			s.Close()
+			return nil, err
+		}
+		if err := s.LoadTurtle(sb.String()); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	data := dataFlag(fs)
+	datadir := datadirFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *datadir == "" {
+		return fmt.Errorf("compact requires -datadir")
+	}
+	s, err := openSession(*data, *datadir, "commit")
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if err := s.Compact(); err != nil {
+		return err
+	}
+	fmt.Printf("compacted %s (stats: %s)\n", *datadir, s.Stats())
+	return nil
 }
 
 // resolveTerm accepts a full IRI or a QName with the standard prefixes.
@@ -132,6 +202,8 @@ func resolveTerm(s string) (rdf.Term, error) {
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	data := dataFlag(fs)
+	datadir := datadirFlag(fs)
+	sync := syncFlag(fs)
 	file := fs.String("file", "", "read the query from a file")
 	format := fs.String("format", "table", "output: table, json, csv, tsv, xml")
 	par := parallelFlag(fs)
@@ -150,10 +222,11 @@ func cmdQuery(args []string) error {
 	if strings.TrimSpace(query) == "" {
 		return fmt.Errorf("no query given")
 	}
-	s, err := newSession(*data)
+	s, err := openSession(*data, *datadir, *sync)
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 	res, err := s.Query(query)
 	if err != nil {
 		return err
@@ -182,6 +255,8 @@ func cmdQuery(args []string) error {
 func cmdExplain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
 	data := dataFlag(fs)
+	datadir := datadirFlag(fs)
+	sync := syncFlag(fs)
 	typeName := fs.String("type", "contextual", "explanation type (see Table I)")
 	primary := fs.String("primary", "", "primary parameter IRI/QName")
 	secondary := fs.String("secondary", "", "secondary parameter (contrastive)")
@@ -206,10 +281,11 @@ func cmdExplain(args []string) error {
 	if err != nil {
 		return err
 	}
-	s, err := newSession(*data)
+	s, err := openSession(*data, *datadir, *sync)
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 	ex, err := s.Explain(feo.Question{Type: et, Primary: p, Secondary: sec, User: u})
 	if err != nil {
 		return err
@@ -354,6 +430,8 @@ func cmdBench(args []string) error {
 func cmdUpdate(args []string) error {
 	fs := flag.NewFlagSet("update", flag.ExitOnError)
 	data := dataFlag(fs)
+	datadir := datadirFlag(fs)
+	sync := syncFlag(fs)
 	file := fs.String("file", "", "read the update request from a file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -369,10 +447,11 @@ func cmdUpdate(args []string) error {
 	if strings.TrimSpace(req) == "" {
 		return fmt.Errorf("no update request given")
 	}
-	s, err := newSession(*data)
+	s, err := openSession(*data, *datadir, *sync)
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 	res, err := s.Update(req)
 	if err != nil {
 		return err

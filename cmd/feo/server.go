@@ -1,12 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/feo"
 )
@@ -25,16 +30,23 @@ import (
 // lock, Query/Recommend/Stats share the read lock, so /sparql and
 // /recommend keep running concurrently with each other and only queue
 // behind in-flight explanation writes.
+//
+// The server carries read/write/idle timeouts (a stuck client cannot pin
+// a connection forever) and shuts down gracefully on SIGINT/SIGTERM:
+// in-flight requests drain, then the session's write-ahead log is flushed
+// and closed, so a deliberate stop never relies on crash recovery.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	data := dataFlag(fs)
+	datadir := datadirFlag(fs)
+	sync := syncFlag(fs)
 	addr := fs.String("addr", ":8080", "listen address")
 	par := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	feo.SetQueryParallelism(*par)
-	s, err := newSession(*data)
+	s, err := openSession(*data, *datadir, *sync)
 	if err != nil {
 		return err
 	}
@@ -44,8 +56,47 @@ func cmdServe(args []string) error {
 	mux.HandleFunc("/explain", srv.handleExplain)
 	mux.HandleFunc("/recommend", srv.handleRecommend)
 	mux.HandleFunc("/stats", srv.handleStats)
-	log.Printf("feo: serving on %s (dataset %s)", *addr, *data)
-	return http.ListenAndServe(*addr, mux)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		if *datadir != "" {
+			log.Printf("feo: serving on %s (dataset %s, durable in %s)", *addr, *data, *datadir)
+		} else {
+			log.Printf("feo: serving on %s (dataset %s)", *addr, *data)
+		}
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("feo: shutting down (draining in-flight requests)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(shutdownCtx)
+	if closeErr := s.Close(); shutdownErr == nil {
+		shutdownErr = closeErr
+	}
+	if errors.Is(shutdownErr, http.ErrServerClosed) {
+		shutdownErr = nil
+	}
+	if shutdownErr == nil {
+		log.Printf("feo: shutdown complete")
+	}
+	return shutdownErr
 }
 
 type apiServer struct {

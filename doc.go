@@ -46,6 +46,29 @@
 // store's reader contract: a quiescent Graph is safe for any number of
 // concurrent readers.
 //
+// # Crash-safe durability
+//
+// internal/durable persists the whole engine state: a binary snapshot of
+// the TermDict, the three roaring permutation indexes, namespaces, and
+// the reasoner's carried closure (dictionary-coded against the snapshot's
+// own term table), plus a CRC-32C-framed write-ahead log that records
+// every committed mutation batch — the ordered asserted+inferred op
+// stream, the derivation delta, and the end-of-commit version — before
+// the public API acknowledges it. Boot is O(file size): read the
+// snapshot, replay the WAL verbatim (no rule evaluation), restore the
+// closure once, and resume incremental materialization. A torn or
+// corrupt WAL tail truncates at the first bad frame, so recovery is
+// always a prefix of the acknowledged commits; the crash-recovery CI job
+// enforces exactly that with randomized apply/crash/reopen loops,
+// exhaustive truncation offsets, bit flips, and mid-write failpoint
+// kills (feo/crash_test.go, internal/durable/durable_test.go). Turn it
+// on with feo.Options{DataDir: ...} or `feo -datadir` (sync policy
+// selectable: always/interval/never); `feo compact` rewrites the
+// snapshot and truncates the log, and `feo serve` drains in-flight
+// requests and flushes the WAL on SIGINT/SIGTERM. The gated
+// SnapshotLoad/TurtleBoot benchmark pair keeps snapshot boot measurably
+// faster than re-parsing Turtle and re-running the reasoner.
+//
 // # Benchmark trajectory and its CI gate
 //
 // scripts/bench.sh records the benchmark suite (all packages) across PRs

@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/foodkg"
 	"repro/internal/healthcoach"
 	"repro/internal/ontology"
@@ -106,6 +108,22 @@ func IRI(s string) Term { return rdf.NewIRI(s) }
 // FEO expands a local name in the FEO namespace (feo.FEO("Autumn")).
 func FEO(local string) Term { return rdf.NewIRI(rdf.FEONS + local) }
 
+// SyncPolicy selects when durable sessions fsync the write-ahead log; see
+// the constants and internal/durable's package documentation.
+type SyncPolicy = durable.SyncPolicy
+
+// WAL fsync policies for Options.Sync, strongest first.
+const (
+	// SyncAlways fsyncs after every commit (the default): an acknowledged
+	// mutation survives OS or power failure, not just process death.
+	SyncAlways = durable.SyncAlways
+	// SyncInterval fsyncs in the background every Options.SyncEvery:
+	// process death loses nothing, power failure at most the last window.
+	SyncInterval = durable.SyncInterval
+	// SyncNever leaves flushing to the operating system.
+	SyncNever = durable.SyncNever
+)
+
 // Options configures a Session.
 type Options struct {
 	// Data selects the initial instance data. DataCQ (default) loads the
@@ -117,6 +135,22 @@ type Options struct {
 	KG KGConfig
 	// NaiveReasoner selects the slow ablation evaluation strategy.
 	NaiveReasoner bool
+	// DataDir, when non-empty, makes the session durable: mutations are
+	// written ahead to a log in this directory before they are
+	// acknowledged, and Open recovers the graph (and the reasoner's
+	// closure state) from the directory's snapshot + log instead of
+	// rebuilding from Data when it holds earlier state. Use Open rather
+	// than NewSession so recovery errors are reportable.
+	DataDir string
+	// Sync selects the WAL fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the background fsync period under SyncInterval
+	// (default 100ms).
+	SyncEvery time.Duration
+	// CompactBytes triggers automatic log compaction (snapshot + log
+	// rotation) once the WAL exceeds this size. Zero means 64 MiB;
+	// negative disables automatic compaction (Compact still works).
+	CompactBytes int64
 }
 
 // DataSource selects a Session's initial instance data.
@@ -164,36 +198,112 @@ type Session struct {
 	engine   *core.Engine
 	coach    *healthcoach.Coach
 	kg       *foodkg.KG
+	// durable is non-nil for sessions opened with Options.DataDir: every
+	// mutating call appends its commit to the write-ahead log inside the
+	// write lock, before acknowledging.
+	durable      *durable.Store
+	compactBytes int64
+	replayed     bool
 }
 
 // NewSession loads the ontologies and data, materializes the OWL RL
-// closure, and wires the explanation engine and Health Coach.
+// closure, and wires the explanation engine and Health Coach. It panics if
+// the session cannot be built — which only durability (Options.DataDir)
+// can cause; durable callers should prefer Open and handle the error.
 func NewSession(opts Options) *Session {
-	g := ontology.TBox()
-	var kg *foodkg.KG
-	switch opts.Data {
-	case DataSynthetic:
-		cfg := opts.KG
-		if cfg.Recipes == 0 {
-			cfg = foodkg.DefaultConfig()
-		}
-		kg = foodkg.Generate(cfg)
-		g.Merge(kg.Graph)
-	case DataNone:
-		// ontologies only
-	default:
-		g.Merge(ontology.ABox(ontology.CQAll))
+	s, err := Open(opts)
+	if err != nil {
+		panic(fmt.Sprintf("feo.NewSession: %v (use feo.Open to handle durability errors)", err))
 	}
+	return s
+}
+
+// Open builds a Session. Without Options.DataDir it cannot fail and is
+// equivalent to NewSession. With a DataDir it opens the directory's
+// durability store first: if the directory holds earlier state, the graph
+// and the reasoner's closure are recovered from its snapshot +
+// write-ahead log (Options.Data is then ignored — the disk is the source
+// of truth); a fresh directory is seeded with the initial dataset's
+// snapshot. Either way the session's mutating calls then append to the
+// log before acknowledging, and Close flushes it.
+func Open(opts Options) (*Session, error) {
+	var (
+		st   *durable.Store
+		boot *durable.Boot
+		err  error
+	)
+	if opts.DataDir != "" {
+		st, boot, err = durable.Open(opts.DataDir, durable.Options{
+			Sync:      opts.Sync,
+			SyncEvery: opts.SyncEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	compactBytes := opts.CompactBytes
+	switch {
+	case compactBytes == 0:
+		compactBytes = 64 << 20
+	case compactBytes < 0:
+		compactBytes = 0
+	}
+
 	r := reasoner.New(reasoner.Options{
 		TraceDerivations: true,
 		Naive:            opts.NaiveReasoner,
 	})
-	r.Materialize(g)
+	var (
+		g        *store.Graph
+		kg       *foodkg.KG
+		replayed bool
+	)
+	if boot != nil && boot.Graph != nil {
+		// Recovered boot: the snapshot + WAL replay IS the materialized
+		// graph; restore the carried closure state instead of re-running
+		// the reasoner, so the first write after recovery still takes the
+		// incremental path.
+		g = boot.Graph
+		r.RestoreClosure(g, boot.Closure)
+		replayed = true
+	} else {
+		g = ontology.TBox()
+		switch opts.Data {
+		case DataSynthetic:
+			cfg := opts.KG
+			if cfg.Recipes == 0 {
+				cfg = foodkg.DefaultConfig()
+			}
+			kg = foodkg.Generate(cfg)
+			g.Merge(kg.Graph)
+		case DataNone:
+			// ontologies only
+		default:
+			g.Merge(ontology.ABox(ontology.CQAll))
+		}
+		r.Materialize(g)
+		if st != nil {
+			// Seed the fresh data directory so the WAL has a snapshot to
+			// hang off; a crash from here on recovers at least this state.
+			if err := st.Compact(g, r.ClosureState()); err != nil {
+				st.Close()
+				return nil, err
+			}
+		}
+	}
+	if st != nil {
+		r.StartDerivationJournal()
+	}
 	coach := healthcoach.New(g, healthcoach.DefaultWeights())
 	engine := core.NewEngine(g, r)
 	engine.SetCoach(coach)
-	return &Session{graph: g, reasoner: r, engine: engine, coach: coach, kg: kg}
+	return &Session{graph: g, reasoner: r, engine: engine, coach: coach, kg: kg,
+		durable: st, compactBytes: compactBytes, replayed: replayed}, nil
 }
+
+// Replayed reports whether the session's graph was recovered from
+// Options.DataDir (snapshot + WAL) rather than built from Options.Data.
+func (s *Session) Replayed() bool { return s.replayed }
 
 // Graph returns the session's materialized graph. The returned store is
 // NOT covered by the session's lock: direct mutation of it while other
@@ -217,17 +327,102 @@ func (s *Session) Recipes() []Term {
 	return s.graph.InstancesOf(ontology.FoodRecipe)
 }
 
+// beginCommit opens a durability commit span: an ordered capture of every
+// mutation the current write-locked operation applies, plus the journal
+// mark its derivation delta starts at. No-op (nil span) for non-durable
+// sessions. Must be called with the write lock held.
+func (s *Session) beginCommit() (*store.ChangeSet, int) {
+	if s.durable == nil {
+		return nil, 0
+	}
+	return s.graph.StartOrderedCapture(), s.reasoner.JournalLen()
+}
+
+// endCommit closes the span and appends its record to the write-ahead log
+// before the write lock is released — the mutation is acknowledged only
+// once it is in the log. The span is logged even when the operation
+// itself failed (opErr != nil): a parser can die after half its triples
+// landed, and those mutations are part of the session's state now. Empty
+// spans append nothing. A log failure poisons the store and is returned
+// so the caller never acknowledges an unlogged mutation.
+func (s *Session) endCommit(span *store.ChangeSet, mark int, opErr error) error {
+	if span == nil {
+		return opErr
+	}
+	span.Stop()
+	ops := span.Ops()
+	if !span.Cleared() && len(ops) == 0 {
+		return opErr
+	}
+	rec := durable.Record{
+		Cleared:       span.Cleared(),
+		Ops:           ops,
+		EndVersion:    span.EndVersion(),
+		TotalInferred: s.reasoner.TotalInferred(),
+		Derivations:   s.reasoner.JournalSince(mark),
+	}
+	if err := s.durable.Append(rec); err != nil {
+		if opErr != nil {
+			return fmt.Errorf("%w (additionally: %v)", opErr, err)
+		}
+		return err
+	}
+	if s.compactBytes > 0 && s.durable.WALSize() >= s.compactBytes {
+		if err := s.compactLocked(); err != nil && opErr == nil {
+			return err
+		}
+	}
+	return opErr
+}
+
+// compactLocked writes a fresh snapshot and rotates the WAL; write lock
+// held by the caller.
+func (s *Session) compactLocked() error {
+	if err := s.durable.Compact(s.graph, s.reasoner.ClosureState()); err != nil {
+		return err
+	}
+	s.reasoner.TrimJournal()
+	return nil
+}
+
+// Compact forces a durability compaction now: the current graph and
+// closure state become the snapshot, and the write-ahead log restarts
+// empty. No-op for non-durable sessions.
+func (s *Session) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.durable == nil {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// Close flushes and closes the durability store (if any). Mutating calls
+// after Close fail their commit append; read-only calls keep working.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.durable == nil {
+		return nil
+	}
+	return s.durable.Close()
+}
+
 // LoadTurtle adds Turtle data to the session and re-materializes — only
 // the loaded delta's consequences, not the whole closure. It takes the
 // session's write lock: no query overlaps the load.
 func (s *Session) LoadTurtle(doc string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := turtle.ParseInto(s.graph, doc); err != nil {
-		return err
-	}
-	s.engine.Rematerialize()
-	return nil
+	span, mark := s.beginCommit()
+	err := func() error {
+		if err := turtle.ParseInto(s.graph, doc); err != nil {
+			return err
+		}
+		s.engine.Rematerialize()
+		return nil
+	}()
+	return s.endCommit(span, mark, err)
 }
 
 // LoadRDFXML adds RDF/XML data (Protégé's export format) to the session
@@ -235,11 +430,15 @@ func (s *Session) LoadTurtle(doc string) error {
 func (s *Session) LoadRDFXML(r io.Reader) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := rdfxml.ParseInto(s.graph, r); err != nil {
-		return err
-	}
-	s.engine.Rematerialize()
-	return nil
+	span, mark := s.beginCommit()
+	err := func() error {
+		if err := rdfxml.ParseInto(s.graph, r); err != nil {
+			return err
+		}
+		s.engine.Rematerialize()
+		return nil
+	}()
+	return s.endCommit(span, mark, err)
 }
 
 // WriteRDFXML serializes the session graph as RDF/XML.
@@ -272,7 +471,12 @@ func (s *Session) Query(q string) (*QueryResult, error) {
 func (s *Session) Explain(q Question) (*Explanation, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.engine.Explain(q)
+	span, mark := s.beginCommit()
+	ex, err := s.engine.Explain(q)
+	if err := s.endCommit(span, mark, err); err != nil {
+		return nil, err
+	}
+	return ex, nil
 }
 
 // Recommend ranks recipes for the user (Health Coach simulation).
@@ -305,11 +509,12 @@ func (s *Session) RecommendGroup(users []Term, limit int) []Recommendation {
 func (s *Session) Update(req string) (sparql.UpdateResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	commit, mark := s.beginCommit()
 	span := s.graph.StartCapture()
 	res, err := sparql.RunUpdate(s.graph, req)
 	span.Stop()
 	if err != nil {
-		return res, err
+		return res, s.endCommit(commit, mark, err)
 	}
 	if removed := span.RemovedTriples(); len(removed) > 0 {
 		res.StaleInferred = s.reasoner.StaleDerivations(removed)
@@ -317,7 +522,7 @@ func (s *Session) Update(req string) (sparql.UpdateResult, error) {
 	if res.Inserted > 0 {
 		s.engine.Rematerialize()
 	}
-	return res, nil
+	return res, s.endCommit(commit, mark, nil)
 }
 
 // Validate runs the OWL consistency checks (disjoint classes, sameAs vs

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/store"
 )
@@ -142,5 +143,129 @@ func TestServeShapeMatchesSequentialReplay(t *testing.T) {
 	}
 	if !strings.Contains(liveRes.Table(), "serve-shape ask 5") {
 		t.Error("probe should surface the asserted question texts")
+	}
+}
+
+// TestServeShapeDurable runs the same serve-shaped traffic mix against a
+// durable session — one writer, concurrent readers, and a background
+// goroutine forcing log compactions while the writer commits (the race a
+// long-lived `feo serve -datadir` process sees) — then closes the session
+// and asserts the on-disk snapshot + write-ahead log replay to exactly the
+// graph the live session ended with. Run under -race this locks in that
+// Append/Compact are safe against the session's own writer and that
+// compaction never drops or duplicates a commit.
+func TestServeShapeDurable(t *testing.T) {
+	cfg := KGConfig{
+		Seed: 13, Recipes: 25, Ingredients: 20, Users: 4,
+		MinIngredients: 2, MaxIngredients: 4,
+		SeasonalShare: 0.5, LikesPerUser: 2, DislikesPerUser: 1,
+	}
+	dir := t.TempDir()
+	live, err := Open(Options{Data: DataSynthetic, KG: cfg, DataDir: dir,
+		Sync: SyncInterval, SyncEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recipes := live.Recipes()
+	users := live.Users()
+
+	done := make(chan struct{})
+	writerErr := make(chan error, 1)
+	go func() {
+		defer close(done)
+		for i := 0; i < 12; i++ {
+			if _, err := live.Explain(Question{
+				Type:    Contextual,
+				Primary: recipes[i%len(recipes)],
+				Text:    fmt.Sprintf("durable serve ask %d", i),
+			}); err != nil {
+				writerErr <- err
+				return
+			}
+			if _, err := live.Update(fmt.Sprintf(`INSERT DATA {
+  <http://example.org/serve/durable%d> a <http://purl.org/heals/food/Ingredient> .
+}`, i)); err != nil {
+				writerErr <- err
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	// Background compactions racing the writer's commits.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := live.Compact(); err != nil {
+				errs <- fmt.Errorf("compact: %w", err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, err := live.Query(`SELECT ?q WHERE { ?q a feo:FoodQuestion }`); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", w, err)
+					return
+				}
+				_ = live.Recommend(users[w%len(users)], 3)
+				_ = live.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-writerErr:
+		t.Fatalf("writer: %v", err)
+	default:
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := live.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	recovered, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer recovered.Close()
+	if !recovered.Replayed() {
+		t.Fatal("reopen did not replay from disk")
+	}
+	if !recovered.Graph().Equal(live.Graph()) {
+		t.Fatalf("on-disk state diverged from the live session (%d vs %d triples)",
+			recovered.Graph().Len(), live.Graph().Len())
+	}
+	const probe = `SELECT ?q ?text WHERE { ?q a feo:FoodQuestion . ?q rdfs:comment ?text } ORDER BY ?text`
+	liveRes, err := live.Query(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recRes, err := recovered.Query(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveRes.Table() != recRes.Table() {
+		t.Errorf("probe query diverges after replay:\nlive:\n%s\nrecovered:\n%s",
+			liveRes.Table(), recRes.Table())
 	}
 }

@@ -15,6 +15,8 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/healthcoach"
 	"repro/internal/ontology"
@@ -172,6 +174,10 @@ type Engine struct {
 	// coach is optional; it powers trace-based explanations.
 	coach *healthcoach.Coach
 	seq   int
+	// dict is the graph's term dictionary the question bookkeeping was
+	// built against. Graph.Clear swaps the dictionary, orphaning every
+	// cached question IRI; syncQuestionState detects the swap and rebuilds.
+	dict *store.TermDict
 	// questionCache reuses minted question individuals for repeated asks,
 	// keeping Explain idempotent on the graph. Keyed on the full question
 	// identity including its free-form text, so asks that differ only in
@@ -199,8 +205,81 @@ func NewEngine(g *store.Graph, r *reasoner.Reasoner) *Engine {
 		r = reasoner.New(reasoner.Options{TraceDerivations: true})
 		r.Materialize(g)
 	}
-	return &Engine{g: g, r: r, questionCache: make(map[questionKey]rdf.Term),
-		pending: g.StartCapture()}
+	e := &Engine{g: g, r: r, dict: g.Dict(),
+		questionCache: make(map[questionKey]rdf.Term),
+		pending:       g.StartCapture()}
+	e.restoreQuestionState()
+	return e
+}
+
+// syncQuestionState rebuilds the minted-question bookkeeping after
+// Graph.Clear replaced the term dictionary. The cached IRIs' triples died
+// with the old graph, so reusing them would answer repeated questions with
+// individuals absent from the graph, and the sequence counter would keep
+// counting ghosts. Resetting and rescanning also keeps a live session's
+// post-Clear behavior identical to a session recovered from the durability
+// log, whose engine rebuilds this state from the replayed graph.
+func (e *Engine) syncQuestionState() {
+	if e.dict == e.g.Dict() {
+		return
+	}
+	e.dict = e.g.Dict()
+	e.seq = 0
+	clear(e.questionCache)
+	e.restoreQuestionState()
+}
+
+// restoreQuestionState rebuilds the minted-question bookkeeping from the
+// graph, so an engine over a reloaded (durable) graph keeps Explain's
+// invariants across restarts: the sequence counter resumes past every
+// previously minted question IRI (never re-minting a colliding
+// kg:question/qNNNN), and repeated asks of a question answered in an
+// earlier process reuse its individual instead of asserting a duplicate.
+// Only IRIs with the engine's own mint prefix participate; pre-asserted CQ
+// question individuals are left alone exactly as in a fresh session.
+func (e *Engine) restoreQuestionState() {
+	const mintPrefix = "question/q"
+	prefix := rdf.KGNS + mintPrefix
+	for _, q := range e.g.InstancesOf(ontology.FEOFoodQuestion) {
+		if q.Kind != rdf.KindIRI || !strings.HasPrefix(q.Value, prefix) {
+			continue
+		}
+		n, err := strconv.Atoi(q.Value[len(prefix):])
+		if err != nil || n <= 0 {
+			continue
+		}
+		if n > e.seq {
+			e.seq = n
+		}
+		typ, ok := e.questionType(q)
+		if !ok {
+			continue
+		}
+		key := questionKey{typ: typ}
+		if p := e.g.FirstObject(q, ontology.FEOHasPrimaryParameter); p.IsValid() {
+			key.primary = p
+			key.secondary = e.g.FirstObject(q, ontology.FEOHasSecondaryParameter)
+		} else {
+			key.primary = e.g.FirstObject(q, ontology.FEOHasParameter)
+		}
+		if c := e.g.FirstObject(q, rdf.CommentIRI); c.IsValid() {
+			key.text = c.Value
+		}
+		if _, exists := e.questionCache[key]; !exists {
+			e.questionCache[key] = q
+		}
+	}
+}
+
+// questionType recovers the explanation type a minted question was asked
+// with, from its asserted type classes (Table I order breaks ties).
+func (e *Engine) questionType(q rdf.Term) (ExplanationType, bool) {
+	for _, t := range AllExplanationTypes() {
+		if e.g.Has(q, rdf.TypeIRI, t.ClassIRI()) {
+			return t, true
+		}
+	}
+	return 0, false
 }
 
 // Rematerialize brings the OWL RL closure up to date with every graph
@@ -277,6 +356,7 @@ func (e *Engine) generate(q Question) (*Explanation, error) {
 // re-materialization is incremental: the write-critical section costs
 // O(closure of the few question triples), not O(|graph|).
 func (e *Engine) ensureQuestion(q *Question) {
+	e.syncQuestionState()
 	if !q.IRI.IsValid() {
 		key := questionKey{typ: q.Type, primary: q.Primary, secondary: q.Secondary, text: q.Text}
 		if cached, ok := e.questionCache[key]; ok {

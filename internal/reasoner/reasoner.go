@@ -182,6 +182,12 @@ type Reasoner struct {
 	// closure of g.
 	prepared bool
 	startLen int
+	// journaling/journal implement the derivation journal (see state.go):
+	// when enabled, every newly recorded derivation's conclusion is
+	// appended here in inference order so commit-scoped consumers can read
+	// exact derivation deltas via JournalSince.
+	journaling bool
+	journal    []rdf.Triple
 }
 
 // New returns a Reasoner with the given options.
@@ -538,7 +544,11 @@ func (r *Reasoner) infer(rule string, s, p, o store.ID, premises ...iTriple) {
 		for i, pt := range premises {
 			prem[i] = r.decode(pt)
 		}
-		r.derivations[r.decode(t)] = Derivation{Rule: rule, Premises: prem}
+		concl := r.decode(t)
+		r.derivations[concl] = Derivation{Rule: rule, Premises: prem}
+		if r.journaling {
+			r.journal = append(r.journal, concl)
+		}
 	}
 	if !r.opts.Naive && r.structIDs.Contains(p) {
 		r.pendingExpr = append(r.pendingExpr, t)

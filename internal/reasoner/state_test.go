@@ -1,0 +1,153 @@
+package reasoner
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// stateTestGraph builds a small graph whose closure exercises subclass,
+// domain, and transitive-property inference with a multi-step proof chain.
+func stateTestGraph() *store.Graph {
+	g := store.New()
+	g.Add(iri("C1"), rdf.SubClassOfIRI, iri("C2"))
+	g.Add(iri("C2"), rdf.SubClassOfIRI, iri("C3"))
+	g.Add(iri("p"), rdf.DomainIRI, iri("C1"))
+	g.Add(iri("t"), rdf.TypeIRI, rdf.NewIRI(rdf.OWLNS+"TransitiveProperty"))
+	g.Add(iri("a"), iri("t"), iri("b"))
+	g.Add(iri("b"), iri("t"), iri("c"))
+	g.Add(iri("x"), iri("p"), iri("y"))
+	return g
+}
+
+// TestClosureStateRoundTrip materializes, exports the closure state plus a
+// graph snapshot, restores both into a fresh reasoner, and checks the
+// restored reasoner is behaviorally identical: same stats, same proofs, and
+// — the durability property — the next mutation takes the delta path.
+func TestClosureStateRoundTrip(t *testing.T) {
+	g := stateTestGraph()
+	r1 := New(Options{TraceDerivations: true})
+	st1 := r1.Materialize(g)
+	if st1.TotalInferred == 0 {
+		t.Fatal("test graph should produce inferences")
+	}
+
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := store.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := New(Options{TraceDerivations: true})
+	r2.RestoreClosure(g2, r1.ClosureState())
+
+	if r2.TotalInferred() != r1.TotalInferred() {
+		t.Fatalf("TotalInferred = %d, want %d", r2.TotalInferred(), r1.TotalInferred())
+	}
+
+	// Every traced derivation answers identically, including multi-step
+	// proof chains (a-t-c via transitivity, x type C3 via domain+subclass).
+	for _, d := range r1.ClosureState().Derivations {
+		p1 := r1.Proof(d.Conclusion)
+		p2 := r2.Proof(d.Conclusion)
+		if len(p1) != len(p2) {
+			t.Fatalf("proof length for %v: %d vs %d", d.Conclusion, len(p1), len(p2))
+		}
+		for i := range p1 {
+			if p1[i].Rule != p2[i].Rule || p1[i].Conclusion != p2[i].Conclusion {
+				t.Fatalf("proof step %d for %v differs", i, d.Conclusion)
+			}
+		}
+	}
+
+	// A re-materialize on the restored reasoner must find the closure
+	// complete (no new inferences) without a from-scratch run.
+	if st := r2.Materialize(g2); st.Inferred != 0 {
+		t.Fatalf("restored closure not complete: %d new inferences", st.Inferred)
+	}
+
+	// Incremental contract: a captured mutation extends the closure via the
+	// delta path on both reasoners, and they agree.
+	mutate := func(r *Reasoner, g *store.Graph) Stats {
+		cs := g.StartCapture()
+		g.Add(iri("c"), iri("t"), iri("d"))
+		cs.Stop()
+		return r.MaterializeChanges(g, cs)
+	}
+	s1 := mutate(r1, g)
+	s2 := mutate(r2, g2)
+	if !s1.Delta || !s2.Delta {
+		t.Fatalf("expected delta path on both (live=%v restored=%v)", s1.Delta, s2.Delta)
+	}
+	if s1.Inferred != s2.Inferred || r1.TotalInferred() != r2.TotalInferred() {
+		t.Fatalf("post-mutation divergence: inferred %d vs %d, total %d vs %d",
+			s1.Inferred, s2.Inferred, r1.TotalInferred(), r2.TotalInferred())
+	}
+	if !g.Equal(g2) {
+		t.Fatal("graphs diverged after identical mutation")
+	}
+}
+
+func TestClosureStateDeterministic(t *testing.T) {
+	g := stateTestGraph()
+	r := New(Options{TraceDerivations: true})
+	r.Materialize(g)
+	a, b := r.ClosureState(), r.ClosureState()
+	if len(a.Derivations) != len(b.Derivations) {
+		t.Fatal("export length unstable")
+	}
+	for i := range a.Derivations {
+		if a.Derivations[i].Conclusion != b.Derivations[i].Conclusion {
+			t.Fatalf("export order unstable at %d", i)
+		}
+	}
+}
+
+func TestDerivationJournal(t *testing.T) {
+	g := stateTestGraph()
+	r := New(Options{TraceDerivations: true})
+	r.StartDerivationJournal()
+	r.Materialize(g)
+
+	mark0 := r.JournalLen()
+	if mark0 != r.TotalInferred() {
+		t.Fatalf("journal holds %d entries, inferred %d", mark0, r.TotalInferred())
+	}
+	if got := r.JournalSince(0); len(got) != mark0 {
+		t.Fatalf("JournalSince(0) = %d entries, want %d", len(got), mark0)
+	}
+	if got := r.JournalSince(mark0); got != nil {
+		t.Fatalf("JournalSince(end) should be nil, got %d entries", len(got))
+	}
+
+	// A delta run journals exactly its own new derivations.
+	cs := g.StartCapture()
+	g.Add(iri("c"), iri("t"), iri("d"))
+	cs.Stop()
+	st := r.MaterializeChanges(g, cs)
+	delta := r.JournalSince(mark0)
+	if len(delta) != st.Inferred {
+		t.Fatalf("journal delta %d entries, run inferred %d", len(delta), st.Inferred)
+	}
+	for _, d := range delta {
+		if !g.Has(d.Conclusion.S, d.Conclusion.P, d.Conclusion.O) {
+			t.Fatalf("journaled conclusion %v not in graph", d.Conclusion)
+		}
+		if got, ok := r.Derivation(d.Conclusion); !ok || got.Rule != d.Rule {
+			t.Fatalf("journaled entry %v disagrees with trace", d.Conclusion)
+		}
+	}
+
+	r.TrimJournal()
+	if r.JournalLen() != 0 || r.JournalSince(0) != nil {
+		t.Fatal("TrimJournal left entries behind")
+	}
+	// Negative and stale marks clamp instead of panicking.
+	if r.JournalSince(-5) != nil || r.JournalSince(99) != nil {
+		t.Fatal("out-of-range marks should return nil on an empty journal")
+	}
+}

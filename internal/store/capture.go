@@ -37,6 +37,27 @@ type ChangeSet struct {
 	removed     []IDTriple
 	cleared     bool
 	active      bool
+	// Ordered captures (StartOrderedCapture) additionally record the exact
+	// add/remove interleaving in ops, decoded against opsDict. Unlike the
+	// added/removed split, ordered recording survives Clear: ops reset to
+	// the post-Clear mutations and opsDict re-points at the replacement
+	// dictionary, so a log consumer can replay "wipe, then these ops".
+	ordered bool
+	ops     []orderedOp
+	opsDict *TermDict
+}
+
+// orderedOp is one entry of an ordered capture's mutation stream.
+type orderedOp struct {
+	remove bool
+	t      IDTriple
+}
+
+// TermOp is one mutation of an ordered capture, decoded to terms: an
+// addition (Remove false) or a removal (Remove true) of triple T.
+type TermOp struct {
+	Remove bool
+	T      rdf.Triple
 }
 
 // StartCapture begins recording mutations into a new ChangeSet. The caller
@@ -46,6 +67,39 @@ func (g *Graph) StartCapture() *ChangeSet {
 	cs := &ChangeSet{g: g, dict: g.dict, baseVersion: g.version, active: true}
 	g.captures = append(g.captures, cs)
 	return cs
+}
+
+// StartOrderedCapture begins recording mutations into a new ChangeSet that
+// additionally preserves the exact add/remove interleaving (see Ops). The
+// write-ahead log uses this: replaying the stream verbatim — an add that a
+// later remove undoes, a remove that a later add reinstates — reproduces
+// the final graph exactly, which the unordered added/removed split cannot
+// guarantee. Ordered recording also survives Graph.Clear (the ops reset to
+// the post-Clear stream and Cleared reports true) instead of going blind.
+func (g *Graph) StartOrderedCapture() *ChangeSet {
+	cs := &ChangeSet{g: g, dict: g.dict, baseVersion: g.version, active: true,
+		ordered: true, opsDict: g.dict}
+	g.captures = append(g.captures, cs)
+	return cs
+}
+
+// Ops returns the ordered mutation stream of an ordered capture, decoded to
+// terms. For a capture that saw Graph.Clear, the stream holds only the
+// post-Clear mutations (Cleared reports true; the consumer must wipe
+// first). Nil for captures started with StartCapture.
+func (cs *ChangeSet) Ops() []TermOp {
+	if len(cs.ops) == 0 {
+		return nil
+	}
+	out := make([]TermOp, len(cs.ops))
+	for i, op := range cs.ops {
+		out[i] = TermOp{Remove: op.remove, T: rdf.Triple{
+			S: cs.opsDict.Term(op.t.S),
+			P: cs.opsDict.Term(op.t.P),
+			O: cs.opsDict.Term(op.t.O),
+		}}
+	}
+	return out
 }
 
 // Stop ends recording and detaches the capture from the graph. It pins the
@@ -122,6 +176,9 @@ func (cs *ChangeSet) decode(ts []IDTriple) []rdf.Triple {
 // notifyAdd records a successful triple insertion into every active capture.
 func (g *Graph) notifyAdd(s, p, o ID) {
 	for _, cs := range g.captures {
+		if cs.ordered {
+			cs.ops = append(cs.ops, orderedOp{t: IDTriple{s, p, o}})
+		}
 		if !cs.cleared {
 			cs.added = append(cs.added, IDTriple{s, p, o})
 		}
@@ -131,17 +188,27 @@ func (g *Graph) notifyAdd(s, p, o ID) {
 // notifyRemove records a successful triple removal into every active capture.
 func (g *Graph) notifyRemove(s, p, o ID) {
 	for _, cs := range g.captures {
+		if cs.ordered {
+			cs.ops = append(cs.ops, orderedOp{remove: true, t: IDTriple{s, p, o}})
+		}
 		if !cs.cleared {
 			cs.removed = append(cs.removed, IDTriple{s, p, o})
 		}
 	}
 }
 
-// notifyClear invalidates every active capture.
+// notifyClear invalidates every active capture. Ordered captures restart
+// their op stream against the replacement dictionary (Clear has already
+// swapped it in by the time this runs), so they keep observing post-Clear
+// mutations.
 func (g *Graph) notifyClear() {
 	for _, cs := range g.captures {
 		cs.cleared = true
 		cs.added = nil
 		cs.removed = nil
+		if cs.ordered {
+			cs.ops = cs.ops[:0]
+			cs.opsDict = g.dict
+		}
 	}
 }

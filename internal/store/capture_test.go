@@ -133,3 +133,109 @@ func TestCaptureStopIdempotentAndNilSafe(t *testing.T) {
 		t.Error("stopped capture still registered")
 	}
 }
+
+func TestOrderedCapturePreservesInterleaving(t *testing.T) {
+	g := New()
+	s, p, o := capTriple("x")
+	g.Add(s, p, o)
+
+	cs := g.StartOrderedCapture()
+	s1, p1, o1 := capTriple("1")
+	g.Add(s1, p1, o1)
+	g.Remove(s, p, o)
+	g.Add(s, p, o) // reinstated: the unordered split would lose this nuance
+	g.Remove(s1, p1, o1)
+	cs.Stop()
+
+	ops := cs.Ops()
+	want := []TermOp{
+		{Remove: false, T: rdf.Triple{S: s1, P: p1, O: o1}},
+		{Remove: true, T: rdf.Triple{S: s, P: p, O: o}},
+		{Remove: false, T: rdf.Triple{S: s, P: p, O: o}},
+		{Remove: true, T: rdf.Triple{S: s1, P: p1, O: o1}},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("Ops len = %d, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+
+	// Replaying the stream verbatim on a copy of the base graph must land on
+	// the final graph.
+	replay := New()
+	replay.Add(s, p, o)
+	for _, op := range ops {
+		if op.Remove {
+			replay.Remove(op.T.S, op.T.P, op.T.O)
+		} else {
+			replay.AddTriple(op.T)
+		}
+	}
+	if !replay.Equal(g) {
+		t.Fatal("verbatim replay of Ops diverged from the live graph")
+	}
+}
+
+func TestOrderedCaptureSurvivesClear(t *testing.T) {
+	g := New()
+	s0, p0, o0 := capTriple("pre")
+	g.Add(s0, p0, o0)
+
+	cs := g.StartOrderedCapture()
+	s1, p1, o1 := capTriple("doomed")
+	g.Add(s1, p1, o1)
+	g.Clear()
+	s2, p2, o2 := capTriple("post")
+	g.Add(s2, p2, o2)
+	g.Remove(s2, p2, o2)
+	g.Add(s2, p2, o2)
+	cs.Stop()
+
+	if !cs.Cleared() {
+		t.Fatal("capture should report Cleared")
+	}
+	if got := cs.AddedTriples(); got != nil {
+		t.Fatalf("unordered view should be empty after Clear, got %v", got)
+	}
+	ops := cs.Ops()
+	if len(ops) != 3 {
+		t.Fatalf("Ops should hold only the post-Clear stream, got %d ops", len(ops))
+	}
+	if ops[0].T.S != s2 || ops[1].Remove != true || ops[2].Remove != false {
+		t.Fatalf("post-Clear stream wrong: %+v", ops)
+	}
+
+	// Wipe-then-replay lands on the live graph.
+	replay := New()
+	replay.Add(s0, p0, o0)
+	replay.Clear()
+	for _, op := range ops {
+		if op.Remove {
+			replay.Remove(op.T.S, op.T.P, op.T.O)
+		} else {
+			replay.AddTriple(op.T)
+		}
+	}
+	if !replay.Equal(g) {
+		t.Fatal("wipe-then-replay diverged from the live graph")
+	}
+}
+
+func TestOrderedCaptureEmptyOps(t *testing.T) {
+	g := New()
+	cs := g.StartOrderedCapture()
+	cs.Stop()
+	if cs.Ops() != nil {
+		t.Fatal("empty capture should return nil Ops")
+	}
+	// Plain captures never record ops.
+	cs2 := g.StartCapture()
+	g.Add(capTriple("a"))
+	cs2.Stop()
+	if cs2.Ops() != nil {
+		t.Fatal("unordered capture must not expose Ops")
+	}
+}

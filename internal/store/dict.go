@@ -64,6 +64,21 @@ func (d *TermDict) Kind(id ID) rdf.TermKind { return d.terms[id].Kind }
 // Len returns the number of interned terms.
 func (d *TermDict) Len() int { return len(d.terms) }
 
+// grow pre-sizes the dictionary for n total terms, so a bulk load (the
+// snapshot decoder) interns without incremental map and slice growth.
+func (d *TermDict) grow(n int) {
+	if n <= len(d.terms) {
+		return
+	}
+	terms := make([]rdf.Term, len(d.terms), n)
+	copy(terms, d.terms)
+	ids := make(map[rdf.Term]ID, n)
+	for t, id := range d.ids {
+		ids[t] = id
+	}
+	d.terms, d.ids = terms, ids
+}
+
 // Clone returns an independent copy of the dictionary. IDs are preserved:
 // every term interned in d has the same ID in the clone.
 func (d *TermDict) Clone() *TermDict {

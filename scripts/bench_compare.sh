@@ -13,9 +13,10 @@
 #   NEW.json      freshly recorded run to judge (e.g. BENCH_ci.json)
 #   --tolerance   max allowed ns/op increase in percent (default 15)
 #   --filter      benchmarks the gate applies to (default: the paper
-#                 artifact suite, the reasoner ablations, and the store's
-#                 bitset/dense-pattern suite — the noisier micro/scale
-#                 benchmarks are reported but not gated)
+#                 artifact suite, the reasoner ablations, the store's
+#                 bitset/dense-pattern suite, and the durability boot and
+#                 write paths — the noisier micro/scale benchmarks are
+#                 reported but not gated)
 #
 # Only the "benchmarks" array of each file is read (BENCH_*.json files may
 # carry extra hand-written arrays such as baseline_seed). Benchmarks
@@ -24,7 +25,7 @@
 set -euo pipefail
 
 tolerance=15
-filter='^Benchmark(Listing|Table1|Figure|Reasoner|Bitset|StoreMatch|MaterializeSolutions|MaterializeDelta|ExplainWarm|PlanCache)'
+filter='^Benchmark(Listing|Table1|Figure|Reasoner|Bitset|StoreMatch|MaterializeSolutions|MaterializeDelta|ExplainWarm|PlanCache|SnapshotLoad|TurtleBoot|WALAppend)'
 
 args=()
 while [ $# -gt 0 ]; do
