@@ -555,3 +555,89 @@ func BenchmarkWALAppend(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSnapshotPin measures the cost of pinning a read handle —
+// Session.Snapshot() is an atomic dirty-check, an atomic pointer load,
+// and two small allocations (handle + stateless coach) — and of a cheap
+// read against the pin. This is the fixed per-request overhead every
+// serve handler now pays, so it must stay well under a microsecond.
+func BenchmarkSnapshotPin(b *testing.B) {
+	sess := feo.NewSession(feo.Options{})
+	b.Run("pin", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if sn := sess.Snapshot(); sn.Version() == 0 {
+				b.Fatal("unpublished session")
+			}
+		}
+	})
+	b.Run("pin+users", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(sess.Snapshot().Users()) == 0 {
+				b.Fatal("no users")
+			}
+		}
+	})
+}
+
+// BenchmarkReadUnderWrite measures serve-side reader latency while a
+// writer commits continuously: each iteration pins a snapshot and runs
+// the recommendation read path against it, with a background goroutine
+// driving Update commits as fast as the session will take them. Under
+// the MVCC design the reader never queues behind the writer, so this
+// should track the quiescent read cost; the "quiet" sub-benchmark is the
+// no-writer baseline the contended number is judged against.
+func BenchmarkReadUnderWrite(b *testing.B) {
+	newBenchSession := func(b *testing.B) (*feo.Session, feo.Term) {
+		cfg := foodkg.DefaultConfig()
+		cfg.Recipes = 400
+		cfg.Ingredients = 200
+		cfg.Users = 20
+		sess := feo.NewSession(feo.Options{Data: feo.DataSynthetic, KG: cfg})
+		users := sess.Users()
+		if len(users) == 0 {
+			b.Fatal("no users")
+		}
+		return sess, users[0]
+	}
+	read := func(b *testing.B, sess *feo.Session, user feo.Term) {
+		sn := sess.Snapshot()
+		if recs := sn.Recommend(user, 5); len(recs) == 0 {
+			b.Fatal("no recommendations")
+		}
+	}
+	b.Run("quiet", func(b *testing.B) {
+		sess, user := newBenchSession(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			read(b, sess, user)
+		}
+	})
+	b.Run("contended", func(b *testing.B) {
+		sess, user := newBenchSession(b)
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := sess.Update(fmt.Sprintf(
+					"INSERT DATA { <http://x/churn/s%d> <http://x/churn/p> <http://x/churn/o> . }", i)); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			read(b, sess, user)
+		}
+		b.StopTimer()
+		close(stop)
+		<-done
+	})
+}

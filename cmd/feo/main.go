@@ -316,6 +316,9 @@ func cmdRecommend(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Pin one snapshot so the user listing and the ranking observe the
+	// same graph version.
+	sn := s.Snapshot()
 	var recs []feo.Recommendation
 	if *group != "" {
 		var users []feo.Term
@@ -326,21 +329,21 @@ func cmdRecommend(args []string) error {
 			}
 			users = append(users, t)
 		}
-		recs = s.RecommendGroup(users, *limit)
+		recs = sn.RecommendGroup(users, *limit)
 	} else {
 		u, err := resolveTerm(*user)
 		if err != nil {
 			return err
 		}
 		if !u.IsValid() {
-			all := s.Users()
+			all := sn.Users()
 			if len(all) == 0 {
 				return fmt.Errorf("no users in dataset")
 			}
 			u = all[0]
 			fmt.Printf("(no -user given; using %s)\n", u.Value)
 		}
-		recs = s.Recommend(u, *limit)
+		recs = sn.Recommend(u, *limit)
 	}
 	for i, r := range recs {
 		if r.Excluded {
@@ -498,11 +501,12 @@ func cmdExport(args []string) error {
 	if err != nil {
 		return err
 	}
+	sn := s.Snapshot()
 	switch *format {
 	case "ttl":
-		return s.WriteTurtle(os.Stdout)
+		return sn.WriteTurtle(os.Stdout)
 	case "nt":
-		return turtle.WriteNTriples(os.Stdout, s.Graph())
+		return turtle.WriteNTriples(os.Stdout, sn.Graph())
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}

@@ -25,11 +25,15 @@ import (
 //
 // net/http serves each request on its own goroutine, and /explain mutates
 // the graph (the engine asserts question and explanation individuals), so
-// handler concurrency is exactly the writer-vs-reader mix the store
-// forbids. feo.Session serializes it: Explain takes the session's write
-// lock, Query/Recommend/Stats share the read lock, so /sparql and
-// /recommend keep running concurrently with each other and only queue
-// behind in-flight explanation writes.
+// handler concurrency is exactly the writer-vs-reader mix. feo.Session
+// resolves it with MVCC snapshots: every read handler pins the latest
+// published version (one atomic load, zero lock hold) and runs entirely
+// against that immutable view, so /sparql, /recommend, and /stats never
+// queue — not behind each other and not behind an in-flight /explain,
+// even one stalled in a WAL fsync. Explanation writes serialize among
+// themselves and publish a new version when they commit; a handler that
+// makes several session calls pins one snapshot so they all observe the
+// same version.
 //
 // The server carries read/write/idle timeouts (a stuck client cannot pin
 // a connection forever) and shuts down gracefully on SIGINT/SIGTERM:
@@ -131,7 +135,7 @@ func (s *apiServer) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query"))
 		return
 	}
-	res, err := s.sess.Query(query)
+	res, err := s.sess.Snapshot().Query(query)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -235,8 +239,11 @@ func (s *apiServer) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// One pinned snapshot for the whole request: the user listing and the
+	// ranking are guaranteed to observe the same graph version.
+	sn := s.sess.Snapshot()
 	if !user.IsValid() {
-		users := s.sess.Users()
+		users := sn.Users()
 		if len(users) == 0 {
 			writeError(w, http.StatusNotFound, fmt.Errorf("no users in dataset"))
 			return
@@ -245,7 +252,7 @@ func (s *apiServer) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	limit := 5
 	fmt.Sscanf(r.URL.Query().Get("limit"), "%d", &limit)
-	recs := s.sess.Recommend(user, limit)
+	recs := sn.Recommend(user, limit)
 	type rec struct {
 		Recipe   string  `json:"recipe"`
 		Label    string  `json:"label"`
@@ -264,5 +271,5 @@ func (s *apiServer) handleRecommend(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *apiServer) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"stats": s.sess.Stats()})
+	writeJSON(w, http.StatusOK, map[string]string{"stats": s.sess.Snapshot().Stats()})
 }

@@ -21,13 +21,33 @@
 // selectivity — fusing runs of patterns that constrain the same fresh
 // variable into word-level bitmap intersections (Graph.MatchSetID +
 // IDSet.And), and running property-path BFS with bitmap visited/frontier
-// sets. Graph.Version counts mutations, so memoized per-snapshot state
-// (path reachability, future plan caches) can assert graph stability.
+// sets. Graph.Version counts mutations, so memoized per-version state
+// (path reachability, the SPARQL plan cache) can assert graph stability.
 //
-// The store itself never locks; serving layers that interleave mutation
-// with reads serialize at their own level — feo.Session gates Explain
-// (which asserts explanation individuals) and the loaders behind the
-// write side of an RWMutex while queries share the read side.
+// # MVCC snapshot reads
+//
+// The store is multi-versioned: a single writer mutates the live graph
+// and, at commit points, publishes an immutable store.Snapshot via one
+// atomic pointer swap (internal/store/mvcc.go). Readers pin the latest
+// snapshot with one atomic load and read its frozen view indefinitely —
+// no lock, no coordination, never blocking the writer and never blocked
+// by it. Publishing bumps a copy-on-write epoch: index structures the
+// snapshot shares with the live graph are copied the first time the
+// writer touches them again (outer index levels by slice memcpy, bitmap
+// sets container-by-container), so an untouched region costs nothing and
+// a pinned snapshot always observes exactly its publish-time state. The
+// Graph.Begin/Txn.Commit transaction surface wraps the protocol for
+// layered writers and doubles as the write-ahead-log capture point;
+// Txn.CommitDeferred retains a commit privately so a burst of writes
+// shares one copy-on-write freeze instead of paying one per commit.
+//
+// feo.Session serves on top of this: every read method pins a snapshot
+// (feo.Snapshot is the explicit multi-call handle), writers serialize on
+// an internal mutex and commit with the publish deferred — the next pin
+// publishes the accumulated state, without waiting, falling back to the
+// latest published version if a writer holds the lock just then — and the
+// serve-time writer stall points — WAL fsync, log compaction — happen
+// with no reader-visible lock held at all.
 //
 // # Parallel query execution
 //
@@ -67,7 +87,11 @@
 // snapshot and truncates the log, and `feo serve` drains in-flight
 // requests and flushes the WAL on SIGINT/SIGTERM. The gated
 // SnapshotLoad/TurtleBoot benchmark pair keeps snapshot boot measurably
-// faster than re-parsing Turtle and re-running the reasoner.
+// faster than re-parsing Turtle and re-running the reasoner. Commits
+// append to the log before the new version is published, so a pinned
+// reader can never observe state that is not durably logged, and
+// feo.Session.Compact serializes its snapshot from a pinned immutable
+// view — the fsync-heavy step blocks neither readers nor writers.
 //
 // # Benchmark trajectory and its CI gate
 //

@@ -25,12 +25,15 @@ func main() {
 		},
 	})
 
-	user := sess.Users()[0]
+	// Pin one snapshot for the read-only setup: user listing, stats,
+	// ranking, and the lookup queries all observe a single graph version.
+	sn := sess.Snapshot()
+	user := sn.Users()[0]
 	fmt.Printf("== Health Coach session for %s ==\n\n", user.Value)
-	fmt.Println("graph:", sess.Stats())
+	fmt.Println("graph:", sn.Stats())
 	fmt.Println()
 
-	recs := sess.Recommend(user, 5)
+	recs := sn.Recommend(user, 5)
 	fmt.Println("Top recommendations:")
 	for i, r := range recs {
 		if r.Excluded {
@@ -48,12 +51,12 @@ func main() {
 	questions := []feo.Question{
 		{Type: feo.Contextual, Primary: top.Recipe, User: user},
 		{Type: feo.Contrastive, Primary: top.Recipe, Secondary: runnerUp.Recipe, User: user},
-		{Type: feo.Counterfactual, Primary: firstCondition(sess), User: user},
+		{Type: feo.Counterfactual, Primary: firstCondition(sn), User: user},
 		{Type: feo.CaseBased, Primary: top.Recipe, User: user},
 		{Type: feo.Everyday, Primary: top.Recipe},
 		{Type: feo.Scientific, Primary: top.Recipe},
 		{Type: feo.SimulationBased, Primary: top.Recipe},
-		{Type: feo.Statistical, Primary: firstDiet(sess), User: user},
+		{Type: feo.Statistical, Primary: firstDiet(sn), User: user},
 		{Type: feo.TraceBased, Primary: top.Recipe, User: user},
 	}
 	for _, q := range questions {
@@ -69,16 +72,16 @@ func main() {
 	}
 }
 
-func firstCondition(sess *feo.Session) feo.Term {
-	res, err := sess.Query(`SELECT ?c WHERE { ?c a feo:ConditionCharacteristic } LIMIT 1`)
+func firstCondition(sn *feo.Snapshot) feo.Term {
+	res, err := sn.Query(`SELECT ?c WHERE { ?c a feo:ConditionCharacteristic } LIMIT 1`)
 	if err != nil || res.Len() == 0 {
 		return feo.Term{}
 	}
 	return res.Get(0, "c")
 }
 
-func firstDiet(sess *feo.Session) feo.Term {
-	res, err := sess.Query(`SELECT ?d WHERE { ?d a food:Diet } LIMIT 1`)
+func firstDiet(sn *feo.Snapshot) feo.Term {
+	res, err := sn.Query(`SELECT ?d WHERE { ?d a food:Diet } LIMIT 1`)
 	if err != nil || res.Len() == 0 {
 		return feo.Term{}
 	}

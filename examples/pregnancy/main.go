@@ -38,8 +38,10 @@ func main() {
 	pregnancy := feo.IRI("https://purl.org/heals/foodkg/condition/Pregnancy")
 
 	// How many recipes become forbidden? (The property chain has already
-	// closed forbids over ingredients.)
-	res, err := sess.Query(`
+	// closed forbids over ingredients.) The count and the recipe total come
+	// from one pinned snapshot, so they describe the same graph version.
+	sn := sess.Snapshot()
+	res, err := sn.Query(`
 SELECT (COUNT(DISTINCT ?recipe) AS ?n) WHERE {
   <https://purl.org/heals/foodkg/condition/Pregnancy> feo:forbids ?recipe .
   ?recipe a food:Recipe .
@@ -47,7 +49,7 @@ SELECT (COUNT(DISTINCT ?recipe) AS ?n) WHERE {
 	must(err)
 	nForbidden, _ := res.Get(0, "n").Int()
 
-	total := len(sess.Recipes())
+	total := len(sn.Recipes())
 	fmt.Printf("== Pregnancy counterfactual over %d generated recipes ==\n\n", total)
 	fmt.Printf("Recipes that would become forbidden: %d of %d\n\n", nForbidden, total)
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -167,40 +168,60 @@ const (
 //
 // # Concurrency
 //
-// A Session is safe for concurrent use. The underlying store forbids any
-// read overlapping a mutation (see internal/store's reader contract), and
-// a serving Session mutates more often than it looks: Explain asserts the
-// question and explanation individuals into the graph before querying it,
-// and LoadTurtle / LoadRDFXML / Update both parse into the graph and
-// re-materialize the OWL RL closure. Session therefore gates every method
-// with an RWMutex — mutating calls (Explain, LoadTurtle, LoadRDFXML,
-// Update) take the write lock, read-only calls (Query, Recommend,
-// RecommendGroup, Users, Recipes, Stats, Validate, ExplainTriple,
-// WriteTurtle, WriteRDFXML) share the read lock. Readers still run fully
-// concurrently with each other, and each Query additionally fans out
-// across the SetQueryParallelism worker budget under its read lock.
+// A Session is safe for concurrent use, and its readers never block. The
+// store serves reads from immutable versioned snapshots of the graph (see
+// internal/store's MVCC documentation); every read-only call — Query,
+// Recommend, RecommendGroup, Users, Recipes, Stats, Validate, WriteTurtle,
+// WriteRDFXML — pins the latest snapshot and runs entirely against that
+// frozen view. Readers run concurrently with each other AND with any
+// in-flight mutation, and a reader that wants several calls to observe one
+// consistent version pins explicitly with Snapshot and makes them all on
+// the handle.
 //
-// The write-critical section is kept short by incremental (delta)
-// re-materialization: the session's engine captures every mutation since
-// the last reasoner run, and addition-only spans — the serve-time common
-// case — re-classify in time proportional to the delta's consequences
-// rather than the whole graph. Readers queue behind O(|delta closure|),
-// not O(|graph|). Deletions fall back to the historical full re-run; see
-// Update for the monotonicity caveat and its staleness detection.
+// Mutating calls (Explain — which asserts the question and explanation
+// individuals into the graph — LoadTurtle, LoadRDFXML, Update) serialize
+// on an internal writer lock and run as store transactions: mutate and
+// incrementally re-materialize the OWL RL closure, then append the commit
+// to the write-ahead log (durable sessions). The publish is deferred to
+// the next Snapshot pin, so an uninterrupted burst of writes shares one
+// copy-on-write freeze instead of paying one per commit. Readers observe
+// the old version until a pin publishes and the new one after; they are
+// never exposed to a half-applied mutation, and a writer stalled in the
+// WAL append stalls no reader (pins taken meanwhile return the latest
+// published version without waiting).
 //
-// Graph exposes the raw store and escapes this gate: callers that mix
-// direct Graph mutation with concurrent Session use must provide their
-// own serialization.
+// ExplainTriple is the one read that consults live, unversioned state (the
+// reasoner's derivation traces) and briefly shares a read lock with the
+// mutate-and-materialize step; see its caveat.
+//
+// Graph exposes the raw live store and escapes all of this: callers that
+// mutate it directly while other goroutines use the Session must provide
+// their own serialization.
 type Session struct {
-	mu       sync.RWMutex
+	// mu serializes writers end to end: transaction, re-materialization,
+	// WAL append, publish, auto-compaction. Readers never take it.
+	mu sync.Mutex
+	// live guards the mutate-and-materialize step of a commit against the
+	// few reads of live (unpublished, unversioned) state: ExplainTriple's
+	// reasoner proofs. Writers hold it only while mutating — never across
+	// the WAL append — so a stalled disk cannot stall those readers for
+	// long, and snapshot readers skip this lock entirely.
+	live sync.RWMutex
+	// dirty reports committed-but-unpublished state: commits defer their
+	// publish (so write bursts share one copy-on-write freeze) and the
+	// next Snapshot pin publishes on demand. Set by commitWrite under mu;
+	// cleared by whoever publishes (also under mu).
+	dirty    atomic.Bool
 	graph    *store.Graph
 	reasoner *reasoner.Reasoner
 	engine   *core.Engine
 	coach    *healthcoach.Coach
+	weights  healthcoach.Weights
 	kg       *foodkg.KG
 	// durable is non-nil for sessions opened with Options.DataDir: every
-	// mutating call appends its commit to the write-ahead log inside the
-	// write lock, before acknowledging.
+	// mutating call appends its commit to the write-ahead log before
+	// acknowledging (and before publishing the snapshot, so a pinned
+	// reader can never observe state that is not durably logged).
 	durable      *durable.Store
 	compactBytes int64
 	replayed     bool
@@ -294,10 +315,16 @@ func Open(opts Options) (*Session, error) {
 	if st != nil {
 		r.StartDerivationJournal()
 	}
-	coach := healthcoach.New(g, healthcoach.DefaultWeights())
+	weights := healthcoach.DefaultWeights()
+	coach := healthcoach.New(g, weights)
 	engine := core.NewEngine(g, r)
 	engine.SetCoach(coach)
-	return &Session{graph: g, reasoner: r, engine: engine, coach: coach, kg: kg,
+	// Publish the boot state as the first snapshot so Session.Snapshot()
+	// (and every pin-and-delegate read) has a version to pin before any
+	// commit happens.
+	g.Publish()
+	return &Session{graph: g, reasoner: r, engine: engine, coach: coach,
+		weights: weights, kg: kg,
 		durable: st, compactBytes: compactBytes, replayed: replayed}, nil
 }
 
@@ -305,69 +332,87 @@ func Open(opts Options) (*Session, error) {
 // Options.DataDir (snapshot + WAL) rather than built from Options.Data.
 func (s *Session) Replayed() bool { return s.replayed }
 
-// Graph returns the session's materialized graph. The returned store is
-// NOT covered by the session's lock: direct mutation of it while other
-// goroutines use the Session is the caller's race to prevent.
+// Graph returns the session's live, mutable graph.
+//
+// Deprecated for reading: the live graph is NOT covered by any Session
+// lock, and reading it while the session serves writers is a data race.
+// Readers should use Snapshot (or the Session read methods, which pin one
+// internally). Graph remains for tests and tooling that own the session
+// exclusively — seeding fixtures, poking at store internals — where direct
+// mutation of the live store is the point.
 func (s *Session) Graph() *store.Graph { return s.graph }
 
 // KG returns the generated FoodKG handles (nil unless DataSynthetic).
 func (s *Session) KG() *foodkg.KG { return s.kg }
 
 // Users returns the user individuals known to the session.
-func (s *Session) Users() []Term {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.graph.InstancesOf(ontology.FoodUser)
-}
+func (s *Session) Users() []Term { return s.Snapshot().Users() }
 
 // Recipes returns the recipe individuals known to the session.
-func (s *Session) Recipes() []Term {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.graph.InstancesOf(ontology.FoodRecipe)
-}
+func (s *Session) Recipes() []Term { return s.Snapshot().Recipes() }
 
-// beginCommit opens a durability commit span: an ordered capture of every
-// mutation the current write-locked operation applies, plus the journal
-// mark its derivation delta starts at. No-op (nil span) for non-durable
-// sessions. Must be called with the write lock held.
-func (s *Session) beginCommit() (*store.ChangeSet, int) {
-	if s.durable == nil {
-		return nil, 0
+// commitWrite runs op as one writer commit. The sequence, under the
+// writer lock:
+//
+//  1. Begin a store transaction (ordered mutation capture for the WAL)
+//     and run op — the mutation plus its incremental re-materialization —
+//     holding the live read-write lock, so live-state readers
+//     (ExplainTriple) never see a half-applied mutation.
+//  2. Release the live lock and append the commit record to the
+//     write-ahead log. This is the slow, possibly stalling step (fsync);
+//     no reader waits on it.
+//  3. Commit the transaction with the publish deferred, marking the
+//     session dirty: the next Snapshot pin publishes the accumulated
+//     state (see Session.Snapshot). Deferring keeps a burst of
+//     back-to-back commits from paying one copy-on-write freeze each —
+//     the dense count vectors and outer index levels are O(dictionary)
+//     copies per freeze — while isolation is untouched, because pins
+//     only ever see published states and the WAL append above still
+//     precedes every publish.
+//
+// The commit is logged and committed even when op failed: a parser can
+// die after half its triples landed, and those mutations are part of the
+// session's state now. Empty commits append nothing and leave the
+// published snapshot untouched. A log failure poisons the durable store
+// and is returned so the caller never acknowledges an unlogged mutation
+// (the state is still committed — it is real, merely not durable).
+func (s *Session) commitWrite(op func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mark := 0
+	if s.durable != nil {
+		mark = s.reasoner.JournalLen()
 	}
-	return s.graph.StartOrderedCapture(), s.reasoner.JournalLen()
-}
+	s.live.Lock()
+	tx := s.graph.Begin()
+	opErr := op()
+	s.live.Unlock()
 
-// endCommit closes the span and appends its record to the write-ahead log
-// before the write lock is released — the mutation is acknowledged only
-// once it is in the log. The span is logged even when the operation
-// itself failed (opErr != nil): a parser can die after half its triples
-// landed, and those mutations are part of the session's state now. Empty
-// spans append nothing. A log failure poisons the store and is returned
-// so the caller never acknowledges an unlogged mutation.
-func (s *Session) endCommit(span *store.ChangeSet, mark int, opErr error) error {
-	if span == nil {
-		return opErr
-	}
-	span.Stop()
-	ops := span.Ops()
-	if !span.Cleared() && len(ops) == 0 {
-		return opErr
-	}
-	rec := durable.Record{
-		Cleared:       span.Cleared(),
-		Ops:           ops,
-		EndVersion:    span.EndVersion(),
-		TotalInferred: s.reasoner.TotalInferred(),
-		Derivations:   s.reasoner.JournalSince(mark),
-	}
-	if err := s.durable.Append(rec); err != nil {
-		if opErr != nil {
-			return fmt.Errorf("%w (additionally: %v)", opErr, err)
+	var logErr error
+	if s.durable != nil {
+		span := tx.Changes()
+		ops := span.Ops()
+		if span.Cleared() || len(ops) > 0 {
+			logErr = s.durable.Append(durable.Record{
+				Cleared:       span.Cleared(),
+				Ops:           ops,
+				EndVersion:    span.EndVersion(),
+				TotalInferred: s.reasoner.TotalInferred(),
+				Derivations:   s.reasoner.JournalSince(mark),
+			})
 		}
-		return err
 	}
-	if s.compactBytes > 0 && s.durable.WALSize() >= s.compactBytes {
+	tx.CommitDeferred()
+	if s.graph.Version() != s.graph.Snapshot().Version() {
+		s.dirty.Store(true)
+	}
+	if logErr != nil {
+		if opErr != nil {
+			return fmt.Errorf("%w (additionally: %v)", opErr, logErr)
+		}
+		return logErr
+	}
+	if s.durable != nil && s.compactBytes > 0 && s.durable.WALSize() >= s.compactBytes {
 		if err := s.compactLocked(); err != nil && opErr == nil {
 			return err
 		}
@@ -375,8 +420,10 @@ func (s *Session) endCommit(span *store.ChangeSet, mark int, opErr error) error 
 	return opErr
 }
 
-// compactLocked writes a fresh snapshot and rotates the WAL; write lock
-// held by the caller.
+// compactLocked writes a fresh snapshot and rotates the WAL, entirely
+// under the writer lock (held by the caller). The serialization blocks
+// writers for its duration but — unlike the pre-MVCC design — no reader:
+// snapshot readers run against their pinned frozen views throughout.
 func (s *Session) compactLocked() error {
 	if err := s.durable.Compact(s.graph, s.reasoner.ClosureState()); err != nil {
 		return err
@@ -386,15 +433,48 @@ func (s *Session) compactLocked() error {
 }
 
 // Compact forces a durability compaction now: the current graph and
-// closure state become the snapshot, and the write-ahead log restarts
-// empty. No-op for non-durable sessions.
+// closure state become the on-disk snapshot, and the write-ahead log
+// restarts empty. No-op for non-durable sessions.
+//
+// The heavy work — serializing and fsyncing the snapshot file — runs from
+// a pinned in-memory snapshot with the writer lock RELEASED, so commits
+// proceed concurrently. If a commit lands while the file is being
+// written, the pinned bytes no longer describe the latest acknowledged
+// state (its WAL records would be lost with the rotation), so the pending
+// file is discarded and Compact falls back to one compaction under the
+// writer lock — guaranteed progress under any write load.
 func (s *Session) Compact() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.durable == nil {
+		s.mu.Unlock()
 		return nil
 	}
-	return s.compactLocked()
+	// Pin a consistent (graph, closure) pair: the writer lock is held, so
+	// no commit can interleave between the publish and the closure export.
+	snap := s.graph.Publish()
+	s.dirty.Store(false)
+	closure := s.reasoner.ClosureState()
+	ver := s.graph.Version()
+	pc, err := s.durable.BeginCompact()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := pc.WriteSnapshot(snap.Graph(), closure); err != nil {
+		pc.Abort()
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.graph.Version() != ver {
+		pc.Abort()
+		return s.compactLocked()
+	}
+	if err := pc.Install(ver); err != nil {
+		return err
+	}
+	s.reasoner.TrimJournal()
+	return nil
 }
 
 // Close flushes and closes the durability store (if any). Mutating calls
@@ -409,89 +489,74 @@ func (s *Session) Close() error {
 }
 
 // LoadTurtle adds Turtle data to the session and re-materializes — only
-// the loaded delta's consequences, not the whole closure. It takes the
-// session's write lock: no query overlaps the load.
+// the loaded delta's consequences, not the whole closure. It commits as
+// one writer transaction; readers keep the previous snapshot until the
+// load publishes.
 func (s *Session) LoadTurtle(doc string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	span, mark := s.beginCommit()
-	err := func() error {
+	return s.commitWrite(func() error {
 		if err := turtle.ParseInto(s.graph, doc); err != nil {
 			return err
 		}
 		s.engine.Rematerialize()
 		return nil
-	}()
-	return s.endCommit(span, mark, err)
+	})
 }
 
 // LoadRDFXML adds RDF/XML data (Protégé's export format) to the session
-// and incrementally re-materializes, under the session's write lock.
+// and incrementally re-materializes, as one writer transaction.
 func (s *Session) LoadRDFXML(r io.Reader) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	span, mark := s.beginCommit()
-	err := func() error {
+	return s.commitWrite(func() error {
 		if err := rdfxml.ParseInto(s.graph, r); err != nil {
 			return err
 		}
 		s.engine.Rematerialize()
 		return nil
-	}()
-	return s.endCommit(span, mark, err)
+	})
 }
 
-// WriteRDFXML serializes the session graph as RDF/XML.
-func (s *Session) WriteRDFXML(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return rdfxml.Write(w, s.graph)
-}
+// WriteRDFXML serializes the latest published snapshot as RDF/XML.
+func (s *Session) WriteRDFXML(w io.Writer) error { return s.Snapshot().WriteRDFXML(w) }
 
-// Query runs a SPARQL query against the materialized graph. Queries may
-// run from many goroutines concurrently (each one additionally fans out
-// across the SetQueryParallelism worker budget); the session's read lock
-// keeps them off the mutating calls (Explain, LoadTurtle, LoadRDFXML,
-// Update) automatically.
-func (s *Session) Query(q string) (*QueryResult, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return sparql.Run(s.graph, q)
-}
+// Query runs a SPARQL query against the latest published snapshot.
+// Queries may run from many goroutines concurrently (each one
+// additionally fans out across the SetQueryParallelism worker budget) and
+// never block on — or get blocked by — the mutating calls (Explain,
+// LoadTurtle, LoadRDFXML, Update): each query pins the snapshot current
+// at its start and runs entirely against that frozen version.
+func (s *Session) Query(q string) (*QueryResult, error) { return s.Snapshot().Query(q) }
 
 // Explain generates an explanation for the question. Explanation
 // generation WRITES: the engine asserts the question individual and the
 // generated explanation individual (eo:Explanation node, eo:usesKnowledge
-// evidence links, …) into the graph, so Explain takes the session's write
-// lock and never overlaps Query/Recommend readers — the data race that
-// serving /explain next to /sparql used to carry. The re-classification a
-// new question triggers is incremental (delta) work, so readers queue
-// behind the question's own consequences, not a whole-graph closure
+// evidence links, …) into the graph, so Explain runs as a writer
+// transaction. Concurrent readers are untouched — they keep the previous
+// snapshot until the commit publishes. The re-classification a new
+// question triggers is incremental (delta) work, so the writer lock is
+// held for the question's own consequences, not a whole-graph closure
 // re-run.
 func (s *Session) Explain(q Question) (*Explanation, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	span, mark := s.beginCommit()
-	ex, err := s.engine.Explain(q)
-	if err := s.endCommit(span, mark, err); err != nil {
+	var ex *Explanation
+	err := s.commitWrite(func() error {
+		var opErr error
+		ex, opErr = s.engine.Explain(q)
+		return opErr
+	})
+	if err != nil {
 		return nil, err
 	}
 	return ex, nil
 }
 
-// Recommend ranks recipes for the user (Health Coach simulation).
+// Recommend ranks recipes for the user (Health Coach simulation) against
+// the latest published snapshot.
 func (s *Session) Recommend(user Term, limit int) []Recommendation {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.coach.Recommend(user, limit)
+	return s.Snapshot().Recommend(user, limit)
 }
 
 // RecommendGroup ranks recipes for a group; any member's hard constraint
-// excludes a recipe.
+// excludes a recipe. Runs against the latest published snapshot.
 func (s *Session) RecommendGroup(users []Term, limit int) []Recommendation {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.coach.RecommendGroup(users, limit)
+	return s.Snapshot().RecommendGroup(users, limit)
 }
 
 // Update applies a SPARQL 1.1 Update request (INSERT DATA, DELETE DATA,
@@ -507,54 +572,47 @@ func (s *Session) RecommendGroup(users []Term, limit int) []Recommendation {
 // callers are never silently served stale proofs; to fully retract,
 // rebuild the session from the edited source data.
 func (s *Session) Update(req string) (sparql.UpdateResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	commit, mark := s.beginCommit()
-	span := s.graph.StartCapture()
-	res, err := sparql.RunUpdate(s.graph, req)
-	span.Stop()
-	if err != nil {
-		return res, s.endCommit(commit, mark, err)
-	}
-	if removed := span.RemovedTriples(); len(removed) > 0 {
-		res.StaleInferred = s.reasoner.StaleDerivations(removed)
-	}
-	if res.Inserted > 0 {
-		s.engine.Rematerialize()
-	}
-	return res, s.endCommit(commit, mark, nil)
+	var res sparql.UpdateResult
+	err := s.commitWrite(func() error {
+		span := s.graph.StartCapture()
+		r, opErr := sparql.RunUpdate(s.graph, req)
+		span.Stop()
+		res = r
+		if opErr != nil {
+			return opErr
+		}
+		if removed := span.RemovedTriples(); len(removed) > 0 {
+			res.StaleInferred = s.reasoner.StaleDerivations(removed)
+		}
+		if res.Inserted > 0 {
+			s.engine.Rematerialize()
+		}
+		return nil
+	})
+	return res, err
 }
 
 // Validate runs the OWL consistency checks (disjoint classes, sameAs vs
 // differentFrom, owl:Nothing, asymmetric/irreflexive violations, negative
-// property assertions) over the materialized graph.
-func (s *Session) Validate() []reasoner.Inconsistency {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return reasoner.Validate(s.graph)
-}
+// property assertions) over the latest published snapshot.
+func (s *Session) Validate() []reasoner.Inconsistency { return s.Snapshot().Validate() }
 
 // ExplainTriple returns the reasoner's derivation proof for a triple:
 // which OWL RL rules produced it from which premises. Empty for asserted
 // or unknown triples.
+//
+// Unlike the other reads, proofs come from the reasoner's live derivation
+// traces, which are not versioned with the graph: ExplainTriple reflects
+// every commit up to now (taking a short read lock against the
+// mutate-and-materialize step), not the latest published snapshot.
 func (s *Session) ExplainTriple(subject, predicate, object Term) []reasoner.ProofStep {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.live.RLock()
+	defer s.live.RUnlock()
 	return s.reasoner.Proof(rdf.Triple{S: subject, P: predicate, O: object})
 }
 
-// WriteTurtle serializes the session graph as Turtle.
-func (s *Session) WriteTurtle(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return turtle.Write(w, s.graph)
-}
+// WriteTurtle serializes the latest published snapshot as Turtle.
+func (s *Session) WriteTurtle(w io.Writer) error { return s.Snapshot().WriteTurtle(w) }
 
-// Stats summarizes the session graph.
-func (s *Session) Stats() string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := s.graph.Statistics()
-	return fmt.Sprintf("triples=%d subjects=%d predicates=%d classes=%d instances=%d",
-		st.Triples, st.Subjects, st.Predicates, st.Classes, st.Instances)
-}
+// Stats summarizes the latest published snapshot.
+func (s *Session) Stats() string { return s.Snapshot().Stats() }

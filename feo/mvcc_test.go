@@ -1,0 +1,126 @@
+package feo
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSessionSnapshotIsolation is the session-level MVCC harness (run
+// under -race in CI): a pinned Snapshot must stay bit-identical — same
+// Turtle serialization, same query results, same version — while a
+// concurrent stream of Update and Explain commits mutates the session,
+// and a fresh pin taken afterwards must see every commit.
+func TestSessionSnapshotIsolation(t *testing.T) {
+	s := NewSession(Options{})
+
+	sn := s.Snapshot()
+	var before bytes.Buffer
+	if err := sn.WriteTurtle(&before); err != nil {
+		t.Fatalf("WriteTurtle: %v", err)
+	}
+	const probe = `SELECT ?s WHERE { ?s a <http://x/mvcc/Marker> }`
+	res0, err := sn.Query(probe)
+	if err != nil {
+		t.Fatalf("probe query: %v", err)
+	}
+	if res0.Len() != 0 {
+		t.Fatalf("marker class already populated")
+	}
+	baseUsers := len(sn.Users())
+
+	const commits = 15
+	var wg sync.WaitGroup
+	writerDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(writerDone)
+		for i := 0; i < commits; i++ {
+			if _, err := s.Update(fmt.Sprintf(
+				"INSERT DATA { <http://x/mvcc/s%d> a <http://x/mvcc/Marker> . }", i)); err != nil {
+				t.Errorf("update %d: %v", i, err)
+				return
+			}
+			if _, err := s.Explain(Question{Type: Contextual, Primary: FEO("CauliflowerPotatoCurry")}); err != nil {
+				t.Errorf("explain %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-writerDone:
+					return
+				default:
+				}
+				var now bytes.Buffer
+				if err := sn.WriteTurtle(&now); err != nil {
+					t.Errorf("pinned WriteTurtle: %v", err)
+					return
+				}
+				if !bytes.Equal(before.Bytes(), now.Bytes()) {
+					t.Errorf("pinned snapshot serialization changed under concurrent commits")
+					return
+				}
+				res, err := sn.Query(probe)
+				if err != nil || res.Len() != 0 {
+					t.Errorf("pinned snapshot sees marker inserts: res=%v err=%v", res.Len(), err)
+					return
+				}
+				if got := len(sn.Users()); got != baseUsers {
+					t.Errorf("pinned snapshot user count moved %d -> %d", baseUsers, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	fresh := s.Snapshot()
+	if fresh.Version() <= sn.Version() {
+		t.Fatalf("fresh pin version %d not past pinned %d", fresh.Version(), sn.Version())
+	}
+	res, err := fresh.Query(probe)
+	if err != nil {
+		t.Fatalf("fresh probe: %v", err)
+	}
+	if res.Len() != commits {
+		t.Fatalf("fresh pin sees %d markers, want %d", res.Len(), commits)
+	}
+	if sn.Superseded() != true || fresh.Superseded() != false {
+		t.Fatalf("superseded flags wrong: old=%v fresh=%v", sn.Superseded(), fresh.Superseded())
+	}
+	// The old pin still answers, unchanged, after everything settled.
+	var after bytes.Buffer
+	if err := sn.WriteTurtle(&after); err != nil {
+		t.Fatalf("pinned WriteTurtle after settle: %v", err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatalf("pinned snapshot drifted after commits settled")
+	}
+}
+
+// TestSessionReadsSeeCommit: the pin-and-delegate Session read methods
+// must observe a commit as soon as the mutating call returns.
+func TestSessionReadsSeeCommit(t *testing.T) {
+	s := NewSession(Options{})
+	if _, err := s.Update("INSERT DATA { <http://x/seen/a> <http://x/seen/p> <http://x/seen/b> . }"); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	res, err := s.Query("SELECT ?o WHERE { <http://x/seen/a> <http://x/seen/p> ?o }")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("committed triple not visible to Session.Query: %d rows", res.Len())
+	}
+}

@@ -136,6 +136,11 @@ func Open(dir string, opts Options) (*Store, *Boot, error) {
 	}
 	st := &Store{dir: dir, opts: opts}
 	boot := &Boot{}
+	// Leftovers from an interrupted compaction (classic or two-phase) are
+	// never part of recovered state; drop them so they cannot be confused
+	// for one.
+	os.Remove(filepath.Join(dir, snapshotName+".tmp"))
+	os.Remove(filepath.Join(dir, snapshotName+".pending"))
 
 	gen, g, closure, err := readSnapshotFile(filepath.Join(dir, snapshotName))
 	if err != nil {
@@ -383,21 +388,32 @@ func (st *Store) Compact(g *store.Graph, closure reasoner.ClosureState) error {
 	}
 	// The new snapshot is durable; from here the old WAL is obsolete and
 	// any crash recovers from the new generation (Open deletes leftovers).
+	st.rotateWAL(newGen, g.Version())
+	return st.broken
+}
+
+// rotateWAL switches the store to a fresh WAL for newGen after its
+// snapshot has durably replaced snapshot.bin: close the old log, create
+// wal-newGen.log, fsync the directory, delete the old log. On success the
+// store is healthy (broken cleared — the new snapshot captures the full
+// state, so a previously torn log is obsolete); on failure it is
+// poisoned. st.mu held by the caller.
+func (st *Store) rotateWAL(newGen, baseVersion uint64) {
 	oldWAL := st.path
 	if st.wal != nil {
 		st.wal.Close()
 		st.wal = nil
 	}
 	path := filepath.Join(st.dir, walName(newGen))
-	wal, size, err := createWAL(path, newGen, g.Version())
+	wal, size, err := createWAL(path, newGen, baseVersion)
 	if err != nil {
 		st.broken = fmt.Errorf("durable: WAL rotation failed (store poisoned): %w", err)
-		return st.broken
+		return
 	}
 	if err := syncDir(st.dir); err != nil {
 		wal.Close()
 		st.broken = fmt.Errorf("durable: WAL rotation failed (store poisoned): %w", err)
-		return st.broken
+		return
 	}
 	if oldWAL != "" && oldWAL != path {
 		os.Remove(oldWAL) // best-effort; Open cleans up leftovers
@@ -405,7 +421,97 @@ func (st *Store) Compact(g *store.Graph, closure reasoner.ClosureState) error {
 	st.gen, st.wal, st.path, st.size = newGen, wal, path, size
 	st.dirty = false
 	st.broken = nil
-	return nil
+}
+
+// PendingCompact is a two-phase compaction in flight: BeginCompact
+// reserved the generation, WriteSnapshot durably wrote its bytes to a
+// side file, and Install/Abort decides whether that file becomes the
+// store's snapshot. The pending file is invisible to recovery — a crash
+// at any point before Install leaves the store exactly as it was.
+type PendingCompact struct {
+	st   *Store
+	gen  uint64
+	path string
+	done bool
+}
+
+// BeginCompact reserves the next snapshot generation for a two-phase
+// compaction. Cheap (one lock acquisition); the caller then serializes
+// the state with WriteSnapshot — typically off every lock, from an
+// immutable store.Snapshot view — and finishes with Install or Abort.
+func (st *Store) BeginCompact() (*PendingCompact, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.broken == errClosed {
+		return nil, errClosed
+	}
+	return &PendingCompact{
+		st:   st,
+		gen:  st.gen + 1,
+		path: filepath.Join(st.dir, snapshotName+".pending"),
+	}, nil
+}
+
+// WriteSnapshot serializes (g, closure) as the pending generation's
+// snapshot and fsyncs it to the side file. This is the heavy step —
+// encode plus fsync — and takes no Store lock: appends and even a
+// concurrent classic Compact proceed freely while it runs. The caller
+// must guarantee g and closure do not mutate during the call; a frozen
+// snapshot view satisfies that by construction.
+func (pc *PendingCompact) WriteSnapshot(g *store.Graph, closure reasoner.ClosureState) error {
+	data, err := encodeSnapshot(pc.gen, g, closure)
+	if err != nil {
+		return err
+	}
+	return writeFileSync(pc.path, data)
+}
+
+// Install atomically promotes the pending snapshot file to snapshot.bin
+// and rotates the WAL to the new generation at baseVersion. The caller
+// must guarantee — under whatever lock serializes its writers — that no
+// record has been appended since the state WriteSnapshot serialized
+// (otherwise those acknowledged records would be lost with the rotation;
+// verify the graph version and Abort instead). Install fails without
+// side effects if another compaction already took the generation.
+func (pc *PendingCompact) Install(baseVersion uint64) error {
+	st := pc.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if pc.done {
+		return errors.New("durable: Install on a finished compaction")
+	}
+	pc.done = true
+	if st.broken == errClosed {
+		os.Remove(pc.path)
+		return errClosed
+	}
+	if st.gen+1 != pc.gen {
+		os.Remove(pc.path)
+		return fmt.Errorf("durable: pending compaction superseded (generation %d is taken)", pc.gen)
+	}
+	if err := os.Rename(pc.path, filepath.Join(st.dir, snapshotName)); err != nil {
+		os.Remove(pc.path)
+		return err
+	}
+	if err := syncDir(st.dir); err != nil {
+		// The rename may or may not be durable; either way recovery is
+		// sound (the old WAL's records are folded into both generations),
+		// but this store's log state is now unknown — poison it.
+		st.broken = fmt.Errorf("durable: snapshot install failed (store poisoned): %w", err)
+		return st.broken
+	}
+	st.rotateWAL(pc.gen, baseVersion)
+	return st.broken
+}
+
+// Abort discards the pending snapshot file. Safe to call at any point
+// after BeginCompact; idempotent.
+func (pc *PendingCompact) Abort() {
+	if pc.done {
+		return
+	}
+	pc.done = true
+	os.Remove(pc.path)
 }
 
 // Sync forces an fsync of the WAL now, regardless of policy.
@@ -487,13 +593,13 @@ func (st *Store) startSyncer() {
 
 // ---- snapshot file ----
 
-// writeSnapshotFile atomically replaces dir/snapshot.bin with generation
-// gen of (g, closure): temp file, fsync, rename, directory fsync. The file
-// is magic + payload + trailing CRC-32C over everything before it.
-func writeSnapshotFile(dir string, gen uint64, g *store.Graph, closure reasoner.ClosureState) error {
+// encodeSnapshot serializes generation gen of (g, closure) to the
+// snapshot file format: magic + payload + trailing CRC-32C over
+// everything before it.
+func encodeSnapshot(gen uint64, g *store.Graph, closure reasoner.ClosureState) ([]byte, error) {
 	var gbuf bytes.Buffer
 	if err := g.WriteSnapshot(&gbuf); err != nil {
-		return err
+		return nil, err
 	}
 	e := &encoder{buf: []byte(snapMagic)}
 	e.uvarint(gen)
@@ -502,25 +608,42 @@ func writeSnapshotFile(dir string, gen uint64, g *store.Graph, closure reasoner.
 	e.buf = appendClosure(e.buf, g, closure)
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(e.buf, castagnoli))
-	data := append(e.buf, sum[:]...)
+	return append(e.buf, sum[:]...), nil
+}
 
-	tmp := filepath.Join(dir, snapshotName+".tmp")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+// writeFileSync replaces path with data and fsyncs it; on error the file
+// is removed.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		os.Remove(path)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		os.Remove(path)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		os.Remove(path)
+		return err
+	}
+	return nil
+}
+
+// writeSnapshotFile atomically replaces dir/snapshot.bin with generation
+// gen of (g, closure): temp file, fsync, rename, directory fsync.
+func writeSnapshotFile(dir string, gen uint64, g *store.Graph, closure reasoner.ClosureState) error {
+	data, err := encodeSnapshot(gen, g, closure)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, snapshotName+".tmp")
+	if err := writeFileSync(tmp, data); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, snapshotName)); err != nil {

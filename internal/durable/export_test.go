@@ -1,0 +1,16 @@
+package durable
+
+// WALFile re-exports the internal WAL handle interface so external test
+// packages (package durable_test) can inject failpoint implementations —
+// the reader-latency harness drives a whole feo.Session through a WAL
+// whose fsync stalls on command.
+type WALFile = walFile
+
+// SetNewWALFile swaps the WAL file factory and returns a restore func.
+// Test-only; the in-package fault-injection tests reassign newWALFile
+// directly.
+func SetNewWALFile(f func(path string, flag int) (WALFile, error)) (restore func()) {
+	old := newWALFile
+	newWALFile = func(path string, flag int) (walFile, error) { return f(path, flag) }
+	return func() { newWALFile = old }
+}

@@ -1,0 +1,128 @@
+// Reader latency under a stalled writer. This lives in package
+// durable_test (not feo) because the stall is injected through durable's
+// WAL-file seam, which only this directory's test build can reach; the
+// session under test is a real feo.Session, so the harness proves the
+// full serving stack — not just the store — keeps readers lock-free.
+package durable_test
+
+import (
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/feo"
+	"repro/internal/durable"
+)
+
+// stallFile wraps a real WAL file; while armed, Sync parks until released
+// and reports that it entered the stall.
+type stallFile struct {
+	f       durable.WALFile
+	armed   *atomic.Bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (s *stallFile) Write(p []byte) (int, error) { return s.f.Write(p) }
+
+func (s *stallFile) Sync() error {
+	if s.armed.Load() {
+		select {
+		case s.entered <- struct{}{}:
+		default:
+		}
+		<-s.release
+	}
+	return s.f.Sync()
+}
+
+func (s *stallFile) Close() error { return s.f.Close() }
+
+// TestReaderLatencyUnderStalledWriter pins the MVCC serving guarantee
+// end to end: a durable commit parked inside its WAL fsync — the
+// slowest, least bounded step of a write — must not delay any reader.
+// Snapshot reads complete promptly and observe exactly the last
+// published (pre-stall) version; ExplainTriple, the one live read,
+// completes too because the session releases its live lock before the
+// append. Under the old RWMutex design every one of these calls queued
+// behind the fsync.
+func TestReaderLatencyUnderStalledWriter(t *testing.T) {
+	dir := t.TempDir()
+	armed := &atomic.Bool{}
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	restore := durable.SetNewWALFile(func(path string, flag int) (durable.WALFile, error) {
+		f, err := os.OpenFile(path, flag, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return &stallFile{f: f, armed: armed, entered: entered, release: release}, nil
+	})
+	defer restore()
+
+	s, err := feo.Open(feo.Options{DataDir: dir}) // SyncAlways: every commit fsyncs
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer s.Close()
+	if _, err := s.Update("INSERT DATA { <http://x/stall/warm> <http://x/stall/p> <http://x/stall/o> . }"); err != nil {
+		t.Fatalf("warm-up commit: %v", err)
+	}
+	pre := s.Snapshot()
+	preVer := pre.Version()
+
+	armed.Store(true)
+	writerDone := make(chan error, 1)
+	go func() {
+		_, err := s.Update("INSERT DATA { <http://x/stall/blocked> <http://x/stall/p> <http://x/stall/o> . }")
+		writerDone <- err
+	}()
+	select {
+	case <-entered: // the writer is parked inside its commit's fsync
+	case <-time.After(30 * time.Second):
+		t.Fatal("writer never reached the WAL fsync")
+	}
+
+	readsDone := make(chan struct{})
+	go func() {
+		defer close(readsDone)
+		sn := s.Snapshot()
+		if got := sn.Version(); got != preVer {
+			t.Errorf("reader pinned version %d during stall, want pre-commit %d", got, preVer)
+		}
+		res, err := sn.Query("SELECT ?o WHERE { <http://x/stall/blocked> <http://x/stall/p> ?o }")
+		if err != nil {
+			t.Errorf("query under stall: %v", err)
+		} else if res.Len() != 0 {
+			t.Errorf("reader observed the un-published, un-logged commit")
+		}
+		if st := sn.Stats(); !strings.Contains(st, "triples=") {
+			t.Errorf("stats under stall: %q", st)
+		}
+		sn.Users()
+		sn.Validate()
+		// Live read: the session drops its live lock before the append.
+		s.ExplainTriple(feo.FEO("x"), feo.FEO("y"), feo.FEO("z"))
+	}()
+	select {
+	case <-readsDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("readers blocked behind a writer stalled in its WAL fsync")
+	}
+
+	armed.Store(false)
+	close(release)
+	if err := <-writerDone; err != nil {
+		t.Fatalf("stalled commit failed after release: %v", err)
+	}
+	fresh := s.Snapshot()
+	if fresh.Version() <= preVer {
+		t.Fatalf("commit did not publish after release")
+	}
+	res, err := fresh.Query("SELECT ?o WHERE { <http://x/stall/blocked> <http://x/stall/p> ?o }")
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("released commit not visible to a fresh pin: rows=%v err=%v", res, err)
+	}
+}

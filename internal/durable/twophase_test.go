@@ -1,0 +1,143 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/reasoner"
+	"repro/internal/store"
+)
+
+// TestTwoPhaseCompactInstall: the off-lock compaction protocol — reserve,
+// write the pending snapshot, install — must rotate the generation and
+// leave a directory that reboots to the compacted state.
+func TestTwoPhaseCompactInstall(t *testing.T) {
+	dir := t.TempDir()
+	base := store.New()
+	for i := 0; i < 30; i++ {
+		base.Add(tTriple(i).S, tTriple(i).P, tTriple(i).O)
+	}
+	st := seedStore(t, dir, base)
+	if err := st.Append(testRecord(100, base.Version()+1)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	base.Add(tTriple(100).S, tTriple(100).P, tTriple(100).O)
+
+	pc, err := st.BeginCompact()
+	if err != nil {
+		t.Fatalf("BeginCompact: %v", err)
+	}
+	if err := pc.WriteSnapshot(base, reasoner.ClosureState{}); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if err := pc.Install(base.Version()); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	if got := st.Generation(); got != 2 {
+		t.Fatalf("generation after install = %d, want 2", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName+".pending")); !os.IsNotExist(err) {
+		t.Fatalf("pending file survived install: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2, boot, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	if boot.Graph == nil || !boot.Graph.Equal(base) {
+		t.Fatalf("reboot after install did not restore the compacted graph")
+	}
+	if boot.Records != 0 {
+		t.Fatalf("install did not rotate the WAL: %d stale records", boot.Records)
+	}
+}
+
+// TestTwoPhaseCompactSuperseded: an Install racing a completed classic
+// Compact must refuse (its reserved generation is stale) and clean up,
+// leaving the newer compaction's state untouched.
+func TestTwoPhaseCompactSuperseded(t *testing.T) {
+	dir := t.TempDir()
+	base := store.New()
+	base.Add(tTriple(1).S, tTriple(1).P, tTriple(1).O)
+	st := seedStore(t, dir, base)
+	defer st.Close()
+
+	pc, err := st.BeginCompact()
+	if err != nil {
+		t.Fatalf("BeginCompact: %v", err)
+	}
+	if err := pc.WriteSnapshot(base, reasoner.ClosureState{}); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	// A full compaction completes while the pending one is off-lock.
+	base.Add(tTriple(2).S, tTriple(2).P, tTriple(2).O)
+	if err := st.Compact(base, reasoner.ClosureState{}); err != nil {
+		t.Fatalf("intervening Compact: %v", err)
+	}
+	genAfter := st.Generation()
+	err = pc.Install(base.Version())
+	if err == nil || !strings.Contains(err.Error(), "superseded") {
+		t.Fatalf("stale Install error = %v, want superseded", err)
+	}
+	if st.Generation() != genAfter {
+		t.Fatalf("stale Install moved the generation")
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, snapshotName+".pending")); !os.IsNotExist(statErr) {
+		t.Fatalf("stale Install left the pending file behind")
+	}
+}
+
+// TestTwoPhaseCompactAbortAndCrashLeftovers: Abort removes the pending
+// file; and a pending file left by a crash between WriteSnapshot and
+// Install is invisible to recovery — Open boots from the committed
+// snapshot and deletes the leftover.
+func TestTwoPhaseCompactAbortAndCrashLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	base := store.New()
+	base.Add(tTriple(1).S, tTriple(1).P, tTriple(1).O)
+	st := seedStore(t, dir, base)
+
+	pc, err := st.BeginCompact()
+	if err != nil {
+		t.Fatalf("BeginCompact: %v", err)
+	}
+	if err := pc.WriteSnapshot(base, reasoner.ClosureState{}); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	pc.Abort()
+	pc.Abort() // idempotent
+	if _, statErr := os.Stat(filepath.Join(dir, snapshotName+".pending")); !os.IsNotExist(statErr) {
+		t.Fatalf("Abort left the pending file behind")
+	}
+
+	// Simulate a crash that left a pending snapshot with EXTRA state the
+	// writer never acknowledged: recovery must ignore it.
+	ahead := base.Clone()
+	ahead.Add(tTriple(99).S, tTriple(99).P, tTriple(99).O)
+	pc2, err := st.BeginCompact()
+	if err != nil {
+		t.Fatalf("BeginCompact 2: %v", err)
+	}
+	if err := pc2.WriteSnapshot(ahead, reasoner.ClosureState{}); err != nil {
+		t.Fatalf("WriteSnapshot 2: %v", err)
+	}
+	st.Close() // crash point: pending written, never installed
+
+	st2, boot, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	if boot.Graph == nil || !boot.Graph.Equal(base) {
+		t.Fatalf("recovery read the uninstalled pending snapshot")
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, snapshotName+".pending")); !os.IsNotExist(statErr) {
+		t.Fatalf("Open did not clean up the leftover pending file")
+	}
+}

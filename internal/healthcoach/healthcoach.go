@@ -18,6 +18,12 @@
 //
 // The group mode (the paper's seafood-allergy example) applies every
 // member's hard constraints and averages the soft scores.
+//
+// A Coach is stateless — two words of configuration over a graph, no
+// caches — so constructing one per graph snapshot is free. feo.Snapshot
+// relies on this: every pinned read handle gets its own Coach bound to
+// the handle's frozen graph view, and recommendations are consistent with
+// that version by construction.
 package healthcoach
 
 import (

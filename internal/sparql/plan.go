@@ -15,11 +15,20 @@ import (
 // list, the graph snapshot (its Version), and which slots are certainly
 // bound on entry. All three are captured in the cache key, so a repeated
 // query (the serve-time steady state, and every per-row re-entry of an
-// OPTIONAL or EXISTS body) skips straight to execution. Any mutation bumps
-// Graph.Version and thereby invalidates every plan compiled against the
-// old snapshot: stale entries can never be hit again (versions are
-// monotonic) and are evicted, stale-first, when the cache reaches its
-// size cap.
+// OPTIONAL or EXISTS body) skips straight to execution.
+//
+// The key's graph component is whatever *store.Graph the query executes
+// against. Under the MVCC serving model that is a frozen snapshot view
+// whose Version never changes, so every plan compiled for a pinned
+// snapshot stays hot for as long as any reader keeps pinning it —
+// publishing a new version invalidates nothing retroactively. Plans are
+// intentionally never reused across versions even for an identical BGP:
+// a plan's fused steps embed materialized intersections of the snapshot's
+// live index sets (sharedCand), which are content-dependent, so the first
+// query against a freshly published snapshot recompiles. Dead entries —
+// a live graph that mutated (version moved on), or a snapshot view that
+// has been superseded by a newer publish — are evicted first when the
+// cache reaches its size cap.
 
 // bgpConstPos marks a pattern position that holds a constant ID.
 const bgpConstPos = -1
@@ -118,16 +127,18 @@ func boundSig(certain []bool) string {
 	return string(buf)
 }
 
-// evictPlans shrinks an overflowing cache. Stale entries — whose graph
-// has since mutated, so their key (old version) can never be looked up
-// again — go first; they are the ones mutation-heavy workloads (an
-// explain-time assertion per request) mint in bulk, and dropping them
-// frees the dead plans without a fleet-wide recompile of the hot ones.
-// If that alone does not bring the cache under its cap (e.g. thousands
-// of still-"live" entries for graphs the application has discarded —
-// their versions never move again, so staleness cannot identify them),
-// the purge falls back to dropping everything: the cap is a hard bound
-// on how much graph memory cache keys and cached index sets can pin.
+// evictPlans shrinks an overflowing cache. Stale entries go first: a live
+// graph that has since mutated (the key's old version can never be looked
+// up again — versions are monotonic) or a snapshot view superseded by a
+// newer publish (still readable by whoever pinned it, but commit-per-
+// request workloads mint one batch of these per commit and the hot plans
+// are the fresh snapshot's). Dropping them frees the dead plans without a
+// fleet-wide recompile of the hot ones. If that alone does not bring the
+// cache under its cap (e.g. thousands of still-"live" entries for graphs
+// the application has discarded — their versions never move again, so
+// staleness cannot identify them), the purge falls back to dropping
+// everything: the cap is a hard bound on how much graph memory cache keys
+// and cached index sets can pin.
 func evictPlans() {
 	planCacheMu.Lock()
 	defer planCacheMu.Unlock()
@@ -137,7 +148,7 @@ func evictPlans() {
 	dropped := int32(0)
 	planCache.Range(func(k, _ any) bool {
 		pk := k.(planKey)
-		if pk.g.Version() != pk.ver {
+		if pk.g.Version() != pk.ver || pk.g.Superseded() {
 			planCache.Delete(k)
 			dropped++
 		}

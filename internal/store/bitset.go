@@ -22,6 +22,17 @@ import "math/bits"
 // of goroutines may call the read-only methods (Contains, Len, ForEach,
 // Min, And, …) concurrently. All read-only methods are safe on a nil
 // receiver, which behaves as the empty set.
+//
+// # Copy-on-write container sharing
+//
+// The graph's MVCC snapshots (mvcc.go) share innermost sets between a
+// published snapshot and the live indexes. When a writer must mutate a set
+// that a snapshot may still be reading, it first calls cowClone: the clone
+// owns fresh keys/cs slices but its containers alias the original backing
+// storage (arr / bmp), marked shared. Every mutating container operation
+// unshares first — copies the backing before the first write — so a
+// snapshot's view of the old set is bit-stable forever while the writer
+// pays only for the containers it actually touches.
 
 const (
 	// containerBits is the width of the low half of an ID: one container
@@ -42,6 +53,10 @@ type container struct {
 	arr []uint16
 	bmp *[bitmapWords]uint64
 	n   int // cardinality
+	// shared marks backing storage (arr elements / bmp words) aliased by a
+	// cowClone: a published snapshot may be reading it, so mutations must
+	// copy the backing first (unshare).
+	shared bool
 }
 
 // IDSet is a compressed set of dictionary IDs. The zero value is an empty
@@ -52,6 +67,10 @@ type IDSet struct {
 	keys []uint16 // sorted container keys (id >> containerBits)
 	cs   []container
 	n    int // total cardinality
+	// epoch is the graph COW epoch this set was last made privately writable
+	// at (see Graph.epoch in mvcc.go). Free-standing sets built by query
+	// evaluation keep the zero value and are never shared.
+	epoch uint64
 }
 
 // NewIDSet returns an empty set.
@@ -177,6 +196,25 @@ func (s *IDSet) Clone() *IDSet {
 	return out
 }
 
+// cowClone returns a copy-on-write clone owned by graph epoch epoch: the
+// set-level slices (keys, cs) are fresh, but every container aliases the
+// original backing storage and is marked shared, so the first mutation of
+// each container copies it (container.unshare). The source set must never
+// be mutated again — the graph guarantees this by only cowCloning sets whose
+// epoch predates the current one.
+func (s *IDSet) cowClone(epoch uint64) *IDSet {
+	out := &IDSet{
+		keys:  append([]uint16(nil), s.keys...),
+		cs:    append([]container(nil), s.cs...),
+		n:     s.n,
+		epoch: epoch,
+	}
+	for i := range out.cs {
+		out.cs[i].shared = true
+	}
+	return out
+}
+
 // And returns the intersection s ∩ t as a new set. Bitmap/bitmap buckets
 // intersect as 64-bit word ANDs. Neither operand is mutated; both may be
 // nil.
@@ -287,6 +325,23 @@ func arrSearch(arr []uint16, v uint16) int {
 	return lo
 }
 
+// unshare copies backing storage aliased by a cowClone so the container can
+// be mutated without disturbing the snapshot that still reads the original.
+// No-op (one predicted branch) for the ordinary unshared case.
+func (c *container) unshare() {
+	if !c.shared {
+		return
+	}
+	c.shared = false
+	if c.bmp != nil {
+		bmp := new([bitmapWords]uint64)
+		*bmp = *c.bmp
+		c.bmp = bmp
+		return
+	}
+	c.arr = append([]uint16(nil), c.arr...)
+}
+
 func (c *container) contains(v uint16) bool {
 	if c.bmp != nil {
 		return c.bmp[v>>6]&(1<<(v&63)) != 0
@@ -301,6 +356,7 @@ func (c *container) add(v uint16) bool {
 		if c.bmp[w]&b != 0 {
 			return false
 		}
+		c.unshare()
 		c.bmp[w] |= b
 		c.n++
 		return true
@@ -315,6 +371,7 @@ func (c *container) add(v uint16) bool {
 		c.n++
 		return true
 	}
+	c.unshare()
 	c.arr = append(c.arr, 0)
 	copy(c.arr[i+1:], c.arr[i:])
 	c.arr[i] = v
@@ -328,6 +385,7 @@ func (c *container) remove(v uint16) bool {
 		if c.bmp[w]&b == 0 {
 			return false
 		}
+		c.unshare()
 		c.bmp[w] &^= b
 		c.n--
 		if c.n <= arrMaxLen {
@@ -339,6 +397,7 @@ func (c *container) remove(v uint16) bool {
 	if i >= len(c.arr) || c.arr[i] != v {
 		return false
 	}
+	c.unshare()
 	c.arr = append(c.arr[:i], c.arr[i+1:]...)
 	c.n--
 	return true
@@ -387,17 +446,20 @@ func (c *container) clone() container {
 	return out
 }
 
-// toBitmap converts an array container in place.
+// toBitmap converts an array container in place. The bitmap is freshly
+// allocated, so the conversion also unshares.
 func (c *container) toBitmap() {
 	bmp := new([bitmapWords]uint64)
 	for _, v := range c.arr {
 		bmp[v>>6] |= 1 << (v & 63)
 	}
 	c.bmp, c.arr = bmp, nil
+	c.shared = false
 }
 
 // toArray converts a bitmap container in place (caller guarantees the
-// cardinality fits an array container).
+// cardinality fits an array container). The array is freshly allocated, so
+// the conversion also unshares.
 func (c *container) toArray() {
 	arr := make([]uint16, 0, c.n)
 	for w, word := range c.bmp {
@@ -408,6 +470,7 @@ func (c *container) toArray() {
 		}
 	}
 	c.arr, c.bmp = arr, nil
+	c.shared = false
 }
 
 // normalize converts a freshly built bitmap container to array form when
@@ -481,6 +544,7 @@ func andNotContainers(a, b *container) container {
 
 // orInto merges b into a in place.
 func orInto(a, b *container) {
+	a.unshare()
 	if a.bmp == nil && b.bmp == nil && a.n+b.n <= arrMaxLen {
 		// Array/array merge that certainly stays an array.
 		merged := make([]uint16, 0, a.n+b.n)

@@ -64,6 +64,9 @@ type TermOp struct {
 // must eventually Stop it; an active capture costs one slice append per
 // mutation and nothing on reads.
 func (g *Graph) StartCapture() *ChangeSet {
+	if g.frozen {
+		panic("store: StartCapture on a frozen snapshot view")
+	}
 	cs := &ChangeSet{g: g, dict: g.dict, baseVersion: g.version, active: true}
 	g.captures = append(g.captures, cs)
 	return cs
@@ -77,6 +80,9 @@ func (g *Graph) StartCapture() *ChangeSet {
 // guarantee. Ordered recording also survives Graph.Clear (the ops reset to
 // the post-Clear stream and Cleared reports true) instead of going blind.
 func (g *Graph) StartOrderedCapture() *ChangeSet {
+	if g.frozen {
+		panic("store: StartOrderedCapture on a frozen snapshot view")
+	}
 	cs := &ChangeSet{g: g, dict: g.dict, baseVersion: g.version, active: true,
 		ordered: true, opsDict: g.dict}
 	g.captures = append(g.captures, cs)
@@ -197,11 +203,33 @@ func (g *Graph) notifyRemove(s, p, o ID) {
 	}
 }
 
+// invalidate marks the capture cleared — its recorded delta no longer
+// reflects the graph (a transaction it observed was rolled back) — so the
+// consumer falls back to whole-graph processing, exactly as after Clear.
+// Ordered captures restart their op stream against dict.
+func (cs *ChangeSet) invalidate(dict *TermDict) {
+	cs.cleared = true
+	cs.added = nil
+	cs.removed = nil
+	if cs.ordered {
+		cs.ops = cs.ops[:0]
+		cs.opsDict = dict
+	}
+}
+
 // notifyClear invalidates every active capture. Ordered captures restart
 // their op stream against the replacement dictionary (Clear has already
 // swapped it in by the time this runs), so they keep observing post-Clear
 // mutations.
 func (g *Graph) notifyClear() {
+	// The open transaction needs its pre-Clear op prefix for Rollback (the
+	// capture is about to reset to the post-Clear stream). Only the first
+	// Clear matters: its saved roots and ops describe the Begin state, and
+	// everything between two Clears dies with the intermediate dictionary.
+	if t := g.txn; t != nil && !t.sawClear {
+		t.sawClear = true
+		t.preClearOps = append([]orderedOp(nil), t.cs.ops...)
+	}
 	for _, cs := range g.captures {
 		cs.cleared = true
 		cs.added = nil

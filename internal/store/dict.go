@@ -1,6 +1,11 @@
 package store
 
-import "repro/internal/rdf"
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rdf"
+)
 
 // ID is a dense integer handle for a term interned in a TermDict. IDs are
 // assigned in first-seen order starting at 0 and are stable for the lifetime
@@ -17,55 +22,96 @@ const NoID = ^ID(0)
 // the graph hashes each distinct term exactly once (on first insert) and all
 // index probes, joins, and rule firings afterwards operate on uint32 keys.
 //
-// Concurrency contract: the dictionary follows the same rule as Graph —
-// Intern may only be called while no other goroutine touches the dictionary,
-// while any number of concurrent readers (Lookup, Term, Len) are safe once
-// writers have quiesced. The typical lifecycle (load, reason, then query
-// from many goroutines) therefore needs no locking.
+// Concurrency contract: at most one goroutine may call Intern (or grow) at a
+// time, but — unlike the graph's triple indexes, which readers access only
+// through published snapshots — the dictionary is shared between the live
+// graph and every pinned snapshot, so Lookup, Term, Kind, and Len are safe
+// to call concurrently with an in-flight Intern. Decoding (Term, Kind, Len)
+// is lock-free: the term table is published behind an atomic slice header,
+// so a reader sees a consistent prefix. Lookup takes a short read-lock
+// around the hash probe; the write-lock section of Intern is the map insert
+// only, never I/O, so readers are at worst delayed by nanoseconds.
+//
+// A snapshot pinned at dictionary length n may observe terms interned after
+// it was taken (IDs >= n). That over-approximation is harmless: no triple
+// visible in the snapshot references such an ID.
 type TermDict struct {
-	terms []rdf.Term
-	ids   map[rdf.Term]ID
+	// published is the reader-visible term table: an immutable slice header
+	// whose elements [0, len) never change. Intern appends into the backing
+	// array beyond the published length and then stores a longer header, so
+	// concurrent decodes are race-free without a lock.
+	published atomic.Pointer[[]rdf.Term]
+	terms     []rdf.Term // writer-side view; len(terms) == published length
+
+	mu  sync.RWMutex // guards ids
+	ids map[rdf.Term]ID
 }
 
 // NewTermDict returns an empty dictionary.
 func NewTermDict() *TermDict {
-	return &TermDict{ids: make(map[rdf.Term]ID)}
+	d := &TermDict{ids: make(map[rdf.Term]ID)}
+	d.publish()
+	return d
+}
+
+// publish makes the current writer-side term table visible to readers.
+func (d *TermDict) publish() {
+	h := d.terms
+	d.published.Store(&h)
 }
 
 // Intern returns the ID for t, assigning the next dense ID when t is new.
+// Writer-only: see the concurrency contract above.
 func (d *TermDict) Intern(t rdf.Term) ID {
-	if id, ok := d.ids[t]; ok {
+	d.mu.RLock()
+	id, ok := d.ids[t]
+	d.mu.RUnlock()
+	if ok {
 		return id
 	}
-	id := ID(len(d.terms))
+	id = ID(len(d.terms))
+	// Append before publishing: the new element lies beyond every published
+	// header's length, so no reader can observe it until the Store below.
 	d.terms = append(d.terms, t)
+	d.publish()
+	d.mu.Lock()
 	d.ids[t] = id
+	d.mu.Unlock()
 	return id
 }
 
 // Lookup returns the ID for t without interning. ok is false when t has
 // never been interned; the returned ID is then NoID.
 func (d *TermDict) Lookup(t rdf.Term) (ID, bool) {
-	if id, ok := d.ids[t]; ok {
+	d.mu.RLock()
+	id, ok := d.ids[t]
+	d.mu.RUnlock()
+	if ok {
 		return id, true
 	}
 	return NoID, false
 }
 
-// Term decodes an ID back to its term. Decoding is a slice index — no
-// allocation, no hashing — which is what makes the store's decode-lazily
-// read path cheap. Passing an ID the dictionary never issued panics.
-func (d *TermDict) Term(id ID) rdf.Term { return d.terms[id] }
+// Term decodes an ID back to its term. Decoding is an atomic header load and
+// a slice index — no allocation, no hashing, no lock — which is what makes
+// the store's decode-lazily read path cheap. Passing an ID the dictionary
+// never issued panics.
+func (d *TermDict) Term(id ID) rdf.Term { return (*d.published.Load())[id] }
 
 // Kind returns the TermKind of the term behind id without copying the
 // term's strings out of the dictionary.
-func (d *TermDict) Kind(id ID) rdf.TermKind { return d.terms[id].Kind }
+func (d *TermDict) Kind(id ID) rdf.TermKind { return (*d.published.Load())[id].Kind }
 
 // Len returns the number of interned terms.
-func (d *TermDict) Len() int { return len(d.terms) }
+func (d *TermDict) Len() int { return len(*d.published.Load()) }
+
+// snapshotTerms returns the published term table; the returned slice is
+// immutable. Used by the snapshot encoder.
+func (d *TermDict) snapshotTerms() []rdf.Term { return *d.published.Load() }
 
 // grow pre-sizes the dictionary for n total terms, so a bulk load (the
 // snapshot decoder) interns without incremental map and slice growth.
+// Writer-only.
 func (d *TermDict) grow(n int) {
 	if n <= len(d.terms) {
 		return
@@ -73,22 +119,29 @@ func (d *TermDict) grow(n int) {
 	terms := make([]rdf.Term, len(d.terms), n)
 	copy(terms, d.terms)
 	ids := make(map[rdf.Term]ID, n)
+	d.mu.RLock()
 	for t, id := range d.ids {
 		ids[t] = id
 	}
-	d.terms, d.ids = terms, ids
+	d.mu.RUnlock()
+	d.terms = terms
+	d.publish()
+	d.mu.Lock()
+	d.ids = ids
+	d.mu.Unlock()
 }
 
 // Clone returns an independent copy of the dictionary. IDs are preserved:
 // every term interned in d has the same ID in the clone.
 func (d *TermDict) Clone() *TermDict {
-	out := &TermDict{
-		terms: make([]rdf.Term, len(d.terms)),
-		ids:   make(map[rdf.Term]ID, len(d.ids)),
-	}
+	out := &TermDict{terms: make([]rdf.Term, len(d.terms))}
 	copy(out.terms, d.terms)
+	d.mu.RLock()
+	out.ids = make(map[rdf.Term]ID, len(d.ids))
 	for t, id := range d.ids {
 		out.ids[t] = id
 	}
+	d.mu.RUnlock()
+	out.publish()
 	return out
 }

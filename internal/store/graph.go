@@ -1,26 +1,32 @@
-// Package store provides an in-memory indexed RDF graph.
+// Package store provides an in-memory indexed RDF graph with MVCC
+// snapshot reads.
 //
 // # Dictionary encoding
 //
 // The store is dictionary-encoded: a TermDict interns every distinct
 // rdf.Term into a dense uint32 ID (append-only, first-seen order), and the
-// three permutation indexes (SPO, POS, OSP) are nested maps whose innermost
-// level is a roaring-style bitmap set (IDSet, bitset.go): 16-bit-keyed
-// containers holding either a sorted uint16 array (sparse) or a 1024-word
-// bitmap (dense). Terms are encoded exactly once, on write; every probe,
-// join, and iteration afterwards touches 4-byte integers instead of 4-field
-// structs holding up to three IRI strings, and the innermost membership
-// tests and set combinations run as binary searches or 64-bit word
-// operations instead of hash probes. This is the standard access-path
-// design of serious RDF engines (Jena TDB, RDF4J, Virtuoso) and is what
-// makes the OWL RL reasoner's rule joins and the SPARQL evaluator's BGP
-// joins cheap: the huge object/subject sets of rdf:type-heavy predicates
-// compress to about one bit per member, and intersecting two of them
-// (MatchSetID + IDSet.And) ANDs words rather than re-hashing elements.
+// three permutation indexes (SPO, POS, OSP) are nested levels whose
+// innermost level is a roaring-style bitmap set (IDSet, bitset.go): 16-bit-
+// keyed containers holding either a sorted uint16 array (sparse) or a
+// 1024-word bitmap (dense). The outermost level is a dense slice indexed
+// directly by the leading ID (IDs are dense, so the probe is a bounds check
+// and an array load, cheaper than the hash probe it replaced); the middle
+// level is a small map from the second ID to the bitmap set. Terms are
+// encoded exactly once, on write; every probe, join, and iteration
+// afterwards touches 4-byte integers instead of 4-field structs holding up
+// to three IRI strings, and the innermost membership tests and set
+// combinations run as binary searches or 64-bit word operations instead of
+// hash probes. This is the standard access-path design of serious RDF
+// engines (Jena TDB, RDF4J, Virtuoso) and is what makes the OWL RL
+// reasoner's rule joins and the SPARQL evaluator's BGP joins cheap: the
+// huge object/subject sets of rdf:type-heavy predicates compress to about
+// one bit per member, and intersecting two of them (MatchSetID + IDSet.And)
+// ANDs words rather than re-hashing elements.
 //
 // ID-level set iteration (ForEachID, ObjectsID, SubjectsID, …) is in
 // ascending ID order — deterministic, unlike the map sets this layout
-// replaced. The term-level API still decodes and term-sorts at the
+// replaced. Full scans additionally iterate the outer level in ascending
+// leading-ID order. The term-level API still decodes and term-sorts at the
 // boundary, so rendered artifacts are unchanged.
 //
 // Reads decode lazily: the Term-based API (ForEach, Match, Objects, …)
@@ -31,39 +37,51 @@
 // and defer decoding until results leave the engine.
 //
 // The three permutation indexes answer every triple-pattern shape — any
-// combination of bound and wildcard positions — by at most one nested-map
+// combination of bound and wildcard positions — by at most one nested
 // walk without scanning unrelated triples.
 //
-// # Concurrency: the reader contract
+// # Concurrency: MVCC snapshots, copy-on-write, and the writer protocol
 //
-// A Graph is not safe for concurrent mutation, and no read may overlap a
-// mutation (Add*, Merge, Remove, Subtract, Clear, InternTerm). Once the
-// graph is quiescent, any number of goroutines may read it concurrently
-// with no locking: every non-mutating method — ForEach*, Match, Has*,
-// Exists, Count*, Objects*, Subjects*, Predicates, FirstObject*, TermOf,
-// KindOf, IsResourceID, LookupID, ReadList*, Triples, the set accessors —
-// only walks the immutable index maps and the append-only dictionary, so
-// IDs observed by readers never change meaning. The typical lifecycle
-// (load, reason, then query from many goroutines) therefore needs no
-// synchronization at all.
+// The graph is a single-writer, many-reader MVCC structure. A writer
+// publishes immutable versioned snapshots (Publish, or the
+// Begin/Commit/Rollback transaction surface in mvcc.go); readers pin a
+// *Snapshot — an atomic pointer load, no lock — and read a frozen view of
+// the graph that never changes, no matter what the writer does next.
+// Readers never block the writer and the writer never blocks readers.
 //
-// Two classes of consumer rely on this contract: applications serving many
-// queries from one materialized graph, and the SPARQL engine's parallel
-// executor (internal/sparql), which fans a single query's joins, filters,
-// and path searches across a worker pool probing one shared Graph.
-// internal/store/concurrent_test.go locks the contract in under -race.
+// Isolation is copy-on-write with epoch tagging: every index structure
+// (outer slice, middle map, innermost IDSet, per-position count vector)
+// carries the epoch at which it was last privately writable. Publishing a
+// snapshot bumps the graph's epoch, freezing all current structures in
+// place; the writer's next mutation of a frozen structure first copies it
+// (a slice memcpy at the outer levels, a shallow map copy in the middle,
+// and a container-aliasing cowClone at the set level — see bitset.go), so
+// the snapshot keeps reading the original bits while the writer moves on.
+// Structures already private to the current epoch mutate in place, so a
+// graph that has never published — the load/reason boot path — pays nothing
+// for any of this.
 //
-// The store itself does not synchronize — serializing writers against
-// readers is the caller's job. Long-lived applications that interleave
-// mutation with serving (e.g. feo.Session, whose Explain asserts
-// explanation individuals while /sparql and /recommend read) gate access
-// with an RWMutex at their own layer; see the locking notes on
-// feo.Session. Version() gives such callers (and per-query memo caches) a
-// cheap way to detect that any mutation happened.
+// The writer-side rules are unchanged from the pre-MVCC store: at most one
+// goroutine may mutate (Add*, Merge, Remove, Subtract, Clear, InternTerm)
+// at a time, and un-pinned reads of the live graph must not overlap a
+// mutation. What MVCC adds is that *pinned* reads are always safe: any
+// number of goroutines may read a published Snapshot concurrently with the
+// writer, under -race, with no synchronization beyond the pin itself
+// (internal/store/mvcc_test.go locks this in). The term dictionary is
+// shared between live graph and snapshots and is safe for concurrent
+// decode/lookup during writes (see TermDict).
+//
+// Two classes of consumer rely on this: applications serving many queries
+// from pinned snapshots while a writer commits (feo.Session), and the
+// SPARQL engine's parallel executor (internal/sparql), which fans a single
+// query's joins, filters, and path searches across a worker pool probing
+// one shared frozen view. Version() gives memo caches a cheap way to detect
+// that any mutation happened; a frozen view's version never changes.
 package store
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/rdf"
 )
@@ -71,54 +89,135 @@ import (
 // Wildcard is the zero rdf.Term; in pattern positions it matches any term.
 var Wildcard = rdf.Term{}
 
-// index is one permutation index: two map levels over the first two
-// positions, a bitmap set (see bitset.go) over the third. A missing third
-// level reads as a nil *IDSet, which every read-only IDSet method treats
-// as the empty set.
-type index map[ID]map[ID]*IDSet
+// lvl2 is the middle level of one permutation index: the second-position
+// map of one leading ID, with the COW epoch it was last privately writable
+// at. A published snapshot may share the lvl2 pointer with the live graph;
+// the writer shallow-copies the map before its first mutation in a new
+// epoch.
+type lvl2 struct {
+	epoch uint64
+	m     map[ID]*IDSet
+}
+
+// index is one permutation index: a dense slice over the first position
+// (indexed directly by ID), a map level over the second, a bitmap set (see
+// bitset.go) over the third. A missing level reads as nil; every read-only
+// IDSet method treats a nil *IDSet as the empty set. The epoch marks when
+// the outer slice was last privately writable (see the package doc on COW).
+type index struct {
+	epoch uint64
+	s     []*lvl2
+}
+
+// get returns the innermost set for (a, b), or nil. Safe on any ID
+// (including NoID) and on shared/frozen structures.
+func (ix *index) get(a, b ID) *IDSet {
+	ai := int(a)
+	if ai >= len(ix.s) {
+		return nil
+	}
+	l := ix.s[ai]
+	if l == nil {
+		return nil
+	}
+	return l.m[b]
+}
+
+// level returns the second-position map of leading ID a, or nil. Read-only.
+func (ix *index) level(a ID) map[ID]*IDSet {
+	ai := int(a)
+	if ai >= len(ix.s) {
+		return nil
+	}
+	l := ix.s[ai]
+	if l == nil {
+		return nil
+	}
+	return l.m
+}
+
+// levels counts the distinct leading IDs present in the index.
+func (ix *index) levels() int {
+	n := 0
+	for _, l := range ix.s {
+		if l != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// counts is a per-position triple counter (counts.get(s) = triples with
+// subject s, …), maintained on every add/remove so CountID answers any
+// singly-bound pattern in O(1). The SPARQL planner's selectivity estimates
+// probe these on every BGP, so they must not require an index walk. Dense
+// int32 vector indexed by ID, COW-copied per epoch like the index levels.
+type counts struct {
+	epoch uint64
+	v     []int32
+}
+
+func (c *counts) get(id ID) int {
+	if int(id) >= len(c.v) {
+		return 0
+	}
+	return int(c.v[id])
+}
 
 // Graph is a set of RDF triples with full permutation indexing over
 // dictionary-encoded term IDs.
 type Graph struct {
-	dict *TermDict
-	spo  index
-	pos  index
-	osp  index
-	// Per-position triple counts (subjN[s] = triples with subject s, …),
-	// maintained on every add/remove so CountID answers any singly-bound
-	// pattern in O(1). The SPARQL planner's selectivity estimates probe
-	// these on every BGP, so they must not require an index walk.
-	subjN map[ID]int
-	predN map[ID]int
-	objN  map[ID]int
+	dict  *TermDict
+	spo   index
+	pos   index
+	osp   index
+	subjN counts
+	predN counts
+	objN  counts
 	n     int
 	// version counts successful mutations (triple adds/removes and Clear).
 	// Consumers that memoize derived state per graph snapshot — the SPARQL
-	// engine's per-query path-reachability caches, future plan caches — key
-	// or guard on it; see Version.
+	// engine's plan cache and per-query path-reachability caches — key or
+	// guard on it; see Version.
 	version uint64
 	// captures holds the active change-capture logs (see capture.go). Empty
 	// in the common case; every successful add/remove fans into each one.
 	captures []*ChangeSet
 	ns       *rdf.Namespaces
+
+	// MVCC state; see mvcc.go. epoch counts publishes: any structure whose
+	// epoch predates g.epoch may be shared with a published snapshot and
+	// is COW-copied before its first mutation.
+	// frozen marks an immutable snapshot view (mutations panic); dictN is
+	// the dictionary length a frozen view was published at; owner backlinks
+	// a frozen view to its Snapshot; published holds the live graph's
+	// latest snapshot; txn is the open transaction, if any.
+	epoch     uint64
+	frozen    bool
+	dictN     int
+	owner     *Snapshot
+	published atomic.Pointer[Snapshot]
+	txn       *Txn
+	// frozenAt is the version at the last epoch bump, valid only while
+	// frozenValid: when frozenValid && frozenAt == version, every structure
+	// the graph references is frozen (COW-protected) and nothing has been
+	// written in place since. Begin uses this to pick the cheap
+	// root-restore Rollback strategy; see Txn.
+	frozenAt    uint64
+	frozenValid bool
 }
 
 // New returns an empty graph with the repository's standard namespaces bound.
 func New() *Graph {
 	return &Graph{
-		dict:  NewTermDict(),
-		spo:   make(index),
-		pos:   make(index),
-		osp:   make(index),
-		subjN: make(map[ID]int),
-		predN: make(map[ID]int),
-		objN:  make(map[ID]int),
-		ns:    rdf.StandardNamespaces(),
+		dict: NewTermDict(),
+		ns:   rdf.StandardNamespaces(),
 	}
 }
 
 // Namespaces returns the prefix mapping attached to the graph. Parsers add
 // prefixes they encounter; serializers and human-facing output read them.
+// A frozen snapshot view carries its own copy, taken at publish time.
 func (g *Graph) Namespaces() *rdf.Namespaces { return g.ns }
 
 // Len returns the number of triples in the graph.
@@ -129,14 +228,17 @@ func (g *Graph) Len() int { return g.n }
 // through Bulk or the reasoner). Two reads returning the same value
 // bracket a span with no triple-level mutation, so caches of derived
 // state (path reachability memos, query plans) can assert the graph they
-// were built against is still the graph being read. InternTerm alone does
-// not bump the version: interning never changes any pattern's matches.
+// were built against is still the graph being read. A frozen snapshot
+// view's version never changes, which is what lets the plan cache keep
+// warm plans alive for as long as a snapshot stays pinned. InternTerm
+// alone does not bump the version: interning never changes any pattern's
+// matches.
 func (g *Graph) Version() uint64 { return g.version }
 
 // ---- ID-level API (hot-path opt-ins) ----
 
-// Dict exposes the graph's term dictionary. It is append-only; callers must
-// follow the store's concurrency contract.
+// Dict exposes the graph's term dictionary. It is append-only and shared
+// with published snapshots; see TermDict for its concurrency contract.
 func (g *Graph) Dict() *TermDict { return g.dict }
 
 // LookupID encodes a term without interning it. A term the graph has never
@@ -144,8 +246,12 @@ func (g *Graph) Dict() *TermDict { return g.dict }
 func (g *Graph) LookupID(t rdf.Term) (ID, bool) { return g.dict.Lookup(t) }
 
 // InternTerm encodes a term, assigning a fresh ID when new. Invalid (zero)
-// terms are not interned and return NoID.
+// terms are not interned and return NoID. Writer-only: panics on a frozen
+// snapshot view.
 func (g *Graph) InternTerm(t rdf.Term) ID {
+	if g.frozen {
+		panic("store: InternTerm on a frozen snapshot view")
+	}
 	if !t.IsValid() {
 		return NoID
 	}
@@ -168,7 +274,7 @@ func (g *Graph) IsResourceID(id ID) bool {
 // HasID reports whether the exact triple (s, p, o) is present, by ID.
 // NoID in any position returns false (use ForEachID for patterns).
 func (g *Graph) HasID(s, p, o ID) bool {
-	return g.spo[s][p].Contains(o)
+	return g.spo.get(s, p).Contains(o)
 }
 
 // MatchSetID returns the graph's own bitmap set for a pattern with exactly
@@ -180,11 +286,11 @@ func (g *Graph) HasID(s, p, o ID) bool {
 func (g *Graph) MatchSetID(s, p, o ID) *IDSet {
 	switch {
 	case s != NoID && p != NoID && o == NoID:
-		return g.spo[s][p]
+		return g.spo.get(s, p)
 	case s == NoID && p != NoID && o != NoID:
-		return g.pos[p][o]
+		return g.pos.get(p, o)
 	case s != NoID && p == NoID && o != NoID:
-		return g.osp[o][s]
+		return g.osp.get(o, s)
 	}
 	return nil
 }
@@ -203,14 +309,20 @@ func (g *Graph) AddID(s, p, o ID) bool {
 }
 
 func (g *Graph) addIDs(s, p, o ID) bool {
-	if !indexAdd(g.spo, s, p, o) {
+	if g.frozen {
+		panic("store: mutation on a frozen snapshot view")
+	}
+	// Duplicate probe before any COW work: re-derived triples (the
+	// reasoner's common case) must not churn copies.
+	if g.spo.get(s, p).Contains(o) {
 		return false
 	}
-	indexAdd(g.pos, p, o, s)
-	indexAdd(g.osp, o, s, p)
-	g.subjN[s]++
-	g.predN[p]++
-	g.objN[o]++
+	g.indexAdd(&g.spo, s, p, o)
+	g.indexAdd(&g.pos, p, o, s)
+	g.indexAdd(&g.osp, o, s, p)
+	g.countAdd(&g.subjN, s, 1)
+	g.countAdd(&g.predN, p, 1)
+	g.countAdd(&g.objN, o, 1)
 	g.n++
 	g.version++
 	if len(g.captures) != 0 {
@@ -219,10 +331,97 @@ func (g *Graph) addIDs(s, p, o ID) bool {
 	return true
 }
 
+// mutableLvl2 returns the privately writable middle level for leading ID a
+// of ix, COW-copying the outer slice and/or the map when they are still
+// shared with a published snapshot (epoch predates g.epoch), and growing
+// the outer slice when a is beyond it.
+func (g *Graph) mutableLvl2(ix *index, a ID) *lvl2 {
+	ai := int(a)
+	if ix.epoch != g.epoch {
+		n := len(ix.s)
+		if ai >= n {
+			n = ai + 1
+		}
+		s := make([]*lvl2, n)
+		copy(s, ix.s)
+		ix.s, ix.epoch = s, g.epoch
+	} else if ai >= len(ix.s) {
+		ix.s = append(ix.s, make([]*lvl2, ai+1-len(ix.s))...)
+	}
+	l := ix.s[ai]
+	switch {
+	case l == nil:
+		l = &lvl2{epoch: g.epoch, m: make(map[ID]*IDSet, 1)}
+		ix.s[ai] = l
+	case l.epoch != g.epoch:
+		m := make(map[ID]*IDSet, len(l.m)+1)
+		for k, v := range l.m {
+			m[k] = v
+		}
+		l = &lvl2{epoch: g.epoch, m: m}
+		ix.s[ai] = l
+	}
+	return l
+}
+
+// indexAdd inserts c into the (a, b) set of ix, COW-copying shared levels.
+// The caller has already established the triple is absent.
+func (g *Graph) indexAdd(ix *index, a, b, c ID) {
+	l := g.mutableLvl2(ix, a)
+	set := l.m[b]
+	switch {
+	case set == nil:
+		set = &IDSet{epoch: g.epoch}
+		l.m[b] = set
+	case set.epoch != g.epoch:
+		set = set.cowClone(g.epoch)
+		l.m[b] = set
+	}
+	set.Add(c)
+}
+
+// indexRemove deletes c from the (a, b) set of ix, COW-copying shared
+// levels and pruning emptied levels. The caller has already established the
+// triple is present.
+func (g *Graph) indexRemove(ix *index, a, b, c ID) {
+	l := g.mutableLvl2(ix, a)
+	set := l.m[b]
+	if set.epoch != g.epoch {
+		set = set.cowClone(g.epoch)
+		l.m[b] = set
+	}
+	set.Remove(c)
+	if set.Len() == 0 {
+		delete(l.m, b)
+		if len(l.m) == 0 {
+			ix.s[a] = nil
+		}
+	}
+}
+
+// countAdd adjusts one per-position counter, COW-copying the vector when it
+// is still shared with a published snapshot.
+func (g *Graph) countAdd(c *counts, id ID, d int32) {
+	ai := int(id)
+	if c.epoch != g.epoch {
+		n := len(c.v)
+		if ai >= n {
+			n = ai + 1
+		}
+		v := make([]int32, n)
+		copy(v, c.v)
+		c.v, c.epoch = v, g.epoch
+	} else if ai >= len(c.v) {
+		c.v = append(c.v, make([]int32, ai+1-len(c.v))...)
+	}
+	c.v[ai] += d
+}
+
 // ForEachID calls fn for every ID triple matching the pattern (s, p, o),
 // where NoID matches anything. Iteration stops early when fn returns false.
-// The innermost (bitmap) level iterates in ascending ID order; the outer
-// map levels remain unordered. The callback must not mutate the graph.
+// The innermost (bitmap) level iterates in ascending ID order and full
+// scans walk the outer level in ascending leading-ID order; the middle map
+// level remains unordered. The callback must not mutate the graph.
 func (g *Graph) ForEachID(s, p, o ID, fn func(s, p, o ID) bool) {
 	sB, pB, oB := s != NoID, p != NoID, o != NoID
 	switch {
@@ -231,32 +430,36 @@ func (g *Graph) ForEachID(s, p, o ID, fn func(s, p, o ID) bool) {
 			fn(s, p, o)
 		}
 	case sB && pB: // (s, p, ?) — SPO
-		g.spo[s][p].ForEach(func(obj ID) bool { return fn(s, p, obj) })
+		g.spo.get(s, p).ForEach(func(obj ID) bool { return fn(s, p, obj) })
 	case sB && oB: // (s, ?, o) — OSP
-		g.osp[o][s].ForEach(func(pred ID) bool { return fn(s, pred, o) })
+		g.osp.get(o, s).ForEach(func(pred ID) bool { return fn(s, pred, o) })
 	case pB && oB: // (?, p, o) — POS
-		g.pos[p][o].ForEach(func(subj ID) bool { return fn(subj, p, o) })
+		g.pos.get(p, o).ForEach(func(subj ID) bool { return fn(subj, p, o) })
 	case sB: // (s, ?, ?) — SPO
-		for pred, objs := range g.spo[s] {
+		for pred, objs := range g.spo.level(s) {
 			if !objs.ForEach(func(obj ID) bool { return fn(s, pred, obj) }) {
 				return
 			}
 		}
 	case pB: // (?, p, ?) — POS
-		for obj, subjs := range g.pos[p] {
+		for obj, subjs := range g.pos.level(p) {
 			if !subjs.ForEach(func(subj ID) bool { return fn(subj, p, obj) }) {
 				return
 			}
 		}
 	case oB: // (?, ?, o) — OSP
-		for subj, preds := range g.osp[o] {
+		for subj, preds := range g.osp.level(o) {
 			if !preds.ForEach(func(pred ID) bool { return fn(subj, pred, o) }) {
 				return
 			}
 		}
 	default: // full scan
-		for subj, m1 := range g.spo {
-			for pred, objs := range m1 {
+		for si, l := range g.spo.s {
+			if l == nil {
+				continue
+			}
+			subj := ID(si)
+			for pred, objs := range l.m {
 				if !objs.ForEach(func(obj ID) bool { return fn(subj, pred, obj) }) {
 					return
 				}
@@ -267,7 +470,7 @@ func (g *Graph) ForEachID(s, p, o ID, fn func(s, p, o ID) bool) {
 
 // CountID returns the number of triples matching the ID pattern without
 // iterating them: fully and doubly bound shapes are a single len() of the
-// underlying index level; singly bound shapes sum one index level.
+// underlying index level; singly bound shapes read a per-position counter.
 func (g *Graph) CountID(s, p, o ID) int {
 	sB, pB, oB := s != NoID, p != NoID, o != NoID
 	switch {
@@ -277,17 +480,17 @@ func (g *Graph) CountID(s, p, o ID) int {
 		}
 		return 0
 	case sB && pB:
-		return g.spo[s][p].Len()
+		return g.spo.get(s, p).Len()
 	case sB && oB:
-		return g.osp[o][s].Len()
+		return g.osp.get(o, s).Len()
 	case pB && oB:
-		return g.pos[p][o].Len()
+		return g.pos.get(p, o).Len()
 	case sB:
-		return g.subjN[s]
+		return g.subjN.get(s)
 	case pB:
-		return g.predN[p]
+		return g.predN.get(p)
 	case oB:
-		return g.objN[o]
+		return g.objN.get(o)
 	default:
 		return g.n
 	}
@@ -297,7 +500,7 @@ func (g *Graph) CountID(s, p, o ID) int {
 // order. The reasoner's rule joins use this to avoid the term decode and
 // sort that Objects pays for.
 func (g *Graph) ObjectsID(s, p ID) []ID {
-	objs := g.spo[s][p]
+	objs := g.spo.get(s, p)
 	if objs.Len() == 0 {
 		return nil
 	}
@@ -310,20 +513,20 @@ func (g *Graph) ObjectsID(s, p ID) []ID {
 // path BFS expands frontiers with it — that want neither a fresh slice per
 // probe nor a full triple callback.
 func (g *Graph) ForEachObjectID(s, p ID, fn func(o ID) bool) {
-	g.spo[s][p].ForEach(fn)
+	g.spo.get(s, p).ForEach(fn)
 }
 
 // ForEachSubjectID calls fn for every subject ID of triples (*, p, o), in
 // ascending ID order, stopping early when fn returns false. The
 // allocation-free form of SubjectsID.
 func (g *Graph) ForEachSubjectID(p, o ID, fn func(s ID) bool) {
-	g.pos[p][o].ForEach(fn)
+	g.pos.get(p, o).ForEach(fn)
 }
 
 // SubjectsID returns the subject IDs of triples (*, p, o) in ascending ID
 // order.
 func (g *Graph) SubjectsID(p, o ID) []ID {
-	subjs := g.pos[p][o]
+	subjs := g.pos.get(p, o)
 	if subjs.Len() == 0 {
 		return nil
 	}
@@ -337,7 +540,7 @@ func (g *Graph) SubjectsID(p, o ID) []ID {
 // chain produces — answers straight from the bitmap without decoding any
 // term; larger sets decode each candidate exactly once.
 func (g *Graph) FirstObjectID(s, p ID) ID {
-	objs := g.spo[s][p]
+	objs := g.spo.get(s, p)
 	if objs.Len() <= 1 {
 		o, ok := objs.Min()
 		if !ok {
@@ -398,28 +601,28 @@ func (g *Graph) Remove(s, p, o rdf.Term) bool {
 	if !ok {
 		return false
 	}
-	if !indexRemove(g.spo, sID, pID, oID) {
+	return g.removeIDs(sID, pID, oID)
+}
+
+func (g *Graph) removeIDs(s, p, o ID) bool {
+	if g.frozen {
+		panic("store: mutation on a frozen snapshot view")
+	}
+	if !g.spo.get(s, p).Contains(o) {
 		return false
 	}
-	indexRemove(g.pos, pID, oID, sID)
-	indexRemove(g.osp, oID, sID, pID)
-	decCount(g.subjN, sID)
-	decCount(g.predN, pID)
-	decCount(g.objN, oID)
+	g.indexRemove(&g.spo, s, p, o)
+	g.indexRemove(&g.pos, p, o, s)
+	g.indexRemove(&g.osp, o, s, p)
+	g.countAdd(&g.subjN, s, -1)
+	g.countAdd(&g.predN, p, -1)
+	g.countAdd(&g.objN, o, -1)
 	g.n--
 	g.version++
 	if len(g.captures) != 0 {
-		g.notifyRemove(sID, pID, oID)
+		g.notifyRemove(s, p, o)
 	}
 	return true
-}
-
-func decCount(m map[ID]int, id ID) {
-	if m[id] <= 1 {
-		delete(m, id)
-	} else {
-		m[id]--
-	}
 }
 
 // Has reports whether the exact triple (s, p, o) is present. Wildcards are
@@ -438,38 +641,6 @@ func (g *Graph) Has(s, p, o rdf.Term) bool {
 		return false
 	}
 	return g.HasID(sID, pID, oID)
-}
-
-func indexAdd(idx index, a, b, c ID) bool {
-	m1, ok := idx[a]
-	if !ok {
-		m1 = make(map[ID]*IDSet)
-		idx[a] = m1
-	}
-	m2, ok := m1[b]
-	if !ok {
-		m2 = NewIDSet()
-		m1[b] = m2
-	}
-	return m2.Add(c)
-}
-
-func indexRemove(idx index, a, b, c ID) bool {
-	m1, ok := idx[a]
-	if !ok {
-		return false
-	}
-	m2, ok := m1[b]
-	if !ok || !m2.Remove(c) {
-		return false
-	}
-	if m2.Len() == 0 {
-		delete(m1, b)
-		if len(m1) == 0 {
-			delete(idx, a)
-		}
-	}
-	return true
 }
 
 // encodePattern maps a Term pattern position to an ID pattern position:
@@ -545,17 +716,17 @@ func (g *Graph) Exists(s, p, o rdf.Term) bool {
 	case sB && pB && oB:
 		return g.HasID(sID, pID, oID)
 	case sB && pB:
-		return g.spo[sID][pID].Len() > 0
+		return g.spo.get(sID, pID).Len() > 0
 	case sB && oB:
-		return g.osp[oID][sID].Len() > 0
+		return g.osp.get(oID, sID).Len() > 0
 	case pB && oB:
-		return g.pos[pID][oID].Len() > 0
+		return g.pos.get(pID, oID).Len() > 0
 	case sB:
-		return len(g.spo[sID]) > 0
+		return g.subjN.get(sID) > 0
 	case pB:
-		return len(g.pos[pID]) > 0
+		return g.predN.get(pID) > 0
 	case oB:
-		return len(g.osp[oID]) > 0
+		return g.objN.get(oID) > 0
 	default:
 		return g.n > 0
 	}
@@ -602,7 +773,7 @@ func (g *Graph) Objects(s, p rdf.Term) []rdf.Term {
 	if !ok {
 		return nil
 	}
-	return g.decodeSorted(g.spo[sID][pID])
+	return g.decodeSorted(g.spo.get(sID, pID))
 }
 
 // FirstObject returns one object of (s, p, *), or the zero Term if none.
@@ -635,7 +806,7 @@ func (g *Graph) Subjects(p, o rdf.Term) []rdf.Term {
 	if !ok {
 		return nil
 	}
-	return g.decodeSorted(g.pos[pID][oID])
+	return g.decodeSorted(g.pos.get(pID, oID))
 }
 
 // Predicates returns the distinct predicates of triples (s, *, o), sorted.
@@ -648,7 +819,7 @@ func (g *Graph) Predicates(s, o rdf.Term) []rdf.Term {
 	if !ok {
 		return nil
 	}
-	return g.decodeSorted(g.osp[oID][sID])
+	return g.decodeSorted(g.osp.get(oID, sID))
 }
 
 // TypesOf returns the asserted rdf:type objects of s, sorted.
@@ -681,9 +852,11 @@ func (g *Graph) Triples() []rdf.Triple {
 
 // SubjectSet returns the distinct subjects in the graph, sorted.
 func (g *Graph) SubjectSet() []rdf.Term {
-	out := make([]rdf.Term, 0, len(g.spo))
-	for s := range g.spo {
-		out = append(out, g.dict.Term(s))
+	out := make([]rdf.Term, 0, g.spo.levels())
+	for si, l := range g.spo.s {
+		if l != nil {
+			out = append(out, g.dict.Term(ID(si)))
+		}
 	}
 	sortTerms(out)
 	return out
@@ -691,9 +864,11 @@ func (g *Graph) SubjectSet() []rdf.Term {
 
 // PredicateSet returns the distinct predicates in the graph, sorted.
 func (g *Graph) PredicateSet() []rdf.Term {
-	out := make([]rdf.Term, 0, len(g.pos))
-	for p := range g.pos {
-		out = append(out, g.dict.Term(p))
+	out := make([]rdf.Term, 0, g.pos.levels())
+	for pi, l := range g.pos.s {
+		if l != nil {
+			out = append(out, g.dict.Term(ID(pi)))
+		}
 	}
 	sortTerms(out)
 	return out
@@ -702,7 +877,9 @@ func (g *Graph) PredicateSet() []rdf.Term {
 // Clone returns a deep copy of the graph. The dictionary is copied too, so
 // every ID valid for g decodes to the same term in the clone (IDs are
 // stable across Clone); the nested indexes are rebuilt without re-encoding
-// a single term.
+// a single term. The clone is an independent live graph: it shares no
+// storage with g (unlike a Snapshot view), starts with no published
+// snapshot, and may be mutated by its own writer.
 func (g *Graph) Clone() *Graph {
 	out := &Graph{
 		dict:  g.dict.Clone(),
@@ -721,22 +898,21 @@ func (g *Graph) Clone() *Graph {
 	return out
 }
 
-func cloneCounts(m map[ID]int) map[ID]int {
-	out := make(map[ID]int, len(m))
-	for id, n := range m {
-		out[id] = n
-	}
-	return out
+func cloneCounts(c counts) counts {
+	return counts{v: append([]int32(nil), c.v...)}
 }
 
-func cloneIndex(idx index) index {
-	out := make(index, len(idx))
-	for a, m1 := range idx {
-		c1 := make(map[ID]*IDSet, len(m1))
-		for b, m2 := range m1 {
-			c1[b] = m2.Clone()
+func cloneIndex(ix index) index {
+	out := index{s: make([]*lvl2, len(ix.s))}
+	for ai, l := range ix.s {
+		if l == nil {
+			continue
 		}
-		out[a] = c1
+		m := make(map[ID]*IDSet, len(l.m))
+		for b, set := range l.m {
+			m[b] = set.Clone()
+		}
+		out.s[ai] = &lvl2{m: m}
 	}
 	return out
 }
@@ -810,15 +986,19 @@ func (g *Graph) Equal(other *Graph) bool {
 
 // Clear removes all triples. The dictionary is reset too; IDs issued
 // before Clear must not be used afterwards. The mutation version advances
-// (it never resets), so memoized consumers observe the wipe.
+// (it never resets), so memoized consumers observe the wipe. Published
+// snapshots are unaffected: they keep the old dictionary and indexes.
 func (g *Graph) Clear() {
+	if g.frozen {
+		panic("store: mutation on a frozen snapshot view")
+	}
 	g.dict = NewTermDict()
-	g.spo = make(index)
-	g.pos = make(index)
-	g.osp = make(index)
-	g.subjN = make(map[ID]int)
-	g.predN = make(map[ID]int)
-	g.objN = make(map[ID]int)
+	g.spo = index{epoch: g.epoch}
+	g.pos = index{epoch: g.epoch}
+	g.osp = index{epoch: g.epoch}
+	g.subjN = counts{epoch: g.epoch}
+	g.predN = counts{epoch: g.epoch}
+	g.objN = counts{epoch: g.epoch}
 	g.n = 0
 	g.version++
 	if len(g.captures) != 0 {

@@ -210,7 +210,7 @@ type Stats struct {
 
 // Statistics computes summary statistics for the graph in one pass.
 func (g *Graph) Statistics() Stats {
-	st := Stats{Triples: g.n, Subjects: len(g.spo), Predicates: len(g.pos), Objects: len(g.osp)}
+	st := Stats{Triples: g.n, Subjects: g.spo.levels(), Predicates: g.pos.levels(), Objects: g.osp.levels()}
 	classes := make(map[rdf.Term]struct{})
 	instances := make(map[rdf.Term]struct{})
 	blanks := make(map[rdf.Term]struct{})

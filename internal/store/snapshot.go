@@ -39,17 +39,21 @@ import (
 // incompatible layout change; ReadSnapshot rejects versions it predates.
 const snapshotFormatVersion = 1
 
-// WriteSnapshot writes the graph in the binary snapshot format.
+// WriteSnapshot writes the graph in the binary snapshot format. Calling it
+// on a frozen snapshot view is safe concurrently with the live writer
+// (that is how Session.Compact serializes off the write lock): the view's
+// COW storage is immutable and the dictionary is truncated to the
+// publish-time prefix, so the output is deterministic.
 func (g *Graph) WriteSnapshot(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	e := &snapEncoder{w: bw}
 	e.uvarint(snapshotFormatVersion)
 	e.uvarint(g.version)
-	e.writeDict(g.dict)
+	e.writeDict(g.dict, g.dictCap())
 	e.writeNamespaces(g.ns)
-	e.writeIndex(g.spo)
-	e.writeIndex(g.pos)
-	e.writeIndex(g.osp)
+	e.writeIndex(&g.spo)
+	e.writeIndex(&g.pos)
+	e.writeIndex(&g.osp)
 	if e.err != nil {
 		return e.err
 	}
@@ -68,46 +72,42 @@ func (g *Graph) readSnapshotInto(r io.Reader) error {
 	d.readDict(g.dict)
 	d.readNamespaces(g.ns)
 	nTerms := uint64(g.dict.Len())
-	d.readIndex(g.spo, nTerms)
-	d.readIndex(g.pos, nTerms)
-	d.readIndex(g.osp, nTerms)
+	d.readIndex(&g.spo, nTerms)
+	d.readIndex(&g.pos, nTerms)
+	d.readIndex(&g.osp, nTerms)
 	if d.err != nil {
 		return d.err
 	}
 	// Derive the per-position counts and the triple total from the loaded
 	// index levels; they are redundant with the indexes, so the snapshot
 	// does not store them.
-	n := 0
-	for s, m1 := range g.spo {
-		c := 0
-		for _, objs := range m1 {
-			c += objs.Len()
-		}
-		g.subjN[s] = c
-		n += c
-	}
+	n := deriveCounts(&g.spo, &g.subjN, int(nTerms))
 	g.n = n
-	nPOS, nOSP := 0, 0
-	for p, m1 := range g.pos {
-		c := 0
-		for _, subjs := range m1 {
-			c += subjs.Len()
-		}
-		g.predN[p] = c
-		nPOS += c
-	}
-	for o, m1 := range g.osp {
-		c := 0
-		for _, preds := range m1 {
-			c += preds.Len()
-		}
-		g.objN[o] = c
-		nOSP += c
-	}
+	nPOS := deriveCounts(&g.pos, &g.predN, int(nTerms))
+	nOSP := deriveCounts(&g.osp, &g.objN, int(nTerms))
 	if nPOS != n || nOSP != n {
 		return fmt.Errorf("store: snapshot index cardinalities disagree (spo=%d pos=%d osp=%d)", n, nPOS, nOSP)
 	}
 	return nil
+}
+
+// deriveCounts fills one per-position counter vector from a loaded index
+// and returns the total cardinality.
+func deriveCounts(ix *index, cnt *counts, nTerms int) int {
+	cnt.v = make([]int32, nTerms)
+	total := 0
+	for ai, l := range ix.s {
+		if l == nil {
+			continue
+		}
+		c := 0
+		for _, set := range l.m {
+			c += set.Len()
+		}
+		cnt.v[ai] = int32(c)
+		total += c
+	}
+	return total
 }
 
 // ReadSnapshot reads a graph previously written by WriteSnapshot. The
@@ -168,9 +168,10 @@ func (e *snapEncoder) term(t rdf.Term) {
 	}
 }
 
-func (e *snapEncoder) writeDict(d *TermDict) {
-	e.uvarint(uint64(len(d.terms)))
-	for _, t := range d.terms {
+func (e *snapEncoder) writeDict(d *TermDict, n int) {
+	terms := d.snapshotTerms()[:n]
+	e.uvarint(uint64(len(terms)))
+	for _, t := range terms {
 		e.term(t)
 	}
 }
@@ -186,25 +187,24 @@ func (e *snapEncoder) writeNamespaces(ns *rdf.Namespaces) {
 	e.str(ns.Base())
 }
 
-func (e *snapEncoder) writeIndex(idx index) {
-	outer := make([]ID, 0, len(idx))
-	for a := range idx {
-		outer = append(outer, a)
-	}
-	sort.Slice(outer, func(i, j int) bool { return outer[i] < outer[j] })
-	e.uvarint(uint64(len(outer)))
-	for _, a := range outer {
-		m1 := idx[a]
-		inner := make([]ID, 0, len(m1))
-		for b := range m1 {
+func (e *snapEncoder) writeIndex(idx *index) {
+	// The outer level iterates in ascending ID order by construction, so
+	// the byte layout matches the sorted-map encoding this replaced.
+	e.uvarint(uint64(idx.levels()))
+	for ai, l := range idx.s {
+		if l == nil {
+			continue
+		}
+		inner := make([]ID, 0, len(l.m))
+		for b := range l.m {
 			inner = append(inner, b)
 		}
 		sort.Slice(inner, func(i, j int) bool { return inner[i] < inner[j] })
-		e.uvarint(uint64(a))
+		e.uvarint(uint64(ai))
 		e.uvarint(uint64(len(inner)))
 		for _, b := range inner {
 			e.uvarint(uint64(b))
-			e.writeSet(m1[b])
+			e.writeSet(l.m[b])
 		}
 	}
 }
@@ -344,13 +344,14 @@ func (d *snapDecoder) readNamespaces(ns *rdf.Namespaces) {
 	}
 }
 
-func (d *snapDecoder) readIndex(idx index, nTerms uint64) {
+func (d *snapDecoder) readIndex(idx *index, nTerms uint64) {
 	checkID := func(v uint64) ID {
 		if d.err == nil && v >= nTerms {
 			d.fail("index ID %d out of dictionary range %d", v, nTerms)
 		}
 		return ID(v)
 	}
+	idx.s = make([]*lvl2, nTerms)
 	nOuter := d.length(nTerms, "outer key")
 	for i := 0; i < nOuter && d.err == nil; i++ {
 		a := checkID(d.uvarint())
@@ -369,7 +370,11 @@ func (d *snapDecoder) readIndex(idx index, nTerms uint64) {
 			m1[b] = set
 		}
 		if d.err == nil {
-			idx[a] = m1
+			if idx.s[a] != nil {
+				d.fail("duplicate outer key %d", a)
+				return
+			}
+			idx.s[a] = &lvl2{m: m1}
 		}
 	}
 }

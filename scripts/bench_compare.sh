@@ -25,7 +25,7 @@
 set -euo pipefail
 
 tolerance=15
-filter='^Benchmark(Listing|Table1|Figure|Reasoner|Bitset|StoreMatch|MaterializeSolutions|MaterializeDelta|ExplainWarm|PlanCache|SnapshotLoad|TurtleBoot|WALAppend)'
+filter='^Benchmark(Listing|Table1|Figure|Reasoner|Bitset|StoreMatch|MaterializeSolutions|MaterializeDelta|ExplainWarm|PlanCache|SnapshotLoad|TurtleBoot|WALAppend|SnapshotPin|ReadUnderWrite)'
 
 args=()
 while [ $# -gt 0 ]; do
