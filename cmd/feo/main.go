@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/feo"
@@ -378,8 +379,14 @@ func cmdReason(args []string) error {
 	stats := r.Materialize(g)
 	fmt.Println(stats)
 	fmt.Println("rule firings:")
-	for rule, n := range stats.RuleFirings {
-		fmt.Printf("  %-12s %d\n", rule, n)
+	rules := make([]string, 0, len(stats.RuleFirings))
+	//feo:unordered
+	for rule := range stats.RuleFirings {
+		rules = append(rules, rule)
+	}
+	sort.Strings(rules)
+	for _, rule := range rules {
+		fmt.Printf("  %-12s %d\n", rule, stats.RuleFirings[rule])
 	}
 	return nil
 }

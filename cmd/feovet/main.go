@@ -1,0 +1,33 @@
+// Command feovet is the project's invariant checker: the custom passes
+// that prove the MVCC, WAL-ordering, artifact-determinism, and ID-space
+// contracts (see internal/analysis), bundled behind the `go vet -vettool`
+// protocol.
+//
+// Usage:
+//
+//	go build -o feovet ./cmd/feovet
+//	go vet -vettool=$(pwd)/feovet ./...
+//
+// or, standalone (typechecks from source, no go vet in front):
+//
+//	go run ./cmd/feovet ./...
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/frozenmut"
+	"repro/internal/analysis/idspacedecode"
+	"repro/internal/analysis/mapdeterminism"
+	"repro/internal/analysis/walorder"
+)
+
+func main() {
+	analysis.Main("feovet", []*analysis.Analyzer{
+		frozenmut.Analyzer,
+		walorder.Analyzer,
+		mapdeterminism.Analyzer,
+		idspacedecode.Analyzer,
+		analysis.Annots,
+		analysis.AtomicLite,
+	})
+}

@@ -93,6 +93,27 @@
 // feo.Session.Compact serializes its snapshot from a pinned immutable
 // view — the fsync-heavy step blocks neither readers nor writers.
 //
+// # Static invariants
+//
+// The MVCC, durability, and determinism contracts above are not just
+// documentation: cmd/feovet is a custom vet tool (a stdlib-only
+// go/analysis-style framework, internal/analysis) that proves them at
+// build time from //feo: annotations on the code itself. frozenmut
+// verifies that no mutator is statically reachable from a published
+// snapshot view and that every exported method of a mutable type
+// declares itself //feo:mutates or //feo:frozen-safe (fail closed);
+// walorder verifies that the WAL append precedes snapshot publication
+// on every commit path, that nothing publishes on a failed append's
+// error branch, and that durability errors are consumed; mapdeterminism
+// verifies that paper-artifact emitters never iterate Go maps in output
+// order without a sort or an explicit //feo:unordered justification;
+// idspacedecode verifies that ID-space query hot paths never decode
+// terms. CI builds feovet and runs `go vet -vettool=feovet ./...` next
+// to gofmt, plain go vet, staticcheck, and govulncheck; the
+// internal/analysis analysistest suites prove each pass fails when its
+// contract is broken (an annotation deleted, a frozen-view mutation
+// injected, a commit reordered, a sort removed).
+//
 // # Benchmark trajectory and its CI gate
 //
 // scripts/bench.sh records the benchmark suite (all packages) across PRs

@@ -32,6 +32,8 @@ import (
 // A held Snapshot stays fully readable after newer versions publish
 // (Superseded then reports true); it pins its version's share of the
 // graph in memory until released to the garbage collector.
+//
+//feo:frozen-type
 type Snapshot struct {
 	sess  *Session
 	snap  *store.Snapshot
@@ -110,12 +112,18 @@ func (sn *Snapshot) ExplainTriple(subject, predicate, object Term) []reasoner.Pr
 }
 
 // WriteTurtle serializes the pinned version as Turtle.
+//
+//feo:emit
 func (sn *Snapshot) WriteTurtle(w io.Writer) error { return turtle.Write(w, sn.g) }
 
 // WriteRDFXML serializes the pinned version as RDF/XML.
+//
+//feo:emit
 func (sn *Snapshot) WriteRDFXML(w io.Writer) error { return rdfxml.Write(w, sn.g) }
 
 // Stats summarizes the pinned version.
+//
+//feo:emit
 func (sn *Snapshot) Stats() string {
 	st := sn.g.Statistics()
 	return fmt.Sprintf("triples=%d subjects=%d predicates=%d classes=%d instances=%d",

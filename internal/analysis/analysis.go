@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Facts is a bit set of properties attached to a function or type object,
+// either declared by a //feo: directive or derived by fact propagation.
+// Facts cross package boundaries through vetx files (see facts.go).
+type Facts uint32
+
+const (
+	// Declared on functions.
+	Mutates Facts = 1 << iota
+	FrozenSafe
+	IDSpace
+	Unordered
+	Emit
+	Decodes
+	WALAppend
+	WALSync
+	PublishPoint
+	Fresh
+	// Declared on types.
+	MutableType
+	FrozenType
+	// Derived by propagation (never written by hand).
+	CallsMutator // statically reaches a Mutates function
+	NondetRange  // contains or reaches an unjustified map iteration
+	ReachDecodes // statically reaches a Decodes function
+)
+
+// Has reports whether all bits in q are set.
+func (f Facts) Has(q Facts) bool { return f&q == q }
+
+// directiveBits maps the //feo:<name> vocabulary to declared fact bits.
+var directiveBits = map[string]Facts{
+	"mutates":      Mutates,
+	"frozen-safe":  FrozenSafe,
+	"idspace":      IDSpace,
+	"unordered":    Unordered,
+	"emit":         Emit,
+	"decodes":      Decodes,
+	"wal-append":   WALAppend,
+	"wal-sync":     WALSync,
+	"publish":      PublishPoint,
+	"fresh":        Fresh,
+	"mutable-type": MutableType,
+	"frozen-type":  FrozenType,
+}
+
+// An Analyzer is one named pass. Run inspects the package model in
+// pass.Ctx and reports diagnostics; facts are computed by the Context,
+// not by individual analyzers, so every pass sees the same model.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Ctx      *Context
+	sink     *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned in the package's FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// RunAnalyzers runs every analyzer over the package model and returns the
+// findings sorted by position (ties broken by analyzer name, so output is
+// deterministic for the CI gate).
+func RunAnalyzers(ctx *Context, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Ctx: ctx, sink: &diags}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

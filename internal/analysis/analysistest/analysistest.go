@@ -1,0 +1,191 @@
+// Package analysistest runs the project's analyzers over small fixture
+// packages and checks their diagnostics against // want "regex"
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the stdlib alone. Fixtures live under testdata/src/<pkg> in each
+// analyzer package; they are self-contained (stdlib imports only) so the
+// harness can typecheck them with the source importer and an empty
+// imported fact table.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads every .go file under dir as one package, runs the analyzers,
+// and fails t unless the diagnostics match the fixture's // want
+// expectations exactly: every diagnostic must be wanted, every want must
+// be diagnosed.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	files := map[string]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = string(data)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	fset, astFiles, diags := RunFiles(t, files, analyzers...)
+	checkWants(t, fset, astFiles, diags)
+}
+
+// RunFiles typechecks sources (filename -> content) as one package, runs
+// the analyzers, and returns the diagnostics with the fileset and syntax
+// used. The self-check tests use it directly to prove that weakening an
+// annotation or injecting a violation makes a pass fail.
+func RunFiles(t *testing.T, files map[string]string, analyzers ...*analysis.Analyzer) (*token.FileSet, []*ast.File, []analysis.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	var astFiles []*ast.File
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, files[name], parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture: %v", err)
+		}
+		astFiles = append(astFiles, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := tc.Check(astFiles[0].Name.Name, fset, astFiles, info)
+	if err != nil {
+		t.Fatalf("typecheck fixture: %v", err)
+	}
+	ctx := analysis.BuildContext(fset, astFiles, pkg, info, analysis.FactTable{})
+	diags, err := analysis.RunAnalyzers(ctx, analyzers)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+	return fset, astFiles, diags
+}
+
+// A want is one // want "regex" expectation on a fixture line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// checkWants cross-matches diagnostics against expectations.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitWants(text[len("want "):]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitWants parses the quoted regexes of a want comment: `"re1" "re2"`.
+func splitWants(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			break
+		}
+		quoted, rest, ok := cutString(s)
+		if !ok {
+			break
+		}
+		out = append(out, quoted)
+		s = strings.TrimSpace(rest)
+	}
+	return out
+}
+
+// cutString splits off one leading Go string literal.
+func cutString(s string) (string, string, bool) {
+	if s[0] == '`' {
+		if i := strings.IndexByte(s[1:], '`'); i >= 0 {
+			return s[1 : 1+i], s[i+2:], true
+		}
+		return "", "", false
+	}
+	// double-quoted: find the closing quote respecting escapes
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", false
+			}
+			return unq, s[i+1:], true
+		}
+	}
+	return "", "", false
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive comments: a line of the form //feo:<name> anywhere in a
+// declaration's doc block, or immediately above (or trailing) a statement
+// for the statement-scoped vocabulary. Like //go: directives they have no
+// space after the slashes, so gofmt keeps them attached.
+
+const directivePrefix = "//feo:"
+
+// unknownDirective records a //feo: line that names no known directive.
+type unknownDirective struct {
+	pos  token.Pos
+	text string
+}
+
+// parseGroup extracts declared fact bits from one comment group.
+func parseGroup(g *ast.CommentGroup, unknown *[]unknownDirective) Facts {
+	var f Facts
+	if g == nil {
+		return 0
+	}
+	for _, c := range g.List {
+		name, ok := directiveName(c.Text)
+		if !ok {
+			continue
+		}
+		bit, known := directiveBits[name]
+		if !known {
+			if unknown != nil {
+				*unknown = append(*unknown, unknownDirective{pos: c.Pos(), text: name})
+			}
+			continue
+		}
+		f |= bit
+	}
+	return f
+}
+
+// directiveName reports whether a comment line is a //feo: directive and
+// returns its name (the token after the colon, before any space).
+func directiveName(text string) (string, bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", false
+	}
+	rest := text[len(directivePrefix):]
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, rest != ""
+}
+
+// lineDirectives indexes a file's directive comments by the line they end
+// on, for statement-scoped lookups: a statement on line N is governed by
+// directives ending on line N (trailing comment) or line N-1.
+type lineDirectives map[int]Facts
+
+func fileLineDirectives(fset *token.FileSet, f *ast.File, unknown *[]unknownDirective) lineDirectives {
+	ld := lineDirectives{}
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			name, ok := directiveName(c.Text)
+			if !ok {
+				continue
+			}
+			bit, known := directiveBits[name]
+			if !known {
+				// Reported once via the doc-block walk in buildContext;
+				// free-standing unknown directives are caught here.
+				if unknown != nil {
+					*unknown = append(*unknown, unknownDirective{pos: c.Pos(), text: name})
+				}
+				continue
+			}
+			line := fset.Position(c.End()).Line
+			ld[line] |= bit
+		}
+	}
+	return ld
+}
+
+// at returns the statement-scoped facts governing a node starting at pos.
+func (ld lineDirectives) at(fset *token.FileSet, pos token.Pos) Facts {
+	line := fset.Position(pos).Line
+	return ld[line] | ld[line-1]
+}

@@ -1,0 +1,569 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+)
+
+// A Context is the semantic model of one package that every analyzer
+// shares: the typed syntax, the declared //feo: annotations, a static
+// call graph with receiver-ownership classification, write and map-range
+// sites, and the fact tables (imported and locally derived). Building it
+// once keeps all passes, the facts exported to importers, and the test
+// harness in exact agreement.
+type Context struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	Funcs []*FuncInfo
+	ByObj map[*types.Func]*FuncInfo
+
+	// Imported holds the merged fact tables of all dependencies; Local
+	// holds this package's declared and derived facts (function and type
+	// keys). Export of Local ∪ Imported makes tables cumulative.
+	Imported FactTable
+	Local    FactTable
+
+	// Unknown records //feo: comments naming no known directive.
+	Unknown []unknownDirective
+}
+
+// A FuncInfo is the model of one declared function or method.
+type FuncInfo struct {
+	Decl     *ast.FuncDecl
+	Obj      *types.Func
+	Ann      Facts // declared bits from the doc block
+	TestFile bool
+
+	RecvVar   *types.Var
+	ParamVars []*types.Var
+
+	RecvWrites   []token.Pos // writes rooted at the receiver
+	ParamWrites  []VarWrite  // writes rooted at a parameter
+	GlobalWrites []VarWrite  // writes rooted at a package-level var
+
+	Calls     []CallSite
+	Ranges    []MapRange
+	SortCalls []token.Pos // positions of sort-like calls
+}
+
+// A VarWrite is a write through a non-local root variable.
+type VarWrite struct {
+	Var *types.Var
+	Pos token.Pos
+}
+
+// A CallSite is one statically resolved call.
+type CallSite struct {
+	Key       string
+	Callee    *types.Func
+	Pos       token.Pos
+	RecvOwned bool  // method call on a function-local fresh value
+	StmtAnn   Facts // statement-scoped directives at the call
+}
+
+// A MapRange is one `range` statement over a map.
+type MapRange struct {
+	Pos       token.Pos
+	Justified bool // sorted afterwards in-function, or //feo:unordered
+}
+
+// Key returns the fact key of the function.
+func (fi *FuncInfo) Key() string { return FuncKey(fi.Obj) }
+
+// SortedAfter reports whether a sort-like call follows pos in the
+// function, which justifies map-order-dependent data produced at pos.
+func (fi *FuncInfo) SortedAfter(pos token.Pos) bool {
+	for _, s := range fi.SortCalls {
+		if s > pos {
+			return true
+		}
+	}
+	return false
+}
+
+// FactsOf resolves the current facts for a key, local first.
+func (c *Context) FactsOf(key string) Facts {
+	if f, ok := c.Local[key]; ok {
+		return f
+	}
+	return c.Imported[key]
+}
+
+// TypeFacts resolves type-level marks for t (through pointers).
+func (c *Context) TypeFacts(t types.Type) Facts {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return 0
+	}
+	return c.FactsOf(TypeKey(named.Obj()))
+}
+
+// FrozenContext reports whether fi must uphold the frozen-view contract:
+// a method of a //feo:frozen-type type, or a //feo:frozen-safe function.
+func (c *Context) FrozenContext(fi *FuncInfo) bool {
+	if fi.Ann.Has(FrozenSafe) {
+		return true
+	}
+	if fi.RecvVar != nil && c.TypeFacts(fi.RecvVar.Type()).Has(FrozenType) {
+		return true
+	}
+	return false
+}
+
+// ExportFacts returns the cumulative table importers of this package see.
+func (c *Context) ExportFacts() FactTable {
+	out := FactTable{}
+	out.Merge(c.Imported)
+	out.Merge(c.Local)
+	return out
+}
+
+// BuildContext models one typechecked package. imported is the merged
+// fact table of the package's dependencies (may be nil).
+func BuildContext(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, imported FactTable) *Context {
+	c := &Context{
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		ByObj:    map[*types.Func]*FuncInfo{},
+		Imported: imported,
+		Local:    FactTable{},
+	}
+	if c.Imported == nil {
+		c.Imported = FactTable{}
+	}
+	for _, f := range files {
+		c.buildFile(f)
+	}
+	c.propagate()
+	return c
+}
+
+func (c *Context) buildFile(f *ast.File) {
+	testFile := strings.HasSuffix(c.Fset.Position(f.Pos()).Filename, "_test.go")
+	lines := fileLineDirectives(c.Fset, f, &c.Unknown)
+
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			declAnn := parseGroup(d.Doc, nil)
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				ann := declAnn | parseGroup(ts.Doc, nil) | parseGroup(ts.Comment, nil)
+				if ann == 0 {
+					continue
+				}
+				if obj, ok := c.Info.Defs[ts.Name].(*types.TypeName); ok {
+					c.Local[TypeKey(obj)] |= ann & (MutableType | FrozenType)
+				}
+			}
+		case *ast.FuncDecl:
+			obj, ok := c.Info.Defs[d.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &FuncInfo{
+				Decl:     d,
+				Obj:      obj,
+				Ann:      parseGroup(d.Doc, nil),
+				TestFile: testFile,
+			}
+			sig := obj.Type().(*types.Signature)
+			if r := sig.Recv(); r != nil {
+				fi.RecvVar = r
+			}
+			for i := 0; i < sig.Params().Len(); i++ {
+				fi.ParamVars = append(fi.ParamVars, sig.Params().At(i))
+			}
+			if d.Body != nil {
+				owned := c.ownedLocals(d.Body)
+				c.walkBody(fi, d.Body, owned, lines)
+				c.justifyRanges(fi, lines)
+			}
+			c.Funcs = append(c.Funcs, fi)
+			c.ByObj[obj] = fi
+			c.Local[fi.Key()] |= fi.Ann
+		}
+	}
+}
+
+// freshExpr reports whether e evaluates to a newly allocated value the
+// evaluating function owns: a composite literal (or its address), new(T),
+// or a call to a //feo:fresh function.
+func (c *Context) freshExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, lit := ast.Unparen(e.X).(*ast.CompositeLit)
+			return lit
+		}
+	case *ast.CallExpr:
+		if fn := c.staticCallee(e); fn != nil {
+			return c.FactsOf(FuncKey(fn)).Has(Fresh)
+		}
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := c.Info.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ownedLocals computes, flow-insensitively, the set of local variables
+// that only ever hold function-private fresh values. Mutating methods
+// called on such a variable do not touch shared state.
+func (c *Context) ownedLocals(body *ast.BlockStmt) map[*types.Var]bool {
+	state := map[*types.Var]int{} // +1 fresh seen, -1 poisoned
+	mark := func(id *ast.Ident, fresh bool) {
+		obj, ok := c.Info.Defs[id].(*types.Var)
+		if !ok {
+			obj, ok = c.Info.Uses[id].(*types.Var)
+		}
+		if !ok || obj == nil {
+			return
+		}
+		if fresh {
+			if state[obj] >= 0 {
+				state[obj] = 1
+			}
+		} else {
+			state[obj] = -1
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+						mark(id, c.freshExpr(n.Rhs[i]))
+					}
+				}
+			} else {
+				for _, lhs := range n.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+						mark(id, false)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 0 {
+				// var x T: the zero value is private unless T is a
+				// pointer (nil until a later, separately judged assign).
+				for _, id := range n.Names {
+					if obj, ok := c.Info.Defs[id].(*types.Var); ok {
+						_, ptr := obj.Type().Underlying().(*types.Pointer)
+						mark(id, !ptr)
+					}
+				}
+			} else if len(n.Values) == len(n.Names) {
+				for i, id := range n.Names {
+					mark(id, c.freshExpr(n.Values[i]))
+				}
+			} else {
+				for _, id := range n.Names {
+					mark(id, false)
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					mark(id, false)
+				}
+			}
+		case *ast.FuncLit:
+			// A literal's own parameters belong to whoever calls the
+			// literal: mutating through them is that caller's doing, not
+			// the enclosing function's. (Captured variables are not
+			// parameters and keep their outer classification.)
+			for _, field := range n.Type.Params.List {
+				for _, id := range field.Names {
+					if id.Name != "_" {
+						mark(id, true)
+					}
+				}
+			}
+		}
+		return true
+	})
+	owned := map[*types.Var]bool{}
+	//feo:unordered // set build; order-insensitive
+	for v, s := range state {
+		if s > 0 {
+			owned[v] = true
+		}
+	}
+	return owned
+}
+
+// staticCallee resolves a call's single static target, or nil for calls
+// through function values, interfaces, builtins, and conversions.
+func (c *Context) staticCallee(call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	// Strip generic instantiation syntax.
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		fn, _ := c.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := c.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// exprRoot walks selector/index/deref chains to the base identifier.
+func exprRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+func (c *Context) walkBody(fi *FuncInfo, body *ast.BlockStmt, owned map[*types.Var]bool, lines lineDirectives) {
+	recordWrite := func(e ast.Expr, pos token.Pos) {
+		// Rebinding a variable (`s = t`, `s, t = t, s`) copies into the
+		// local; parameters and receivers are copies, so that never
+		// mutates caller-visible state. Only writes through a
+		// selector/index/deref chain do. Bare-ident assignment to a
+		// package-level var, however, is a real package-state write.
+		bare := false
+		if _, ok := ast.Unparen(e).(*ast.Ident); ok {
+			bare = true
+		}
+		root := exprRoot(e)
+		if root == nil {
+			return
+		}
+		obj, ok := c.Info.Uses[root].(*types.Var)
+		if !ok {
+			return
+		}
+		switch {
+		case bare && obj.Parent() != c.Pkg.Scope():
+			// local rebinding of a receiver, parameter, or local
+		case fi.RecvVar != nil && obj == fi.RecvVar:
+			fi.RecvWrites = append(fi.RecvWrites, pos)
+		case isOneOf(obj, fi.ParamVars):
+			fi.ParamWrites = append(fi.ParamWrites, VarWrite{Var: obj, Pos: pos})
+		case obj.Parent() == c.Pkg.Scope():
+			fi.GlobalWrites = append(fi.GlobalWrites, VarWrite{Var: obj, Pos: pos})
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if id.Name == "_" {
+						continue
+					}
+					if n.Tok == token.DEFINE {
+						continue // new local
+					}
+					recordWrite(lhs, lhs.Pos())
+					continue
+				}
+				recordWrite(lhs, lhs.Pos())
+			}
+		case *ast.IncDecStmt:
+			recordWrite(n.X, n.X.Pos())
+		case *ast.RangeStmt:
+			if t := c.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					fi.Ranges = append(fi.Ranges, MapRange{Pos: n.Pos()})
+				}
+			}
+		case *ast.CallExpr:
+			fun := ast.Unparen(n.Fun)
+			if id, ok := fun.(*ast.Ident); ok {
+				if b, ok := c.Info.Uses[id].(*types.Builtin); ok {
+					if (b.Name() == "delete" || b.Name() == "copy") && len(n.Args) > 0 {
+						recordWrite(n.Args[0], n.Pos())
+					}
+					return true
+				}
+			}
+			fn := c.staticCallee(n)
+			if fn == nil {
+				return true
+			}
+			cs := CallSite{
+				Key:     FuncKey(fn),
+				Callee:  fn,
+				Pos:     n.Pos(),
+				StmtAnn: lines.at(c.Fset, n.Pos()),
+			}
+			if sel, ok := fun.(*ast.SelectorExpr); ok && fn.Type().(*types.Signature).Recv() != nil {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if v, ok := c.Info.Uses[id].(*types.Var); ok && owned[v] &&
+						v != fi.RecvVar && !isOneOf(v, fi.ParamVars) && v.Parent() != c.Pkg.Scope() {
+						cs.RecvOwned = true
+					}
+				}
+			}
+			if isSortCall(fn) {
+				fi.SortCalls = append(fi.SortCalls, n.Pos())
+			}
+			fi.Calls = append(fi.Calls, cs)
+		}
+		return true
+	})
+}
+
+func isOneOf(v *types.Var, vs []*types.Var) bool {
+	for _, p := range vs {
+		if v == p {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall recognizes calls that establish a deterministic order: the
+// sort package (other than Search*), slices.Sort*, and any project
+// function whose name contains "sort".
+func isSortCall(fn *types.Func) bool {
+	name := fn.Name()
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "sort":
+			return !strings.HasPrefix(name, "Search")
+		case "slices":
+			return strings.HasPrefix(name, "Sort")
+		}
+	}
+	return strings.Contains(strings.ToLower(name), "sort")
+}
+
+// justifyRanges resolves each map range's justification: an explicit
+// //feo:unordered (statement- or function-scoped), or a sort-like call
+// later in the same function.
+func (c *Context) justifyRanges(fi *FuncInfo, lines lineDirectives) {
+	for i := range fi.Ranges {
+		r := &fi.Ranges[i]
+		if fi.Ann.Has(Unordered) || lines.at(c.Fset, r.Pos).Has(Unordered) {
+			r.Justified = true
+			continue
+		}
+		for _, s := range fi.SortCalls {
+			if s > r.Pos {
+				r.Justified = true
+				break
+			}
+		}
+	}
+}
+
+// propagate derives the transitive facts (CallsMutator, NondetRange,
+// ReachDecodes) to a fixed point over the package's call graph, reading
+// dependency facts from the imported table. Bits only turn on, so the
+// loop terminates.
+func (c *Context) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range c.Funcs {
+			key := fi.Key()
+			f := c.Local[key]
+			add := Facts(0)
+
+			if !f.Has(Mutates) && !f.Has(CallsMutator) {
+				for _, call := range fi.Calls {
+					cf := c.FactsOf(call.Key)
+					if (cf.Has(Mutates) || cf.Has(CallsMutator)) && !call.RecvOwned {
+						if os.Getenv("FEOVET_DEBUG_MUT") != "" {
+							fmt.Fprintf(os.Stderr, "MUT %s <- %s @ %s\n", key, call.Key, c.Fset.Position(call.Pos))
+						}
+						add |= CallsMutator
+						break
+					}
+				}
+			}
+
+			if !f.Has(NondetRange) && !f.Has(Unordered) {
+				for _, r := range fi.Ranges {
+					if !r.Justified {
+						add |= NondetRange
+						break
+					}
+				}
+				if !add.Has(NondetRange) {
+					for _, call := range fi.Calls {
+						cf := c.FactsOf(call.Key)
+						if !cf.Has(NondetRange) || call.StmtAnn.Has(Unordered) {
+							continue
+						}
+						if fi.SortedAfter(call.Pos) {
+							continue
+						}
+						if os.Getenv("FEOVET_DEBUG_NDR") != "" {
+							fmt.Fprintf(os.Stderr, "NDR %s <- %s @ %s\n", key, call.Key, c.Fset.Position(call.Pos))
+						}
+						add |= NondetRange
+						break
+					}
+				}
+			}
+
+			if !f.Has(ReachDecodes) {
+				for _, call := range fi.Calls {
+					cf := c.FactsOf(call.Key)
+					if cf.Has(Decodes) || cf.Has(ReachDecodes) {
+						add |= ReachDecodes
+						break
+					}
+				}
+			}
+
+			if add != 0 {
+				c.Local[key] = f | add
+				changed = true
+			}
+		}
+	}
+}

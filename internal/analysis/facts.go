@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"os"
+)
+
+// A FactTable maps object keys to fact bits. Function keys are
+// types.Func.FullName ("repro/internal/store.New",
+// "(*repro/internal/store.Graph).Publish"); type keys are
+// "type:" + the named type's package-qualified string. Tables are
+// cumulative: a package's exported table includes everything it imported,
+// so facts reach indirect importers even though the go command only hands
+// each vet invocation its direct dependencies' vetx files.
+type FactTable map[string]Facts
+
+// FuncKey returns the fact key for a function object.
+func FuncKey(fn *types.Func) string { return fn.FullName() }
+
+// TypeKey returns the fact key for a named type.
+func TypeKey(tn *types.TypeName) string {
+	if pkg := tn.Pkg(); pkg != nil {
+		return "type:" + pkg.Path() + "." + tn.Name()
+	}
+	return "type:" + tn.Name()
+}
+
+// Merge copies every entry of src into t, or'ing bits on collision.
+func (t FactTable) Merge(src FactTable) {
+	//feo:unordered // or-merge; order-insensitive
+	for k, v := range src {
+		t[k] |= v
+	}
+}
+
+// vetx serialization. The go command treats the file as opaque; a version
+// header keeps stale caches from older feovet builds unreadable rather
+// than wrong.
+
+const factsVersion = "feovet-facts-v1"
+
+type factsFile struct {
+	Version string
+	Table   FactTable
+}
+
+// EncodeFacts serializes the table for a vetx output file.
+func EncodeFacts(t FactTable) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(factsFile{Version: factsVersion, Table: t}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFactsFile reads one dependency's vetx file. A missing file is an
+// error (the go command guarantees dependency order); a version mismatch
+// yields an empty table so a feovet upgrade degrades to a clean re-derive
+// instead of corrupt facts.
+func DecodeFactsFile(path string) (FactTable, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f factsFile
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("decode facts %s: %v", path, err)
+	}
+	if f.Version != factsVersion {
+		return FactTable{}, nil
+	}
+	if f.Table == nil {
+		f.Table = FactTable{}
+	}
+	return f.Table, nil
+}

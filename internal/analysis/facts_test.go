@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFactsRoundtrip(t *testing.T) {
+	table := FactTable{
+		"(*repro/internal/store.Graph).Add": Mutates | CallsMutator,
+		"repro/internal/store.NewIDSet":     Fresh,
+		"type:repro/internal/store.Graph":   MutableType,
+	}
+	data, err := EncodeFacts(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.vetx")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFactsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(table) {
+		t.Fatalf("got %d entries, want %d", len(got), len(table))
+	}
+	for k, v := range table {
+		if got[k] != v {
+			t.Errorf("%s: got %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+// A vetx from a different feovet build must degrade to an empty table,
+// not to corrupt facts.
+func TestFactsVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(factsFile{
+		Version: "feovet-facts-v0",
+		Table:   FactTable{"f": Mutates},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.vetx")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFactsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("stale-version vetx should decode to an empty table; got %v", got)
+	}
+}
+
+func TestFactTableMerge(t *testing.T) {
+	dst := FactTable{"a": Mutates}
+	dst.Merge(FactTable{"a": CallsMutator, "b": Emit})
+	if dst["a"] != Mutates|CallsMutator || dst["b"] != Emit {
+		t.Fatalf("merge wrong: %v", dst)
+	}
+}

@@ -1,0 +1,107 @@
+// Package frozenmut checks the MVCC immutability contract (PR 7): a
+// published snapshot view is frozen forever. The check is declarative —
+// //feo:mutable-type marks writer-owned state, //feo:mutates marks every
+// mutator, //feo:frozen-type / //feo:frozen-safe mark the read surface —
+// and the analyzer proves the two halves never meet:
+//
+//   - a function that writes through a //feo:mutable-type receiver or
+//     pointer parameter must be annotated //feo:mutates (so deleting an
+//     annotation fails the build, not just weakens it);
+//   - an exported method of a mutable type must declare itself one way or
+//     the other (fail closed);
+//   - no frozen context — a method of a frozen type, or a //feo:frozen-safe
+//     function — may write shared state or statically reach a mutator,
+//     except through values it provably allocated itself (//feo:fresh).
+package frozenmut
+
+import (
+	"repro/internal/analysis"
+)
+
+// Analyzer is the frozenmut pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "frozenmut",
+	Doc:  "check that no mutator is reachable from a frozen snapshot view",
+	Run:  run,
+}
+
+func run(p *analysis.Pass) error {
+	c := p.Ctx
+	for _, fi := range c.Funcs {
+		if fi.TestFile {
+			continue
+		}
+		var recvFacts analysis.Facts
+		if fi.RecvVar != nil {
+			recvFacts = c.TypeFacts(fi.RecvVar.Type())
+		}
+		name := fi.Obj.Name()
+
+		if fi.Ann.Has(analysis.Mutates) && fi.Ann.Has(analysis.FrozenSafe) {
+			p.Reportf(fi.Decl.Name.Pos(), "%s is annotated both //feo:mutates and //feo:frozen-safe", name)
+			continue
+		}
+
+		// Fail closed: the exported surface of a mutable type must say
+		// which side of the contract it is on.
+		if recvFacts.Has(analysis.MutableType) && fi.Obj.Exported() &&
+			!fi.Ann.Has(analysis.Mutates) && !fi.Ann.Has(analysis.FrozenSafe) {
+			p.Reportf(fi.Decl.Name.Pos(),
+				"exported method %s of mutable type %s must be annotated //feo:mutates or //feo:frozen-safe",
+				name, fi.RecvVar.Type())
+		}
+
+		// Writes through mutable state demand a //feo:mutates annotation.
+		var mutWrites []analysis.VarWrite
+		if recvFacts.Has(analysis.MutableType) {
+			for _, pos := range fi.RecvWrites {
+				mutWrites = append(mutWrites, analysis.VarWrite{Var: fi.RecvVar, Pos: pos})
+			}
+		}
+		for _, w := range fi.ParamWrites {
+			if c.TypeFacts(w.Var.Type()).Has(analysis.MutableType) {
+				mutWrites = append(mutWrites, w)
+			}
+		}
+		if len(mutWrites) > 0 && !fi.Ann.Has(analysis.Mutates) {
+			w := mutWrites[0]
+			if fi.Ann.Has(analysis.FrozenSafe) {
+				p.Reportf(w.Pos, "frozen-safe function %s writes mutable state through %s", name, w.Var.Name())
+			} else {
+				p.Reportf(w.Pos, "%s writes mutable state through %s but is not annotated //feo:mutates", name, w.Var.Name())
+			}
+		}
+
+		// A frozen view's own methods may never write the view.
+		if recvFacts.Has(analysis.FrozenType) {
+			for _, pos := range fi.RecvWrites {
+				p.Reportf(pos, "method %s writes its frozen receiver %s", name, fi.RecvVar.Name())
+			}
+		}
+
+		if !c.FrozenContext(fi) {
+			continue
+		}
+
+		// Frozen contexts: no global writes into mutable state, and no
+		// static path to a mutator (fresh-owned receivers excepted).
+		for _, w := range fi.GlobalWrites {
+			if c.TypeFacts(w.Var.Type()).Has(analysis.MutableType) {
+				p.Reportf(w.Pos, "frozen context %s writes mutable global %s", name, w.Var.Name())
+			}
+		}
+		for _, call := range fi.Calls {
+			if call.RecvOwned {
+				continue
+			}
+			cf := c.FactsOf(call.Key)
+			switch {
+			case cf.Has(analysis.Mutates):
+				p.Reportf(call.Pos, "frozen context %s calls mutator %s", name, call.Callee.FullName())
+			case cf.Has(analysis.CallsMutator):
+				p.Reportf(call.Pos, "frozen context %s calls %s, which can reach a mutator", name, call.Callee.FullName())
+			}
+		}
+	}
+	return nil
+}

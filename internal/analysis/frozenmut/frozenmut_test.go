@@ -1,0 +1,72 @@
+package frozenmut_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/frozenmut"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", frozenmut.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, "testdata/src/clean", frozenmut.Analyzer)
+}
+
+func cleanSrc(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile("testdata/src/clean/clean.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// Deleting the //feo:mutates annotation from a writer must fail the pass:
+// the write itself now lacks its declaration, and the exported method no
+// longer says which side of the contract it is on.
+func TestSelfCheckAnnotationDeletion(t *testing.T) {
+	src := cleanSrc(t)
+	mutated := strings.Replace(src, "//feo:mutates\n", "", 1)
+	if mutated == src {
+		t.Fatal("fixture has no //feo:mutates annotation to delete")
+	}
+	_, _, diags := analysistest.RunFiles(t, map[string]string{"clean.go": mutated}, frozenmut.Analyzer)
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "Put") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deleting //feo:mutates from Put produced no finding about Put; got %v", diags)
+	}
+}
+
+// Injecting a mutation into the frozen view must fail the pass.
+func TestSelfCheckFrozenViewMutation(t *testing.T) {
+	injected := cleanSrc(t) + `
+func (sn *Snapshot) Reset(k string) {
+	sn.s.Put(k, 0)
+	sn.s = nil
+}
+`
+	_, _, diags := analysistest.RunFiles(t, map[string]string{"clean.go": injected}, frozenmut.Analyzer)
+	var mutatorCall, recvWrite bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "calls mutator") {
+			mutatorCall = true
+		}
+		if strings.Contains(d.Message, "writes its frozen receiver") {
+			recvWrite = true
+		}
+	}
+	if !mutatorCall || !recvWrite {
+		t.Fatalf("injected frozen-view mutation not fully caught (mutator call: %v, receiver write: %v); got %v",
+			mutatorCall, recvWrite, diags)
+	}
+}

@@ -1,0 +1,83 @@
+// Fixture for the frozenmut analyzer: every contract violation it must
+// catch, with // want expectations on the diagnosed lines.
+package a
+
+//feo:mutable-type
+type Box struct {
+	v int
+	m map[string]int
+}
+
+//feo:frozen-type
+type View struct {
+	b *Box
+}
+
+//feo:fresh
+func NewBox() *Box { return &Box{m: map[string]int{}} }
+
+//feo:mutates
+func (b *Box) Set(v int) { b.v = v }
+
+//feo:frozen-safe
+func (b *Box) Get() int { return b.v }
+
+// Exported method of a mutable type with no annotation: fail closed.
+func (b *Box) Unmarked() int { return b.v } // want `exported method Unmarked of mutable type .*Box must be annotated`
+
+// A frozen-safe function must not write its mutable receiver.
+//
+//feo:frozen-safe
+func (b *Box) BadWrite() {
+	b.v = 1 // want `frozen-safe function BadWrite writes mutable state through b`
+}
+
+// An unexported writer still needs //feo:mutates.
+func scribble(b *Box) {
+	b.v = 2 // want `scribble writes mutable state through b but is not annotated //feo:mutates`
+}
+
+// Contradictory annotations are rejected outright.
+//
+//feo:mutates
+//feo:frozen-safe
+func (b *Box) Confused() {} // want `Confused is annotated both //feo:mutates and //feo:frozen-safe`
+
+// A frozen view's methods may read but never write the view.
+func (v *View) Peek() int { return v.b.Get() }
+
+func (v *View) Smash() {
+	v.b = nil // want `method Smash writes its frozen receiver v`
+}
+
+// A frozen context may not reach a mutator, directly...
+func (v *View) Corrupt() {
+	v.b.Set(1) // want `frozen context Corrupt calls mutator .*Set`
+}
+
+// ...or transitively through an unannotated helper.
+func helper(b *Box) { b.Set(2) }
+
+func (v *View) Sneaky() {
+	helper(v.b) // want `frozen context Sneaky calls .*helper, which can reach a mutator`
+}
+
+// Mutating a set the function provably allocated itself is fine.
+//
+//feo:frozen-safe
+func (b *Box) Doubled() *Box {
+	out := NewBox()
+	out.Set(b.Get() * 2)
+	return out
+}
+
+// Rebinding a parameter is not a mutation.
+//
+//feo:frozen-safe
+func (b *Box) Larger(o *Box) *Box {
+	if o.Get() > b.Get() {
+		b, o = o, b
+	}
+	_ = o
+	return b
+}

@@ -1,0 +1,34 @@
+// A fully annotated store/view pair with no violations. The self-check
+// tests mutate THIS file — deleting an annotation, or injecting a write
+// into the frozen view — and assert that frozenmut starts failing.
+package clean
+
+//feo:mutable-type
+type Store struct {
+	data map[string]int
+	n    int
+}
+
+//feo:frozen-type
+type Snapshot struct {
+	s *Store
+}
+
+//feo:fresh
+func NewStore() *Store { return &Store{data: map[string]int{}} }
+
+//feo:mutates
+func (s *Store) Put(k string, v int) {
+	s.data[k] = v
+	s.n++
+}
+
+//feo:frozen-safe
+func (s *Store) Get(k string) int { return s.data[k] }
+
+//feo:frozen-safe
+func (s *Store) Len() int { return s.n }
+
+func (sn *Snapshot) Read(k string) int { return sn.s.Get(k) }
+
+func (sn *Snapshot) Size() int { return sn.s.Len() }

@@ -1,0 +1,43 @@
+// Package idspacedecode checks the ID-space contract (PR 4): query
+// evaluation hot paths work on dictionary IDs and must not materialize
+// rdf.Term values. Decoding chokepoints carry //feo:decodes
+// (TermDict.Term and its wrappers); hot paths carry //feo:idspace; the
+// analyzer proves no //feo:idspace function reaches a decoder, directly
+// or transitively across packages.
+package idspacedecode
+
+import (
+	"repro/internal/analysis"
+)
+
+// Analyzer is the idspacedecode pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "idspacedecode",
+	Doc:  "check that ID-space hot paths never decode terms",
+	Run:  run,
+}
+
+func run(p *analysis.Pass) error {
+	c := p.Ctx
+	for _, fi := range c.Funcs {
+		if fi.TestFile || !fi.Ann.Has(analysis.IDSpace) {
+			continue
+		}
+		if fi.Ann.Has(analysis.Decodes) {
+			p.Reportf(fi.Decl.Name.Pos(), "%s is annotated both //feo:idspace and //feo:decodes", fi.Obj.Name())
+			continue
+		}
+		for _, call := range fi.Calls {
+			cf := c.FactsOf(call.Key)
+			switch {
+			case cf.Has(analysis.Decodes):
+				p.Reportf(call.Pos, "ID-space hot path %s calls %s, which decodes terms",
+					fi.Obj.Name(), call.Callee.FullName())
+			case cf.Has(analysis.ReachDecodes):
+				p.Reportf(call.Pos, "ID-space hot path %s calls %s, which can reach a term decode",
+					fi.Obj.Name(), call.Callee.FullName())
+			}
+		}
+	}
+	return nil
+}

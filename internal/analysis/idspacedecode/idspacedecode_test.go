@@ -1,0 +1,50 @@
+package idspacedecode_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/idspacedecode"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", idspacedecode.Analyzer)
+}
+
+// Introducing a decode into a clean hot path must fail the pass.
+func TestSelfCheckDecodeInjection(t *testing.T) {
+	src := `package p
+
+type id uint64
+
+var terms []string
+
+//feo:decodes
+func term(i id) string { return terms[i] }
+
+//feo:idspace
+func hot(a, b id) id {
+	if a < b {
+		return a
+	}
+	return b
+}
+`
+	_, _, diags := analysistest.RunFiles(t, map[string]string{"p.go": src}, idspacedecode.Analyzer)
+	if len(diags) != 0 {
+		t.Fatalf("clean hot path should have no findings; got %v", diags)
+	}
+
+	injected := strings.Replace(src, "\tif a < b {", "\t_ = term(a)\n\tif a < b {", 1)
+	_, _, diags = analysistest.RunFiles(t, map[string]string{"p.go": injected}, idspacedecode.Analyzer)
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "decodes terms") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("injected decode not caught; got %v", diags)
+	}
+}

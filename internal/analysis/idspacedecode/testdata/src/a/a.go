@@ -1,0 +1,46 @@
+// Fixture for the idspacedecode analyzer: ID-space hot paths must not
+// reach a term decoder.
+package a
+
+type id uint64
+
+var terms []string
+
+// The decoding chokepoint.
+//
+//feo:decodes
+func term(i id) string { return terms[i] }
+
+// Direct decode on a hot path.
+//
+//feo:idspace
+func hotDirect(i id) string {
+	return term(i) // want `ID-space hot path hotDirect calls .*term, which decodes terms`
+}
+
+// Transitive decode through an unannotated helper.
+func helper(i id) string { return term(i) }
+
+//feo:idspace
+func hotTransitive(i id) string {
+	return helper(i) // want `ID-space hot path hotTransitive calls .*helper, which can reach a term decode`
+}
+
+// Pure ID arithmetic is the intended shape.
+//
+//feo:idspace
+func hotOK(a, b id) id {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// The two annotations contradict each other.
+//
+//feo:idspace
+//feo:decodes
+func confused(i id) string { return "" } // want `confused is annotated both //feo:idspace and //feo:decodes`
+
+// Decoding off the hot path is fine.
+func coldPath(i id) string { return term(i) }

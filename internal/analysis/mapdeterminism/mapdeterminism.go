@@ -1,0 +1,50 @@
+// Package mapdeterminism checks the artifact determinism contract: paper
+// artifacts (Turtle/RDF-XML serializations, SPARQL result listings) must
+// be byte-stable, so no Go map may be iterated in emitted order. The
+// analyzer flags, inside every //feo:emit function, (a) direct `range`
+// statements over maps and (b) calls into functions that — transitively,
+// across packages via facts — contain one. An iteration is justified only
+// by a subsequent sort in the same function or an explicit //feo:unordered
+// on the statement or function.
+package mapdeterminism
+
+import (
+	"repro/internal/analysis"
+)
+
+// Analyzer is the mapdeterminism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapdeterminism",
+	Doc:  "check that emit paths never depend on map iteration order",
+	Run:  run,
+}
+
+func run(p *analysis.Pass) error {
+	c := p.Ctx
+	for _, fi := range c.Funcs {
+		if fi.TestFile || !fi.Ann.Has(analysis.Emit) {
+			continue
+		}
+		for _, r := range fi.Ranges {
+			if !r.Justified {
+				p.Reportf(r.Pos, "emit path %s iterates a map in nondeterministic order; sort first or annotate //feo:unordered",
+					fi.Obj.Name())
+			}
+		}
+		for _, call := range fi.Calls {
+			if call.StmtAnn.Has(analysis.Unordered) {
+				continue
+			}
+			cf := c.FactsOf(call.Key)
+			if !cf.Has(analysis.NondetRange) {
+				continue
+			}
+			if fi.SortedAfter(call.Pos) {
+				continue
+			}
+			p.Reportf(call.Pos, "emit path %s calls %s, which iterates a map in nondeterministic order",
+				fi.Obj.Name(), call.Callee.FullName())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package mapdeterminism_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/mapdeterminism"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", mapdeterminism.Analyzer)
+}
+
+// Removing the sort from a sorted emitter must fail the pass.
+func TestSelfCheckSortRemoval(t *testing.T) {
+	src := `package p
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+//feo:emit
+func emit(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k, m[k])
+	}
+}
+`
+	_, _, diags := analysistest.RunFiles(t, map[string]string{"p.go": src}, mapdeterminism.Analyzer)
+	if len(diags) != 0 {
+		t.Fatalf("sorted emitter should be clean; got %v", diags)
+	}
+
+	unsorted := strings.Replace(src, "\tsort.Strings(keys)\n", "", 1)
+	unsorted = strings.Replace(unsorted, "\t\"sort\"\n", "", 1)
+	_, _, diags = analysistest.RunFiles(t, map[string]string{"p.go": unsorted}, mapdeterminism.Analyzer)
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "iterates a map in nondeterministic order") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("removing the sort produced no finding; got %v", diags)
+	}
+}

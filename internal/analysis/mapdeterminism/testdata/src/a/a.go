@@ -1,0 +1,82 @@
+// Fixture for the mapdeterminism analyzer: map iteration on emit paths.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// A raw map range in an emit function is nondeterministic output.
+//
+//feo:emit
+func emitRaw(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `emit path emitRaw iterates a map in nondeterministic order`
+		fmt.Fprintln(w, k, v)
+	}
+}
+
+// Sorting afterwards justifies the range.
+//
+//feo:emit
+func emitSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k, m[k])
+	}
+}
+
+// An explicit statement-level discharge is accepted.
+//
+//feo:emit
+func emitCounted(w io.Writer, m map[string]int) {
+	total := 0
+	//feo:unordered // summation
+	for _, v := range m {
+		total += v
+	}
+	fmt.Fprintln(w, total)
+}
+
+// The taint flows through helpers, across the call graph.
+func rangeHelper(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k
+	}
+	return out
+}
+
+//feo:emit
+func emitVia(w io.Writer, m map[string]int) {
+	fmt.Fprintln(w, rangeHelper(m)) // want `emit path emitVia calls .*rangeHelper, which iterates a map in nondeterministic order`
+}
+
+// A helper declared order-insensitive does not taint its callers.
+//
+//feo:unordered
+func countHelper(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+//feo:emit
+func emitCount(w io.Writer, m map[string]int) {
+	fmt.Fprintln(w, countHelper(m))
+}
+
+// Non-emit functions may range freely.
+func internalUse(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Annots is the directive hygiene pass: an unknown //feo: directive is an
+// error, so a typo cannot silently disable a contract check.
+var Annots = &Analyzer{
+	Name: "annots",
+	Doc:  "check that every //feo: directive names a known annotation",
+	Run: func(p *Pass) error {
+		for _, u := range p.Ctx.Unknown {
+			p.Reportf(u.pos, "unknown directive //feo:%s", u.text)
+		}
+		return nil
+	},
+}
+
+// AtomicLite is a stdlib port of vet's atomic pass: flag assignments of a
+// sync/atomic read-modify-write result back to the operand, which loses
+// the atomicity the call was for. (The SSA-based standard passes, nilness
+// and unusedwrite, need golang.org/x/tools and are gated out of this
+// build; CI covers them with staticcheck.)
+var AtomicLite = &Analyzer{
+	Name: "atomiclite",
+	Doc:  "check for direct assignment of sync/atomic results to their operand",
+	Run:  runAtomicLite,
+}
+
+func runAtomicLite(p *Pass) error {
+	c := p.Ctx
+	for _, fi := range c.Funcs {
+		if fi.TestFile || fi.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := c.staticCallee(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			name := fn.Name()
+			if !strings.HasPrefix(name, "Add") && !strings.HasPrefix(name, "Swap") &&
+				!strings.HasPrefix(name, "And") && !strings.HasPrefix(name, "Or") {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if types.ExprString(ast.Unparen(addr.X)) == types.ExprString(ast.Unparen(as.Lhs[0])) {
+				p.Reportf(as.Pos(), "direct assignment of atomic.%s result to its operand defeats the atomic operation", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

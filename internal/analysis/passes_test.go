@@ -1,0 +1,55 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAtomicLiteFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/hygiene", analysis.AtomicLite)
+}
+
+// A typo in a //feo: directive must be an error, never a silent no-op.
+// The annots pass reports at the directive comment itself, where a
+// // want comment cannot sit, so this case is driven directly.
+func TestAnnotsRejectsTypo(t *testing.T) {
+	src := `package p
+
+//feo:mutates
+func known() {}
+
+//feo:mutatez
+func typo() {}
+`
+	_, _, diags := analysistest.RunFiles(t, map[string]string{"p.go": src}, analysis.Annots)
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "unknown directive //feo:mutatez") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("typo directive not reported; got %v", diags)
+	}
+}
+
+func TestAnnotsAcceptsVocabulary(t *testing.T) {
+	src := `package p
+
+//feo:mutable-type
+type box struct{ n int }
+
+//feo:mutates
+func (b *box) set(n int) { b.n = n }
+
+//feo:frozen-safe
+func (b *box) get() int { return b.n }
+`
+	_, _, diags := analysistest.RunFiles(t, map[string]string{"p.go": src}, analysis.Annots)
+	if len(diags) != 0 {
+		t.Fatalf("known directives reported as unknown: %v", diags)
+	}
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Standalone whole-program mode: `feovet ./...` without the go command in
+// front. `go list -deps -json` supplies the module's packages in
+// dependency order; each is parsed and typechecked from source, facts
+// flow between packages in memory, and stdlib imports resolve through the
+// source importer. This is the driver the analysistest harness and local
+// iteration use; CI runs the identical passes through `go vet -vettool`.
+
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	ForTest    string
+	GoFiles    []string
+	Module     *struct{ Path string }
+}
+
+// Standalone runs the analyzers over the packages matching patterns and
+// prints findings to stderr. It returns the number of diagnostics.
+func Standalone(patterns []string, analyzers []*Analyzer) (int, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Standard,ForTest,GoFiles,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return 0, fmt.Errorf("go list: %v", err)
+	}
+
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			return 0, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	fset := token.NewFileSet()
+	srcImporter := importer.ForCompiler(fset, "source", nil)
+	checked := map[string]*types.Package{}
+	facts := map[string]FactTable{} // cumulative, per package
+
+	var imp importerFunc
+	imp = func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if pkg, ok := checked[path]; ok {
+			return pkg, nil
+		}
+		return srcImporter.Import(path)
+	}
+
+	total := 0
+	for _, lp := range pkgs {
+		if lp.Standard || lp.Module == nil || lp.ForTest != "" {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return total, err
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		tc := &types.Config{Importer: imp}
+		pkg, err := tc.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return total, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+		}
+		checked[lp.ImportPath] = pkg
+
+		imported := FactTable{}
+		for _, im := range pkg.Imports() {
+			if t, ok := facts[im.Path()]; ok {
+				imported.Merge(t)
+			}
+		}
+		ctx := BuildContext(fset, files, pkg, info, imported)
+		facts[lp.ImportPath] = ctx.ExportFacts()
+		if os.Getenv("FEOVET_DEBUG_RANGES") != "" {
+			for _, fi := range ctx.Funcs {
+				if fi.TestFile {
+					continue
+				}
+				for _, r := range fi.Ranges {
+					if !r.Justified {
+						fmt.Fprintf(os.Stderr, "RANGE %s: %s\n", fset.Position(r.Pos), fi.Key())
+					}
+				}
+			}
+		}
+
+		diags, err := RunAnalyzers(ctx, analyzers)
+		if err != nil {
+			return total, err
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		total += len(diags)
+	}
+	return total, nil
+}

@@ -1,0 +1,17 @@
+// Fixture for the annots and atomiclite passes.
+package hygiene
+
+import "sync/atomic"
+
+//feo:mutates
+func known() {}
+
+var counter int64
+
+func bump() int64 {
+	return atomic.AddInt64(&counter, 1)
+}
+
+func racy() {
+	counter = atomic.AddInt64(&counter, 1) // want `direct assignment of atomic.AddInt64 result to its operand`
+}

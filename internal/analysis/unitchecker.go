@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The `go vet -vettool` unitchecker protocol, on the stdlib alone. The go
+// command drives the tool three ways: `-V=full` (a build ID for the vet
+// result cache), `-flags` (a JSON description of supported flags), and
+// one invocation per package with a *.cfg file describing sources, the
+// export data of every import, and the vetx fact files of dependencies.
+
+// vetConfig mirrors the JSON the go command writes for each vetted
+// package (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Main is the entry point for cmd/feovet. It dispatches on the protocol
+// handshake flags, runs the unitchecker on a .cfg argument, or falls back
+// to standalone whole-program mode on package patterns.
+func Main(progname string, analyzers []*Analyzer) {
+	args := os.Args[1:]
+	enabled := map[string]bool{}
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	var rest []string
+	jsonOut := false
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion(progname)
+			return
+		case arg == "-flags" || arg == "--flags":
+			printFlags(analyzers)
+			return
+		case arg == "-json" || arg == "--json":
+			jsonOut = true
+		case strings.HasPrefix(arg, "-") && strings.Contains(arg, "="):
+			name, val, _ := strings.Cut(strings.TrimLeft(arg, "-"), "=")
+			if _, ok := enabled[name]; ok {
+				enabled[name] = val != "false" && val != "0"
+			}
+		case strings.HasPrefix(arg, "-"):
+			name := strings.TrimLeft(arg, "-")
+			if _, ok := enabled[name]; ok {
+				enabled[name] = true
+			}
+		default:
+			rest = append(rest, arg)
+		}
+	}
+	var active []*Analyzer
+	for _, a := range analyzers {
+		if enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		if err := runUnit(progname, rest[0], active, jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(rest) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: go vet -vettool=%s ./...  (or: %s ./packages...)\n", progname, progname)
+		os.Exit(2)
+	}
+	n, err := Standalone(rest, active)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if n > 0 {
+		os.Exit(2)
+	}
+}
+
+// printVersion emits the `-V=full` line the go command hashes into its
+// vet result cache key: the tool's own binary digest, so a rebuilt feovet
+// invalidates cached results.
+func printVersion(progname string) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+}
+
+// printFlags answers the `-flags` handshake so the go command can
+// validate user-supplied analyzer flags.
+func printFlags(analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{{Name: "json", Bool: true, Usage: "emit JSON output"}}
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: "enable the " + a.Name + " analysis"})
+	}
+	data, _ := json.Marshal(flags)
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// runUnit analyzes the one package a .cfg file describes.
+func runUnit(progname, cfgPath string, analyzers []*Analyzer, jsonOut bool) error {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return fmt.Errorf("parse %s: %v", cfgPath, err)
+	}
+
+	writeVetx := func(t FactTable) error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		out, err := EncodeFacts(t)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(cfg.VetxOutput, out, 0666)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(FactTable{})
+			}
+			return err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{Importer: imp, GoVersion: goVersion(cfg.GoVersion)}
+	info := newInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(FactTable{})
+		}
+		return fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	imported := FactTable{}
+	for _, dep := range sortedKeys(cfg.PackageVetx) {
+		t, err := DecodeFactsFile(cfg.PackageVetx[dep])
+		if err != nil {
+			return err
+		}
+		imported.Merge(t)
+	}
+
+	ctx := BuildContext(fset, files, pkg, info, imported)
+	if err := writeVetx(ctx.ExportFacts()); err != nil {
+		return err
+	}
+	if cfg.VetxOnly {
+		return nil
+	}
+
+	diags, err := RunAnalyzers(ctx, analyzers)
+	if err != nil {
+		return err
+	}
+	if len(diags) == 0 {
+		return nil
+	}
+	if jsonOut {
+		printJSONDiagnostics(cfg.ID, fset, diags)
+		return nil
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	os.Exit(2)
+	return nil
+}
+
+// printJSONDiagnostics emits the unitchecker-compatible JSON shape:
+// {"pkgid": {"analyzer": [{"posn": ..., "message": ...}]}}.
+func printJSONDiagnostics(pkgID string, fset *token.FileSet, diags []Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiag{pkgID: byAnalyzer}
+	data, _ := json.MarshalIndent(out, "", "\t")
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// goVersion normalizes the config's Go version for go/types (which
+// rejects empty strings only; pass through otherwise).
+func goVersion(v string) string {
+	if v == "" {
+		return ""
+	}
+	if !strings.HasPrefix(v, "go") {
+		return "go" + v
+	}
+	return v
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

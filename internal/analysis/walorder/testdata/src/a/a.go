@@ -1,0 +1,85 @@
+// Fixture for the walorder analyzer: append/publish sequencing, discarded
+// durable errors, and publication on a failed append's error path.
+package a
+
+import "errors"
+
+var errBroken = errors.New("broken")
+
+//feo:wal-append
+func walAppend() error { return errBroken }
+
+//feo:wal-sync
+func walSync() error { return nil }
+
+//feo:publish
+func publish() {}
+
+// The good shape: append, check, then publish.
+func goodCommit() error {
+	if err := walAppend(); err != nil {
+		return err
+	}
+	publish()
+	return nil
+}
+
+// Publishing before the append acknowledges a commit that may not be
+// logged.
+func badOrder() error {
+	publish() // want `badOrder publishes before the WAL append`
+	return walAppend()
+}
+
+// A dropped durable error is an unacknowledged lost write.
+func dropped() {
+	walAppend() // want `result of .*walAppend discarded`
+}
+
+func droppedSync() {
+	walSync() // want `result of .*walSync discarded`
+}
+
+func blankAssign() {
+	_ = walAppend() // want `result of .*walAppend assigned to blank`
+}
+
+func goDiscard() {
+	go walSync() // want `result of .*walSync discarded by go statement`
+}
+
+func deferDiscard() {
+	defer walSync() // want `result of .*walSync discarded by defer`
+}
+
+// Publishing inside the append's error branch publishes a failed commit.
+func errPath() error {
+	err := walAppend()
+	if err != nil {
+		publish() // want `errPath publishes on the error path of a failed WAL append`
+		return err
+	}
+	publish()
+	return nil
+}
+
+// The init-statement form binds the error variable too.
+func errPathInit() error {
+	if err := walAppend(); err != nil {
+		publish() // want `errPathInit publishes on the error path of a failed WAL append`
+		return err
+	}
+	publish()
+	return nil
+}
+
+// Nil-first comparisons are recognized as well.
+func errPathFlipped() error {
+	err := walAppend()
+	if nil != err {
+		publish() // want `errPathFlipped publishes on the error path of a failed WAL append`
+		return err
+	}
+	publish()
+	return nil
+}

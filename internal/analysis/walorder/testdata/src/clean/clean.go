@@ -1,0 +1,21 @@
+// A correct commit path with no violations; the self-check test reorders
+// it and asserts walorder fails.
+package clean
+
+import "errors"
+
+var errBroken = errors.New("broken")
+
+//feo:wal-append
+func walAppend() error { return errBroken }
+
+//feo:publish
+func publish() {}
+
+func commit() error {
+	if err := walAppend(); err != nil {
+		return err
+	}
+	publish()
+	return nil
+}

@@ -1,0 +1,180 @@
+// Package walorder checks the durability ordering contract (PR 6/7): an
+// acknowledged commit is a logged commit. In any function that both
+// appends to the write-ahead log (//feo:wal-append) and publishes state
+// (//feo:publish — Publish, Txn.Commit, Txn.CommitDeferred), the append
+// must be sequenced before every publication; no publication may sit on
+// the append's failure branch; and the error of every WAL append or fsync
+// (//feo:wal-sync) must be consumed, never discarded.
+package walorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the walorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walorder",
+	Doc:  "check WAL append/publish sequencing and error handling on commit paths",
+	Run:  run,
+}
+
+func run(p *analysis.Pass) error {
+	c := p.Ctx
+	for _, fi := range c.Funcs {
+		if fi.TestFile || fi.Decl.Body == nil {
+			continue
+		}
+		var appendPos, publishPos []token.Pos
+		for _, call := range fi.Calls {
+			cf := c.FactsOf(call.Key)
+			if cf.Has(analysis.WALAppend) {
+				appendPos = append(appendPos, call.Pos)
+			}
+			if cf.Has(analysis.PublishPoint) {
+				publishPos = append(publishPos, call.Pos)
+			}
+		}
+
+		// Sequencing: every publish after every append in the function.
+		for _, pp := range publishPos {
+			for _, ap := range appendPos {
+				if ap > pp {
+					p.Reportf(pp, "%s publishes before the WAL append at %s; the durable append must come first",
+						fi.Obj.Name(), c.Fset.Position(ap))
+					break
+				}
+			}
+		}
+
+		checkBody(p, fi, publishPos)
+	}
+	return nil
+}
+
+// checkBody walks one function for the syntactic rules: discarded
+// append/sync errors, and publish calls inside the append's error branch.
+func checkBody(p *analysis.Pass, fi *analysis.FuncInfo, publishPos []token.Pos) {
+	c := p.Ctx
+
+	durableCall := func(e ast.Expr) (*types.Func, bool) {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return nil, false
+		}
+		for _, cs := range fi.Calls {
+			if cs.Pos == call.Pos() {
+				cf := c.FactsOf(cs.Key)
+				if cf.Has(analysis.WALAppend) || cf.Has(analysis.WALSync) {
+					return cs.Callee, true
+				}
+			}
+		}
+		return nil, false
+	}
+
+	// errVars: variables holding a WAL append/sync error result.
+	errVars := map[*types.Var]bool{}
+	bindErr := func(lhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if v, ok := c.Info.Defs[id].(*types.Var); ok {
+			errVars[v] = true
+			return
+		}
+		if v, ok := c.Info.Uses[id].(*types.Var); ok {
+			errVars[v] = true
+		}
+	}
+
+	seen := map[*ast.AssignStmt]bool{}
+	handleAssign := func(n *ast.AssignStmt) {
+		if seen[n] || len(n.Rhs) != 1 {
+			seen[n] = true
+			return
+		}
+		seen[n] = true
+		fn, ok := durableCall(n.Rhs[0])
+		if !ok {
+			return
+		}
+		allBlank := true
+		for _, lhs := range n.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); !ok || id.Name != "_" {
+				allBlank = false
+			}
+		}
+		if allBlank {
+			p.Reportf(n.Pos(), "result of %s assigned to blank; a WAL append/sync error must be consumed", fn.FullName())
+			return
+		}
+		// The error is the last (or only) result.
+		bindErr(n.Lhs[len(n.Lhs)-1])
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if fn, ok := durableCall(n.X); ok {
+				p.Reportf(n.Pos(), "result of %s discarded; a WAL append/sync error must be consumed", fn.FullName())
+			}
+		case *ast.GoStmt:
+			if fn, ok := durableCall(n.Call); ok {
+				p.Reportf(n.Pos(), "result of %s discarded by go statement", fn.FullName())
+			}
+		case *ast.DeferStmt:
+			if fn, ok := durableCall(n.Call); ok {
+				p.Reportf(n.Pos(), "result of %s discarded by defer", fn.FullName())
+			}
+		case *ast.AssignStmt:
+			handleAssign(n)
+		case *ast.IfStmt:
+			// The init statement binds before the condition is judged.
+			if init, ok := n.Init.(*ast.AssignStmt); ok {
+				handleAssign(init)
+			}
+			v := errBranchVar(c, n.Cond)
+			if v == nil || !errVars[v] {
+				return true
+			}
+			for _, pp := range publishPos {
+				if pp >= n.Body.Pos() && pp <= n.Body.End() {
+					p.Reportf(pp, "%s publishes on the error path of a failed WAL append", fi.Obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// errBranchVar recognizes `v != nil` (either operand order) and returns v.
+func errBranchVar(c *analysis.Context, cond ast.Expr) *types.Var {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return nil
+	}
+	ident := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, _ := c.Info.Uses[id].(*types.Var)
+		return v
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if isNil(bin.Y) {
+		return ident(bin.X)
+	}
+	if isNil(bin.X) {
+		return ident(bin.Y)
+	}
+	return nil
+}

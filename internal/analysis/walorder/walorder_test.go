@@ -1,0 +1,47 @@
+package walorder_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/walorder"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", walorder.Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, "testdata/src/clean", walorder.Analyzer)
+}
+
+// Swapping the commit body so the publish precedes the append must fail.
+func TestSelfCheckReorderedCommit(t *testing.T) {
+	data, err := os.ReadFile("testdata/src/clean/clean.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reordered := strings.Replace(string(data),
+		`	if err := walAppend(); err != nil {
+		return err
+	}
+	publish()
+	return nil`,
+		`	publish()
+	return walAppend()`, 1)
+	if reordered == string(data) {
+		t.Fatal("fixture body not found for reordering")
+	}
+	_, _, diags := analysistest.RunFiles(t, map[string]string{"clean.go": reordered}, walorder.Analyzer)
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "publishes before the WAL append") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reordered commit not caught; got %v", diags)
+	}
+}

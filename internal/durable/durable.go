@@ -331,6 +331,8 @@ func createWAL(path string, gen, baseVersion uint64) (walFile, int64, error) {
 // so accepting further appends could strand acknowledged records behind an
 // unreadable middle; every later Append fails until a Compact rewrites the
 // log. The caller must not acknowledge the commit when Append errors.
+//
+//feo:wal-append
 func (st *Store) Append(rec Record) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -515,12 +517,15 @@ func (pc *PendingCompact) Abort() {
 }
 
 // Sync forces an fsync of the WAL now, regardless of policy.
+//
+//feo:wal-sync
 func (st *Store) Sync() error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.syncLocked()
 }
 
+//feo:wal-sync
 func (st *Store) syncLocked() error {
 	if st.broken != nil {
 		return st.broken
@@ -583,7 +588,9 @@ func (st *Store) startSyncer() {
 			case <-ticker.C:
 				st.mu.Lock()
 				if st.broken == nil {
-					st.syncLocked()
+					if err := st.syncLocked(); err != nil && st.broken == nil {
+						st.broken = err
+					}
 				}
 				st.mu.Unlock()
 			}
@@ -613,6 +620,8 @@ func encodeSnapshot(gen uint64, g *store.Graph, closure reasoner.ClosureState) (
 
 // writeFileSync replaces path with data and fsyncs it; on error the file
 // is removed.
+//
+//feo:wal-sync
 func writeFileSync(path string, data []byte) error {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -694,6 +703,8 @@ func readSnapshotFile(path string) (uint64, *store.Graph, reasoner.ClosureState,
 }
 
 // syncDir fsyncs a directory so renames and creates within it are durable.
+//
+//feo:wal-sync
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {

@@ -120,8 +120,14 @@ func (ns *Namespaces) Shrink(iri string) (string, bool) {
 		return "", false
 	}
 	best, bestPrefix := "", ""
+	// Longest namespace wins; equal-length ties break lexicographically so
+	// the chosen QName is independent of map iteration order.
+	//feo:unordered
 	for nsIRI, prefix := range ns.iriToPrefix {
-		if strings.HasPrefix(iri, nsIRI) && len(nsIRI) > len(best) {
+		if !strings.HasPrefix(iri, nsIRI) {
+			continue
+		}
+		if len(nsIRI) > len(best) || (len(nsIRI) == len(best) && nsIRI < best) {
 			best, bestPrefix = nsIRI, prefix
 		}
 	}
@@ -163,6 +169,7 @@ func (ns *Namespaces) Clone() *Namespaces {
 	if ns == nil {
 		return out
 	}
+	//feo:unordered
 	for p, iri := range ns.prefixToIRI {
 		out.Bind(p, iri)
 	}

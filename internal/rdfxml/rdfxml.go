@@ -328,6 +328,8 @@ func isSyntaxAttr(a xml.Attr) bool {
 // Write serializes g as RDF/XML: one rdf:Description per subject, sorted.
 // Each property element declares its namespace inline, trading verbosity
 // for a serializer with no prefix-allocation state.
+//
+//feo:emit
 func Write(w io.Writer, g *store.Graph) error {
 	var b strings.Builder
 	b.WriteString(xml.Header)

@@ -2,6 +2,7 @@ package reasoner
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/rdf"
 	"repro/internal/store"
@@ -26,6 +27,8 @@ func (i Inconsistency) String() string {
 // sameAs/differentFrom clashes, owl:Nothing membership, asymmetric and
 // irreflexive property violations, complementOf membership, and violated
 // negative property assertions. It returns every violation found.
+//
+//feo:emit
 func Validate(g *store.Graph) []Inconsistency {
 	var out []Inconsistency
 	out = append(out, checkDisjointClasses(g)...)
@@ -35,6 +38,14 @@ func Validate(g *store.Graph) []Inconsistency {
 	out = append(out, checkIrreflexive(g)...)
 	out = append(out, checkComplement(g)...)
 	out = append(out, checkNegativeAssertions(g)...)
+	// The checks enumerate index maps, so their finding order is arbitrary;
+	// sort so Validate's report is stable across runs.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Message < out[j].Message
+	})
 	return out
 }
 

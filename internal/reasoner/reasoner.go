@@ -203,6 +203,8 @@ func New(opts Options) *Reasoner {
 // is recomputed from the full graph. When the mutations since the previous
 // run are known, MaterializeChanges/MaterializeDelta do the same work in
 // time proportional to the delta instead.
+//
+//feo:unordered
 func (r *Reasoner) Materialize(g *store.Graph) Stats {
 	start := time.Now()
 	r.bind(g)
@@ -224,6 +226,8 @@ func (r *Reasoner) Materialize(g *store.Graph) Stats {
 // since (otherwise it falls back to a full Materialize, after asserting the
 // triples). The caller may pass triples that are already present; they are
 // simply re-seeded, which is harmless.
+//
+//feo:unordered
 func (r *Reasoner) MaterializeDelta(g *store.Graph, added []rdf.Triple) Stats {
 	if !r.canDelta(g) || g.Version() != r.lastVersion {
 		for _, t := range added {
@@ -254,6 +258,8 @@ func (r *Reasoner) MaterializeDelta(g *store.Graph, added []rdf.Triple) Stats {
 // the closure is extended incrementally from exactly those triples; any
 // removal, a Clear, a version gap, or a foreign/never-materialized graph
 // falls back to a full Materialize. A nil change set always runs full.
+//
+//feo:unordered
 func (r *Reasoner) MaterializeChanges(g *store.Graph, cs *store.ChangeSet) Stats {
 	cs.Stop()
 	if cs == nil || cs.Graph() != g || !r.canDelta(g) ||

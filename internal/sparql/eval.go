@@ -323,6 +323,7 @@ func addCertainVars(p Pattern, out map[string]bool) {
 		for _, sub := range pat.Right.Patterns {
 			addCertainVars(sub, right)
 		}
+		//feo:unordered // result is a set
 		for v := range left {
 			if right[v] {
 				out[v] = true
@@ -409,9 +410,11 @@ func collectExprVars(e Expression) []string {
 	}
 	walk(e)
 	out := make([]string, 0, len(seen))
+	//feo:unordered // sorted below
 	for v := range seen {
 		out = append(out, v)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -507,6 +510,8 @@ func (ec *evalContext) evalOptionalRange(pat *Optional, seq []idRow, lo, hi int,
 }
 
 // minusRange appends the rows of seq[lo:hi] not excluded by rhs.
+//
+//feo:idspace
 func minusRange(seq, rhs []idRow, lo, hi int, out []idRow) []idRow {
 	for _, r := range seq[lo:hi] {
 		if !minusMatchesRows(r, rhs) {
@@ -518,6 +523,8 @@ func minusRange(seq, rhs []idRow, lo, hi int, out []idRow) []idRow {
 
 // minusMatchesRows reports whether r is excluded by any row in rhs per
 // SPARQL MINUS semantics (compatible and sharing at least one variable).
+//
+//feo:idspace
 func minusMatchesRows(r idRow, rhs []idRow) bool {
 	for _, m := range rhs {
 		shared := false
@@ -702,6 +709,8 @@ func (ec *evalContext) evalBGPRows(bgp *BGP, rows []idRow) []idRow {
 
 // probeFor resolves one pattern against one row: constants from the spec,
 // everything else from the row's slots (NoID when the slot is unbound).
+//
+//feo:idspace
 func probeFor(spec bgpSpec, r idRow) [3]store.ID {
 	var probe [3]store.ID
 	for j := 0; j < 3; j++ {
@@ -724,6 +733,8 @@ func probeFor(spec bgpSpec, r idRow) [3]store.ID {
 // what expanding the first pattern and filtering through the rest would
 // append, without materializing a row per pre-filter candidate. Rows that
 // already bind the slot degrade to one membership test per pattern.
+//
+//feo:idspace
 func intersectIDRows(g *store.Graph, st *planStep, rows []idRow, lo, hi int, next []idRow) []idRow {
 	specs, freeSlot := st.specs, st.freeSlot
 	var scratch [8]*store.IDSet
@@ -825,6 +836,8 @@ func (ec *evalContext) parExpandIDRows(spec bgpSpec, rows []idRow) ([]idRow, boo
 // expandIDRows joins rows[lo:hi] against one encoded pattern, appending
 // every extension to next. It reads only the graph and the rows, so it is
 // safe to call from concurrent workers on disjoint ranges.
+//
+//feo:idspace
 func expandIDRows(g *store.Graph, spec bgpSpec, rows []idRow, lo, hi int, next []idRow) []idRow {
 	for _, r := range rows[lo:hi] {
 		probe := probeFor(spec, r) // NoID in unbound positions
@@ -862,6 +875,8 @@ func expandIDRows(g *store.Graph, spec bgpSpec, rows []idRow, lo, hi int, next [
 // directly from the row's slots — no decode at all — and stops at the
 // first match. ok=false means the group is not of that shape and the
 // caller must fall back to full evaluation.
+//
+//feo:unordered
 func (ec *evalContext) quickExists(g *Group, r idRow) (found, ok bool) {
 	if g == nil || len(g.Filters) != 0 || len(g.Patterns) != 1 {
 		return false, false
@@ -1342,6 +1357,8 @@ func sortRows(ec *evalContext, rows []idRow, conds []OrderCondition) {
 
 // distinctRows dedups by the projected slots' IDs — exact term identity,
 // no string rendering.
+//
+//feo:idspace
 func distinctRows(rows []idRow, projSlots []int) []idRow {
 	seen := make(map[string]bool, len(rows))
 	var kb []byte
@@ -1405,6 +1422,8 @@ func (ec *evalContext) instantiatePos(tv TermOrVar, r idRow, bnodeSeq int) (rdf.
 // describeGraph returns the concise bounded description of every described
 // resource: all triples with the resource as subject, recursing through
 // blank-node objects, plus incoming triples.
+//
+//feo:unordered
 func (ec *evalContext) describeGraph(q *Query, rows []idRow) *store.Graph {
 	g := ec.g
 	out := store.New()
@@ -1432,6 +1451,7 @@ func (ec *evalContext) describeGraph(q *Query, rows []idRow) *store.Graph {
 			return true
 		})
 	}
+	//feo:unordered // graph insertion; triple sets are order-insensitive
 	for t := range targets {
 		describe(t, 0)
 		g.ForEach(store.Wildcard, store.Wildcard, t, func(tr rdf.Triple) bool {

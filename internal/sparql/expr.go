@@ -21,6 +21,7 @@ type Solution map[string]rdf.Term
 // insert that follows from growing (and rehashing) the fresh map.
 func (s Solution) clone() Solution {
 	out := make(Solution, len(s)+2)
+	//feo:unordered // map copy
 	for k, v := range s {
 		out[k] = v
 	}

@@ -13,6 +13,8 @@ import (
 
 // WriteJSON serializes SELECT/ASK results in the W3C "SPARQL 1.1 Query
 // Results JSON Format" (application/sparql-results+json).
+//
+//feo:emit
 func (r *Result) WriteJSON(w io.Writer) error {
 	type jsonTerm struct {
 		Type     string `json:"type"`
@@ -69,6 +71,8 @@ func (r *Result) WriteJSON(w io.Writer) error {
 
 // WriteCSV serializes SELECT results in the W3C SPARQL 1.1 CSV format
 // (text/csv): header row of variable names, plain lexical values.
+//
+//feo:emit
 func (r *Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(r.Vars); err != nil {
@@ -93,6 +97,8 @@ func (r *Result) WriteCSV(w io.Writer) error {
 
 // WriteTSV serializes SELECT results in the W3C SPARQL 1.1 TSV format
 // (text/tab-separated-values): terms in full N-Triples syntax.
+//
+//feo:emit
 func (r *Result) WriteTSV(w io.Writer) error {
 	var b strings.Builder
 	for i, v := range r.Vars {
@@ -119,6 +125,8 @@ func (r *Result) WriteTSV(w io.Writer) error {
 
 // WriteXML serializes SELECT/ASK results in the W3C "SPARQL Query Results
 // XML Format" (application/sparql-results+xml).
+//
+//feo:emit
 func (r *Result) WriteXML(w io.Writer) error {
 	var b strings.Builder
 	b.WriteString(xml.Header)

@@ -42,6 +42,8 @@ type slotEnv struct {
 }
 
 // slot returns the slot of name, or -1 when the query never mentions it.
+//
+//feo:idspace
 func (e *slotEnv) slot(name string) int {
 	if i, ok := e.slots[name]; ok {
 		return i

@@ -205,6 +205,8 @@ func parMap[T, U any](ec *evalContext, items []T, out []U, fn func(T) U) bool {
 // of chunk boundaries and worker scheduling — identical to eval(0, n)
 // into one set. ok=false means the caller must run that sequential form
 // itself.
+//
+//feo:fresh
 func parSetUnion(ec *evalContext, n int, eval func(lo, hi int, out *store.IDSet)) (*store.IDSet, bool) {
 	outs := make([]*store.IDSet, ec.maxChunks())
 	chunks, ok := ec.parChunks(n, func(c, lo, hi int) {
@@ -215,8 +217,8 @@ func parSetUnion(ec *evalContext, n int, eval func(lo, hi int, out *store.IDSet)
 	if !ok {
 		return nil, false
 	}
-	merged := outs[0]
-	for _, s := range outs[1:chunks] {
+	merged := store.NewIDSet()
+	for _, s := range outs[:chunks] {
 		merged.OrWith(s)
 	}
 	return merged, true

@@ -3,6 +3,7 @@ package sparql
 import (
 	"repro/internal/rdf"
 	"repro/internal/store"
+	"sort"
 )
 
 // evalPathRows evaluates a triple pattern whose predicate is a property
@@ -553,6 +554,7 @@ func (ec *evalContext) pathStartCandidates(p *Path) []rdf.Term {
 			}
 			return true
 		})
+		sortTerms(out)
 		return out
 	case PathInverse:
 		return ec.pathEndCandidates(p.Kids[0])
@@ -591,6 +593,7 @@ func (ec *evalContext) pathEndCandidates(p *Path) []rdf.Term {
 			}
 			return true
 		})
+		sortTerms(out)
 		return out
 	default:
 		return ec.allNodes()
@@ -611,5 +614,12 @@ func (ec *evalContext) allNodes() []rdf.Term {
 		}
 		return true
 	})
+	sortTerms(out)
 	return out
+}
+
+// sortTerms orders candidate lists so path evaluation visits start/end
+// nodes in a reproducible order regardless of index-map iteration.
+func sortTerms(ts []rdf.Term) {
+	sort.Slice(ts, func(i, j int) bool { return rdf.Compare(ts[i], ts[j]) < 0 })
 }

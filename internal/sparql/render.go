@@ -18,6 +18,8 @@ import (
 )
 
 // String renders the query as parseable SPARQL source.
+//
+//feo:emit
 func (q *Query) String() string {
 	var b strings.Builder
 	switch q.Kind {

@@ -38,6 +38,8 @@ func (r *Result) Sort() {
 
 // Table renders SELECT results as an aligned text table using the query's
 // prefixes, in the style the paper presents its listing outputs.
+//
+//feo:emit
 func (r *Result) Table() string {
 	if r.Kind == KindAsk {
 		if r.Boolean {
@@ -112,6 +114,7 @@ func (r *Result) HasRow(want map[string]rdf.Term) bool {
 	zero := rdf.Term{}
 	for _, sol := range r.Solutions {
 		match := true
+		//feo:unordered // membership check only
 		for v, t := range want {
 			got, bound := sol[v]
 			if got == zero {

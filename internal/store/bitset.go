@@ -49,6 +49,8 @@ const (
 
 // container holds the members of one 2^16-ID bucket, as either a sorted
 // array of low bits (arr, when bmp == nil) or a bitmap (bmp).
+//
+//feo:mutable-type
 type container struct {
 	arr []uint16
 	bmp *[bitmapWords]uint64
@@ -63,6 +65,8 @@ type container struct {
 // set ready for use (NewIDSet exists for symmetry with the rest of the
 // package), and read-only methods additionally accept a nil *IDSet as
 // empty.
+//
+//feo:mutable-type
 type IDSet struct {
 	keys []uint16 // sorted container keys (id >> containerBits)
 	cs   []container
@@ -74,9 +78,13 @@ type IDSet struct {
 }
 
 // NewIDSet returns an empty set.
+//
+//feo:fresh
 func NewIDSet() *IDSet { return &IDSet{} }
 
 // Len returns the number of members. Nil-safe.
+//
+//feo:frozen-safe
 func (s *IDSet) Len() int {
 	if s == nil {
 		return 0
@@ -86,6 +94,8 @@ func (s *IDSet) Len() int {
 
 // findContainer returns the index of key in s.keys and whether it exists;
 // when absent, the returned index is the insertion point.
+//
+//feo:frozen-safe
 func (s *IDSet) findContainer(key uint16) (int, bool) {
 	lo, hi := 0, len(s.keys)
 	for lo < hi {
@@ -100,6 +110,8 @@ func (s *IDSet) findContainer(key uint16) (int, bool) {
 }
 
 // Add inserts id and reports whether it was new.
+//
+//feo:mutates
 func (s *IDSet) Add(id ID) bool {
 	key, low := uint16(id>>containerBits), uint16(id)
 	i, ok := s.findContainer(key)
@@ -122,6 +134,8 @@ func (s *IDSet) Add(id ID) bool {
 
 // Remove deletes id and reports whether it was present. Containers emptied
 // by the removal are dropped, keeping the key list canonical.
+//
+//feo:mutates
 func (s *IDSet) Remove(id ID) bool {
 	if s == nil {
 		return false
@@ -140,6 +154,8 @@ func (s *IDSet) Remove(id ID) bool {
 }
 
 // Contains reports membership. Nil-safe.
+//
+//feo:frozen-safe
 func (s *IDSet) Contains(id ID) bool {
 	if s == nil {
 		return false
@@ -149,6 +165,8 @@ func (s *IDSet) Contains(id ID) bool {
 }
 
 // Min returns the smallest member; ok is false for an empty set. Nil-safe.
+//
+//feo:frozen-safe
 func (s *IDSet) Min() (ID, bool) {
 	if s.Len() == 0 {
 		return NoID, false
@@ -159,6 +177,8 @@ func (s *IDSet) Min() (ID, bool) {
 // ForEach calls fn for every member in ascending ID order, stopping early
 // when fn returns false; the return value reports whether iteration ran to
 // completion. Nil-safe.
+//
+//feo:frozen-safe
 func (s *IDSet) ForEach(fn func(ID) bool) bool {
 	if s == nil {
 		return true
@@ -173,6 +193,8 @@ func (s *IDSet) ForEach(fn func(ID) bool) bool {
 
 // AppendTo appends the members in ascending ID order to buf and returns
 // the extended slice. Nil-safe.
+//
+//feo:frozen-safe
 func (s *IDSet) AppendTo(buf []ID) []ID {
 	s.ForEach(func(id ID) bool {
 		buf = append(buf, id)
@@ -182,6 +204,9 @@ func (s *IDSet) AppendTo(buf []ID) []ID {
 }
 
 // Clone returns an independent copy. Nil-safe (returns a new empty set).
+//
+//feo:frozen-safe
+//feo:fresh
 func (s *IDSet) Clone() *IDSet {
 	out := NewIDSet()
 	if s == nil {
@@ -202,6 +227,9 @@ func (s *IDSet) Clone() *IDSet {
 // each container copies it (container.unshare). The source set must never
 // be mutated again — the graph guarantees this by only cowCloning sets whose
 // epoch predates the current one.
+//
+//feo:frozen-safe
+//feo:fresh
 func (s *IDSet) cowClone(epoch uint64) *IDSet {
 	out := &IDSet{
 		keys:  append([]uint16(nil), s.keys...),
@@ -218,6 +246,9 @@ func (s *IDSet) cowClone(epoch uint64) *IDSet {
 // And returns the intersection s ∩ t as a new set. Bitmap/bitmap buckets
 // intersect as 64-bit word ANDs. Neither operand is mutated; both may be
 // nil.
+//
+//feo:frozen-safe
+//feo:fresh
 func (s *IDSet) And(t *IDSet) *IDSet {
 	out := NewIDSet()
 	if s.Len() == 0 || t.Len() == 0 {
@@ -242,6 +273,9 @@ func (s *IDSet) And(t *IDSet) *IDSet {
 
 // AndNot returns the difference s \ t as a new set. Neither operand is
 // mutated; both may be nil.
+//
+//feo:frozen-safe
+//feo:fresh
 func (s *IDSet) AndNot(t *IDSet) *IDSet {
 	if s.Len() == 0 {
 		return NewIDSet()
@@ -268,6 +302,9 @@ func (s *IDSet) AndNot(t *IDSet) *IDSet {
 
 // Or returns the union s ∪ t as a new set. Neither operand is mutated;
 // both may be nil.
+//
+//feo:frozen-safe
+//feo:fresh
 func (s *IDSet) Or(t *IDSet) *IDSet {
 	out := s.Clone()
 	out.OrWith(t)
@@ -276,6 +313,8 @@ func (s *IDSet) Or(t *IDSet) *IDSet {
 
 // OrWith adds every member of t to s in place. Bitmap/bitmap buckets merge
 // as 64-bit word ORs. t is not mutated and may be nil.
+//
+//feo:mutates
 func (s *IDSet) OrWith(t *IDSet) {
 	if t.Len() == 0 {
 		return
@@ -328,6 +367,8 @@ func arrSearch(arr []uint16, v uint16) int {
 // unshare copies backing storage aliased by a cowClone so the container can
 // be mutated without disturbing the snapshot that still reads the original.
 // No-op (one predicted branch) for the ordinary unshared case.
+//
+//feo:mutates
 func (c *container) unshare() {
 	if !c.shared {
 		return
@@ -342,6 +383,7 @@ func (c *container) unshare() {
 	c.arr = append([]uint16(nil), c.arr...)
 }
 
+//feo:frozen-safe
 func (c *container) contains(v uint16) bool {
 	if c.bmp != nil {
 		return c.bmp[v>>6]&(1<<(v&63)) != 0
@@ -350,6 +392,7 @@ func (c *container) contains(v uint16) bool {
 	return i < len(c.arr) && c.arr[i] == v
 }
 
+//feo:mutates
 func (c *container) add(v uint16) bool {
 	if c.bmp != nil {
 		w, b := v>>6, uint64(1)<<(v&63)
@@ -379,6 +422,7 @@ func (c *container) add(v uint16) bool {
 	return true
 }
 
+//feo:mutates
 func (c *container) remove(v uint16) bool {
 	if c.bmp != nil {
 		w, b := v>>6, uint64(1)<<(v&63)
@@ -403,6 +447,7 @@ func (c *container) remove(v uint16) bool {
 	return true
 }
 
+//feo:frozen-safe
 func (c *container) min() uint16 {
 	if c.bmp != nil {
 		for w, word := range c.bmp {
@@ -414,6 +459,7 @@ func (c *container) min() uint16 {
 	return c.arr[0] // containers are never empty
 }
 
+//feo:frozen-safe
 func (c *container) forEach(base ID, fn func(ID) bool) bool {
 	if c.bmp != nil {
 		for w, word := range c.bmp {
@@ -435,6 +481,8 @@ func (c *container) forEach(base ID, fn func(ID) bool) bool {
 	return true
 }
 
+//feo:frozen-safe
+//feo:fresh
 func (c *container) clone() container {
 	out := container{n: c.n}
 	if c.bmp != nil {
@@ -448,6 +496,8 @@ func (c *container) clone() container {
 
 // toBitmap converts an array container in place. The bitmap is freshly
 // allocated, so the conversion also unshares.
+//
+//feo:mutates
 func (c *container) toBitmap() {
 	bmp := new([bitmapWords]uint64)
 	for _, v := range c.arr {
@@ -460,6 +510,8 @@ func (c *container) toBitmap() {
 // toArray converts a bitmap container in place (caller guarantees the
 // cardinality fits an array container). The array is freshly allocated, so
 // the conversion also unshares.
+//
+//feo:mutates
 func (c *container) toArray() {
 	arr := make([]uint16, 0, c.n)
 	for w, word := range c.bmp {
@@ -475,12 +527,16 @@ func (c *container) toArray() {
 
 // normalize converts a freshly built bitmap container to array form when
 // small enough, keeping the array-iff-sparse invariant.
+//
+//feo:mutates
 func (c *container) normalize() {
 	if c.bmp != nil && c.n <= arrMaxLen {
 		c.toArray()
 	}
 }
 
+//feo:frozen-safe
+//feo:fresh
 func andContainers(a, b *container) container {
 	if a.bmp != nil && b.bmp != nil {
 		out := container{bmp: new([bitmapWords]uint64)}
@@ -509,6 +565,8 @@ func andContainers(a, b *container) container {
 	return out
 }
 
+//feo:frozen-safe
+//feo:fresh
 func andNotContainers(a, b *container) container {
 	if a.bmp != nil {
 		out := container{bmp: new([bitmapWords]uint64)}
@@ -543,6 +601,8 @@ func andNotContainers(a, b *container) container {
 }
 
 // orInto merges b into a in place.
+//
+//feo:mutates
 func orInto(a, b *container) {
 	a.unshare()
 	if a.bmp == nil && b.bmp == nil && a.n+b.n <= arrMaxLen {

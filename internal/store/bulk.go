@@ -10,6 +10,8 @@ import "repro/internal/rdf"
 //
 // A Bulk wraps a Graph and follows the same concurrency contract: one
 // writer, no concurrent readers during writes.
+//
+//feo:mutable-type
 type Bulk struct {
 	g            *Graph
 	dict         *TermDict // dictionary the cached IDs belong to
@@ -19,10 +21,14 @@ type Bulk struct {
 }
 
 // Bulk returns a bulk writer for the graph.
+//
+//feo:mutates
 func (g *Graph) Bulk() *Bulk { return &Bulk{g: g, dict: g.dict} }
 
 // Add inserts the triple (s, p, o) with the same validation and return
 // value as Graph.Add.
+//
+//feo:mutates
 func (b *Bulk) Add(s, p, o rdf.Term) bool {
 	t := rdf.Triple{S: s, P: p, O: o}
 	if !t.Valid() {
@@ -47,4 +53,6 @@ func (b *Bulk) Add(s, p, o rdf.Term) bool {
 }
 
 // Graph returns the underlying graph.
+//
+//feo:frozen-safe
 func (b *Bulk) Graph() *Graph { return b.g }

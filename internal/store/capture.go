@@ -28,6 +28,8 @@ type IDTriple struct {
 // the term dictionary, so previously recorded IDs would decode wrongly, and
 // a consumer must fall back to whole-graph processing anyway. A cleared
 // capture stops recording and holds no triples.
+//
+//feo:mutable-type
 type ChangeSet struct {
 	g           *Graph
 	dict        *TermDict // dictionary the recorded IDs belong to
@@ -63,6 +65,8 @@ type TermOp struct {
 // StartCapture begins recording mutations into a new ChangeSet. The caller
 // must eventually Stop it; an active capture costs one slice append per
 // mutation and nothing on reads.
+//
+//feo:mutates
 func (g *Graph) StartCapture() *ChangeSet {
 	if g.frozen {
 		panic("store: StartCapture on a frozen snapshot view")
@@ -79,6 +83,8 @@ func (g *Graph) StartCapture() *ChangeSet {
 // the final graph exactly, which the unordered added/removed split cannot
 // guarantee. Ordered recording also survives Graph.Clear (the ops reset to
 // the post-Clear stream and Cleared reports true) instead of going blind.
+//
+//feo:mutates
 func (g *Graph) StartOrderedCapture() *ChangeSet {
 	if g.frozen {
 		panic("store: StartOrderedCapture on a frozen snapshot view")
@@ -93,6 +99,9 @@ func (g *Graph) StartOrderedCapture() *ChangeSet {
 // terms. For a capture that saw Graph.Clear, the stream holds only the
 // post-Clear mutations (Cleared reports true; the consumer must wipe
 // first). Nil for captures started with StartCapture.
+//
+//feo:frozen-safe
+//feo:decodes
 func (cs *ChangeSet) Ops() []TermOp {
 	if len(cs.ops) == 0 {
 		return nil
@@ -111,6 +120,8 @@ func (cs *ChangeSet) Ops() []TermOp {
 // Stop ends recording and detaches the capture from the graph. It pins the
 // end version so consumers can verify no uncaptured mutation slipped in
 // after the capture closed. Stop is idempotent and nil-safe.
+//
+//feo:mutates
 func (cs *ChangeSet) Stop() {
 	if cs == nil || !cs.active {
 		return
@@ -127,19 +138,27 @@ func (cs *ChangeSet) Stop() {
 }
 
 // Active reports whether the capture is still recording.
+//
+//feo:frozen-safe
 func (cs *ChangeSet) Active() bool { return cs != nil && cs.active }
 
 // Graph returns the graph this capture recorded.
+//
+//feo:frozen-safe
 func (cs *ChangeSet) Graph() *Graph { return cs.g }
 
 // BaseVersion returns the graph version at StartCapture. A consumer that
 // processed the graph up to exactly this version may treat the recorded
 // triples as the complete mutation delta since then.
+//
+//feo:frozen-safe
 func (cs *ChangeSet) BaseVersion() uint64 { return cs.baseVersion }
 
 // EndVersion returns the graph version at Stop (or the current version
 // while still active). EndVersion == Graph().Version() means no mutation
 // has happened since the capture closed.
+//
+//feo:frozen-safe
 func (cs *ChangeSet) EndVersion() uint64 {
 	if cs.active {
 		return cs.g.version
@@ -149,23 +168,35 @@ func (cs *ChangeSet) EndVersion() uint64 {
 
 // Cleared reports whether Graph.Clear ran during the capture, invalidating
 // the recorded IDs (the dictionary was replaced).
+//
+//feo:frozen-safe
 func (cs *ChangeSet) Cleared() bool { return cs.cleared }
 
 // Added returns the triples added during the capture, in mutation order.
 // The returned slice is the capture's own storage; callers must not mutate
 // it.
+//
+//feo:frozen-safe
 func (cs *ChangeSet) Added() []IDTriple { return cs.added }
 
 // Removed returns the triples removed during the capture, in mutation
 // order.
+//
+//feo:frozen-safe
 func (cs *ChangeSet) Removed() []IDTriple { return cs.removed }
 
 // AddedTriples decodes Added. Empty after Clear (the IDs died with the old
 // dictionary).
+//
+//feo:frozen-safe
+//feo:decodes
 func (cs *ChangeSet) AddedTriples() []rdf.Triple { return cs.decode(cs.added) }
 
 // RemovedTriples decodes Removed. Removal never un-interns a term, so the
 // decoded triples are exact even though they are no longer in the graph.
+//
+//feo:frozen-safe
+//feo:decodes
 func (cs *ChangeSet) RemovedTriples() []rdf.Triple { return cs.decode(cs.removed) }
 
 func (cs *ChangeSet) decode(ts []IDTriple) []rdf.Triple {
@@ -180,6 +211,8 @@ func (cs *ChangeSet) decode(ts []IDTriple) []rdf.Triple {
 }
 
 // notifyAdd records a successful triple insertion into every active capture.
+//
+//feo:mutates
 func (g *Graph) notifyAdd(s, p, o ID) {
 	for _, cs := range g.captures {
 		if cs.ordered {
@@ -192,6 +225,8 @@ func (g *Graph) notifyAdd(s, p, o ID) {
 }
 
 // notifyRemove records a successful triple removal into every active capture.
+//
+//feo:mutates
 func (g *Graph) notifyRemove(s, p, o ID) {
 	for _, cs := range g.captures {
 		if cs.ordered {
@@ -207,6 +242,8 @@ func (g *Graph) notifyRemove(s, p, o ID) {
 // reflects the graph (a transaction it observed was rolled back) — so the
 // consumer falls back to whole-graph processing, exactly as after Clear.
 // Ordered captures restart their op stream against dict.
+//
+//feo:mutates
 func (cs *ChangeSet) invalidate(dict *TermDict) {
 	cs.cleared = true
 	cs.added = nil
@@ -221,6 +258,8 @@ func (cs *ChangeSet) invalidate(dict *TermDict) {
 // their op stream against the replacement dictionary (Clear has already
 // swapped it in by the time this runs), so they keep observing post-Clear
 // mutations.
+//
+//feo:mutates
 func (g *Graph) notifyClear() {
 	// The open transaction needs its pre-Clear op prefix for Rollback (the
 	// capture is about to reset to the post-Clear stream). Only the first

@@ -35,6 +35,8 @@ const NoID = ^ID(0)
 // A snapshot pinned at dictionary length n may observe terms interned after
 // it was taken (IDs >= n). That over-approximation is harmless: no triple
 // visible in the snapshot references such an ID.
+//
+//feo:mutable-type
 type TermDict struct {
 	// published is the reader-visible term table: an immutable slice header
 	// whose elements [0, len) never change. Intern appends into the backing
@@ -48,6 +50,8 @@ type TermDict struct {
 }
 
 // NewTermDict returns an empty dictionary.
+//
+//feo:fresh
 func NewTermDict() *TermDict {
 	d := &TermDict{ids: make(map[rdf.Term]ID)}
 	d.publish()
@@ -55,6 +59,8 @@ func NewTermDict() *TermDict {
 }
 
 // publish makes the current writer-side term table visible to readers.
+//
+//feo:mutates
 func (d *TermDict) publish() {
 	h := d.terms
 	d.published.Store(&h)
@@ -62,6 +68,8 @@ func (d *TermDict) publish() {
 
 // Intern returns the ID for t, assigning the next dense ID when t is new.
 // Writer-only: see the concurrency contract above.
+//
+//feo:mutates
 func (d *TermDict) Intern(t rdf.Term) ID {
 	d.mu.RLock()
 	id, ok := d.ids[t]
@@ -82,6 +90,8 @@ func (d *TermDict) Intern(t rdf.Term) ID {
 
 // Lookup returns the ID for t without interning. ok is false when t has
 // never been interned; the returned ID is then NoID.
+//
+//feo:frozen-safe
 func (d *TermDict) Lookup(t rdf.Term) (ID, bool) {
 	d.mu.RLock()
 	id, ok := d.ids[t]
@@ -96,22 +106,34 @@ func (d *TermDict) Lookup(t rdf.Term) (ID, bool) {
 // a slice index — no allocation, no hashing, no lock — which is what makes
 // the store's decode-lazily read path cheap. Passing an ID the dictionary
 // never issued panics.
+//
+//feo:frozen-safe
+//feo:decodes
 func (d *TermDict) Term(id ID) rdf.Term { return (*d.published.Load())[id] }
 
 // Kind returns the TermKind of the term behind id without copying the
 // term's strings out of the dictionary.
+//
+//feo:frozen-safe
 func (d *TermDict) Kind(id ID) rdf.TermKind { return (*d.published.Load())[id].Kind }
 
 // Len returns the number of interned terms.
+//
+//feo:frozen-safe
 func (d *TermDict) Len() int { return len(*d.published.Load()) }
 
 // snapshotTerms returns the published term table; the returned slice is
 // immutable. Used by the snapshot encoder.
+//
+//feo:frozen-safe
+//feo:decodes
 func (d *TermDict) snapshotTerms() []rdf.Term { return *d.published.Load() }
 
 // grow pre-sizes the dictionary for n total terms, so a bulk load (the
 // snapshot decoder) interns without incremental map and slice growth.
 // Writer-only.
+//
+//feo:mutates
 func (d *TermDict) grow(n int) {
 	if n <= len(d.terms) {
 		return
@@ -120,6 +142,7 @@ func (d *TermDict) grow(n int) {
 	copy(terms, d.terms)
 	ids := make(map[rdf.Term]ID, n)
 	d.mu.RLock()
+	//feo:unordered // rebuild preserving key->ID pairs
 	for t, id := range d.ids {
 		ids[t] = id
 	}
@@ -133,11 +156,15 @@ func (d *TermDict) grow(n int) {
 
 // Clone returns an independent copy of the dictionary. IDs are preserved:
 // every term interned in d has the same ID in the clone.
+//
+//feo:frozen-safe
+//feo:fresh
 func (d *TermDict) Clone() *TermDict {
 	out := &TermDict{terms: make([]rdf.Term, len(d.terms))}
 	copy(out.terms, d.terms)
 	d.mu.RLock()
 	out.ids = make(map[rdf.Term]ID, len(d.ids))
+	//feo:unordered // map copy
 	for t, id := range d.ids {
 		out.ids[t] = id
 	}

@@ -104,6 +104,8 @@ type lvl2 struct {
 // bitset.go) over the third. A missing level reads as nil; every read-only
 // IDSet method treats a nil *IDSet as the empty set. The epoch marks when
 // the outer slice was last privately writable (see the package doc on COW).
+//
+//feo:mutable-type
 type index struct {
 	epoch uint64
 	s     []*lvl2
@@ -152,6 +154,8 @@ func (ix *index) levels() int {
 // singly-bound pattern in O(1). The SPARQL planner's selectivity estimates
 // probe these on every BGP, so they must not require an index walk. Dense
 // int32 vector indexed by ID, COW-copied per epoch like the index levels.
+//
+//feo:mutable-type
 type counts struct {
 	epoch uint64
 	v     []int32
@@ -166,6 +170,8 @@ func (c *counts) get(id ID) int {
 
 // Graph is a set of RDF triples with full permutation indexing over
 // dictionary-encoded term IDs.
+//
+//feo:mutable-type
 type Graph struct {
 	dict  *TermDict
 	spo   index
@@ -208,6 +214,8 @@ type Graph struct {
 }
 
 // New returns an empty graph with the repository's standard namespaces bound.
+//
+//feo:fresh
 func New() *Graph {
 	return &Graph{
 		dict: NewTermDict(),
@@ -218,9 +226,13 @@ func New() *Graph {
 // Namespaces returns the prefix mapping attached to the graph. Parsers add
 // prefixes they encounter; serializers and human-facing output read them.
 // A frozen snapshot view carries its own copy, taken at publish time.
+//
+//feo:frozen-safe
 func (g *Graph) Namespaces() *rdf.Namespaces { return g.ns }
 
 // Len returns the number of triples in the graph.
+//
+//feo:frozen-safe
 func (g *Graph) Len() int { return g.n }
 
 // Version returns a counter that increases on every successful mutation
@@ -233,21 +245,29 @@ func (g *Graph) Len() int { return g.n }
 // warm plans alive for as long as a snapshot stays pinned. InternTerm
 // alone does not bump the version: interning never changes any pattern's
 // matches.
+//
+//feo:frozen-safe
 func (g *Graph) Version() uint64 { return g.version }
 
 // ---- ID-level API (hot-path opt-ins) ----
 
 // Dict exposes the graph's term dictionary. It is append-only and shared
 // with published snapshots; see TermDict for its concurrency contract.
+//
+//feo:frozen-safe
 func (g *Graph) Dict() *TermDict { return g.dict }
 
 // LookupID encodes a term without interning it. A term the graph has never
 // stored returns (NoID, false) — by construction no triple can match it.
+//
+//feo:frozen-safe
 func (g *Graph) LookupID(t rdf.Term) (ID, bool) { return g.dict.Lookup(t) }
 
 // InternTerm encodes a term, assigning a fresh ID when new. Invalid (zero)
 // terms are not interned and return NoID. Writer-only: panics on a frozen
 // snapshot view.
+//
+//feo:mutates
 func (g *Graph) InternTerm(t rdf.Term) ID {
 	if g.frozen {
 		panic("store: InternTerm on a frozen snapshot view")
@@ -259,13 +279,20 @@ func (g *Graph) InternTerm(t rdf.Term) ID {
 }
 
 // TermOf decodes an ID previously issued by this graph's dictionary.
+//
+//feo:frozen-safe
+//feo:decodes
 func (g *Graph) TermOf(id ID) rdf.Term { return g.dict.Term(id) }
 
 // KindOf returns the term kind behind id without copying the term.
+//
+//feo:frozen-safe
 func (g *Graph) KindOf(id ID) rdf.TermKind { return g.dict.Kind(id) }
 
 // IsResourceID reports whether id decodes to an IRI or blank node — the
 // positions allowed as triple subjects and the guard many OWL rules need.
+//
+//feo:frozen-safe
 func (g *Graph) IsResourceID(id ID) bool {
 	k := g.dict.Kind(id)
 	return k == rdf.KindIRI || k == rdf.KindBlank
@@ -273,6 +300,8 @@ func (g *Graph) IsResourceID(id ID) bool {
 
 // HasID reports whether the exact triple (s, p, o) is present, by ID.
 // NoID in any position returns false (use ForEachID for patterns).
+//
+//feo:frozen-safe
 func (g *Graph) HasID(s, p, o ID) bool {
 	return g.spo.get(s, p).Contains(o)
 }
@@ -283,6 +312,8 @@ func (g *Graph) HasID(s, p, o ID) bool {
 // is the live innermost index level — callers must treat it as read-only
 // and follow the reader contract — which is what lets a join intersect two
 // index levels word-by-word (IDSet.And) without copying either.
+//
+//feo:frozen-safe
 func (g *Graph) MatchSetID(s, p, o ID) *IDSet {
 	switch {
 	case s != NoID && p != NoID && o == NoID:
@@ -298,6 +329,8 @@ func (g *Graph) MatchSetID(s, p, o ID) *IDSet {
 // AddID inserts the triple (s, p, o) given already-interned IDs; it reports
 // whether the triple was new. Kind constraints (subject resource, predicate
 // IRI) are enforced against the dictionary.
+//
+//feo:mutates
 func (g *Graph) AddID(s, p, o ID) bool {
 	if s == NoID || p == NoID || o == NoID {
 		return false
@@ -308,6 +341,7 @@ func (g *Graph) AddID(s, p, o ID) bool {
 	return g.addIDs(s, p, o)
 }
 
+//feo:mutates
 func (g *Graph) addIDs(s, p, o ID) bool {
 	if g.frozen {
 		panic("store: mutation on a frozen snapshot view")
@@ -335,6 +369,8 @@ func (g *Graph) addIDs(s, p, o ID) bool {
 // of ix, COW-copying the outer slice and/or the map when they are still
 // shared with a published snapshot (epoch predates g.epoch), and growing
 // the outer slice when a is beyond it.
+//
+//feo:mutates
 func (g *Graph) mutableLvl2(ix *index, a ID) *lvl2 {
 	ai := int(a)
 	if ix.epoch != g.epoch {
@@ -355,6 +391,7 @@ func (g *Graph) mutableLvl2(ix *index, a ID) *lvl2 {
 		ix.s[ai] = l
 	case l.epoch != g.epoch:
 		m := make(map[ID]*IDSet, len(l.m)+1)
+		//feo:unordered // COW map clone
 		for k, v := range l.m {
 			m[k] = v
 		}
@@ -366,6 +403,8 @@ func (g *Graph) mutableLvl2(ix *index, a ID) *lvl2 {
 
 // indexAdd inserts c into the (a, b) set of ix, COW-copying shared levels.
 // The caller has already established the triple is absent.
+//
+//feo:mutates
 func (g *Graph) indexAdd(ix *index, a, b, c ID) {
 	l := g.mutableLvl2(ix, a)
 	set := l.m[b]
@@ -383,6 +422,8 @@ func (g *Graph) indexAdd(ix *index, a, b, c ID) {
 // indexRemove deletes c from the (a, b) set of ix, COW-copying shared
 // levels and pruning emptied levels. The caller has already established the
 // triple is present.
+//
+//feo:mutates
 func (g *Graph) indexRemove(ix *index, a, b, c ID) {
 	l := g.mutableLvl2(ix, a)
 	set := l.m[b]
@@ -401,6 +442,8 @@ func (g *Graph) indexRemove(ix *index, a, b, c ID) {
 
 // countAdd adjusts one per-position counter, COW-copying the vector when it
 // is still shared with a published snapshot.
+//
+//feo:mutates
 func (g *Graph) countAdd(c *counts, id ID, d int32) {
 	ai := int(id)
 	if c.epoch != g.epoch {
@@ -422,6 +465,8 @@ func (g *Graph) countAdd(c *counts, id ID, d int32) {
 // The innermost (bitmap) level iterates in ascending ID order and full
 // scans walk the outer level in ascending leading-ID order; the middle map
 // level remains unordered. The callback must not mutate the graph.
+//
+//feo:frozen-safe
 func (g *Graph) ForEachID(s, p, o ID, fn func(s, p, o ID) bool) {
 	sB, pB, oB := s != NoID, p != NoID, o != NoID
 	switch {
@@ -471,6 +516,8 @@ func (g *Graph) ForEachID(s, p, o ID, fn func(s, p, o ID) bool) {
 // CountID returns the number of triples matching the ID pattern without
 // iterating them: fully and doubly bound shapes are a single len() of the
 // underlying index level; singly bound shapes read a per-position counter.
+//
+//feo:frozen-safe
 func (g *Graph) CountID(s, p, o ID) int {
 	sB, pB, oB := s != NoID, p != NoID, o != NoID
 	switch {
@@ -499,6 +546,8 @@ func (g *Graph) CountID(s, p, o ID) int {
 // ObjectsID returns the object IDs of triples (s, p, *) in ascending ID
 // order. The reasoner's rule joins use this to avoid the term decode and
 // sort that Objects pays for.
+//
+//feo:frozen-safe
 func (g *Graph) ObjectsID(s, p ID) []ID {
 	objs := g.spo.get(s, p)
 	if objs.Len() == 0 {
@@ -512,6 +561,8 @@ func (g *Graph) ObjectsID(s, p ID) []ID {
 // allocation-free form of ObjectsID, for hot loops — the SPARQL engine's
 // path BFS expands frontiers with it — that want neither a fresh slice per
 // probe nor a full triple callback.
+//
+//feo:frozen-safe
 func (g *Graph) ForEachObjectID(s, p ID, fn func(o ID) bool) {
 	g.spo.get(s, p).ForEach(fn)
 }
@@ -519,12 +570,16 @@ func (g *Graph) ForEachObjectID(s, p ID, fn func(o ID) bool) {
 // ForEachSubjectID calls fn for every subject ID of triples (*, p, o), in
 // ascending ID order, stopping early when fn returns false. The
 // allocation-free form of SubjectsID.
+//
+//feo:frozen-safe
 func (g *Graph) ForEachSubjectID(p, o ID, fn func(s ID) bool) {
 	g.pos.get(p, o).ForEach(fn)
 }
 
 // SubjectsID returns the subject IDs of triples (*, p, o) in ascending ID
 // order.
+//
+//feo:frozen-safe
 func (g *Graph) SubjectsID(p, o ID) []ID {
 	subjs := g.pos.get(p, o)
 	if subjs.Len() == 0 {
@@ -539,6 +594,8 @@ func (g *Graph) SubjectsID(p, o ID) []ID {
 // a single object, as every functional property and rdf:first/rdf:rest
 // chain produces — answers straight from the bitmap without decoding any
 // term; larger sets decode each candidate exactly once.
+//
+//feo:frozen-safe
 func (g *Graph) FirstObjectID(s, p ID) ID {
 	objs := g.spo.get(s, p)
 	if objs.Len() <= 1 {
@@ -564,6 +621,8 @@ func (g *Graph) FirstObjectID(s, p ID) ID {
 
 // Add inserts the triple (s, p, o); it reports whether the triple was new.
 // Invalid triples (per rdf.Triple.Valid) are rejected and return false.
+//
+//feo:mutates
 func (g *Graph) Add(s, p, o rdf.Term) bool {
 	t := rdf.Triple{S: s, P: p, O: o}
 	if !t.Valid() {
@@ -573,9 +632,13 @@ func (g *Graph) Add(s, p, o rdf.Term) bool {
 }
 
 // AddTriple inserts t; it reports whether the triple was new.
+//
+//feo:mutates
 func (g *Graph) AddTriple(t rdf.Triple) bool { return g.Add(t.S, t.P, t.O) }
 
 // AddAll inserts every triple in ts and returns the number actually added.
+//
+//feo:mutates
 func (g *Graph) AddAll(ts []rdf.Triple) int {
 	added := 0
 	for _, t := range ts {
@@ -588,6 +651,8 @@ func (g *Graph) AddAll(ts []rdf.Triple) int {
 
 // Remove deletes the triple (s, p, o); it reports whether it was present.
 // The terms stay interned: IDs are never reused or reassigned.
+//
+//feo:mutates
 func (g *Graph) Remove(s, p, o rdf.Term) bool {
 	sID, ok := g.dict.Lookup(s)
 	if !ok {
@@ -604,6 +669,7 @@ func (g *Graph) Remove(s, p, o rdf.Term) bool {
 	return g.removeIDs(sID, pID, oID)
 }
 
+//feo:mutates
 func (g *Graph) removeIDs(s, p, o ID) bool {
 	if g.frozen {
 		panic("store: mutation on a frozen snapshot view")
@@ -627,6 +693,8 @@ func (g *Graph) removeIDs(s, p, o ID) bool {
 
 // Has reports whether the exact triple (s, p, o) is present. Wildcards are
 // not interpreted; use Exists for pattern queries.
+//
+//feo:frozen-safe
 func (g *Graph) Has(s, p, o rdf.Term) bool {
 	sID, ok := g.dict.Lookup(s)
 	if !ok {
@@ -646,6 +714,8 @@ func (g *Graph) Has(s, p, o rdf.Term) bool {
 // encodePattern maps a Term pattern position to an ID pattern position:
 // wildcard terms become NoID, known terms their ID. ok is false when the
 // term is bound but unknown to the dictionary — no triple can match.
+//
+//feo:frozen-safe
 func (g *Graph) encodePattern(t rdf.Term) (ID, bool) {
 	if !t.IsValid() {
 		return NoID, true
@@ -657,6 +727,8 @@ func (g *Graph) encodePattern(t rdf.Term) (ID, bool) {
 // ForEach calls fn for every triple matching the pattern (s, p, o), where
 // the zero Term (Wildcard) matches anything. Iteration stops early when fn
 // returns false. The callback must not mutate the graph.
+//
+//feo:frozen-safe
 func (g *Graph) ForEach(s, p, o rdf.Term, fn func(rdf.Triple) bool) {
 	sID, ok := g.encodePattern(s)
 	if !ok {
@@ -687,6 +759,8 @@ func (g *Graph) ForEach(s, p, o rdf.Term, fn func(rdf.Triple) bool) {
 }
 
 // Match returns all triples matching the pattern, in unspecified order.
+//
+//feo:frozen-safe
 func (g *Graph) Match(s, p, o rdf.Term) []rdf.Triple {
 	var out []rdf.Triple
 	g.ForEach(s, p, o, func(t rdf.Triple) bool {
@@ -698,6 +772,8 @@ func (g *Graph) Match(s, p, o rdf.Term) []rdf.Triple {
 
 // Exists reports whether any triple matches the pattern. Like Count, it
 // answers from index-level sizes without iterating triples.
+//
+//feo:frozen-safe
 func (g *Graph) Exists(s, p, o rdf.Term) bool {
 	sID, ok := g.encodePattern(s)
 	if !ok {
@@ -734,6 +810,8 @@ func (g *Graph) Exists(s, p, o rdf.Term) bool {
 
 // Count returns the number of triples matching the pattern without
 // materializing or iterating them (a len() of the right index level).
+//
+//feo:frozen-safe
 func (g *Graph) Count(s, p, o rdf.Term) int {
 	sID, ok := g.encodePattern(s)
 	if !ok {
@@ -753,6 +831,9 @@ func (g *Graph) Count(s, p, o rdf.Term) int {
 // decodeSorted decodes an ID set to terms sorted per rdf.Compare. The set
 // iterates in ID order but the output contract is term order, so the sort
 // remains (ID order is first-seen order, not term order).
+//
+//feo:frozen-safe
+//feo:decodes
 func (g *Graph) decodeSorted(set *IDSet) []rdf.Term {
 	out := make([]rdf.Term, 0, set.Len())
 	set.ForEach(func(id ID) bool {
@@ -764,6 +845,8 @@ func (g *Graph) decodeSorted(set *IDSet) []rdf.Term {
 }
 
 // Objects returns the distinct objects of triples (s, p, *), sorted.
+//
+//feo:frozen-safe
 func (g *Graph) Objects(s, p rdf.Term) []rdf.Term {
 	sID, ok := g.dict.Lookup(s)
 	if !ok {
@@ -780,6 +863,8 @@ func (g *Graph) Objects(s, p rdf.Term) []rdf.Term {
 // When several objects exist the smallest (per rdf.Compare) is returned so
 // results are deterministic and agree with FirstObjectID. This is a single
 // O(n) min-scan, not a sort; the singleton case decodes exactly one term.
+//
+//feo:frozen-safe
 func (g *Graph) FirstObject(s, p rdf.Term) rdf.Term {
 	sID, ok := g.dict.Lookup(s)
 	if !ok {
@@ -797,6 +882,8 @@ func (g *Graph) FirstObject(s, p rdf.Term) rdf.Term {
 }
 
 // Subjects returns the distinct subjects of triples (*, p, o), sorted.
+//
+//feo:frozen-safe
 func (g *Graph) Subjects(p, o rdf.Term) []rdf.Term {
 	pID, ok := g.dict.Lookup(p)
 	if !ok {
@@ -810,6 +897,8 @@ func (g *Graph) Subjects(p, o rdf.Term) []rdf.Term {
 }
 
 // Predicates returns the distinct predicates of triples (s, *, o), sorted.
+//
+//feo:frozen-safe
 func (g *Graph) Predicates(s, o rdf.Term) []rdf.Term {
 	sID, ok := g.dict.Lookup(s)
 	if !ok {
@@ -823,16 +912,22 @@ func (g *Graph) Predicates(s, o rdf.Term) []rdf.Term {
 }
 
 // TypesOf returns the asserted rdf:type objects of s, sorted.
+//
+//feo:frozen-safe
 func (g *Graph) TypesOf(s rdf.Term) []rdf.Term {
 	return g.Objects(s, rdf.TypeIRI)
 }
 
 // IsA reports whether (s rdf:type class) is present.
+//
+//feo:frozen-safe
 func (g *Graph) IsA(s, class rdf.Term) bool {
 	return g.Has(s, rdf.TypeIRI, class)
 }
 
 // InstancesOf returns the subjects asserted to have rdf:type class, sorted.
+//
+//feo:frozen-safe
 func (g *Graph) InstancesOf(class rdf.Term) []rdf.Term {
 	return g.Subjects(rdf.TypeIRI, class)
 }
@@ -840,6 +935,8 @@ func (g *Graph) InstancesOf(class rdf.Term) []rdf.Term {
 // Triples returns every triple in the graph sorted by subject, predicate,
 // object. Intended for serialization and tests; large graphs should iterate
 // with ForEach instead.
+//
+//feo:frozen-safe
 func (g *Graph) Triples() []rdf.Triple {
 	out := make([]rdf.Triple, 0, g.n)
 	g.ForEachID(NoID, NoID, NoID, func(s, p, o ID) bool {
@@ -851,6 +948,8 @@ func (g *Graph) Triples() []rdf.Triple {
 }
 
 // SubjectSet returns the distinct subjects in the graph, sorted.
+//
+//feo:frozen-safe
 func (g *Graph) SubjectSet() []rdf.Term {
 	out := make([]rdf.Term, 0, g.spo.levels())
 	for si, l := range g.spo.s {
@@ -863,6 +962,8 @@ func (g *Graph) SubjectSet() []rdf.Term {
 }
 
 // PredicateSet returns the distinct predicates in the graph, sorted.
+//
+//feo:frozen-safe
 func (g *Graph) PredicateSet() []rdf.Term {
 	out := make([]rdf.Term, 0, g.pos.levels())
 	for pi, l := range g.pos.s {
@@ -880,6 +981,9 @@ func (g *Graph) PredicateSet() []rdf.Term {
 // a single term. The clone is an independent live graph: it shares no
 // storage with g (unlike a Snapshot view), starts with no published
 // snapshot, and may be mutated by its own writer.
+//
+//feo:frozen-safe
+//feo:fresh
 func (g *Graph) Clone() *Graph {
 	out := &Graph{
 		dict:  g.dict.Clone(),
@@ -909,6 +1013,7 @@ func cloneIndex(ix index) index {
 			continue
 		}
 		m := make(map[ID]*IDSet, len(l.m))
+		//feo:unordered // index clone
 		for b, set := range l.m {
 			m[b] = set.Clone()
 		}
@@ -921,6 +1026,11 @@ func cloneIndex(ix index) index {
 // Terms of other are re-interned into g's dictionary through a one-pass
 // remap table, so each distinct term is hashed once regardless of how many
 // triples mention it.
+// Iteration order over other does not affect the result: the merged
+// graph is a triple set.
+//
+//feo:mutates
+//feo:unordered
 func (g *Graph) Merge(other *Graph) int {
 	if other == nil {
 		return 0
@@ -952,6 +1062,8 @@ func (g *Graph) Merge(other *Graph) int {
 }
 
 // Subtract removes every triple of other from g and returns the number removed.
+//
+//feo:mutates
 func (g *Graph) Subtract(other *Graph) int {
 	if other == nil {
 		return 0
@@ -969,6 +1081,8 @@ func (g *Graph) Subtract(other *Graph) int {
 // Equal reports whether g and other contain exactly the same triples.
 // Blank node labels are compared literally (no isomorphism check); use
 // Isomorphic for bnode-invariant comparison.
+//
+//feo:frozen-safe
 func (g *Graph) Equal(other *Graph) bool {
 	if other == nil || g.n != other.n {
 		return false
@@ -988,6 +1102,8 @@ func (g *Graph) Equal(other *Graph) bool {
 // before Clear must not be used afterwards. The mutation version advances
 // (it never resets), so memoized consumers observe the wipe. Published
 // snapshots are unaffected: they keep the old dictionary and indexes.
+//
+//feo:mutates
 func (g *Graph) Clear() {
 	if g.frozen {
 		panic("store: mutation on a frozen snapshot view")
@@ -1009,6 +1125,8 @@ func (g *Graph) Clear() {
 // ReadList reads an RDF collection (rdf:first / rdf:rest chain) starting at
 // head and returns its members in order. Malformed lists return the members
 // collected before the defect, and ok=false.
+//
+//feo:frozen-safe
 func (g *Graph) ReadList(head rdf.Term) (members []rdf.Term, ok bool) {
 	seen := make(map[rdf.Term]bool)
 	for head != rdf.NilIRI {
@@ -1029,6 +1147,8 @@ func (g *Graph) ReadList(head rdf.Term) (members []rdf.Term, ok bool) {
 // ReadListID is ReadList at the dictionary-ID level: it reads the
 // collection starting at head without decoding a single term. Malformed
 // lists return the members collected before the defect, and ok=false.
+//
+//feo:frozen-safe
 func (g *Graph) ReadListID(head ID) (members []ID, ok bool) {
 	nilID, hasNil := g.dict.Lookup(rdf.NilIRI)
 	firstID, hasFirst := g.dict.Lookup(rdf.FirstIRI)
@@ -1052,6 +1172,8 @@ func (g *Graph) ReadListID(head ID) (members []ID, ok bool) {
 // AddList writes members as an RDF collection using fresh blank nodes with
 // the given label prefix and returns the head term (rdf:nil for an empty
 // list).
+//
+//feo:mutates
 func (g *Graph) AddList(labelPrefix string, members []rdf.Term) rdf.Term {
 	if len(members) == 0 {
 		return rdf.NilIRI

@@ -130,9 +130,11 @@ func collectBlanks(ts []rdf.Triple) []rdf.Term {
 		}
 	}
 	out := make([]rdf.Term, 0, len(set))
+	//feo:unordered // sorted below
 	for n := range set {
 		out = append(out, n)
 	}
+	sort.Slice(out, func(i, j int) bool { return rdf.Compare(out[i], out[j]) < 0 })
 	return out
 }
 
@@ -166,6 +168,7 @@ func refine(ts []rdf.Triple, blanks []rdf.Term) map[rdf.Term]string {
 			next[n] = fmt.Sprintf("%x", fnv64(parts))
 		}
 		changed := false
+		//feo:unordered // convergence check only
 		for n := range sig {
 			if sig[n] != next[n] {
 				changed = true
@@ -209,6 +212,11 @@ type Stats struct {
 }
 
 // Statistics computes summary statistics for the graph in one pass.
+// Statistics only counts set cardinalities, so enumeration order is
+// immaterial.
+//
+//feo:frozen-safe
+//feo:unordered
 func (g *Graph) Statistics() Stats {
 	st := Stats{Triples: g.n, Subjects: g.spo.levels(), Predicates: g.pos.levels(), Objects: g.osp.levels()}
 	classes := make(map[rdf.Term]struct{})

@@ -29,6 +29,8 @@ import (
 // is a frozen *Graph sharing storage with the publisher via copy-on-write:
 // every read method works, costs the same as on the live graph, and always
 // observes exactly the state at publish time. Mutating methods panic.
+//
+//feo:frozen-type
 type Snapshot struct {
 	g          *Graph
 	version    uint64
@@ -52,6 +54,9 @@ func (s *Snapshot) Superseded() bool { return s.superseded.Load() }
 // since the last publish, the existing snapshot is returned unchanged.
 // Writer-only; panics inside an open transaction (use Txn.Commit) and on a
 // frozen view.
+//
+//feo:mutates
+//feo:publish
 func (g *Graph) Publish() *Snapshot {
 	if g.frozen {
 		panic("store: Publish on a frozen snapshot view")
@@ -62,6 +67,8 @@ func (g *Graph) Publish() *Snapshot {
 	return g.publish()
 }
 
+//feo:mutates
+//feo:publish
 func (g *Graph) publish() *Snapshot {
 	if cur := g.published.Load(); cur != nil && cur.version == g.version {
 		return cur
@@ -100,6 +107,8 @@ func (g *Graph) publish() *Snapshot {
 // never blocks. Called on a frozen view, it returns that view's own
 // snapshot, so code holding either a *Snapshot or its *Graph can recover
 // the other.
+//
+//feo:frozen-safe
 func (g *Graph) Snapshot() *Snapshot {
 	if g.frozen {
 		return g.owner
@@ -108,11 +117,15 @@ func (g *Graph) Snapshot() *Snapshot {
 }
 
 // Frozen reports whether g is an immutable snapshot view.
+//
+//feo:frozen-safe
 func (g *Graph) Frozen() bool { return g.frozen }
 
 // Superseded reports whether g is a frozen view whose snapshot has been
 // superseded by a newer publish. Always false for a live graph; the SPARQL
 // plan cache uses it to rank evictions.
+//
+//feo:frozen-safe
 func (g *Graph) Superseded() bool { return g.owner != nil && g.owner.superseded.Load() }
 
 // dictCap returns how many dictionary entries belong to this graph value:
@@ -120,6 +133,8 @@ func (g *Graph) Superseded() bool { return g.owner != nil && g.owner.superseded.
 // (the shared dictionary may have grown since). The snapshot encoder uses
 // it so serializing a pinned view stays deterministic while the writer
 // interns new terms.
+//
+//feo:frozen-safe
 func (g *Graph) dictCap() int {
 	if g.frozen {
 		return g.dictN
@@ -162,6 +177,8 @@ type txnRoots struct {
 // each op inverted (the capture records only effective mutations, so the
 // inverse stream is exact). A Clear inside a dirty transaction stashes the
 // pre-Clear op prefix (preClearOps) so both halves can be undone.
+//
+//feo:mutable-type
 type Txn struct {
 	g           *Graph
 	cs          *ChangeSet
@@ -175,6 +192,8 @@ type Txn struct {
 // Begin opens a transaction and starts an ordered capture of every
 // mutation (the op stream the write-ahead log consumes). Panics if a
 // transaction is already open or g is a frozen view.
+//
+//feo:mutates
 func (g *Graph) Begin() *Txn {
 	if g.frozen {
 		panic("store: Begin on a frozen snapshot view")
@@ -204,11 +223,16 @@ func (g *Graph) Begin() *Txn {
 // Changes exposes the transaction's ordered capture while the transaction
 // is open (and after Commit). The write-ahead log reads Ops/Cleared/
 // EndVersion from it.
+//
+//feo:frozen-safe
 func (t *Txn) Changes() *ChangeSet { return t.cs }
 
 // Commit closes the transaction and publishes the resulting state as a new
 // Snapshot (returned). Committing a transaction that made no mutations
 // returns the previously published snapshot unchanged.
+//
+//feo:mutates
+//feo:publish
 func (t *Txn) Commit() *Snapshot {
 	if t.done {
 		panic("store: Commit on a finished transaction")
@@ -229,6 +253,9 @@ func (t *Txn) Commit() *Snapshot {
 // only when a reader actually pins in between. Isolation is unaffected:
 // pinned snapshots only ever expose published states, and everything they
 // share stays frozen.
+//
+//feo:mutates
+//feo:publish
 func (t *Txn) CommitDeferred() {
 	if t.done {
 		panic("store: CommitDeferred on a finished transaction")
@@ -248,6 +275,8 @@ func (t *Txn) CommitDeferred() {
 // captures active across the rollback are invalidated (Cleared reports
 // true), since mutations they recorded have been undone; consumers fall
 // back to whole-graph processing, exactly as after Clear.
+//
+//feo:mutates
 func (t *Txn) Rollback() {
 	if t.done {
 		panic("store: Rollback on a finished transaction")
@@ -297,6 +326,8 @@ func (t *Txn) Rollback() {
 // the root structures were not written in place during the transaction
 // (rootsFrozen), or when any such writes are subsequently undone by
 // inverseApply (the sawClear path).
+//
+//feo:mutates
 func (t *Txn) restoreRoots() {
 	g := t.g
 	g.dict = t.prev.dict
@@ -315,6 +346,8 @@ func (t *Txn) restoreRoots() {
 // counters, copy-on-write, and remaining captures stay consistent. The
 // capture recorded only effective mutations, so every inverse op is
 // effective and the replay restores the exact prior triple set.
+//
+//feo:mutates
 func (g *Graph) inverseApply(ops []orderedOp) {
 	for i := len(ops) - 1; i >= 0; i-- {
 		op := ops[i]

@@ -44,6 +44,9 @@ const snapshotFormatVersion = 1
 // (that is how Session.Compact serializes off the write lock): the view's
 // COW storage is immutable and the dictionary is truncated to the
 // publish-time prefix, so the output is deterministic.
+//
+//feo:frozen-safe
+//feo:emit
 func (g *Graph) WriteSnapshot(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	e := &snapEncoder{w: bw}
@@ -62,6 +65,8 @@ func (g *Graph) WriteSnapshot(w io.Writer) error {
 
 // readSnapshotInto decodes a snapshot stream into a freshly constructed
 // (still empty) graph.
+//
+//feo:mutates
 func (g *Graph) readSnapshotInto(r io.Reader) error {
 	d := &snapDecoder{r: bufio.NewReader(r)}
 	ver := d.uvarint()
@@ -93,6 +98,8 @@ func (g *Graph) readSnapshotInto(r io.Reader) error {
 
 // deriveCounts fills one per-position counter vector from a loaded index
 // and returns the total cardinality.
+//
+//feo:mutates
 func deriveCounts(ix *index, cnt *counts, nTerms int) int {
 	cnt.v = make([]int32, nTerms)
 	total := 0
@@ -101,6 +108,7 @@ func deriveCounts(ix *index, cnt *counts, nTerms int) int {
 			continue
 		}
 		c := 0
+		//feo:unordered // summation; order-insensitive
 		for _, set := range l.m {
 			c += set.Len()
 		}
@@ -113,6 +121,8 @@ func deriveCounts(ix *index, cnt *counts, nTerms int) int {
 // ReadSnapshot reads a graph previously written by WriteSnapshot. The
 // returned graph is fully indexed and ready for reads and further mutation;
 // its Version matches the snapshotted graph's.
+//
+//feo:fresh
 func ReadSnapshot(r io.Reader) (*Graph, error) {
 	g := New()
 	if err := g.readSnapshotInto(r); err != nil {
@@ -127,6 +137,8 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 // recovered graph reports exactly the version its acknowledged mutations
 // reached, keeping the plan cache's and the reasoner's version-keyed
 // invariants intact across a restart.
+//
+//feo:mutates
 func (g *Graph) ForceVersion(v uint64) {
 	if v > g.version {
 		g.version = v
@@ -344,6 +356,7 @@ func (d *snapDecoder) readNamespaces(ns *rdf.Namespaces) {
 	}
 }
 
+//feo:mutates
 func (d *snapDecoder) readIndex(idx *index, nTerms uint64) {
 	checkID := func(v uint64) ID {
 		if d.err == nil && v >= nTerms {

@@ -14,6 +14,8 @@ import (
 // Write serializes g as Turtle: prefix directives first, then triples
 // grouped by subject with predicate-object lists, in deterministic sorted
 // order so output is diffable and usable in golden tests.
+//
+//feo:emit
 func Write(w io.Writer, g *store.Graph) error {
 	bw := bufio.NewWriter(w)
 	ns := g.Namespaces()
@@ -171,6 +173,8 @@ func isDecimalToken(s string) bool {
 
 // WriteNTriples serializes g in canonical N-Triples: one triple per line,
 // absolute IRIs, sorted order.
+//
+//feo:emit
 func WriteNTriples(w io.Writer, g *store.Graph) error {
 	bw := bufio.NewWriter(w)
 	ts := g.Triples()
