@@ -1,0 +1,325 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/feo"
+)
+
+// cmdLoadtest drives a closed-loop load harness against the HTTP API:
+// every worker issues one request, waits for the full response, and
+// immediately issues the next, so offered load adapts to server capacity
+// instead of overrunning it. The request mix replays the serve tier's
+// real traffic shape — SPARQL queries across all three protocol
+// invocation forms and all four result formats, explanation generation
+// (the write path), recommendations, and stats — and the report records
+// throughput plus latency percentiles next to the plan-cache hit rate
+// scraped from /metrics.
+//
+// By default the harness self-hosts: it starts the same mux `feo serve`
+// runs on a loopback listener, so CI can smoke the serve tier with no
+// orchestration. Point -url at a running server to drive a real
+// deployment instead.
+//
+// The exit status is a gate: a run with zero completed requests or any
+// 5xx response fails, so wiring `feo loadtest` into CI asserts the serve
+// tier stays alive under concurrent mixed load.
+func cmdLoadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	data := dataFlag(fs)
+	par := parallelFlag(fs)
+	duration := fs.Duration("duration", 5*time.Second, "how long to drive load")
+	concurrency := fs.Int("concurrency", 8, "closed-loop workers")
+	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
+	target := fs.String("url", "", "base URL of a running server (empty = self-host in-process)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *concurrency <= 0 {
+		return fmt.Errorf("concurrency must be positive, got %d", *concurrency)
+	}
+	feo.SetQueryParallelism(*par)
+
+	base := *target
+	if base == "" {
+		s, err := newSession(*data)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: newAPIServer(s, 30*time.Second, 0, 0).mux()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		base = "http://" + ln.Addr().String()
+	}
+	base = strings.TrimRight(base, "/")
+
+	report, err := runLoad(base, *duration, *concurrency)
+	if err != nil {
+		return err
+	}
+	encoded, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	encoded = append(encoded, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, encoded, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d requests, %.0f req/s, p99 %.2fms)\n",
+			*out, report.Requests, report.ThroughputRPS, report.LatencyMS["p99"])
+	} else {
+		os.Stdout.Write(encoded)
+	}
+	// The CI gate: the serve tier must have done real work and never
+	// answered with a server error.
+	if report.Requests == 0 {
+		return fmt.Errorf("load gate: zero requests completed")
+	}
+	if report.Errors5xx > 0 {
+		return fmt.Errorf("load gate: %d server errors (5xx)", report.Errors5xx)
+	}
+	return nil
+}
+
+// loadReport is the machine-readable result, recorded in the repo as
+// LOAD_N.json alongside the BENCH_N.json trajectory.
+type loadReport struct {
+	DurationSeconds float64            `json:"duration_s"`
+	Concurrency     int                `json:"concurrency"`
+	Requests        int                `json:"requests"`
+	ThroughputRPS   float64            `json:"throughput_rps"`
+	Errors5xx       int                `json:"errors_5xx"`
+	StatusCounts    map[string]int     `json:"status_counts"`
+	EndpointCounts  map[string]int     `json:"endpoint_counts"`
+	LatencyMS       map[string]float64 `json:"latency_ms"`
+	PlanCache       map[string]float64 `json:"plan_cache"`
+}
+
+// loadCall is one entry in the replayed mix.
+type loadCall struct {
+	endpoint string
+	build    func(base string) (*http.Request, error)
+}
+
+func sparqlGET(query, format string) loadCall {
+	return loadCall{"/sparql", func(base string) (*http.Request, error) {
+		u := base + "/sparql?query=" + url.QueryEscape(query)
+		if format != "" {
+			u += "&format=" + format
+		}
+		return http.NewRequest(http.MethodGet, u, nil)
+	}}
+}
+
+func sparqlFormPOST(query, accept string) loadCall {
+	return loadCall{"/sparql", func(base string) (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, base+"/sparql",
+			strings.NewReader(url.Values{"query": {query}}.Encode()))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		req.Header.Set("Accept", accept)
+		return req, nil
+	}}
+}
+
+func sparqlRawPOST(query, accept string) loadCall {
+	return loadCall{"/sparql", func(base string) (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, base+"/sparql", strings.NewReader(query))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/sparql-query")
+		req.Header.Set("Accept", accept)
+		return req, nil
+	}}
+}
+
+func jsonPOST(path, body string) loadCall {
+	return loadCall{path, func(base string) (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, base+path, strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}}
+}
+
+func plainGET(endpoint, path string) loadCall {
+	return loadCall{endpoint, func(base string) (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, base+path, nil)
+	}}
+}
+
+// loadMix is the fixed traffic shape, weighted toward the read-heavy
+// query path the way the serve tier is actually used: repeated identical
+// queries (so the plan cache matters), every protocol invocation form,
+// every result format, a steady trickle of graph-mutating explanations,
+// and recommendation/stats reads.
+var loadMix = []loadCall{
+	sparqlGET("SELECT ?q WHERE { ?q a feo:FoodQuestion }", ""),
+	sparqlGET("SELECT ?r ?i WHERE { ?r feo:hasIngredient ?i }", "tsv"),
+	sparqlFormPOST("SELECT ?q WHERE { ?q a feo:FoodQuestion }", "application/sparql-results+xml"),
+	sparqlGET("SELECT ?q WHERE { ?q a feo:FoodQuestion }", ""),
+	plainGET("/recommend", "/recommend?user=feo:User2&limit=5"),
+	sparqlRawPOST("SELECT ?r ?i WHERE { ?r feo:hasIngredient ?i }", "text/csv"),
+	jsonPOST("/explain", `{"type":"contextual","primary":"feo:CauliflowerPotatoCurry"}`),
+	sparqlGET("ASK { feo:Sushi feo:hasIngredient feo:RawFish }", ""),
+	plainGET("/recommend", "/recommend?user=feo:User2&limit=5"),
+	plainGET("/stats", "/stats"),
+}
+
+// workerStats is accumulated lock-free per worker and merged after the
+// run, so measurement adds no cross-worker synchronization.
+type workerStats struct {
+	latencies []float64 // milliseconds
+	status    map[int]int
+	endpoints map[string]int
+}
+
+func runLoad(base string, duration time.Duration, concurrency int) (*loadReport, error) {
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        concurrency * 2,
+			MaxIdleConnsPerHost: concurrency * 2,
+		},
+		Timeout: 60 * time.Second,
+	}
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	workers := make([]workerStats, concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := workerStats{status: make(map[int]int), endpoints: make(map[string]int)}
+			// Offset each worker's starting point so the mix interleaves
+			// across workers instead of marching in lockstep.
+			for i := w; time.Now().Before(deadline); i++ {
+				call := loadMix[i%len(loadMix)]
+				req, err := call.build(base)
+				if err != nil {
+					st.status[0]++
+					continue
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					st.status[0]++
+					continue
+				}
+				// Drain fully: closed-loop means the response is consumed,
+				// and keep-alive needs the body read to completion.
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				st.latencies = append(st.latencies, float64(time.Since(t0).Nanoseconds())/1e6)
+				st.status[resp.StatusCode]++
+				st.endpoints[call.endpoint]++
+			}
+			workers[w] = st
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := &loadReport{
+		DurationSeconds: elapsed.Seconds(),
+		Concurrency:     concurrency,
+		StatusCounts:    make(map[string]int),
+		EndpointCounts:  make(map[string]int),
+		LatencyMS:       make(map[string]float64),
+		PlanCache:       make(map[string]float64),
+	}
+	var all []float64
+	for _, st := range workers {
+		all = append(all, st.latencies...)
+		for code, n := range st.status {
+			key := "transport_error"
+			if code != 0 {
+				key = strconv.Itoa(code)
+			}
+			report.StatusCounts[key] += n
+			if code >= 500 {
+				report.Errors5xx += n
+			}
+		}
+		for ep, n := range st.endpoints {
+			report.EndpointCounts[ep] += n
+		}
+	}
+	report.Requests = len(all)
+	if elapsed > 0 {
+		report.ThroughputRPS = float64(len(all)) / elapsed.Seconds()
+	}
+	sort.Float64s(all)
+	pct := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return all[int(q*float64(len(all)-1))]
+	}
+	report.LatencyMS["p50"] = pct(0.50)
+	report.LatencyMS["p95"] = pct(0.95)
+	report.LatencyMS["p99"] = pct(0.99)
+	report.LatencyMS["max"] = pct(1.0)
+
+	if err := scrapePlanCache(client, base, report.PlanCache); err != nil {
+		return nil, fmt.Errorf("scraping /metrics: %w", err)
+	}
+	return report, nil
+}
+
+// scrapePlanCache closes the observability loop: the harness reads the
+// server's own /metrics exposition (rather than any in-process state) to
+// report the plan-cache hit rate the run achieved.
+func scrapePlanCache(client *http.Client, base string, out map[string]float64) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		switch fields[0] {
+		case "feo_query_plan_cache_hits":
+			out["hits"], _ = strconv.ParseFloat(fields[1], 64)
+		case "feo_query_plan_cache_misses":
+			out["misses"], _ = strconv.ParseFloat(fields[1], 64)
+		}
+	}
+	if total := out["hits"] + out["misses"]; total > 0 {
+		out["hit_rate"] = out["hits"] / total
+	}
+	return nil
+}

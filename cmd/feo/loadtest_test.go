@@ -1,0 +1,45 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestLoadHarnessClosedLoop runs the real mix against the real mux for a
+// short burst: every request in the mix must succeed (no 4xx — the mix
+// is supposed to be well-formed — and certainly no 5xx), and the report
+// must close the loop through /metrics.
+func TestLoadHarnessClosedLoop(t *testing.T) {
+	ts := httptest.NewServer(testServer(t).mux())
+	defer ts.Close()
+	report, err := runLoad(ts.URL, 300*time.Millisecond, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if report.Errors5xx > 0 {
+		t.Fatalf("%d server errors: %+v", report.Errors5xx, report.StatusCounts)
+	}
+	for code := range report.StatusCounts {
+		if code != "200" {
+			t.Errorf("mix request answered %s (want all 200): %+v", code, report.StatusCounts)
+		}
+	}
+	if report.ThroughputRPS <= 0 {
+		t.Error("throughput not recorded")
+	}
+	if report.LatencyMS["p99"] < report.LatencyMS["p50"] {
+		t.Errorf("p99 %.3f < p50 %.3f", report.LatencyMS["p99"], report.LatencyMS["p50"])
+	}
+	// The identical SPARQL queries repeat throughout the mix, so the
+	// scraped plan-cache hit rate must be positive.
+	if report.PlanCache["hit_rate"] <= 0 {
+		t.Errorf("plan cache hit rate = %v, want > 0", report.PlanCache)
+	}
+	if report.EndpointCounts["/sparql"] == 0 || report.EndpointCounts["/explain"] == 0 {
+		t.Errorf("mix did not cover the endpoints: %+v", report.EndpointCounts)
+	}
+}

@@ -9,6 +9,7 @@
 //	feo export   [-data ...] [-format ttl|nt]  dump the materialized graph
 //	feo compact  -datadir DIR [-data ...]      snapshot + rotate the write-ahead log
 //	feo serve    [-addr :8080] [-data ...] [-datadir DIR] [-sync commit|interval|off]
+//	feo loadtest [-duration 5s] [-concurrency 8] [-out LOAD.json] [-url http://host:8080]
 package main
 
 import (
@@ -53,6 +54,8 @@ func main() {
 		err = cmdCompact(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "loadtest":
+		err = cmdLoadtest(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -80,6 +83,7 @@ commands:
   validate   run OWL consistency checks over the materialized graph
   compact    write a fresh durability snapshot and rotate the write-ahead log
   serve      start the HTTP SPARQL + explanation API
+  loadtest   drive a closed-loop load mix against the API and report p50/p99
 `)
 }
 

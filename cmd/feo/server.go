@@ -9,7 +9,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
-	"strings"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -18,10 +18,28 @@ import (
 
 // cmdServe starts the HTTP API:
 //
-//	GET/POST /sparql?query=...   SPARQL endpoint (JSON results)
-//	POST     /explain            {"type","primary","secondary","user"} -> explanation
-//	GET      /recommend?user=IRI&limit=N
-//	GET      /stats              graph statistics
+//	/sparql     SPARQL 1.1 Protocol query endpoint (see sparqlproto.go):
+//	            GET ?query=..., POST application/x-www-form-urlencoded,
+//	            POST application/sparql-query (plus the legacy JSON body).
+//	            Results stream in the negotiated W3C format — JSON, XML,
+//	            CSV, or TSV via ?format= or the Accept header — with
+//	            O(row) serialization memory. CONSTRUCT/DESCRIBE answer
+//	            text/turtle.
+//	POST /explain    {"type","primary","secondary","user"} -> explanation
+//	GET  /recommend?user=IRI&limit=N   (1 <= N <= 100)
+//	GET  /stats      graph statistics
+//	GET  /metrics    Prometheus text exposition: per-endpoint latency
+//	                 histograms and response counters, plan-cache
+//	                 hit/miss counts, snapshot age, graph size, and
+//	                 reasoner inference gauges
+//
+// Every query runs under -query-timeout plus the -max-rows / -max-bytes
+// result caps: a runaway query is canceled cooperatively, and one that
+// trips a cap mid-stream ends with a well-formed truncated document
+// whose reason travels in the X-Feo-Truncated trailer (JSON and XML also
+// record it in-band). Unknown methods get 405 with Allow, unsupported
+// POST bodies 415, unsatisfiable Accept headers 406 — all decided before
+// any evaluation work.
 //
 // net/http serves each request on its own goroutine, and /explain mutates
 // the graph (the engine asserts question and explanation individuals), so
@@ -46,6 +64,9 @@ func cmdServe(args []string) error {
 	sync := syncFlag(fs)
 	addr := fs.String("addr", ":8080", "listen address")
 	par := parallelFlag(fs)
+	queryTimeout := fs.Duration("query-timeout", 30*time.Second, "per-query deadline (0 = none)")
+	maxRows := fs.Int("max-rows", 0, "cap on result rows per query (0 = unlimited)")
+	maxBytes := fs.Int64("max-bytes", 0, "cap on serialized result bytes per query (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,15 +75,10 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv := &apiServer{sess: s}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/sparql", srv.handleSPARQL)
-	mux.HandleFunc("/explain", srv.handleExplain)
-	mux.HandleFunc("/recommend", srv.handleRecommend)
-	mux.HandleFunc("/stats", srv.handleStats)
+	srv := newAPIServer(s, *queryTimeout, *maxRows, *maxBytes)
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           srv.mux(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -104,7 +120,32 @@ func cmdServe(args []string) error {
 }
 
 type apiServer struct {
-	sess *feo.Session
+	sess         *feo.Session
+	metrics      *serverMetrics
+	queryTimeout time.Duration
+	maxRows      int
+	maxBytes     int64
+}
+
+func newAPIServer(s *feo.Session, queryTimeout time.Duration, maxRows int, maxBytes int64) *apiServer {
+	return &apiServer{
+		sess:         s,
+		metrics:      newServerMetrics(s),
+		queryTimeout: queryTimeout,
+		maxRows:      maxRows,
+		maxBytes:     maxBytes,
+	}
+}
+
+// mux routes the API with per-endpoint instrumentation.
+func (s *apiServer) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sparql", s.instrument("/sparql", s.handleSPARQL))
+	mux.HandleFunc("/explain", s.instrument("/explain", s.handleExplain))
+	mux.HandleFunc("/recommend", s.instrument("/recommend", s.handleRecommend))
+	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -119,68 +160,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// handleSPARQL evaluates a query from ?query= or the POST body and encodes
-// bindings in a simplified SPARQL-results-JSON shape.
-func (s *apiServer) handleSPARQL(w http.ResponseWriter, r *http.Request) {
-	query := r.URL.Query().Get("query")
-	if query == "" && r.Method == http.MethodPost {
-		var body struct {
-			Query string `json:"query"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&body); err == nil {
-			query = body.Query
-		}
-	}
-	if strings.TrimSpace(query) == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query"))
-		return
-	}
-	res, err := s.sess.Snapshot().Query(query)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	// Content negotiation: explicit ?format= wins, then the Accept header;
-	// the default is the W3C SPARQL results JSON format.
-	format := r.URL.Query().Get("format")
-	if format == "" {
-		accept := r.Header.Get("Accept")
-		switch {
-		case strings.Contains(accept, "text/csv"):
-			format = "csv"
-		case strings.Contains(accept, "tab-separated"):
-			format = "tsv"
-		case strings.Contains(accept, "sparql-results+xml"), strings.Contains(accept, "application/xml"):
-			format = "xml"
-		default:
-			format = "json"
-		}
-	}
-	switch format {
-	case "csv":
-		w.Header().Set("Content-Type", "text/csv")
-		err = res.WriteCSV(w)
-	case "tsv":
-		w.Header().Set("Content-Type", "text/tab-separated-values")
-		err = res.WriteTSV(w)
-	case "xml":
-		w.Header().Set("Content-Type", "application/sparql-results+xml")
-		err = res.WriteXML(w)
-	case "json":
-		w.Header().Set("Content-Type", "application/sparql-results+json")
-		err = res.WriteJSON(w)
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q", format))
-		return
-	}
-	if err != nil {
-		log.Printf("feo: write response: %v", err)
-	}
+// decodeJSONBody decodes one JSON value from the request body.
+func decodeJSONBody(r *http.Request, v any) error {
+	return json.NewDecoder(r.Body).Decode(v)
 }
 
 func (s *apiServer) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errMethodNotAllowed)
 		return
 	}
 	var body struct {
@@ -190,8 +178,8 @@ func (s *apiServer) handleExplain(w http.ResponseWriter, r *http.Request) {
 		User      string `json:"user"`
 		Text      string `json:"text"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeJSONBody(r, &body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed JSON body: %w", err))
 		return
 	}
 	et, err := feo.ParseExplanationType(body.Type)
@@ -232,12 +220,35 @@ func (s *apiServer) handleExplain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// maxRecommendLimit bounds ?limit= on /recommend: the coach ranks the
+// whole recipe set either way, but an absurd limit would serialize an
+// absurd response.
+const maxRecommendLimit = 100
+
 func (s *apiServer) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errMethodNotAllowed)
+		return
+	}
 	userStr := r.URL.Query().Get("user")
 	user, err := resolveTerm(userStr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	limit := 5
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		limit, err = strconv.Atoi(ls)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("limit %q is not an integer", ls))
+			return
+		}
+		if limit <= 0 || limit > maxRecommendLimit {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("limit must be in 1..%d, got %d", maxRecommendLimit, limit))
+			return
+		}
 	}
 	// One pinned snapshot for the whole request: the user listing and the
 	// ranking are guaranteed to observe the same graph version.
@@ -250,8 +261,6 @@ func (s *apiServer) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		}
 		user = users[0]
 	}
-	limit := 5
-	fmt.Sscanf(r.URL.Query().Get("limit"), "%d", &limit)
 	recs := sn.Recommend(user, limit)
 	type rec struct {
 		Recipe   string  `json:"recipe"`
@@ -270,6 +279,11 @@ func (s *apiServer) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *apiServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *apiServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errMethodNotAllowed)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"stats": s.sess.Snapshot().Stats()})
 }

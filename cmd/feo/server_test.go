@@ -7,13 +7,14 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/feo"
 )
 
 func testServer(t *testing.T) *apiServer {
 	t.Helper()
-	return &apiServer{sess: feo.NewSession(feo.Options{})}
+	return newAPIServer(feo.NewSession(feo.Options{}), 30*time.Second, 0, 0)
 }
 
 func TestSPARQLEndpointGET(t *testing.T) {
@@ -48,8 +49,8 @@ func TestSPARQLEndpointFormats(t *testing.T) {
 	srv := testServer(t)
 	query := "/sparql?query=" + strings.ReplaceAll("SELECT ?q WHERE { ?q a feo:FoodQuestion }", " ", "%20")
 	for format, wantCT := range map[string]string{
-		"csv": "text/csv",
-		"tsv": "text/tab-separated-values",
+		"csv": "text/csv; charset=utf-8",
+		"tsv": "text/tab-separated-values; charset=utf-8",
 		"xml": "application/sparql-results+xml",
 	} {
 		rr := httptest.NewRecorder()
@@ -66,7 +67,7 @@ func TestSPARQLEndpointFormats(t *testing.T) {
 	req.Header.Set("Accept", "text/csv")
 	rr := httptest.NewRecorder()
 	srv.handleSPARQL(rr, req)
-	if ct := rr.Header().Get("Content-Type"); ct != "text/csv" {
+	if ct := rr.Header().Get("Content-Type"); ct != "text/csv; charset=utf-8" {
 		t.Errorf("accept negotiation: %q", ct)
 	}
 	// Unknown format rejected.
@@ -81,6 +82,7 @@ func TestSPARQLEndpointPOSTAndAsk(t *testing.T) {
 	srv := testServer(t)
 	body := strings.NewReader(`{"query":"ASK { feo:Sushi feo:hasIngredient feo:RawFish }"}`)
 	req := httptest.NewRequest(http.MethodPost, "/sparql", body)
+	req.Header.Set("Content-Type", "application/json")
 	rr := httptest.NewRecorder()
 	srv.handleSPARQL(rr, req)
 	if rr.Code != http.StatusOK {

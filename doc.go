@@ -93,6 +93,29 @@
 // feo.Session.Compact serializes its snapshot from a pinned immutable
 // view — the fsync-heavy step blocks neither readers nor writers.
 //
+// # The serve tier
+//
+// `feo serve` exposes the engine over HTTP. /sparql speaks the SPARQL
+// 1.1 Protocol — GET ?query=, urlencoded POST, and raw
+// application/sparql-query POST — with the result format negotiated
+// (?format= or Accept with q-values) before the query runs, and answers
+// in the W3C JSON, XML, CSV, or TSV result formats. Serialization
+// streams: sparql.ExecuteStream feeds each projected row through a
+// constant-memory ResultWriter (internal/sparql/stream.go), so result
+// size never shows up as server memory, and every query runs under the
+// server's deadline and row/byte caps — a runaway query is canceled
+// cooperatively, a capped one ends as a well-formed truncated document
+// with the reason in the X-Feo-Truncated trailer. Handler semantics are
+// strict: 405 with Allow, 415 for unknown POST bodies, 406 for an
+// unsatisfiable Accept. /metrics publishes a hand-rolled Prometheus text
+// exposition (internal/metrics, stdlib-only, byte-deterministic):
+// per-endpoint latency histograms and response counters, plan-cache
+// hits/misses, snapshot age, graph size, and reasoner inference gauges.
+// `feo loadtest` closes the loop — a closed-loop harness replays the
+// mixed sparql/explain/recommend workload, gates CI on zero 5xx, and
+// records throughput and p50/p99 (LOAD_*.json) next to the benchmark
+// trajectory.
+//
 // # Static invariants
 //
 // The MVCC, durability, and determinism contracts above are not just

@@ -68,7 +68,41 @@ type (
 	QueryResult = sparql.Result
 	// KGConfig configures the synthetic FoodKG generator.
 	KGConfig = foodkg.Config
+	// ResultWriter serializes a streamed query result incrementally.
+	ResultWriter = sparql.ResultWriter
+	// StreamOptions bounds a streamed query (deadline, row/byte caps).
+	StreamOptions = sparql.StreamOptions
+	// StreamStats reports what a streamed query emitted.
+	StreamStats = sparql.StreamStats
+	// Truncation describes why a streamed result ended early.
+	Truncation = sparql.Truncation
 )
+
+// Streaming-query sentinel errors (see Snapshot.QueryStream).
+var (
+	// ErrGraphResult marks a CONSTRUCT/DESCRIBE handed to the streaming
+	// path; evaluate it with Query and serialize the graph instead.
+	ErrGraphResult = sparql.ErrGraphResult
+	// ErrQueryDeadlineExceeded marks a query canceled by its deadline
+	// before the first result byte was written.
+	ErrQueryDeadlineExceeded = sparql.ErrDeadlineExceeded
+)
+
+// NewJSONResultWriter returns a streaming writer for the W3C SPARQL 1.1
+// JSON results format (application/sparql-results+json).
+func NewJSONResultWriter(w io.Writer) ResultWriter { return sparql.NewJSONWriter(w) }
+
+// NewXMLResultWriter returns a streaming writer for the W3C SPARQL
+// results XML format (application/sparql-results+xml).
+func NewXMLResultWriter(w io.Writer) ResultWriter { return sparql.NewXMLWriter(w) }
+
+// NewCSVResultWriter returns a streaming writer for the W3C SPARQL 1.1
+// CSV results format (text/csv, CRLF records).
+func NewCSVResultWriter(w io.Writer) ResultWriter { return sparql.NewCSVWriter(w) }
+
+// NewTSVResultWriter returns a streaming writer for the W3C SPARQL 1.1
+// TSV results format (text/tab-separated-values).
+func NewTSVResultWriter(w io.Writer) ResultWriter { return sparql.NewTSVWriter(w) }
 
 // ParseExplanationType maps a name like "contextual" to its type.
 func ParseExplanationType(s string) (ExplanationType, error) {
@@ -609,6 +643,18 @@ func (s *Session) ExplainTriple(subject, predicate, object Term) []reasoner.Proo
 	s.live.RLock()
 	defer s.live.RUnlock()
 	return s.reasoner.Proof(rdf.Triple{S: subject, P: predicate, O: object})
+}
+
+// ReasonerInferred reports the reasoner's cumulative inferred-triple
+// count and the per-run delta of its most recent materialization. Like
+// ExplainTriple it reads the live session state (reasoner counters are
+// not versioned with graph snapshots), under the live reader lock so it
+// never races a committing writer. A serve-time observability hook: the
+// /metrics endpoint exposes both numbers as gauges.
+func (s *Session) ReasonerInferred() (total, lastRun int) {
+	s.live.RLock()
+	defer s.live.RUnlock()
+	return s.reasoner.TotalInferred(), s.reasoner.LastRunInferred()
 }
 
 // WriteTurtle serializes the latest published snapshot as Turtle.

@@ -81,6 +81,17 @@ func (sn *Snapshot) Graph() *store.Graph { return sn.g }
 // engine's plan cache.
 func (sn *Snapshot) Query(q string) (*QueryResult, error) { return sparql.Run(sn.g, q) }
 
+// QueryStream runs a SELECT or ASK query against the pinned version and
+// feeds each result row into rw as it is produced, bounded by opts —
+// memory stays O(row) on the serialization side no matter how large the
+// result is. CONSTRUCT/DESCRIBE return ErrGraphResult (use Query plus a
+// graph serializer); a deadline that fires before the first byte returns
+// ErrQueryDeadlineExceeded, and one that fires mid-stream ends the
+// document with a well-formed truncation instead.
+func (sn *Snapshot) QueryStream(q string, rw ResultWriter, opts StreamOptions) (StreamStats, error) {
+	return sparql.RunStream(sn.g, q, rw, opts)
+}
+
 // Recommend ranks recipes for the user against the pinned version.
 func (sn *Snapshot) Recommend(user Term, limit int) []Recommendation {
 	return sn.coach.Recommend(user, limit)
@@ -120,6 +131,12 @@ func (sn *Snapshot) WriteTurtle(w io.Writer) error { return turtle.Write(w, sn.g
 //
 //feo:emit
 func (sn *Snapshot) WriteRDFXML(w io.Writer) error { return rdfxml.Write(w, sn.g) }
+
+// WriteGraphTurtle serializes any graph — typically a CONSTRUCT or
+// DESCRIBE result — as Turtle.
+//
+//feo:emit
+func WriteGraphTurtle(w io.Writer, g *Graph) error { return turtle.Write(w, g) }
 
 // Stats summarizes the pinned version.
 //

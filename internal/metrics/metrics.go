@@ -1,0 +1,268 @@
+// Package metrics is a minimal, dependency-free metrics registry with
+// Prometheus text exposition. It exists so the serve tier can expose
+// latency histograms, counters, and gauges on /metrics without pulling a
+// client library into the build: the exposition format is a few lines of
+// text per series, and the collectors the server needs — monotonic
+// counters, fixed-bucket histograms, and scrape-time gauge functions —
+// are small atomics.
+//
+// Collectors are safe for concurrent use. Exposition is deterministic:
+// families render in registration-name order and series in label order,
+// so two scrapes of the same state are byte-identical.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency histogram bounds, in seconds —
+// Prometheus' conventional spread from 1ms to 10s.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Label is one name="value" pair attached to a series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family // sorted by name
+}
+
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	series []*series
+}
+
+type series struct {
+	labels string // rendered {a="b",...} or ""
+	c      *Counter
+	h      *Histogram
+	g      func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// family returns (creating if needed) the named family, enforcing one
+// TYPE per name. Callers hold r.mu.
+func (r *Registry) family(name, help, typ string) *family {
+	i := sort.Search(len(r.fams), func(i int) bool { return r.fams[i].name >= name })
+	if i < len(r.fams) && r.fams[i].name == name {
+		f := r.fams[i]
+		if f.typ != typ {
+			panic(fmt.Sprintf("metrics: %s registered as %s and %s", name, f.typ, typ))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ}
+	r.fams = append(r.fams, nil)
+	copy(r.fams[i+1:], r.fams[i:])
+	r.fams[i] = f
+	return f
+}
+
+// addSeries appends a series to f in sorted label order, rejecting
+// duplicates. Callers hold r.mu.
+func (f *family) addSeries(s *series) {
+	i := sort.Search(len(f.series), func(i int) bool { return f.series[i].labels >= s.labels })
+	if i < len(f.series) && f.series[i].labels == s.labels {
+		panic(fmt.Sprintf("metrics: duplicate series %s%s", f.name, s.labels))
+	}
+	f.series = append(f.series, nil)
+	copy(f.series[i+1:], f.series[i:])
+	f.series[i] = s
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Counter registers (or fetches) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "counter")
+	ls := renderLabels(labels)
+	for _, s := range f.series {
+		if s.labels == ls {
+			return s.c
+		}
+	}
+	s := &series{labels: ls, c: &Counter{}}
+	f.addSeries(s)
+	return s.c
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.counts[len(h.bounds)].Add(1) // +Inf bucket
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Histogram registers (or fetches) a histogram series with the given
+// upper bounds (DefBuckets when nil). Bounds must be ascending.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: %s bounds not ascending", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "histogram")
+	ls := renderLabels(labels)
+	for _, s := range f.series {
+		if s.labels == ls {
+			return s.h
+		}
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	f.addSeries(&series{labels: ls, h: h})
+	return h
+}
+
+// GaugeFunc registers a gauge evaluated at scrape time. fn must be safe
+// to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "gauge")
+	f.addSeries(&series{labels: renderLabels(labels), g: fn})
+}
+
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4). Families appear in name order and
+// series in label order; the output for a fixed collector state is
+// byte-identical across calls.
+//
+//feo:emit
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range r.fams {
+		b.Reset()
+		b.WriteString("# HELP " + f.name + " " + f.help + "\n")
+		b.WriteString("# TYPE " + f.name + " " + f.typ + "\n")
+		for _, s := range f.series {
+			switch {
+			case s.c != nil:
+				b.WriteString(f.name + s.labels + " " + strconv.FormatUint(s.c.Value(), 10) + "\n")
+			case s.g != nil:
+				b.WriteString(f.name + s.labels + " " + fmtFloat(s.g()) + "\n")
+			case s.h != nil:
+				h := s.h
+				cum := uint64(0)
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					b.WriteString(f.name + "_bucket" + bucketLabels(s.labels, fmtFloat(bound)) +
+						" " + strconv.FormatUint(cum, 10) + "\n")
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				b.WriteString(f.name + "_bucket" + bucketLabels(s.labels, "+Inf") +
+					" " + strconv.FormatUint(cum, 10) + "\n")
+				b.WriteString(f.name + "_sum" + s.labels + " " + fmtFloat(h.Sum()) + "\n")
+				b.WriteString(f.name + "_count" + s.labels + " " + strconv.FormatUint(h.Count(), 10) + "\n")
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bucketLabels splices le="bound" into an existing label set.
+func bucketLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("feo_requests_total", "Requests served.", Label{"endpoint", "/sparql"}, Label{"code", "200"})
+	c.Inc()
+	c.Add(2)
+	r.GaugeFunc("feo_graph_triples", "Triples in the graph.", func() float64 { return 42 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE feo_graph_triples gauge",
+		"feo_graph_triples 42\n",
+		"# TYPE feo_requests_total counter",
+		// Labels render in sorted name order regardless of argument order.
+		`feo_requests_total{code="200",endpoint="/sparql"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("feo_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 5.6 || got > 5.7 {
+		t.Fatalf("sum = %v", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`feo_latency_seconds_bucket{le="0.01"} 1`,
+		`feo_latency_seconds_bucket{le="0.1"} 3`,
+		`feo_latency_seconds_bucket{le="1"} 4`,
+		`feo_latency_seconds_bucket{le="+Inf"} 5`,
+		`feo_latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionDeterministic(t *testing.T) {
+	r := NewRegistry()
+	// Register out of order; exposition must still be sorted and stable.
+	r.Counter("feo_b_total", "b", Label{"x", "2"})
+	r.Counter("feo_b_total", "b", Label{"x", "1"})
+	r.Counter("feo_a_total", "a")
+	var one, two strings.Builder
+	if err := r.WritePrometheus(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Error("two scrapes of identical state differ")
+	}
+	a := strings.Index(one.String(), "feo_a_total")
+	b1 := strings.Index(one.String(), `feo_b_total{x="1"}`)
+	b2 := strings.Index(one.String(), `feo_b_total{x="2"}`)
+	if !(a < b1 && b1 < b2) {
+		t.Errorf("families/series out of order:\n%s", one.String())
+	}
+}
+
+func TestSameSeriesReturnsSameCollector(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("feo_x_total", "x", Label{"e", "1"})
+	b := r.Counter("feo_x_total", "x", Label{"e", "1"})
+	if a != b {
+		t.Error("same (name, labels) must return the same counter")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("feo_h", "h", nil)
+	c := r.Counter("feo_c_total", "c")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.003)
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || c.Value() != 8000 {
+		t.Errorf("count = %d, counter = %d", h.Count(), c.Value())
+	}
+	if got := h.Sum(); got < 23.9 || got > 24.1 {
+		t.Errorf("sum = %v, want ~24", got)
+	}
+}

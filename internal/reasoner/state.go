@@ -47,6 +47,12 @@ type ClosureState struct {
 // inferred into the current graph.
 func (r *Reasoner) TotalInferred() int { return r.totalInferred }
 
+// LastRunInferred returns the Inferred count of the most recent
+// materialization run — the per-run delta, zero for a run that found the
+// closure already complete and zero before any run. Serve-time dashboards
+// watch it to spot unexpectedly large incremental closures.
+func (r *Reasoner) LastRunInferred() int { return r.stats.Inferred }
+
 // ClosureState exports the reasoner's carried closure state for
 // persistence. The derivation slice is sorted by conclusion so repeated
 // exports of the same state are byte-identical once serialized.

@@ -61,6 +61,38 @@
 // identity the plan cache keys on. DisableJoinReorder bypasses the cache
 // (knob-shaped plans are never stored).
 //
+// # Streaming results
+//
+// ExecuteStream/RunStream feed SELECT and ASK results into a
+// ResultWriter row by row. The contract has two sides:
+//
+// Memory. The evaluator may still materialize the intermediate ID-row
+// set (ORDER BY, DISTINCT, and aggregation need it), but everything
+// downstream is O(row): each projected Solution map is built, serialized
+// through a small fixed-size buffer, and released before the next row is
+// touched. No writer accumulates the result — there is no O(result)
+// strings.Builder or binding slice anywhere on the emission path, so a
+// million-row SELECT streams in constant serialization memory.
+// WriteJSON/WriteCSV/WriteTSV/WriteXML on Result are thin adapters over
+// the same writers (formats.go), so both paths emit identical bytes.
+//
+// Limits. StreamOptions bounds a query three ways: MaxRows and MaxBytes
+// truncate the emission, and Deadline cancels evaluation cooperatively —
+// a per-row atomic flag polled inside the join loops, the path BFS, and
+// the filter workers, never a panic (the parallel workers have no
+// recover). A deadline that fires before the first byte returns
+// ErrDeadlineExceeded so callers can still send a clean error; any limit
+// that trips after emission began instead ends the document well-formed
+// with a Truncation (JSON's "truncated" member, an XML comment, or the
+// caller's out-of-band channel for CSV/TSV). CONSTRUCT/DESCRIBE are
+// graph-shaped and return ErrGraphResult up front.
+//
+// Every writer's emission path is marked //feo:emit: output bytes must be
+// a pure function of the result sequence, so no writer may range over a
+// map (Solution maps are ordered via the head's variable list) or consult
+// clocks, randomness, or pointer identity. feovet's mapdeterminism pass
+// enforces the map half of that obligation at compile time.
+//
 // # Correctness harness
 //
 // The ID pipeline, the planner, and the caches are locked in by a

@@ -136,7 +136,16 @@ type evalContext struct {
 	// EXISTS bodies re-enter evalGroupRows once per row, and the variable
 	// collection depends only on the (immutable) pattern tree.
 	groupMemo map[*Group]*groupInfo
+	// stop, when non-nil, is a cooperative cancellation flag (set by
+	// ExecuteStream's deadline timer). The row loops poll it and unwind
+	// with partial state, which the caller then discards; the worker pool
+	// has no panic recovery, so cancellation must never panic. nil — the
+	// plain Execute path — keeps the polls to a nil check.
+	stop *atomic.Bool
 }
+
+// canceled reports whether this execution's deadline has fired.
+func (ec *evalContext) canceled() bool { return ec.stop != nil && ec.stop.Load() }
 
 // newEvalContext resolves the parallelism knob and pins the graph snapshot
 // for this execution.
@@ -199,6 +208,9 @@ func (ec *evalContext) evalGroupRows(g *Group, input []idRow) []idRow {
 	seq := input
 	if len(g.Filters) == 0 {
 		for _, pat := range g.Patterns {
+			if ec.canceled() {
+				return nil
+			}
 			seq = ec.evalPatternRows(pat, seq)
 			if len(seq) == 0 {
 				break
@@ -234,6 +246,9 @@ func (ec *evalContext) evalGroupRows(g *Group, input []idRow) []idRow {
 	}
 	runReady()
 	for _, pat := range g.Patterns {
+		if ec.canceled() {
+			return nil
+		}
 		seq = ec.evalPatternRows(pat, seq)
 		if len(seq) == 0 {
 			// Filters with EXISTS could still not resurrect solutions.
@@ -499,6 +514,9 @@ func (ec *evalContext) evalPatternRows(p Pattern, seq []idRow) []idRow {
 // full-range call, no closures) and the worker pool (one call per morsel).
 func (ec *evalContext) evalOptionalRange(pat *Optional, seq []idRow, lo, hi int, out []idRow) []idRow {
 	for _, r := range seq[lo:hi] {
+		if ec.canceled() {
+			return out
+		}
 		ext := ec.evalGroupRows(pat.Pattern, []idRow{r})
 		if len(ext) > 0 {
 			out = append(out, ext...)
@@ -634,6 +652,9 @@ func (ec *evalContext) applyFilter(f Expression, seq []idRow) []idRow {
 	}
 	var out []idRow
 	for _, r := range seq {
+		if ec.canceled() {
+			return out
+		}
 		if ok, err := ebvOf(f, ec, r); err == nil && ok {
 			out = append(out, r)
 		}
@@ -646,6 +667,9 @@ func (ec *evalContext) applyFilter(f Expression, seq []idRow) []idRow {
 func (ec *evalContext) parApplyFilter(f Expression, seq []idRow) ([]idRow, bool) {
 	return parRange(ec, len(seq), func(lo, hi int, out []idRow) []idRow {
 		for _, r := range seq[lo:hi] {
+			if ec.canceled() {
+				return out
+			}
 			if ok, err := ebvOf(f, ec, r); err == nil && ok {
 				out = append(out, r)
 			}
@@ -670,7 +694,7 @@ func (ec *evalContext) evalBGPRows(bgp *BGP, rows []idRow) []idRow {
 		return nil
 	}
 	for i := range plan.steps {
-		if len(rows) == 0 {
+		if len(rows) == 0 || ec.canceled() {
 			return nil
 		}
 		st := &plan.steps[i]
@@ -689,7 +713,7 @@ func (ec *evalContext) evalBGPRows(bgp *BGP, rows []idRow) []idRow {
 				}
 			}
 			if !expanded {
-				rows = intersectIDRows(ec.g, st, rows, 0, len(rows), rows[:0:0])
+				rows = intersectIDRows(ec.g, ec.stop, st, rows, 0, len(rows), rows[:0:0])
 			}
 		default:
 			spec := st.specs[0]
@@ -700,7 +724,7 @@ func (ec *evalContext) evalBGPRows(bgp *BGP, rows []idRow) []idRow {
 				}
 			}
 			if !expanded {
-				rows = expandIDRows(ec.g, spec, rows, 0, len(rows), rows[:0:0])
+				rows = expandIDRows(ec.g, ec.stop, spec, rows, 0, len(rows), rows[:0:0])
 			}
 		}
 	}
@@ -735,10 +759,13 @@ func probeFor(spec bgpSpec, r idRow) [3]store.ID {
 // already bind the slot degrade to one membership test per pattern.
 //
 //feo:idspace
-func intersectIDRows(g *store.Graph, st *planStep, rows []idRow, lo, hi int, next []idRow) []idRow {
+func intersectIDRows(g *store.Graph, stop *atomic.Bool, st *planStep, rows []idRow, lo, hi int, next []idRow) []idRow {
 	specs, freeSlot := st.specs, st.freeSlot
 	var scratch [8]*store.IDSet
 	for _, r := range rows[lo:hi] {
+		if stop != nil && stop.Load() {
+			return next // canceled: caller discards partial output
+		}
 		if v := r[freeSlot]; v != store.NoID {
 			ok := true
 			switch {
@@ -819,7 +846,7 @@ func intersectIDRows(g *store.Graph, st *planStep, rows []idRow, lo, hi int, nex
 // see parExpandIDRows for why it is a separate method.
 func (ec *evalContext) parIntersectIDRows(st *planStep, rows []idRow) ([]idRow, bool) {
 	return parRange(ec, len(rows), func(lo, hi int, out []idRow) []idRow {
-		return intersectIDRows(ec.g, st, rows, lo, hi, out)
+		return intersectIDRows(ec.g, ec.stop, st, rows, lo, hi, out)
 	})
 }
 
@@ -829,7 +856,7 @@ func (ec *evalContext) parIntersectIDRows(st *planStep, rows []idRow) ([]idRow, 
 // reference path.
 func (ec *evalContext) parExpandIDRows(spec bgpSpec, rows []idRow) ([]idRow, bool) {
 	return parRange(ec, len(rows), func(lo, hi int, out []idRow) []idRow {
-		return expandIDRows(ec.g, spec, rows, lo, hi, out)
+		return expandIDRows(ec.g, ec.stop, spec, rows, lo, hi, out)
 	})
 }
 
@@ -838,8 +865,11 @@ func (ec *evalContext) parExpandIDRows(spec bgpSpec, rows []idRow) ([]idRow, boo
 // safe to call from concurrent workers on disjoint ranges.
 //
 //feo:idspace
-func expandIDRows(g *store.Graph, spec bgpSpec, rows []idRow, lo, hi int, next []idRow) []idRow {
+func expandIDRows(g *store.Graph, stop *atomic.Bool, spec bgpSpec, rows []idRow, lo, hi int, next []idRow) []idRow {
 	for _, r := range rows[lo:hi] {
+		if stop != nil && stop.Load() {
+			return next // canceled: caller discards partial output
+		}
 		probe := probeFor(spec, r) // NoID in unbound positions
 		g.ForEachID(probe[0], probe[1], probe[2], func(s, p, o store.ID) bool {
 			match := [3]store.ID{s, p, o}

@@ -1,182 +1,52 @@
 package sparql
 
 import (
-	"encoding/csv"
-	"encoding/json"
-	"encoding/xml"
-	"fmt"
 	"io"
-	"strings"
-
-	"repro/internal/rdf"
 )
+
+// Materialized-result serialization. Each Write* method adapts the
+// corresponding streaming writer in stream.go to an in-memory Result:
+// the bytes are produced row by row through the exact code path
+// ExecuteStream feeds live, so the two paths cannot drift. Memory here
+// is O(row) over and above the Result the caller already holds.
+
+// writeAll drains a Result through one streaming writer.
+func (r *Result) writeAll(rw ResultWriter) error {
+	if r.Kind == KindAsk {
+		return rw.Boolean(r.Boolean)
+	}
+	if err := rw.Begin(r.Vars); err != nil {
+		return err
+	}
+	for _, sol := range r.Solutions {
+		if err := rw.Row(sol); err != nil {
+			return err
+		}
+	}
+	return rw.End(nil)
+}
 
 // WriteJSON serializes SELECT/ASK results in the W3C "SPARQL 1.1 Query
 // Results JSON Format" (application/sparql-results+json).
 //
 //feo:emit
-func (r *Result) WriteJSON(w io.Writer) error {
-	type jsonTerm struct {
-		Type     string `json:"type"`
-		Value    string `json:"value"`
-		Lang     string `json:"xml:lang,omitempty"`
-		Datatype string `json:"datatype,omitempty"`
-	}
-	doc := struct {
-		Head struct {
-			Vars []string `json:"vars"`
-		} `json:"head"`
-		Boolean *bool `json:"boolean,omitempty"`
-		Results *struct {
-			Bindings []map[string]jsonTerm `json:"bindings"`
-		} `json:"results,omitempty"`
-	}{}
-	doc.Head.Vars = r.Vars
-	if r.Kind == KindAsk {
-		v := r.Boolean
-		doc.Boolean = &v
-	} else {
-		doc.Results = &struct {
-			Bindings []map[string]jsonTerm `json:"bindings"`
-		}{Bindings: make([]map[string]jsonTerm, 0, len(r.Solutions))}
-		for _, sol := range r.Solutions {
-			row := make(map[string]jsonTerm, len(sol))
-			for _, v := range r.Vars {
-				t, ok := sol[v]
-				if !ok {
-					continue
-				}
-				jt := jsonTerm{Value: t.Value}
-				switch {
-				case t.IsIRI():
-					jt.Type = "uri"
-				case t.IsBlank():
-					jt.Type = "bnode"
-				default:
-					jt.Type = "literal"
-					jt.Lang = t.Lang
-					if t.Lang == "" && t.Datatype != "" && t.Datatype != rdf.XSDString {
-						jt.Datatype = t.Datatype
-					}
-				}
-				row[v] = jt
-			}
-			doc.Results.Bindings = append(doc.Results.Bindings, row)
-		}
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
-}
+func (r *Result) WriteJSON(w io.Writer) error { return r.writeAll(NewJSONWriter(w)) }
 
 // WriteCSV serializes SELECT results in the W3C SPARQL 1.1 CSV format
-// (text/csv): header row of variable names, plain lexical values.
+// (text/csv): header row of variable names, plain lexical values, CRLF
+// record endings per RFC 4180.
 //
 //feo:emit
-func (r *Result) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(r.Vars); err != nil {
-		return err
-	}
-	row := make([]string, len(r.Vars))
-	for _, sol := range r.Solutions {
-		for i, v := range r.Vars {
-			if t, ok := sol[v]; ok {
-				row[i] = t.Value
-			} else {
-				row[i] = ""
-			}
-		}
-		if err := cw.Write(row); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
-}
+func (r *Result) WriteCSV(w io.Writer) error { return r.writeAll(NewCSVWriter(w)) }
 
 // WriteTSV serializes SELECT results in the W3C SPARQL 1.1 TSV format
 // (text/tab-separated-values): terms in full N-Triples syntax.
 //
 //feo:emit
-func (r *Result) WriteTSV(w io.Writer) error {
-	var b strings.Builder
-	for i, v := range r.Vars {
-		if i > 0 {
-			b.WriteByte('\t')
-		}
-		b.WriteString("?" + v)
-	}
-	b.WriteByte('\n')
-	for _, sol := range r.Solutions {
-		for i, v := range r.Vars {
-			if i > 0 {
-				b.WriteByte('\t')
-			}
-			if t, ok := sol[v]; ok {
-				b.WriteString(t.String())
-			}
-		}
-		b.WriteByte('\n')
-	}
-	_, err := io.WriteString(w, b.String())
-	return err
-}
+func (r *Result) WriteTSV(w io.Writer) error { return r.writeAll(NewTSVWriter(w)) }
 
 // WriteXML serializes SELECT/ASK results in the W3C "SPARQL Query Results
 // XML Format" (application/sparql-results+xml).
 //
 //feo:emit
-func (r *Result) WriteXML(w io.Writer) error {
-	var b strings.Builder
-	b.WriteString(xml.Header)
-	b.WriteString(`<sparql xmlns="http://www.w3.org/2005/sparql-results#">` + "\n")
-	b.WriteString("  <head>\n")
-	for _, v := range r.Vars {
-		b.WriteString(`    <variable name="` + escapeXML(v) + `"/>` + "\n")
-	}
-	b.WriteString("  </head>\n")
-	if r.Kind == KindAsk {
-		fmt.Fprintf(&b, "  <boolean>%t</boolean>\n", r.Boolean)
-	} else {
-		b.WriteString("  <results>\n")
-		for _, sol := range r.Solutions {
-			b.WriteString("    <result>\n")
-			for _, v := range r.Vars {
-				t, ok := sol[v]
-				if !ok {
-					continue
-				}
-				b.WriteString(`      <binding name="` + escapeXML(v) + `">`)
-				switch {
-				case t.IsIRI():
-					b.WriteString("<uri>" + escapeXML(t.Value) + "</uri>")
-				case t.IsBlank():
-					b.WriteString("<bnode>" + escapeXML(t.Value) + "</bnode>")
-				default:
-					b.WriteString("<literal")
-					if t.Lang != "" {
-						b.WriteString(` xml:lang="` + escapeXML(t.Lang) + `"`)
-					} else if t.Datatype != "" && t.Datatype != rdf.XSDString {
-						b.WriteString(` datatype="` + escapeXML(t.Datatype) + `"`)
-					}
-					b.WriteString(">" + escapeXML(t.Value) + "</literal>")
-				}
-				b.WriteString("</binding>\n")
-			}
-			b.WriteString("    </result>\n")
-		}
-		b.WriteString("  </results>\n")
-	}
-	b.WriteString("</sparql>\n")
-	_, err := io.WriteString(w, b.String())
-	return err
-}
-
-func escapeXML(s string) string {
-	var b strings.Builder
-	if err := xml.EscapeText(&b, []byte(s)); err != nil {
-		return s
-	}
-	return b.String()
-}
+func (r *Result) WriteXML(w io.Writer) error { return r.writeAll(NewXMLWriter(w)) }

@@ -79,14 +79,19 @@ func TestWriteCSV(t *testing.T) {
 	if err := res.WriteCSV(&sb); err != nil {
 		t.Fatal(err)
 	}
-	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	out := sb.String()
+	// The W3C SPARQL 1.1 CSV format (RFC 4180) requires CRLF record endings.
+	if strings.Count(out, "\r\n") != strings.Count(out, "\n") {
+		t.Errorf("csv records must end in CRLF:\n%q", out)
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\r\n"), "\r\n")
 	if len(lines) != 5 {
-		t.Fatalf("csv lines = %d, want header+4:\n%s", len(lines), sb.String())
+		t.Fatalf("csv lines = %d, want header+4:\n%s", len(lines), out)
 	}
 	if lines[0] != "p,name,f" {
 		t.Errorf("header = %q", lines[0])
 	}
-	if !strings.Contains(sb.String(), "Alice") {
+	if !strings.Contains(out, "Alice") {
 		t.Error("csv missing data")
 	}
 }

@@ -399,6 +399,9 @@ func (ec *evalContext) closureIDs(step *Path, start rdf.Term, includeStart, back
 	frontier := []store.ID{startID}
 	var next []store.ID
 	for len(frontier) > 0 {
+		if ec.canceled() {
+			break // deadline: partial closure, discarded by the caller
+		}
 		next = next[:0]
 		// Wide frontiers expand in parallel: contiguous frontier morsels
 		// each accumulate successors into a private bitmap, the morsel
@@ -483,6 +486,9 @@ func (ec *evalContext) closureTerms(step *Path, start rdf.Term, includeStart, ba
 	}
 	frontier := []rdf.Term{start}
 	for len(frontier) > 0 {
+		if ec.canceled() {
+			break // deadline: partial closure, discarded by the caller
+		}
 		var next []rdf.Term
 		// Composite steps (sequences, optionals) are the expensive
 		// per-node traversals, so wide frontiers fan out here too; the

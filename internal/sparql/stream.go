@@ -1,0 +1,579 @@
+package sparql
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// This file is the streaming half of the result-format layer: the
+// ResultWriter contract, its four W3C serializations, and the
+// ExecuteStream/RunStream entry points that feed rows into a writer as
+// the evaluator produces them, under a deadline and row/byte limits.
+//
+// The materialize-then-write methods on Result (formats.go) are thin
+// adapters over the same writers, so the two paths cannot drift: a byte
+// the adapter emits is a byte the stream emits.
+
+// ResultWriter serializes one SELECT/ASK result document incrementally:
+// Begin writes the document header, each Row appends one solution, and
+// End closes the document (writing an in-band truncation marker when the
+// format has room for one) and flushes. Boolean is the one-shot ASK
+// form, used instead of the Begin/Row/End sequence.
+//
+// A writer buffers internally but never holds more than its fixed buffer
+// of serialized output: memory is O(row), not O(result). Writers are not
+// safe for concurrent use.
+//
+// Determinism: a row serializes by the Begin vars order — implementations
+// must never iterate the Solution map itself.
+type ResultWriter interface {
+	Begin(vars []string) error
+	Row(sol Solution) error
+	// End finishes the document. A non-nil trunc marks a deliberate early
+	// stop: formats with an in-band channel (JSON members, XML comments)
+	// record it; CSV/TSV rely on the caller's transport (HTTP trailers).
+	End(trunc *Truncation) error
+	Boolean(b bool) error
+	// Written reports the bytes of serialized output produced so far
+	// (buffered or flushed). Byte limits are enforced against it.
+	Written() int64
+}
+
+// Truncation describes why a streamed result ended before its last row.
+type Truncation struct {
+	// Reason is "rows", "bytes", or "deadline".
+	Reason string
+	// Rows is the number of rows emitted before the cut.
+	Rows int
+}
+
+// StreamOptions bounds one streamed execution. The zero value means
+// unbounded: no deadline, no row cap, no byte cap.
+type StreamOptions struct {
+	// Deadline bounds evaluation and emission. A query that exceeds it
+	// during evaluation fails with ErrDeadlineExceeded (no bytes written);
+	// one that exceeds it mid-emission ends with a well-formed truncated
+	// document instead.
+	Deadline time.Time
+	// MaxRows caps emitted solution rows (0 = unlimited).
+	MaxRows int
+	// MaxBytes caps serialized output bytes (0 = unlimited). Checked
+	// between rows, so the document may exceed it by one row plus the
+	// footer — the cap bounds memory and transfer, it is not an exact
+	// content length.
+	MaxBytes int64
+}
+
+// StreamStats reports what one streamed execution emitted.
+type StreamStats struct {
+	// Rows is the number of solution rows written.
+	Rows int
+	// Truncated reports an early stop; Reason is its Truncation reason.
+	Truncated bool
+	Reason    string
+}
+
+// ErrGraphResult is returned by ExecuteStream/RunStream for CONSTRUCT and
+// DESCRIBE queries, whose results are graphs: callers serialize those via
+// Execute and a graph writer (Turtle/RDF-XML), not a bindings writer. It
+// is returned before evaluation, so routing on it costs one cached parse.
+var ErrGraphResult = errors.New("sparql: CONSTRUCT/DESCRIBE produces a graph, not bindings; use Execute and a graph serializer")
+
+// ErrDeadlineExceeded is returned when StreamOptions.Deadline expires
+// before the first result byte is written. After the first byte the
+// deadline truncates the document instead (see StreamOptions.Deadline).
+var ErrDeadlineExceeded = errors.New("sparql: query deadline exceeded")
+
+// RunStream parses src (memoized, like Run) and streams its result into
+// rw. See ExecuteStream.
+func RunStream(g *store.Graph, src string, rw ResultWriter, opts StreamOptions) (StreamStats, error) {
+	q, err := parseQueryCached(src)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	return ExecuteStream(g, q, rw, opts)
+}
+
+// ExecuteStream runs a SELECT or ASK query and feeds each projected row
+// into rw as it is materialized: the full document is never built in
+// memory, and the public Solution maps exist one row at a time. The
+// evaluator's intermediate ID rows are still computed eagerly (ORDER BY,
+// DISTINCT, and aggregation need the full row set), but those are compact
+// []store.ID rows — the O(result) heap the materialized writers used to
+// pay for term maps and document builders is gone.
+//
+// opts.Deadline cancels a runaway evaluation: the evaluator polls a stop
+// flag in its row loops and unwinds with partial state, and ExecuteStream
+// returns ErrDeadlineExceeded without writing a byte. Once emission has
+// begun, the deadline — like MaxRows and MaxBytes — ends the stream with
+// a well-formed document carrying a Truncation instead.
+func ExecuteStream(g *store.Graph, q *Query, rw ResultWriter, opts StreamOptions) (StreamStats, error) {
+	var st StreamStats
+	if q.Kind == KindConstruct || q.Kind == KindDescribe {
+		return st, ErrGraphResult
+	}
+	ec := newEvalContext(g, buildQueryEnv(q))
+	if !opts.Deadline.IsZero() {
+		d := time.Until(opts.Deadline)
+		if d <= 0 {
+			return st, ErrDeadlineExceeded
+		}
+		stop := new(atomic.Bool)
+		ec.stop = stop
+		timer := time.AfterFunc(d, func() { stop.Store(true) })
+		defer timer.Stop()
+	}
+	rows := ec.evalGroupRows(q.Where, []idRow{ec.newRow()})
+	if ec.canceled() {
+		return st, ErrDeadlineExceeded
+	}
+	if q.Kind == KindAsk {
+		return st, rw.Boolean(len(rows) > 0)
+	}
+	projected, vars := ec.finishSelectRows(q, rows)
+	if ec.canceled() {
+		return st, ErrDeadlineExceeded
+	}
+	slots := make([]int, len(vars))
+	for i, v := range vars {
+		slots[i] = ec.env.slot(v)
+	}
+	if err := rw.Begin(vars); err != nil {
+		return st, err
+	}
+	var trunc *Truncation
+	for _, r := range projected {
+		switch {
+		case opts.MaxRows > 0 && st.Rows >= opts.MaxRows:
+			trunc = &Truncation{Reason: "rows", Rows: st.Rows}
+		case opts.MaxBytes > 0 && rw.Written() >= opts.MaxBytes:
+			trunc = &Truncation{Reason: "bytes", Rows: st.Rows}
+		case ec.canceled():
+			trunc = &Truncation{Reason: "deadline", Rows: st.Rows}
+		}
+		if trunc != nil {
+			break
+		}
+		if err := rw.Row(ec.materializeRow(r, vars, slots)); err != nil {
+			return st, err
+		}
+		st.Rows++
+	}
+	if trunc != nil {
+		st.Truncated = true
+		st.Reason = trunc.Reason
+	}
+	return st, rw.End(trunc)
+}
+
+// countWriter is the shared buffered sink under every streaming writer:
+// it tracks bytes accepted (pre-flush, so Written is exact and
+// deterministic regardless of buffer boundaries) and defers errors — the
+// emit helpers are fire-and-forget, and the first underlying error
+// surfaces from flush() or the next Write.
+type countWriter struct {
+	bw *bufio.Writer
+	n  int64
+}
+
+func newCountWriter(w io.Writer) *countWriter {
+	return &countWriter{bw: bufio.NewWriterSize(w, 8192)}
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.bw.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countWriter) str(s string) {
+	n, _ := c.bw.WriteString(s)
+	c.n += int64(n)
+}
+
+func (c *countWriter) byte(b byte) {
+	if c.bw.WriteByte(b) == nil {
+		c.n++
+	}
+}
+
+func (c *countWriter) written() int64 { return c.n }
+
+func (c *countWriter) flush() error { return c.bw.Flush() }
+
+// jsonString writes s as a JSON string literal (quoted, escaped).
+func (c *countWriter) jsonString(s string) {
+	const hex = "0123456789abcdef"
+	c.byte('"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		if b >= 0x20 && b != '"' && b != '\\' {
+			continue
+		}
+		c.str(s[start:i])
+		switch b {
+		case '"':
+			c.str(`\"`)
+		case '\\':
+			c.str(`\\`)
+		case '\n':
+			c.str(`\n`)
+		case '\r':
+			c.str(`\r`)
+		case '\t':
+			c.str(`\t`)
+		default:
+			c.str(`\u00`)
+			c.byte(hex[b>>4])
+			c.byte(hex[b&0xF])
+		}
+		start = i + 1
+	}
+	c.str(s[start:])
+	c.byte('"')
+}
+
+// ---- JSON: the W3C SPARQL 1.1 Query Results JSON Format ----
+
+type jsonResultWriter struct {
+	c    *countWriter
+	vars []string
+	rows int
+}
+
+// NewJSONWriter returns a streaming writer for
+// application/sparql-results+json. A Truncation is recorded in-band as a
+// non-standard top-level "truncated" member after "results" — still a
+// well-formed document, ignored by standard consumers.
+func NewJSONWriter(w io.Writer) ResultWriter { return &jsonResultWriter{c: newCountWriter(w)} }
+
+func (jw *jsonResultWriter) Begin(vars []string) error {
+	jw.vars = vars
+	jw.c.str(`{"head":{"vars":[`)
+	for i, v := range vars {
+		if i > 0 {
+			jw.c.byte(',')
+		}
+		jw.c.jsonString(v)
+	}
+	jw.c.str(`]},"results":{"bindings":[`)
+	return nil
+}
+
+func (jw *jsonResultWriter) Row(sol Solution) error {
+	if jw.rows > 0 {
+		jw.c.byte(',')
+	}
+	jw.rows++
+	jw.c.str("\n{")
+	first := true
+	for _, v := range jw.vars {
+		t, ok := sol[v]
+		if !ok || t == (rdf.Term{}) {
+			continue
+		}
+		if !first {
+			jw.c.byte(',')
+		}
+		first = false
+		jw.c.jsonString(v)
+		jw.c.str(`:{"type":`)
+		switch {
+		case t.IsIRI():
+			jw.c.str(`"uri"`)
+		case t.IsBlank():
+			jw.c.str(`"bnode"`)
+		default:
+			jw.c.str(`"literal"`)
+			if t.Lang != "" {
+				jw.c.str(`,"xml:lang":`)
+				jw.c.jsonString(t.Lang)
+			} else if t.Datatype != "" && t.Datatype != rdf.XSDString {
+				jw.c.str(`,"datatype":`)
+				jw.c.jsonString(t.Datatype)
+			}
+		}
+		jw.c.str(`,"value":`)
+		jw.c.jsonString(t.Value)
+		jw.c.byte('}')
+	}
+	jw.c.byte('}')
+	return jw.c.flushEvery()
+}
+
+func (jw *jsonResultWriter) End(trunc *Truncation) error {
+	jw.c.str("\n]}")
+	if trunc != nil {
+		jw.c.str(`,"truncated":`)
+		jw.c.jsonString(trunc.Reason)
+	}
+	jw.c.str("}\n")
+	return jw.c.flush()
+}
+
+func (jw *jsonResultWriter) Boolean(b bool) error {
+	if b {
+		jw.c.str(`{"head":{"vars":[]},"boolean":true}` + "\n")
+	} else {
+		jw.c.str(`{"head":{"vars":[]},"boolean":false}` + "\n")
+	}
+	return jw.c.flush()
+}
+
+func (jw *jsonResultWriter) Written() int64 { return jw.c.written() }
+
+// flushEvery flushes opportunistically so a slowly-produced stream still
+// reaches the client row by row; bufio already flushes on overflow, this
+// only caps the latency of a buffered partial row batch.
+func (c *countWriter) flushEvery() error {
+	if c.bw.Buffered() >= 4096 {
+		return c.bw.Flush()
+	}
+	return nil
+}
+
+// ---- XML: the W3C SPARQL Query Results XML Format ----
+
+type xmlResultWriter struct {
+	c    *countWriter
+	vars []string
+}
+
+// NewXMLWriter returns a streaming writer for
+// application/sparql-results+xml. A Truncation is recorded as an XML
+// comment before the closing tag.
+func NewXMLWriter(w io.Writer) ResultWriter { return &xmlResultWriter{c: newCountWriter(w)} }
+
+func (xw *xmlResultWriter) header(vars []string) {
+	xw.c.str(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	xw.c.str(`<sparql xmlns="http://www.w3.org/2005/sparql-results#">` + "\n")
+	xw.c.str("  <head>\n")
+	for _, v := range vars {
+		xw.c.str(`    <variable name="`)
+		xw.c.xmlEscape(v)
+		xw.c.str("\"/>\n")
+	}
+	xw.c.str("  </head>\n")
+}
+
+func (xw *xmlResultWriter) Begin(vars []string) error {
+	xw.vars = vars
+	xw.header(vars)
+	xw.c.str("  <results>\n")
+	return nil
+}
+
+func (xw *xmlResultWriter) Row(sol Solution) error {
+	c := xw.c
+	c.str("    <result>\n")
+	for _, v := range xw.vars {
+		t, ok := sol[v]
+		if !ok || t == (rdf.Term{}) {
+			continue
+		}
+		c.str(`      <binding name="`)
+		c.xmlEscape(v)
+		c.str(`">`)
+		switch {
+		case t.IsIRI():
+			c.str("<uri>")
+			c.xmlEscape(t.Value)
+			c.str("</uri>")
+		case t.IsBlank():
+			c.str("<bnode>")
+			c.xmlEscape(t.Value)
+			c.str("</bnode>")
+		default:
+			c.str("<literal")
+			if t.Lang != "" {
+				c.str(` xml:lang="`)
+				c.xmlEscape(t.Lang)
+				c.byte('"')
+			} else if t.Datatype != "" && t.Datatype != rdf.XSDString {
+				c.str(` datatype="`)
+				c.xmlEscape(t.Datatype)
+				c.byte('"')
+			}
+			c.byte('>')
+			c.xmlEscape(t.Value)
+			c.str("</literal>")
+		}
+		c.str("</binding>\n")
+	}
+	c.str("    </result>\n")
+	return c.flushEvery()
+}
+
+func (xw *xmlResultWriter) End(trunc *Truncation) error {
+	xw.c.str("  </results>\n")
+	if trunc != nil {
+		xw.c.str("  <!-- truncated: ")
+		xw.c.xmlEscape(trunc.Reason)
+		xw.c.str(" limit reached -->\n")
+	}
+	xw.c.str("</sparql>\n")
+	return xw.c.flush()
+}
+
+func (xw *xmlResultWriter) Boolean(b bool) error {
+	xw.header(nil)
+	if b {
+		xw.c.str("  <boolean>true</boolean>\n")
+	} else {
+		xw.c.str("  <boolean>false</boolean>\n")
+	}
+	xw.c.str("</sparql>\n")
+	return xw.c.flush()
+}
+
+func (xw *xmlResultWriter) Written() int64 { return xw.c.written() }
+
+// xmlEscape writes s with XML special characters escaped (the five
+// predefined entities plus the CR that XML 1.0 normalizes away).
+func (c *countWriter) xmlEscape(s string) {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		var esc string
+		switch s[i] {
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		case '&':
+			esc = "&amp;"
+		case '"':
+			esc = "&quot;"
+		case '\'':
+			esc = "&apos;"
+		case '\r':
+			esc = "&#xD;"
+		default:
+			continue
+		}
+		c.str(s[start:i])
+		c.str(esc)
+		start = i + 1
+	}
+	c.str(s[start:])
+}
+
+// ---- CSV: the W3C SPARQL 1.1 CSV format (RFC 4180, CRLF line endings) ----
+
+type csvResultWriter struct {
+	c    *countWriter
+	cw   *csv.Writer
+	vars []string
+	row  []string
+}
+
+// NewCSVWriter returns a streaming writer for text/csv. Per RFC 4180 (and
+// the W3C SPARQL 1.1 CSV Results note) records end in CRLF. ASK results
+// serialize as a single boolean cell; CSV has no in-band truncation
+// channel — transports signal it out of band.
+func NewCSVWriter(w io.Writer) ResultWriter {
+	c := newCountWriter(w)
+	cw := csv.NewWriter(c)
+	cw.UseCRLF = true
+	return &csvResultWriter{c: c, cw: cw}
+}
+
+func (vw *csvResultWriter) Begin(vars []string) error {
+	vw.vars = vars
+	vw.row = make([]string, len(vars))
+	return vw.cw.Write(vars)
+}
+
+func (vw *csvResultWriter) Row(sol Solution) error {
+	for i, v := range vw.vars {
+		if t, ok := sol[v]; ok {
+			vw.row[i] = t.Value
+		} else {
+			vw.row[i] = ""
+		}
+	}
+	if err := vw.cw.Write(vw.row); err != nil {
+		return err
+	}
+	return vw.c.flushEvery()
+}
+
+func (vw *csvResultWriter) End(*Truncation) error {
+	vw.cw.Flush()
+	if err := vw.cw.Error(); err != nil {
+		return err
+	}
+	return vw.c.flush()
+}
+
+func (vw *csvResultWriter) Boolean(b bool) error {
+	if b {
+		vw.c.str("true\r\n")
+	} else {
+		vw.c.str("false\r\n")
+	}
+	return vw.c.flush()
+}
+
+func (vw *csvResultWriter) Written() int64 {
+	vw.cw.Flush() // csv.Writer buffers a record at a time; count it
+	return vw.c.written()
+}
+
+// ---- TSV: the W3C SPARQL 1.1 TSV format (N-Triples term syntax) ----
+
+type tsvResultWriter struct {
+	c    *countWriter
+	vars []string
+}
+
+// NewTSVWriter returns a streaming writer for text/tab-separated-values:
+// header of ?var names, then terms in full N-Triples syntax. Like CSV,
+// truncation has no in-band channel.
+func NewTSVWriter(w io.Writer) ResultWriter { return &tsvResultWriter{c: newCountWriter(w)} }
+
+func (tw *tsvResultWriter) Begin(vars []string) error {
+	tw.vars = vars
+	for i, v := range vars {
+		if i > 0 {
+			tw.c.byte('\t')
+		}
+		tw.c.byte('?')
+		tw.c.str(v)
+	}
+	tw.c.byte('\n')
+	return nil
+}
+
+func (tw *tsvResultWriter) Row(sol Solution) error {
+	for i, v := range tw.vars {
+		if i > 0 {
+			tw.c.byte('\t')
+		}
+		if t, ok := sol[v]; ok && t != (rdf.Term{}) {
+			tw.c.str(t.String())
+		}
+	}
+	tw.c.byte('\n')
+	return tw.c.flushEvery()
+}
+
+func (tw *tsvResultWriter) End(*Truncation) error { return tw.c.flush() }
+
+func (tw *tsvResultWriter) Boolean(b bool) error {
+	if b {
+		tw.c.str("true\n")
+	} else {
+		tw.c.str("false\n")
+	}
+	return tw.c.flush()
+}
+
+func (tw *tsvResultWriter) Written() int64 { return tw.c.written() }
